@@ -1,0 +1,112 @@
+//! Component microbenchmarks: encoder throughput, exact top-k latency
+//! vs index size, Cypher parse+execute, ROUGE-L scoring, and the
+//! semantic-querying + pruning stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgg_core::{ground_graph, BaseIndex, PipelineConfig};
+use semvec::{Embedder, VecIndex};
+use std::sync::Arc;
+use worldgen::{derive, generate, SourceConfig, WorldConfig};
+
+fn bench_embedding(c: &mut Criterion) {
+    let emb = Embedder::paper();
+    let sentences = [
+        "Yao Ming place of birth Shanghai",
+        "Andes covers Peru and several other countries in the south",
+        "Lake Superior area 82000 located in the United States",
+    ];
+    let mut g = c.benchmark_group("embedding");
+    g.throughput(Throughput::Elements(sentences.len() as u64));
+    g.bench_function("encode_3_sentences", |b| {
+        b.iter(|| {
+            for s in &sentences {
+                std::hint::black_box(emb.encode(s));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let emb = Embedder::paper();
+    let mut group = c.benchmark_group("vecindex_topk");
+    for &n in &[1_000usize, 10_000, 40_000] {
+        let index = VecIndex::from_vectors(
+            emb.dim(),
+            (0..n).map(|i| emb.encode(&format!("entity {i} relation value {}", i % 97))),
+        );
+        let q = emb.encode("entity 500 relation value 14");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("top10", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(index.top_k(&q, 10)))
+        });
+        group.bench_with_input(BenchmarkId::new("top10_jittered", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(index.top_k_noisy(&q, 10, 0.3, 42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cypher(c: &mut Criterion) {
+    let script = r#"
+        CREATE (andes:MountainRange {name: "Andes", type: "mountain range"})
+        CREATE (andes)-[:COVERS]->(ecuador:Country {name: "Ecuador"})
+        CREATE (andes)-[:COVERS]->(colombia:Country {name: "Colombia"})
+        CREATE (andes)-[:COVERS]->(peru:Country {name: "Peru"})
+        CREATE (himalayas:MountainRange {name: "Himalayas"})
+        CREATE (himalayas)-[:COVERS]->(india:Country {name: "India"})
+        CREATE (himalayas)-[:COVERS]->(nepal:Country {name: "Nepal"})
+    "#;
+    c.bench_function("cypher_parse", |b| {
+        b.iter(|| std::hint::black_box(cypher::parse(script).unwrap()))
+    });
+    c.bench_function("cypher_parse_exec_decode", |b| {
+        b.iter(|| std::hint::black_box(cypher::decode_script(script).unwrap()))
+    });
+}
+
+fn bench_rouge(c: &mut Criterion) {
+    let candidate = "Based on the graph, the Andes covers Argentina, Bolivia, Chile, \
+                     Colombia, Ecuador, and Peru.";
+    let refs = vec![
+        "As far as I know, it includes Argentina, Bolivia, Chile, Colombia, Ecuador, and Peru."
+            .to_string(),
+        "There are 6 answers commonly mentioned: Argentina, Bolivia, Chile, Colombia, \
+         Ecuador, and Peru."
+            .to_string(),
+        "To be comprehensive, the full set is Argentina, Bolivia, Chile, Colombia, \
+         Ecuador, and Peru."
+            .to_string(),
+    ];
+    c.bench_function("rouge_l_multi", |b| {
+        b.iter(|| std::hint::black_box(evalkit::rouge_l_multi(candidate, &refs)))
+    });
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let world = Arc::new(generate(&WorldConfig::default()));
+    let source = derive(&world, &SourceConfig::wikidata());
+    let emb = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let ds = worldgen::datasets::qald::generate(&world, 100, 5);
+    let base = BaseIndex::for_questions(
+        &source,
+        &emb,
+        &cfg,
+        ds.questions.iter().map(|q| q.text.as_str()),
+    );
+    let pseudo = vec![
+        kgstore::StrTriple::new("Silver River", "FLOWS_THROUGH", "Norland"),
+        kgstore::StrTriple::new("Silver River", "type", "river"),
+    ];
+    c.bench_function("semantic_query_and_prune", |b| {
+        b.iter(|| std::hint::black_box(ground_graph(&source, &base, &emb, &cfg, &pseudo)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_embedding, bench_topk, bench_cypher, bench_rouge, bench_retrieval
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! End-to-end per-question latency of every method — the operational
+//! cost profile of Table 2's rows (IO is one LLM call; the full
+//! pipeline is pseudo-graph + retrieval + verification + answering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgg_core::{
+    BaseIndex, Cot, Io, Method, PipelineConfig, PseudoGraphPipeline, QaContext, Qsm,
+    SelfConsistency,
+};
+use semvec::Embedder;
+use simllm::{ModelProfile, SimLlm};
+use std::sync::Arc;
+use worldgen::{derive, generate, SourceConfig, WorldConfig};
+
+fn bench_methods(c: &mut Criterion) {
+    let world = Arc::new(generate(&WorldConfig::default()));
+    let source = derive(&world, &SourceConfig::wikidata());
+    let llm = SimLlm::new(world.clone(), ModelProfile::gpt35_sim());
+    let emb = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let ds = worldgen::datasets::qald::generate(&world, 50, 9);
+    let base = BaseIndex::for_questions(
+        &source,
+        &emb,
+        &cfg,
+        ds.questions.iter().map(|q| q.text.as_str()),
+    );
+
+    let mut group = c.benchmark_group("per_question");
+    let io = Io;
+    let cot = Cot;
+    let sc = SelfConsistency;
+    let qsm = Qsm;
+    let pseudo = PseudoGraphPipeline::pseudo_only();
+    let ours = PseudoGraphPipeline::full();
+    let methods: [(&str, &dyn Method); 6] = [
+        ("io", &io),
+        ("cot", &cot),
+        ("sc", &sc),
+        ("qsm", &qsm),
+        ("pseudo_only", &pseudo),
+        ("ours_full", &ours),
+    ];
+    for (name, m) in methods {
+        group.bench_function(name, |b| {
+            let ctx = QaContext {
+                llm: &llm,
+                source: Some(&source),
+                base: Some(&base),
+                embedder: &emb,
+                cfg: &cfg,
+            };
+            let mut i = 0;
+            b.iter(|| {
+                let q = &ds.questions[i % ds.questions.len()];
+                i += 1;
+                std::hint::black_box(m.answer(&ctx, q))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_methods
+}
+criterion_main!(benches);

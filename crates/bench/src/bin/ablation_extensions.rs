@@ -1,0 +1,91 @@
+//! Ablation of the future-work extensions the paper proposes (§5):
+//! * pruning strategies (paper two-step vs score-weighted vs adaptive-k
+//!   vs popularity prior);
+//! * verification passes (single vs majority-of-3);
+//! * IDF-weighted encoding ("better semantic encoding models").
+//!
+//! Usage: `cargo run --release -p bench --bin ablation_extensions`.
+
+use bench::{model, setup};
+use evalkit::{Cell, Table};
+use pgg_core::{run, BaseIndex, PruneStrategy, PseudoGraphPipeline};
+use semvec::{Embedder, IdfModel, SynonymTable};
+use std::sync::Arc;
+
+fn main() {
+    let exp = setup(50);
+    let llm = model(&exp.world, "gpt-3.5");
+    let qald_base = exp.base(&exp.qald, &exp.wikidata);
+    let nq_base = exp.base(&exp.nature, &exp.wikidata);
+    let ours = PseudoGraphPipeline::full();
+
+    // --- pruning strategies ---
+    let mut t = Table::new(
+        "Pruning-strategy ablation (GPT-3.5)",
+        &["Strategy", "QALD-10 (Hit@1)", "Nature Questions (ROUGE-L)"],
+    );
+    for strategy in [
+        PruneStrategy::PaperTwoStep,
+        PruneStrategy::ScoreWeighted,
+        PruneStrategy::AdaptiveK { max: 8 },
+        PruneStrategy::PopularityPrior,
+    ] {
+        let cfg = pgg_core::PipelineConfig { prune: strategy, ..exp.cfg.clone() };
+        let qald = run(&ours, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &cfg, &exp.qald, 0);
+        let nq = run(&ours, &llm, Some(&exp.wikidata), Some(&nq_base), &exp.embedder, &cfg, &exp.nature, 0);
+        t.row(strategy.name(), vec![Cell::Value(qald.score()), Cell::Value(nq.score())]);
+    }
+    println!("{}", t.render());
+
+    // --- verification passes ---
+    let mut t = Table::new(
+        "Verification-pass ablation (GPT-3.5)",
+        &["Passes", "QALD-10 (Hit@1)", "Nature Questions (ROUGE-L)"],
+    );
+    for passes in [1u32, 3, 5] {
+        let cfg = pgg_core::PipelineConfig { verify_passes: passes, ..exp.cfg.clone() };
+        let qald = run(&ours, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &cfg, &exp.qald, 0);
+        let nq = run(&ours, &llm, Some(&exp.wikidata), Some(&nq_base), &exp.embedder, &cfg, &exp.nature, 0);
+        t.row(format!("{passes}"), vec![Cell::Value(qald.score()), Cell::Value(nq.score())]);
+    }
+    println!("{}", t.render());
+
+    // --- IDF-weighted encoder (rebuild bases with the new geometry) ---
+    let mut t = Table::new(
+        "Encoder ablation (GPT-3.5)",
+        &["Encoder", "QALD-10 (Hit@1)", "Nature Questions (ROUGE-L)"],
+    );
+    let qald_plain = run(&ours, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &exp.cfg, &exp.qald, 0);
+    let nq_plain = run(&ours, &llm, Some(&exp.wikidata), Some(&nq_base), &exp.embedder, &exp.cfg, &exp.nature, 0);
+    t.row("hashing (default)", vec![Cell::Value(qald_plain.score()), Cell::Value(nq_plain.score())]);
+
+    // Fit IDF on the wikidata source verbalisations.
+    let corpus: Vec<String> = exp
+        .wikidata
+        .store
+        .iter()
+        .take(20_000)
+        .map(|tr| {
+            let v = exp.wikidata.verbalize(tr);
+            format!("{} {} {}", v.s, semvec::humanize_term(&v.p), v.o)
+        })
+        .collect();
+    let idf = Arc::new(IdfModel::fit(corpus.iter().map(|s| s.as_str()), &SynonymTable::builtin()));
+    let emb_idf = Embedder::paper().with_idf(idf);
+    let qald_base_idf = BaseIndex::for_questions(
+        &exp.wikidata,
+        &emb_idf,
+        &exp.cfg,
+        exp.qald.questions.iter().map(|q| q.text.as_str()),
+    );
+    let nq_base_idf = BaseIndex::for_questions(
+        &exp.wikidata,
+        &emb_idf,
+        &exp.cfg,
+        exp.nature.questions.iter().map(|q| q.text.as_str()),
+    );
+    let qald_idf = run(&ours, &llm, Some(&exp.wikidata), Some(&qald_base_idf), &emb_idf, &exp.cfg, &exp.qald, 0);
+    let nq_idf = run(&ours, &llm, Some(&exp.wikidata), Some(&nq_base_idf), &emb_idf, &exp.cfg, &exp.nature, 0);
+    t.row("hashing + IDF", vec![Cell::Value(qald_idf.score()), Cell::Value(nq_idf.score())]);
+    println!("{}", t.render());
+}

@@ -1,0 +1,86 @@
+//! Dataset and KG-source statistics — the "experimental setup" numbers
+//! a systems paper reports next to its evaluation.
+//!
+//! Usage: `cargo run --release -p bench --bin stats`.
+
+use bench::setup;
+use evalkit::{Cell, Table};
+use kgstore::stats::source_stats;
+use worldgen::{Gold, Intent};
+
+fn main() {
+    let exp = setup(1000);
+
+    println!(
+        "World: {} entities, {} facts, seed 0x{:X}\n",
+        exp.world.entity_count(),
+        exp.world.fact_count(),
+        pgg_core::paper::WORLD_SEED
+    );
+
+    let mut t = Table::new(
+        "KG sources",
+        &["Source", "Schema", "Triples", "Entities", "Ambiguous labels", "Max out-degree"],
+    );
+    for src in [&exp.wikidata, &exp.freebase] {
+        let s = source_stats(src);
+        t.row(
+            s.name.clone(),
+            vec![
+                Cell::Text(s.style),
+                Cell::Text(s.store.triples.to_string()),
+                Cell::Text(s.entities.to_string()),
+                Cell::Text(s.ambiguous_labels.to_string()),
+                Cell::Text(s.store.max_out_degree.to_string()),
+            ],
+        );
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new(
+        "Datasets",
+        &["Dataset", "n", "1-hop", "2-hop", "3-hop", "compare", "list", "who-list", "metric"],
+    );
+    for ds in [&exp.simpleq, &exp.qald, &exp.nature] {
+        let mut hops = [0usize; 4];
+        let mut compare = 0;
+        let mut list = 0;
+        let mut who = 0;
+        let mut rouge = false;
+        for q in &ds.questions {
+            match &q.intent {
+                Intent::Chain { path, .. } => hops[path.len().min(3)] += 1,
+                Intent::Compare { .. } => compare += 1,
+                Intent::List { .. } => list += 1,
+                Intent::WhoList { .. } => who += 1,
+            }
+            rouge |= matches!(q.gold, Gold::References(_));
+        }
+        t.row(
+            ds.kind.name(),
+            vec![
+                Cell::Text(ds.len().to_string()),
+                Cell::Text(hops[1].to_string()),
+                Cell::Text(hops[2].to_string()),
+                Cell::Text(hops[3].to_string()),
+                Cell::Text(compare.to_string()),
+                Cell::Text(list.to_string()),
+                Cell::Text(who.to_string()),
+                Cell::Text(if rouge { "ROUGE-L" } else { "Hit@1" }.to_string()),
+            ],
+        );
+    }
+    println!("{}", t.render());
+
+    // Per-dataset semantic KG (base index) sizes.
+    let mut t = Table::new("Per-dataset semantic KGs", &["Dataset × source", "Indexed triples"]);
+    for (name, ds, src) in [
+        ("SimpleQuestions × freebase", &exp.simpleq, &exp.freebase),
+        ("QALD-10 × wikidata", &exp.qald, &exp.wikidata),
+        ("Nature Questions × wikidata", &exp.nature, &exp.wikidata),
+    ] {
+        let base = exp.base(ds, src);
+        t.row(name, vec![Cell::Text(base.len().to_string())]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,87 @@
+//! Table 2 — main results: Hit@1 on SimpleQuestions and QALD-10,
+//! ROUGE-L on Nature Questions, for IO / CoT / SC / QSM / Ours on both
+//! models.
+//!
+//! Usage: `cargo run --release -p bench --bin table2` (set `FAST=1` for
+//! a reduced-size smoke run).
+
+use bench::{model, setup};
+use evalkit::{Cell, Table};
+use pgg_core::{run, Cot, Io, Method, PseudoGraphPipeline, Qsm, SelfConsistency};
+
+/// Paper numbers for the paper-vs-measured columns.
+/// (method, sq, qald, nq) per model; `None` = the paper's `-`.
+const PAPER_GPT35: &[(&str, f64, f64, Option<f64>)] = &[
+    ("IO", 20.2, 38.7, Some(20.5)),
+    ("CoT", 22.0, 40.5, Some(23.2)),
+    ("SC", 21.2, 41.1, None),
+    ("QSM", 27.5, 34.2, Some(23.8)),
+    ("Ours", 34.3, 48.6, Some(37.5)),
+];
+const PAPER_GPT4: &[(&str, f64, f64, Option<f64>)] = &[
+    ("IO", 29.9, 44.7, Some(20.9)),
+    ("CoT", 32.2, 48.9, Some(27.7)),
+    ("SC", 36.0, 48.9, None),
+    ("QSM", 31.3, 46.2, Some(27.0)),
+    ("Ours", 40.0, 56.5, Some(39.2)),
+];
+
+fn main() {
+    let fast = std::env::var("FAST").is_ok();
+    for (model_name, paper_rows, sq_n) in [
+        ("gpt-3.5", PAPER_GPT35, if fast { 150 } else { 1000 }),
+        ("gpt-4", PAPER_GPT4, 150),
+    ] {
+        let exp = setup(sq_n);
+        let llm = model(&exp.world, model_name);
+        let sq_base = exp.base(&exp.simpleq, &exp.freebase);
+        let qald_base = exp.base(&exp.qald, &exp.wikidata);
+        let nature_base = exp.base(&exp.nature, &exp.wikidata);
+        let mut table = Table::new(
+            format!("Table 2 — {model_name} (paper / measured)"),
+            &["Method", "SimpleQuestions (Hit@1)", "QALD-10 (Hit@1)", "Nature Questions (ROUGE-L)"],
+        );
+        for &(mname, p_sq, p_qald, p_nq) in paper_rows {
+            let io = Io;
+            let cot = Cot;
+            let sc = SelfConsistency;
+            let qsm = Qsm;
+            let ours = PseudoGraphPipeline::full();
+            let m: &dyn Method = match mname {
+                "IO" => &io,
+                "CoT" => &cot,
+                "SC" => &sc,
+                "QSM" => &qsm,
+                "Ours" => &ours,
+                _ => unreachable!(),
+            };
+            // SimpleQuestions is Freebase-grounded; QALD-10 and Nature
+            // Questions use the Wikidata-like source (as in the paper's
+            // main setting).
+            let sq = run(m, &llm, Some(&exp.freebase), Some(&sq_base), &exp.embedder, &exp.cfg, &exp.simpleq, 0);
+            let qald = run(m, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &exp.cfg, &exp.qald, 0);
+            let nq_cell = if let Some(paper_nq) = p_nq {
+                let nq = run(m, &llm, Some(&exp.wikidata), Some(&nature_base), &exp.embedder, &exp.cfg, &exp.nature, 0);
+                Cell::PaperVsMeasured { paper: paper_nq, measured: nq.score() }
+            } else {
+                Cell::Absent // the paper does not run SC on open-ended answers
+            };
+            table.row(
+                mname,
+                vec![
+                    Cell::PaperVsMeasured { paper: p_sq, measured: sq.score() },
+                    Cell::PaperVsMeasured { paper: p_qald, measured: qald.score() },
+                    nq_cell,
+                ],
+            );
+        }
+        println!("{}", table.render());
+        println!(
+            "LLM calls: {}   approx tokens: {}\n",
+            llm.call_count(),
+            llm.tokens_processed()
+        );
+    }
+}
+
+use simllm::LanguageModel;

@@ -1,0 +1,11 @@
+//! Table 4 — ablation, GPT-3.5: CoT → Pseudo-Graph only → full
+//! Verification, on QALD-10 and Nature Questions.
+//!
+//! Usage: `cargo run --release -p bench --bin table4`.
+
+use bench::ablation_table;
+
+fn main() {
+    let (t, _) = ablation_table("gpt-3.5", "Table 4", &[(40.5, 23.2), (44.4, 24.3), (48.6, 37.5)]);
+    println!("{t}");
+}

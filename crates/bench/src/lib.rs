@@ -1,0 +1,143 @@
+//! # bench — reproduction harness
+//!
+//! Shared experiment setup for the per-table binaries: the seeded world,
+//! the two KG sources, the three datasets at paper sizes, and both model
+//! profiles. Every binary prints paper-vs-measured tables.
+
+#![warn(missing_docs)]
+
+use pgg_core::{paper, BaseIndex, PipelineConfig};
+use semvec::Embedder;
+use simllm::{ModelProfile, SimLlm};
+use std::sync::Arc;
+use worldgen::{datasets, derive, generate, Dataset, SourceConfig, World, WorldConfig};
+
+pub use pgg_core;
+
+/// The full experimental fixture.
+pub struct Experiment {
+    /// Ground-truth world (hidden from the pipeline).
+    pub world: Arc<World>,
+    /// Simulated Wikidata.
+    pub wikidata: kgstore::KgSource,
+    /// Simulated Freebase (FB2M-like).
+    pub freebase: kgstore::KgSource,
+    /// SimpleQuestions-like dataset.
+    pub simpleq: Dataset,
+    /// QALD-10-like dataset.
+    pub qald: Dataset,
+    /// Nature-Questions-like dataset.
+    pub nature: Dataset,
+    /// Shared encoder.
+    pub embedder: Embedder,
+    /// Pipeline configuration.
+    pub cfg: PipelineConfig,
+}
+
+/// Build the fixture. `simpleq_n` follows the paper's per-model budget
+/// (1000 for GPT-3.5, 150 for GPT-4).
+pub fn setup(simpleq_n: usize) -> Experiment {
+    let world = Arc::new(generate(&WorldConfig { seed: paper::WORLD_SEED, ..Default::default() }));
+    let wikidata = derive(&world, &SourceConfig::wikidata());
+    let freebase = derive(&world, &SourceConfig::freebase());
+    let simpleq = datasets::simpleq::generate(&world, simpleq_n, paper::SIMPLEQ_SEED);
+    let qald = datasets::qald::generate(&world, paper::QALD_N, paper::QALD_SEED);
+    let nature = datasets::nature::generate(&world, paper::NATURE_N, paper::NATURE_SEED);
+    Experiment {
+        world,
+        wikidata,
+        freebase,
+        simpleq,
+        qald,
+        nature,
+        embedder: Embedder::paper(),
+        cfg: PipelineConfig::default(),
+    }
+}
+
+impl Experiment {
+    /// Build the per-dataset semantic KG index over a source (the
+    /// paper's "constructing the corresponding semantic KG based on the
+    /// questions").
+    pub fn base(&self, dataset: &Dataset, source: &kgstore::KgSource) -> BaseIndex {
+        BaseIndex::for_questions(
+            source,
+            &self.embedder,
+            &self.cfg,
+            dataset.questions.iter().map(|q| q.text.as_str()),
+        )
+    }
+}
+
+/// Shared ablation runner for Tables 4 and 5: CoT → Pseudo-Graph only
+/// → full Verification on QALD-10 and Nature Questions, rendered as a
+/// paper-vs-measured table.
+pub fn ablation_table(
+    model_name: &str,
+    title: &str,
+    paper_rows: &[(f64, f64); 3],
+) -> (String, [(pgg_core::RunResult, pgg_core::RunResult); 3]) {
+    use evalkit::{Cell, Table};
+    use pgg_core::{run, Cot, Method, PseudoGraphPipeline};
+
+    let exp = setup(50);
+    let llm = model(&exp.world, model_name);
+    let qald_base = exp.base(&exp.qald, &exp.wikidata);
+    let nq_base = exp.base(&exp.nature, &exp.wikidata);
+
+    let cot = Cot;
+    let pseudo = PseudoGraphPipeline::pseudo_only();
+    let full = PseudoGraphPipeline::full();
+
+    let mut results = Vec::new();
+    for m in [&cot as &dyn Method, &pseudo, &full] {
+        let qald = run(m, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &exp.cfg, &exp.qald, 0);
+        let nq = run(m, &llm, Some(&exp.wikidata), Some(&nq_base), &exp.embedder, &exp.cfg, &exp.nature, 0);
+        results.push((qald, nq));
+    }
+    let results: [(pgg_core::RunResult, pgg_core::RunResult); 3] =
+        results.try_into().expect("three rows");
+
+    let mut t = Table::new(
+        format!("{title} — ablation, {model_name} (paper / measured)"),
+        &["Method", "QALD-10 (Hit@1)", "Nature Questions (ROUGE-L)"],
+    );
+    let labels = ["CoT", "Pseudo-Graph", "Verification (Ours)"];
+    for i in 0..3 {
+        t.row(labels[i], vec![
+            Cell::PaperVsMeasured { paper: paper_rows[i].0, measured: results[i].0.score() },
+            Cell::PaperVsMeasured { paper: paper_rows[i].1, measured: results[i].1.score() },
+        ]);
+    }
+    t.row("gain: PG vs CoT", vec![
+        Cell::PaperVsMeasured {
+            paper: paper_rows[1].0 - paper_rows[0].0,
+            measured: results[1].0.score() - results[0].0.score(),
+        },
+        Cell::PaperVsMeasured {
+            paper: paper_rows[1].1 - paper_rows[0].1,
+            measured: results[1].1.score() - results[0].1.score(),
+        },
+    ]);
+    t.row("gain: Verif vs PG", vec![
+        Cell::PaperVsMeasured {
+            paper: paper_rows[2].0 - paper_rows[1].0,
+            measured: results[2].0.score() - results[1].0.score(),
+        },
+        Cell::PaperVsMeasured {
+            paper: paper_rows[2].1 - paper_rows[1].1,
+            measured: results[2].1.score() - results[1].1.score(),
+        },
+    ]);
+    (t.render(), results)
+}
+
+/// Construct a model by short name (`"gpt-3.5"` / `"gpt-4"`).
+pub fn model(world: &Arc<World>, which: &str) -> SimLlm {
+    let profile = match which {
+        "gpt-3.5" => ModelProfile::gpt35_sim(),
+        "gpt-4" => ModelProfile::gpt4_sim(),
+        other => panic!("unknown model {other}"),
+    };
+    SimLlm::new(world.clone(), profile)
+}

@@ -1,0 +1,336 @@
+//! Abstract syntax tree for the Cypher subset, plus a pretty-printer.
+//!
+//! The printer produces canonical source that re-parses to the same AST
+//! (verified by property tests), which the simulated LLM uses to emit
+//! well-formed scripts.
+
+use kgstore::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A full script: a sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Script {
+    /// The statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// `CREATE <pattern>, <pattern>, …`
+    Create(Vec<PathPattern>),
+    /// `MERGE <pattern>, …` — like `CREATE`, but re-uses an existing
+    /// node that matches the pattern instead of duplicating it. LLMs
+    /// emit `MERGE` freely when building graphs.
+    Merge(Vec<PathPattern>),
+    /// `MATCH <pattern>, … [WHERE <cond> AND …] RETURN <items>`
+    Match {
+        /// Patterns to match.
+        patterns: Vec<PathPattern>,
+        /// Conjunctive `WHERE` conditions (`var.prop = literal`).
+        conditions: Vec<Condition>,
+        /// Returned items (`var` or `var.prop`).
+        returns: Vec<ReturnItem>,
+    },
+}
+
+/// One `WHERE` conjunct: `var.prop = literal`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Bound variable.
+    pub var: String,
+    /// Property name.
+    pub prop: String,
+    /// Expected value.
+    pub value: Value,
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} = {}", self.var, self.prop, self.value)
+    }
+}
+
+/// A path: a node followed by zero or more relationship hops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathPattern {
+    /// The first node.
+    pub start: NodePattern,
+    /// Subsequent `(rel, node)` hops.
+    pub hops: Vec<(RelPattern, NodePattern)>,
+}
+
+/// A node pattern: `(var:Label {k: v, …})`, all parts optional.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodePattern {
+    /// Variable name, if bound.
+    pub var: Option<String>,
+    /// Labels.
+    pub labels: Vec<String>,
+    /// Property map.
+    pub props: Vec<(String, Value)>,
+}
+
+/// Relationship direction relative to reading order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// `-[:R]->` left-to-right.
+    Out,
+    /// `<-[:R]-` right-to-left.
+    In,
+}
+
+/// A relationship pattern: `-[var:TYPE {k: v}]->` or `<-[:TYPE]-`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelPattern {
+    /// Variable name, if bound.
+    pub var: Option<String>,
+    /// Relationship type (absent = wildcard in MATCH, default in CREATE).
+    pub rel_type: Option<String>,
+    /// Property map.
+    pub props: Vec<(String, Value)>,
+    /// Direction.
+    pub direction: Direction,
+}
+
+/// A `RETURN` item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReturnItem {
+    /// Variable name.
+    pub var: String,
+    /// Optional property projection (`var.prop`).
+    pub prop: Option<String>,
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.statements.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Create(patterns) => {
+                write!(f, "CREATE ")?;
+                write_joined(f, patterns, ", ")
+            }
+            Statement::Merge(patterns) => {
+                write!(f, "MERGE ")?;
+                write_joined(f, patterns, ", ")
+            }
+            Statement::Match { patterns, conditions, returns } => {
+                write!(f, "MATCH ")?;
+                write_joined(f, patterns, ", ")?;
+                if !conditions.is_empty() {
+                    write!(f, " WHERE ")?;
+                    write_joined(f, conditions, " AND ")?;
+                }
+                if !returns.is_empty() {
+                    write!(f, " RETURN ")?;
+                    write_joined(f, returns, ", ")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn write_joined<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T], sep: &str) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{sep}")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for PathPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)?;
+        for (rel, node) in &self.hops {
+            write!(f, "{rel}{node}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for NodePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        if let Some(v) = &self.var {
+            write!(f, "{v}")?;
+        }
+        for l in &self.labels {
+            write!(f, ":{l}")?;
+        }
+        if !self.props.is_empty() {
+            if self.var.is_some() || !self.labels.is_empty() {
+                write!(f, " ")?;
+            }
+            write_props(f, &self.props)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for RelPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body = {
+            let mut s = String::new();
+            if let Some(v) = &self.var {
+                s.push_str(v);
+            }
+            if let Some(t) = &self.rel_type {
+                s.push(':');
+                s.push_str(t);
+            }
+            if !self.props.is_empty() {
+                if !s.is_empty() {
+                    s.push(' ');
+                }
+                let mut tmp = String::from("{");
+                for (i, (k, v)) in self.props.iter().enumerate() {
+                    if i > 0 {
+                        tmp.push_str(", ");
+                    }
+                    tmp.push_str(&format!("{k}: {v}"));
+                }
+                tmp.push('}');
+                s.push_str(&tmp);
+            }
+            s
+        };
+        match self.direction {
+            Direction::Out => write!(f, "-[{body}]->"),
+            Direction::In => write!(f, "<-[{body}]-"),
+        }
+    }
+}
+
+fn write_props(f: &mut fmt::Formatter<'_>, props: &[(String, Value)]) -> fmt::Result {
+    write!(f, "{{")?;
+    for (i, (k, v)) in props.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{k}: {v}")?;
+    }
+    write!(f, "}}")
+}
+
+impl fmt::Display for ReturnItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prop {
+            Some(p) => write!(f, "{}.{p}", self.var),
+            None => write!(f, "{}", self.var),
+        }
+    }
+}
+
+/// Builder helpers used heavily by the simulated LLM when it "writes"
+/// Cypher.
+impl NodePattern {
+    /// `(var:Label {name: "name"})`
+    pub fn named(var: impl Into<String>, label: impl Into<String>, name: impl Into<String>) -> Self {
+        NodePattern {
+            var: Some(var.into()),
+            labels: vec![label.into()],
+            props: vec![("name".to_string(), Value::Str(name.into()))],
+        }
+    }
+
+    /// `(var)` — a bare variable reference.
+    pub fn var_ref(var: impl Into<String>) -> Self {
+        NodePattern {
+            var: Some(var.into()),
+            ..Default::default()
+        }
+    }
+}
+
+impl RelPattern {
+    /// `-[:TYPE]->`
+    pub fn out(rel_type: impl Into<String>) -> Self {
+        RelPattern {
+            var: None,
+            rel_type: Some(rel_type.into()),
+            props: Vec::new(),
+            direction: Direction::Out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_display() {
+        let n = NodePattern::named("superior", "Lake", "Lake Superior");
+        assert_eq!(n.to_string(), "(superior:Lake {name: \"Lake Superior\"})");
+    }
+
+    #[test]
+    fn rel_display_both_directions() {
+        let mut r = RelPattern::out("COVERS");
+        assert_eq!(r.to_string(), "-[:COVERS]->");
+        r.direction = Direction::In;
+        assert_eq!(r.to_string(), "<-[:COVERS]-");
+    }
+
+    #[test]
+    fn full_create_display() {
+        let stmt = Statement::Create(vec![PathPattern {
+            start: NodePattern::named("andes", "MountainRange", "Andes"),
+            hops: vec![(RelPattern::out("COVERS"), NodePattern::named("peru", "Country", "Peru"))],
+        }]);
+        assert_eq!(
+            stmt.to_string(),
+            "CREATE (andes:MountainRange {name: \"Andes\"})-[:COVERS]->(peru:Country {name: \"Peru\"})"
+        );
+    }
+
+    #[test]
+    fn match_return_display() {
+        let stmt = Statement::Match {
+            patterns: vec![PathPattern {
+                start: NodePattern::var_ref("x"),
+                hops: vec![],
+            }],
+            conditions: vec![],
+            returns: vec![ReturnItem { var: "x".into(), prop: Some("name".into()) }],
+        };
+        assert_eq!(stmt.to_string(), "MATCH (x) RETURN x.name");
+
+        let cond = Statement::Match {
+            patterns: vec![PathPattern { start: NodePattern::var_ref("x"), hops: vec![] }],
+            conditions: vec![Condition {
+                var: "x".into(),
+                prop: "area".into(),
+                value: Value::Int(82000),
+            }],
+            returns: vec![ReturnItem { var: "x".into(), prop: None }],
+        };
+        assert_eq!(cond.to_string(), "MATCH (x) WHERE x.area = 82000 RETURN x");
+
+        let merge = Statement::Merge(vec![PathPattern {
+            start: NodePattern::named("a", "Lake", "Lake Erie"),
+            hops: vec![],
+        }]);
+        assert_eq!(merge.to_string(), "MERGE (a:Lake {name: \"Lake Erie\"})");
+    }
+
+    #[test]
+    fn bare_node() {
+        assert_eq!(NodePattern::default().to_string(), "()");
+    }
+}

@@ -1,0 +1,110 @@
+//! The pseudo-graph decode step: Cypher source → triples.
+//!
+//! This is the paper's step 1 back-end: "we run the Cypher queries on
+//! Neo4j and decode them into the form of triples".
+
+use crate::error::Result;
+use crate::exec::build_graph;
+use kgstore::StrTriple;
+
+/// Run a `CREATE`-only script and decode the resulting property graph
+/// into `<s> <p> <o>` triples (the pseudo-graph `G_p`).
+pub fn decode_script(src: &str) -> Result<Vec<StrTriple>> {
+    Ok(build_graph(src)?.decode_triples())
+}
+
+/// Like [`decode_script`] but tolerant: fenced code blocks and prose
+/// around the Cypher are stripped first, the way one has to clean real
+/// LLM output before running it.
+pub fn decode_llm_output(raw: &str) -> Result<Vec<StrTriple>> {
+    decode_script(&extract_cypher(raw))
+}
+
+/// Heuristically extract Cypher statements from raw LLM output:
+/// * contents of ```cypher fenced blocks if present, else
+/// * every line starting with `CREATE`/`MATCH`/`//` or continuing an
+///   open statement.
+pub fn extract_cypher(raw: &str) -> String {
+    // Fenced block path.
+    if let Some(start) = raw.find("```") {
+        let after = &raw[start + 3..];
+        let body_start = after.find('\n').map(|i| i + 1).unwrap_or(0);
+        let body = &after[body_start..];
+        if let Some(end) = body.find("```") {
+            return body[..end].trim().to_string();
+        }
+    }
+    // Line-filter path.
+    let mut out = String::new();
+    let mut open_parens: i64 = 0;
+    for line in raw.lines() {
+        let trimmed = line.trim_start();
+        let is_stmt = trimmed.to_ascii_uppercase().starts_with("CREATE")
+            || trimmed.to_ascii_uppercase().starts_with("MATCH")
+            || trimmed.starts_with("//");
+        if is_stmt || open_parens > 0 {
+            out.push_str(line);
+            out.push('\n');
+            for c in line.chars() {
+                match c {
+                    '(' | '{' | '[' => open_parens += 1,
+                    ')' | '}' | ']' => open_parens -= 1,
+                    _ => {}
+                }
+            }
+            open_parens = open_parens.max(0);
+        }
+    }
+    out.trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_plain_script() {
+        let triples = decode_script(
+            "CREATE (a:Lake {name: \"Lake Superior\", area: 82000})",
+        )
+        .unwrap();
+        assert_eq!(triples, vec![StrTriple::new("Lake Superior", "area", "82000")]);
+    }
+
+    #[test]
+    fn extracts_fenced_block() {
+        let raw = "Here's a knowledge graph:\n```cypher\nCREATE (a {name: \"X\"})\n```\nDone.";
+        assert_eq!(extract_cypher(raw), "CREATE (a {name: \"X\"})");
+    }
+
+    #[test]
+    fn extracts_bare_statements_between_prose() {
+        let raw = "To answer this, I need:\nCREATE (a {name: \"X\"})\nThat should work.";
+        assert_eq!(extract_cypher(raw), "CREATE (a {name: \"X\"})");
+    }
+
+    #[test]
+    fn keeps_multiline_statements() {
+        let raw = "CREATE (a {name: \"X\",\n  area: 5})\nunrelated prose";
+        let got = extract_cypher(raw);
+        assert!(got.contains("area: 5"));
+        assert!(!got.contains("unrelated"));
+    }
+
+    #[test]
+    fn decode_llm_output_end_to_end() {
+        let raw = "Sure! Here's the graph:\n\
+                   CREATE (andes:MountainRange {name: \"Andes\"})\n\
+                   CREATE (andes)-[:COVERS]->(peru:Country {name: \"Peru\"})\n\
+                   Hope this helps!";
+        let triples = decode_llm_output(raw).unwrap();
+        assert_eq!(triples, vec![StrTriple::new("Andes", "COVERS", "Peru")]);
+    }
+
+    #[test]
+    fn spurious_match_surfaces_as_error() {
+        let raw = "MATCH (a:Lake) RETURN a";
+        let err = decode_llm_output(raw).unwrap_err();
+        assert!(err.is_spurious_match());
+    }
+}

@@ -1,0 +1,408 @@
+//! Tokenizer for the Cypher subset.
+
+use crate::error::{CypherError, Pos, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Tok {
+    /// Keyword `CREATE` (case-insensitive in source).
+    Create,
+    /// Keyword `MATCH`.
+    Match,
+    /// Keyword `RETURN`.
+    Return,
+    /// Keyword `WHERE`.
+    Where,
+    /// Keyword `MERGE`.
+    Merge,
+    /// Keyword `AND`.
+    And,
+    /// Identifier (variable, label, relationship type, property key).
+    Ident(String),
+    /// String literal (single- or double-quoted in source).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `-`
+    Dash,
+    /// `->`
+    Arrow,
+    /// `<-` (reversed relationship head)
+    BackArrow,
+    /// `=`
+    Eq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Create => write!(f, "CREATE"),
+            Tok::Match => write!(f, "MATCH"),
+            Tok::Return => write!(f, "RETURN"),
+            Tok::Where => write!(f, "WHERE"),
+            Tok::Merge => write!(f, "MERGE"),
+            Tok::And => write!(f, "AND"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Bool(b) => write!(f, "{b}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Dash => write!(f, "-"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::BackArrow => write!(f, "<-"),
+            Tok::Eq => write!(f, "="),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenize a whole script. `//` line comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($tok:expr, $off:expr) => {
+            toks.push(Spanned { tok: $tok, pos: Pos { offset: $off, line } })
+        };
+    }
+
+    while i < bytes.len() {
+        // Decode the full char: classifying by first byte would mislabel
+        // multibyte characters (e.g. NBSP) and stall the loop.
+        let c = src[i..].chars().next().expect("i is on a char boundary");
+        let start = i;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += c.len_utf8(),
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Tok::LParen, start);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen, start);
+                i += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace, start);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace, start);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket, start);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket, start);
+                i += 1;
+            }
+            ':' => {
+                push!(Tok::Colon, start);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, start);
+                i += 1;
+            }
+            '.' => {
+                push!(Tok::Dot, start);
+                i += 1;
+            }
+            '=' => {
+                push!(Tok::Eq, start);
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(Tok::Arrow, start);
+                    i += 2;
+                } else if bytes[i + 1..].first().is_some_and(|b| b.is_ascii_digit()) {
+                    // negative number literal
+                    let (tok, len) = lex_number(&src[i..], true).map_err(|msg| CypherError::Lex {
+                        pos: Pos { offset: start, line },
+                        msg,
+                    })?;
+                    push!(tok, start);
+                    i += len;
+                } else {
+                    push!(Tok::Dash, start);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    push!(Tok::BackArrow, start);
+                    i += 2;
+                } else {
+                    return Err(CypherError::Lex {
+                        pos: Pos { offset: start, line },
+                        msg: "unexpected '<'".into(),
+                    });
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < bytes.len() {
+                    let ch = src[j..].chars().next().unwrap();
+                    if ch == quote {
+                        closed = true;
+                        j += 1;
+                        break;
+                    }
+                    if ch == '\\' && j + 1 < bytes.len() {
+                        let esc = src[j + 1..].chars().next().unwrap();
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                        j += 1 + esc.len_utf8();
+                    } else {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        s.push(ch);
+                        j += ch.len_utf8();
+                    }
+                }
+                if !closed {
+                    return Err(CypherError::Lex {
+                        pos: Pos { offset: start, line },
+                        msg: "unterminated string literal".into(),
+                    });
+                }
+                push!(Tok::Str(s), start);
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, len) = lex_number(&src[i..], false).map_err(|msg| CypherError::Lex {
+                    pos: Pos { offset: start, line },
+                    msg,
+                })?;
+                push!(tok, start);
+                i += len;
+            }
+            c if c.is_alphanumeric() && !c.is_ascii() => {
+                // Non-ASCII alphanumerics start identifiers too.
+                let mut j = i;
+                while j < bytes.len() {
+                    let ch = src[j..].chars().next().unwrap();
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Ident(src[i..j].to_string()), start);
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let ch = src[j..].chars().next().unwrap();
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[i..j];
+                let tok = match word.to_ascii_uppercase().as_str() {
+                    "CREATE" => Tok::Create,
+                    "MATCH" => Tok::Match,
+                    "RETURN" => Tok::Return,
+                    "WHERE" => Tok::Where,
+                    "MERGE" => Tok::Merge,
+                    "AND" => Tok::And,
+                    "TRUE" => Tok::Bool(true),
+                    "FALSE" => Tok::Bool(false),
+                    _ => Tok::Ident(word.to_string()),
+                };
+                push!(tok, start);
+                i = j;
+            }
+            other => {
+                let _ = other.len_utf8();
+                return Err(CypherError::Lex {
+                    pos: Pos { offset: start, line },
+                    msg: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { offset: src.len(), line },
+    });
+    Ok(toks)
+}
+
+/// Lex a number starting at the beginning of `rest`. Returns the token and
+/// consumed byte length. `neg` means a leading '-' is present.
+fn lex_number(rest: &str, neg: bool) -> std::result::Result<(Tok, usize), String> {
+    let bytes = rest.as_bytes();
+    let mut j = usize::from(neg); // skip '-'
+    let digits_start = j;
+    while j < bytes.len() && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    if j == digits_start {
+        return Err("expected digits".into());
+    }
+    let mut is_float = false;
+    if j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+        is_float = true;
+        j += 1;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    let text = &rest[..j];
+    if is_float {
+        text.parse::<f64>()
+            .map(|f| (Tok::Float(f), j))
+            .map_err(|e| e.to_string())
+    } else {
+        text.parse::<i64>()
+            .map(|i| (Tok::Int(i), j))
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_create_node() {
+        let t = toks("CREATE (superior:Lake {name: 'Lake Superior', area: 82000})");
+        assert_eq!(t[0], Tok::Create);
+        assert!(t.contains(&Tok::Ident("superior".into())));
+        assert!(t.contains(&Tok::Str("Lake Superior".into())));
+        assert!(t.contains(&Tok::Int(82000)));
+        assert_eq!(*t.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn lexes_relationship_arrow() {
+        let t = toks("CREATE (a)-[:COVERS]->(b)");
+        assert!(t.contains(&Tok::Arrow));
+        assert!(t.contains(&Tok::LBracket));
+        assert!(t.contains(&Tok::Ident("COVERS".into())));
+    }
+
+    #[test]
+    fn lexes_back_arrow() {
+        let t = toks("(a)<-[:IN]-(b)");
+        assert!(t.contains(&Tok::BackArrow));
+        assert!(t.contains(&Tok::Dash));
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let spanned = lex("// Create Great Lakes nodes\nCREATE (x)").unwrap();
+        assert_eq!(spanned[0].tok, Tok::Create);
+        assert_eq!(spanned[0].pos.line, 2);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("12")[0], Tok::Int(12));
+        assert_eq!(toks("12.5")[0], Tok::Float(12.5));
+        assert_eq!(toks("-3")[0], Tok::Int(-3));
+        assert_eq!(toks("-3.25")[0], Tok::Float(-3.25));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(toks("create")[0], Tok::Create);
+        assert_eq!(toks("Match")[0], Tok::Match);
+        assert_eq!(toks("true")[0], Tok::Bool(true));
+    }
+
+    #[test]
+    fn double_and_single_quotes() {
+        assert_eq!(toks("\"a b\"")[0], Tok::Str("a b".into()));
+        assert_eq!(toks("'a b'")[0], Tok::Str("a b".into()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\"b""#)[0], Tok::Str("a\"b".into()));
+        assert_eq!(toks(r#""a\nb""#)[0], Tok::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("\"oops"), Err(CypherError::Lex { .. })));
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(matches!(lex("CREATE @"), Err(CypherError::Lex { .. })));
+    }
+}

@@ -1,0 +1,409 @@
+//! Recursive-descent parser for the Cypher subset.
+
+use crate::ast::*;
+use crate::error::{CypherError, Pos, Result};
+use crate::lexer::{lex, Spanned, Tok};
+use kgstore::Value;
+
+/// Parse a full script.
+pub fn parse(src: &str) -> Result<Script> {
+    let toks = lex(src)?;
+    Parser { toks, i: 0 }.script()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<()> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> CypherError {
+        CypherError::Parse {
+            pos: self.pos(),
+            expected: expected.to_string(),
+            found: self.peek().to_string(),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn script(&mut self) -> Result<Script> {
+        let mut statements = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Create => {
+                    self.bump();
+                    statements.push(Statement::Create(self.pattern_list()?));
+                }
+                Tok::Merge => {
+                    self.bump();
+                    statements.push(Statement::Merge(self.pattern_list()?));
+                }
+                Tok::Match => {
+                    self.bump();
+                    let patterns = self.pattern_list()?;
+                    let mut conditions = Vec::new();
+                    if *self.peek() == Tok::Where {
+                        self.bump();
+                        loop {
+                            let var = self.ident("condition variable")?;
+                            self.expect(&Tok::Dot, "'.'")?;
+                            let prop = self.ident("property name")?;
+                            self.expect(&Tok::Eq, "'='")?;
+                            let value = self.value()?;
+                            conditions.push(Condition { var, prop, value });
+                            if *self.peek() == Tok::And {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    let mut returns = Vec::new();
+                    if *self.peek() == Tok::Return {
+                        self.bump();
+                        loop {
+                            let var = self.ident("return variable")?;
+                            let prop = if *self.peek() == Tok::Dot {
+                                self.bump();
+                                Some(self.ident("property name")?)
+                            } else {
+                                None
+                            };
+                            returns.push(ReturnItem { var, prop });
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    statements.push(Statement::Match { patterns, conditions, returns });
+                }
+                _ => return Err(self.unexpected("CREATE, MERGE, or MATCH")),
+            }
+        }
+        Ok(Script { statements })
+    }
+
+    /// One or more comma-separated path patterns. A comma is only a
+    /// pattern separator when followed by `(`; this keeps statements like
+    /// `CREATE (a), (b)` working while not requiring commas between
+    /// statements.
+    fn pattern_list(&mut self) -> Result<Vec<PathPattern>> {
+        let mut out = vec![self.path_pattern()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            out.push(self.path_pattern()?);
+        }
+        Ok(out)
+    }
+
+    fn path_pattern(&mut self) -> Result<PathPattern> {
+        let start = self.node_pattern()?;
+        let mut hops = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Dash => {
+                    self.bump();
+                    let rel = self.rel_body(Direction::Out)?;
+                    // after `]` expect `->` (directed) or `-` (we treat
+                    // undirected as Out; LLM output is always directed)
+                    match self.bump() {
+                        Tok::Arrow => {}
+                        Tok::Dash => {}
+                        _ => {
+                            self.i -= 1;
+                            return Err(self.unexpected("'->' or '-'"));
+                        }
+                    }
+                    let node = self.node_pattern()?;
+                    hops.push((rel, node));
+                }
+                Tok::BackArrow => {
+                    self.bump();
+                    let rel = self.rel_body(Direction::In)?;
+                    self.expect(&Tok::Dash, "'-'")?;
+                    let node = self.node_pattern()?;
+                    hops.push((rel, node));
+                }
+                _ => break,
+            }
+        }
+        Ok(PathPattern { start, hops })
+    }
+
+    /// Parse `[var:TYPE {props}]` (the brackets included); direction is
+    /// supplied by the caller.
+    fn rel_body(&mut self, direction: Direction) -> Result<RelPattern> {
+        self.expect(&Tok::LBracket, "'['")?;
+        let mut rel = RelPattern {
+            var: None,
+            rel_type: None,
+            props: Vec::new(),
+            direction,
+        };
+        if let Tok::Ident(v) = self.peek().clone() {
+            rel.var = Some(v);
+            self.bump();
+        }
+        if *self.peek() == Tok::Colon {
+            self.bump();
+            rel.rel_type = Some(self.ident("relationship type")?);
+        }
+        if *self.peek() == Tok::LBrace {
+            rel.props = self.prop_map()?;
+        }
+        self.expect(&Tok::RBracket, "']'")?;
+        Ok(rel)
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern> {
+        self.expect(&Tok::LParen, "'('")?;
+        let mut node = NodePattern::default();
+        if let Tok::Ident(v) = self.peek().clone() {
+            node.var = Some(v);
+            self.bump();
+        }
+        while *self.peek() == Tok::Colon {
+            self.bump();
+            node.labels.push(self.ident("label")?);
+        }
+        if *self.peek() == Tok::LBrace {
+            node.props = self.prop_map()?;
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(node)
+    }
+
+    fn prop_map(&mut self) -> Result<Vec<(String, Value)>> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut props = Vec::new();
+        if *self.peek() != Tok::RBrace {
+            loop {
+                let key = self.ident("property key")?;
+                self.expect(&Tok::Colon, "':'")?;
+                let value = self.value()?;
+                props.push((key, value));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        Ok(props)
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek().clone() {
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Value::Str(s))
+            }
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Value::Int(i))
+            }
+            Tok::Float(f) => {
+                self.bump();
+                Ok(Value::Float(f))
+            }
+            Tok::Bool(b) => {
+                self.bump();
+                Ok(Value::Bool(b))
+            }
+            // Bare identifiers as values (LLMs write {name: Peru}
+            // occasionally); treat as string.
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Value::Str(s))
+            }
+            _ => Err(self.unexpected("a literal value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_nodes() {
+        let src = "// Create Great Lakes nodes\n\
+                   CREATE (superior:Lake {name: 'Lake Superior', area: 82000})\n\
+                   CREATE (michigan:Lake {name: 'Lake Michigan', area: 58000})";
+        let script = parse(src).unwrap();
+        assert_eq!(script.statements.len(), 2);
+        match &script.statements[0] {
+            Statement::Create(p) => {
+                assert_eq!(p[0].start.var.as_deref(), Some("superior"));
+                assert_eq!(p[0].start.labels, ["Lake"]);
+                assert_eq!(p[0].start.props.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_example_relationship_chain() {
+        let src = "CREATE (andes)-[:COVERS]->(ecuador:Country {name: \"Ecuador\"})";
+        let script = parse(src).unwrap();
+        match &script.statements[0] {
+            Statement::Create(p) => {
+                assert_eq!(p[0].hops.len(), 1);
+                let (rel, node) = &p[0].hops[0];
+                assert_eq!(rel.rel_type.as_deref(), Some("COVERS"));
+                assert_eq!(rel.direction, Direction::Out);
+                assert_eq!(node.labels, ["Country"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_hop_path() {
+        let src = "CREATE (a)-[:R1]->(b)-[:R2]->(c)";
+        let script = parse(src).unwrap();
+        match &script.statements[0] {
+            Statement::Create(p) => assert_eq!(p[0].hops.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_incoming_relationship() {
+        let src = "CREATE (a)<-[:IN]-(b)";
+        let script = parse(src).unwrap();
+        match &script.statements[0] {
+            Statement::Create(p) => {
+                assert_eq!(p[0].hops[0].0.direction, Direction::In);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_comma_separated_patterns() {
+        let src = "CREATE (a:X), (b:Y), (a)-[:R]->(b)";
+        let script = parse(src).unwrap();
+        match &script.statements[0] {
+            Statement::Create(p) => assert_eq!(p.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_match_return() {
+        let src = "MATCH (x:Lake) RETURN x.name, x";
+        let script = parse(src).unwrap();
+        match &script.statements[0] {
+            Statement::Match { patterns, conditions: _, returns } => {
+                assert_eq!(patterns.len(), 1);
+                assert_eq!(returns.len(), 2);
+                assert_eq!(returns[0].prop.as_deref(), Some("name"));
+                assert_eq!(returns[1].prop, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_merge() {
+        let script = parse("MERGE (a:Lake {name: \"Lake Erie\"})").unwrap();
+        assert!(matches!(&script.statements[0], Statement::Merge(p) if p.len() == 1));
+    }
+
+    #[test]
+    fn parses_where_conditions() {
+        let script = parse("MATCH (x:Lake) WHERE x.area = 82000 AND x.name = \"Erie\" RETURN x").unwrap();
+        match &script.statements[0] {
+            Statement::Match { conditions, .. } => {
+                assert_eq!(conditions.len(), 2);
+                assert_eq!(conditions[0].prop, "area");
+                assert_eq!(conditions[1].value, Value::Str("Erie".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse("CREATE superior:Lake").is_err());
+        assert!(parse("CREATE (a").is_err());
+        assert!(parse("(a)").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("CREATE (a:Lake {name: })").unwrap_err();
+        match err {
+            CypherError::Parse { expected, .. } => assert!(expected.contains("literal")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_ident_value_becomes_string() {
+        let script = parse("CREATE (a {name: Peru})").unwrap();
+        match &script.statements[0] {
+            Statement::Create(p) => {
+                assert_eq!(p[0].start.props[0].1, Value::Str("Peru".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let srcs = [
+            "CREATE (superior:Lake {name: \"Lake Superior\", area: 82000})",
+            "CREATE (a)-[:COVERS]->(b:Country {name: \"Peru\"})-[:IN]->(c)",
+            "MATCH (x:Lake) RETURN x.name",
+            "CREATE (a:X), (b:Y {w: 2.5}), (a)-[:R {since: 1990}]->(b)",
+            "MERGE (a:Lake {name: \"Erie\"})",
+            "MATCH (x:Lake) WHERE x.area = 82000 RETURN x.name",
+        ];
+        for src in srcs {
+            let ast = parse(src).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(ast, reparsed, "roundtrip failed for {src}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the Cypher engine: the pretty-printer and
+//! parser form a fixpoint, and execution is total on printed scripts.
+
+use cypher::{
+    parse, Direction, Executor, Mode, NodePattern, PathPattern, RelPattern, Script, Statement,
+};
+use kgstore::Value;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Str),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1000i32..1000, 1u32..100).prop_map(|(a, b)| Value::Float(a as f64 + b as f64 / 100.0)),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn node_pattern() -> impl Strategy<Value = NodePattern> {
+    (
+        proptest::option::of(ident()),
+        proptest::collection::vec("[A-Z][a-zA-Z]{0,6}", 0..2),
+        proptest::collection::vec((ident(), value()), 0..3),
+    )
+        .prop_map(|(var, labels, props)| NodePattern { var, labels, props })
+}
+
+fn rel_pattern() -> impl Strategy<Value = RelPattern> {
+    (
+        proptest::option::of("[A-Z_]{1,8}"),
+        prop_oneof![Just(Direction::Out), Just(Direction::In)],
+        proptest::collection::vec((ident(), value()), 0..2),
+    )
+        .prop_map(|(rel_type, direction, props)| RelPattern {
+            var: None,
+            rel_type,
+            props,
+            direction,
+        })
+}
+
+fn path_pattern() -> impl Strategy<Value = PathPattern> {
+    (
+        node_pattern(),
+        proptest::collection::vec((rel_pattern(), node_pattern()), 0..3),
+    )
+        .prop_map(|(start, hops)| PathPattern { start, hops })
+}
+
+fn create_script() -> impl Strategy<Value = Script> {
+    proptest::collection::vec(
+        proptest::collection::vec(path_pattern(), 1..3).prop_map(Statement::Create),
+        1..4,
+    )
+    .prop_map(|statements| Script { statements })
+}
+
+proptest! {
+    /// print → parse is the identity on ASTs.
+    #[test]
+    fn print_parse_fixpoint(script in create_script()) {
+        let printed = script.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed script failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(script, reparsed);
+    }
+
+    /// Executing any printed CREATE script succeeds, and node count never
+    /// exceeds the number of node patterns.
+    #[test]
+    fn execution_is_total_on_create_scripts(script in create_script()) {
+        let printed = script.to_string();
+        let parsed = parse(&printed).unwrap();
+        let mut exec = Executor::new();
+        exec.run(&parsed, Mode::CreateOnly).expect("CREATE scripts always execute");
+        let node_patterns: usize = parsed
+            .statements
+            .iter()
+            .map(|s| match s {
+                Statement::Create(paths) => {
+                    paths.iter().map(|p| 1 + p.hops.len()).sum::<usize>()
+                }
+                _ => 0,
+            })
+            .sum();
+        prop_assert!(exec.graph().node_count() <= node_patterns);
+        // Decoding never panics.
+        let _ = exec.graph().decode_triples();
+    }
+
+    /// The lexer+parser never panic on arbitrary input (errors are Err).
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// MATCH in CreateOnly mode is always the spurious-match error.
+    #[test]
+    fn match_always_rejected_in_create_only(var in ident()) {
+        let src = format!("MATCH ({var}) RETURN {var}");
+        let parsed = parse(&src).unwrap();
+        let mut exec = Executor::new();
+        let err = exec.run(&parsed, Mode::CreateOnly).unwrap_err();
+        prop_assert!(err.is_spurious_match());
+    }
+}

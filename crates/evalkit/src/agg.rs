@@ -1,0 +1,86 @@
+//! Aggregation helpers: mean, standard deviation, and bootstrap-style
+//! confidence bands over per-question scores.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a score series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarise a slice of scores.
+pub fn summarize(scores: &[f64]) -> Summary {
+    if scores.is_empty() {
+        return Summary::default();
+    }
+    let n = scores.len();
+    let mean = scores.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        scores.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &s in scores {
+        min = min.min(s);
+        max = max.max(s);
+    }
+    Summary { n, mean, std_dev: var.sqrt(), min, max }
+}
+
+/// Standard error of the mean.
+pub fn std_error(s: &Summary) -> f64 {
+    if s.n == 0 {
+        0.0
+    } else {
+        s.std_dev / (s.n as f64).sqrt()
+    }
+}
+
+/// A deterministic "bootstrap" 95% band using the normal approximation
+/// (±1.96·SE). Deterministic by construction — no resampling RNG needed
+/// at these sample sizes.
+pub fn confidence95(s: &Summary) -> (f64, f64) {
+    let half = 1.96 * std_error(s);
+    (s.mean - half, s.mean + half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - 1.2909944).abs() < 1e-6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(summarize(&[]), Summary::default());
+        let one = summarize(&[5.0]);
+        assert_eq!(one.std_dev, 0.0);
+        assert_eq!(one.mean, 5.0);
+    }
+
+    #[test]
+    fn confidence_band_contains_mean() {
+        let s = summarize(&[10.0, 12.0, 11.0, 9.0, 13.0]);
+        let (lo, hi) = confidence95(&s);
+        assert!(lo < s.mean && s.mean < hi);
+    }
+}

@@ -1,0 +1,98 @@
+//! Hit@1 — the accuracy metric for precise question answering
+//! (SimpleQuestions and QALD-10 in the paper).
+
+use crate::normalize::contains_phrase;
+use serde::{Deserialize, Serialize};
+
+/// Whether a single answer hits any accepted gold surface form.
+///
+/// The answer counts as a hit if any accepted form appears in it as a
+/// whole phrase (models answer in sentences: "Yao Ming was born in
+/// Shanghai." hits gold "Shanghai").
+pub fn is_hit(answer: &str, accepted: &[String]) -> bool {
+    accepted.iter().any(|g| contains_phrase(answer, g))
+}
+
+/// Running Hit@1 accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HitAccumulator {
+    /// Questions scored.
+    pub total: usize,
+    /// Questions answered correctly.
+    pub hits: usize,
+}
+
+impl HitAccumulator {
+    /// Record one scored answer.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        self.hits += usize::from(hit);
+    }
+
+    /// Accuracy in percent (the paper reports e.g. `48.6`).
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &HitAccumulator) {
+        self.total += other.total;
+        self.hits += other.hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn exact_hit() {
+        assert!(is_hit("Shanghai", &acc(&["Shanghai"])));
+    }
+
+    #[test]
+    fn sentence_hit() {
+        assert!(is_hit(
+            "Based on the graph, Yao Ming was born in Shanghai.",
+            &acc(&["Shanghai"])
+        ));
+    }
+
+    #[test]
+    fn alias_hit() {
+        assert!(is_hit("He works for TS now", &acc(&["Tekna Systems", "TS"])));
+    }
+
+    #[test]
+    fn miss() {
+        assert!(!is_hit("Beijing", &acc(&["Shanghai"])));
+        assert!(!is_hit("", &acc(&["Shanghai"])));
+    }
+
+    #[test]
+    fn accumulator_percent() {
+        let mut a = HitAccumulator::default();
+        for hit in [true, true, false, true] {
+            a.record(hit);
+        }
+        assert_eq!(a.total, 4);
+        assert!((a.percent() - 75.0).abs() < 1e-12);
+        assert_eq!(HitAccumulator::default().percent(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = HitAccumulator { total: 2, hits: 1 };
+        a.merge(&HitAccumulator { total: 2, hits: 2 });
+        assert_eq!(a.total, 4);
+        assert_eq!(a.hits, 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! # evalkit — metrics and reporting
+//!
+//! Scoring machinery for the reproduction: SQuAD-style answer
+//! normalisation, Hit@1 (SimpleQuestions / QALD-10), ROUGE-L with
+//! multi-reference max (Nature Questions), aggregation statistics, the
+//! paper's four-stage error taxonomy, and ASCII table rendering for the
+//! paper-vs-measured reports.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod errors;
+pub mod hit;
+pub mod normalize;
+pub mod rouge;
+pub mod table;
+
+pub use agg::{confidence95, std_error, summarize, Summary};
+pub use errors::{ErrorStage, ErrorTally};
+pub use hit::{is_hit, HitAccumulator};
+pub use normalize::{answer_tokens, contains_phrase, normalize_answer};
+pub use rouge::{lcs_len, rouge_l, rouge_l_multi, Prf, RougeAccumulator};
+pub use table::{Cell, Table};

@@ -1,0 +1,83 @@
+//! Answer normalisation shared by all metrics: lowercase, strip
+//! punctuation and articles, collapse whitespace — the standard QA
+//! normalisation recipe (SQuAD-style), which both Hit@1 and ROUGE
+//! tokenisation build on.
+
+/// Normalise a free-form answer string.
+pub fn normalize_answer(s: &str) -> String {
+    let lowered = s.to_lowercase();
+    let mut out = String::with_capacity(lowered.len());
+    for ch in lowered.chars() {
+        if ch.is_alphanumeric() {
+            out.push(ch);
+        } else if !out.ends_with(' ') {
+            out.push(' ');
+        }
+    }
+    // Strip articles as whole words.
+    let filtered: Vec<&str> = out
+        .split_whitespace()
+        .filter(|w| !matches!(*w, "a" | "an" | "the"))
+        .collect();
+    filtered.join(" ")
+}
+
+/// Word tokens of a normalised answer.
+pub fn answer_tokens(s: &str) -> Vec<String> {
+    normalize_answer(s)
+        .split_whitespace()
+        .map(|w| w.to_string())
+        .collect()
+}
+
+/// Whether `answer` contains `gold` as a whole-word phrase after
+/// normalisation ("the Meridian Prize." contains "Meridian Prize").
+pub fn contains_phrase(answer: &str, gold: &str) -> bool {
+    let a = normalize_answer(answer);
+    let g = normalize_answer(gold);
+    if g.is_empty() {
+        return false;
+    }
+    if a == g {
+        return true;
+    }
+    // Whole-word containment: pad with spaces.
+    let padded = format!(" {a} ");
+    padded.contains(&format!(" {g} "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_strips_punctuation() {
+        assert_eq!(normalize_answer("Shanghai!"), "shanghai");
+        assert_eq!(normalize_answer("The  Meridian   Prize."), "meridian prize");
+    }
+
+    #[test]
+    fn strips_articles_only_as_words() {
+        assert_eq!(normalize_answer("the theater"), "theater");
+        assert_eq!(normalize_answer("An anthem"), "anthem");
+    }
+
+    #[test]
+    fn tokens() {
+        assert_eq!(answer_tokens("The Last Horizon"), ["last", "horizon"]);
+    }
+
+    #[test]
+    fn phrase_containment() {
+        assert!(contains_phrase("I believe it is Shanghai, China.", "Shanghai"));
+        assert!(contains_phrase("the Meridian Prize", "Meridian Prize"));
+        assert!(!contains_phrase("Port Marina", "Port Mar"));
+        assert!(!contains_phrase("", "x"));
+        assert!(!contains_phrase("something", ""));
+    }
+
+    #[test]
+    fn unicode_normalisation() {
+        assert_eq!(normalize_answer("Kovács, Kati"), "kovács kati");
+    }
+}

@@ -1,0 +1,174 @@
+//! ROUGE-L (Lin, 2004) — LCS-based recall/precision/F1 over word
+//! tokens, with multi-reference max, as used for the paper's Nature
+//! Questions evaluation (ROUGE-L-f1).
+
+use crate::normalize::answer_tokens;
+use serde::{Deserialize, Serialize};
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Prf {
+    /// LCS / candidate length.
+    pub precision: f64,
+    /// LCS / reference length.
+    pub recall: f64,
+    /// Harmonic mean (β = 1).
+    pub f1: f64,
+}
+
+/// Length of the longest common subsequence between two token slices.
+///
+/// Classic O(n·m) dynamic program with a rolling row (O(min) memory).
+pub fn lcs_len(a: &[String], b: &[String]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    // Keep the shorter sequence as the row for memory locality.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut prev = vec![0usize; short.len() + 1];
+    let mut cur = vec![0usize; short.len() + 1];
+    for x in long {
+        for (j, y) in short.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// ROUGE-L between a candidate and one reference (token-level).
+pub fn rouge_l(candidate: &str, reference: &str) -> Prf {
+    let c = answer_tokens(candidate);
+    let r = answer_tokens(reference);
+    if c.is_empty() || r.is_empty() {
+        return Prf::default();
+    }
+    let lcs = lcs_len(&c, &r) as f64;
+    let precision = lcs / c.len() as f64;
+    let recall = lcs / r.len() as f64;
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Prf { precision, recall, f1 }
+}
+
+/// Multi-reference ROUGE-L: the best F1 over all references (standard
+/// multi-reference handling; the paper's three hand-written answers).
+pub fn rouge_l_multi(candidate: &str, references: &[String]) -> Prf {
+    references
+        .iter()
+        .map(|r| rouge_l(candidate, r))
+        .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap_or(std::cmp::Ordering::Equal))
+        .unwrap_or_default()
+}
+
+/// Running mean of F1 scores (reported as percent, e.g. `37.5`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RougeAccumulator {
+    /// Scored answers.
+    pub total: usize,
+    /// Sum of F1 values.
+    pub f1_sum: f64,
+}
+
+impl RougeAccumulator {
+    /// Record one scored answer.
+    pub fn record(&mut self, prf: Prf) {
+        self.total += 1;
+        self.f1_sum += prf.f1;
+    }
+
+    /// Mean F1 in percent.
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.f1_sum / self.total as f64
+        }
+    }
+
+    /// Merge another accumulator.
+    pub fn merge(&mut self, other: &RougeAccumulator) {
+        self.total += other.total;
+        self.f1_sum += other.f1_sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn lcs_basic() {
+        assert_eq!(lcs_len(&toks("a b c d"), &toks("a c d")), 3);
+        assert_eq!(lcs_len(&toks("a b c"), &toks("x y z")), 0);
+        assert_eq!(lcs_len(&toks("a b c"), &toks("a b c")), 3);
+        assert_eq!(lcs_len(&[], &toks("a")), 0);
+    }
+
+    #[test]
+    fn lcs_respects_order() {
+        // "c a" vs "a c": LCS is 1, not 2.
+        assert_eq!(lcs_len(&toks("c a"), &toks("a c")), 1);
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        let p = rouge_l("Norland and Velia", "Norland and Velia");
+        assert!((p.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        let p = rouge_l("alpha beta", "gamma delta");
+        assert_eq!(p.f1, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // candidate covers half the reference tokens.
+        let p = rouge_l("Norland", "Norland Velia");
+        assert!(p.recall > 0.4 && p.recall < 0.6);
+        assert!((p.precision - 1.0).abs() < 1e-12);
+        assert!(p.f1 > 0.6 && p.f1 < 0.7);
+    }
+
+    #[test]
+    fn multi_reference_takes_best() {
+        let refs = vec!["completely different words".to_string(), "Norland Velia".to_string()];
+        let p = rouge_l_multi("Norland Velia", &refs);
+        assert!((p.f1 - 1.0).abs() < 1e-12);
+        assert_eq!(rouge_l_multi("x", &[]).f1, 0.0);
+    }
+
+    #[test]
+    fn normalisation_applies() {
+        // Case and punctuation must not matter.
+        let p = rouge_l("The answer is NORLAND!", "the answer is Norland");
+        assert!((p.f1 - 1.0).abs() < 1e-12, "{p:?}");
+    }
+
+    #[test]
+    fn accumulator_mean() {
+        let mut acc = RougeAccumulator::default();
+        acc.record(Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+        acc.record(Prf::default());
+        assert!((acc.percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_candidate_scores_zero() {
+        assert_eq!(rouge_l("", "reference text").f1, 0.0);
+        assert_eq!(rouge_l("candidate", "").f1, 0.0);
+    }
+}

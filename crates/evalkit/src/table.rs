@@ -1,0 +1,150 @@
+//! ASCII table rendering for the reproduction reports, matching the
+//! layout of the paper's tables (rows = methods, columns = datasets).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A cell: either a measured value, a paper-vs-measured pair, text, or
+/// absent (the paper's `-`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// Just a number, rendered with one decimal.
+    Value(f64),
+    /// `paper → measured` comparison.
+    PaperVsMeasured {
+        /// Value reported in the paper.
+        paper: f64,
+        /// Value we measured.
+        measured: f64,
+    },
+    /// Free text.
+    Text(String),
+    /// Missing (`-`).
+    Absent,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Value(v) => format!("{v:.1}"),
+            Cell::PaperVsMeasured { paper, measured } => {
+                format!("{paper:.1} / {measured:.1}")
+            }
+            Cell::Text(t) => t.clone(),
+            Cell::Absent => "-".to_string(),
+        }
+    }
+}
+
+/// A simple table builder.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub headers: Vec<String>,
+    /// Rows: label + cells.
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+impl Table {
+    /// Start a table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<Cell>) -> &mut Self {
+        self.rows.push((label.into(), cells));
+        self
+    }
+
+    /// Render to an ASCII string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        // Compute column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for (label, cells) in &self.rows {
+            widths[0] = widths[0].max(label.len());
+            for (i, c) in cells.iter().enumerate() {
+                if i + 1 < ncols {
+                    widths[i + 1] = widths[i + 1].max(c.render().len());
+                }
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let sep = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        out.push('|');
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(out, " {h:<w$} |");
+        }
+        out.push('\n');
+        sep(&mut out);
+        for (label, cells) in &self.rows {
+            out.push('|');
+            let _ = write!(out, " {label:<w$} |", w = widths[0]);
+            for (w, cell) in widths[1..ncols].iter().zip(
+                cells
+                    .iter()
+                    .map(Some)
+                    .chain(std::iter::repeat(None)),
+            ) {
+                let text = cell.map_or_else(String::new, |c| c.render());
+                let _ = write!(out, " {text:<w$} |", w = w);
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Main results", &["Method", "SimpleQuestions", "QALD-10"]);
+        t.row("IO", vec![Cell::Value(20.2), Cell::Value(38.7)]);
+        t.row("Ours", vec![Cell::PaperVsMeasured { paper: 34.3, measured: 33.9 }, Cell::Absent]);
+        let s = t.render();
+        assert!(s.contains("Main results"));
+        assert!(s.contains("20.2"));
+        assert!(s.contains("34.3 / 33.9"));
+        assert!(s.contains("| -"));
+        // Every data line has the same length.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let len = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == len), "{s}");
+    }
+
+    #[test]
+    fn cell_rendering() {
+        assert_eq!(Cell::Value(48.62).render(), "48.6");
+        assert_eq!(Cell::Absent.render(), "-");
+        assert_eq!(Cell::Text("x".into()).render(), "x");
+    }
+
+    #[test]
+    fn short_rows_render_empty_cells() {
+        let mut t = Table::new("t", &["a", "b", "c"]);
+        t.row("r", vec![Cell::Value(1.0)]);
+        let s = t.render();
+        assert!(s.contains("1.0"));
+    }
+}

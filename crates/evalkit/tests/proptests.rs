@@ -1,0 +1,83 @@
+//! Property-based tests of the metrics: ROUGE-L against a brute-force
+//! LCS oracle, normalisation idempotence, Hit@1 monotonicity.
+
+use evalkit::{answer_tokens, is_hit, lcs_len, normalize_answer, rouge_l, rouge_l_multi};
+use proptest::prelude::*;
+
+fn text() -> impl Strategy<Value = String> {
+    "[a-zA-Z ,.]{0,50}"
+}
+
+/// Exponential-time-but-tiny reference LCS for the oracle comparison.
+fn lcs_oracle(a: &[String], b: &[String]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        0
+    } else if a[0] == b[0] {
+        1 + lcs_oracle(&a[1..], &b[1..])
+    } else {
+        lcs_oracle(&a[1..], b).max(lcs_oracle(a, &b[1..]))
+    }
+}
+
+proptest! {
+    /// The rolling-row LCS matches the recursive oracle on short inputs.
+    #[test]
+    fn lcs_matches_oracle(
+        a in proptest::collection::vec("[ab c]{1,3}", 0..8),
+        b in proptest::collection::vec("[ab c]{1,3}", 0..8),
+    ) {
+        prop_assert_eq!(lcs_len(&a, &b), lcs_oracle(&a, &b));
+    }
+
+    /// Normalisation is idempotent.
+    #[test]
+    fn normalize_idempotent(t in text()) {
+        let once = normalize_answer(&t);
+        prop_assert_eq!(normalize_answer(&once), once.clone());
+        // And produces only lowercase alphanumerics + single spaces.
+        prop_assert!(!once.contains("  "));
+        prop_assert!(once.chars().all(|c| c.is_alphanumeric() || c == ' '));
+    }
+
+    /// ROUGE-L is symmetric in F1 sign properties: score within [0,1],
+    /// exact self-match = 1.
+    #[test]
+    fn rouge_bounds_and_identity(t in text()) {
+        let p = rouge_l(&t, &t);
+        if answer_tokens(&t).is_empty() {
+            prop_assert_eq!(p.f1, 0.0);
+        } else {
+            prop_assert!((p.f1 - 1.0).abs() < 1e-9);
+        }
+        let q = rouge_l(&t, "completely unrelated zzz qqq");
+        prop_assert!((0.0..=1.0).contains(&q.f1));
+    }
+
+    /// Multi-reference ROUGE is the max over single references.
+    #[test]
+    fn multi_ref_is_max(cand in text(), refs in proptest::collection::vec(text(), 1..4)) {
+        let multi = rouge_l_multi(&cand, &refs);
+        let best = refs
+            .iter()
+            .map(|r| rouge_l(&cand, r).f1)
+            .fold(0.0f64, f64::max);
+        prop_assert!((multi.f1 - best).abs() < 1e-12);
+    }
+
+    /// Hit@1 is monotone in the accepted set: adding surface forms never
+    /// turns a hit into a miss.
+    #[test]
+    fn hit_monotone_in_accepted(ans in text(), mut accepted in proptest::collection::vec(text(), 0..4), extra in text()) {
+        let before = is_hit(&ans, &accepted);
+        accepted.push(extra);
+        let after = is_hit(&ans, &accepted);
+        prop_assert!(!before || after);
+    }
+
+    /// An answer containing the gold phrase verbatim always hits.
+    #[test]
+    fn verbatim_containment_hits(gold in "[a-zA-Z]{2,10}( [a-zA-Z]{2,10}){0,2}") {
+        let ans = format!("I believe the answer is {gold}, most likely.");
+        prop_assert!(is_hit(&ans, &[gold]));
+    }
+}

@@ -1,0 +1,41 @@
+//! # kgstore — knowledge-graph storage substrate
+//!
+//! In-memory triple store, entity metadata, multi-source schema handling,
+//! question-scoped subgraph extraction, and a Neo4j-style labelled
+//! property graph. This is the substrate under both the "real" KG sources
+//! (simulated Wikidata / Freebase) and the LLM-generated pseudo-graphs of
+//! the ICDE 2025 paper *Enhancing Large Language Models with Pseudo- and
+//! Multisource-Knowledge Graphs for Open-ended Question Answering*.
+//!
+//! Layers:
+//! * [`atom`] / [`triple`] / [`store`] — interned triples with
+//!   subject/predicate/object posting-list indexes;
+//! * [`meta`] — labels, aliases, descriptions, popularity, and the
+//!   ambiguous surface-form index;
+//! * [`source`] — a named KG source with a schema style (Wikidata-like
+//!   vs Freebase-like);
+//! * [`subgraph`] — per-question `G_base` extraction;
+//! * [`propgraph`] — the property graph Cypher `CREATE`s materialise
+//!   into, plus the decode-to-triples step;
+//! * [`hash`] — fast hashing + stable seeded decisions shared by the
+//!   whole workspace.
+
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod hash;
+pub mod meta;
+pub mod propgraph;
+pub mod source;
+pub mod stats;
+pub mod store;
+pub mod subgraph;
+pub mod triple;
+
+pub use atom::{Atom, AtomTable};
+pub use meta::{EntityMeta, MetaRegistry};
+pub use propgraph::{Node, NodeId, PropertyGraph, Relationship, Value};
+pub use source::{KgSource, SchemaStyle};
+pub use store::TripleStore;
+pub use subgraph::{extract, ExtractConfig, Subgraph};
+pub use triple::{StrTriple, Triple, TripleId};

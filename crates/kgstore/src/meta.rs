@@ -1,0 +1,182 @@
+//! Entity metadata: labels, aliases, descriptions, popularity.
+//!
+//! Real KGs attach human-readable labels and descriptions to opaque ids
+//! (`Q2066882` → "Yellow River"). The paper's disambiguation step relies
+//! on exactly this structure: several entities share the label "Yao Ming"
+//! but differ in popularity (triple count) and description.
+
+use crate::atom::Atom;
+use crate::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Metadata attached to one entity.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EntityMeta {
+    /// Canonical human-readable label ("Yao Ming").
+    pub label: String,
+    /// Alternative surface forms.
+    pub aliases: Vec<String>,
+    /// Short description ("Chinese basketball player (born 1980)").
+    pub description: String,
+    /// Relative popularity in `[0, 1]`; drives how often the entity is
+    /// mentioned, how much of the KG covers it, and how LLM hallucination
+    /// substitutes popular look-alikes.
+    pub popularity: f64,
+}
+
+/// Registry mapping entities to metadata plus a label → entities inverted
+/// index (one label may map to many entities — that is the ambiguity the
+/// pruning step must resolve).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct MetaRegistry {
+    meta: FxHashMap<Atom, EntityMeta>,
+    #[serde(skip)]
+    by_label: FxHashMap<String, Vec<Atom>>,
+}
+
+impl MetaRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach metadata to an entity, indexing its label and aliases
+    /// (lowercased) for surface lookup.
+    pub fn insert(&mut self, entity: Atom, meta: EntityMeta) {
+        self.index_surface(&meta.label, entity);
+        for alias in &meta.aliases {
+            self.index_surface(alias, entity);
+        }
+        self.meta.insert(entity, meta);
+    }
+
+    fn index_surface(&mut self, surface: &str, entity: Atom) {
+        let key = surface.to_lowercase();
+        let v = self.by_label.entry(key).or_default();
+        if !v.contains(&entity) {
+            v.push(entity);
+        }
+    }
+
+    /// Metadata for an entity, if registered.
+    pub fn get(&self, entity: Atom) -> Option<&EntityMeta> {
+        self.meta.get(&entity)
+    }
+
+    /// Popularity, defaulting to 0 for unregistered entities.
+    pub fn popularity(&self, entity: Atom) -> f64 {
+        self.meta.get(&entity).map_or(0.0, |m| m.popularity)
+    }
+
+    /// All entities whose label or alias equals `surface`
+    /// (case-insensitive). Order is insertion order.
+    pub fn entities_with_surface(&self, surface: &str) -> &[Atom] {
+        self.by_label
+            .get(&surface.to_lowercase())
+            .map_or(&[], |v| v)
+    }
+
+    /// Number of registered entities.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether no entities are registered.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Iterate `(entity, meta)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (Atom, &EntityMeta)> {
+        self.meta.iter().map(|(a, m)| (*a, m))
+    }
+
+    /// Rebuild the surface index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.by_label.clear();
+        let entries: Vec<(Atom, String, Vec<String>)> = self
+            .meta
+            .iter()
+            .map(|(a, m)| (*a, m.label.clone(), m.aliases.clone()))
+            .collect();
+        for (a, label, aliases) in entries {
+            self.index_surface(&label, a);
+            for alias in &aliases {
+                self.index_surface(alias, a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(label: &str, pop: f64) -> EntityMeta {
+        EntityMeta {
+            label: label.to_string(),
+            aliases: vec![],
+            description: format!("{label} (test)"),
+            popularity: pop,
+        }
+    }
+
+    #[test]
+    fn ambiguous_labels_collect_all_entities() {
+        let mut r = MetaRegistry::new();
+        r.insert(Atom(0), meta("Yao Ming", 0.9));
+        r.insert(Atom(1), meta("Yao Ming", 0.1));
+        let hits = r.entities_with_surface("yao ming");
+        assert_eq!(hits, &[Atom(0), Atom(1)]);
+    }
+
+    #[test]
+    fn surface_lookup_is_case_insensitive() {
+        let mut r = MetaRegistry::new();
+        r.insert(Atom(7), meta("Lake Superior", 0.5));
+        assert_eq!(r.entities_with_surface("LAKE SUPERIOR"), &[Atom(7)]);
+        assert!(r.entities_with_surface("lake inferior").is_empty());
+    }
+
+    #[test]
+    fn aliases_are_indexed() {
+        let mut r = MetaRegistry::new();
+        r.insert(
+            Atom(3),
+            EntityMeta {
+                label: "United States".into(),
+                aliases: vec!["USA".into(), "US".into()],
+                description: String::new(),
+                popularity: 1.0,
+            },
+        );
+        assert_eq!(r.entities_with_surface("usa"), &[Atom(3)]);
+        assert_eq!(r.entities_with_surface("us"), &[Atom(3)]);
+    }
+
+    #[test]
+    fn popularity_defaults_to_zero() {
+        let r = MetaRegistry::new();
+        assert_eq!(r.popularity(Atom(42)), 0.0);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut r = MetaRegistry::new();
+        r.insert(Atom(1), meta("Nile", 0.8));
+        let json = serde_json::to_string(&r).unwrap();
+        let mut back: MetaRegistry = serde_json::from_str(&json).unwrap();
+        assert!(back.entities_with_surface("nile").is_empty());
+        back.rebuild_index();
+        assert_eq!(back.entities_with_surface("nile"), &[Atom(1)]);
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_duplicate_index_entry() {
+        let mut r = MetaRegistry::new();
+        r.insert(Atom(1), meta("Nile", 0.8));
+        r.insert(Atom(1), meta("Nile", 0.9));
+        assert_eq!(r.entities_with_surface("nile"), &[Atom(1)]);
+        assert_eq!(r.popularity(Atom(1)), 0.9);
+    }
+}

@@ -1,0 +1,280 @@
+//! A Neo4j-style labelled property graph.
+//!
+//! The paper materialises LLM-generated Cypher `CREATE` statements on
+//! Neo4j, then decodes the resulting graph back into triples. This module
+//! is the storage half of that substrate; the `cypher` crate is the
+//! language half.
+
+use crate::triple::StrTriple;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A property value. The Cypher subset supports the scalar types the
+/// paper's prompts actually elicit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+impl Value {
+    /// Render the value the way it should appear inside a decoded triple
+    /// (strings unquoted, numbers/bools via `Display`).
+    pub fn as_triple_text(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+fn format_float(f: f64) -> String {
+    if f.fract() == 0.0 && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{}", format_float(*x)),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Node identifier within one [`PropertyGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// A labelled node with properties.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Labels, e.g. `Lake`, `Country`.
+    pub labels: Vec<String>,
+    /// Properties; `name` is conventionally the display name.
+    pub props: BTreeMap<String, Value>,
+}
+
+impl Node {
+    /// The display name used when decoding to triples: the `name`
+    /// property if present, else the first label, else `node<i>`.
+    pub fn display_name(&self, id: NodeId) -> String {
+        if let Some(Value::Str(s)) = self.props.get("name") {
+            return s.clone();
+        }
+        if let Some(v) = self.props.get("name") {
+            return v.as_triple_text();
+        }
+        if let Some(l) = self.labels.first() {
+            return l.clone();
+        }
+        format!("node{}", id.0)
+    }
+}
+
+/// A directed, typed relationship with properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relationship {
+    /// Source node.
+    pub src: NodeId,
+    /// Target node.
+    pub dst: NodeId,
+    /// Relationship type, e.g. `COVERS`.
+    pub rel_type: String,
+    /// Relationship properties.
+    pub props: BTreeMap<String, Value>,
+}
+
+/// An in-memory labelled property graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PropertyGraph {
+    nodes: Vec<Node>,
+    rels: Vec<Relationship>,
+}
+
+impl PropertyGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("property graph overflow"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Add a relationship.
+    pub fn add_rel(&mut self, rel: Relationship) {
+        assert!(rel.src.0 < self.nodes.len() as u32, "dangling src");
+        assert!(rel.dst.0 < self.nodes.len() as u32, "dangling dst");
+        self.rels.push(rel);
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable node by id.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// All nodes with ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// All relationships.
+    pub fn rels(&self) -> &[Relationship] {
+        &self.rels
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of relationships.
+    pub fn rel_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the graph is completely empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.rels.is_empty()
+    }
+
+    /// Decode the property graph into triples, the way the paper reads
+    /// the Neo4j graph back as `G_p`:
+    ///
+    /// * every relationship becomes `<src name> <REL_TYPE> <dst name>`;
+    /// * every node property other than `name` becomes
+    ///   `<node name> <property> <value>`.
+    pub fn decode_triples(&self) -> Vec<StrTriple> {
+        let mut out = Vec::with_capacity(self.rels.len());
+        for (id, node) in self.nodes() {
+            let name = node.display_name(id);
+            for (key, value) in &node.props {
+                if key == "name" {
+                    continue;
+                }
+                out.push(StrTriple::new(
+                    name.clone(),
+                    key.clone(),
+                    value.as_triple_text(),
+                ));
+            }
+        }
+        for rel in &self.rels {
+            let s = self.node(rel.src).display_name(rel.src);
+            let o = self.node(rel.dst).display_name(rel.dst);
+            out.push(StrTriple::new(s, rel.rel_type.clone(), o));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lake(name: &str, area: i64) -> Node {
+        let mut props = BTreeMap::new();
+        props.insert("name".to_string(), Value::Str(name.to_string()));
+        props.insert("area".to_string(), Value::Int(area));
+        Node {
+            labels: vec!["Lake".to_string()],
+            props,
+        }
+    }
+
+    #[test]
+    fn decode_node_properties() {
+        let mut g = PropertyGraph::new();
+        g.add_node(lake("Lake Superior", 82000));
+        let triples = g.decode_triples();
+        assert_eq!(
+            triples,
+            vec![StrTriple::new("Lake Superior", "area", "82000")]
+        );
+    }
+
+    #[test]
+    fn decode_relationships() {
+        let mut g = PropertyGraph::new();
+        let andes = g.add_node(Node {
+            labels: vec!["MountainRange".into()],
+            props: BTreeMap::from([("name".into(), Value::Str("Andes".into()))]),
+        });
+        let peru = g.add_node(Node {
+            labels: vec!["Country".into()],
+            props: BTreeMap::from([("name".into(), Value::Str("Peru".into()))]),
+        });
+        g.add_rel(Relationship {
+            src: andes,
+            dst: peru,
+            rel_type: "COVERS".into(),
+            props: BTreeMap::new(),
+        });
+        let triples = g.decode_triples();
+        assert_eq!(triples, vec![StrTriple::new("Andes", "COVERS", "Peru")]);
+    }
+
+    #[test]
+    fn display_name_fallbacks() {
+        let n = Node {
+            labels: vec!["Concept".into()],
+            props: BTreeMap::new(),
+        };
+        assert_eq!(n.display_name(NodeId(3)), "Concept");
+        let bare = Node::default();
+        assert_eq!(bare.display_name(NodeId(3)), "node3");
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling")]
+    fn dangling_rel_panics() {
+        let mut g = PropertyGraph::new();
+        g.add_rel(Relationship {
+            src: NodeId(0),
+            dst: NodeId(1),
+            rel_type: "X".into(),
+            props: BTreeMap::new(),
+        });
+    }
+
+    #[test]
+    fn value_triple_text() {
+        assert_eq!(Value::Str("x".into()).as_triple_text(), "x");
+        assert_eq!(Value::Int(5).as_triple_text(), "5");
+        assert_eq!(Value::Float(2.0).as_triple_text(), "2.0");
+        assert_eq!(Value::Float(2.5).as_triple_text(), "2.5");
+        assert_eq!(Value::Bool(true).as_triple_text(), "true");
+    }
+
+    #[test]
+    fn value_display_quotes_strings() {
+        assert_eq!(Value::Str("a b".into()).to_string(), "\"a b\"");
+        assert_eq!(Value::Int(7).to_string(), "7");
+    }
+}

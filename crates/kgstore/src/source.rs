@@ -1,0 +1,181 @@
+//! A knowledge-graph *source*: triples + metadata + schema identity.
+//!
+//! The paper's central generalisation claim is that its pipeline works
+//! unchanged across KG sources with different schemas (Wikidata vs
+//! Freebase). We model a source as a named bundle of a [`TripleStore`]
+//! and a [`MetaRegistry`], plus a [`SchemaStyle`] tag describing how the
+//! source verbalises relations and whether it uses mediator (CVT) nodes.
+
+use crate::atom::Atom;
+use crate::meta::{EntityMeta, MetaRegistry};
+use crate::store::TripleStore;
+use crate::triple::StrTriple;
+use serde::{Deserialize, Serialize};
+
+/// How a source's schema renders knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemaStyle {
+    /// Wikidata-like: flat property names ("place of birth"), direct
+    /// entity-to-entity edges, rich aliases.
+    WikidataLike,
+    /// Freebase-like: path-style property names
+    /// ("/people/person/place_of_birth") and CVT mediator nodes for
+    /// n-ary facts, which makes some facts one hop here but two hops in
+    /// a Wikidata-like rendering.
+    FreebaseLike,
+}
+
+impl SchemaStyle {
+    /// Short identifier used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemaStyle::WikidataLike => "wikidata",
+            SchemaStyle::FreebaseLike => "freebase",
+        }
+    }
+}
+
+/// A named knowledge-graph source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KgSource {
+    /// Human-readable source name (e.g. `"wikidata-sim"`).
+    pub name: String,
+    /// Schema family of this source.
+    pub style: SchemaStyle,
+    /// The triples.
+    pub store: TripleStore,
+    /// Entity metadata (labels, aliases, descriptions, popularity).
+    pub meta: MetaRegistry,
+}
+
+impl KgSource {
+    /// Create an empty source.
+    pub fn new(name: impl Into<String>, style: SchemaStyle) -> Self {
+        Self {
+            name: name.into(),
+            style,
+            store: TripleStore::new(),
+            meta: MetaRegistry::new(),
+        }
+    }
+
+    /// Insert a fact with string parts; returns whether it was new.
+    pub fn add_fact(&mut self, s: &str, p: &str, o: &str) -> bool {
+        self.store.insert_str(s, p, o).1
+    }
+
+    /// Register an entity (by its id string) with metadata.
+    pub fn add_entity(&mut self, id: &str, meta: EntityMeta) -> Atom {
+        let a = self.store.intern(id);
+        self.meta.insert(a, meta);
+        a
+    }
+
+    /// Entities matching a surface form, most popular first.
+    ///
+    /// This is deliberately *not* entity linking — it is the raw surface
+    /// index; disambiguation is the pipeline's job (two-step pruning).
+    pub fn surface_candidates(&self, surface: &str) -> Vec<Atom> {
+        let mut v: Vec<Atom> = self.meta.entities_with_surface(surface).to_vec();
+        v.sort_by(|a, b| {
+            self.meta
+                .popularity(*b)
+                .partial_cmp(&self.meta.popularity(*a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        });
+        v
+    }
+
+    /// The label of an entity, falling back to its raw interned string.
+    pub fn label_of(&self, a: Atom) -> &str {
+        self.meta
+            .get(a)
+            .map(|m| m.label.as_str())
+            .filter(|l| !l.is_empty())
+            .unwrap_or_else(|| self.store.resolve(a))
+    }
+
+    /// Materialise a triple with ids replaced by labels — the "semantic
+    /// form" fed to the encoder (`<Yao Ming> <born in> <Shanghai>` rather
+    /// than `<Q123> <P19> <Q456>`).
+    pub fn verbalize(&self, t: crate::triple::Triple) -> StrTriple {
+        StrTriple::new(self.label_of(t.s), self.label_of(t.p), self.label_of(t.o))
+    }
+
+    /// Total number of triples.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the source has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Rebuild skipped indexes after deserialization.
+    pub fn rebuild(&mut self) {
+        self.store.rebuild_indexes();
+        self.meta.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn yao_source() -> KgSource {
+        let mut src = KgSource::new("wikidata-sim", SchemaStyle::WikidataLike);
+        src.add_entity(
+            "Q1",
+            EntityMeta {
+                label: "Yao Ming".into(),
+                aliases: vec![],
+                description: "basketball player".into(),
+                popularity: 0.95,
+            },
+        );
+        src.add_entity(
+            "Q2",
+            EntityMeta {
+                label: "Yao Ming".into(),
+                aliases: vec![],
+                description: "Song dynasty poet".into(),
+                popularity: 0.05,
+            },
+        );
+        src.add_fact("Q1", "born in", "Shanghai");
+        src
+    }
+
+    #[test]
+    fn surface_candidates_sorted_by_popularity() {
+        let src = yao_source();
+        let cands = src.surface_candidates("Yao Ming");
+        assert_eq!(cands.len(), 2);
+        assert_eq!(src.meta.get(cands[0]).unwrap().description, "basketball player");
+    }
+
+    #[test]
+    fn verbalize_replaces_ids_with_labels() {
+        let src = yao_source();
+        let t = src.store.iter().next().unwrap();
+        let v = src.verbalize(t);
+        assert_eq!(v.s, "Yao Ming");
+        assert_eq!(v.p, "born in");
+        assert_eq!(v.o, "Shanghai"); // no meta → raw string
+    }
+
+    #[test]
+    fn label_falls_back_to_raw_id() {
+        let src = yao_source();
+        let shanghai = src.store.atoms().get("Shanghai").unwrap();
+        assert_eq!(src.label_of(shanghai), "Shanghai");
+    }
+
+    #[test]
+    fn schema_style_names() {
+        assert_eq!(SchemaStyle::WikidataLike.name(), "wikidata");
+        assert_eq!(SchemaStyle::FreebaseLike.name(), "freebase");
+    }
+}

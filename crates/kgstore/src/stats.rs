@@ -1,0 +1,118 @@
+//! Descriptive statistics over stores and sources (used by reports and
+//! to sanity-check generated KGs).
+
+use crate::source::KgSource;
+use crate::store::TripleStore;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a triple store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Total triples.
+    pub triples: usize,
+    /// Distinct subjects.
+    pub subjects: usize,
+    /// Distinct predicates.
+    pub predicates: usize,
+    /// Interned strings.
+    pub atoms: usize,
+    /// Maximum out-degree over subjects.
+    pub max_out_degree: usize,
+    /// Mean out-degree over subjects.
+    pub mean_out_degree: f64,
+}
+
+/// Compute [`StoreStats`] for a store.
+pub fn store_stats(store: &TripleStore) -> StoreStats {
+    let subjects = store.subjects();
+    let max_out = subjects.iter().map(|&s| store.out_degree(s)).max().unwrap_or(0);
+    let mean_out = if subjects.is_empty() {
+        0.0
+    } else {
+        store.len() as f64 / subjects.len() as f64
+    };
+    StoreStats {
+        triples: store.len(),
+        subjects: subjects.len(),
+        predicates: store.predicates().len(),
+        atoms: store.atoms().len(),
+        max_out_degree: max_out,
+        mean_out_degree: mean_out,
+    }
+}
+
+/// Summary of a KG source (store stats plus metadata counts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceStats {
+    /// Source name.
+    pub name: String,
+    /// Schema family name.
+    pub style: String,
+    /// Store statistics.
+    pub store: StoreStats,
+    /// Registered entities.
+    pub entities: usize,
+    /// Labels shared by more than one entity (ambiguity count).
+    pub ambiguous_labels: usize,
+}
+
+/// Compute [`SourceStats`] for a source.
+pub fn source_stats(src: &KgSource) -> SourceStats {
+    use crate::hash::FxHashMap;
+    let mut label_counts: FxHashMap<&str, usize> = FxHashMap::default();
+    for (_, m) in src.meta.iter() {
+        *label_counts.entry(m.label.as_str()).or_default() += 1;
+    }
+    SourceStats {
+        name: src.name.clone(),
+        style: src.style.name().to_string(),
+        store: store_stats(&src.store),
+        entities: src.meta.len(),
+        ambiguous_labels: label_counts.values().filter(|&&c| c > 1).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::EntityMeta;
+    use crate::source::SchemaStyle;
+
+    #[test]
+    fn store_stats_basic() {
+        let mut st = TripleStore::new();
+        st.insert_str("a", "r", "b");
+        st.insert_str("a", "r", "c");
+        st.insert_str("b", "q", "c");
+        let s = store_stats(&st);
+        assert_eq!(s.triples, 3);
+        assert_eq!(s.subjects, 2);
+        assert_eq!(s.predicates, 2);
+        assert_eq!(s.max_out_degree, 2);
+        assert!((s.mean_out_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store_stats() {
+        let s = store_stats(&TripleStore::new());
+        assert_eq!(s.triples, 0);
+        assert_eq!(s.mean_out_degree, 0.0);
+    }
+
+    #[test]
+    fn ambiguity_counted() {
+        let mut src = KgSource::new("t", SchemaStyle::WikidataLike);
+        for (id, label) in [("Q1", "Yao Ming"), ("Q2", "Yao Ming"), ("Q3", "Shanghai")] {
+            src.add_entity(
+                id,
+                EntityMeta {
+                    label: label.into(),
+                    ..Default::default()
+                },
+            );
+        }
+        let s = source_stats(&src);
+        assert_eq!(s.entities, 3);
+        assert_eq!(s.ambiguous_labels, 1);
+    }
+}

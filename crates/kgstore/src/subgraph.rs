@@ -1,0 +1,247 @@
+//! Question-scoped subgraph extraction (the paper's `G_base`).
+//!
+//! The paper extracts, per question, "a subset of subgraphs … from
+//! Wikidata or Freebase based on the questions" before semantic
+//! querying. We reproduce that by scanning the question for surface
+//! forms that match entity labels/aliases (longest-match n-grams), then
+//! expanding a bounded breadth-first neighbourhood around the seeds.
+//!
+//! Note this is *surface* matching, not entity linking: an ambiguous
+//! surface ("Yao Ming") seeds *all* matching entities; disambiguation is
+//! deferred to the pipeline's pruning step, exactly as in the paper.
+
+use crate::atom::Atom;
+use crate::hash::FxHashSet;
+use crate::source::KgSource;
+use crate::triple::Triple;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Parameters bounding the extraction.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExtractConfig {
+    /// Maximum hops to expand from each seed entity.
+    pub hops: usize,
+    /// Hard cap on extracted triples (keeps `G_base` within what the
+    /// encoder must embed per question).
+    pub max_triples: usize,
+    /// Longest surface n-gram (in words) to try when matching labels.
+    pub max_ngram: usize,
+    /// Cap on neighbours expanded per entity per hop (protects against
+    /// hub entities with huge degree).
+    pub max_fanout: usize,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        Self {
+            hops: 2,
+            max_triples: 4000,
+            max_ngram: 4,
+            max_fanout: 256,
+        }
+    }
+}
+
+/// The result of extraction: seed entities and the extracted triples
+/// (ids refer to the *source's* atom table).
+#[derive(Debug, Clone, Default)]
+pub struct Subgraph {
+    /// Entities whose surface forms appeared in the question.
+    pub seeds: Vec<Atom>,
+    /// Triples of the extracted neighbourhood.
+    pub triples: Vec<Triple>,
+}
+
+impl Subgraph {
+    /// Number of extracted triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the extraction found nothing.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+}
+
+/// Split a question into lowercase word tokens (alphanumeric runs).
+pub fn question_tokens(question: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in question.chars() {
+        if ch.is_alphanumeric() || ch == '\'' {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Find seed entities by longest-match n-gram scan over the question.
+///
+/// Greedy: once an n-gram matches, its words are consumed so a shorter
+/// sub-span cannot also seed (matching "Lake Superior" suppresses the
+/// spurious seed "Superior").
+pub fn find_seeds(source: &KgSource, question: &str, cfg: &ExtractConfig) -> Vec<Atom> {
+    let tokens = question_tokens(question);
+    let mut seeds = Vec::new();
+    let mut seen = FxHashSet::default();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut matched = 0;
+        for n in (1..=cfg.max_ngram.min(tokens.len() - i)).rev() {
+            let surface = tokens[i..i + n].join(" ");
+            let cands = source.meta.entities_with_surface(&surface);
+            if !cands.is_empty() {
+                for &c in cands {
+                    if seen.insert(c) {
+                        seeds.push(c);
+                    }
+                }
+                matched = n;
+                break;
+            }
+        }
+        i += matched.max(1);
+    }
+    seeds
+}
+
+/// Extract the bounded k-hop neighbourhood of the question's seeds.
+pub fn extract(source: &KgSource, question: &str, cfg: &ExtractConfig) -> Subgraph {
+    let seeds = find_seeds(source, question, cfg);
+    let mut triples = Vec::new();
+    let mut seen_triples: FxHashSet<Triple> = FxHashSet::default();
+    let mut visited: FxHashSet<Atom> = seeds.iter().copied().collect();
+    let mut queue: VecDeque<(Atom, usize)> = seeds.iter().map(|&s| (s, 0)).collect();
+
+    'bfs: while let Some((ent, depth)) = queue.pop_front() {
+        for (fanout, t) in source.store.mentioning(ent).enumerate() {
+            if fanout >= cfg.max_fanout {
+                break;
+            }
+            if seen_triples.insert(t) {
+                triples.push(t);
+                if triples.len() >= cfg.max_triples {
+                    break 'bfs;
+                }
+            }
+            if depth + 1 < cfg.hops {
+                let other = if t.s == ent { t.o } else { t.s };
+                if visited.insert(other) {
+                    queue.push_back((other, depth + 1));
+                }
+            }
+        }
+    }
+
+    Subgraph { seeds, triples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::EntityMeta;
+    use crate::source::SchemaStyle;
+
+    fn source() -> KgSource {
+        let mut src = KgSource::new("test", SchemaStyle::WikidataLike);
+        for (id, label, pop) in [
+            ("Q1", "Yao Ming", 0.9),
+            ("Q2", "Yao Ming", 0.1),
+            ("Q3", "Shanghai", 0.8),
+            ("Q4", "China", 0.9),
+            ("Q5", "Lake Superior", 0.7),
+        ] {
+            src.add_entity(
+                id,
+                EntityMeta {
+                    label: label.into(),
+                    aliases: vec![],
+                    description: String::new(),
+                    popularity: pop,
+                },
+            );
+        }
+        src.add_fact("Q1", "born in", "Q3");
+        src.add_fact("Q2", "era", "Song dynasty");
+        src.add_fact("Q3", "country", "Q4");
+        src.add_fact("Q4", "capital", "Beijing");
+        src
+    }
+
+    #[test]
+    fn tokenizes_questions() {
+        assert_eq!(
+            question_tokens("Where was Yao Ming born?"),
+            ["where", "was", "yao", "ming", "born"]
+        );
+    }
+
+    #[test]
+    fn finds_all_ambiguous_seeds() {
+        let src = source();
+        let seeds = find_seeds(&src, "Where was Yao Ming born?", &ExtractConfig::default());
+        assert_eq!(seeds.len(), 2, "both Yao Mings must seed");
+    }
+
+    #[test]
+    fn longest_match_consumes_span() {
+        let mut src = source();
+        // Add a distractor entity labelled just "Superior".
+        src.add_entity(
+            "Q9",
+            EntityMeta {
+                label: "Superior".into(),
+                aliases: vec![],
+                description: String::new(),
+                popularity: 0.2,
+            },
+        );
+        let seeds = find_seeds(&src, "How big is Lake Superior?", &ExtractConfig::default());
+        let labels: Vec<_> = seeds.iter().map(|&a| src.label_of(a)).collect();
+        assert_eq!(labels, ["Lake Superior"]);
+    }
+
+    #[test]
+    fn extract_respects_hops() {
+        let src = source();
+        let one_hop = extract(
+            &src,
+            "Where was Yao Ming born?",
+            &ExtractConfig { hops: 1, ..Default::default() },
+        );
+        // 1 hop: Q1→Q3 and Q2→Song dynasty, but not Q3→Q4.
+        assert_eq!(one_hop.len(), 2);
+        let two_hop = extract(
+            &src,
+            "Where was Yao Ming born?",
+            &ExtractConfig { hops: 2, ..Default::default() },
+        );
+        assert_eq!(two_hop.len(), 3, "2 hops adds Shanghai→China");
+    }
+
+    #[test]
+    fn extract_caps_triples() {
+        let src = source();
+        let g = extract(
+            &src,
+            "Where was Yao Ming born in Shanghai China?",
+            &ExtractConfig { max_triples: 1, ..Default::default() },
+        );
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn no_seeds_means_empty_subgraph() {
+        let src = source();
+        let g = extract(&src, "What is the meaning of life?", &ExtractConfig::default());
+        assert!(g.is_empty());
+        assert!(g.seeds.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Triples — the atomic unit of knowledge in this system.
+
+use crate::atom::{Atom, AtomTable};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `(subject, predicate, object)` fact with interned components.
+///
+/// Matches the paper's `G = {O, R, T}` formulation: a knowledge graph is a
+/// set of triples over subjects `O`, relations `R`, and objects `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Triple {
+    /// Subject entity.
+    pub s: Atom,
+    /// Predicate / relation.
+    pub p: Atom,
+    /// Object entity or literal value.
+    pub o: Atom,
+}
+
+impl Triple {
+    /// Construct a triple from its parts.
+    #[inline]
+    pub fn new(s: Atom, p: Atom, o: Atom) -> Self {
+        Self { s, p, o }
+    }
+
+    /// Render as the paper's angle-bracket notation:
+    /// `<subject> <predicate> <object>`.
+    pub fn display<'a>(&self, atoms: &'a AtomTable) -> TripleDisplay<'a> {
+        TripleDisplay {
+            s: atoms.resolve(self.s),
+            p: atoms.resolve(self.p),
+            o: atoms.resolve(self.o),
+        }
+    }
+}
+
+/// Stable identifier of a triple within one [`crate::store::TripleStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TripleId(pub u32);
+
+impl TripleId {
+    /// Raw index into the store's triple vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Borrowed, human-readable triple form (`<s> <p> <o>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripleDisplay<'a> {
+    /// Subject string.
+    pub s: &'a str,
+    /// Predicate string.
+    pub p: &'a str,
+    /// Object string.
+    pub o: &'a str,
+}
+
+impl fmt::Display for TripleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}> <{}> <{}>", self.s, self.p, self.o)
+    }
+}
+
+/// An owned string triple, used at API boundaries where interning tables
+/// differ (e.g. moving knowledge between a pseudo-graph and a KG source).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StrTriple {
+    /// Subject string.
+    pub s: String,
+    /// Predicate string.
+    pub p: String,
+    /// Object string.
+    pub o: String,
+}
+
+impl StrTriple {
+    /// Construct from anything string-like.
+    pub fn new(s: impl Into<String>, p: impl Into<String>, o: impl Into<String>) -> Self {
+        Self {
+            s: s.into(),
+            p: p.into(),
+            o: o.into(),
+        }
+    }
+
+    /// The paper's verbalised "semantic form": `"s p o"` joined by spaces,
+    /// which is what gets fed to the sentence encoder.
+    pub fn sentence(&self) -> String {
+        let mut out = String::with_capacity(self.s.len() + self.p.len() + self.o.len() + 2);
+        out.push_str(&self.s);
+        out.push(' ');
+        out.push_str(&self.p);
+        out.push(' ');
+        out.push_str(&self.o);
+        out
+    }
+}
+
+impl fmt::Display for StrTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}> <{}> <{}>", self.s, self.p, self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let mut t = AtomTable::new();
+        let tr = Triple::new(t.intern("Yao Ming"), t.intern("born in"), t.intern("Shanghai"));
+        assert_eq!(
+            tr.display(&t).to_string(),
+            "<Yao Ming> <born in> <Shanghai>"
+        );
+    }
+
+    #[test]
+    fn str_triple_sentence() {
+        let t = StrTriple::new("Andes", "covers", "Peru");
+        assert_eq!(t.sentence(), "Andes covers Peru");
+        assert_eq!(t.to_string(), "<Andes> <covers> <Peru>");
+    }
+
+    #[test]
+    fn triple_ordering_is_spo() {
+        let mut at = AtomTable::new();
+        let a = at.intern("a");
+        let b = at.intern("b");
+        let t1 = Triple::new(a, a, a);
+        let t2 = Triple::new(a, a, b);
+        let t3 = Triple::new(a, b, a);
+        let t4 = Triple::new(b, a, a);
+        assert!(t1 < t2 && t2 < t3 && t3 < t4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the storage substrate: index consistency,
+//! interning, and property-graph decoding under arbitrary inputs.
+
+use kgstore::{AtomTable, Node, PropertyGraph, TripleStore, Value};
+use proptest::prelude::*;
+
+fn small_word() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}"
+}
+
+proptest! {
+    /// Every interned string resolves back to itself, and interning is
+    /// idempotent regardless of insertion order.
+    #[test]
+    fn atom_roundtrip(words in proptest::collection::vec(small_word(), 1..40)) {
+        let mut t = AtomTable::new();
+        let atoms: Vec<_> = words.iter().map(|w| t.intern(w)).collect();
+        for (w, a) in words.iter().zip(&atoms) {
+            prop_assert_eq!(t.resolve(*a), w.as_str());
+            prop_assert_eq!(t.intern(w), *a);
+        }
+        // Distinct strings get distinct atoms.
+        let unique: std::collections::HashSet<&String> = words.iter().collect();
+        let distinct_atoms: std::collections::HashSet<_> = atoms.iter().collect();
+        prop_assert_eq!(unique.len(), distinct_atoms.len());
+    }
+
+    /// All three posting-list indexes agree with a brute-force scan for
+    /// any sequence of insertions (including duplicates).
+    #[test]
+    fn store_indexes_agree_with_scan(
+        triples in proptest::collection::vec(
+            (small_word(), small_word(), small_word()),
+            1..60,
+        )
+    ) {
+        let mut st = TripleStore::new();
+        for (s, p, o) in &triples {
+            st.insert_str(s, p, o);
+        }
+        // Dedup invariant.
+        let unique: std::collections::HashSet<_> = triples.iter().collect();
+        prop_assert_eq!(st.len(), unique.len());
+
+        let all: Vec<_> = st.iter().collect();
+        for &subject in &st.subjects() {
+            let via_index: Vec<_> = st.by_subject(subject).collect();
+            let via_scan: Vec<_> = all.iter().copied().filter(|t| t.s == subject).collect();
+            prop_assert_eq!(via_index, via_scan);
+        }
+        for &pred in &st.predicates() {
+            prop_assert_eq!(
+                st.by_predicate(pred).count(),
+                all.iter().filter(|t| t.p == pred).count()
+            );
+        }
+    }
+
+    /// `mentioning` returns each matching triple exactly once.
+    #[test]
+    fn mentioning_has_no_duplicates(
+        triples in proptest::collection::vec(
+            ("[ab]{1,2}", "[rq]{1}", "[ab]{1,2}"),
+            1..30,
+        )
+    ) {
+        let mut st = TripleStore::new();
+        for (s, p, o) in &triples {
+            st.insert_str(s, p, o);
+        }
+        for (atom, _) in st.atoms().iter().map(|(a, s)| (a, s.to_string())).collect::<Vec<_>>() {
+            let got: Vec<_> = st.mentioning(atom).collect();
+            let set: std::collections::HashSet<_> = got.iter().collect();
+            prop_assert_eq!(set.len(), got.len(), "duplicate in mentioning()");
+            for t in got {
+                prop_assert!(t.s == atom || t.o == atom);
+            }
+        }
+    }
+
+    /// Property-graph decode yields one triple per relationship plus one
+    /// per non-name node property.
+    #[test]
+    fn propgraph_decode_counts(
+        names in proptest::collection::vec(small_word(), 2..10),
+        extra_props in 0usize..3,
+        rels in proptest::collection::vec((0usize..9, 0usize..9), 0..12),
+    ) {
+        let mut g = PropertyGraph::new();
+        let ids: Vec<_> = names
+            .iter()
+            .map(|n| {
+                let mut node = Node::default();
+                node.props.insert("name".into(), Value::Str(n.clone()));
+                for k in 0..extra_props {
+                    node.props.insert(format!("p{k}"), Value::Int(k as i64));
+                }
+                g.add_node(node)
+            })
+            .collect();
+        let mut added = 0;
+        for (a, b) in rels {
+            if a < ids.len() && b < ids.len() {
+                g.add_rel(kgstore::Relationship {
+                    src: ids[a],
+                    dst: ids[b],
+                    rel_type: "R".into(),
+                    props: Default::default(),
+                });
+                added += 1;
+            }
+        }
+        let decoded = g.decode_triples();
+        prop_assert_eq!(decoded.len(), names.len() * extra_props + added);
+    }
+
+    /// Serialization round-trips the store contents.
+    #[test]
+    fn store_serde_roundtrip(
+        triples in proptest::collection::vec(
+            (small_word(), small_word(), small_word()),
+            1..20,
+        )
+    ) {
+        let mut st = TripleStore::new();
+        for (s, p, o) in &triples {
+            st.insert_str(s, p, o);
+        }
+        let json = serde_json::to_string(&st).unwrap();
+        let mut back: TripleStore = serde_json::from_str(&json).unwrap();
+        back.rebuild_indexes();
+        prop_assert_eq!(back.len(), st.len());
+        for (s, p, o) in &triples {
+            prop_assert!(back.contains_str(s, p, o));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # pgg-core — Pseudo-Graph Generation + Atomic Knowledge Verification
+//!
+//! The paper's contribution: a training-free, linking-free framework
+//! that lets an LLM use knowledge graphs for open-ended question
+//! answering across KG sources.
+//!
+//! * [`pipeline`] — the four-step method (pseudo-graph generation,
+//!   semantic querying + two-step pruning, verification, answer
+//!   generation), with the pseudo-only ablation;
+//! * [`retrieval`] — semantic querying and the two pruning steps;
+//! * [`baselines`] — IO, CoT, Self-Consistency, QSM;
+//! * [`method`] — the shared [`Method`] trait, traces, Table-1
+//!   capability rows;
+//! * [`runner`] — parallel (method × dataset) evaluation with
+//!   per-question records;
+//! * [`config`] — pipeline knobs and the paper's experiment constants.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod method;
+pub mod pipeline;
+pub mod prune;
+pub mod report;
+pub mod retrieval;
+pub mod runner;
+
+pub use baselines::{Cot, Io, Qsm, SelfConsistency};
+pub use config::{paper, PipelineConfig};
+pub use method::{capability_row, Capabilities, Method, MethodOutput, QaContext, Trace};
+pub use pipeline::{PseudoGraphPipeline, Stages};
+pub use prune::{Candidate, PruneStrategy};
+pub use report::{write_markdown_summary, write_records_jsonl, RunSummary};
+pub use retrieval::{ground_graph, BaseIndex, RetrievalStats};
+pub use runner::{run, score_answer, Record, RunResult};

@@ -1,0 +1,129 @@
+//! The [`Method`] abstraction: every baseline and the paper's pipeline
+//! implement the same interface, so the runner and the bench harness can
+//! sweep (model × method × dataset × KG source) uniformly.
+
+use crate::config::PipelineConfig;
+use crate::retrieval::BaseIndex;
+use kgstore::{KgSource, StrTriple};
+use semvec::Embedder;
+use serde::{Deserialize, Serialize};
+use simllm::LanguageModel;
+use worldgen::Question;
+
+/// Everything a method may use to answer questions. KG-free baselines
+/// simply ignore `source`.
+pub struct QaContext<'a> {
+    /// The language model.
+    pub llm: &'a dyn LanguageModel,
+    /// The KG source (None for KG-free baselines).
+    pub source: Option<&'a KgSource>,
+    /// Pre-built dataset-level semantic index over the source (None →
+    /// KG methods fall back to question-scoped extraction).
+    pub base: Option<&'a BaseIndex>,
+    /// The semantic encoder.
+    pub embedder: &'a Embedder,
+    /// Pipeline knobs.
+    pub cfg: &'a PipelineConfig,
+}
+
+/// Per-question trace of what the pipeline did — the raw material of
+/// the §4.6 error analysis and the Figure-1 walk-through.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Raw LLM output of the pseudo-graph step, if run.
+    pub pseudo_raw: Option<String>,
+    /// Decoded pseudo-graph triples.
+    pub pseudo_triples: Vec<StrTriple>,
+    /// Cypher failure, if the pseudo-graph step failed
+    /// (`"spurious-match"`, `"parse"`, …).
+    pub cypher_error: Option<String>,
+    /// Ground-graph entity labels with scores after pruning.
+    pub ground_entities: Vec<(String, f32)>,
+    /// Number of ground-graph triples shown to the verifier.
+    pub ground_triples: usize,
+    /// The fixed graph `G_f` after verification.
+    pub fixed_triples: Vec<StrTriple>,
+    /// `G_base` size (retrieval diagnostics).
+    pub base_triples: usize,
+}
+
+/// A method's final output for one question.
+#[derive(Debug, Clone, Default)]
+pub struct MethodOutput {
+    /// The answer text handed to the scorer.
+    pub answer: String,
+    /// Stage trace (empty for baselines that have no stages).
+    pub trace: Trace,
+}
+
+/// A QA method.
+pub trait Method: Send + Sync {
+    /// Stable name used in report tables ("IO", "CoT", "Ours", …).
+    fn name(&self) -> &'static str;
+    /// Answer one question.
+    fn answer(&self, ctx: &QaContext<'_>, q: &Question) -> MethodOutput;
+    /// Whether the method needs a KG source.
+    fn needs_kg(&self) -> bool {
+        false
+    }
+}
+
+/// Capability flags reproduced from the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// Requires no training / fine-tuning.
+    pub no_training: bool,
+    /// Requires no explicit entity linking.
+    pub no_linking: bool,
+    /// Uses external knowledge.
+    pub knowledge_enhanced: bool,
+    /// Generalises across KG sources.
+    pub multi_graph: bool,
+    /// Robust to upstream step errors.
+    pub robustness: bool,
+    /// Can enhance open-ended QA.
+    pub open_ended_qa: bool,
+}
+
+/// Table-1 capability rows for the methods in this reproduction.
+pub fn capability_row(method: &str) -> Option<Capabilities> {
+    let c = |a, b, c, d, e, f| Capabilities {
+        no_training: a,
+        no_linking: b,
+        knowledge_enhanced: c,
+        multi_graph: d,
+        robustness: e,
+        open_ended_qa: f,
+    };
+    match method {
+        "CoT" => Some(c(true, true, false, false, false, true)),
+        "RAG" | "QSM" => Some(c(true, true, true, false, true, false)),
+        "SQL-PALM" => Some(c(false, true, true, false, false, false)),
+        "ToG" => Some(c(true, false, true, true, false, false)),
+        "KGR" => Some(c(true, false, true, false, true, false)),
+        "Ours" => Some(c(true, true, true, true, true, true)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_match_paper() {
+        let ours = capability_row("Ours").unwrap();
+        assert!(ours.no_training && ours.no_linking && ours.knowledge_enhanced);
+        assert!(ours.multi_graph && ours.robustness && ours.open_ended_qa);
+        let tog = capability_row("ToG").unwrap();
+        assert!(!tog.no_linking && tog.multi_graph && !tog.open_ended_qa);
+        assert!(capability_row("Unknown").is_none());
+    }
+
+    #[test]
+    fn trace_default_is_empty() {
+        let t = Trace::default();
+        assert!(t.pseudo_triples.is_empty());
+        assert!(t.cypher_error.is_none());
+    }
+}

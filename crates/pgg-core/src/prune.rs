@@ -1,0 +1,194 @@
+//! Pruning strategies for the candidate subjects of semantic querying.
+//!
+//! The paper uses a fixed two-step rule (top-`|S_p|` by retrieved-triple
+//! count, then a mean-similarity threshold) and lists "better pruning
+//! strategies" as future work. This module implements that rule plus
+//! three alternatives, all sharing the same interface so the ablation
+//! harness can sweep them.
+
+use kgstore::Atom;
+use serde::{Deserialize, Serialize};
+
+/// One candidate subject produced by semantic querying.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Subject entity (atom in the source's table).
+    pub subject: Atom,
+    /// Number of distinct retrieved triples with this subject.
+    pub count: usize,
+    /// Mean similarity of those triples.
+    pub mean_score: f32,
+    /// Source popularity of the entity (0 when unknown).
+    pub popularity: f32,
+}
+
+/// The pruning rule to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PruneStrategy {
+    /// The paper's §3.2.1 rule: keep the top-`k` candidates by count
+    /// (`k = |S_p|`), then drop those with mean score below the
+    /// threshold.
+    PaperTwoStep,
+    /// Rank by `count · mean_score` (one fused signal) and keep top-`k`
+    /// above the threshold.
+    ScoreWeighted,
+    /// Ignore `k`: keep *every* candidate above the threshold, capped at
+    /// `max` (recall-oriented; risks prompt bloat).
+    AdaptiveK {
+        /// Hard cap on survivors.
+        max: usize,
+    },
+    /// The paper's rule with a popularity prior mixed into the
+    /// confidence score (popular same-name entities win ties — the
+    /// "7 Yao Mings" heuristic made explicit).
+    PopularityPrior,
+}
+
+impl Default for PruneStrategy {
+    fn default() -> Self {
+        PruneStrategy::PaperTwoStep
+    }
+}
+
+impl PruneStrategy {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PruneStrategy::PaperTwoStep => "paper-two-step",
+            PruneStrategy::ScoreWeighted => "score-weighted",
+            PruneStrategy::AdaptiveK { .. } => "adaptive-k",
+            PruneStrategy::PopularityPrior => "popularity-prior",
+        }
+    }
+
+    /// Apply the rule: returns surviving `(subject, confidence)` pairs,
+    /// highest confidence first.
+    pub fn apply(
+        &self,
+        mut candidates: Vec<Candidate>,
+        k: usize,
+        threshold: f32,
+    ) -> Vec<(Atom, f32)> {
+        match self {
+            PruneStrategy::PaperTwoStep => {
+                candidates.sort_by(|a, b| {
+                    b.count.cmp(&a.count).then_with(|| a.subject.cmp(&b.subject))
+                });
+                candidates.truncate(k);
+                finish(candidates, threshold, |c| c.mean_score)
+            }
+            PruneStrategy::ScoreWeighted => {
+                candidates.sort_by(|a, b| {
+                    let fa = a.count as f32 * a.mean_score;
+                    let fb = b.count as f32 * b.mean_score;
+                    fb.partial_cmp(&fa)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.subject.cmp(&b.subject))
+                });
+                candidates.truncate(k);
+                finish(candidates, threshold, |c| c.mean_score)
+            }
+            PruneStrategy::AdaptiveK { max } => {
+                candidates.sort_by(|a, b| {
+                    b.mean_score
+                        .partial_cmp(&a.mean_score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.subject.cmp(&b.subject))
+                });
+                candidates.truncate(*max);
+                finish(candidates, threshold, |c| c.mean_score)
+            }
+            PruneStrategy::PopularityPrior => {
+                candidates.sort_by(|a, b| {
+                    b.count.cmp(&a.count).then_with(|| a.subject.cmp(&b.subject))
+                });
+                candidates.truncate(k);
+                finish(candidates, threshold, |c| {
+                    0.85 * c.mean_score + 0.15 * c.popularity
+                })
+            }
+        }
+    }
+}
+
+fn finish(
+    candidates: Vec<Candidate>,
+    threshold: f32,
+    confidence: impl Fn(&Candidate) -> f32,
+) -> Vec<(Atom, f32)> {
+    let mut out: Vec<(Atom, f32)> = candidates
+        .iter()
+        .map(|c| (c.subject, confidence(c)))
+        .filter(|&(_, conf)| conf >= threshold)
+        .collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u32, count: usize, mean: f32, pop: f32) -> Candidate {
+        Candidate { subject: Atom(id), count, mean_score: mean, popularity: pop }
+    }
+
+    #[test]
+    fn paper_rule_keeps_top_k_by_count_then_thresholds() {
+        let cands = vec![
+            cand(1, 5, 0.50, 0.1),
+            cand(2, 3, 0.90, 0.1),
+            cand(3, 1, 0.95, 0.1),
+        ];
+        let kept = PruneStrategy::PaperTwoStep.apply(cands, 2, 0.4);
+        // k=2 keeps subjects 1 and 2 (by count); 3 is cut despite its score.
+        assert_eq!(kept.iter().map(|(a, _)| a.0).collect::<Vec<_>>(), [2, 1]);
+    }
+
+    #[test]
+    fn threshold_cuts_low_confidence() {
+        let cands = vec![cand(1, 5, 0.2, 0.0), cand(2, 4, 0.8, 0.0)];
+        let kept = PruneStrategy::PaperTwoStep.apply(cands, 5, 0.5);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].0 .0, 2);
+    }
+
+    #[test]
+    fn adaptive_k_ignores_k_and_caps() {
+        let cands: Vec<_> = (0..10).map(|i| cand(i, 1, 0.9, 0.0)).collect();
+        let kept = PruneStrategy::AdaptiveK { max: 6 }.apply(cands, 1, 0.5);
+        assert_eq!(kept.len(), 6);
+    }
+
+    #[test]
+    fn score_weighted_fuses_count_and_score() {
+        let cands = vec![
+            cand(1, 10, 0.30, 0.0), // fused 3.0
+            cand(2, 2, 0.90, 0.0),  // fused 1.8
+            cand(3, 6, 0.60, 0.0),  // fused 3.6
+        ];
+        let kept = PruneStrategy::ScoreWeighted.apply(cands, 2, 0.0);
+        assert_eq!(kept.iter().map(|(a, _)| a.0).collect::<Vec<_>>().len(), 2);
+        // Survivors are 3 and 1 (fused ranking), ordered by confidence
+        // (mean score): 3 (0.6) before 1 (0.3).
+        assert_eq!(kept[0].0 .0, 3);
+        assert_eq!(kept[1].0 .0, 1);
+    }
+
+    #[test]
+    fn popularity_prior_breaks_ties_toward_popular() {
+        let cands = vec![cand(1, 3, 0.50, 0.0), cand(2, 3, 0.50, 1.0)];
+        let kept = PruneStrategy::PopularityPrior.apply(cands, 2, 0.0);
+        assert_eq!(kept[0].0 .0, 2, "popular entity must rank first");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PruneStrategy::default().name(), "paper-two-step");
+        assert_eq!(PruneStrategy::AdaptiveK { max: 5 }.name(), "adaptive-k");
+    }
+}

@@ -1,0 +1,145 @@
+//! Result persistence: write per-run JSON records and a markdown
+//! summary, so experiment outputs are diffable artifacts rather than
+//! terminal scrollback.
+
+use crate::runner::RunResult;
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Aggregate summary of one run (the part worth diffing).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Questions scored.
+    pub questions: usize,
+    /// Headline score (Hit@1 % or mean ROUGE-L-F1 %).
+    pub score: f64,
+    /// Hit@1 numerator (0 for ROUGE datasets).
+    pub hits: usize,
+    /// Questions with a recorded Cypher failure.
+    pub cypher_failures: usize,
+    /// Questions whose ground graph was empty.
+    pub empty_ground: usize,
+}
+
+impl RunSummary {
+    /// Summarise a run result.
+    pub fn of(run: &RunResult) -> Self {
+        Self {
+            method: run.method.clone(),
+            dataset: run.dataset.clone(),
+            questions: run.records.len(),
+            score: run.score(),
+            hits: run.hit.hits,
+            cypher_failures: run
+                .records
+                .iter()
+                .filter(|r| r.trace.cypher_error.is_some())
+                .count(),
+            empty_ground: run
+                .records
+                .iter()
+                .filter(|r| r.trace.ground_entities.is_empty())
+                .count(),
+        }
+    }
+}
+
+/// Write the full per-question records as JSON Lines (one record per
+/// line — greppable, streamable).
+pub fn write_records_jsonl(run: &RunResult, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for r in &run.records {
+        serde_json::to_writer(&mut f, r)?;
+        f.write_all(b"\n")?;
+    }
+    f.flush()
+}
+
+/// Write a summary of several runs as a markdown table.
+pub fn write_markdown_summary(runs: &[RunSummary], path: &Path) -> std::io::Result<()> {
+    let mut out = String::from(
+        "| method | dataset | n | score | hits | cypher failures | empty ground |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for s in runs {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1} | {} | {} | {} |\n",
+            s.method, s.dataset, s.questions, s.score, s.hits, s.cypher_failures, s.empty_ground
+        ));
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Record;
+    use evalkit::HitAccumulator;
+
+    fn fake_run() -> RunResult {
+        let mut hit = HitAccumulator::default();
+        hit.record(true);
+        hit.record(false);
+        RunResult {
+            method: "Ours".into(),
+            dataset: "QALD-10".into(),
+            hit,
+            rouge: Default::default(),
+            records: vec![
+                Record {
+                    qid: "q0".into(),
+                    question: "who?".into(),
+                    answer: "x".into(),
+                    hit: Some(true),
+                    rouge: None,
+                    trace: Default::default(),
+                },
+                Record {
+                    qid: "q1".into(),
+                    question: "what?".into(),
+                    answer: "y".into(),
+                    hit: Some(false),
+                    rouge: None,
+                    trace: crate::method::Trace {
+                        cypher_error: Some("spurious-match".into()),
+                        ..Default::default()
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = RunSummary::of(&fake_run());
+        assert_eq!(s.questions, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.cypher_failures, 1);
+        assert_eq!(s.empty_ground, 2);
+        assert!((s.score - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_and_markdown_roundtrip() {
+        let dir = std::env::temp_dir().join("pmkg-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = fake_run();
+        let jsonl = dir.join("records.jsonl");
+        write_records_jsonl(&run, &jsonl).unwrap();
+        let content = std::fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        let first: Record = serde_json::from_str(content.lines().next().unwrap()).unwrap();
+        assert_eq!(first.qid, "q0");
+
+        let md = dir.join("summary.md");
+        write_markdown_summary(&[RunSummary::of(&run)], &md).unwrap();
+        let content = std::fs::read_to_string(&md).unwrap();
+        assert!(content.contains("| Ours | QALD-10 | 2 | 50.0 |"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

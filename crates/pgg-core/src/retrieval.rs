@@ -1,0 +1,348 @@
+//! Semantic querying + two-step pruning (paper §3.2.1).
+//!
+//! The paper constructs, per dataset, a semantic KG from the questions
+//! ("we use the full dataset for testing and constructing the
+//! corresponding semantic KG based on the questions") — the union of
+//! question-scoped subgraph extractions — and encodes it once. Querying
+//! then runs per pseudo-triple against that dataset-level index, where
+//! same-name entities, sibling facts, and unrelated-but-similar triples
+//! genuinely compete:
+//!
+//! 1. Build (or receive) the dataset-level base index.
+//! 2. For each pseudo-triple retrieve the top-10 most similar triples →
+//!    `G_t` (with per-triple similarity scores).
+//! 3. Pruning step 1 (popularity): keep the `k = |S_p|` candidate
+//!    subjects with the most retrieved triples.
+//! 4. Pruning step 2 (confidence): score each subject by the mean
+//!    similarity of its retrieved triples, drop those below the
+//!    threshold, sort the rest descending → ground graph `G_g`.
+
+use crate::config::PipelineConfig;
+use crate::prune::Candidate;
+use kgstore::hash::{FxHashMap, FxHashSet};
+use kgstore::{extract, Atom, KgSource, StrTriple, Triple};
+use semvec::{verbalize_triple, Embedder, VecIndex};
+use simllm::{GroundEntity, GroundGraph};
+
+/// A pre-encoded semantic KG: verbalised triples, their subject atoms
+/// (into the source's table), and the vector index.
+pub struct BaseIndex {
+    /// Verbalised triples in index order.
+    pub verbalised: Vec<StrTriple>,
+    /// Subject atom of each triple (resolvable in the source).
+    pub subjects: Vec<Atom>,
+    /// The vector index over the verbalised sentences.
+    pub index: VecIndex,
+}
+
+impl BaseIndex {
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.verbalised.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.verbalised.is_empty()
+    }
+
+    /// Build from an explicit set of triples of a source.
+    pub fn from_triples(
+        source: &KgSource,
+        embedder: &Embedder,
+        triples: impl IntoIterator<Item = Triple>,
+    ) -> Self {
+        let mut verbalised = Vec::new();
+        let mut subjects = Vec::new();
+        let mut index = VecIndex::new(embedder.dim());
+        for t in triples {
+            let v = source.verbalize(t);
+            let v = StrTriple::new(v.s, semvec::humanize_term(&v.p), v.o);
+            index.add(&embedder.encode(&v.sentence()));
+            verbalised.push(v);
+            subjects.push(t.s);
+        }
+        Self { verbalised, subjects, index }
+    }
+
+    /// The paper's per-dataset construction: union of question-scoped
+    /// extractions over all dataset questions.
+    pub fn for_questions<'a>(
+        source: &KgSource,
+        embedder: &Embedder,
+        cfg: &PipelineConfig,
+        questions: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
+        let mut seen: FxHashSet<Triple> = FxHashSet::default();
+        let mut union: Vec<Triple> = Vec::new();
+        for q in questions {
+            for t in extract(source, q, &cfg.extract).triples {
+                if seen.insert(t) {
+                    union.push(t);
+                }
+            }
+        }
+        Self::from_triples(source, embedder, union)
+    }
+
+    /// Question-scoped construction (used when no dataset-level index
+    /// was prebuilt).
+    pub fn for_question(
+        source: &KgSource,
+        embedder: &Embedder,
+        cfg: &PipelineConfig,
+        question: &str,
+    ) -> Self {
+        Self::from_triples(source, embedder, extract(source, question, &cfg.extract).triples)
+    }
+}
+
+/// Intermediate retrieval diagnostics, recorded in traces and used by
+/// the error-analysis harness.
+#[derive(Debug, Clone, Default)]
+pub struct RetrievalStats {
+    /// Size of the base index queried.
+    pub base_triples: usize,
+    /// Distinct pseudo-graph subjects (`k` of pruning step 1).
+    pub pseudo_subjects: usize,
+    /// Candidate subjects found by querying.
+    pub candidate_subjects: usize,
+    /// Subjects surviving both pruning steps.
+    pub surviving_subjects: usize,
+}
+
+/// Run semantic querying + two-step pruning for one question against a
+/// base index.
+pub fn ground_graph(
+    source: &KgSource,
+    base: &BaseIndex,
+    embedder: &Embedder,
+    cfg: &PipelineConfig,
+    pseudo: &[StrTriple],
+) -> (GroundGraph, RetrievalStats) {
+    let mut stats = RetrievalStats {
+        base_triples: base.len(),
+        ..Default::default()
+    };
+    if base.is_empty() || pseudo.is_empty() {
+        return (GroundGraph::default(), stats);
+    }
+
+    // Distinct pseudo subjects define k.
+    let mut pseudo_subjects: Vec<&str> = Vec::new();
+    for t in pseudo {
+        if !pseudo_subjects.iter().any(|s| s.eq_ignore_ascii_case(&t.s)) {
+            pseudo_subjects.push(&t.s);
+        }
+    }
+    let k = pseudo_subjects.len().max(1);
+    stats.pseudo_subjects = k;
+
+    // Per-base-triple best similarity across pseudo-triple queries.
+    let mut best_score: FxHashMap<usize, f32> = FxHashMap::default();
+    for t in pseudo {
+        let sentence = verbalize_triple(t);
+        let q = embedder.encode(&sentence);
+        let salt = kgstore::hash::stable_str_hash(&sentence);
+        for hit in base.index.top_k_noisy(&q, cfg.top_k, cfg.retrieval_jitter, salt) {
+            let e = best_score.entry(hit.id).or_insert(f32::MIN);
+            if hit.score > *e {
+                *e = hit.score;
+            }
+        }
+    }
+
+    // Group retrieved triples by subject entity.
+    struct Agg {
+        count: usize,
+        score_sum: f32,
+    }
+    let mut by_subject: FxHashMap<Atom, Agg> = FxHashMap::default();
+    for (&idx, &score) in &best_score {
+        let c = by_subject
+            .entry(base.subjects[idx])
+            .or_insert(Agg { count: 0, score_sum: 0.0 });
+        c.count += 1;
+        c.score_sum += score;
+    }
+    stats.candidate_subjects = by_subject.len();
+
+    // Pruning (paper rule or a configured alternative).
+    let candidates: Vec<Candidate> = by_subject
+        .into_iter()
+        .map(|(a, c)| Candidate {
+            subject: a,
+            count: c.count,
+            mean_score: c.score_sum / c.count as f32,
+            popularity: source.meta.popularity(a) as f32,
+        })
+        .collect();
+    let survivors = cfg.prune.apply(candidates, k, cfg.entity_threshold);
+    stats.surviving_subjects = survivors.len();
+
+    // Materialise the ground graph: *all* of each surviving subject's
+    // triples in the source (capped), so the verifier sees complete
+    // member lists, not just the retrieved sample.
+    let entities = survivors
+        .into_iter()
+        .map(|(subject, score)| {
+            let mut triples: Vec<StrTriple> = source
+                .store
+                .by_subject(subject)
+                .take(cfg.max_entity_triples)
+                .map(|t| {
+                    let v = source.verbalize(t);
+                    StrTriple::new(v.s, semvec::humanize_term(&v.p), v.o)
+                })
+                .collect();
+            triples.sort();
+            triples.dedup();
+            let meta = source.meta.get(subject);
+            GroundEntity {
+                label: source.label_of(subject).to_string(),
+                description: meta.map(|m| m.description.clone()).unwrap_or_default(),
+                score,
+                triples,
+            }
+        })
+        .collect();
+
+    (GroundGraph { entities }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgstore::{EntityMeta, SchemaStyle};
+
+    fn source() -> KgSource {
+        let mut src = KgSource::new("t", SchemaStyle::WikidataLike);
+        for (id, label, pop, desc) in [
+            ("Q1", "Yao Ming", 0.95, "basketball player"),
+            ("Q2", "Yao Ming", 0.05, "Song dynasty poet"),
+            ("Q3", "Shanghai", 0.8, "city"),
+            ("Q4", "China", 0.9, "country"),
+        ] {
+            src.add_entity(
+                id,
+                EntityMeta {
+                    label: label.into(),
+                    aliases: vec![],
+                    description: desc.into(),
+                    popularity: pop,
+                },
+            );
+        }
+        // Popular Yao Ming: rich facts.
+        src.add_fact("Q1", "place of birth", "Q3");
+        src.add_fact("Q1", "occupation", "basketball player");
+        src.add_fact("Q1", "country of citizenship", "Q4");
+        src.add_fact("Q1", "description", "basketball player");
+        // Namesake: sparse facts.
+        src.add_fact("Q2", "era", "Song dynasty");
+        src.add_fact("Q3", "country", "Q4");
+        src
+    }
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig::default()
+    }
+
+    fn base_for(src: &KgSource, emb: &Embedder, question: &str) -> BaseIndex {
+        BaseIndex::for_question(src, emb, &cfg(), question)
+    }
+
+    #[test]
+    fn retrieves_and_disambiguates_popular_entity() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "Where was Yao Ming born?");
+        let pseudo = vec![StrTriple::new("Yao Ming", "BORN_IN", "Beijing")];
+        let (g, stats) = ground_graph(&src, &base, &emb, &cfg(), &pseudo);
+        assert!(stats.base_triples >= 5);
+        assert!(!g.is_empty(), "ground graph empty: {stats:?}");
+        // The popular Yao Ming (more matching triples) must rank first.
+        assert_eq!(g.entities[0].label, "Yao Ming");
+        assert_eq!(g.entities[0].description, "basketball player");
+        // And its triples must include the birth fact.
+        assert!(g.entities[0]
+            .triples
+            .iter()
+            .any(|t| t.p.contains("birth") && t.o == "Shanghai"));
+    }
+
+    #[test]
+    fn dataset_level_index_unions_questions() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = BaseIndex::for_questions(
+            &src,
+            &emb,
+            &cfg(),
+            ["Where was Yao Ming born?", "In which country is Shanghai?"],
+        );
+        let single = base_for(&src, &emb, "Where was Yao Ming born?");
+        assert!(base.len() >= single.len());
+    }
+
+    #[test]
+    fn k_limits_candidates_to_pseudo_subject_count() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "Where was Yao Ming born?");
+        let pseudo = vec![StrTriple::new("Yao Ming", "BORN_IN", "Beijing")];
+        let (g, _) = ground_graph(&src, &base, &emb, &cfg(), &pseudo);
+        assert!(g.entities.len() <= 1);
+    }
+
+    #[test]
+    fn high_threshold_prunes_everything() {
+        // The paper's Figure-7 failure mode: threshold too high → all
+        // entities pruned.
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "Where was Yao Ming born?");
+        let pseudo = vec![StrTriple::new("Yao Ming", "BORN_IN", "Beijing")];
+        let mut c = cfg();
+        c.entity_threshold = 0.99;
+        let (g, stats) = ground_graph(&src, &base, &emb, &c, &pseudo);
+        assert!(g.is_empty());
+        assert!(stats.candidate_subjects > 0);
+        assert_eq!(stats.surviving_subjects, 0);
+    }
+
+    #[test]
+    fn empty_pseudo_graph_yields_empty_ground_graph() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "Where was Yao Ming born?");
+        let (g, _) = ground_graph(&src, &base, &emb, &cfg(), &[]);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn unmatched_question_yields_empty_base() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "What is love?");
+        let pseudo = vec![StrTriple::new("Nobody", "KNOWS", "Nothing")];
+        let (g, stats) = ground_graph(&src, &base, &emb, &cfg(), &pseudo);
+        assert_eq!(stats.base_triples, 0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "Where was Yao Ming born in Shanghai?");
+        let pseudo = vec![
+            StrTriple::new("Yao Ming", "BORN_IN", "Shanghai"),
+            StrTriple::new("Shanghai", "LOCATED_IN", "China"),
+        ];
+        let (g, _) = ground_graph(&src, &base, &emb, &cfg(), &pseudo);
+        for pair in g.entities.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Exact top-k vector index.
+//!
+//! Per-question KG subsets (`G_base`) are a few thousand triples, so an
+//! exact scan with a bounded min-heap is both simplest and fastest —
+//! flat storage keeps the scan cache-friendly.
+
+use crate::embed::dot;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scored hit: payload index plus similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Index of the vector in insertion order (caller maps to payloads).
+    pub id: usize,
+    /// Similarity score (dot product; cosine for unit-norm vectors).
+    pub score: f32,
+}
+
+/// Heap entry ordered by score (min-heap via Reverse comparisons).
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry(Hit);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.score == other.0.score && self.0.id == other.0.id
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the *worst* hit on
+        // top so it can be evicted — worst = lowest score, and among
+        // equal scores the highest id (so lower ids win ties, matching
+        // a stable brute-force sort).
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+/// Flat, append-only vector index with exact top-k search.
+#[derive(Debug, Clone, Default)]
+pub struct VecIndex {
+    dim: usize,
+    data: Vec<f32>,
+    len: usize,
+}
+
+impl VecIndex {
+    /// New index for vectors of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0);
+        Self {
+            dim,
+            data: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Build from an iterator of vectors.
+    pub fn from_vectors<I: IntoIterator<Item = Vec<f32>>>(dim: usize, vecs: I) -> Self {
+        let mut idx = Self::new(dim);
+        for v in vecs {
+            idx.add(&v);
+        }
+        idx
+    }
+
+    /// Append a vector; its id is its insertion order.
+    pub fn add(&mut self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        self.data.extend_from_slice(v);
+        self.len += 1;
+        self.len - 1
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stored vector with a given id.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Exact top-k by dot product, highest score first. Deterministic:
+    /// ties broken by lower id first.
+    pub fn top_k(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for id in 0..self.len {
+            let score = dot(query, self.vector(id));
+            if heap.len() < k {
+                heap.push(HeapEntry(Hit { id, score }));
+            } else if let Some(worst) = heap.peek() {
+                if score > worst.0.score
+                    || (score == worst.0.score && id < worst.0.id)
+                {
+                    heap.pop();
+                    heap.push(HeapEntry(Hit { id, score }));
+                }
+            }
+        }
+        let mut hits: Vec<Hit> = heap.into_iter().map(|e| e.0).collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits
+    }
+
+    /// Exact top-k with deterministic per-(query, doc) score jitter.
+    ///
+    /// Dense retrieval at corpus scale does not rank by clean lexical
+    /// overlap: hubness, paraphrase misalignment, and sheer competition
+    /// make recall@k well below 1 even for "obvious" matches. A flat
+    /// in-memory index cannot exhibit that, so the jitter injects it:
+    /// every (query, document) pair gets a stable uniform perturbation
+    /// of standard deviation `sigma` added to its score before ranking.
+    /// `salt` must identify the query (e.g. a hash of its text).
+    pub fn top_k_noisy(&self, query: &[f32], k: usize, sigma: f32, salt: u64) -> Vec<Hit> {
+        use kgstore::hash::{mix2, unit_f64};
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if sigma <= 0.0 {
+            return self.top_k(query, k);
+        }
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let mut hits: Vec<Hit> = (0..self.len)
+            .map(|id| {
+                let jitter =
+                    (unit_f64(mix2(salt, id as u64)) as f32 * 2.0 - 1.0) * sigma * 1.732;
+                Hit { id, score: dot(query, self.vector(id)) + jitter }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// All hits with score ≥ `threshold`, highest first.
+    pub fn above_threshold(&self, query: &[f32], threshold: f32) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = (0..self.len)
+            .filter_map(|id| {
+                let score = dot(query, self.vector(id));
+                (score >= threshold).then_some(Hit { id, score })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(v: Vec<f32>) -> Vec<f32> {
+        let mut v = v;
+        crate::embed::l2_normalize(&mut v);
+        v
+    }
+
+    fn sample() -> VecIndex {
+        VecIndex::from_vectors(
+            3,
+            vec![
+                unit(vec![1.0, 0.0, 0.0]),
+                unit(vec![0.0, 1.0, 0.0]),
+                unit(vec![1.0, 1.0, 0.0]),
+                unit(vec![0.0, 0.0, 1.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity() {
+        let idx = sample();
+        let q = unit(vec![1.0, 0.1, 0.0]);
+        let hits = idx.top_k(&q, 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 2);
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn top_k_more_than_len_returns_all() {
+        let idx = sample();
+        let hits = idx.top_k(&unit(vec![1.0, 1.0, 1.0]), 10);
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        let idx = sample();
+        assert!(idx.top_k(&unit(vec![1.0, 0.0, 0.0]), 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_lower_id() {
+        let idx = VecIndex::from_vectors(
+            2,
+            vec![unit(vec![1.0, 0.0]), unit(vec![1.0, 0.0]), unit(vec![1.0, 0.0])],
+        );
+        let hits = idx.top_k(&unit(vec![1.0, 0.0]), 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 1);
+    }
+
+    #[test]
+    fn noisy_top_k_is_deterministic_and_reranks() {
+        let vecs: Vec<Vec<f32>> = (0..50)
+            .map(|i| unit(vec![1.0, i as f32 * 0.01, 0.0]))
+            .collect();
+        let idx = VecIndex::from_vectors(3, vecs);
+        let q = unit(vec![1.0, 0.5, 0.0]);
+        let clean = idx.top_k(&q, 5);
+        let a = idx.top_k_noisy(&q, 5, 0.2, 42);
+        let b = idx.top_k_noisy(&q, 5, 0.2, 42);
+        assert_eq!(a, b, "same salt → same ranking");
+        let c = idx.top_k_noisy(&q, 5, 0.2, 43);
+        assert_ne!(a, c, "different salt → different ranking (w.h.p.)");
+        assert_ne!(
+            a.iter().map(|h| h.id).collect::<Vec<_>>(),
+            clean.iter().map(|h| h.id).collect::<Vec<_>>(),
+            "jitter should perturb the clean ranking (w.h.p.)"
+        );
+        // sigma == 0 falls back to the exact ranking.
+        assert_eq!(idx.top_k_noisy(&q, 5, 0.0, 42), clean);
+    }
+
+    #[test]
+    fn above_threshold_filters() {
+        let idx = sample();
+        let q = unit(vec![1.0, 0.0, 0.0]);
+        let hits = idx.above_threshold(&q, 0.9);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = VecIndex::new(4);
+        assert!(idx.top_k(&[0.0; 4], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn add_checks_dims() {
+        VecIndex::new(3).add(&[1.0, 2.0]);
+    }
+}

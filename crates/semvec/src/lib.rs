@@ -1,0 +1,30 @@
+//! # semvec — deterministic semantic encoding and retrieval
+//!
+//! The paper encodes KG triples with Sentence-BERT and retrieves the
+//! top-10 most cosine-similar KG triples per pseudo-triple. This crate
+//! is the offline stand-in: a feature-hashing sentence encoder whose
+//! cosine similarity preserves the ordering the pipeline needs
+//! (same fact > related fact > unrelated), plus an exact top-k index.
+//!
+//! * [`token`] — tokenizer, stopwords, conservative stemmer, n-grams;
+//! * [`synonym`] — folding of verbalisation variants (schema-agnostic);
+//! * [`embed`] — the encoder (ℝ^256, signed feature hashing, L2-norm);
+//! * [`index`] — flat exact top-k / threshold search;
+//! * [`verbalize`] — schema term humanisation for prompts and encoding.
+
+#![warn(missing_docs)]
+
+pub mod embed;
+pub mod idf;
+pub mod index;
+pub mod inverted;
+pub mod synonym;
+pub mod token;
+pub mod verbalize;
+
+pub use embed::{cosine, dot, l2_normalize, EmbedConfig, Embedder, Vector};
+pub use idf::IdfModel;
+pub use inverted::HybridIndex;
+pub use index::{Hit, VecIndex};
+pub use synonym::SynonymTable;
+pub use verbalize::{display_triple, humanize_term, verbalize_triple};

@@ -1,0 +1,141 @@
+//! Synonym folding: map verbalisation variants onto shared canonical
+//! tokens so that, e.g., a pseudo-triple saying `born in` lands close to
+//! a Wikidata triple saying `place of birth` and a Freebase triple
+//! saying `/people/person/place_of_birth`.
+//!
+//! A real sentence encoder learns these equivalences from data; our
+//! deterministic encoder gets them from a curated table. The table is
+//! *schema-agnostic* — it maps English stems to English stems and knows
+//! nothing about any particular KG, preserving the paper's
+//! "independent of the KG schema" property.
+
+use kgstore::hash::FxHashMap;
+
+/// A token → canonical-token mapping applied after stemming.
+#[derive(Debug, Clone, Default)]
+pub struct SynonymTable {
+    map: FxHashMap<String, String>,
+}
+
+impl SynonymTable {
+    /// Empty table (no folding).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The built-in table covering the relation vocabulary the world
+    /// generator and common QA phrasing use.
+    pub fn builtin() -> Self {
+        let mut t = Self::default();
+        // groups: every token folds to the first element.
+        const GROUPS: &[&[&str]] = &[
+            &["birth", "born", "birthplace", "natal"],
+            &["death", "die", "dy"], // "died"->"di"+"ed"? stem gives "di"; keep "dy" for "dying"
+            &["locat", "situat", "posit", "place"],
+            &["capital"],
+            &["country", "nation", "state"],
+            &["author", "writer", "wrote", "write", "written"],
+            &["direct", "director", "film_direct"],
+            &["spouse", "marry", "marri", "husband", "wife", "wed"],
+            &["child", "son", "daughter", "offspring"],
+            &["parent", "father", "mother"],
+            &["found", "founder", "establish", "creat", "creator"],
+            &["occupation", "profession", "job", "work"],
+            &["genre", "style"],
+            &["educat", "school", "university", "study", "studi", "alma", "mater"],
+            &["employ", "employer", "company"],
+            &["headquarter", "hq", "base"],
+            &["area", "size", "extent"],
+            &["height", "elevation", "tall", "altitude"],
+            &["length", "long"],
+            &["population", "inhabitant", "people"],
+            &["flow", "discharge", "drain"],
+            &["cover", "span", "cross", "extend"],
+            &["border", "adjacent", "neighbor", "neighbour"],
+            &["member", "belong", "part"],
+            &["award", "prize", "honor", "honour", "won", "win"],
+            
+            &["develop", "developer", "make", "made", "build", "built", "manufactur", "produc"],
+            &["use", "us", "utiliz", "employ"],
+            &["chip", "processor", "cpu", "soc"],
+            &["language", "tongue"],
+            &["currency", "money"],
+            &["religion", "faith"],
+            &["citizen", "nationality", "citizenship"],
+            &["instrument", "play"],
+            &["label", "record"],
+            &["team", "club"],
+            &["league", "division"],
+            &["sport", "game", "discipline"],
+            &["paint", "painter", "painting"],
+            &["compos", "composer", "music"],
+            &["sing", "singer", "vocalist"],
+            &["star", "act", "actor", "actress", "cast"],
+            &["publish", "publisher", "release"],
+            &["own", "owner", "possess"],
+            &["lead", "led", "leader", "head", "chief", "ceo", "president"],
+            &["famous", "renown", "notabl", "known", "acknowledg", "pioneer", "trailblazer", "invent", "inventor"],
+        ];
+        for group in GROUPS {
+            let canon = group[0];
+            for &word in group.iter() {
+                t.map.insert(word.to_string(), canon.to_string());
+            }
+        }
+        t
+    }
+
+    /// Add a custom synonym: `variant` folds to `canonical`.
+    pub fn add(&mut self, variant: &str, canonical: &str) {
+        self.map.insert(variant.to_string(), canonical.to_string());
+    }
+
+    /// Fold a (stemmed) token to its canonical form.
+    pub fn fold<'a>(&'a self, tok: &'a str) -> &'a str {
+        self.map.get(tok).map_or(tok, |s| s.as_str())
+    }
+
+    /// Number of mapped variants.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_folds_birth_variants() {
+        let t = SynonymTable::builtin();
+        assert_eq!(t.fold("born"), "birth");
+        assert_eq!(t.fold("birthplace"), "birth");
+        assert_eq!(t.fold("birth"), "birth");
+    }
+
+    #[test]
+    fn unknown_tokens_pass_through() {
+        let t = SynonymTable::builtin();
+        assert_eq!(t.fold("shanghai"), "shanghai");
+    }
+
+    #[test]
+    fn custom_additions_win() {
+        let mut t = SynonymTable::empty();
+        t.add("mid", "identifier");
+        assert_eq!(t.fold("mid"), "identifier");
+        assert_eq!(t.fold("qid"), "qid");
+    }
+
+    #[test]
+    fn empty_table_is_identity() {
+        let t = SynonymTable::empty();
+        assert!(t.is_empty());
+        assert_eq!(t.fold("born"), "born");
+    }
+}

@@ -1,0 +1,154 @@
+//! Tokenization and light normalisation for the semantic encoder.
+
+/// Small English stopword list. Kept deliberately short: relation
+/// verbalisations like "place of birth" lose "of" but keep the
+/// content words that carry the semantics.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "by", "is", "are", "was", "were",
+    "be", "been", "with", "and", "or", "that", "this", "it", "its", "as", "from", "which",
+    "who", "whom", "what", "when", "where", "how", "does", "do", "did", "has", "have", "had",
+];
+
+/// Whether a token is a stopword.
+pub fn is_stopword(tok: &str) -> bool {
+    STOPWORDS.contains(&tok)
+}
+
+/// Conservative suffix-stripping stemmer.
+///
+/// Only high-precision transforms: plural `-s`/`-es`, `-ing`, `-ed`,
+/// with guards against short stems ("born" must not become "bor").
+pub fn stem(tok: &str) -> String {
+    let t = tok;
+    if t.len() > 4 && t.ends_with("ies") {
+        return format!("{}y", &t[..t.len() - 3]);
+    }
+    if t.len() > 4 && t.ends_with("ing") {
+        return t[..t.len() - 3].to_string();
+    }
+    if t.len() > 4 && t.ends_with("ed") && !t.ends_with("eed") {
+        return t[..t.len() - 2].to_string();
+    }
+    // `-es` only after sibilants (boxes, watches, glasses); plain
+    // `lakes` is handled by the general `-s` rule below.
+    if t.len() > 4
+        && (t.ends_with("xes")
+            || t.ends_with("zes")
+            || t.ends_with("ches")
+            || t.ends_with("shes")
+            || t.ends_with("sses"))
+    {
+        return t[..t.len() - 2].to_string();
+    }
+    if t.len() > 3 && t.ends_with('s') && !t.ends_with("ss") && !t.ends_with("us") {
+        return t[..t.len() - 1].to_string();
+    }
+    t.to_string()
+}
+
+/// Split text into lowercase word tokens. Handles the schema forms both
+/// KG styles produce:
+/// * Freebase paths: `/people/person/place_of_birth` → `people person
+///   place birth` (after stopword removal);
+/// * SCREAMING_SNAKE relationship types: `COMES_WITH` → `comes with`;
+/// * camelCase identifiers: `MountainRange` → `mountain range`.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut prev_lower = false;
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            // camelCase boundary: previous lowercase, current uppercase.
+            if ch.is_uppercase() && prev_lower && !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            prev_lower = ch.is_lowercase() || ch.is_numeric();
+            cur.extend(ch.to_lowercase());
+        } else {
+            prev_lower = false;
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Full normalisation pipeline: tokenize → drop stopwords → stem.
+pub fn normalize(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !is_stopword(t))
+        .map(|t| stem(&t))
+        .collect()
+}
+
+/// Character n-grams of a token (used as sub-word features so near-miss
+/// spellings still overlap).
+pub fn char_ngrams(tok: &str, n: usize) -> Vec<String> {
+    let chars: Vec<char> = tok.chars().collect();
+    if chars.len() < n {
+        return vec![tok.to_string()];
+    }
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_freebase_path() {
+        assert_eq!(
+            tokenize("/people/person/place_of_birth"),
+            ["people", "person", "place", "of", "birth"]
+        );
+    }
+
+    #[test]
+    fn tokenize_screaming_snake() {
+        assert_eq!(tokenize("COMES_WITH"), ["comes", "with"]);
+    }
+
+    #[test]
+    fn tokenize_camel_case() {
+        assert_eq!(tokenize("MountainRange"), ["mountain", "range"]);
+        assert_eq!(tokenize("placeOfBirth"), ["place", "of", "birth"]);
+    }
+
+    #[test]
+    fn normalize_drops_stopwords_and_stems() {
+        assert_eq!(normalize("the lakes of America"), ["lake", "america"]);
+        assert_eq!(normalize("place of birth"), ["place", "birth"]);
+    }
+
+    #[test]
+    fn stem_guards_short_words() {
+        assert_eq!(stem("born"), "born");
+        assert_eq!(stem("was"), "was"); // too short to strip
+        assert_eq!(stem("glasses"), "glass");
+        assert_eq!(stem("boxes"), "box");
+        assert_eq!(stem("lakes"), "lake");
+        assert_eq!(stem("countries"), "country");
+        assert_eq!(stem("covering"), "cover");
+        assert_eq!(stem("covered"), "cover");
+        assert_eq!(stem("glass"), "glass");
+        assert_eq!(stem("status"), "status");
+    }
+
+    #[test]
+    fn char_ngrams_basic() {
+        assert_eq!(char_ngrams("abcd", 3), ["abc", "bcd"]);
+        assert_eq!(char_ngrams("ab", 3), ["ab"]);
+    }
+
+    #[test]
+    fn unicode_tokens_survive() {
+        assert_eq!(tokenize("Kovács Kati"), ["kovács", "kati"]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Triple verbalisation: turn schema-flavoured triples into the plain
+//! "semantic form" sentence that gets encoded.
+//!
+//! The encoder's tokenizer already splits Freebase paths and
+//! SCREAMING_SNAKE types, but verbalisation is also needed as *display*
+//! text (prompts show triples to the LLM) so it lives here as an
+//! explicit, testable step.
+
+use kgstore::StrTriple;
+
+/// Humanise one schema-flavoured term:
+/// * `/people/person/place_of_birth` → `place of birth` (last path
+///   segment, underscores to spaces);
+/// * `COMES_WITH` → `comes with`;
+/// * `placeOfBirth` → `place of birth`;
+/// * plain text passes through unchanged.
+pub fn humanize_term(term: &str) -> String {
+    let last = if term.contains('/') {
+        term.rsplit('/').next().unwrap_or(term)
+    } else {
+        term
+    };
+    let mut out = String::with_capacity(last.len());
+    let mut prev_lower = false;
+    for ch in last.chars() {
+        if ch == '_' {
+            out.push(' ');
+            prev_lower = false;
+        } else if ch.is_uppercase() && prev_lower {
+            out.push(' ');
+            out.extend(ch.to_lowercase());
+            prev_lower = false;
+        } else {
+            let lower_in_screaming = term.chars().all(|c| !c.is_lowercase());
+            if ch.is_uppercase() && lower_in_screaming {
+                out.extend(ch.to_lowercase());
+            } else {
+                out.push(ch);
+            }
+            prev_lower = ch.is_lowercase() || ch.is_numeric();
+        }
+    }
+    out
+}
+
+/// Verbalise a triple into the sentence form fed to the encoder:
+/// subject and object as-is, predicate humanised.
+pub fn verbalize_triple(t: &StrTriple) -> String {
+    let mut out = String::with_capacity(t.s.len() + t.p.len() + t.o.len() + 2);
+    out.push_str(&t.s);
+    out.push(' ');
+    out.push_str(&humanize_term(&t.p));
+    out.push(' ');
+    out.push_str(&t.o);
+    out
+}
+
+/// Render a triple for prompt display: `<s> <humanised p> <o>`, the
+/// notation the paper's prompt figures use.
+pub fn display_triple(t: &StrTriple) -> String {
+    format!("<{}> <{}> <{}>", t.s, humanize_term(&t.p), t.o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn humanizes_freebase_paths() {
+        assert_eq!(humanize_term("/people/person/place_of_birth"), "place of birth");
+    }
+
+    #[test]
+    fn humanizes_screaming_snake() {
+        assert_eq!(humanize_term("COMES_WITH"), "comes with");
+        assert_eq!(humanize_term("HAS_PROPERTY"), "has property");
+    }
+
+    #[test]
+    fn humanizes_camel_case() {
+        assert_eq!(humanize_term("placeOfBirth"), "place of birth");
+    }
+
+    #[test]
+    fn plain_text_unchanged() {
+        assert_eq!(humanize_term("place of birth"), "place of birth");
+        assert_eq!(humanize_term("born in"), "born in");
+    }
+
+    #[test]
+    fn verbalize_and_display() {
+        let t = StrTriple::new("Yao Ming", "/people/person/place_of_birth", "Shanghai");
+        assert_eq!(verbalize_triple(&t), "Yao Ming place of birth Shanghai");
+        assert_eq!(display_triple(&t), "<Yao Ming> <place of birth> <Shanghai>");
+    }
+}

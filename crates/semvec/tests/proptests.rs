@@ -1,0 +1,95 @@
+//! Property-based tests of the encoder and index: norm and cosine
+//! invariants, top-k agreement with brute force, determinism.
+
+use proptest::prelude::*;
+use semvec::{cosine, dot, Embedder, VecIndex};
+
+fn text() -> impl Strategy<Value = String> {
+    "[a-zA-Z ]{1,60}"
+}
+
+proptest! {
+    /// Every encoding is unit-norm or exactly zero.
+    #[test]
+    fn encode_norm_is_unit_or_zero(t in text()) {
+        for emb in [Embedder::default(), Embedder::paper()] {
+            let v = emb.encode(&t);
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!(
+                norm == 0.0 || (norm - 1.0).abs() < 1e-4,
+                "norm {norm} for {t:?}"
+            );
+        }
+    }
+
+    /// Cosine is symmetric, bounded, and 1 on self (for non-zero texts).
+    #[test]
+    fn cosine_invariants(a in text(), b in text()) {
+        let emb = Embedder::paper();
+        let va = emb.encode(&a);
+        let vb = emb.encode(&b);
+        let ab = cosine(&va, &vb);
+        let ba = cosine(&vb, &va);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((-1.0001..=1.0001).contains(&ab));
+        if va.iter().any(|&x| x != 0.0) {
+            prop_assert!((cosine(&va, &va) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Encoding is deterministic.
+    #[test]
+    fn encode_is_deterministic(t in text()) {
+        let emb = Embedder::paper();
+        prop_assert_eq!(emb.encode(&t), emb.encode(&t));
+    }
+
+    /// top_k agrees with a brute-force sort of all dot products.
+    #[test]
+    fn topk_agrees_with_brute_force(
+        docs in proptest::collection::vec(text(), 1..40),
+        query in text(),
+        k in 1usize..12,
+    ) {
+        let emb = Embedder::default();
+        let vecs: Vec<Vec<f32>> = docs.iter().map(|d| emb.encode(d)).collect();
+        let index = VecIndex::from_vectors(emb.dim(), vecs.clone());
+        let q = emb.encode(&query);
+        let hits = index.top_k(&q, k);
+
+        let mut brute: Vec<(usize, f32)> = vecs.iter().map(|v| dot(&q, v)).enumerate().collect();
+        brute.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        brute.truncate(k);
+
+        prop_assert_eq!(hits.len(), brute.len().min(docs.len()));
+        for (hit, (id, score)) in hits.iter().zip(&brute) {
+            prop_assert_eq!(hit.id, *id);
+            prop_assert!((hit.score - score).abs() < 1e-5);
+        }
+    }
+
+    /// Jittered top-k is deterministic in (query, salt) and returns the
+    /// requested number of hits.
+    #[test]
+    fn jittered_topk_deterministic(
+        docs in proptest::collection::vec(text(), 2..30),
+        query in text(),
+        salt in any::<u64>(),
+    ) {
+        let emb = Embedder::default();
+        let index = VecIndex::from_vectors(emb.dim(), docs.iter().map(|d| emb.encode(d)));
+        let q = emb.encode(&query);
+        let a = index.top_k_noisy(&q, 5, 0.3, salt);
+        let b = index.top_k_noisy(&q, 5, 0.3, salt);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), 5usize.min(docs.len()));
+        // Scores sorted descending.
+        for w in a.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+}

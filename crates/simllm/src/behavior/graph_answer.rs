@@ -1,0 +1,283 @@
+//! Answer generation from the fixed graph (paper §3.3): the model is
+//! shown `G_f` and "largely follows the graph for responses" (§4.6.4),
+//! with a small slip rate where it ignores the graph and answers from
+//! memory instead.
+
+use crate::behavior::util::{
+    is_statement_artifact, labels_eq, pred_matches_rel, question_key,
+};
+use crate::behavior::answering;
+use crate::memory::{ParametricMemory, RecallMode};
+use kgstore::StrTriple;
+use worldgen::datasets::english_list;
+use worldgen::{EntityId, Intent, Question, RelId};
+
+/// Probability the model disregards the provided graph entirely.
+const GRAPH_SLIP_RATE: f64 = 0.02;
+
+/// Answer the question from the fixed graph `G_f`.
+pub fn answer_from_graph(mem: &ParametricMemory<'_>, q: &Question, graph: &[StrTriple]) -> String {
+    let qkey = question_key(q);
+    if mem.draw_event(qkey, 0xD0) < GRAPH_SLIP_RATE || graph.is_empty() {
+        // §4.6.4 slip: fall back to chain-of-thought from memory.
+        return answering::cot_answer(mem, q);
+    }
+    match &q.intent {
+        Intent::Chain { seed, path } => chain_answer(mem, q, graph, *seed, path),
+        Intent::List { seed, rel } => {
+            let subject = mem.world().label(*seed);
+            let objects = collect_objects(graph, subject, *rel);
+            match objects.len() {
+                0 => answering::cot_answer(mem, q),
+                1 => format!(
+                    "Based on the graph, the answer is {}.",
+                    objects[0]
+                ),
+                _ => format!(
+                    "Based on the graph, {} {} {}.",
+                    subject,
+                    rel.spec().phrase,
+                    english_list(&objects)
+                ),
+            }
+        }
+        Intent::WhoList { object, rel } => {
+            let field = mem.world().label(*object);
+            let subjects = collect_subjects(graph, field, *rel);
+            if subjects.is_empty() {
+                return answering::cot_answer(mem, q);
+            }
+            format!(
+                "Based on the graph, pioneers of {} include {}.",
+                field,
+                english_list(&subjects)
+            )
+        }
+        Intent::Compare { a, b, rel } => {
+            let (la, lb) = (mem.world().label(*a), mem.world().label(*b));
+            let ca = collect_objects(graph, la, *rel).len();
+            let cb = collect_objects(graph, lb, *rel).len();
+            let winner = match ca.cmp(&cb) {
+                std::cmp::Ordering::Greater => la,
+                std::cmp::Ordering::Less => lb,
+                std::cmp::Ordering::Equal => {
+                    // Graph is inconclusive: fall back to memory counts.
+                    let ma = mem.recall_list(*a, *rel, RecallMode::StepByStep).len();
+                    let mb = mem.recall_list(*b, *rel, RecallMode::StepByStep).len();
+                    if ma >= mb {
+                        la
+                    } else {
+                        lb
+                    }
+                }
+            };
+            format!("Based on the graph above, the answer is {winner}.")
+        }
+    }
+}
+
+fn chain_answer(
+    mem: &ParametricMemory<'_>,
+    q: &Question,
+    graph: &[StrTriple],
+    seed: EntityId,
+    path: &[RelId],
+) -> String {
+    let mut cur = mem.world().label(seed).to_string();
+    let mut cur_id = Some(seed);
+    for (i, &rel) in path.iter().enumerate() {
+        let step = collect_objects(graph, &cur, rel);
+        if let Some(next) = step.first() {
+            cur = next.clone();
+            cur_id = None; // graph-derived; entity id unknown to the model
+        } else {
+            // The graph does not cover this hop. A strong model falls
+            // back to its own knowledge; a weaker one is *distracted*
+            // by the irrelevant context and grabs a salient graph item
+            // instead (why QSM can underperform IO on multi-hop).
+            let qkey = question_key(q);
+            if mem.draw_event(qkey, 0xD1 + i as u64) < mem.profile().distraction_rate {
+                if let Some(salient) = graph
+                    .iter()
+                    .map(|t| t.o.as_str())
+                    .find(|o| !is_statement_artifact(o) && !labels_eq(o, &cur))
+                {
+                    return format!("Based on the graph above, the answer is {salient}.");
+                }
+            }
+            let believed = cur_id
+                .or_else(|| find_entity_by_label(mem, &cur))
+                .and_then(|e| mem.recall_object(e, rel, RecallMode::StepByStep).believed());
+            match believed {
+                Some(next) => {
+                    cur = mem.world().label(next).to_string();
+                    cur_id = Some(next);
+                }
+                None => {
+                    return "Based on the graph above, I cannot determine the answer."
+                        .to_string();
+                }
+            }
+        }
+    }
+    let _ = q;
+    format!("Based on the graph above, the answer is {cur}.")
+}
+
+/// The model reads a label from the graph and maps it back to the
+/// entity it knows by that name (surface-level understanding: picks the
+/// most popular holder, like any reader would).
+fn find_entity_by_label(mem: &ParametricMemory<'_>, label: &str) -> Option<EntityId> {
+    let w = mem.world();
+    let mut best: Option<EntityId> = None;
+    for e in &w.entities {
+        if labels_eq(&e.label, label) {
+            match best {
+                Some(b) if w.entity(b).popularity >= e.popularity => {}
+                _ => best = Some(e.id),
+            }
+        }
+    }
+    best
+}
+
+fn collect_objects(graph: &[StrTriple], subject: &str, rel: RelId) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in graph {
+        if labels_eq(&t.s, subject)
+            && pred_matches_rel(&t.p, rel)
+            && !is_statement_artifact(&t.o)
+            && !out.iter().any(|o: &String| labels_eq(o, &t.o))
+        {
+            out.push(t.o.clone());
+        }
+    }
+    // Canonical enumeration order (see `worldgen::datasets::nature`):
+    // answers and references both sort alphabetically so ROUGE-L
+    // measures coverage, not incidental ordering.
+    out.sort();
+    out
+}
+
+fn collect_subjects(graph: &[StrTriple], object: &str, rel: RelId) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in graph {
+        if labels_eq(&t.o, object)
+            && pred_matches_rel(&t.p, rel)
+            && !is_statement_artifact(&t.s)
+            && !out.iter().any(|s: &String| labels_eq(s, &t.s))
+        {
+            out.push(t.s.clone());
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ModelProfile;
+    use worldgen::datasets::{nature, simpleq};
+    use worldgen::{generate, Gold, WorldConfig, World};
+
+    fn world() -> World {
+        generate(&WorldConfig::default())
+    }
+
+    #[test]
+    fn follows_single_hop_graph() {
+        let w = world();
+        let mem = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let ds = simpleq::generate(&w, 30, 1);
+        let mut followed = 0;
+        for q in &ds.questions {
+            let Intent::Chain { seed, path } = &q.intent else { unreachable!() };
+            let s = w.label(*seed);
+            let graph = vec![StrTriple::new(s, path[0].spec().wikidata, "Graph Answer Town")];
+            let a = answer_from_graph(&mem, q, &graph);
+            if a.contains("Graph Answer Town") {
+                followed += 1;
+            }
+        }
+        // The 2% slip rate may skip a question or two, never more.
+        assert!(followed >= 27, "graph must dominate answers: {followed}/30");
+    }
+
+    #[test]
+    fn list_answers_enumerate_graph_objects() {
+        let w = world();
+        let mem = ParametricMemory::new(&w, ModelProfile::gpt4_sim());
+        let ds = nature::generate(&w, 40, 2);
+        for q in &ds.questions {
+            let Intent::List { seed, rel } = &q.intent else { continue };
+            let s = w.label(*seed);
+            let graph = vec![
+                StrTriple::new(s, rel.spec().wikidata, "AlphaLand"),
+                StrTriple::new(s, rel.spec().wikidata, "BetaLand"),
+            ];
+            let a = answer_from_graph(&mem, q, &graph);
+            if a.contains("AlphaLand") {
+                assert!(a.contains("BetaLand"), "{a}");
+                return;
+            }
+        }
+        panic!("no list question followed the graph");
+    }
+
+    #[test]
+    fn statement_artifacts_are_skipped() {
+        let w = world();
+        let mem = ParametricMemory::new(&w, ModelProfile::gpt4_sim());
+        let ds = nature::generate(&w, 40, 3);
+        for q in &ds.questions {
+            let Intent::List { seed, rel } = &q.intent else { continue };
+            let s = w.label(*seed);
+            let graph = vec![
+                StrTriple::new(s, rel.spec().wikidata, "statement 42"),
+                StrTriple::new(s, rel.spec().wikidata, "RealLand"),
+            ];
+            let a = answer_from_graph(&mem, q, &graph);
+            if a.contains("RealLand") {
+                assert!(!a.contains("statement 42"), "{a}");
+                return;
+            }
+        }
+        panic!("no applicable question found");
+    }
+
+    #[test]
+    fn empty_graph_falls_back_to_memory() {
+        let w = world();
+        let mem = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let ds = simpleq::generate(&w, 5, 4);
+        for q in &ds.questions {
+            let a = answer_from_graph(&mem, q, &[]);
+            assert!(!a.is_empty());
+            assert!(!a.starts_with("Based on the graph above"), "{a}");
+        }
+    }
+
+    #[test]
+    fn correct_graph_yields_gold_answer() {
+        let w = world();
+        let mem = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let ds = simpleq::generate(&w, 30, 5);
+        let mut hits = 0;
+        for q in &ds.questions {
+            let Intent::Chain { seed, path } = &q.intent else { unreachable!() };
+            let objs = w.objects_of(*seed, path[0]);
+            let graph = vec![StrTriple::new(
+                w.label(*seed),
+                path[0].spec().wikidata,
+                w.label(objs[0]),
+            )];
+            let a = answer_from_graph(&mem, q, &graph);
+            let Gold::Accepted(acc) = &q.gold else { unreachable!() };
+            if acc.iter().any(|g| a.contains(g.as_str())) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 27, "gold graph should yield gold answers: {hits}/30");
+    }
+}

@@ -1,0 +1,11 @@
+//! Behaviours of the simulated model, one module per task family.
+//!
+//! All fact access goes through [`crate::memory::ParametricMemory`];
+//! all stochastic decisions are stable keyed draws, so every behaviour
+//! is a pure function of (world, profile, question).
+
+pub mod answering;
+pub mod graph_answer;
+pub mod pseudo;
+pub mod util;
+pub mod verify;

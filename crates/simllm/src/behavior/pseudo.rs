@@ -1,0 +1,335 @@
+//! Pseudo-graph generation: the model externalises the knowledge frame
+//! it believes the question needs, as Cypher `CREATE` statements.
+//!
+//! The defining property (paper §3.1): even when the model's *facts* are
+//! hallucinated, the *structure* — which entities and relations matter —
+//! is usually right, which is exactly what the downstream semantic query
+//! needs. So unknown facts are filled with confident guesses rather than
+//! omitted, while genuinely uncertain list members may be withheld
+//! (`pseudo_withhold`, the GPT-4 conservativeness of Table 5).
+
+use crate::behavior::util::question_key;
+use crate::memory::{ParametricMemory, RecallMode};
+use cypher::{NodePattern, PathPattern, RelPattern, Script, Statement};
+use kgstore::hash::mix2;
+use worldgen::{EntityId, Intent, Question, RelId};
+
+/// Minimum breadth of a list-shaped pseudo-graph. The Figure-3 prompt
+/// demands a graph "as complete as possible"; when the model's actual
+/// knowledge is thinner than this, it pads the frame with confident
+/// guesses — hallucinated members whose *structure* still tells the
+/// semantic query exactly what to look for.
+const MIN_LIST_BREADTH: usize = 4;
+
+/// Generate the raw LLM output for the Figure-3 prompt: planning prose
+/// followed by Cypher. Downstream runs `cypher::decode_llm_output` on it.
+pub fn pseudo_cypher(mem: &ParametricMemory<'_>, q: &Question) -> String {
+    let qkey = question_key(q);
+    // §4.6.1 failure mode: the model believes it should *query* the KG.
+    if mem.draw_event(qkey, 0xCE) < mem.profile().cypher_match_rate {
+        return format!(
+            "<step 1> {{Knowledge Planning}}:\nI need to look this up in the graph.\n\
+             <step 2> {{Knowledge Graph}}:\nMATCH (n) RETURN n // {}\n",
+            q.text
+        );
+    }
+    let script = build_script(mem, q);
+    format!(
+        "<step 1> {{Knowledge Planning}}:\nTo answer \"{}\" I need the entities involved \
+         and their key relations.\n<step 2> {{Knowledge Graph}}:\n{}\n",
+        q.text, script
+    )
+}
+
+/// Build the Cypher AST for a question.
+pub fn build_script(mem: &ParametricMemory<'_>, q: &Question) -> Script {
+    let mut b = ScriptBuilder::new(mem);
+    match &q.intent {
+        Intent::Chain { seed, path } => b.chain(*seed, path),
+        Intent::List { seed, rel } => b.list(*seed, *rel),
+        Intent::WhoList { object, rel } => b.who_list(*object, *rel),
+        Intent::Compare { a, b: b2, rel } => {
+            b.list(*a, *rel);
+            b.list(*b2, *rel);
+        }
+    }
+    b.finish()
+}
+
+struct ScriptBuilder<'m, 'w> {
+    mem: &'m ParametricMemory<'w>,
+    statements: Vec<Statement>,
+    var_counter: usize,
+}
+
+impl<'m, 'w> ScriptBuilder<'m, 'w> {
+    fn new(mem: &'m ParametricMemory<'w>) -> Self {
+        Self { mem, statements: Vec::new(), var_counter: 0 }
+    }
+
+    fn fresh_var(&mut self, hint: &str) -> String {
+        self.var_counter += 1;
+        let stem: String = hint
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .flat_map(|c| c.to_lowercase())
+            .take(12)
+            .collect();
+        format!("{}{}", if stem.is_empty() { "n".into() } else { stem }, self.var_counter)
+    }
+
+    fn node(&mut self, e: EntityId) -> NodePattern {
+        let w = self.mem.world();
+        let ent = w.entity(e);
+        let var = self.fresh_var(&ent.label);
+        let mut n = NodePattern::named(var, ent.kind.cypher_label(), ent.label.clone());
+        // Like the paper's Figure-3 examples, every node carries a
+        // property — so every entity decodes into a subject of at least
+        // one triple, making it a first-class anchor for the semantic
+        // query and a countable candidate for pruning (`S_p`).
+        n.props.push((
+            "type".to_string(),
+            kgstore::Value::Str(ent.kind.noun().to_string()),
+        ));
+        n
+    }
+
+    fn edge(&mut self, from: NodePattern, rel: RelId, to: NodePattern) {
+        self.statements.push(Statement::Create(vec![PathPattern {
+            start: from,
+            hops: vec![(RelPattern::out(rel.spec().cypher), to)],
+        }]));
+    }
+
+    /// Chain: walk believed hops, confabulating unknowns so the frame is
+    /// complete.
+    fn chain(&mut self, seed: EntityId, path: &[RelId]) {
+        let mut cur = seed;
+        let mut cur_node = self.node(seed);
+        for (i, &rel) in path.iter().enumerate() {
+            let believed = self
+                .mem
+                .recall_object(cur, rel, RecallMode::PseudoGraph)
+                .believed()
+                .or_else(|| self.mem.confabulate_object(cur, rel, 0x40 + i as u64));
+            let Some(next) = believed else { break };
+            let next_node = self.node(next);
+            self.edge(cur_node, rel, next_node.clone());
+            cur_node = NodePattern::var_ref(next_node.var.clone().expect("named node has var"));
+            cur = next;
+        }
+    }
+
+    /// List: believed members, each withheld with `pseudo_withhold`;
+    /// at least one (possibly confabulated) member is always emitted so
+    /// the structure survives.
+    fn list(&mut self, seed: EntityId, rel: RelId) {
+        let believed = self.mem.recall_list(seed, rel, RecallMode::PseudoGraph);
+        let withhold = self.mem.profile().pseudo_withhold;
+        let seed_node = self.node(seed);
+        let seed_var = NodePattern::var_ref(seed_node.var.clone().expect("named node has var"));
+        let mut emitted = 0;
+        for (i, &m) in believed.iter().enumerate() {
+            let key = mix2(seed.0 as u64, mix2(rel.0 as u64, m.0 as u64));
+            if i > 0 && self.mem.draw_event(key, 0x51) < withhold {
+                continue; // withheld: not confident enough to write down
+            }
+            let m_node = self.node(m);
+            let from = if emitted == 0 { seed_node.clone() } else { seed_var.clone() };
+            self.edge(from, rel, m_node);
+            emitted += 1;
+        }
+        // Pad the frame with confident guesses up to the minimum
+        // breadth (distinct from what was already emitted). The model
+        // knows the relation's cardinality from common sense — it never
+        // claims four developers for one device.
+        let breadth = MIN_LIST_BREADTH.min(rel.spec().max_objects);
+        let mut guessed: Vec<EntityId> = Vec::new();
+        let mut ch = 0x60u64;
+        while emitted + guessed.len() < breadth && ch < 0x60 + 12 {
+            ch += 1;
+            if let Some(g) = self.mem.confabulate_object(seed, rel, ch) {
+                if !believed.contains(&g) && !guessed.contains(&g) {
+                    guessed.push(g);
+                }
+            }
+        }
+        for g in guessed {
+            let g_node = self.node(g);
+            let from = if emitted == 0 { seed_node.clone() } else { seed_var.clone() };
+            self.edge(from, rel, g_node);
+            emitted += 1;
+        }
+        if emitted == 0 {
+            // Still emit the bare subject node.
+            self.statements.push(Statement::Create(vec![PathPattern {
+                start: seed_node,
+                hops: vec![],
+            }]));
+        }
+    }
+
+    /// Who-list: believed subjects pointing at the focus object.
+    fn who_list(&mut self, object: EntityId, rel: RelId) {
+        let believed = self.mem.recall_subjects(rel, object, RecallMode::PseudoGraph);
+        let withhold = self.mem.profile().pseudo_withhold;
+        let obj_node = self.node(object);
+        let obj_var = NodePattern::var_ref(obj_node.var.clone().expect("named node has var"));
+        let mut emitted = 0;
+        for (i, &s) in believed.iter().enumerate() {
+            let key = mix2(s.0 as u64, mix2(rel.0 as u64, object.0 as u64));
+            if i > 0 && self.mem.draw_event(key, 0x53) < withhold {
+                continue;
+            }
+            let s_node = self.node(s);
+            let to = if emitted == 0 { obj_node.clone() } else { obj_var.clone() };
+            self.edge(s_node, rel, to);
+            emitted += 1;
+        }
+        // Pad with plausible guessed subjects: the structure (people
+        // PIONEER_OF field) is what retrieval needs, right or wrong.
+        let mut guessed: Vec<EntityId> = Vec::new();
+        let mut ch = 0x54u64;
+        while emitted + guessed.len() < MIN_LIST_BREADTH && ch < 0x54 + 12 {
+            ch += 1;
+            if let Some(s) = self.mem.confabulate_subject(rel, object, ch) {
+                if !believed.contains(&s) && !guessed.contains(&s) {
+                    guessed.push(s);
+                }
+            }
+        }
+        for s in guessed {
+            let s_node = self.node(s);
+            let to = if emitted == 0 { obj_node.clone() } else { obj_var.clone() };
+            self.edge(s_node, rel, to);
+            emitted += 1;
+        }
+        let _ = emitted;
+    }
+
+    fn finish(self) -> Script {
+        Script { statements: self.statements }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ModelProfile;
+    use cypher::decode_llm_output;
+    use worldgen::datasets::{nature, qald, simpleq};
+    use worldgen::{generate, WorldConfig, World};
+
+    fn world() -> World {
+        generate(&WorldConfig::default())
+    }
+
+    #[test]
+    fn pseudo_output_decodes_into_triples() {
+        let w = world();
+        let mem = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let ds = simpleq::generate(&w, 30, 1);
+        let mut ok = 0;
+        for q in &ds.questions {
+            let out = pseudo_cypher(&mem, q);
+            if let Ok(triples) = decode_llm_output(&out) {
+                assert!(!triples.is_empty(), "empty pseudo-graph for {}", q.text);
+                ok += 1;
+            }
+        }
+        assert!(ok >= 29, "almost all scripts must decode; got {ok}/30");
+    }
+
+    #[test]
+    fn pseudo_graph_mentions_question_subject() {
+        let w = world();
+        let mem = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let ds = simpleq::generate(&w, 20, 2);
+        for q in &ds.questions {
+            let worldgen::Intent::Chain { seed, .. } = &q.intent else { unreachable!() };
+            let out = pseudo_cypher(&mem, q);
+            if let Ok(triples) = decode_llm_output(&out) {
+                let seed_label = w.label(*seed);
+                assert!(
+                    triples.iter().any(|t| t.s == seed_label || t.o == seed_label),
+                    "pseudo-graph must be anchored at {seed_label}: {triples:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spurious_match_rate_is_respected() {
+        let w = world();
+        let mut p = ModelProfile::gpt35_sim();
+        p.cypher_match_rate = 1.0; // force the failure
+        let mem = ParametricMemory::new(&w, p);
+        let ds = simpleq::generate(&w, 5, 3);
+        for q in &ds.questions {
+            let out = pseudo_cypher(&mem, q);
+            let err = decode_llm_output(&out).unwrap_err();
+            assert!(err.is_spurious_match());
+        }
+    }
+
+    #[test]
+    fn chains_emit_multi_hop_structure() {
+        let w = world();
+        let mem = ParametricMemory::new(&w, ModelProfile::gpt4_sim());
+        let ds = qald::generate(&w, 40, 4);
+        let mut multi = 0;
+        for q in &ds.questions {
+            if !matches!(q.intent, worldgen::Intent::Chain { .. }) {
+                continue;
+            }
+            let out = pseudo_cypher(&mem, q);
+            if let Ok(triples) = decode_llm_output(&out) {
+                if triples.len() >= 2 {
+                    multi += 1;
+                }
+            }
+        }
+        assert!(multi > 5, "multi-hop pseudo-graphs expected, got {multi}");
+    }
+
+    #[test]
+    fn gpt4_withholds_more_list_members_than_gpt35() {
+        let w = world();
+        let m35 = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let m4 = ParametricMemory::new(&w, ModelProfile::gpt4_sim());
+        let ds = nature::generate(&w, 40, 5);
+        let count = |mem: &ParametricMemory| -> usize {
+            ds.questions
+                .iter()
+                .filter_map(|q| decode_llm_output(&pseudo_cypher(mem, q)).ok())
+                .map(|t| t.len())
+                .sum()
+        };
+        // GPT-4 knows more but withholds much more aggressively in
+        // graph form; the net must not exceed a modest factor.
+        let c35 = count(&m35) as f64;
+        let c4 = count(&m4) as f64;
+        assert!(c4 < c35 * 1.35, "withholding not effective: {c4} vs {c35}");
+    }
+
+    #[test]
+    fn structure_survives_total_ignorance() {
+        let w = world();
+        let mut p = ModelProfile::gpt35_sim();
+        p.fact_recall = 0.0;
+        p.list_recall = 0.0;
+        p.recent_recall = 0.0;
+        p.confusion_rate = 0.0;
+        let mem = ParametricMemory::new(&w, p);
+        let ds = nature::generate(&w, 20, 6);
+        for q in &ds.questions {
+            let out = pseudo_cypher(&mem, q);
+            let triples = decode_llm_output(&out).expect("script still valid");
+            assert!(
+                !triples.is_empty(),
+                "even an ignorant model must emit the knowledge frame: {}",
+                q.text
+            );
+        }
+    }
+}

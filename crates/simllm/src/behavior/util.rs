@@ -1,0 +1,125 @@
+//! Shared helpers: label equality, predicate similarity, question-focus
+//! extraction — the "semantic understanding" primitives a real LLM
+//! applies implicitly when comparing a pseudo-graph against KG evidence.
+
+use kgstore::hash::{stable_str_hash, FxHashSet};
+use semvec::synonym::SynonymTable;
+use semvec::token::normalize;
+use semvec::verbalize::humanize_term;
+use worldgen::{Intent, Question, RelId, World};
+
+/// Case/punctuation-insensitive label equality.
+pub fn labels_eq(a: &str, b: &str) -> bool {
+    norm_label(a) == norm_label(b)
+}
+
+fn norm_label(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_alphanumeric() || c.is_whitespace())
+        .flat_map(|c| c.to_lowercase())
+        .collect::<String>()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Canonical token set of a predicate term (humanised, stopword-free,
+/// stemmed, synonym-folded).
+pub fn pred_tokens(p: &str) -> FxHashSet<String> {
+    let table = SynonymTable::builtin();
+    normalize(&humanize_term(p))
+        .into_iter()
+        .map(|t| table.fold(&t).to_string())
+        .collect()
+}
+
+/// Jaccard similarity of two predicates' canonical token sets.
+pub fn pred_sim(a: &str, b: &str) -> f64 {
+    let ta = pred_tokens(a);
+    let tb = pred_tokens(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    let union = ta.len() + tb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Whether predicate `p` plausibly expresses relation `rel` (matches
+/// any of its verbalisations).
+pub fn pred_matches_rel(p: &str, rel: RelId) -> bool {
+    let spec = rel.spec();
+    [spec.wikidata, spec.freebase, spec.cypher, spec.phrase]
+        .iter()
+        .any(|v| pred_sim(p, v) >= 0.30)
+}
+
+/// The labels of the entities the question is *about* (its focus), per
+/// intent — what a reader identifies as the topic.
+pub fn focus_labels(world: &World, q: &Question) -> Vec<String> {
+    match &q.intent {
+        Intent::Chain { seed, .. } | Intent::List { seed, .. } => {
+            vec![world.label(*seed).to_string()]
+        }
+        Intent::Compare { a, b, .. } => {
+            vec![world.label(*a).to_string(), world.label(*b).to_string()]
+        }
+        Intent::WhoList { object, .. } => vec![world.label(*object).to_string()],
+    }
+}
+
+/// The relations the question asks about.
+pub fn intent_relations(q: &Question) -> Vec<RelId> {
+    match &q.intent {
+        Intent::Chain { path, .. } => path.clone(),
+        Intent::Compare { rel, .. } | Intent::List { rel, .. } | Intent::WhoList { rel, .. } => {
+            vec![*rel]
+        }
+    }
+}
+
+/// Stable key of a question (drives per-question behavioural draws).
+pub fn question_key(q: &Question) -> u64 {
+    stable_str_hash(&q.id)
+}
+
+/// Whether a label is a mediator/statement artifact rather than a real
+/// entity (readers skip these when answering).
+pub fn is_statement_artifact(label: &str) -> bool {
+    let l = label.trim_start_matches('<');
+    l.starts_with("statement ") || l == "statement" || l.starts_with("S#")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_equality_ignores_case_and_punct() {
+        assert!(labels_eq("Yao Ming", "yao ming"));
+        assert!(labels_eq("U.S.A", "usa")); // punctuation vanishes entirely
+        assert!(!labels_eq("Lake-Superior", "Lake Superior"));
+        assert!(!labels_eq("Yao Ming", "Yao Min"));
+    }
+
+    #[test]
+    fn pred_sim_matches_schema_variants() {
+        assert!(pred_sim("BORN_IN", "place of birth") > 0.3);
+        assert!(pred_sim("/people/person/place_of_birth", "place of birth") > 0.6);
+        assert!(pred_sim("COVERS", "country") < 0.3);
+    }
+
+    #[test]
+    fn pred_matches_rel_works_for_cypher_types() {
+        let rel = worldgen::rel_by_name("place_of_birth").unwrap();
+        assert!(pred_matches_rel("BORN_IN", rel));
+        assert!(pred_matches_rel("place of birth", rel));
+        assert!(!pred_matches_rel("record label", rel));
+    }
+
+    #[test]
+    fn statement_artifacts_detected() {
+        assert!(is_statement_artifact("statement 123"));
+        assert!(!is_statement_artifact("Shanghai"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared graph types exchanged between the pipeline and the LLM:
+//! the pseudo-graph is plain triples; the ground graph groups retrieved
+//! KG triples by (scored) candidate entity, ordered so higher-confidence
+//! entities sit closer to the pseudo-graph in the verification prompt —
+//! exactly the layout the paper prescribes in §3.2.2.
+
+use kgstore::StrTriple;
+use serde::{Deserialize, Serialize};
+
+/// One candidate entity surviving the pruning step, with its retrieved
+/// triples (verbalised: labels + humanised predicates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundEntity {
+    /// The entity's label.
+    pub label: String,
+    /// Its description (disambiguation context shown to the LLM).
+    pub description: String,
+    /// Entity confidence score: mean cosine similarity of its triples
+    /// (the paper's pruning score; threshold 0.7).
+    pub score: f32,
+    /// Verbalised triples with this entity as subject.
+    pub triples: Vec<StrTriple>,
+}
+
+/// The ground graph `G_g`: pruned candidate entities, highest score
+/// first.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundGraph {
+    /// Candidate entities, sorted by descending score.
+    pub entities: Vec<GroundEntity>,
+}
+
+impl GroundGraph {
+    /// Total triples across entities.
+    pub fn triple_count(&self) -> usize {
+        self.entities.iter().map(|e| e.triples.len()).sum()
+    }
+
+    /// Whether nothing survived pruning.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Flatten to `(label, triples)` sections for prompt rendering.
+    pub fn sections(&self) -> Vec<(String, Vec<StrTriple>)> {
+        self.entities
+            .iter()
+            .map(|e| {
+                (
+                    format!("{} — {} (score {:.2})", e.label, e.description, e.score),
+                    e.triples.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// All triples, flattened in entity order.
+    pub fn all_triples(&self) -> Vec<StrTriple> {
+        self.entities
+            .iter()
+            .flat_map(|e| e.triples.iter().cloned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroundGraph {
+        GroundGraph {
+            entities: vec![
+                GroundEntity {
+                    label: "Yao Ming".into(),
+                    description: "basketball player".into(),
+                    score: 0.93,
+                    triples: vec![StrTriple::new("Yao Ming", "place of birth", "Shanghai")],
+                },
+                GroundEntity {
+                    label: "Shanghai".into(),
+                    description: "city".into(),
+                    score: 0.78,
+                    triples: vec![
+                        StrTriple::new("Shanghai", "country", "China"),
+                        StrTriple::new("Shanghai", "instance of", "city"),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let g = sample();
+        assert_eq!(g.triple_count(), 3);
+        assert!(!g.is_empty());
+        assert!(GroundGraph::default().is_empty());
+    }
+
+    #[test]
+    fn sections_preserve_order_and_annotate() {
+        let g = sample();
+        let s = g.sections();
+        assert_eq!(s.len(), 2);
+        assert!(s[0].0.starts_with("Yao Ming"));
+        assert!(s[0].0.contains("0.93"));
+    }
+
+    #[test]
+    fn all_triples_flatten_in_order() {
+        let g = sample();
+        let t = g.all_triples();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].o, "Shanghai");
+    }
+}

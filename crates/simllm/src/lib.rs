@@ -1,0 +1,35 @@
+//! # simllm — a deterministic simulated large language model
+//!
+//! Offline stand-in for GPT-3.5 / GPT-4 with exactly the properties the
+//! paper's pipeline exercises: a *parametric memory* (what the model
+//! happens to know — a per-model stochastically corrupted view of the
+//! world, stable under seeded hashing), prompting-mode effects
+//! (IO < CoT ≤ pseudo-graph activation), hallucination (confident wrong
+//! answers substituting popular look-alikes), list-knowledge partiality,
+//! recency blindness, pseudo-graph conservativeness, verification edit
+//! fidelity with self-bias, and the spurious-`MATCH` Cypher failure.
+//!
+//! * [`profile`] — the calibratable per-model parameters;
+//! * [`memory`] — stable seeded fact recall / confabulation;
+//! * [`prompt`] — the paper's Figure 3–5 prompt templates;
+//! * [`model`] — the [`LanguageModel`] trait + [`SimLlm`];
+//! * [`behavior`] — task implementations (IO/CoT/SC, pseudo-graph
+//!   Cypher, graph verification, graph-grounded answering);
+//! * [`graphs`] — the ground-graph types exchanged with the pipeline.
+
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod graphs;
+pub mod memory;
+pub mod model;
+pub mod profile;
+pub mod prompt;
+pub mod transcript;
+
+pub use behavior::verify::{parse_triple_lines, verify_graph_consistent};
+pub use graphs::{GroundEntity, GroundGraph};
+pub use memory::{ParametricMemory, Recall, RecallMode};
+pub use model::{Completion, LanguageModel, LlmTask, SimLlm};
+pub use profile::ModelProfile;
+pub use transcript::{Exchange, ScriptedLlm, TranscriptLlm};

@@ -1,0 +1,452 @@
+//! Parametric memory: the simulated model's (imperfect) knowledge of
+//! the world.
+//!
+//! Every query is resolved through stable seeded draws keyed on
+//! `(model seed, fact key, channel)`, so the same model gives the same
+//! belief for the same fact every time it is asked the same way —
+//! hallucinations included. A *mode multiplier* models how prompting
+//! style changes effective recall (IO < CoT ≤ pseudo-graph activation),
+//! with marginal facts flipping from unknown to known as the multiplier
+//! rises, never the reverse.
+
+use crate::profile::ModelProfile;
+use kgstore::hash::{mix2, unit_f64};
+use worldgen::{EntityId, RelId, World};
+
+/// How the model is being prompted when it consults memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecallMode {
+    /// Direct input-output answering.
+    OneShot,
+    /// Chain-of-thought: step-by-step per-hop reasoning.
+    StepByStep,
+    /// Pseudo-graph generation ("knowledge activation").
+    PseudoGraph,
+}
+
+/// The outcome of trying to recall one fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recall {
+    /// The model knows the true object.
+    Known(EntityId),
+    /// The model confidently believes a wrong object.
+    Confused(EntityId),
+    /// The model has no belief.
+    Unknown,
+}
+
+impl Recall {
+    /// The believed entity, if any.
+    pub fn believed(self) -> Option<EntityId> {
+        match self {
+            Recall::Known(e) | Recall::Confused(e) => Some(e),
+            Recall::Unknown => None,
+        }
+    }
+
+    /// Whether the belief is correct.
+    pub fn is_correct(self) -> bool {
+        matches!(self, Recall::Known(_))
+    }
+}
+
+/// The memory itself: world reference + model profile.
+#[derive(Debug, Clone)]
+pub struct ParametricMemory<'w> {
+    world: &'w World,
+    profile: ModelProfile,
+}
+
+impl<'w> ParametricMemory<'w> {
+    /// Bind a profile to a world.
+    pub fn new(world: &'w World, profile: ModelProfile) -> Self {
+        Self { world, profile }
+    }
+
+    /// The underlying world (read-only; used by behaviours for labels
+    /// and kinds, never for gold answers directly).
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// The profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    fn mode_multiplier(&self, mode: RecallMode) -> f64 {
+        match mode {
+            RecallMode::OneShot => 1.0,
+            RecallMode::StepByStep => self.profile.cot_bonus,
+            RecallMode::PseudoGraph => self.profile.cot_bonus * self.profile.activation_bonus,
+        }
+    }
+
+    /// Flat popularity exponent for *list membership* recall: lists are
+    /// recalled member-by-member and the long tail of members is what
+    /// differs, not the subject's fame.
+    const LIST_POP_EXPONENT: f64 = 0.35;
+
+    /// Effective recall probability of the fact `(s, rel)` → object.
+    /// Popular entities are vastly better represented in training
+    /// corpora: recall of head-entity facts is several times that of
+    /// tail-entity facts (the steep curve is what makes QALD-style
+    /// questions about famous entities much easier than uniformly
+    /// sampled SimpleQuestions facts).
+    fn recall_prob_exp(
+        &self,
+        s: EntityId,
+        rel: RelId,
+        base: f64,
+        mode: RecallMode,
+        exponent: f64,
+    ) -> f64 {
+        let spec = rel.spec();
+        let pop = self.world.entity(s).popularity;
+        let pop_factor = pop.powf(exponent).clamp(0.05, 1.0);
+        let base = if spec.recent {
+            self.profile.recent_recall
+        } else {
+            base * pop_factor
+        };
+        (base * self.mode_multiplier(mode)).min(0.98)
+    }
+
+    fn recall_prob(&self, s: EntityId, rel: RelId, base: f64, mode: RecallMode) -> f64 {
+        self.recall_prob_exp(s, rel, base, mode, self.profile.pop_exponent)
+    }
+
+    /// Stable per-(model, key, channel) uniform draw.
+    fn draw(&self, key: u64, channel: u64) -> f64 {
+        unit_f64(mix2(mix2(self.profile.seed, key), channel))
+    }
+
+    fn fact_key(s: EntityId, rel: RelId, o: Option<EntityId>) -> u64 {
+        let base = mix2(s.0 as u64, 0x1000 + rel.0 as u64);
+        match o {
+            Some(o) => mix2(base, 0x2000 + o.0 as u64),
+            None => base,
+        }
+    }
+
+    /// Try to recall the (unique) object of a functional fact.
+    ///
+    /// Marginal-fact monotonicity: a higher mode multiplier can only turn
+    /// `Unknown`/`Confused` into `Known`, never the reverse, because the
+    /// underlying uniform draw is shared across modes.
+    pub fn recall_object(&self, s: EntityId, rel: RelId, mode: RecallMode) -> Recall {
+        let truth = self.world.objects_of(s, rel);
+        let Some(&true_o) = truth.first() else {
+            // The world has no such fact; the model may still confabulate.
+            return self.maybe_confabulate(s, rel, None);
+        };
+        let key = Self::fact_key(s, rel, None);
+        let p = self.recall_prob(s, rel, self.profile.fact_recall, mode);
+        if self.draw(key, 0) < p {
+            Recall::Known(true_o)
+        } else {
+            self.maybe_confabulate(s, rel, Some(true_o))
+        }
+    }
+
+    /// Self-consistency variant: sample `index` perturbs marginal draws
+    /// with probability `sc_noise` (temperature sampling).
+    pub fn recall_object_sampled(
+        &self,
+        s: EntityId,
+        rel: RelId,
+        mode: RecallMode,
+        index: u32,
+    ) -> Recall {
+        let key = Self::fact_key(s, rel, None);
+        if self.draw(key, 0x5C00 + index as u64) < self.profile.sc_noise {
+            // Redraw this fact independently for this sample.
+            let truth = self.world.objects_of(s, rel);
+            let Some(&true_o) = truth.first() else {
+                return self.maybe_confabulate(s, rel, None);
+            };
+            let p = self.recall_prob(s, rel, self.profile.fact_recall, mode);
+            if self.draw(key, 0x5D00 + index as u64) < p {
+                return Recall::Known(true_o);
+            }
+            return self.maybe_confabulate_ch(s, rel, Some(true_o), 0x5E00 + index as u64);
+        }
+        self.recall_object(s, rel, mode)
+    }
+
+    fn maybe_confabulate(&self, s: EntityId, rel: RelId, true_o: Option<EntityId>) -> Recall {
+        self.maybe_confabulate_ch(s, rel, true_o, 1)
+    }
+
+    fn maybe_confabulate_ch(
+        &self,
+        s: EntityId,
+        rel: RelId,
+        true_o: Option<EntityId>,
+        channel: u64,
+    ) -> Recall {
+        let key = Self::fact_key(s, rel, None);
+        if self.draw(key, channel) >= self.profile.confusion_rate {
+            return Recall::Unknown;
+        }
+        match self.plausible_wrong_object(s, rel, true_o, channel) {
+            Some(wrong) => Recall::Confused(wrong),
+            None => Recall::Unknown,
+        }
+    }
+
+    /// A confidently-wrong object: a *popular* entity of the right kind
+    /// (LLM hallucinations substitute famous look-alikes, like answering
+    /// `Q1826` for the Yellow River). Never returns an actually-true
+    /// object — correct recall is modelled by the recall draws, not by
+    /// lucky guesses.
+    fn plausible_wrong_object(
+        &self,
+        s: EntityId,
+        rel: RelId,
+        _true_o: Option<EntityId>,
+        channel: u64,
+    ) -> Option<EntityId> {
+        let kind = rel.spec().object;
+        let pool = self.world.entities_of_kind(kind);
+        if pool.is_empty() {
+            return None;
+        }
+        let truth = self.world.objects_of(s, rel);
+        let key = Self::fact_key(s, rel, None);
+        // Sample from the popular head of the pool deterministically.
+        let head = (pool.len() / 4).max(1).min(pool.len());
+        for probe in 0..8u64 {
+            let idx =
+                (mix2(mix2(self.profile.seed, key), 0x3000 + channel + probe) % head as u64) as usize;
+            let cand = pool[idx];
+            if !truth.contains(&cand) && cand != s {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Recall the member set of a multi-valued fact `(s, rel, ·)`:
+    /// each true member is an independent draw; occasionally a popular
+    /// intruder is added (hallucinated extra member).
+    pub fn recall_list(&self, s: EntityId, rel: RelId, mode: RecallMode) -> Vec<EntityId> {
+        let truth = self.world.objects_of(s, rel);
+        let mut believed = Vec::new();
+        for &o in &truth {
+            let key = Self::fact_key(s, rel, Some(o));
+            let p = self.recall_prob_exp(
+                s,
+                rel,
+                self.profile.list_recall,
+                mode,
+                Self::LIST_POP_EXPONENT,
+            );
+            if self.draw(key, 0) < p {
+                believed.push(o);
+            }
+        }
+        // Intruder: one wrong member with the confusion probability,
+        // only when the model recalled something at all (total blanks
+        // stay blank).
+        if !believed.is_empty() {
+            let key = Self::fact_key(s, rel, None);
+            if self.draw(key, 4) < self.profile.confusion_rate * 0.3 {
+                if let Some(wrong) = self.plausible_wrong_object(s, rel, truth.first().copied(), 5) {
+                    if !believed.contains(&wrong) && !truth.contains(&wrong) {
+                        believed.push(wrong);
+                    }
+                }
+            }
+        }
+        believed
+    }
+
+    /// Public keyed uniform draw for behaviour-level decisions
+    /// (withholding, verification fidelity, output slips). Stable per
+    /// (model, key, channel).
+    pub fn draw_event(&self, key: u64, channel: u64) -> f64 {
+        self.draw(key, 0xE000 ^ channel)
+    }
+
+    /// Force a confident guess for the object of `(s, rel)` — used when
+    /// building pseudo-graphs, where the model fills the knowledge frame
+    /// even for facts it does not know (the paper's "leveraging the
+    /// hallucination property").
+    pub fn confabulate_object(&self, s: EntityId, rel: RelId, channel: u64) -> Option<EntityId> {
+        let true_o = self.world.objects_of(s, rel).first().copied();
+        self.plausible_wrong_object(s, rel, true_o, 0x7000 + channel)
+    }
+
+    /// Force a confident guess for a subject of `(·, rel, o)` — the
+    /// who-list analogue of [`Self::confabulate_object`]: a popular
+    /// entity of the relation's subject kind.
+    pub fn confabulate_subject(&self, rel: RelId, o: EntityId, channel: u64) -> Option<EntityId> {
+        let kind = rel.spec().subject;
+        let pool = self.world.entities_of_kind(kind);
+        if pool.is_empty() {
+            return None;
+        }
+        let truth = self.world.subjects_with(rel, o);
+        let key = mix2(0x9999, mix2(rel.0 as u64, o.0 as u64));
+        let head = (pool.len() / 4).max(1).min(pool.len());
+        for probe in 0..8u64 {
+            let idx = (mix2(mix2(self.profile.seed, key), 0x8000 + channel + probe)
+                % head as u64) as usize;
+            let cand = pool[idx];
+            if cand != o && !truth.contains(&cand) {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Recall subjects of `(·, rel, o)` — "who are the pioneers of X".
+    pub fn recall_subjects(&self, rel: RelId, o: EntityId, mode: RecallMode) -> Vec<EntityId> {
+        let truth = self.world.subjects_with(rel, o);
+        let mut believed = Vec::new();
+        for &s in &truth {
+            let key = mix2(Self::fact_key(s, rel, Some(o)), 0xB5);
+            let p = self.recall_prob_exp(
+                s,
+                rel,
+                self.profile.list_recall,
+                mode,
+                Self::LIST_POP_EXPONENT,
+            );
+            if self.draw(key, 0) < p {
+                believed.push(s);
+            }
+        }
+        believed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use worldgen::{generate, rel_by_name, WorldConfig};
+
+    fn world() -> World {
+        generate(&WorldConfig::default())
+    }
+
+    #[test]
+    fn recall_is_deterministic() {
+        let w = world();
+        let m = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let rel = rel_by_name("place_of_birth").unwrap();
+        let persons = w.entities_of_kind(worldgen::EntityKind::Person);
+        for &p in persons.iter().take(50) {
+            assert_eq!(
+                m.recall_object(p, rel, RecallMode::OneShot),
+                m.recall_object(p, rel, RecallMode::OneShot)
+            );
+        }
+    }
+
+    #[test]
+    fn cot_mode_is_monotone_improvement() {
+        let w = world();
+        let m = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let rel = rel_by_name("place_of_birth").unwrap();
+        let mut upgrades = 0;
+        for &p in w.entities_of_kind(worldgen::EntityKind::Person) {
+            let one = m.recall_object(p, rel, RecallMode::OneShot);
+            let cot = m.recall_object(p, rel, RecallMode::StepByStep);
+            if one.is_correct() {
+                assert!(cot.is_correct(), "CoT must not lose known facts");
+            }
+            if !one.is_correct() && cot.is_correct() {
+                upgrades += 1;
+            }
+        }
+        assert!(upgrades > 0, "CoT should upgrade some marginal facts");
+    }
+
+    #[test]
+    fn gpt4_recalls_more_than_gpt35() {
+        let w = world();
+        let m35 = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let m4 = ParametricMemory::new(&w, ModelProfile::gpt4_sim());
+        let rel = rel_by_name("place_of_birth").unwrap();
+        let count = |m: &ParametricMemory| {
+            w.entities_of_kind(worldgen::EntityKind::Person)
+                .iter()
+                .filter(|&&p| m.recall_object(p, rel, RecallMode::OneShot).is_correct())
+                .count()
+        };
+        assert!(count(&m4) > count(&m35));
+    }
+
+    #[test]
+    fn recent_facts_mostly_unknown() {
+        let w = world();
+        let m = ParametricMemory::new(&w, ModelProfile::gpt4_sim());
+        let rel = rel_by_name("uses_chip").unwrap();
+        let devices = w.entities_of_kind(worldgen::EntityKind::Device);
+        let known = devices
+            .iter()
+            .flat_map(|&d| m.recall_list(d, rel, RecallMode::StepByStep))
+            .count();
+        let total: usize = devices.iter().map(|&d| w.objects_of(d, rel).len()).sum();
+        assert!(total > 0);
+        assert!(
+            (known as f64) < (total as f64) * 0.25,
+            "recent knowledge should be scarce: {known}/{total}"
+        );
+    }
+
+    #[test]
+    fn confusion_yields_wrong_but_plausible_entities() {
+        let w = world();
+        let m = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let rel = rel_by_name("place_of_birth").unwrap();
+        let mut confused = 0;
+        for &p in w.entities_of_kind(worldgen::EntityKind::Person) {
+            if let Recall::Confused(wrong) = m.recall_object(p, rel, RecallMode::OneShot) {
+                confused += 1;
+                assert_eq!(w.entity(wrong).kind, worldgen::EntityKind::City);
+                assert_ne!(Some(&wrong), w.objects_of(p, rel).first());
+            }
+        }
+        assert!(confused > 10, "expected hallucinations, got {confused}");
+    }
+
+    #[test]
+    fn list_recall_returns_subset_plus_occasional_intruder() {
+        let w = world();
+        let m = ParametricMemory::new(&w, ModelProfile::gpt4_sim());
+        let rel = rel_by_name("covers").unwrap();
+        let mut any_partial = false;
+        for &r in w.entities_of_kind(worldgen::EntityKind::MountainRange) {
+            let truth = w.objects_of(r, rel);
+            let believed = m.recall_list(r, rel, RecallMode::StepByStep);
+            let correct = believed.iter().filter(|b| truth.contains(b)).count();
+            let wrong = believed.len() - correct;
+            assert!(wrong <= 1, "at most one intruder");
+            if correct > 0 && correct < truth.len() {
+                any_partial = true;
+            }
+        }
+        assert!(any_partial, "recall should be partial somewhere");
+    }
+
+    #[test]
+    fn sc_sampling_varies_marginal_answers() {
+        let w = world();
+        let m = ParametricMemory::new(&w, ModelProfile::gpt35_sim());
+        let rel = rel_by_name("place_of_birth").unwrap();
+        let mut varies = false;
+        for &p in w.entities_of_kind(worldgen::EntityKind::Person) {
+            let s0 = m.recall_object_sampled(p, rel, RecallMode::StepByStep, 0);
+            let s1 = m.recall_object_sampled(p, rel, RecallMode::StepByStep, 1);
+            let s2 = m.recall_object_sampled(p, rel, RecallMode::StepByStep, 2);
+            if s0 != s1 || s1 != s2 {
+                varies = true;
+                break;
+            }
+        }
+        assert!(varies, "temperature sampling should vary some answers");
+    }
+}

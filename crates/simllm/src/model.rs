@@ -1,0 +1,215 @@
+//! The [`LanguageModel`] trait and the simulated implementation.
+//!
+//! ## Honesty contract
+//!
+//! Every call site renders a real prompt string (see [`crate::prompt`])
+//! and passes it together with the structured [`LlmTask`]. The simulated
+//! model keys its behaviour on the task — the structured counterpart of
+//! what a real LLM would parse back out of the prompt — and resolves all
+//! *facts* through its corrupted [`crate::memory`], never through gold
+//! answers. Prompts are consumed for token accounting and transcripts.
+
+use crate::behavior;
+use crate::graphs::GroundGraph;
+use crate::memory::ParametricMemory;
+use crate::profile::ModelProfile;
+use kgstore::StrTriple;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use worldgen::{Question, World};
+
+/// What the model is being asked to do (structured form of the prompt).
+#[derive(Debug, Clone)]
+pub enum LlmTask<'a> {
+    /// Direct 6-shot answering.
+    Io {
+        /// The question being answered.
+        question: &'a Question,
+    },
+    /// 6-shot chain-of-thought answering.
+    Cot {
+        /// The question being answered.
+        question: &'a Question,
+    },
+    /// One temperature-0.7 sample for self-consistency.
+    CotSample {
+        /// The question being answered.
+        question: &'a Question,
+        /// Sample index (0, 1, 2 …).
+        index: u32,
+    },
+    /// Figure-3: emit Cypher constructing the pseudo-graph.
+    PseudoGraph {
+        /// The question being answered.
+        question: &'a Question,
+    },
+    /// Figure-4: fix the pseudo-graph against ground-graph evidence.
+    VerifyGraph {
+        /// The question being answered.
+        question: &'a Question,
+        /// Decoded pseudo-graph triples.
+        pseudo: &'a [StrTriple],
+        /// Retrieved-and-pruned ground graph.
+        ground: &'a GroundGraph,
+    },
+    /// One temperature sample of Figure-4 verification (for the
+    /// majority-voted verification extension).
+    VerifyGraphSample {
+        /// The question being answered.
+        question: &'a Question,
+        /// Decoded pseudo-graph triples.
+        pseudo: &'a [StrTriple],
+        /// Retrieved-and-pruned ground graph.
+        ground: &'a GroundGraph,
+        /// Sample index (0 = greedy).
+        index: u32,
+    },
+    /// Figure-5: answer from the fixed graph.
+    AnswerFromGraph {
+        /// The question being answered.
+        question: &'a Question,
+        /// The verified graph `G_f`.
+        graph: &'a [StrTriple],
+    },
+}
+
+/// A model completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The raw output text.
+    pub text: String,
+}
+
+/// The LLM abstraction the pipeline is written against. A production
+/// deployment would implement this over an HTTP API; the reproduction
+/// implements it with [`SimLlm`].
+pub trait LanguageModel: Send + Sync {
+    /// Model display name.
+    fn name(&self) -> &str;
+    /// Run one completion.
+    fn complete(&self, prompt: &str, task: &LlmTask<'_>) -> Completion;
+    /// Number of completions served (telemetry).
+    fn call_count(&self) -> usize;
+    /// Approximate tokens processed, prompt + completion (telemetry).
+    fn tokens_processed(&self) -> usize;
+}
+
+/// The deterministic simulated LLM.
+pub struct SimLlm {
+    world: Arc<World>,
+    profile: ModelProfile,
+    calls: AtomicUsize,
+    tokens: AtomicUsize,
+}
+
+impl SimLlm {
+    /// Bind a profile to a world.
+    pub fn new(world: Arc<World>, profile: ModelProfile) -> Self {
+        profile.validate().expect("valid profile");
+        Self {
+            world,
+            profile,
+            calls: AtomicUsize::new(0),
+            tokens: AtomicUsize::new(0),
+        }
+    }
+
+    /// The model's memory view (cheap to construct).
+    pub fn memory(&self) -> ParametricMemory<'_> {
+        ParametricMemory::new(&self.world, self.profile.clone())
+    }
+
+    /// The profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    fn account(&self, prompt: &str, output: &str) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        // ~4 chars/token heuristic.
+        self.tokens
+            .fetch_add((prompt.len() + output.len()) / 4, Ordering::Relaxed);
+    }
+}
+
+impl LanguageModel for SimLlm {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn complete(&self, prompt: &str, task: &LlmTask<'_>) -> Completion {
+        let mem = self.memory();
+        let text = match task {
+            LlmTask::Io { question } => behavior::answering::io_answer(&mem, question),
+            LlmTask::Cot { question } => behavior::answering::cot_answer(&mem, question),
+            LlmTask::CotSample { question, index } => {
+                behavior::answering::sampled_answer(&mem, question, *index)
+            }
+            LlmTask::PseudoGraph { question } => behavior::pseudo::pseudo_cypher(&mem, question),
+            LlmTask::VerifyGraph { question, pseudo, ground } => {
+                behavior::verify::render_fixed(&behavior::verify::verify_graph(
+                    &mem, question, pseudo, ground,
+                ))
+            }
+            LlmTask::VerifyGraphSample { question, pseudo, ground, index } => {
+                behavior::verify::render_fixed(&behavior::verify::verify_graph_sampled(
+                    &mem, question, pseudo, ground, *index,
+                ))
+            }
+            LlmTask::AnswerFromGraph { question, graph } => {
+                behavior::graph_answer::answer_from_graph(&mem, question, graph)
+            }
+        };
+        self.account(prompt, &text);
+        Completion { text }
+    }
+
+    fn call_count(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    fn tokens_processed(&self) -> usize {
+        self.tokens.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use worldgen::{datasets::simpleq, generate, WorldConfig};
+
+    fn setup() -> (Arc<World>, SimLlm) {
+        let world = Arc::new(generate(&WorldConfig::default()));
+        let llm = SimLlm::new(world.clone(), ModelProfile::gpt35_sim());
+        (world, llm)
+    }
+
+    #[test]
+    fn telemetry_counts_calls_and_tokens() {
+        let (world, llm) = setup();
+        let ds = simpleq::generate(&world, 3, 1);
+        for q in &ds.questions {
+            let prompt = crate::prompt::io_prompt(&q.text);
+            llm.complete(&prompt, &LlmTask::Io { question: q });
+        }
+        assert_eq!(llm.call_count(), 3);
+        assert!(llm.tokens_processed() > 100);
+    }
+
+    #[test]
+    fn completions_are_deterministic() {
+        let (world, llm) = setup();
+        let ds = simpleq::generate(&world, 5, 2);
+        for q in &ds.questions {
+            let a = llm.complete("p", &LlmTask::Cot { question: q });
+            let b = llm.complete("p", &LlmTask::Cot { question: q });
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn name_comes_from_profile() {
+        let (_, llm) = setup();
+        assert_eq!(llm.name(), "gpt-3.5-sim");
+    }
+}

@@ -1,0 +1,180 @@
+//! Model profiles: the calibratable parameters that make one simulated
+//! LLM behave like GPT-3.5 and another like GPT-4.
+//!
+//! Every probability here is consumed through *stable seeded draws*
+//! (`kgstore::hash`), so a given model either knows a given fact or it
+//! does not, consistently across methods and runs — which is what makes
+//! the paper's ablations (CoT vs pseudo-graph vs verification on the
+//! same questions) meaningful.
+
+use serde::{Deserialize, Serialize};
+
+/// Behavioural parameters of a simulated model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Display name ("gpt-3.5-sim").
+    pub name: String,
+    /// Seed of the parametric memory (what the model happens to know).
+    pub seed: u64,
+    /// Probability of recalling a single-hop, non-recent fact about the
+    /// *most famous* entities when answering directly; tail entities
+    /// scale down steeply with popularity (see
+    /// [`crate::memory::ParametricMemory`]).
+    pub fact_recall: f64,
+    /// Steepness of the popularity→recall curve for single facts
+    /// (recall scales with `popularity^pop_exponent`). Smaller models
+    /// concentrate their knowledge on famous entities more sharply.
+    pub pop_exponent: f64,
+    /// Multiplier on per-hop recall when answering a multi-hop question
+    /// in one shot (IO prompting underperforms on composition).
+    pub hop_decay: f64,
+    /// Multiplier on per-hop recall when reasoning step by step (CoT);
+    /// also the floor for pseudo-graph "knowledge activation".
+    pub cot_bonus: f64,
+    /// Extra multiplier on recall when the model externalises knowledge
+    /// as a pseudo-graph (the paper: generating pseudo-graphs
+    /// "stimulates the model's factual capabilities" beyond CoT).
+    pub activation_bonus: f64,
+    /// When a fact is not recalled: probability the model confidently
+    /// states a wrong entity instead of admitting ignorance.
+    pub confusion_rate: f64,
+    /// Per-member recall probability for list answers (open-ended
+    /// questions enumerate sets; each member is its own draw).
+    pub list_recall: f64,
+    /// Recall for recent (post-cutoff) facts — near zero.
+    pub recent_recall: f64,
+    /// Pseudo-graph conservativeness in `[0, 1]`: the share of
+    /// *uncertain* list knowledge the model withholds when asked to
+    /// write it down as triples. Higher for GPT-4 — which is why its
+    /// pseudo-graph-only Nature-Questions score *drops* (Table 5).
+    pub pseudo_withhold: f64,
+    /// Probability a supported edit is applied correctly during
+    /// verification (replace wrong object, adopt KG evidence).
+    pub verify_fidelity: f64,
+    /// Probability the model keeps its own contradicted pseudo-triple
+    /// anyway (self-bias; the paper's §6 limitation).
+    pub verify_overtrust: f64,
+    /// Probability of emitting a spurious `MATCH` when asked for
+    /// `CREATE`-only Cypher (the paper measured 0.6% for GPT-3.5).
+    pub cypher_match_rate: f64,
+    /// Probability, per self-consistency sample, that temperature
+    /// sampling flips a marginal recall the other way.
+    pub sc_noise: f64,
+    /// When provided context does not actually answer the question, the
+    /// probability the model is *distracted* into answering with a
+    /// salient context item instead of falling back to its own
+    /// knowledge. Weaker models are hurt more by irrelevant context —
+    /// this is why QSM underperforms even IO on multi-hop QALD-10 for
+    /// GPT-3.5 but not for GPT-4 (paper Table 2).
+    pub distraction_rate: f64,
+}
+
+impl ModelProfile {
+    /// Calibrated GPT-3.5-like profile.
+    pub fn gpt35_sim() -> Self {
+        Self {
+            name: "gpt-3.5-sim".into(),
+            seed: 0x3535_3535,
+            fact_recall: 1.0,
+            pop_exponent: 0.55,
+            hop_decay: 0.85,
+            cot_bonus: 1.03,
+            activation_bonus: 1.10,
+            confusion_rate: 0.75,
+            list_recall: 0.62,
+            recent_recall: 0.04,
+            pseudo_withhold: 0.05,
+            verify_fidelity: 0.78,
+            verify_overtrust: 0.15,
+            cypher_match_rate: 0.006,
+            sc_noise: 0.25,
+            distraction_rate: 0.55,
+        }
+    }
+
+    /// Calibrated GPT-4-like profile.
+    pub fn gpt4_sim() -> Self {
+        Self {
+            name: "gpt-4-sim".into(),
+            seed: 0x4444_4444,
+            fact_recall: 0.95,
+            pop_exponent: 0.40,
+            hop_decay: 0.90,
+            cot_bonus: 1.08,
+            activation_bonus: 1.10,
+            confusion_rate: 0.65,
+            list_recall: 0.80,
+            recent_recall: 0.05,
+            pseudo_withhold: 0.42,
+            verify_fidelity: 0.88,
+            verify_overtrust: 0.15,
+            cypher_match_rate: 0.001,
+            sc_noise: 0.20,
+            distraction_rate: 0.30,
+        }
+    }
+
+    /// Validate that all probabilities are in range (used by tests and
+    /// config loaders).
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("fact_recall", self.fact_recall),
+            ("hop_decay", self.hop_decay),
+            ("confusion_rate", self.confusion_rate),
+            ("list_recall", self.list_recall),
+            ("recent_recall", self.recent_recall),
+            ("pseudo_withhold", self.pseudo_withhold),
+            ("verify_fidelity", self.verify_fidelity),
+            ("verify_overtrust", self.verify_overtrust),
+            ("cypher_match_rate", self.cypher_match_rate),
+            ("sc_noise", self.sc_noise),
+            ("distraction_rate", self.distraction_rate),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} out of [0,1]: {p}"));
+            }
+        }
+        for (name, m) in [("cot_bonus", self.cot_bonus), ("activation_bonus", self.activation_bonus)] {
+            if !(1.0..=2.0).contains(&m) {
+                return Err(format!("{name} out of [1,2]: {m}"));
+            }
+        }
+        if !(0.1..=1.0).contains(&self.pop_exponent) {
+            return Err(format!("pop_exponent out of [0.1,1]: {}", self.pop_exponent));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_profiles_validate() {
+        ModelProfile::gpt35_sim().validate().unwrap();
+        ModelProfile::gpt4_sim().validate().unwrap();
+    }
+
+    #[test]
+    fn gpt4_knows_more_and_withholds_more() {
+        let g35 = ModelProfile::gpt35_sim();
+        let g4 = ModelProfile::gpt4_sim();
+        assert!(g4.pop_exponent < g35.pop_exponent, "gpt-4 has a flatter knowledge curve");
+        assert!(g4.list_recall > g35.list_recall);
+        assert!(g4.pseudo_withhold > g35.pseudo_withhold);
+        assert!(g4.cypher_match_rate < g35.cypher_match_rate);
+        assert!(g4.distraction_rate < g35.distraction_rate);
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let mut p = ModelProfile::gpt35_sim();
+        p.fact_recall = 1.5;
+        assert!(p.validate().is_err());
+        let mut p2 = ModelProfile::gpt35_sim();
+        p2.cot_bonus = 0.5;
+        assert!(p2.validate().is_err());
+    }
+}

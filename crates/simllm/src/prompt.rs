@@ -1,0 +1,182 @@
+//! Prompt templates mirroring the paper's Figures 3–5 (pseudo-graph
+//! generation, pseudo-graph verification, answer generation) plus the
+//! 6-shot IO / CoT baselines.
+//!
+//! The simulated model keys its behaviour on the structured task, not on
+//! re-parsing these strings; the templates exist so that the system's
+//! call sites, token accounting, and logged transcripts look exactly
+//! like the real pipeline's.
+
+use kgstore::StrTriple;
+use semvec::display_triple;
+
+/// The paper's Figure 3 in-context examples (abridged to their
+/// operative lines).
+pub const PSEUDO_GRAPH_EXAMPLES: &str = r#"[Example 1]:
+{Question}: Who has the largest area of the Great Lakes in the United States?
+
+<step 1> {Knowledge Planning}:
+To answer the question of who has the largest area of the Great Lakes in the United States,
+we need to gather information about the Great Lakes, their individual areas, and the states they are located in.
+
+<step 2> {Knowledge Graph}:
+// Create Great Lakes nodes
+CREATE (superior:Lake {name: 'Lake Superior', area: 82000})
+CREATE (michigan:Lake {name: 'Lake Michigan', area: 58000})
+CREATE (huron:Lake {name: 'Lake Huron', area: 23000})
+CREATE (ontario:Lake {name: 'Lake Ontario', area: 19000})
+CREATE (erie:Lake {name: 'Lake Erie', area: 9600})
+
+[Example 2]:
+{Question}: Who covers more countries, the Andes or the Himalayas?
+
+<step 1> {Knowledge Planning}:
+I need to gather information about the Andes and the Himalayas, as well as the countries they span.
+
+<step 2> {Knowledge Graph}:
+// Create Andes node
+CREATE (andes:MountainRange {name: "Andes"})
+// Create Himalayas node
+CREATE (himalayas:MountainRange {name: "Himalayas"})
+CREATE (andes)-[:COVERS]->(ecuador:Country {name: "Ecuador"})
+CREATE (andes)-[:COVERS]->(colombia:Country {name: "Colombia"})
+CREATE (himalayas)-[:COVERS]->(india:Country {name: "India"})
+CREATE (himalayas)-[:COVERS]->(nepal:Country {name: "Nepal"})
+"#;
+
+/// Build the Figure-3 pseudo-graph generation prompt.
+pub fn pseudo_graph_prompt(question: &str) -> String {
+    format!(
+        "[Task description]:\n\
+         You should answer the {{Question}} in the following steps:\n\
+         <step 1> Find out what {{Knowledge Planning}} do you need to solve the {{Question}}\n\
+         <step 2> Strictly fill the {{Knowledge Planning}} to construct the {{Knowledge Graph}} \
+         as complete as possible with {{Cypher}}\n\n\
+         {PSEUDO_GRAPH_EXAMPLES}\n\
+         [Task]:\n{{Question}}: {question}\n"
+    )
+}
+
+/// Build the Figure-4 verification prompt: fix `graph to fix` (the
+/// pseudo-graph) against `ground graph` evidence.
+pub fn verify_prompt(
+    question: &str,
+    pseudo: &[StrTriple],
+    ground_sections: &[(String, Vec<StrTriple>)],
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(
+        "Please fix the {graph to fix} below, deleting redundant content from \
+         {graph to fix} and adding missing content from {ground graph} to help me \
+         solve the [problem], following the format in [Example]:\n\n",
+    );
+    out.push_str("[Example]:\n{ground graph}:\n[entity_0]:\n<Stevie Wonder> <occupation> <singer>\n\
+                  {graph to fix}:\n<Stevie Wonder> <HAS_OCCUPATION> <actor>\n\
+                  {fixed graph}:\n<Stevie Wonder> <occupation> <singer>\n\n");
+    out.push_str("[problem]: ");
+    out.push_str(question);
+    out.push_str("\n\n{ground graph}:\n");
+    for (i, (label, triples)) in ground_sections.iter().enumerate() {
+        out.push_str(&format!("[entity_{i}]: {label}\n"));
+        for t in triples {
+            out.push_str(&display_triple(t));
+            out.push('\n');
+        }
+    }
+    out.push_str("\n{graph to fix}:\n");
+    for t in pseudo {
+        out.push_str(&display_triple(t));
+        out.push('\n');
+    }
+    out.push_str("\n{fixed graph}:\n");
+    out
+}
+
+/// Build the Figure-5 answer-generation prompt.
+pub fn answer_prompt(question: &str, graph: &[StrTriple]) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str(
+        "Please answer the [question] based on the [graph] provided, following the \
+         format in [Example]:\n\n\
+         [Example]:\n[graph]:\n<Andes> <covers> <Peru>\n<Andes> <covers> <Chile>\n\
+         [question]: Which countries does the Andes cover?\n\
+         [answer]: Based on the graph above, the Andes covers Peru and Chile.\n\n",
+    );
+    out.push_str("[graph]:\n");
+    for t in graph {
+        out.push_str(&display_triple(t));
+        out.push('\n');
+    }
+    out.push_str("[question]: ");
+    out.push_str(question);
+    out.push_str("\n[answer]: ");
+    out
+}
+
+/// 6-shot IO prompt (paper baseline).
+pub fn io_prompt(question: &str) -> String {
+    format!(
+        "Answer the question directly.\n\n\
+         Q: What is the capital of France? A: Paris.\n\
+         Q: Who wrote Hamlet? A: William Shakespeare.\n\
+         Q: Where was Albert Einstein born? A: Ulm.\n\
+         Q: Which company developed the iPhone? A: Apple.\n\
+         Q: What genre is The Godfather? A: Crime drama.\n\
+         Q: Who directed Jaws? A: Steven Spielberg.\n\n\
+         Q: {question} A:"
+    )
+}
+
+/// 6-shot CoT prompt (paper baseline).
+pub fn cot_prompt(question: &str) -> String {
+    format!(
+        "Answer the question, thinking step by step.\n\n\
+         Q: Where was the director of Jaws born?\n\
+         A: The director of Jaws is Steven Spielberg. Steven Spielberg was born in \
+         Cincinnati. So the answer is Cincinnati.\n\
+         Q: What is the capital of the country where the Rhine ends?\n\
+         A: The Rhine ends in the Netherlands. The capital of the Netherlands is \
+         Amsterdam. So the answer is Amsterdam.\n\
+         (4 more worked examples omitted for brevity)\n\n\
+         Q: {question}\nA:"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_prompt_embeds_question_and_examples() {
+        let p = pseudo_graph_prompt("What kind of chips does the Apple Vision Pro use?");
+        assert!(p.contains("Apple Vision Pro"));
+        assert!(p.contains("CREATE (superior:Lake"));
+        assert!(p.contains("[Task]"));
+    }
+
+    #[test]
+    fn verify_prompt_sections() {
+        let pseudo = vec![StrTriple::new("A", "R", "B")];
+        let ground = vec![("Ent".to_string(), vec![StrTriple::new("A", "r2", "C")])];
+        let p = verify_prompt("q?", &pseudo, &ground);
+        assert!(p.contains("[entity_0]: Ent"));
+        assert!(p.contains("<A> <r> <B>")); // predicate humanised for display
+        assert!(p.contains("<A> <r2> <C>"));
+        assert!(p.contains("{fixed graph}"));
+    }
+
+    #[test]
+    fn answer_prompt_lists_graph() {
+        let g = vec![StrTriple::new("X", "covers", "Y")];
+        let p = answer_prompt("Which?", &g);
+        assert!(p.contains("<X> <covers> <Y>"));
+        assert!(p.ends_with("[answer]: "));
+    }
+
+    #[test]
+    fn baseline_prompts_have_six_shots() {
+        let io = io_prompt("test?");
+        assert_eq!(io.matches("Q:").count(), 7); // 6 examples + task
+        assert!(cot_prompt("test?").contains("step by step"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Transcript capture and replay.
+//!
+//! [`TranscriptLlm`] wraps any [`LanguageModel`] and records every
+//! (prompt, completion) exchange — the audit trail a production
+//! deployment keeps. [`ScriptedLlm`] replays a recorded transcript as a
+//! model of its own, which lets pipeline tests pin exact LLM outputs
+//! (and would let the pipeline be driven by completions captured from a
+//! real API).
+
+use crate::model::{Completion, LanguageModel, LlmTask};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+impl LlmTask<'_> {
+    /// Stable kind tag of the task (used in transcripts).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LlmTask::Io { .. } => "io",
+            LlmTask::Cot { .. } => "cot",
+            LlmTask::CotSample { .. } => "cot-sample",
+            LlmTask::PseudoGraph { .. } => "pseudo-graph",
+            LlmTask::VerifyGraph { .. } => "verify",
+            LlmTask::VerifyGraphSample { .. } => "verify-sample",
+            LlmTask::AnswerFromGraph { .. } => "answer",
+        }
+    }
+}
+
+/// One recorded exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exchange {
+    /// Task kind tag.
+    pub kind: String,
+    /// The rendered prompt.
+    pub prompt: String,
+    /// The model's completion.
+    pub completion: String,
+}
+
+/// A recording wrapper around any model.
+pub struct TranscriptLlm<M> {
+    inner: M,
+    log: Mutex<Vec<Exchange>>,
+}
+
+impl<M: LanguageModel> TranscriptLlm<M> {
+    /// Wrap a model.
+    pub fn new(inner: M) -> Self {
+        Self { inner, log: Mutex::new(Vec::new()) }
+    }
+
+    /// Snapshot the transcript so far.
+    pub fn transcript(&self) -> Vec<Exchange> {
+        self.log.lock().clone()
+    }
+
+    /// Number of recorded exchanges.
+    pub fn len(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.log.lock().is_empty()
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for TranscriptLlm<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, prompt: &str, task: &LlmTask<'_>) -> Completion {
+        let completion = self.inner.complete(prompt, task);
+        self.log.lock().push(Exchange {
+            kind: task.kind().to_string(),
+            prompt: prompt.to_string(),
+            completion: completion.text.clone(),
+        });
+        completion
+    }
+
+    fn call_count(&self) -> usize {
+        self.inner.call_count()
+    }
+
+    fn tokens_processed(&self) -> usize {
+        self.inner.tokens_processed()
+    }
+}
+
+/// A model that replays a fixed sequence of completions, in order.
+/// When the script runs out it returns empty completions (and counts
+/// the overrun, so tests can assert exhaustion).
+pub struct ScriptedLlm {
+    name: String,
+    script: Mutex<VecDeque<String>>,
+    calls: AtomicUsize,
+    overruns: AtomicUsize,
+}
+
+impl ScriptedLlm {
+    /// Create from completion texts in playback order.
+    pub fn new(completions: impl IntoIterator<Item = String>) -> Self {
+        Self {
+            name: "scripted".to_string(),
+            script: Mutex::new(completions.into_iter().collect()),
+            calls: AtomicUsize::new(0),
+            overruns: AtomicUsize::new(0),
+        }
+    }
+
+    /// Create from a recorded transcript.
+    pub fn from_transcript(transcript: &[Exchange]) -> Self {
+        Self::new(transcript.iter().map(|e| e.completion.clone()))
+    }
+
+    /// Completions requested past the end of the script.
+    pub fn overruns(&self) -> usize {
+        self.overruns.load(Ordering::Relaxed)
+    }
+
+    /// Completions still queued.
+    pub fn remaining(&self) -> usize {
+        self.script.lock().len()
+    }
+}
+
+impl LanguageModel for ScriptedLlm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn complete(&self, _prompt: &str, _task: &LlmTask<'_>) -> Completion {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        match self.script.lock().pop_front() {
+            Some(text) => Completion { text },
+            None => {
+                self.overruns.fetch_add(1, Ordering::Relaxed);
+                Completion { text: String::new() }
+            }
+        }
+    }
+
+    fn call_count(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    fn tokens_processed(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelProfile, SimLlm};
+    use std::sync::Arc;
+    use worldgen::{datasets::simpleq, generate, WorldConfig};
+
+    #[test]
+    fn transcript_records_every_exchange() {
+        let world = Arc::new(generate(&WorldConfig { scale: 0.3, ..Default::default() }));
+        let llm = TranscriptLlm::new(SimLlm::new(world.clone(), ModelProfile::gpt35_sim()));
+        let ds = simpleq::generate(&world, 3, 1);
+        for q in &ds.questions {
+            let p = crate::prompt::io_prompt(&q.text);
+            llm.complete(&p, &LlmTask::Io { question: q });
+        }
+        let t = llm.transcript();
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(|e| e.kind == "io"));
+        assert!(t.iter().all(|e| e.prompt.contains("Answer the question")));
+        assert!(t.iter().all(|e| !e.completion.is_empty()));
+    }
+
+    #[test]
+    fn scripted_replays_a_transcript_exactly() {
+        let world = Arc::new(generate(&WorldConfig { scale: 0.3, ..Default::default() }));
+        let real = TranscriptLlm::new(SimLlm::new(world.clone(), ModelProfile::gpt35_sim()));
+        let ds = simpleq::generate(&world, 4, 2);
+        let originals: Vec<String> = ds
+            .questions
+            .iter()
+            .map(|q| real.complete("p", &LlmTask::Cot { question: q }).text)
+            .collect();
+
+        let replay = ScriptedLlm::from_transcript(&real.transcript());
+        for (q, orig) in ds.questions.iter().zip(&originals) {
+            let got = replay.complete("p", &LlmTask::Cot { question: q }).text;
+            assert_eq!(&got, orig);
+        }
+        assert_eq!(replay.remaining(), 0);
+        assert_eq!(replay.overruns(), 0);
+    }
+
+    #[test]
+    fn scripted_overrun_is_counted() {
+        let llm = ScriptedLlm::new(vec!["only one".to_string()]);
+        let world = Arc::new(generate(&WorldConfig { scale: 0.3, ..Default::default() }));
+        let ds = simpleq::generate(&world, 1, 3);
+        let q = &ds.questions[0];
+        assert_eq!(llm.complete("p", &LlmTask::Io { question: q }).text, "only one");
+        assert_eq!(llm.complete("p", &LlmTask::Io { question: q }).text, "");
+        assert_eq!(llm.overruns(), 1);
+        assert_eq!(llm.call_count(), 2);
+    }
+
+    #[test]
+    fn task_kinds_are_stable() {
+        let world = Arc::new(generate(&WorldConfig { scale: 0.3, ..Default::default() }));
+        let ds = simpleq::generate(&world, 1, 4);
+        let q = &ds.questions[0];
+        assert_eq!(LlmTask::Io { question: q }.kind(), "io");
+        assert_eq!(LlmTask::PseudoGraph { question: q }.kind(), "pseudo-graph");
+    }
+
+    #[test]
+    fn exchanges_serialize() {
+        let e = Exchange { kind: "io".into(), prompt: "p".into(), completion: "c".into() };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Exchange = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

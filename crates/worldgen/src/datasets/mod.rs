@@ -1,0 +1,205 @@
+//! QA dataset generators mirroring the paper's three benchmarks:
+//!
+//! * [`simpleq`] — SimpleQuestions-like single-hop factoids grounded in
+//!   the Freebase-style source;
+//! * [`qald`] — QALD-10-like multi-hop and comparison questions grounded
+//!   in the Wikidata-style source;
+//! * [`nature`] — Nature-Questions-like open-ended questions (list
+//!   answers, "who are the pioneers of …", and new-knowledge questions),
+//!   each with three reference answers for ROUGE-L.
+
+pub mod nature;
+pub mod qald;
+pub mod simpleq;
+
+use crate::schema::RelId;
+use crate::world::{EntityId, World};
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark a question belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Single-hop factoid (Hit@1, Freebase-grounded).
+    SimpleQuestions,
+    /// Multi-hop / comparison (Hit@1, Wikidata-grounded).
+    Qald,
+    /// Open-ended (ROUGE-L, three references).
+    NatureQuestions,
+}
+
+impl DatasetKind {
+    /// Display name used in report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::SimpleQuestions => "SimpleQuestions",
+            DatasetKind::Qald => "QALD-10",
+            DatasetKind::NatureQuestions => "Nature Questions",
+        }
+    }
+}
+
+/// The structured semantics of a question.
+///
+/// The *question text* is what retrieval components see; the intent is
+/// what a language model "understands" when reading the question. The
+/// simulated LLM keys its (possibly wrong) parametric recall on the
+/// intent; the gold answer is never exposed through it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Intent {
+    /// Follow a chain of functional relations from a seed entity
+    /// (1 hop = SimpleQuestions, 2–3 hops = QALD).
+    Chain {
+        /// The entity named in the question.
+        seed: EntityId,
+        /// Relations to follow, in order.
+        path: Vec<RelId>,
+    },
+    /// Which of `a`, `b` has more objects under `rel`?
+    Compare {
+        /// First candidate.
+        a: EntityId,
+        /// Second candidate.
+        b: EntityId,
+        /// The multi-valued relation being counted.
+        rel: RelId,
+    },
+    /// Enumerate the objects of `(seed, rel, ·)`.
+    List {
+        /// Subject entity.
+        seed: EntityId,
+        /// Multi-valued relation.
+        rel: RelId,
+    },
+    /// Enumerate the subjects of `(·, rel, object)` ("who are the
+    /// pioneers of X?").
+    WhoList {
+        /// Object entity.
+        object: EntityId,
+        /// Relation.
+        rel: RelId,
+    },
+}
+
+/// Gold data for scoring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Gold {
+    /// Hit@1: the answer is correct if it matches any accepted surface
+    /// form (label/aliases of any acceptable entity).
+    Accepted(Vec<String>),
+    /// ROUGE-L: three human-style reference answers; score against the
+    /// best-matching one.
+    References(Vec<String>),
+}
+
+/// One benchmark question.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Question {
+    /// Stable id within the dataset (`sq-17`, `qald-3`, `nq-42`).
+    pub id: String,
+    /// Which benchmark.
+    pub dataset: DatasetKind,
+    /// The natural-language question.
+    pub text: String,
+    /// Structured semantics (see [`Intent`]).
+    pub intent: Intent,
+    /// Gold answers for scoring.
+    pub gold: Gold,
+}
+
+/// A generated dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Which benchmark.
+    pub kind: DatasetKind,
+    /// Questions in generation order.
+    pub questions: Vec<Question>,
+}
+
+impl Dataset {
+    /// Number of questions.
+    pub fn len(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.questions.is_empty()
+    }
+}
+
+/// Accepted surface forms for an entity: label plus aliases.
+pub(crate) fn accepted_surfaces(world: &World, id: EntityId) -> Vec<String> {
+    let e = world.entity(id);
+    let mut v = vec![e.label.clone()];
+    v.extend(e.aliases.iter().cloned());
+    v
+}
+
+/// When a label is ambiguous, questions refer to the most popular holder
+/// (asking "Where was Yao Ming born?" means the famous one). Returns the
+/// canonical entity for a label.
+pub(crate) fn canonical_holder(world: &World, id: EntityId) -> EntityId {
+    let label = &world.entity(id).label;
+    let kind = world.entity(id).kind;
+    world
+        .entities_of_kind(kind)
+        .iter()
+        .copied()
+        .filter(|&other| &world.entity(other).label == label)
+        .max_by(|&a, &b| {
+            world
+                .entity(a)
+                .popularity
+                .partial_cmp(&world.entity(b).popularity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(id)
+}
+
+/// Render an English list: `a`, `a and b`, `a, b, and c`.
+pub fn english_list(items: &[String]) -> String {
+    match items.len() {
+        0 => String::new(),
+        1 => items[0].clone(),
+        2 => format!("{} and {}", items[0], items[1]),
+        _ => {
+            let (last, init) = items.split_last().unwrap();
+            format!("{}, and {}", init.join(", "), last)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, WorldConfig};
+
+    #[test]
+    fn english_list_forms() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(english_list(&s(&["a"])), "a");
+        assert_eq!(english_list(&s(&["a", "b"])), "a and b");
+        assert_eq!(english_list(&s(&["a", "b", "c"])), "a, b, and c");
+        assert_eq!(english_list(&[]), "");
+    }
+
+    #[test]
+    fn canonical_holder_prefers_popular() {
+        let w = generate(&WorldConfig::default());
+        // Find a duplicated label.
+        let mut by_label: std::collections::HashMap<&str, Vec<EntityId>> = Default::default();
+        for e in &w.entities {
+            by_label.entry(e.label.as_str()).or_default().push(e.id);
+        }
+        let dupes = by_label.values().find(|v| v.len() > 1).expect("ambiguity exists");
+        let canon = canonical_holder(&w, dupes[1]);
+        for &other in dupes.iter() {
+            assert!(w.entity(canon).popularity >= w.entity(other).popularity);
+        }
+    }
+
+    #[test]
+    fn dataset_kind_names() {
+        assert_eq!(DatasetKind::Qald.name(), "QALD-10");
+    }
+}

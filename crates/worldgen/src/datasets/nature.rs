@@ -1,0 +1,275 @@
+//! Nature-Questions-like generator: open-ended questions "people
+//! commonly ask in daily life" — list answers, multiple-answer
+//! responses, and queries about new knowledge — each with three
+//! reference answers, as in the paper's hand-built 50-question set.
+
+use super::{english_list, Dataset, DatasetKind, Gold, Intent, Question};
+use crate::schema::{all_rel_ids, rel_by_name, RelId};
+use crate::world::{EntityId, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate `n` open-ended questions (the paper uses 50).
+pub fn generate(world: &World, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut questions = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut attempts = 0;
+    while questions.len() < n && attempts < n * 300 {
+        attempts += 1;
+        let q = match attempts % 3 {
+            0 => make_list(world, &mut rng),
+            1 => make_who_list(world, &mut rng),
+            _ => make_recent(world, &mut rng),
+        };
+        let Some(q) = q else { continue };
+        if !seen.insert(q.text.clone()) {
+            continue;
+        }
+        let mut q = q;
+        q.id = format!("nq-{}", questions.len());
+        questions.push(q);
+    }
+    Dataset { kind: DatasetKind::NatureQuestions, questions }
+}
+
+/// Multi-valued relations suitable for list questions.
+fn list_rels() -> Vec<RelId> {
+    all_rel_ids()
+        .filter(|r| {
+            let s = r.spec();
+            s.max_objects >= 3 && s.question.is_some() && !s.recent
+        })
+        .collect()
+}
+
+/// Mild popularity bias: daily-life questions are about things people
+/// have heard of (tournament of 4).
+fn pick_known(world: &World, ids: &[EntityId], rng: &mut StdRng) -> EntityId {
+    let mut best = ids[rng.random_range(0..ids.len())];
+    for _ in 0..3 {
+        let c = ids[rng.random_range(0..ids.len())];
+        if world.entity(c).popularity > world.entity(best).popularity {
+            best = c;
+        }
+    }
+    best
+}
+
+fn make_list(world: &World, rng: &mut StdRng) -> Option<Question> {
+    let rels = list_rels();
+    let rel = rels[rng.random_range(0..rels.len())];
+    let spec = rel.spec();
+    let subjects = world.entities_of_kind(spec.subject);
+    let seed = pick_known(world, subjects, rng);
+    let objects = world.objects_of(seed, rel);
+    if objects.len() < 3 {
+        return None;
+    }
+    let labels: Vec<String> = objects.iter().map(|&o| world.label(o).to_string()).collect();
+    let text = spec
+        .question
+        .expect("list relation has template")
+        .replace("{s}", world.label(seed));
+    let subject_label = world.label(seed).to_string();
+    Some(Question {
+        id: String::new(),
+        dataset: DatasetKind::NatureQuestions,
+        text,
+        intent: Intent::List { seed, rel },
+        gold: Gold::References(references(&subject_label, spec.phrase, &labels)),
+    })
+}
+
+fn make_who_list(world: &World, rng: &mut StdRng) -> Option<Question> {
+    let rel = rel_by_name("known_for_pioneering").expect("schema relation");
+    let fields = world.entities_of_kind(rel.spec().object);
+    let field = fields[rng.random_range(0..fields.len())];
+    let subjects: Vec<EntityId> = world.subjects_with(rel, field);
+    if subjects.len() < 2 {
+        return None;
+    }
+    let labels: Vec<String> = subjects.iter().map(|&s| world.label(s).to_string()).collect();
+    let field_label = world.label(field).to_string();
+    let text = format!(
+        "Who are the people acknowledged as trailblazers in the field of {field_label}?"
+    );
+    Some(Question {
+        id: String::new(),
+        dataset: DatasetKind::NatureQuestions,
+        text,
+        intent: Intent::WhoList { object: field, rel },
+        gold: Gold::References(references(
+            &format!("pioneers of {field_label}"),
+            "include",
+            &labels,
+        )),
+    })
+}
+
+/// New-knowledge question over a recent relation (paper's "What kind of
+/// chips does the Apple Vision Pro use?").
+fn make_recent(world: &World, rng: &mut StdRng) -> Option<Question> {
+    let rels: Vec<RelId> = all_rel_ids()
+        .filter(|r| r.spec().recent && r.spec().question.is_some())
+        .collect();
+    let rel = rels[rng.random_range(0..rels.len())];
+    let spec = rel.spec();
+    let subjects = world.entities_of_kind(spec.subject);
+    let seed = pick_known(world, subjects, rng);
+    let objects = world.objects_of(seed, rel);
+    if objects.is_empty() {
+        return None;
+    }
+    let labels: Vec<String> = objects.iter().map(|&o| world.label(o).to_string()).collect();
+    let text = spec
+        .question
+        .expect("recent relation has template")
+        .replace("{s}", world.label(seed));
+    let subject_label = world.label(seed).to_string();
+    Some(Question {
+        id: String::new(),
+        dataset: DatasetKind::NatureQuestions,
+        text,
+        intent: Intent::List { seed, rel },
+        gold: Gold::References(references(&subject_label, spec.phrase, &labels)),
+    })
+}
+
+/// Three human-style reference answers with different registers, each
+/// covering the complete gold list (the paper expected references to be
+/// "comprehensive enough"). Hand-written answers are explanatory prose,
+/// not bare lists — the surrounding wording intentionally diverges from
+/// any machine answer's boilerplate, which is what keeps even perfect
+/// content from scoring ROUGE-L anywhere near 1.0.
+fn references(subject: &str, phrase: &str, labels: &[String]) -> Vec<String> {
+    let mut sorted = labels.to_vec();
+    sorted.sort();
+    let list = english_list(&sorted);
+    let n = sorted.len();
+    if n <= 2 {
+        // Short-answer questions get short references.
+        let _ = (subject, phrase);
+        return vec![
+            format!("The answer is {list}."),
+            format!("As far as I know, it is {list}."),
+            format!("{list} — that is what reliable sources say."),
+        ];
+    }
+    vec![
+        format!(
+            "As far as I know, it includes {list}."
+        ),
+        format!(
+            "There are {n} answers commonly mentioned: {list}."
+        ),
+        format!(
+            "To be comprehensive, the full set is {list}."
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate as gen_world, WorldConfig};
+
+    fn world() -> World {
+        gen_world(&WorldConfig::default())
+    }
+
+    #[test]
+    fn generates_fifty_questions() {
+        let w = world();
+        let d = generate(&w, 50, 21);
+        assert_eq!(d.len(), 50);
+    }
+
+    #[test]
+    fn every_question_has_three_references() {
+        let w = world();
+        let d = generate(&w, 50, 21);
+        for q in &d.questions {
+            let Gold::References(refs) = &q.gold else {
+                panic!("nature questions must use references")
+            };
+            assert_eq!(refs.len(), 3);
+            for r in refs {
+                assert!(!r.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn mix_of_intents() {
+        let w = world();
+        let d = generate(&w, 50, 22);
+        let lists = d
+            .questions
+            .iter()
+            .filter(|q| matches!(q.intent, Intent::List { .. }))
+            .count();
+        let wholists = d
+            .questions
+            .iter()
+            .filter(|q| matches!(q.intent, Intent::WhoList { .. }))
+            .count();
+        assert!(lists >= 10, "lists: {lists}");
+        assert!(wholists >= 5, "who-lists: {wholists}");
+    }
+
+    #[test]
+    fn includes_recent_knowledge_questions() {
+        let w = world();
+        let d = generate(&w, 50, 23);
+        let recent = d
+            .questions
+            .iter()
+            .filter(|q| match &q.intent {
+                Intent::List { rel, .. } => rel.spec().recent,
+                _ => false,
+            })
+            .count();
+        assert!(recent >= 8, "recent: {recent}");
+    }
+
+    #[test]
+    fn references_contain_gold_labels() {
+        let w = world();
+        let d = generate(&w, 30, 24);
+        for q in &d.questions {
+            let gold_labels: Vec<String> = match &q.intent {
+                Intent::List { seed, rel } => w
+                    .objects_of(*seed, *rel)
+                    .iter()
+                    .map(|&o| w.label(o).to_string())
+                    .collect(),
+                Intent::WhoList { object, rel } => w
+                    .subjects_with(*rel, *object)
+                    .iter()
+                    .map(|&s| w.label(s).to_string())
+                    .collect(),
+                _ => continue,
+            };
+            let Gold::References(refs) = &q.gold else { unreachable!() };
+            for label in &gold_labels {
+                assert!(
+                    refs.iter().all(|r| r.contains(label)),
+                    "label {label} missing from references of {}",
+                    q.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = generate(&w, 50, 30);
+        let b = generate(&w, 50, 30);
+        assert_eq!(
+            a.questions.iter().map(|q| &q.text).collect::<Vec<_>>(),
+            b.questions.iter().map(|q| &q.text).collect::<Vec<_>>()
+        );
+    }
+}

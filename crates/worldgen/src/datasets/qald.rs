@@ -1,0 +1,340 @@
+//! QALD-10-like generator: multi-hop chain questions ("Where was the
+//! director of X born?") and comparison questions ("Who covers more
+//! countries, the Andes or the Himalayas?"), Wikidata-grounded.
+
+use super::{accepted_surfaces, canonical_holder, Dataset, DatasetKind, Gold, Intent, Question};
+use crate::schema::{all_rel_ids, RelId};
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fraction of questions that are comparisons (the rest are chains).
+const COMPARE_SHARE: f64 = 0.2;
+/// Hop distribution among chain questions. Real QALD-10 mixes simple
+/// lookups about famous entities with genuinely multi-hop queries.
+const ONE_HOP_SHARE: f64 = 0.56;
+const THREE_HOP_SHARE: f64 = 0.13;
+
+fn chainable(r: RelId) -> bool {
+    let s = r.spec();
+    s.descriptor.is_some() && s.max_objects == 1 && !s.recent
+}
+
+fn askable(r: RelId) -> bool {
+    let s = r.spec();
+    s.question.is_some() && s.max_objects == 1 && !s.recent
+}
+
+fn comparable(r: RelId) -> bool {
+    let s = r.spec();
+    s.max_objects >= 3 && s.question.is_some() && !s.recent
+}
+
+/// Generate `n` QALD-style questions.
+pub fn generate(world: &World, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chain_rels: Vec<RelId> = all_rel_ids().filter(|&r| chainable(r)).collect();
+    let ask_rels: Vec<RelId> = all_rel_ids().filter(|&r| askable(r)).collect();
+    let cmp_rels: Vec<RelId> = all_rel_ids().filter(|&r| comparable(r)).collect();
+
+    let mut questions = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut attempts = 0;
+    while questions.len() < n && attempts < n * 400 {
+        attempts += 1;
+        let q = if rng.random::<f64>() < COMPARE_SHARE {
+            make_compare(world, &cmp_rels, &mut rng)
+        } else {
+            let u = rng.random::<f64>();
+            let hops = if u < ONE_HOP_SHARE {
+                1
+            } else if u < ONE_HOP_SHARE + THREE_HOP_SHARE {
+                3
+            } else {
+                2
+            };
+            make_chain(world, &chain_rels, &ask_rels, hops, &mut rng)
+        };
+        let Some(q) = q else { continue };
+        if !seen.insert(q.text.clone()) {
+            continue;
+        }
+        let mut q = q;
+        q.id = format!("qald-{}", questions.len());
+        questions.push(q);
+    }
+    Dataset { kind: DatasetKind::Qald, questions }
+}
+
+/// Tournament selection with popularity bias: real QALD questions ask
+/// about well-known entities, not uniform samples of the KG.
+fn pick_popular(world: &World, ids: &[crate::world::EntityId], rng: &mut StdRng) -> crate::world::EntityId {
+    // Uniform draw from the most popular ~12% of the pool (sorted view
+    // computed on the fly; pools are small).
+    let mut sorted: Vec<_> = ids.to_vec();
+    sorted.sort_by(|&a, &b| {
+        world
+            .entity(b)
+            .popularity
+            .partial_cmp(&world.entity(a).popularity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let head = (sorted.len() / 4).max(2).min(sorted.len());
+    sorted[rng.random_range(0..head)]
+}
+
+/// Build an `hops`-hop chain: inner hops use `descriptor` relations, the
+/// outermost uses a `question` relation. The chain must resolve uniquely
+/// in the world.
+fn make_chain(
+    world: &World,
+    chain_rels: &[RelId],
+    ask_rels: &[RelId],
+    hops: usize,
+    rng: &mut StdRng,
+) -> Option<Question> {
+    // Build the path backwards: final (asked) relation first.
+    let last = ask_rels[rng.random_range(0..ask_rels.len())];
+    let mut path = vec![last];
+    for _ in 1..hops {
+        // Need a relation whose object kind equals the subject kind of
+        // the current head.
+        let head_subject = path[0].spec().subject;
+        let candidates: Vec<RelId> = chain_rels
+            .iter()
+            .copied()
+            .filter(|r| r.spec().object == head_subject && r.spec().subject != head_subject)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        path.insert(0, candidates[rng.random_range(0..candidates.len())]);
+    }
+
+    // Pick a seed that resolves through the whole chain.
+    let seeds = world.entities_of_kind(path[0].spec().subject);
+    if seeds.is_empty() {
+        return None;
+    }
+    let seed = pick_popular(world, seeds, rng);
+    if canonical_holder(world, seed) != seed {
+        return None;
+    }
+    let mut cur = seed;
+    for &rel in &path {
+        let objs = world.objects_of(cur, rel);
+        if objs.len() != 1 {
+            return None;
+        }
+        cur = objs[0];
+    }
+    let answer = cur;
+
+    // Render the text: innermost descriptor outwards, then the question
+    // template of the last relation.
+    let mut referent = world.entity(seed).label.clone();
+    for &rel in &path[..path.len() - 1] {
+        referent = rel
+            .spec()
+            .descriptor
+            .expect("chain relations have descriptors")
+            .replace("{s}", &referent);
+    }
+    let text = path
+        .last()
+        .unwrap()
+        .spec()
+        .question
+        .expect("asked relation has template")
+        .replace("{s}", &referent);
+
+    Some(Question {
+        id: String::new(),
+        dataset: DatasetKind::Qald,
+        text,
+        intent: Intent::Chain { seed, path },
+        gold: Gold::Accepted(accepted_surfaces(world, answer)),
+    })
+}
+
+/// Build a comparison question over a multi-valued relation.
+fn make_compare(world: &World, cmp_rels: &[RelId], rng: &mut StdRng) -> Option<Question> {
+    if cmp_rels.is_empty() {
+        return None;
+    }
+    let rel = cmp_rels[rng.random_range(0..cmp_rels.len())];
+    let spec = rel.spec();
+    let subjects = world.entities_of_kind(spec.subject);
+    if subjects.len() < 2 {
+        return None;
+    }
+    let a = pick_popular(world, subjects, rng);
+    let b = pick_popular(world, subjects, rng);
+    if a == b || canonical_holder(world, a) != a || canonical_holder(world, b) != b {
+        return None;
+    }
+    let ca = world.objects_of(a, rel).len();
+    let cb = world.objects_of(b, rel).len();
+    if ca == cb || ca == 0 || cb == 0 {
+        return None; // ties and empty sides are unanswerable
+    }
+    let winner = if ca > cb { a } else { b };
+    let (la, lb) = (world.entity(a).label.clone(), world.entity(b).label.clone());
+    let text = format!(
+        "Which {} {} more {}, {} or {}?",
+        spec.subject.noun(),
+        verb_for(spec.name),
+        object_plural(rel),
+        la,
+        lb,
+    );
+    Some(Question {
+        id: String::new(),
+        dataset: DatasetKind::Qald,
+        text,
+        intent: Intent::Compare { a, b, rel },
+        gold: Gold::Accepted(accepted_surfaces(world, winner)),
+    })
+}
+
+fn verb_for(rel_name: &str) -> &'static str {
+    match rel_name {
+        "covers" => "covers",
+        "flows_through" => "flows through",
+        "band_member" => "has",
+        "starring" => "features",
+        _ => "has",
+    }
+}
+
+fn object_plural(rel: RelId) -> String {
+    let noun = rel.spec().object.noun();
+    if noun.ends_with('s') {
+        noun.to_string()
+    } else if let Some(stem) = noun.strip_suffix('y') {
+        format!("{stem}ies")
+    } else {
+        format!("{noun}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate as gen_world, WorldConfig};
+
+    fn world() -> World {
+        gen_world(&WorldConfig::default())
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let w = world();
+        let d = generate(&w, 120, 5);
+        assert_eq!(d.len(), 120);
+    }
+
+    #[test]
+    fn has_both_chain_and_compare() {
+        let w = world();
+        let d = generate(&w, 120, 5);
+        let chains = d
+            .questions
+            .iter()
+            .filter(|q| matches!(q.intent, Intent::Chain { .. }))
+            .count();
+        let compares = d.len() - chains;
+        assert!(chains > 40, "chains: {chains}");
+        assert!(compares >= 12, "compares: {compares}");
+    }
+
+    #[test]
+    fn chains_are_multi_hop_and_resolve() {
+        let w = world();
+        let d = generate(&w, 80, 6);
+        for q in &d.questions {
+            if let Intent::Chain { seed, path } = &q.intent {
+                assert!(!path.is_empty() && path.len() <= 3);
+                let mut cur = *seed;
+                for rel in path {
+                    let objs = w.objects_of(cur, *rel);
+                    assert_eq!(objs.len(), 1, "chain must resolve uniquely");
+                    cur = objs[0];
+                }
+                let Gold::Accepted(acc) = &q.gold else { unreachable!() };
+                assert!(acc.contains(&w.entity(cur).label.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn compare_gold_is_actual_winner() {
+        let w = world();
+        let d = generate(&w, 100, 7);
+        for q in &d.questions {
+            if let Intent::Compare { a, b, rel } = &q.intent {
+                let (ca, cb) = (w.objects_of(*a, *rel).len(), w.objects_of(*b, *rel).len());
+                assert_ne!(ca, cb);
+                let winner = if ca > cb { *a } else { *b };
+                let Gold::Accepted(acc) = &q.gold else { unreachable!() };
+                assert!(acc.contains(&w.entity(winner).label.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = generate(&w, 50, 11);
+        let b = generate(&w, 50, 11);
+        assert_eq!(
+            a.questions.iter().map(|q| &q.text).collect::<Vec<_>>(),
+            b.questions.iter().map(|q| &q.text).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chain_text_nests_descriptors() {
+        let w = world();
+        let d = generate(&w, 80, 12);
+        let two_hop = d
+            .questions
+            .iter()
+            .find(|q| matches!(&q.intent, Intent::Chain { path, .. } if path.len() == 2))
+            .expect("some 2-hop question");
+        assert!(two_hop.text.contains("the "), "{}", two_hop.text);
+    }
+
+    #[test]
+    fn hop_mix_includes_single_and_multi() {
+        let w = world();
+        let d = generate(&w, 200, 13);
+        let mut one = 0;
+        let mut multi = 0;
+        for q in &d.questions {
+            if let Intent::Chain { path, .. } = &q.intent {
+                if path.len() == 1 {
+                    one += 1;
+                } else {
+                    multi += 1;
+                }
+            }
+        }
+        assert!(one > 30, "1-hop share too small: {one}");
+        assert!(multi > 30, "multi-hop share too small: {multi}");
+    }
+
+    #[test]
+    fn seeds_are_popular() {
+        let w = world();
+        let d = generate(&w, 100, 14);
+        let mut pops = Vec::new();
+        for q in &d.questions {
+            if let Intent::Chain { seed, .. } = &q.intent {
+                pops.push(w.entity(*seed).popularity);
+            }
+        }
+        let mean: f64 = pops.iter().sum::<f64>() / pops.len() as f64;
+        assert!(mean > 0.1, "QALD should ask about popular entities: {mean}");
+    }
+}

@@ -1,0 +1,196 @@
+//! SimpleQuestions-like generator: single-hop factoid questions over
+//! facts the Freebase-style source can answer (classic, non-recent
+//! relations with a question template).
+
+use super::{accepted_surfaces, canonical_holder, Dataset, DatasetKind, Gold, Intent, Question};
+use crate::schema::{all_rel_ids, EntityKind, RelId};
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Probability a person is referred to casually (surname only), the way
+/// crowdworkers phrase questions ("Where was Turing born?"). Casual
+/// mentions are trivial for a language model to resolve but break naive
+/// surface-form entity matching against the KG — the entity-linking gap
+/// the paper's pseudo-graph step exists to close.
+const CASUAL_MENTION_RATE: f64 = 0.5;
+
+/// Relations eligible for SimpleQuestions: direct question template,
+/// functional (single answer for Hit@1), not recent (FB2M is frozen).
+fn eligible_relations() -> Vec<RelId> {
+    all_rel_ids()
+        .filter(|r| {
+            let s = r.spec();
+            s.question.is_some() && s.max_objects == 1 && !s.recent
+        })
+        .collect()
+}
+
+/// Generate `n` single-hop questions.
+pub fn generate(world: &World, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rels = eligible_relations();
+    // Collect all (subject, rel, object) candidates up front so sampling
+    // is uniform over askable facts, as in the original dataset's
+    // fact-driven construction.
+    let mut candidates = Vec::new();
+    for &rel in &rels {
+        for f in &world.facts {
+            if f.rel == rel {
+                candidates.push(*f);
+            }
+        }
+    }
+    let mut questions = Vec::with_capacity(n);
+    let mut used = std::collections::HashSet::new();
+    let mut attempts = 0;
+    while questions.len() < n && attempts < n * 50 {
+        attempts += 1;
+        let f = candidates[rng.random_range(0..candidates.len())];
+        // Questions refer to entities by surface form; point the intent
+        // at the canonical (most popular) holder of the label and skip
+        // if that changes the answer.
+        let canon = canonical_holder(world, f.s);
+        if canon != f.s {
+            continue;
+        }
+        let spec = f.rel.spec();
+        let subject = &world.entity(f.s);
+        let mention = if subject.kind == EntityKind::Person
+            && rng.random::<f64>() < CASUAL_MENTION_RATE
+        {
+            subject
+                .label
+                .split_whitespace()
+                .last()
+                .unwrap_or(&subject.label)
+                .to_string()
+        } else {
+            subject.label.clone()
+        };
+        let text = spec
+            .question
+            .expect("eligible relation has template")
+            .replace("{s}", &mention);
+        if !used.insert(text.clone()) {
+            continue; // casual mentions can collide across subjects
+        }
+        let objects = world.objects_of(f.s, f.rel);
+        let mut accepted = Vec::new();
+        for o in &objects {
+            accepted.extend(accepted_surfaces(world, *o));
+        }
+        questions.push(Question {
+            id: format!("sq-{}", questions.len()),
+            dataset: DatasetKind::SimpleQuestions,
+            text,
+            intent: Intent::Chain { seed: f.s, path: vec![f.rel] },
+            gold: Gold::Accepted(accepted),
+        });
+    }
+    Dataset { kind: DatasetKind::SimpleQuestions, questions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate as gen_world, WorldConfig};
+
+    fn world() -> World {
+        gen_world(&WorldConfig::default())
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let w = world();
+        let d = generate(&w, 100, 1);
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn questions_are_single_hop() {
+        let w = world();
+        let d = generate(&w, 50, 1);
+        for q in &d.questions {
+            match &q.intent {
+                Intent::Chain { path, .. } => assert_eq!(path.len(), 1),
+                other => panic!("unexpected intent {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn gold_matches_world_fact() {
+        let w = world();
+        let d = generate(&w, 50, 1);
+        for q in &d.questions {
+            let Intent::Chain { seed, path } = &q.intent else { unreachable!() };
+            let objects = w.objects_of(*seed, path[0]);
+            let Gold::Accepted(accepted) = &q.gold else { unreachable!() };
+            assert!(objects
+                .iter()
+                .any(|o| accepted.contains(&w.entity(*o).label)));
+        }
+    }
+
+    #[test]
+    fn question_text_mentions_subject_or_casual_form() {
+        let w = world();
+        let d = generate(&w, 30, 2);
+        for q in &d.questions {
+            let Intent::Chain { seed, .. } = &q.intent else { unreachable!() };
+            let label = &w.entity(*seed).label;
+            let surname = label.split_whitespace().last().unwrap();
+            assert!(
+                q.text.contains(label.as_str()) || q.text.contains(surname),
+                "{}",
+                q.text
+            );
+        }
+    }
+
+    #[test]
+    fn casual_mentions_occur() {
+        let w = world();
+        let d = generate(&w, 200, 2);
+        let casual = d
+            .questions
+            .iter()
+            .filter(|q| {
+                let Intent::Chain { seed, .. } = &q.intent else { return false };
+                !q.text.contains(w.entity(*seed).label.as_str())
+            })
+            .count();
+        assert!(casual > 30, "casual mentions expected: {casual}/200");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = world();
+        let a = generate(&w, 40, 9);
+        let b = generate(&w, 40, 9);
+        assert_eq!(
+            a.questions.iter().map(|q| &q.text).collect::<Vec<_>>(),
+            b.questions.iter().map(|q| &q.text).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn no_recent_relations() {
+        let w = world();
+        let d = generate(&w, 80, 3);
+        for q in &d.questions {
+            let Intent::Chain { path, .. } = &q.intent else { unreachable!() };
+            assert!(!path[0].spec().recent);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_questions() {
+        let w = world();
+        let d = generate(&w, 100, 4);
+        let set: std::collections::HashSet<&String> =
+            d.questions.iter().map(|q| &q.text).collect();
+        assert_eq!(set.len(), d.len());
+    }
+}

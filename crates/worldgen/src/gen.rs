@@ -1,0 +1,350 @@
+//! World generation: entities with Zipf popularity and deliberate label
+//! ambiguity, then facts drawn per relation spec.
+
+use crate::names::{fresh_name, pool_capacity};
+use crate::schema::{all_rel_ids, EntityKind};
+use crate::world::{EntityId, World, WorldEntity};
+use kgstore::hash::FxHashSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size and shape knobs for world generation.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Scale factor on all entity counts (1.0 = defaults below).
+    pub scale: f64,
+    /// Fraction of entities that share a label with another entity of
+    /// the same kind (the "7 Yao Mings" ambiguity).
+    pub ambiguity_rate: f64,
+    /// Fraction of entities receiving an alias.
+    pub alias_rate: f64,
+    /// Zipf exponent for popularity by rank.
+    pub zipf_exponent: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            scale: 1.0,
+            ambiguity_rate: 0.05,
+            alias_rate: 0.2,
+            zipf_exponent: 0.7,
+        }
+    }
+}
+
+/// Default entity count per kind (before scaling).
+fn base_count(kind: EntityKind) -> usize {
+    match kind {
+        EntityKind::Person => 360,
+        EntityKind::City => 100,
+        EntityKind::Country => 45,
+        EntityKind::Continent => 6,
+        EntityKind::River => 36,
+        EntityKind::MountainRange => 18,
+        EntityKind::Lake => 24,
+        EntityKind::Mountain => 30,
+        EntityKind::Company => 60,
+        EntityKind::Device => 40,
+        EntityKind::Chip => 18,
+        EntityKind::University => 36,
+        EntityKind::Film => 80,
+        EntityKind::Book => 50,
+        EntityKind::Band => 36,
+        EntityKind::Genre => 20,
+        EntityKind::Award => 15,
+        EntityKind::Field => 12,
+        EntityKind::Occupation => 20,
+        EntityKind::Sport => 12,
+        EntityKind::Team => 30,
+    }
+}
+
+/// Generate a complete world from a config.
+pub fn generate(cfg: &WorldConfig) -> World {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut world = World::default();
+    let mut used_names = FxHashSet::default();
+
+    // --- entities ---
+    for kind in EntityKind::ALL {
+        let n = (((base_count(kind) as f64) * cfg.scale).round() as usize)
+            .max(2)
+            .min(pool_capacity(kind));
+        for rank in 0..n {
+            let label = fresh_name(kind, &mut rng, &mut used_names);
+            // Zipf by rank within kind, normalised so rank 0 has pop 1.
+            let popularity = 1.0 / ((rank + 1) as f64).powf(cfg.zipf_exponent);
+            let description = format!("{} (#{} by prominence)", kind.noun(), rank + 1);
+            world.push_entity(WorldEntity {
+                id: EntityId(0), // assigned by push_entity
+                kind,
+                label,
+                aliases: Vec::new(),
+                description,
+                popularity,
+            });
+        }
+    }
+
+    inject_ambiguity(&mut world, cfg, &mut rng);
+    inject_aliases(&mut world, cfg, &mut rng);
+    generate_facts(&mut world, &mut rng);
+    world
+}
+
+/// Relabel a fraction of low-popularity entities with the label of a
+/// more popular same-kind entity, so surface forms collide.
+fn inject_ambiguity(world: &mut World, cfg: &WorldConfig, rng: &mut StdRng) {
+    for kind in EntityKind::ALL {
+        // Ambiguity only makes sense for kinds with open name spaces.
+        if pool_capacity(kind) != usize::MAX {
+            continue;
+        }
+        let ids: Vec<EntityId> = world.entities_of_kind(kind).to_vec();
+        if ids.len() < 4 {
+            continue;
+        }
+        let n_dupes = ((ids.len() as f64) * cfg.ambiguity_rate).round() as usize;
+        for d in 0..n_dupes {
+            // Duplicate a label from the popular half onto an entity in
+            // the unpopular half.
+            let src = ids[rng.random_range(0..ids.len() / 2)];
+            let dst = ids[ids.len() / 2 + rng.random_range(0..ids.len() - ids.len() / 2)];
+            if src == dst {
+                continue;
+            }
+            let label = world.entity(src).label.clone();
+            let e = &mut world.entities[dst.0 as usize];
+            e.label = label;
+            e.description = format!("{} (lesser-known namesake {})", kind.noun(), d + 1);
+        }
+    }
+}
+
+/// Give a fraction of entities an alias surface form.
+fn inject_aliases(world: &mut World, cfg: &WorldConfig, rng: &mut StdRng) {
+    let n = world.entity_count();
+    for i in 0..n {
+        if rng.random::<f64>() >= cfg.alias_rate {
+            continue;
+        }
+        let e = &mut world.entities[i];
+        let alias = match e.kind {
+            // Acronym for multiword names ("Tekna Systems" → "TS").
+            EntityKind::Company | EntityKind::University | EntityKind::Team => e
+                .label
+                .split_whitespace()
+                .filter_map(|w| w.chars().next())
+                .collect::<String>()
+                .to_uppercase(),
+            // "The X" for bands and ranges.
+            EntityKind::Band | EntityKind::MountainRange => format!("The {}", e.label),
+            // Surname-only alias for persons.
+            EntityKind::Person => e
+                .label
+                .split_whitespace()
+                .last()
+                .unwrap_or(&e.label)
+                .to_string(),
+            _ => continue,
+        };
+        if alias.len() > 1 && alias != e.label {
+            e.aliases.push(alias);
+        }
+    }
+}
+
+/// Draw facts for every relation spec.
+fn generate_facts(world: &mut World, rng: &mut StdRng) {
+    // Pre-compute popularity-weighted samplers per kind.
+    let mut samplers: Vec<(EntityKind, WeightedSampler)> = Vec::new();
+    for kind in EntityKind::ALL {
+        let ids = world.entities_of_kind(kind).to_vec();
+        let weights: Vec<f64> = ids
+            .iter()
+            .map(|&id| world.entity(id).popularity.powf(1.2))
+            .collect();
+        samplers.push((kind, WeightedSampler::new(ids, weights)));
+    }
+    let sampler_of = |kind: EntityKind, samplers: &[(EntityKind, WeightedSampler)]| {
+        samplers
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| s.clone())
+            .expect("sampler for kind")
+    };
+
+    let mut seen: FxHashSet<(EntityId, u16, EntityId)> = FxHashSet::default();
+    for rel in all_rel_ids() {
+        let spec = rel.spec();
+        let subjects: Vec<EntityId> = world.entities_of_kind(spec.subject).to_vec();
+        let obj_sampler = sampler_of(spec.object, &samplers);
+        for s in subjects {
+            if rng.random::<f64>() >= spec.density {
+                continue;
+            }
+            // Field pioneers are, by construction of the concept,
+            // prominent people: being "acknowledged as a trailblazer"
+            // correlates with fame (cf. the paper's "most famous
+            // painter" example).
+            if spec.name == "known_for_pioneering" && world.entity(s).popularity < 0.08 {
+                continue;
+            }
+            let k = if spec.max_objects == 1 {
+                1
+            } else {
+                // Skew low: most subjects have few objects.
+                1 + rng.random_range(0..spec.max_objects)
+            };
+            let mut placed = 0;
+            let mut attempts = 0;
+            while placed < k && attempts < 20 {
+                attempts += 1;
+                let Some(o) = obj_sampler.sample(rng) else { break };
+                if o == s || !seen.insert((s, rel.0, o)) {
+                    continue;
+                }
+                world.push_fact(s, rel, o);
+                placed += 1;
+            }
+        }
+    }
+}
+
+/// Cumulative-weight sampler over entity ids.
+#[derive(Debug, Clone)]
+struct WeightedSampler {
+    ids: Vec<EntityId>,
+    cumulative: Vec<f64>,
+}
+
+impl WeightedSampler {
+    fn new(ids: Vec<EntityId>, weights: Vec<f64>) -> Self {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w.max(0.0);
+            cumulative.push(acc);
+        }
+        Self { ids, cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Option<EntityId> {
+        let total = *self.cumulative.last()?;
+        if total <= 0.0 {
+            return None;
+        }
+        let x = rng.random::<f64>() * total;
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < x)
+            .min(self.ids.len() - 1);
+        Some(self.ids[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::rel_by_name;
+
+    fn world() -> World {
+        generate(&WorldConfig::default())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&WorldConfig::default());
+        let b = generate(&WorldConfig::default());
+        assert_eq!(a.entity_count(), b.entity_count());
+        assert_eq!(a.fact_count(), b.fact_count());
+        assert_eq!(a.entities[7].label, b.entities[7].label);
+        assert_eq!(a.facts[100], b.facts[100]);
+    }
+
+    #[test]
+    fn different_seed_different_world() {
+        let a = generate(&WorldConfig::default());
+        let b = generate(&WorldConfig { seed: 1, ..Default::default() });
+        assert_ne!(
+            a.entities.iter().map(|e| &e.label).collect::<Vec<_>>(),
+            b.entities.iter().map(|e| &e.label).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn world_has_reasonable_size() {
+        let w = world();
+        assert!(w.entity_count() > 800, "entities: {}", w.entity_count());
+        assert!(w.fact_count() > 2000, "facts: {}", w.fact_count());
+    }
+
+    #[test]
+    fn ambiguous_labels_exist() {
+        let w = world();
+        let mut by_label: std::collections::HashMap<&str, usize> = Default::default();
+        for e in &w.entities {
+            *by_label.entry(e.label.as_str()).or_default() += 1;
+        }
+        let dup = by_label.values().filter(|&&c| c > 1).count();
+        assert!(dup >= 10, "expected ambiguity, found {dup} duplicated labels");
+    }
+
+    #[test]
+    fn functional_relations_stay_functional() {
+        let w = world();
+        let capital = rel_by_name("capital").unwrap();
+        for c in w.entities_of_kind(EntityKind::Country) {
+            assert!(w.objects_of(*c, capital).len() <= 1);
+        }
+    }
+
+    #[test]
+    fn multi_valued_relations_have_lists() {
+        let w = world();
+        let covers = rel_by_name("covers").unwrap();
+        let max = w
+            .entities_of_kind(EntityKind::MountainRange)
+            .iter()
+            .map(|&r| w.objects_of(r, covers).len())
+            .max()
+            .unwrap();
+        assert!(max >= 3, "expected multi-country ranges, max was {max}");
+    }
+
+    #[test]
+    fn popularity_is_zipf_ordered() {
+        let w = world();
+        let persons = w.entities_of_kind(EntityKind::Person);
+        assert!(w.entity(persons[0]).popularity > w.entity(persons[50]).popularity);
+        assert_eq!(w.entity(persons[0]).popularity, 1.0);
+    }
+
+    #[test]
+    fn aliases_were_injected() {
+        let w = world();
+        let with_alias = w.entities.iter().filter(|e| !e.aliases.is_empty()).count();
+        assert!(with_alias > 50, "aliases: {with_alias}");
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_facts() {
+        let w = world();
+        let mut seen = FxHashSet::default();
+        for f in &w.facts {
+            assert_ne!(f.s, f.o, "self loop");
+            assert!(seen.insert((f.s, f.rel, f.o)), "duplicate fact");
+        }
+    }
+
+    #[test]
+    fn scaled_world_shrinks() {
+        let small = generate(&WorldConfig { scale: 0.3, ..Default::default() });
+        let full = world();
+        assert!(small.entity_count() < full.entity_count() / 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # worldgen — synthetic world, KG sources, and QA datasets
+//!
+//! Offline stand-ins for the data the paper evaluates on. A seeded
+//! ground-truth [`world::World`] (entities with Zipf popularity,
+//! deliberately ambiguous labels, and typed facts) is rendered into
+//! imperfect, schema-flavoured KG sources ([`kgderive`]: Wikidata-like
+//! and Freebase-like, with coverage gaps, mediator nodes, and recency
+//! differences) and into three benchmarks ([`datasets`]:
+//! SimpleQuestions-like, QALD-10-like, Nature-Questions-like).
+//!
+//! The pipeline under evaluation never sees the world — only question
+//! text and a KG source. The simulated LLM sees question *intent* (its
+//! language understanding) but recalls facts through a corrupted memory,
+//! never through gold answers.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod gen;
+pub mod kgderive;
+pub mod names;
+pub mod schema;
+pub mod world;
+
+pub use datasets::{Dataset, DatasetKind, Gold, Intent, Question};
+pub use gen::{generate, WorldConfig};
+pub use kgderive::{derive, entity_sid, SourceConfig};
+pub use schema::{all_rel_ids, rel_by_name, EntityKind, RelId, RelationSpec};
+pub use world::{EntityId, FactId, World, WorldEntity, WorldFact};

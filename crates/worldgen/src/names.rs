@@ -1,0 +1,282 @@
+//! Synthetic-but-plausible name generation per entity kind.
+//!
+//! Names are composed from component pools; the generator draws random
+//! combinations and dedups, so every entity gets a unique base label
+//! (label *sharing* for ambiguity is injected later, deliberately).
+
+use crate::schema::EntityKind;
+use kgstore::hash::FxHashSet;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const FIRST: &[&str] = &[
+    "Alan", "Maria", "Chen", "Amara", "Viktor", "Yuki", "Omar", "Ingrid", "Ravi", "Sofia",
+    "Dmitri", "Leila", "Hugo", "Mei", "Tariq", "Anya", "Paulo", "Nadia", "Kofi", "Elena",
+    "Marcus", "Priya", "Jonas", "Fatima", "Andre", "Sana", "Felix", "Rosa", "Iker", "Hana",
+    "Boris", "Carmen", "Niko", "Aisha", "Lars", "Vera", "Emil", "Dalia", "Rafael", "Mira",
+];
+
+const LAST: &[&str] = &[
+    "Turing", "Silva", "Wei", "Okafor", "Petrov", "Tanaka", "Haddad", "Larsen", "Iyer",
+    "Moretti", "Volkov", "Farsi", "Schmidt", "Ling", "Rahman", "Kovacs", "Costa", "Haddix",
+    "Mensah", "Novak", "Grant", "Sharma", "Berg", "Alvi", "Duarte", "Qureshi", "Stein",
+    "Vidal", "Etxeberria", "Sato", "Orlov", "Reyes", "Makinen", "Diallo", "Holm", "Sokolova",
+    "Brandt", "Amari", "Pinto", "Lindqvist",
+];
+
+const CITY_A: &[&str] = &[
+    "Port", "New", "San", "East", "West", "North", "South", "Lake", "Fort", "Mount",
+    "Glen", "Ash", "Oak", "River", "Stone", "Gold", "Silver", "Clear", "Green", "High",
+];
+const CITY_B: &[&str] = &[
+    "haven", "ford", "ville", "burg", "field", "bridge", "dale", "mouth", "crest", "view",
+    "wick", "stead", "holm", "gate", "port", "mere", "shore", "cliff",
+];
+
+const COUNTRY_A: &[&str] = &[
+    "Nor", "Vel", "Zan", "Kor", "Al", "Bel", "Dor", "Est", "Far", "Gal", "Hel", "Ist",
+    "Jor", "Kal", "Lor", "Mar", "Nev", "Ost", "Pel", "Quar", "Ros", "Sel", "Tor", "Ul",
+    "Var", "Wes", "Xan", "Yor", "Zel", "Bra",
+];
+const COUNTRY_B: &[&str] = &["donia", "mark", "land", "ia", "avia", "istan", "ora", "una", "esia", "aria"];
+
+const RIVER_A: &[&str] = &[
+    "Silver", "Long", "Great", "Black", "White", "Red", "Blue", "Swift", "Cold", "Deep",
+    "Winding", "Broad", "Stony", "Misty", "Amber", "Iron", "Jade", "Copper", "Golden", "Wild",
+];
+
+const RANGE_A: &[&str] = &[
+    "Thunder", "Iron", "Cloud", "Storm", "Granite", "Frost", "Shadow", "Crystal", "Ember",
+    "Silver", "Eagle", "Dragon", "Titan", "Aurora", "Obsidian", "Summit", "Boreal", "Zenith",
+];
+
+const COMPANY_A: &[&str] = &[
+    "Tekna", "Novex", "Quantia", "Vertex", "Solaris", "Aperion", "Lumina", "Cryon", "Helix",
+    "Zephyr", "Orion", "Pinnacle", "Nimbus", "Vantage", "Keystone", "Atlas", "Horizon",
+    "Polaris", "Synthex", "Meridian", "Cobalt", "Arcadia", "Vireo", "Stratus", "Onyx",
+];
+const COMPANY_B: &[&str] = &[
+    "Systems", "Labs", "Dynamics", "Industries", "Technologies", "Works", "Group",
+    "Computing", "Robotics", "Media", "Energy", "Motors",
+];
+
+const DEVICE_A: &[&str] = &[
+    "Nova", "Pulse", "Aero", "Vision", "Echo", "Flux", "Zen", "Orbit", "Spark", "Wave",
+    "Prism", "Core", "Halo", "Quark", "Vector",
+];
+const DEVICE_B: &[&str] = &["Pro", "Max", "Air", "Ultra", "One", "X", "Mini", "Plus", "Go", "Neo"];
+
+const CHIP_A: &[&str] = &["Axion", "Corex", "Nexar", "Photon", "Tessera", "Vulcan", "Argon", "Krait", "Zircon", "Helio"];
+
+const UNI_A: &[&str] = &[
+    "Northfield", "Easton", "Westbrook", "Kingsford", "Clearwater", "Ashford", "Briarton",
+    "Langdale", "Mirefield", "Stonebridge", "Harrowgate", "Eldermoor", "Fairhaven", "Graythorn",
+    "Oakmont", "Winslow", "Calder", "Penrose", "Thornbury", "Veldt",
+];
+
+const FILM_A: &[&str] = &[
+    "The Last", "A Distant", "The Silent", "Beyond the", "Children of", "The Burning",
+    "Shadows of", "The Glass", "Whispers of", "The Iron", "Echoes of", "The Hidden",
+    "Return to", "The Broken", "Songs of", "The Crimson",
+];
+const FILM_B: &[&str] = &[
+    "Horizon", "Garden", "Empire", "River", "Winter", "Machine", "Harbor", "Mountain",
+    "Dream", "Voyage", "Kingdom", "Lantern", "Mirror", "Storm", "Orchard",
+];
+
+const BOOK_B: &[&str] = &[
+    "Chronicle", "Testament", "Atlas", "Manifesto", "Memoir", "Paradox", "Equation",
+    "Labyrinth", "Cartography", "Symphony", "Herbarium", "Almanac",
+];
+
+const BAND_A: &[&str] = &[
+    "Velvet", "Neon", "Crimson", "Electric", "Midnight", "Paper", "Static", "Lunar",
+    "Hollow", "Golden", "Arctic", "Wild", "Broken", "Silver", "Phantom",
+];
+const BAND_B: &[&str] = &[
+    "Foxes", "Parade", "Monarchs", "Cascade", "Harbors", "Satellites", "Wolves", "Gardens",
+    "Engines", "Mirrors", "Tides", "Sparrows",
+];
+
+const GENRES: &[&str] = &[
+    "jazz", "soul music", "funk", "blues", "pop music", "rhythm and blues", "folk rock",
+    "pop rock", "indie rock", "electronic music", "hip hop", "classical music", "ambient",
+    "science fiction", "drama", "thriller", "documentary", "comedy", "film noir", "western",
+];
+
+const AWARDS: &[&str] = &[
+    "Meridian Prize", "Golden Laurel Award", "Aster Medal", "Polaris Honor", "Caldera Prize",
+    "Luminary Award", "Vanguard Medal", "Zenith Prize", "Argent Cross", "Horizon Fellowship",
+    "Corona Award", "Beacon Prize", "Halcyon Medal", "Summit Laurel", "Meristem Prize",
+];
+
+const FIELDS: &[&str] = &[
+    "artificial intelligence", "quantum computing", "molecular biology", "renewable energy",
+    "deep sea exploration", "astrophysics", "cryptography", "neuroscience", "robotics",
+    "climate modeling", "synthetic chemistry", "computational linguistics",
+];
+
+const OCCUPATIONS: &[&str] = &[
+    "singer", "singer-songwriter", "record producer", "pianist", "actor", "film director",
+    "novelist", "physicist", "engineer", "basketball player", "painter", "architect",
+    "chef", "journalist", "mathematician", "composer", "biologist", "chemist", "historian",
+    "economist",
+];
+
+const SPORTS: &[&str] = &[
+    "basketball", "football", "tennis", "cricket", "hockey", "baseball", "volleyball",
+    "rugby", "badminton", "table tennis", "handball", "golf",
+];
+
+const TEAM_B: &[&str] = &[
+    "Rockets", "Mariners", "Falcons", "Comets", "Titans", "Rangers", "Sharks", "Wolves",
+    "Pioneers", "Dragons", "Knights", "Hurricanes", "Bisons", "Ravens", "Stallions",
+];
+
+const CONTINENTS: &[&str] = &["Oresia", "Valtara", "Meridia", "Borealis", "Austrane", "Zephyria"];
+
+const LAKE_B: &[&str] = &[
+    "Mirror", "Crater", "Crescent", "Azure", "Glacier", "Willow", "Falcon", "Boulder",
+    "Heron", "Juniper", "Larch", "Osprey", "Pike", "Quill", "Reed",
+];
+
+const MOUNTAIN_B: &[&str] = &[
+    "Kestrel", "Vortex", "Sentinel", "Colossus", "Warden", "Pinnacle", "Spire", "Monarch",
+    "Guardian", "Leviathan", "Basilisk", "Gryphon", "Harbinger", "Oracle", "Paragon",
+];
+
+/// Draw a fresh unique name of the given kind.
+pub fn fresh_name(
+    kind: EntityKind,
+    rng: &mut StdRng,
+    used: &mut FxHashSet<String>,
+) -> String {
+    for attempt in 0..1000 {
+        let name = compose(kind, rng, attempt);
+        if used.insert(name.clone()) {
+            return name;
+        }
+    }
+    // Fall back to an explicitly numbered name; guaranteed unique.
+    let mut i = used.len();
+    loop {
+        let name = format!("{} {}", compose(kind, rng, 0), i);
+        if used.insert(name.clone()) {
+            return name;
+        }
+        i += 1;
+    }
+}
+
+fn pick<'a>(pool: &[&'a str], rng: &mut StdRng) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+fn compose(kind: EntityKind, rng: &mut StdRng, attempt: usize) -> String {
+    // After many collisions, append a roman-ish numeral to widen the space.
+    let suffix = if attempt > 400 {
+        format!(" {}", ["II", "III", "IV", "V", "VI"][attempt % 5])
+    } else {
+        String::new()
+    };
+    let base = match kind {
+        EntityKind::Person => format!("{} {}", pick(FIRST, rng), pick(LAST, rng)),
+        EntityKind::City => format!("{}{}", pick(CITY_A, rng), pick(CITY_B, rng)),
+        EntityKind::Country => format!("{}{}", pick(COUNTRY_A, rng), pick(COUNTRY_B, rng)),
+        EntityKind::Continent => pick(CONTINENTS, rng).to_string(),
+        EntityKind::River => format!("{} River", pick(RIVER_A, rng)),
+        EntityKind::MountainRange => format!("{} Range", pick(RANGE_A, rng)),
+        EntityKind::Lake => format!("Lake {}", pick(LAKE_B, rng)),
+        EntityKind::Mountain => format!("Mount {}", pick(MOUNTAIN_B, rng)),
+        EntityKind::Company => format!("{} {}", pick(COMPANY_A, rng), pick(COMPANY_B, rng)),
+        EntityKind::Device => format!(
+            "{} {} {}",
+            pick(COMPANY_A, rng),
+            pick(DEVICE_A, rng),
+            pick(DEVICE_B, rng)
+        ),
+        EntityKind::Chip => format!("{} {}", pick(CHIP_A, rng), rng.random_range(1..10)),
+        EntityKind::University => format!("{} University", pick(UNI_A, rng)),
+        EntityKind::Film => format!("{} {}", pick(FILM_A, rng), pick(FILM_B, rng)),
+        EntityKind::Book => format!("The {} {}", pick(FILM_B, rng), pick(BOOK_B, rng)),
+        EntityKind::Band => format!("{} {}", pick(BAND_A, rng), pick(BAND_B, rng)),
+        EntityKind::Genre => pick(GENRES, rng).to_string(),
+        EntityKind::Award => pick(AWARDS, rng).to_string(),
+        EntityKind::Field => pick(FIELDS, rng).to_string(),
+        EntityKind::Occupation => pick(OCCUPATIONS, rng).to_string(),
+        EntityKind::Sport => pick(SPORTS, rng).to_string(),
+        EntityKind::Team => format!("{} {}", pick(CITY_A, rng), pick(TEAM_B, rng)),
+    };
+    format!("{base}{suffix}")
+}
+
+/// Maximum sensible entity count per kind (bounded pools like genres cap
+/// out; the generator clamps its requests to this).
+pub fn pool_capacity(kind: EntityKind) -> usize {
+    match kind {
+        EntityKind::Continent => CONTINENTS.len(),
+        EntityKind::Genre => GENRES.len(),
+        EntityKind::Award => AWARDS.len(),
+        EntityKind::Field => FIELDS.len(),
+        EntityKind::Occupation => OCCUPATIONS.len(),
+        EntityKind::Sport => SPORTS.len(),
+        _ => usize::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_unique() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut used = FxHashSet::default();
+        let names: Vec<String> = (0..300)
+            .map(|_| fresh_name(EntityKind::Person, &mut rng, &mut used))
+            .collect();
+        let set: FxHashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn names_are_deterministic() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut used = FxHashSet::default();
+            (0..20)
+                .map(|_| fresh_name(EntityKind::City, &mut rng, &mut used))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+
+    #[test]
+    fn bounded_pools_report_capacity() {
+        assert_eq!(pool_capacity(EntityKind::Continent), 6);
+        assert!(pool_capacity(EntityKind::Person) > 1000);
+    }
+
+    #[test]
+    fn exhausted_pool_falls_back_to_numbering() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut used = FxHashSet::default();
+        // Continents pool has 6 names; asking for 10 must still succeed.
+        let names: Vec<String> = (0..10)
+            .map(|_| fresh_name(EntityKind::Continent, &mut rng, &mut used))
+            .collect();
+        let set: FxHashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn kind_shapes_look_right() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut used = FxHashSet::default();
+        assert!(fresh_name(EntityKind::Lake, &mut rng, &mut used).starts_with("Lake "));
+        assert!(fresh_name(EntityKind::Mountain, &mut rng, &mut used).starts_with("Mount "));
+        assert!(fresh_name(EntityKind::University, &mut rng, &mut used).ends_with("University"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Multisource generalization: the *same* pipeline, unchanged, answers
+//! the *same* questions from two KG sources with entirely different
+//! schemas — Wikidata-like ("place of birth", Q-ids, statement nodes)
+//! and Freebase-like ("/people/person/place_of_birth", /m/ ids, CVT-free
+//! single hops). This is the paper's Table-3 claim in miniature.
+//!
+//! ```text
+//! cargo run --release --example multisource
+//! ```
+
+use pmkg::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let world = Arc::new(worldgen::generate(&worldgen::WorldConfig::default()));
+    let wikidata = worldgen::derive(&world, &worldgen::SourceConfig::wikidata());
+    let freebase = worldgen::derive(&world, &worldgen::SourceConfig::freebase());
+    let llm = SimLlm::new(world.clone(), ModelProfile::gpt35_sim());
+    let dataset = worldgen::datasets::simpleq::generate(&world, 60, 7);
+    let embedder = Embedder::paper();
+    let cfg = PipelineConfig::default();
+
+    // Show how differently the two sources verbalise the same knowledge.
+    println!("Schema flavour comparison (first triples of each source):");
+    for src in [&wikidata, &freebase] {
+        let t = src.store.iter().next().unwrap();
+        println!(
+            "  {:13} {}",
+            src.name,
+            src.store.to_str_triple(t)
+        );
+    }
+
+    let mut table = Table::new(
+        "Same questions, different KG sources (GPT-3.5, n=60)",
+        &["Method / source", "Hit@1"],
+    );
+    let cot = pipeline::run(&Cot, &llm, None, None, &embedder, &cfg, &dataset, 0);
+    table.row("CoT (no KG)", vec![evalkit::Cell::Value(cot.score())]);
+    for src in [&freebase, &wikidata] {
+        let res = pipeline::run(
+            &PseudoGraphPipeline::full(),
+            &llm,
+            Some(src),
+            None,
+            &embedder,
+            &cfg,
+            &dataset,
+            0,
+        );
+        table.row(
+            format!("Ours / {}", src.name),
+            vec![evalkit::Cell::Value(res.score())],
+        );
+    }
+    println!("\n{}", table.render());
+    println!(
+        "No entity linking, no per-source code: querying and verification are \
+         atomic-level, so the schema never leaks into the pipeline."
+    );
+}

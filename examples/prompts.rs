@@ -1,0 +1,38 @@
+//! Prints the paper's prompt templates (Figures 3–5) fully rendered for
+//! one question — the exact strings the pipeline sends to the model.
+//!
+//! ```text
+//! cargo run --release --example prompts
+//! ```
+
+use kgstore::StrTriple;
+use simllm::prompt;
+
+fn main() {
+    let question = "What kind of chips does the Apple Vision Pro use?";
+
+    println!("================ Figure 3: pseudo-graph generation ================");
+    println!("{}", prompt::pseudo_graph_prompt(question));
+
+    let pseudo = vec![
+        StrTriple::new("Apple Vision Pro", "COMES_WITH", "A1 chip"),
+        StrTriple::new("Apple Vision Pro", "DEVELOPED_BY", "Apple"),
+    ];
+    let ground = vec![(
+        "Apple Vision Pro — mixed reality headset (score 0.84)".to_string(),
+        vec![
+            StrTriple::new("Apple Vision Pro", "has part", "Apple M2"),
+            StrTriple::new("Apple Vision Pro", "has part", "Apple R1"),
+            StrTriple::new("Apple Vision Pro", "developer", "Apple"),
+        ],
+    )];
+    println!("================ Figure 4: pseudo-graph verification ===============");
+    println!("{}", prompt::verify_prompt(question, &pseudo, &ground));
+
+    let fixed = vec![
+        StrTriple::new("Apple Vision Pro", "has part", "Apple M2"),
+        StrTriple::new("Apple Vision Pro", "has part", "Apple R1"),
+    ];
+    println!("================ Figure 5: answer generation =======================");
+    println!("{}", prompt::answer_prompt(question, &fixed));
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+set -x
+cargo run --release -q -p bench --bin table1 > results/table1.txt 2>&1
+cargo run --release -q -p bench --bin table2 > results/table2.txt 2>&1
+cargo run --release -q -p bench --bin table3 > results/table3.txt 2>&1
+cargo run --release -q -p bench --bin table4 > results/table4.txt 2>&1
+cargo run --release -q -p bench --bin table5 > results/table5.txt 2>&1
+cargo run --release -q -p bench --bin error_analysis > results/error_analysis.txt 2>&1
+cargo run --release -q -p bench --bin threshold_sweep > results/threshold_sweep.txt 2>&1
+cargo run --release -q -p bench --bin figure1 > results/figure1.txt 2>&1
+echo ALL_DONE
+cargo run --release -q -p bench --bin ablation_extensions > results/ablation_extensions.txt 2>&1; cargo run --release -q -p bench --bin stats > results/stats.txt 2>&1

@@ -1,0 +1,74 @@
+//! # pmkg — Pseudo- and Multisource-Knowledge-Graph enhancement of LLMs
+//!
+//! A from-scratch Rust reproduction of *Enhancing Large Language Models
+//! with Pseudo- and Multisource-Knowledge Graphs for Open-ended Question
+//! Answering* (ICDE 2025): the full Pseudo-Graph Generation + Atomic
+//! Knowledge Verification pipeline plus every substrate it needs —
+//! a triple store with multi-source schema rendering, a Cypher-subset
+//! engine, a deterministic semantic encoder with exact top-k retrieval,
+//! a calibrated simulated LLM, synthetic KG sources and QA benchmarks,
+//! metrics, and a reproduction harness for every table and figure in the
+//! paper's evaluation.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`kgstore`] — triples, property graph, KG sources, subgraph extraction;
+//! * [`cypher`] — Cypher lexer/parser/executor + pseudo-graph decode;
+//! * [`semvec`] — hashing sentence encoder + vector index;
+//! * [`simllm`] — the simulated LLM (profiles, memory, behaviours, prompts);
+//! * [`worldgen`] — seeded world, KG derivation, dataset generators;
+//! * [`evalkit`] — Hit@1, ROUGE-L, error taxonomy, report tables;
+//! * [`pipeline`] (= `pgg_core`) — the paper's method, baselines, runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pmkg::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A small world keeps the doctest fast.
+//! let world = Arc::new(worldgen::generate(&worldgen::WorldConfig {
+//!     scale: 0.3,
+//!     ..Default::default()
+//! }));
+//! let source = worldgen::derive(&world, &worldgen::SourceConfig::wikidata());
+//! let llm = SimLlm::new(world.clone(), ModelProfile::gpt35_sim());
+//! let dataset = worldgen::datasets::simpleq::generate(&world, 5, 7);
+//!
+//! let embedder = Embedder::paper();
+//! let cfg = PipelineConfig::default();
+//! let result = pipeline::run(
+//!     &PseudoGraphPipeline::full(),
+//!     &llm,
+//!     Some(&source),
+//!     None,
+//!     &embedder,
+//!     &cfg,
+//!     &dataset,
+//!     1,
+//! );
+//! assert_eq!(result.records.len(), 5);
+//! ```
+
+pub use cypher;
+pub use evalkit;
+pub use kgstore;
+pub use pgg_core as pipeline;
+pub use semvec;
+pub use simllm;
+pub use worldgen;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use cypher::{decode_llm_output, parse as parse_cypher};
+    pub use evalkit::{is_hit, rouge_l_multi, Table};
+    pub use kgstore::{KgSource, SchemaStyle, StrTriple, TripleStore};
+    pub use pgg_core as pipeline;
+    pub use pgg_core::{
+        BaseIndex, Cot, Io, Method, PipelineConfig, PseudoGraphPipeline, QaContext, Qsm,
+        SelfConsistency,
+    };
+    pub use semvec::Embedder;
+    pub use simllm::{LanguageModel, LlmTask, ModelProfile, SimLlm};
+    pub use worldgen::{Dataset, DatasetKind, Question, World};
+}

@@ -1,0 +1,128 @@
+//! Dataset-level sanity: the benchmarks must be *solvable in principle*
+//! from their grounding KG source, and their metadata must be coherent —
+//! otherwise measured method differences would be artifacts.
+
+use pmkg::prelude::*;
+use std::sync::Arc;
+use worldgen::{Gold, Intent};
+
+fn world() -> Arc<worldgen::World> {
+    Arc::new(worldgen::generate(&worldgen::WorldConfig::default()))
+}
+
+/// Walk a chain intent directly in a KG source (oracle retrieval),
+/// returning the final label if every hop is present.
+fn kg_answer(
+    _world: &worldgen::World,
+    source: &kgstore::KgSource,
+    seed: worldgen::EntityId,
+    path: &[worldgen::RelId],
+) -> Option<String> {
+    let mut cur = worldgen::entity_sid(source.style, seed);
+    for rel in path {
+        let pred = match source.style {
+            SchemaStyle::WikidataLike => rel.spec().wikidata,
+            SchemaStyle::FreebaseLike => rel.spec().freebase,
+        };
+        let s = source.store.atoms().get(&cur)?;
+        let p = source.store.atoms().get(pred)?;
+        let next = source.store.by_sp(s, p).next()?;
+        cur = source.store.resolve(next.o).to_string();
+        // Mediated hop: follow the statement node through.
+        if cur.starts_with('S') && source.label_of(next.o).starts_with("statement") {
+            let sm = source.store.atoms().get(&cur)?;
+            let pm = source.store.atoms().get("statement is about")?;
+            let through = source.store.by_sp(sm, pm).next()?;
+            cur = source.store.resolve(through.o).to_string();
+        }
+    }
+    let atom = source.store.atoms().get(&cur)?;
+    Some(source.label_of(atom).to_string())
+}
+
+#[test]
+fn simplequestions_mostly_answerable_from_freebase() {
+    let w = world();
+    let fb = worldgen::derive(&w, &worldgen::SourceConfig::freebase());
+    let ds = worldgen::datasets::simpleq::generate(&w, 300, 101);
+    let mut answerable = 0;
+    for q in &ds.questions {
+        let Intent::Chain { seed, path } = &q.intent else { unreachable!() };
+        let Gold::Accepted(accepted) = &q.gold else { unreachable!() };
+        if let Some(ans) = kg_answer(&w, &fb, *seed, path) {
+            if accepted.contains(&ans) {
+                answerable += 1;
+            }
+        }
+    }
+    // Coverage is 0.94 per fact; oracle answerability must be close.
+    assert!(
+        answerable >= 250,
+        "freebase should answer ≥~85% of SimpleQuestions: {answerable}/300"
+    );
+}
+
+#[test]
+fn qald_chains_are_oracle_answerable_from_wikidata() {
+    let w = world();
+    let wd = worldgen::derive(&w, &worldgen::SourceConfig::wikidata());
+    let ds = worldgen::datasets::qald::generate(&w, 200, 202);
+    let mut total = 0;
+    let mut answerable = 0;
+    for q in &ds.questions {
+        let Intent::Chain { seed, path } = &q.intent else { continue };
+        let Gold::Accepted(accepted) = &q.gold else { continue };
+        total += 1;
+        if let Some(ans) = kg_answer(&w, &wd, *seed, path) {
+            if accepted.contains(&ans) {
+                answerable += 1;
+            }
+        }
+    }
+    assert!(total > 100);
+    // Coverage 0.87 per fact, chains need every hop: expect ≥ 55%.
+    assert!(
+        answerable * 100 >= total * 55,
+        "wikidata oracle answerability too low: {answerable}/{total}"
+    );
+}
+
+#[test]
+fn nature_recent_questions_unanswerable_from_freebase() {
+    let w = world();
+    let fb = worldgen::derive(&w, &worldgen::SourceConfig::freebase());
+    let ds = worldgen::datasets::nature::generate(&w, 50, 303);
+    for q in &ds.questions {
+        if let Intent::List { seed, rel } = &q.intent {
+            if rel.spec().recent {
+                // The frozen source must not contain the relation at all.
+                let pred = fb.store.atoms().get(rel.spec().freebase);
+                assert!(pred.is_none(), "recent relation leaked for {}", q.text);
+                let _ = seed;
+            }
+        }
+    }
+}
+
+#[test]
+fn datasets_have_disjoint_id_spaces_and_kinds() {
+    let w = world();
+    let sq = worldgen::datasets::simpleq::generate(&w, 50, 1);
+    let qald = worldgen::datasets::qald::generate(&w, 50, 2);
+    let nq = worldgen::datasets::nature::generate(&w, 50, 3);
+    assert!(sq.questions.iter().all(|q| q.id.starts_with("sq-")));
+    assert!(qald.questions.iter().all(|q| q.id.starts_with("qald-")));
+    assert!(nq.questions.iter().all(|q| q.id.starts_with("nq-")));
+    assert_eq!(sq.kind.name(), "SimpleQuestions");
+    assert_eq!(qald.kind.name(), "QALD-10");
+    assert_eq!(nq.kind.name(), "Nature Questions");
+}
+
+#[test]
+fn paper_sizes_are_generatable() {
+    let w = world();
+    let sq = worldgen::datasets::simpleq::generate(&w, 1000, 101);
+    assert_eq!(sq.len(), 1000, "the GPT-3.5 SimpleQuestions budget");
+    let qald = worldgen::datasets::qald::generate(&w, 394, 202);
+    assert_eq!(qald.len(), 394, "the QALD-10 English test size");
+}

@@ -1,0 +1,178 @@
+//! Cross-crate integration: the full pipeline from world generation to
+//! scored answers, exercising kgstore + cypher + semvec + simllm +
+//! worldgen + evalkit + pgg-core together.
+
+use pmkg::prelude::*;
+use std::sync::Arc;
+
+fn fixture() -> (Arc<worldgen::World>, kgstore::KgSource, SimLlm) {
+    let world = Arc::new(worldgen::generate(&worldgen::WorldConfig::default()));
+    let source = worldgen::derive(&world, &worldgen::SourceConfig::wikidata());
+    let llm = SimLlm::new(world.clone(), ModelProfile::gpt35_sim());
+    (world, source, llm)
+}
+
+#[test]
+fn full_pipeline_beats_cot_on_simple_questions() {
+    let (world, source, llm) = fixture();
+    let ds = worldgen::datasets::simpleq::generate(&world, 120, 11);
+    let emb = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let base = BaseIndex::for_questions(
+        &source,
+        &emb,
+        &cfg,
+        ds.questions.iter().map(|q| q.text.as_str()),
+    );
+    let cot = pipeline::run(&Cot, &llm, None, None, &emb, &cfg, &ds, 0);
+    let ours = pipeline::run(
+        &PseudoGraphPipeline::full(),
+        &llm,
+        Some(&source),
+        Some(&base),
+        &emb,
+        &cfg,
+        &ds,
+        0,
+    );
+    assert!(
+        ours.score() > cot.score() + 5.0,
+        "KG enhancement must clearly beat CoT: ours {:.1} vs cot {:.1}",
+        ours.score(),
+        cot.score()
+    );
+}
+
+#[test]
+fn full_pipeline_is_deterministic_end_to_end() {
+    let (world, source, llm) = fixture();
+    let ds = worldgen::datasets::qald::generate(&world, 25, 5);
+    let emb = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let run1 = pipeline::run(
+        &PseudoGraphPipeline::full(),
+        &llm,
+        Some(&source),
+        None,
+        &emb,
+        &cfg,
+        &ds,
+        4,
+    );
+    let run2 = pipeline::run(
+        &PseudoGraphPipeline::full(),
+        &llm,
+        Some(&source),
+        None,
+        &emb,
+        &cfg,
+        &ds,
+        2,
+    );
+    assert_eq!(run1.hit.hits, run2.hit.hits);
+    for (a, b) in run1.records.iter().zip(&run2.records) {
+        assert_eq!(a.answer, b.answer, "answers must not depend on threading");
+    }
+}
+
+#[test]
+fn open_ended_verification_adds_breadth() {
+    let (world, source, llm) = fixture();
+    let ds = worldgen::datasets::nature::generate(&world, 50, 303);
+    let emb = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let base = BaseIndex::for_questions(
+        &source,
+        &emb,
+        &cfg,
+        ds.questions.iter().map(|q| q.text.as_str()),
+    );
+    let pseudo_only = pipeline::run(
+        &PseudoGraphPipeline::pseudo_only(),
+        &llm,
+        Some(&source),
+        Some(&base),
+        &emb,
+        &cfg,
+        &ds,
+        0,
+    );
+    let full = pipeline::run(
+        &PseudoGraphPipeline::full(),
+        &llm,
+        Some(&source),
+        Some(&base),
+        &emb,
+        &cfg,
+        &ds,
+        0,
+    );
+    assert!(
+        full.score() > pseudo_only.score() + 5.0,
+        "verification must add breadth on open-ended questions: {:.1} vs {:.1}",
+        full.score(),
+        pseudo_only.score()
+    );
+}
+
+#[test]
+fn gpt4_profile_outscores_gpt35_on_qald() {
+    let (world, source, _) = fixture();
+    let llm35 = SimLlm::new(world.clone(), ModelProfile::gpt35_sim());
+    let llm4 = SimLlm::new(world.clone(), ModelProfile::gpt4_sim());
+    let ds = worldgen::datasets::qald::generate(&world, 150, 21);
+    let emb = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let s35 = pipeline::run(&Cot, &llm35, Some(&source), None, &emb, &cfg, &ds, 0);
+    let s4 = pipeline::run(&Cot, &llm4, Some(&source), None, &emb, &cfg, &ds, 0);
+    assert!(
+        s4.score() > s35.score(),
+        "gpt-4 profile must beat gpt-3.5: {:.1} vs {:.1}",
+        s4.score(),
+        s35.score()
+    );
+}
+
+#[test]
+fn pipeline_records_carry_complete_traces() {
+    let (world, source, llm) = fixture();
+    let ds = worldgen::datasets::simpleq::generate(&world, 20, 31);
+    let emb = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let res = pipeline::run(
+        &PseudoGraphPipeline::full(),
+        &llm,
+        Some(&source),
+        None,
+        &emb,
+        &cfg,
+        &ds,
+        0,
+    );
+    for r in &res.records {
+        assert!(r.trace.pseudo_raw.is_some(), "raw LLM output recorded");
+        assert!(
+            r.trace.cypher_error.is_some() || !r.trace.pseudo_triples.is_empty(),
+            "either a decode error or triples"
+        );
+        assert!(r.hit.is_some(), "Hit@1 dataset must be hit-scored");
+        assert!(r.rouge.is_none());
+    }
+    // Records serialize (they feed the error-analysis harness).
+    let json = serde_json::to_string(&res.records[0]).unwrap();
+    assert!(json.contains("qid"));
+}
+
+#[test]
+fn token_telemetry_accumulates_across_methods() {
+    let (world, source, llm) = fixture();
+    let ds = worldgen::datasets::simpleq::generate(&world, 5, 41);
+    let emb = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let before = llm.tokens_processed();
+    pipeline::run(&PseudoGraphPipeline::full(), &llm, Some(&source), None, &emb, &cfg, &ds, 1);
+    let mid = llm.tokens_processed();
+    assert!(mid > before);
+    pipeline::run(&Io, &llm, None, None, &emb, &cfg, &ds, 1);
+    assert!(llm.tokens_processed() > mid);
+}

@@ -1,0 +1,95 @@
+//! The transcript seam: the pipeline's behaviour is fully determined by
+//! the completions it receives — replaying a recorded transcript through
+//! `ScriptedLlm` reproduces the run exactly, which is both a test of the
+//! string-only LLM interface and the mechanism for pinning regression
+//! fixtures from real API transcripts.
+
+use pmkg::prelude::*;
+use simllm::{ScriptedLlm, TranscriptLlm};
+use std::sync::Arc;
+
+#[test]
+fn replaying_a_transcript_reproduces_the_run() {
+    let world = Arc::new(worldgen::generate(&worldgen::WorldConfig::default()));
+    let source = worldgen::derive(&world, &worldgen::SourceConfig::wikidata());
+    let ds = worldgen::datasets::simpleq::generate(&world, 15, 55);
+    let emb = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let base = BaseIndex::for_questions(
+        &source,
+        &emb,
+        &cfg,
+        ds.questions.iter().map(|q| q.text.as_str()),
+    );
+
+    // Record a single-threaded run (ordering matters for replay).
+    let recorder = TranscriptLlm::new(SimLlm::new(world.clone(), ModelProfile::gpt35_sim()));
+    let original = pipeline::run(
+        &PseudoGraphPipeline::full(),
+        &recorder,
+        Some(&source),
+        Some(&base),
+        &emb,
+        &cfg,
+        &ds,
+        1,
+    );
+    let transcript = recorder.transcript();
+    assert!(transcript.len() >= ds.len() * 2, "pipeline makes ≥2 calls per question");
+
+    // Replay: the scripted model knows nothing about the world, yet the
+    // run is identical because the pipeline only consumes completions.
+    let replayer = ScriptedLlm::from_transcript(&transcript);
+    let replayed = pipeline::run(
+        &PseudoGraphPipeline::full(),
+        &replayer,
+        Some(&source),
+        Some(&base),
+        &emb,
+        &cfg,
+        &ds,
+        1,
+    );
+    assert_eq!(replayer.overruns(), 0, "replay must consume exactly the script");
+    assert_eq!(original.hit.hits, replayed.hit.hits);
+    for (a, b) in original.records.iter().zip(&replayed.records) {
+        assert_eq!(a.answer, b.answer, "replayed answer diverged on {}", a.qid);
+        assert_eq!(a.trace.pseudo_triples, b.trace.pseudo_triples);
+        assert_eq!(a.trace.fixed_triples, b.trace.fixed_triples);
+    }
+}
+
+#[test]
+fn transcript_prompts_contain_the_paper_prompt_markers() {
+    let world = Arc::new(worldgen::generate(&worldgen::WorldConfig::default()));
+    let source = worldgen::derive(&world, &worldgen::SourceConfig::wikidata());
+    let ds = worldgen::datasets::simpleq::generate(&world, 5, 77);
+    let emb = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let recorder = TranscriptLlm::new(SimLlm::new(world.clone(), ModelProfile::gpt35_sim()));
+    pipeline::run(
+        &PseudoGraphPipeline::full(),
+        &recorder,
+        Some(&source),
+        None,
+        &emb,
+        &cfg,
+        &ds,
+        1,
+    );
+    let t = recorder.transcript();
+    // Figure-3 prompt markers on pseudo-graph calls.
+    assert!(t
+        .iter()
+        .filter(|e| e.kind == "pseudo-graph")
+        .all(|e| e.prompt.contains("{Knowledge Graph}") && e.prompt.contains("[Task]")));
+    // Figure-5 markers on answer calls.
+    assert!(t
+        .iter()
+        .filter(|e| e.kind == "answer")
+        .all(|e| e.prompt.contains("[graph]") && e.prompt.ends_with("[answer]: ")));
+    // Verification prompts embed ground-graph sections when present.
+    for e in t.iter().filter(|e| e.kind == "verify") {
+        assert!(e.prompt.contains("{graph to fix}"));
+    }
+}
