@@ -30,10 +30,34 @@ fn main() {
         PruneStrategy::AdaptiveK { max: 8 },
         PruneStrategy::PopularityPrior,
     ] {
-        let cfg = pgg_core::PipelineConfig { prune: strategy, ..exp.cfg.clone() };
-        let qald = run(&ours, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &cfg, &exp.qald, 0);
-        let nq = run(&ours, &llm, Some(&exp.wikidata), Some(&nq_base), &exp.embedder, &cfg, &exp.nature, 0);
-        t.row(strategy.name(), vec![Cell::Value(qald.score()), Cell::Value(nq.score())]);
+        let cfg = pgg_core::PipelineConfig {
+            prune: strategy,
+            ..exp.cfg.clone()
+        };
+        let qald = run(
+            &ours,
+            &llm,
+            Some(&exp.wikidata),
+            Some(&qald_base),
+            &exp.embedder,
+            &cfg,
+            &exp.qald,
+            0,
+        );
+        let nq = run(
+            &ours,
+            &llm,
+            Some(&exp.wikidata),
+            Some(&nq_base),
+            &exp.embedder,
+            &cfg,
+            &exp.nature,
+            0,
+        );
+        t.row(
+            strategy.name(),
+            vec![Cell::Value(qald.score()), Cell::Value(nq.score())],
+        );
     }
     println!("{}", t.render());
 
@@ -43,10 +67,34 @@ fn main() {
         &["Passes", "QALD-10 (Hit@1)", "Nature Questions (ROUGE-L)"],
     );
     for passes in [1u32, 3, 5] {
-        let cfg = pgg_core::PipelineConfig { verify_passes: passes, ..exp.cfg.clone() };
-        let qald = run(&ours, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &cfg, &exp.qald, 0);
-        let nq = run(&ours, &llm, Some(&exp.wikidata), Some(&nq_base), &exp.embedder, &cfg, &exp.nature, 0);
-        t.row(format!("{passes}"), vec![Cell::Value(qald.score()), Cell::Value(nq.score())]);
+        let cfg = pgg_core::PipelineConfig {
+            verify_passes: passes,
+            ..exp.cfg.clone()
+        };
+        let qald = run(
+            &ours,
+            &llm,
+            Some(&exp.wikidata),
+            Some(&qald_base),
+            &exp.embedder,
+            &cfg,
+            &exp.qald,
+            0,
+        );
+        let nq = run(
+            &ours,
+            &llm,
+            Some(&exp.wikidata),
+            Some(&nq_base),
+            &exp.embedder,
+            &cfg,
+            &exp.nature,
+            0,
+        );
+        t.row(
+            format!("{passes}"),
+            vec![Cell::Value(qald.score()), Cell::Value(nq.score())],
+        );
     }
     println!("{}", t.render());
 
@@ -55,9 +103,33 @@ fn main() {
         "Encoder ablation (GPT-3.5)",
         &["Encoder", "QALD-10 (Hit@1)", "Nature Questions (ROUGE-L)"],
     );
-    let qald_plain = run(&ours, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &exp.cfg, &exp.qald, 0);
-    let nq_plain = run(&ours, &llm, Some(&exp.wikidata), Some(&nq_base), &exp.embedder, &exp.cfg, &exp.nature, 0);
-    t.row("hashing (default)", vec![Cell::Value(qald_plain.score()), Cell::Value(nq_plain.score())]);
+    let qald_plain = run(
+        &ours,
+        &llm,
+        Some(&exp.wikidata),
+        Some(&qald_base),
+        &exp.embedder,
+        &exp.cfg,
+        &exp.qald,
+        0,
+    );
+    let nq_plain = run(
+        &ours,
+        &llm,
+        Some(&exp.wikidata),
+        Some(&nq_base),
+        &exp.embedder,
+        &exp.cfg,
+        &exp.nature,
+        0,
+    );
+    t.row(
+        "hashing (default)",
+        vec![
+            Cell::Value(qald_plain.score()),
+            Cell::Value(nq_plain.score()),
+        ],
+    );
 
     // Fit IDF on the wikidata source verbalisations.
     let corpus: Vec<String> = exp
@@ -70,7 +142,10 @@ fn main() {
             format!("{} {} {}", v.s, semvec::humanize_term(&v.p), v.o)
         })
         .collect();
-    let idf = Arc::new(IdfModel::fit(corpus.iter().map(|s| s.as_str()), &SynonymTable::builtin()));
+    let idf = Arc::new(IdfModel::fit(
+        corpus.iter().map(|s| s.as_str()),
+        &SynonymTable::builtin(),
+    ));
     let emb_idf = Embedder::paper().with_idf(idf);
     let qald_base_idf = BaseIndex::for_questions(
         &exp.wikidata,
@@ -84,8 +159,29 @@ fn main() {
         &exp.cfg,
         exp.nature.questions.iter().map(|q| q.text.as_str()),
     );
-    let qald_idf = run(&ours, &llm, Some(&exp.wikidata), Some(&qald_base_idf), &emb_idf, &exp.cfg, &exp.qald, 0);
-    let nq_idf = run(&ours, &llm, Some(&exp.wikidata), Some(&nq_base_idf), &emb_idf, &exp.cfg, &exp.nature, 0);
-    t.row("hashing + IDF", vec![Cell::Value(qald_idf.score()), Cell::Value(nq_idf.score())]);
+    let qald_idf = run(
+        &ours,
+        &llm,
+        Some(&exp.wikidata),
+        Some(&qald_base_idf),
+        &emb_idf,
+        &exp.cfg,
+        &exp.qald,
+        0,
+    );
+    let nq_idf = run(
+        &ours,
+        &llm,
+        Some(&exp.wikidata),
+        Some(&nq_base_idf),
+        &emb_idf,
+        &exp.cfg,
+        &exp.nature,
+        0,
+    );
+    t.row(
+        "hashing + IDF",
+        vec![Cell::Value(qald_idf.score()), Cell::Value(nq_idf.score())],
+    );
     println!("{}", t.render());
 }

@@ -6,17 +6,62 @@ fn main() {
     let exp = setup(50);
     let llm = model(&exp.world, "gpt-3.5");
     let base = exp.base(&exp.nature, &exp.wikidata);
-    for m in [&Cot as &dyn Method, &PseudoGraphPipeline::pseudo_only(), &PseudoGraphPipeline::full()] {
-        let res = run(m, &llm, Some(&exp.wikidata), Some(&base), &exp.embedder, &exp.cfg, &exp.nature, 0);
+    for m in [
+        &Cot as &dyn Method,
+        &PseudoGraphPipeline::pseudo_only(),
+        &PseudoGraphPipeline::full(),
+    ] {
+        let res = run(
+            m,
+            &llm,
+            Some(&exp.wikidata),
+            Some(&base),
+            &exp.embedder,
+            &exp.cfg,
+            &exp.nature,
+            0,
+        );
         let n = res.records.len() as f64;
-        let p: f64 = res.records.iter().filter_map(|r| r.rouge).map(|x| x.precision).sum::<f64>() / n;
-        let rc: f64 = res.records.iter().filter_map(|r| r.rouge).map(|x| x.recall).sum::<f64>() / n;
-        println!("{:14} f1={:5.1} precision={:.2} recall={:.2}", m.name(), res.rouge.percent(), p, rc);
+        let p: f64 = res
+            .records
+            .iter()
+            .filter_map(|r| r.rouge)
+            .map(|x| x.precision)
+            .sum::<f64>()
+            / n;
+        let rc: f64 = res
+            .records
+            .iter()
+            .filter_map(|r| r.rouge)
+            .map(|x| x.recall)
+            .sum::<f64>()
+            / n;
+        println!(
+            "{:14} f1={:5.1} precision={:.2} recall={:.2}",
+            m.name(),
+            res.rouge.percent(),
+            p,
+            rc
+        );
         for (r, q) in res.records.iter().zip(&exp.nature.questions).take(4) {
-            let worldgen::Gold::References(refs) = &q.gold else { continue };
-            println!("   [{:.2}] A: {}", r.rouge.unwrap().f1, &r.answer.chars().take(150).collect::<String>());
-            println!("          R: {}", &refs[0].chars().take(150).collect::<String>());
-            println!("          ge={:?} pseudo={} fixed={}", r.trace.ground_entities, r.trace.pseudo_triples.len(), r.trace.fixed_triples.len());
+            let worldgen::Gold::References(refs) = &q.gold else {
+                continue;
+            };
+            println!(
+                "   [{:.2}] A: {}",
+                r.rouge.unwrap().f1,
+                &r.answer.chars().take(150).collect::<String>()
+            );
+            println!(
+                "          R: {}",
+                &refs[0].chars().take(150).collect::<String>()
+            );
+            println!(
+                "          ge={:?} pseudo={} fixed={}",
+                r.trace.ground_entities,
+                r.trace.pseudo_triples.len(),
+                r.trace.fixed_triples.len()
+            );
         }
     }
 }

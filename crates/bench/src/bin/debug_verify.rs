@@ -1,9 +1,9 @@
 //! Ad-hoc: trace verification on one Nature WhoList question.
 use bench::{model, setup};
-use pgg_core::{ground_graph, BaseIndex, PipelineConfig};
-use simllm::behavior::verify::verify_graph;
-use simllm::behavior::pseudo::pseudo_cypher;
 use cypher::decode_llm_output;
+use pgg_core::{ground_graph, BaseIndex, PipelineConfig};
+use simllm::behavior::pseudo::pseudo_cypher;
+use simllm::behavior::verify::verify_graph;
 
 fn main() {
     let exp = setup(50);
@@ -19,15 +19,26 @@ fn main() {
     println!("Q: {}", q.text);
     let raw = pseudo_cypher(&mem, q);
     let pseudo = decode_llm_output(&raw).unwrap();
-    for t in &pseudo { println!("  pseudo {t}"); }
+    for t in &pseudo {
+        println!("  pseudo {t}");
+    }
     let (ground, stats) = ground_graph(&exp.wikidata, &base, &exp.embedder, &exp.cfg, &pseudo);
     println!("stats {stats:?}");
     for ge in &ground.entities {
-        println!("  ge {} ({:.2}) {} triples", ge.label, ge.score, ge.triples.len());
-        for t in ge.triples.iter().take(6) { println!("      {t}"); }
+        println!(
+            "  ge {} ({:.2}) {} triples",
+            ge.label,
+            ge.score,
+            ge.triples.len()
+        );
+        for t in ge.triples.iter().take(6) {
+            println!("      {t}");
+        }
     }
     let fixed = verify_graph(&mem, q, &pseudo, &ground);
-    for t in &fixed { println!("  fixed {t}"); }
+    for t in &fixed {
+        println!("  fixed {t}");
+    }
     let _ = PipelineConfig::default();
     let _ = BaseIndex::for_question;
 }

@@ -27,6 +27,8 @@ fn main() {
     let mut cypher_rates = Vec::new();
     let mut verif_shares = Vec::new();
     let mut prune_stats = Vec::new();
+    let mut diag_counts: Vec<Vec<usize>> = Vec::new();
+    let mut salvage_rates = Vec::new();
 
     for model_name in ["gpt-3.5", "gpt-4"] {
         let llm = model(&exp.world, model_name);
@@ -36,9 +38,36 @@ fn main() {
         let full = PseudoGraphPipeline::full();
         let pseudo_only = PseudoGraphPipeline::pseudo_only();
 
-        let qald_full = run(&full, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &exp.cfg, &exp.qald, 0);
-        let qald_pseudo = run(&pseudo_only, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &exp.cfg, &exp.qald, 0);
-        let sq_full = run(&full, &llm, Some(&exp.freebase), Some(&sq_base), &exp.embedder, &exp.cfg, &exp.simpleq, 0);
+        let qald_full = run(
+            &full,
+            &llm,
+            Some(&exp.wikidata),
+            Some(&qald_base),
+            &exp.embedder,
+            &exp.cfg,
+            &exp.qald,
+            0,
+        );
+        let qald_pseudo = run(
+            &pseudo_only,
+            &llm,
+            Some(&exp.wikidata),
+            Some(&qald_base),
+            &exp.embedder,
+            &exp.cfg,
+            &exp.qald,
+            0,
+        );
+        let sq_full = run(
+            &full,
+            &llm,
+            Some(&exp.freebase),
+            Some(&sq_base),
+            &exp.embedder,
+            &exp.cfg,
+            &exp.simpleq,
+            0,
+        );
 
         // §4.6.1 — Cypher failures over QALD + SQ.
         let mut tally = ErrorTally::default();
@@ -62,6 +91,46 @@ fn main() {
             spurious,
         );
 
+        // cylint — per-code diagnostic counts over QALD + SQ, and the
+        // salvage rate: raw-failing scripts the repair pass made
+        // executable.
+        let mut per_code = vec![0usize; cypher::Code::ALL.len()];
+        let mut raw_failures = 0usize;
+        let mut salvaged = 0usize;
+        for r in qald_full.records.iter().chain(&sq_full.records) {
+            for d in &r.trace.diagnostics {
+                let idx = cypher::Code::ALL
+                    .iter()
+                    .position(|c| *c == d.code)
+                    .expect("known code");
+                per_code[idx] += 1;
+            }
+            if r.trace.cypher_error.is_some() {
+                raw_failures += 1;
+                if r.trace.salvaged {
+                    salvaged += 1;
+                }
+            }
+        }
+        let salvage_rate = if raw_failures == 0 {
+            0.0
+        } else {
+            100.0 * salvaged as f64 / raw_failures as f64
+        };
+        let summary: Vec<String> = cypher::Code::ALL
+            .iter()
+            .zip(&per_code)
+            .filter(|(_, n)| **n > 0)
+            .map(|(c, n)| format!("{}:{n}", c.id()))
+            .collect();
+        println!(
+            "[{model_name}] cylint diagnostics: [{}]; salvage {salvaged}/{raw_failures} \
+             raw-failing scripts ({salvage_rate:.1}%)",
+            summary.join(" "),
+        );
+        diag_counts.push(per_code);
+        salvage_rates.push(salvage_rate);
+
         // §4.6.3 — verification-introduced errors on QALD-10: questions
         // the pseudo-graph got right but the verified pipeline got wrong,
         // as a share of the verified pipeline's total errors.
@@ -71,7 +140,11 @@ fn main() {
             .zip(&qald_pseudo.records)
             .filter(|(f, p)| p.hit == Some(true) && f.hit == Some(false))
             .count();
-        let total_errors = qald_full.records.iter().filter(|r| r.hit == Some(false)).count();
+        let total_errors = qald_full
+            .records
+            .iter()
+            .filter(|r| r.hit == Some(false))
+            .count();
         let share = if total_errors == 0 {
             0.0
         } else {
@@ -109,23 +182,53 @@ fn main() {
             .iter()
             .filter(|r| !r.trace.fixed_triples.is_empty())
             .count();
-        println!(
-            "[{model_name}] answers grounded in the graph: {followed}/{grounded}\n"
-        );
+        println!("[{model_name}] answers grounded in the graph: {followed}/{grounded}\n");
         let _ = RunResult::default();
     }
 
-    table.row("Cypher error rate, QALD+SQ (%)", vec![
-        Cell::PaperVsMeasured { paper: 0.6, measured: cypher_rates[0] },
-        Cell::PaperVsMeasured { paper: 0.0, measured: cypher_rates[1] },
-    ]);
-    table.row("Verification-introduced errors (% of errors)", vec![
-        Cell::PaperVsMeasured { paper: 15.2, measured: verif_shares[0] },
-        Cell::PaperVsMeasured { paper: 13.8, measured: verif_shares[1] },
-    ]);
-    table.row("Empty ground graph, QALD (%)", vec![
-        Cell::Value(prune_stats[0]),
-        Cell::Value(prune_stats[1]),
-    ]);
+    table.row(
+        "Cypher error rate, QALD+SQ (%)",
+        vec![
+            Cell::PaperVsMeasured {
+                paper: 0.6,
+                measured: cypher_rates[0],
+            },
+            Cell::PaperVsMeasured {
+                paper: 0.0,
+                measured: cypher_rates[1],
+            },
+        ],
+    );
+    table.row(
+        "Verification-introduced errors (% of errors)",
+        vec![
+            Cell::PaperVsMeasured {
+                paper: 15.2,
+                measured: verif_shares[0],
+            },
+            Cell::PaperVsMeasured {
+                paper: 13.8,
+                measured: verif_shares[1],
+            },
+        ],
+    );
+    table.row(
+        "Empty ground graph, QALD (%)",
+        vec![Cell::Value(prune_stats[0]), Cell::Value(prune_stats[1])],
+    );
+    table.row(
+        "Cypher salvage rate (% of raw failures)",
+        vec![Cell::Value(salvage_rates[0]), Cell::Value(salvage_rates[1])],
+    );
+    for (idx, code) in cypher::Code::ALL.iter().enumerate() {
+        let counts = [diag_counts[0][idx], diag_counts[1][idx]];
+        if counts.iter().all(|n| *n == 0) {
+            continue;
+        }
+        table.row(
+            format!("cylint {} {} (count)", code.id(), code.slug()),
+            vec![Cell::Value(counts[0] as f64), Cell::Value(counts[1] as f64)],
+        );
+    }
     println!("{}", table.render());
 }

@@ -34,7 +34,9 @@ fn main() {
     for line in p1.lines().take(5) {
         println!("│ {line}");
     }
-    let raw = llm.complete(&p1, &LlmTask::PseudoGraph { question: q }).text;
+    let raw = llm
+        .complete(&p1, &LlmTask::PseudoGraph { question: q })
+        .text;
     println!("├─ Step 1: LLM output (Cypher) ──────────────────────────");
     for line in raw.lines().filter(|l| l.contains("CREATE")).take(8) {
         println!("│ {line}");
@@ -49,7 +51,10 @@ fn main() {
     let (ground, stats) = ground_graph(&exp.wikidata, &base, &exp.embedder, &exp.cfg, &pseudo);
     println!("├─ Step 2: ground graph G_g ({:?}) ─", stats);
     for e in &ground.entities {
-        println!("│ [entity] {} — {} (score {:.2})", e.label, e.description, e.score);
+        println!(
+            "│ [entity] {} — {} (score {:.2})",
+            e.label, e.description, e.score
+        );
         for t in e.triples.iter().take(4) {
             println!("│     {t}");
         }
@@ -65,7 +70,13 @@ fn main() {
     // Step 4 — Answer Generation.
     let p4 = prompt::answer_prompt(&q.text, &fixed);
     let answer = llm
-        .complete(&p4, &LlmTask::AnswerFromGraph { question: q, graph: &fixed })
+        .complete(
+            &p4,
+            &LlmTask::AnswerFromGraph {
+                question: q,
+                graph: &fixed,
+            },
+        )
         .text;
     println!("├─ Step 4: answer ───────────────────────────────────────");
     println!("│ {answer}");

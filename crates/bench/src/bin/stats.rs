@@ -20,7 +20,14 @@ fn main() {
 
     let mut t = Table::new(
         "KG sources",
-        &["Source", "Schema", "Triples", "Entities", "Ambiguous labels", "Max out-degree"],
+        &[
+            "Source",
+            "Schema",
+            "Triples",
+            "Entities",
+            "Ambiguous labels",
+            "Max out-degree",
+        ],
     );
     for src in [&exp.wikidata, &exp.freebase] {
         let s = source_stats(src);
@@ -39,7 +46,9 @@ fn main() {
 
     let mut t = Table::new(
         "Datasets",
-        &["Dataset", "n", "1-hop", "2-hop", "3-hop", "compare", "list", "who-list", "metric"],
+        &[
+            "Dataset", "n", "1-hop", "2-hop", "3-hop", "compare", "list", "who-list", "metric",
+        ],
     );
     for ds in [&exp.simpleq, &exp.qald, &exp.nature] {
         let mut hops = [0usize; 4];
@@ -73,7 +82,10 @@ fn main() {
     println!("{}", t.render());
 
     // Per-dataset semantic KG (base index) sizes.
-    let mut t = Table::new("Per-dataset semantic KGs", &["Dataset × source", "Indexed triples"]);
+    let mut t = Table::new(
+        "Per-dataset semantic KGs",
+        &["Dataset × source", "Indexed triples"],
+    );
     for (name, ds, src) in [
         ("SimpleQuestions × freebase", &exp.simpleq, &exp.freebase),
         ("QALD-10 × wikidata", &exp.qald, &exp.wikidata),

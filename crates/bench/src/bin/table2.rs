@@ -39,7 +39,12 @@ fn main() {
         let nature_base = exp.base(&exp.nature, &exp.wikidata);
         let mut table = Table::new(
             format!("Table 2 — {model_name} (paper / measured)"),
-            &["Method", "SimpleQuestions (Hit@1)", "QALD-10 (Hit@1)", "Nature Questions (ROUGE-L)"],
+            &[
+                "Method",
+                "SimpleQuestions (Hit@1)",
+                "QALD-10 (Hit@1)",
+                "Nature Questions (ROUGE-L)",
+            ],
         );
         for &(mname, p_sq, p_qald, p_nq) in paper_rows {
             let io = Io;
@@ -58,19 +63,55 @@ fn main() {
             // SimpleQuestions is Freebase-grounded; QALD-10 and Nature
             // Questions use the Wikidata-like source (as in the paper's
             // main setting).
-            let sq = run(m, &llm, Some(&exp.freebase), Some(&sq_base), &exp.embedder, &exp.cfg, &exp.simpleq, 0);
-            let qald = run(m, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &exp.cfg, &exp.qald, 0);
+            let sq = run(
+                m,
+                &llm,
+                Some(&exp.freebase),
+                Some(&sq_base),
+                &exp.embedder,
+                &exp.cfg,
+                &exp.simpleq,
+                0,
+            );
+            let qald = run(
+                m,
+                &llm,
+                Some(&exp.wikidata),
+                Some(&qald_base),
+                &exp.embedder,
+                &exp.cfg,
+                &exp.qald,
+                0,
+            );
             let nq_cell = if let Some(paper_nq) = p_nq {
-                let nq = run(m, &llm, Some(&exp.wikidata), Some(&nature_base), &exp.embedder, &exp.cfg, &exp.nature, 0);
-                Cell::PaperVsMeasured { paper: paper_nq, measured: nq.score() }
+                let nq = run(
+                    m,
+                    &llm,
+                    Some(&exp.wikidata),
+                    Some(&nature_base),
+                    &exp.embedder,
+                    &exp.cfg,
+                    &exp.nature,
+                    0,
+                );
+                Cell::PaperVsMeasured {
+                    paper: paper_nq,
+                    measured: nq.score(),
+                }
             } else {
                 Cell::Absent // the paper does not run SC on open-ended answers
             };
             table.row(
                 mname,
                 vec![
-                    Cell::PaperVsMeasured { paper: p_sq, measured: sq.score() },
-                    Cell::PaperVsMeasured { paper: p_qald, measured: qald.score() },
+                    Cell::PaperVsMeasured {
+                        paper: p_sq,
+                        measured: sq.score(),
+                    },
+                    Cell::PaperVsMeasured {
+                        paper: p_qald,
+                        measured: qald.score(),
+                    },
                     nq_cell,
                 ],
             );

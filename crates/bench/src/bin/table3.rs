@@ -20,39 +20,138 @@ fn main() {
     let nq_fb = exp.base(&exp.nature, &exp.freebase);
     let nq_wd = exp.base(&exp.nature, &exp.wikidata);
 
-    let cot_sq = run(&Cot, &llm, None, None, &exp.embedder, &exp.cfg, &exp.simpleq, 0);
-    let cot_nq = run(&Cot, &llm, None, None, &exp.embedder, &exp.cfg, &exp.nature, 0);
+    let cot_sq = run(
+        &Cot,
+        &llm,
+        None,
+        None,
+        &exp.embedder,
+        &exp.cfg,
+        &exp.simpleq,
+        0,
+    );
+    let cot_nq = run(
+        &Cot,
+        &llm,
+        None,
+        None,
+        &exp.embedder,
+        &exp.cfg,
+        &exp.nature,
+        0,
+    );
 
     let ours = PseudoGraphPipeline::full();
-    let fb_sq = run(&ours, &llm, Some(&exp.freebase), Some(&sq_fb), &exp.embedder, &exp.cfg, &exp.simpleq, 0);
-    let fb_nq = run(&ours, &llm, Some(&exp.freebase), Some(&nq_fb), &exp.embedder, &exp.cfg, &exp.nature, 0);
-    let wd_sq = run(&ours, &llm, Some(&exp.wikidata), Some(&sq_wd), &exp.embedder, &exp.cfg, &exp.simpleq, 0);
-    let wd_nq = run(&ours, &llm, Some(&exp.wikidata), Some(&nq_wd), &exp.embedder, &exp.cfg, &exp.nature, 0);
+    let fb_sq = run(
+        &ours,
+        &llm,
+        Some(&exp.freebase),
+        Some(&sq_fb),
+        &exp.embedder,
+        &exp.cfg,
+        &exp.simpleq,
+        0,
+    );
+    let fb_nq = run(
+        &ours,
+        &llm,
+        Some(&exp.freebase),
+        Some(&nq_fb),
+        &exp.embedder,
+        &exp.cfg,
+        &exp.nature,
+        0,
+    );
+    let wd_sq = run(
+        &ours,
+        &llm,
+        Some(&exp.wikidata),
+        Some(&sq_wd),
+        &exp.embedder,
+        &exp.cfg,
+        &exp.simpleq,
+        0,
+    );
+    let wd_nq = run(
+        &ours,
+        &llm,
+        Some(&exp.wikidata),
+        Some(&nq_wd),
+        &exp.embedder,
+        &exp.cfg,
+        &exp.nature,
+        0,
+    );
 
     let mut t = Table::new(
         "Table 3 — KG-source generalization, GPT-3.5 (paper / measured)",
         &["Method", "SimpleQuestions", "Nature Questions"],
     );
-    t.row("CoT", vec![
-        Cell::PaperVsMeasured { paper: 22.0, measured: cot_sq.score() },
-        Cell::PaperVsMeasured { paper: 23.2, measured: cot_nq.score() },
-    ]);
-    t.row("Ours / Freebase", vec![
-        Cell::PaperVsMeasured { paper: 38.2, measured: fb_sq.score() },
-        Cell::PaperVsMeasured { paper: 26.7, measured: fb_nq.score() },
-    ]);
-    t.row("   gain vs CoT", vec![
-        Cell::PaperVsMeasured { paper: 16.2, measured: fb_sq.score() - cot_sq.score() },
-        Cell::PaperVsMeasured { paper: 3.5, measured: fb_nq.score() - cot_nq.score() },
-    ]);
-    t.row("Ours / Wikidata", vec![
-        Cell::PaperVsMeasured { paper: 28.1, measured: wd_sq.score() },
-        Cell::PaperVsMeasured { paper: 37.5, measured: wd_nq.score() },
-    ]);
-    t.row("   gain vs CoT", vec![
-        Cell::PaperVsMeasured { paper: 6.1, measured: wd_sq.score() - cot_sq.score() },
-        Cell::PaperVsMeasured { paper: 14.3, measured: wd_nq.score() - cot_nq.score() },
-    ]);
+    t.row(
+        "CoT",
+        vec![
+            Cell::PaperVsMeasured {
+                paper: 22.0,
+                measured: cot_sq.score(),
+            },
+            Cell::PaperVsMeasured {
+                paper: 23.2,
+                measured: cot_nq.score(),
+            },
+        ],
+    );
+    t.row(
+        "Ours / Freebase",
+        vec![
+            Cell::PaperVsMeasured {
+                paper: 38.2,
+                measured: fb_sq.score(),
+            },
+            Cell::PaperVsMeasured {
+                paper: 26.7,
+                measured: fb_nq.score(),
+            },
+        ],
+    );
+    t.row(
+        "   gain vs CoT",
+        vec![
+            Cell::PaperVsMeasured {
+                paper: 16.2,
+                measured: fb_sq.score() - cot_sq.score(),
+            },
+            Cell::PaperVsMeasured {
+                paper: 3.5,
+                measured: fb_nq.score() - cot_nq.score(),
+            },
+        ],
+    );
+    t.row(
+        "Ours / Wikidata",
+        vec![
+            Cell::PaperVsMeasured {
+                paper: 28.1,
+                measured: wd_sq.score(),
+            },
+            Cell::PaperVsMeasured {
+                paper: 37.5,
+                measured: wd_nq.score(),
+            },
+        ],
+    );
+    t.row(
+        "   gain vs CoT",
+        vec![
+            Cell::PaperVsMeasured {
+                paper: 6.1,
+                measured: wd_sq.score() - cot_sq.score(),
+            },
+            Cell::PaperVsMeasured {
+                paper: 14.3,
+                measured: wd_nq.score() - cot_nq.score(),
+            },
+        ],
+    );
     println!("{}", t.render());
     println!(
         "Shape check: Freebase helps SimpleQuestions more ({}), Wikidata helps \

@@ -6,6 +6,10 @@
 use bench::ablation_table;
 
 fn main() {
-    let (t, _) = ablation_table("gpt-3.5", "Table 4", &[(40.5, 23.2), (44.4, 24.3), (48.6, 37.5)]);
+    let (t, _) = ablation_table(
+        "gpt-3.5",
+        "Table 4",
+        &[(40.5, 23.2), (44.4, 24.3), (48.6, 37.5)],
+    );
     println!("{t}");
 }

@@ -9,7 +9,11 @@
 use bench::ablation_table;
 
 fn main() {
-    let (t, results) = ablation_table("gpt-4", "Table 5", &[(48.9, 27.7), (53.9, 24.4), (56.5, 39.2)]);
+    let (t, results) = ablation_table(
+        "gpt-4",
+        "Table 5",
+        &[(48.9, 27.7), (53.9, 24.4), (56.5, 39.2)],
+    );
     println!("{t}");
     let pg_drop = results[1].1.score() - results[0].1.score();
     println!(

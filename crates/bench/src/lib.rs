@@ -37,7 +37,10 @@ pub struct Experiment {
 /// Build the fixture. `simpleq_n` follows the paper's per-model budget
 /// (1000 for GPT-3.5, 150 for GPT-4).
 pub fn setup(simpleq_n: usize) -> Experiment {
-    let world = Arc::new(generate(&WorldConfig { seed: paper::WORLD_SEED, ..Default::default() }));
+    let world = Arc::new(generate(&WorldConfig {
+        seed: paper::WORLD_SEED,
+        ..Default::default()
+    }));
     let wikidata = derive(&world, &SourceConfig::wikidata());
     let freebase = derive(&world, &SourceConfig::freebase());
     let simpleq = datasets::simpleq::generate(&world, simpleq_n, paper::SIMPLEQ_SEED);
@@ -91,8 +94,26 @@ pub fn ablation_table(
 
     let mut results = Vec::new();
     for m in [&cot as &dyn Method, &pseudo, &full] {
-        let qald = run(m, &llm, Some(&exp.wikidata), Some(&qald_base), &exp.embedder, &exp.cfg, &exp.qald, 0);
-        let nq = run(m, &llm, Some(&exp.wikidata), Some(&nq_base), &exp.embedder, &exp.cfg, &exp.nature, 0);
+        let qald = run(
+            m,
+            &llm,
+            Some(&exp.wikidata),
+            Some(&qald_base),
+            &exp.embedder,
+            &exp.cfg,
+            &exp.qald,
+            0,
+        );
+        let nq = run(
+            m,
+            &llm,
+            Some(&exp.wikidata),
+            Some(&nq_base),
+            &exp.embedder,
+            &exp.cfg,
+            &exp.nature,
+            0,
+        );
         results.push((qald, nq));
     }
     let results: [(pgg_core::RunResult, pgg_core::RunResult); 3] =
@@ -104,31 +125,46 @@ pub fn ablation_table(
     );
     let labels = ["CoT", "Pseudo-Graph", "Verification (Ours)"];
     for i in 0..3 {
-        t.row(labels[i], vec![
-            Cell::PaperVsMeasured { paper: paper_rows[i].0, measured: results[i].0.score() },
-            Cell::PaperVsMeasured { paper: paper_rows[i].1, measured: results[i].1.score() },
-        ]);
+        t.row(
+            labels[i],
+            vec![
+                Cell::PaperVsMeasured {
+                    paper: paper_rows[i].0,
+                    measured: results[i].0.score(),
+                },
+                Cell::PaperVsMeasured {
+                    paper: paper_rows[i].1,
+                    measured: results[i].1.score(),
+                },
+            ],
+        );
     }
-    t.row("gain: PG vs CoT", vec![
-        Cell::PaperVsMeasured {
-            paper: paper_rows[1].0 - paper_rows[0].0,
-            measured: results[1].0.score() - results[0].0.score(),
-        },
-        Cell::PaperVsMeasured {
-            paper: paper_rows[1].1 - paper_rows[0].1,
-            measured: results[1].1.score() - results[0].1.score(),
-        },
-    ]);
-    t.row("gain: Verif vs PG", vec![
-        Cell::PaperVsMeasured {
-            paper: paper_rows[2].0 - paper_rows[1].0,
-            measured: results[2].0.score() - results[1].0.score(),
-        },
-        Cell::PaperVsMeasured {
-            paper: paper_rows[2].1 - paper_rows[1].1,
-            measured: results[2].1.score() - results[1].1.score(),
-        },
-    ]);
+    t.row(
+        "gain: PG vs CoT",
+        vec![
+            Cell::PaperVsMeasured {
+                paper: paper_rows[1].0 - paper_rows[0].0,
+                measured: results[1].0.score() - results[0].0.score(),
+            },
+            Cell::PaperVsMeasured {
+                paper: paper_rows[1].1 - paper_rows[0].1,
+                measured: results[1].1.score() - results[0].1.score(),
+            },
+        ],
+    );
+    t.row(
+        "gain: Verif vs PG",
+        vec![
+            Cell::PaperVsMeasured {
+                paper: paper_rows[2].0 - paper_rows[1].0,
+                measured: results[2].0.score() - results[1].0.score(),
+            },
+            Cell::PaperVsMeasured {
+                paper: paper_rows[2].1 - paper_rows[1].1,
+                measured: results[2].1.score() - results[1].1.score(),
+            },
+        ],
+    );
     (t.render(), results)
 }
 

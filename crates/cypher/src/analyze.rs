@@ -1,0 +1,610 @@
+//! `cylint`: static semantic analysis and auto-repair for LLM-emitted
+//! Cypher construction scripts.
+//!
+//! [`analyze`] inspects a parsed [`Script`] and reports [`Diagnostic`]s
+//! with stable `CY00x` codes — without executing anything. [`repair`]
+//! rewrites a script so that construction-mode execution is guaranteed to
+//! succeed: spurious `MATCH` statements are dropped, duplicate `CREATE`
+//! patterns are removed, and undeclared relationship endpoints get a
+//! synthesized `name` so decoded triples stay meaningful.
+//!
+//! The pipeline runs analyze → repair between LLM decoding and graph
+//! construction, which turns the paper's §4.6.1 "discard the whole
+//! script" failure mode into a salvage opportunity.
+
+use crate::ast::{PathPattern, Script, Statement};
+use crate::diag::{AppliedFix, Code, Diagnostic};
+use crate::error::Pos;
+use crate::parser::parse_spanned;
+use kgstore::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Coarse value classes for CY008: `Int` and `Float` are both "number"
+/// so `area: 82000` vs `area: 82000.5` does not fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValueClass {
+    Num,
+    Text,
+    Bool,
+}
+
+fn class_of(v: &Value) -> ValueClass {
+    match v {
+        Value::Int(_) | Value::Float(_) => ValueClass::Num,
+        Value::Str(_) => ValueClass::Text,
+        Value::Bool(_) => ValueClass::Bool,
+    }
+}
+
+fn class_name(c: ValueClass) -> &'static str {
+    match c {
+        ValueClass::Num => "number",
+        ValueClass::Text => "string",
+        ValueClass::Bool => "boolean",
+    }
+}
+
+/// Identity of a node pattern for connectivity checks: the variable if
+/// bound, else the `name` property, else nothing comparable.
+fn node_identity(pat: &crate::ast::NodePattern) -> Option<String> {
+    if let Some(v) = &pat.var {
+        return Some(format!("var:{v}"));
+    }
+    pat.props.iter().find_map(|(k, v)| {
+        (k == "name").then(|| match v {
+            Value::Str(s) => format!("name:{s}"),
+            other => format!("name:{}", other.as_triple_text()),
+        })
+    })
+}
+
+fn is_bare_ref(pat: &crate::ast::NodePattern) -> bool {
+    pat.var.is_some() && pat.labels.is_empty() && pat.props.is_empty()
+}
+
+/// Facts gathered in one pass over the construction statements.
+#[derive(Default)]
+struct Facts {
+    /// Variables that carry labels or properties somewhere.
+    declared: HashSet<String>,
+    /// Variables that participate in at least one relationship.
+    connected: HashSet<String>,
+}
+
+fn collect_facts(script: &Script) -> Facts {
+    let mut facts = Facts::default();
+    for stmt in &script.statements {
+        let patterns = match stmt {
+            Statement::Create(p) | Statement::Merge(p) => p,
+            Statement::Match { .. } => continue,
+        };
+        for path in patterns {
+            let nodes = std::iter::once(&path.start).chain(path.hops.iter().map(|(_, n)| n));
+            for node in nodes {
+                if let Some(v) = &node.var {
+                    if !node.labels.is_empty() || !node.props.is_empty() {
+                        facts.declared.insert(v.clone());
+                    }
+                }
+            }
+            if !path.hops.is_empty() {
+                for node in std::iter::once(&path.start).chain(path.hops.iter().map(|(_, n)| n)) {
+                    if let Some(v) = &node.var {
+                        facts.connected.insert(v.clone());
+                    }
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// Analyze a script without source spans; diagnostics carry
+/// [`Pos::default`] positions (statement indices are still set).
+pub fn analyze(script: &Script) -> Vec<Diagnostic> {
+    analyze_spanned(script, &[])
+}
+
+/// Analyze a script, anchoring each diagnostic at its statement's source
+/// position (`spans` as produced by [`parse_spanned`]). Missing spans
+/// degrade to [`Pos::default`].
+pub fn analyze_spanned(script: &Script, spans: &[Pos]) -> Vec<Diagnostic> {
+    let facts = collect_facts(script);
+    let pos_of = |i: usize| spans.get(i).copied().unwrap_or_default();
+    let mut diags = Vec::new();
+
+    // Running state for checks that compare an occurrence against earlier
+    // ones. Walking statements in order keeps diagnostic order (and the
+    // whole pipeline) deterministic.
+    let mut first_labels: HashMap<String, Vec<String>> = HashMap::new();
+    let mut label_flagged: HashSet<String> = HashSet::new();
+    let mut prop_classes: HashMap<(String, String), ValueClass> = HashMap::new();
+    let mut prop_flagged: HashSet<(String, String)> = HashSet::new();
+    let mut unbound_flagged: HashSet<String> = HashSet::new();
+    let mut dangling_flagged: HashSet<String> = HashSet::new();
+    let mut seen_create_paths: HashSet<String> = HashSet::new();
+
+    for (i, stmt) in script.statements.iter().enumerate() {
+        let pos = pos_of(i);
+        let patterns = match stmt {
+            Statement::Match { .. } => {
+                diags.push(Diagnostic::new(
+                    Code::SpuriousMatch,
+                    pos,
+                    i,
+                    "MATCH query in a construction-only script",
+                ));
+                continue;
+            }
+            Statement::Create(p) | Statement::Merge(p) => p,
+        };
+        let is_create = matches!(stmt, Statement::Create(_));
+
+        for path in patterns {
+            let nodes: Vec<&crate::ast::NodePattern> = std::iter::once(&path.start)
+                .chain(path.hops.iter().map(|(_, n)| n))
+                .collect();
+
+            // CY003 / CY008: per-occurrence consistency with earlier uses.
+            for node in &nodes {
+                let Some(ident) = node_identity(node) else {
+                    continue;
+                };
+                if !node.labels.is_empty() {
+                    match first_labels.get(&ident) {
+                        None => {
+                            first_labels.insert(ident.clone(), node.labels.clone());
+                        }
+                        Some(prev) => {
+                            let conflict = node.labels.iter().find(|l| !prev.contains(l));
+                            if let Some(l) = conflict {
+                                if label_flagged.insert(ident.clone()) {
+                                    diags.push(Diagnostic::new(
+                                        Code::ConflictingLabel,
+                                        pos,
+                                        i,
+                                        format!(
+                                            "'{}' re-declared with label :{l} (first declared :{})",
+                                            ident.trim_start_matches("var:"),
+                                            prev.join(":")
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                for (k, v) in &node.props {
+                    let key = (ident.clone(), k.clone());
+                    let class = class_of(v);
+                    match prop_classes.get(&key) {
+                        None => {
+                            prop_classes.insert(key, class);
+                        }
+                        Some(&prev) if prev != class => {
+                            if prop_flagged.insert(key) {
+                                diags.push(Diagnostic::new(
+                                    Code::SuspiciousPropType,
+                                    pos,
+                                    i,
+                                    format!(
+                                        "property '{k}' of '{}' switches from {} to {}",
+                                        ident.trim_start_matches("var:"),
+                                        class_name(prev),
+                                        class_name(class)
+                                    ),
+                                ));
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+
+            // CY002 / CY004 / CY006: relationship-level checks.
+            let mut prev = &path.start;
+            for (rel, node) in &path.hops {
+                if rel.rel_type.as_deref().unwrap_or("").is_empty() {
+                    diags.push(Diagnostic::new(
+                        Code::MissingRelType,
+                        pos,
+                        i,
+                        format!("relationship between {} and {} has no type", prev, node),
+                    ));
+                }
+                if let (Some(a), Some(b)) = (node_identity(prev), node_identity(node)) {
+                    if a == b {
+                        diags.push(Diagnostic::new(
+                            Code::SelfLoop,
+                            pos,
+                            i,
+                            format!("'{}' relates to itself", a.trim_start_matches("var:")),
+                        ));
+                    }
+                }
+                for endpoint in [prev, node] {
+                    if is_bare_ref(endpoint) {
+                        let var = endpoint.var.as_ref().expect("bare ref has a var");
+                        if !facts.declared.contains(var) && unbound_flagged.insert(var.clone()) {
+                            diags.push(Diagnostic::new(
+                                Code::UnboundRelVar,
+                                pos,
+                                i,
+                                format!(
+                                    "relationship endpoint '{var}' is never declared with labels or properties"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                prev = node;
+            }
+
+            // CY005: standalone patterns never wired into the graph.
+            if path.hops.is_empty() {
+                match &path.start.var {
+                    Some(v) => {
+                        if !facts.connected.contains(v) && dangling_flagged.insert(v.clone()) {
+                            diags.push(Diagnostic::new(
+                                Code::DanglingNode,
+                                pos,
+                                i,
+                                format!("node '{v}' is declared but never connected"),
+                            ));
+                        }
+                    }
+                    None => {
+                        diags.push(Diagnostic::new(
+                            Code::DanglingNode,
+                            pos,
+                            i,
+                            format!("anonymous node {} can never be connected", path.start),
+                        ));
+                    }
+                }
+            }
+
+            // CY007: identical CREATE patterns duplicate edges verbatim
+            // (MERGE is exempt: re-merging is idempotent by design).
+            if is_create && !seen_create_paths.insert(path.to_string()) {
+                diags.push(Diagnostic::new(
+                    Code::DuplicateCreate,
+                    pos,
+                    i,
+                    format!("pattern {path} already created"),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Parse `src` and analyze it with source-anchored positions. The
+/// one-call entry point for tooling and tests.
+pub fn lint(src: &str) -> crate::error::Result<Vec<Diagnostic>> {
+    let spanned = parse_spanned(src)?;
+    Ok(analyze_spanned(&spanned.script, &spanned.spans))
+}
+
+/// The result of [`repair`]: a rewritten script plus the log of what was
+/// changed. `fixes[i].stmt` indexes into the *original* script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The repaired script. Contains no `MATCH` statements, so running it
+    /// in [`crate::Mode::CreateOnly`] cannot fail.
+    pub script: Script,
+    /// Everything the pass changed, in application order.
+    pub fixes: Vec<AppliedFix>,
+}
+
+impl RepairOutcome {
+    /// Whether the pass changed anything.
+    pub fn changed(&self) -> bool {
+        !self.fixes.is_empty()
+    }
+}
+
+/// Rewrite a script so construction-mode execution succeeds:
+///
+/// 1. drop `MATCH` statements (CY001) — queries have no place in
+///    pseudo-graph construction, but the `CREATE`s around them are
+///    usually fine and worth salvaging;
+/// 2. remove duplicated `CREATE` patterns (CY007) so edges are not
+///    inserted twice;
+/// 3. give never-declared relationship endpoints (CY002) a synthesized
+///    `name` property at their first occurrence, so the node they
+///    materialize into decodes to a readable triple instead of a blank.
+pub fn repair(script: &Script) -> RepairOutcome {
+    let facts = collect_facts(script);
+    let mut fixes = Vec::new();
+    let mut statements = Vec::new();
+    let mut seen_create_paths: HashSet<String> = HashSet::new();
+
+    for (i, stmt) in script.statements.iter().enumerate() {
+        match stmt {
+            Statement::Match { .. } => {
+                fixes.push(AppliedFix {
+                    code: Code::SpuriousMatch,
+                    stmt: i,
+                    action: "dropped spurious MATCH statement".to_string(),
+                });
+            }
+            Statement::Merge(_) => statements.push((i, stmt.clone())),
+            Statement::Create(paths) => {
+                let mut kept: Vec<PathPattern> = Vec::new();
+                for path in paths {
+                    if seen_create_paths.insert(path.to_string()) {
+                        kept.push(path.clone());
+                    } else {
+                        fixes.push(AppliedFix {
+                            code: Code::DuplicateCreate,
+                            stmt: i,
+                            action: format!("removed duplicate pattern {path}"),
+                        });
+                    }
+                }
+                if !kept.is_empty() {
+                    statements.push((i, Statement::Create(kept)));
+                }
+            }
+        }
+    }
+
+    // Synthesize declarations for unbound relationship endpoints, in
+    // first-appearance order for determinism.
+    let mut unbound: Vec<String> = Vec::new();
+    let mut seen_unbound: HashSet<String> = HashSet::new();
+    for (_, stmt) in &statements {
+        let patterns = match stmt {
+            Statement::Create(p) | Statement::Merge(p) => p,
+            Statement::Match { .. } => unreachable!("MATCH statements were dropped"),
+        };
+        for path in patterns {
+            let mut prev = &path.start;
+            for (_, node) in &path.hops {
+                for endpoint in [prev, node] {
+                    if is_bare_ref(endpoint) {
+                        let var = endpoint.var.clone().expect("bare ref has a var");
+                        if !facts.declared.contains(&var) && seen_unbound.insert(var.clone()) {
+                            unbound.push(var);
+                        }
+                    }
+                }
+                prev = node;
+            }
+        }
+    }
+    for var in unbound {
+        'patch: for (orig_idx, stmt) in statements.iter_mut() {
+            let patterns = match stmt {
+                Statement::Create(p) | Statement::Merge(p) => p,
+                Statement::Match { .. } => unreachable!("MATCH statements were dropped"),
+            };
+            for path in patterns.iter_mut() {
+                let nodes =
+                    std::iter::once(&mut path.start).chain(path.hops.iter_mut().map(|(_, n)| n));
+                for node in nodes {
+                    if node.var.as_deref() == Some(var.as_str()) {
+                        node.props
+                            .push(("name".to_string(), Value::Str(var.clone())));
+                        fixes.push(AppliedFix {
+                            code: Code::UnboundRelVar,
+                            stmt: *orig_idx,
+                            action: format!(
+                                "synthesized declaration for endpoint '{var}' (name: \"{var}\")"
+                            ),
+                        });
+                        break 'patch;
+                    }
+                }
+            }
+        }
+    }
+
+    RepairOutcome {
+        script: Script {
+            statements: statements.into_iter().map(|(_, s)| s).collect(),
+        },
+        fixes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Executor, Mode};
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        lint(src).unwrap().iter().map(|d| d.code.id()).collect()
+    }
+
+    #[test]
+    fn clean_script_has_no_diagnostics() {
+        let src = "CREATE (a:Lake {name: \"Erie\"})\nCREATE (a)-[:IN]->(b:Country {name: \"USA\"})";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn cy001_spurious_match_with_span() {
+        let diags =
+            lint("CREATE (a:X {name: \"A\"})-[:R]->(b:Y {name: \"B\"})\nMATCH (n) RETURN n")
+                .unwrap();
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.code, Code::SpuriousMatch);
+        assert_eq!(d.severity, crate::diag::Severity::Error);
+        assert_eq!((d.pos.line, d.pos.col), (2, 1));
+        assert_eq!(d.stmt, 1);
+    }
+
+    #[test]
+    fn cy002_unbound_endpoint_flagged_once() {
+        let src = "CREATE (a {name: \"A\"})-[:R]->(ghost)\nCREATE (ghost)-[:R]->(a)";
+        let diags = lint(src).unwrap();
+        let unbound: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::UnboundRelVar)
+            .collect();
+        assert_eq!(unbound.len(), 1);
+        assert!(unbound[0].msg.contains("ghost"));
+        assert_eq!(unbound[0].stmt, 0);
+    }
+
+    #[test]
+    fn cy002_not_fired_when_declared_later() {
+        // Executor semantics merge later declarations into the binding,
+        // so a forward reference is fine.
+        let src = "CREATE (a {name: \"A\"})-[:R]->(b)\nCREATE (b:Lake {name: \"B\"})";
+        assert!(!codes(src).contains(&"CY002"));
+    }
+
+    #[test]
+    fn cy003_conflicting_label() {
+        let src = "CREATE (a:Lake {name: \"A\"})\nCREATE (a:Country)";
+        let diags = lint(src).unwrap();
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == Code::ConflictingLabel)
+                .count(),
+            1
+        );
+        // repeating the original label is not a conflict
+        assert!(!codes("CREATE (a:Lake {name: \"A\"})\nCREATE (a:Lake)").contains(&"CY003"));
+    }
+
+    #[test]
+    fn cy004_missing_rel_type() {
+        let src = "CREATE (a {name: \"A\"})-[]->(b {name: \"B\"})";
+        assert!(codes(src).contains(&"CY004"));
+        let src_var_only = "CREATE (a {name: \"A\"})-[r]->(b {name: \"B\"})";
+        assert!(codes(src_var_only).contains(&"CY004"));
+    }
+
+    #[test]
+    fn cy005_dangling_node() {
+        let src = "CREATE (a:X {name: \"A\"})\nCREATE (b {name: \"B\"})-[:R]->(c {name: \"C\"})";
+        let diags = lint(src).unwrap();
+        let dangling: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::DanglingNode)
+            .collect();
+        assert_eq!(dangling.len(), 1);
+        assert!(dangling[0].msg.contains("'a'"));
+        // connected later → not dangling
+        let src2 = "CREATE (a:X {name: \"A\"})\nCREATE (a)-[:R]->(b {name: \"B\"})";
+        assert!(!codes(src2).contains(&"CY005"));
+    }
+
+    #[test]
+    fn cy005_anonymous_standalone_node() {
+        assert!(codes("CREATE ({name: \"orphan\"})").contains(&"CY005"));
+    }
+
+    #[test]
+    fn cy006_self_loop() {
+        assert!(codes("CREATE (a {name: \"A\"})-[:R]->(a)").contains(&"CY006"));
+        // name-based identity catches var-less self loops too
+        assert!(codes("CREATE ({name: \"A\"})-[:R]->({name: \"A\"})").contains(&"CY006"));
+    }
+
+    #[test]
+    fn cy007_duplicate_create() {
+        let src = "CREATE (a {name: \"A\"})-[:R]->(b {name: \"B\"})\n\
+                   CREATE (a {name: \"A\"})-[:R]->(b {name: \"B\"})";
+        let diags = lint(src).unwrap();
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == Code::DuplicateCreate)
+                .count(),
+            1
+        );
+        // MERGE of the same pattern is idempotent, not a duplicate
+        let merge = "MERGE (a {name: \"A\"})\nMERGE (a {name: \"A\"})";
+        assert!(!codes(merge).contains(&"CY007"));
+    }
+
+    #[test]
+    fn cy008_suspicious_prop_type() {
+        let src = "CREATE (a:Lake {name: \"A\", area: 82000})\nCREATE (a {area: \"big\"})";
+        let diags = lint(src).unwrap();
+        let sus: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::SuspiciousPropType)
+            .collect();
+        assert_eq!(sus.len(), 1);
+        assert!(sus[0].msg.contains("area"));
+        // Int → Float is fine
+        assert!(!codes("CREATE (a {area: 1})\nCREATE (a {area: 1.5})").contains(&"CY008"));
+    }
+
+    #[test]
+    fn repair_drops_match_and_keeps_creates() {
+        let src = "MATCH (n) RETURN n\nCREATE (a:X {name: \"A\"})";
+        let spanned = parse_spanned(src).unwrap();
+        let out = repair(&spanned.script);
+        assert!(out.changed());
+        assert_eq!(out.script.statements.len(), 1);
+        assert!(matches!(out.script.statements[0], Statement::Create(_)));
+        assert_eq!(out.fixes[0].code, Code::SpuriousMatch);
+        assert_eq!(out.fixes[0].stmt, 0);
+    }
+
+    #[test]
+    fn repair_dedups_creates() {
+        let src = "CREATE (a {name: \"A\"})-[:R]->(b {name: \"B\"})\n\
+                   CREATE (a {name: \"A\"})-[:R]->(b {name: \"B\"})";
+        let out = repair(&parse_spanned(src).unwrap().script);
+        let mut exec = Executor::new();
+        exec.run(&out.script, Mode::CreateOnly).unwrap();
+        assert_eq!(
+            exec.graph().rel_count(),
+            1,
+            "duplicate edge must not be created"
+        );
+        assert!(out.fixes.iter().any(|f| f.code == Code::DuplicateCreate));
+    }
+
+    #[test]
+    fn repair_synthesizes_unbound_endpoint() {
+        let src = "CREATE (a {name: \"A\"})-[:NEXT_TO]->(ghost)";
+        let out = repair(&parse_spanned(src).unwrap().script);
+        assert!(out.fixes.iter().any(|f| f.code == Code::UnboundRelVar));
+        let mut exec = Executor::new();
+        exec.run(&out.script, Mode::CreateOnly).unwrap();
+        let triples = exec.into_graph().decode_triples();
+        assert!(
+            triples
+                .iter()
+                .any(|t| t.s == "A" && t.p == "NEXT_TO" && t.o == "ghost"),
+            "synthesized name must surface in decoded triples: {triples:?}"
+        );
+    }
+
+    #[test]
+    fn repair_of_clean_script_is_identity() {
+        let src = "CREATE (a:X {name: \"A\"})\nCREATE (a)-[:R]->(b:Y {name: \"B\"})";
+        let script = parse_spanned(src).unwrap().script;
+        let out = repair(&script);
+        assert!(!out.changed());
+        assert_eq!(out.script, script);
+    }
+
+    #[test]
+    fn repaired_script_always_executes_in_create_only() {
+        // The paper's failure case verbatim: a MATCH-only script.
+        let out = repair(&parse_spanned("MATCH (n) RETURN n").unwrap().script);
+        let mut exec = Executor::new();
+        exec.run(&out.script, Mode::CreateOnly).unwrap();
+        assert_eq!(exec.graph().node_count(), 0);
+    }
+
+    #[test]
+    fn analyze_without_spans_uses_default_pos() {
+        let script = parse_spanned("MATCH (n) RETURN n").unwrap().script;
+        let diags = analyze(&script);
+        assert_eq!(diags[0].pos, Pos::default());
+        assert_eq!(diags[0].stmt, 0);
+    }
+}

@@ -126,7 +126,11 @@ impl fmt::Display for Statement {
                 write!(f, "MERGE ")?;
                 write_joined(f, patterns, ", ")
             }
-            Statement::Match { patterns, conditions, returns } => {
+            Statement::Match {
+                patterns,
+                conditions,
+                returns,
+            } => {
                 write!(f, "MATCH ")?;
                 write_joined(f, patterns, ", ")?;
                 if !conditions.is_empty() {
@@ -143,7 +147,11 @@ impl fmt::Display for Statement {
     }
 }
 
-fn write_joined<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T], sep: &str) -> fmt::Result {
+fn write_joined<T: fmt::Display>(
+    f: &mut fmt::Formatter<'_>,
+    items: &[T],
+    sep: &str,
+) -> fmt::Result {
     for (i, item) in items.iter().enumerate() {
         if i > 0 {
             write!(f, "{sep}")?;
@@ -240,7 +248,11 @@ impl fmt::Display for ReturnItem {
 /// Cypher.
 impl NodePattern {
     /// `(var:Label {name: "name"})`
-    pub fn named(var: impl Into<String>, label: impl Into<String>, name: impl Into<String>) -> Self {
+    pub fn named(
+        var: impl Into<String>,
+        label: impl Into<String>,
+        name: impl Into<String>,
+    ) -> Self {
         NodePattern {
             var: Some(var.into()),
             labels: vec![label.into()],
@@ -291,7 +303,10 @@ mod tests {
     fn full_create_display() {
         let stmt = Statement::Create(vec![PathPattern {
             start: NodePattern::named("andes", "MountainRange", "Andes"),
-            hops: vec![(RelPattern::out("COVERS"), NodePattern::named("peru", "Country", "Peru"))],
+            hops: vec![(
+                RelPattern::out("COVERS"),
+                NodePattern::named("peru", "Country", "Peru"),
+            )],
         }]);
         assert_eq!(
             stmt.to_string(),
@@ -307,18 +322,27 @@ mod tests {
                 hops: vec![],
             }],
             conditions: vec![],
-            returns: vec![ReturnItem { var: "x".into(), prop: Some("name".into()) }],
+            returns: vec![ReturnItem {
+                var: "x".into(),
+                prop: Some("name".into()),
+            }],
         };
         assert_eq!(stmt.to_string(), "MATCH (x) RETURN x.name");
 
         let cond = Statement::Match {
-            patterns: vec![PathPattern { start: NodePattern::var_ref("x"), hops: vec![] }],
+            patterns: vec![PathPattern {
+                start: NodePattern::var_ref("x"),
+                hops: vec![],
+            }],
             conditions: vec![Condition {
                 var: "x".into(),
                 prop: "area".into(),
                 value: Value::Int(82000),
             }],
-            returns: vec![ReturnItem { var: "x".into(), prop: None }],
+            returns: vec![ReturnItem {
+                var: "x".into(),
+                prop: None,
+            }],
         };
         assert_eq!(cond.to_string(), "MATCH (x) WHERE x.area = 82000 RETURN x");
 

@@ -20,27 +20,73 @@ pub fn decode_llm_output(raw: &str) -> Result<Vec<StrTriple>> {
     decode_script(&extract_cypher(raw))
 }
 
-/// Heuristically extract Cypher statements from raw LLM output:
-/// * contents of ```cypher fenced blocks if present, else
-/// * every line starting with `CREATE`/`MATCH`/`//` or continuing an
-///   open statement.
-pub fn extract_cypher(raw: &str) -> String {
-    // Fenced block path.
-    if let Some(start) = raw.find("```") {
-        let after = &raw[start + 3..];
-        let body_start = after.find('\n').map(|i| i + 1).unwrap_or(0);
-        let body = &after[body_start..];
-        if let Some(end) = body.find("```") {
-            return body[..end].trim().to_string();
+/// One complete fenced code block: its (lowercased) language tag and body.
+struct Fence<'a> {
+    lang: String,
+    body: &'a str,
+}
+
+/// Collect all *complete* fenced blocks in `raw`. Returns the blocks plus
+/// whether a fence was left unterminated at end of input.
+fn fenced_blocks(raw: &str) -> (Vec<Fence<'_>>, bool) {
+    let mut blocks = Vec::new();
+    let mut open: Option<(String, usize)> = None; // (lang, body byte start)
+    let mut offset = 0;
+    for line in raw.split_inclusive('\n') {
+        let line_start = offset;
+        offset += line.len();
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("```") {
+            match open.take() {
+                None => open = Some((rest.trim().to_ascii_lowercase(), offset)),
+                Some((lang, body_start)) => blocks.push(Fence {
+                    lang,
+                    body: &raw[body_start..line_start],
+                }),
+            }
         }
     }
-    // Line-filter path.
+    (blocks, open.is_some())
+}
+
+/// Whether a fence tag marks Cypher. An untagged fence is handled
+/// separately (used only when no tagged Cypher fence exists).
+fn is_cypher_tag(lang: &str) -> bool {
+    matches!(lang, "cypher" | "cql" | "neo4j")
+}
+
+/// Heuristically extract Cypher statements from raw LLM output:
+/// * the concatenated bodies of all ```cypher (or ```cql / ```neo4j)
+///   fenced blocks if any exist — a ```json block before the Cypher no
+///   longer wins, and multiple blocks are no longer silently dropped;
+/// * else the concatenated bodies of all *untagged* fenced blocks;
+/// * else (no usable complete fence, including an unterminated one)
+///   every line starting with `CREATE`/`MERGE`/`MATCH`/`//` or
+///   continuing an open statement.
+pub fn extract_cypher(raw: &str) -> String {
+    let (blocks, _unterminated) = fenced_blocks(raw);
+    let tagged: Vec<&Fence> = blocks.iter().filter(|b| is_cypher_tag(&b.lang)).collect();
+    let chosen: Vec<&Fence> = if !tagged.is_empty() {
+        tagged
+    } else {
+        blocks.iter().filter(|b| b.lang.is_empty()).collect()
+    };
+    if !chosen.is_empty() {
+        let joined: Vec<&str> = chosen.iter().map(|b| b.body.trim()).collect();
+        return joined.join("\n");
+    }
+    // Line-filter path (also the fallback for unterminated fences).
     let mut out = String::new();
     let mut open_parens: i64 = 0;
     for line in raw.lines() {
         let trimmed = line.trim_start();
-        let is_stmt = trimmed.to_ascii_uppercase().starts_with("CREATE")
-            || trimmed.to_ascii_uppercase().starts_with("MATCH")
+        if trimmed.starts_with("```") {
+            continue;
+        }
+        let upper = trimmed.to_ascii_uppercase();
+        let is_stmt = upper.starts_with("CREATE")
+            || upper.starts_with("MERGE")
+            || upper.starts_with("MATCH")
             || trimmed.starts_with("//");
         if is_stmt || open_parens > 0 {
             out.push_str(line);
@@ -64,17 +110,58 @@ mod tests {
 
     #[test]
     fn decodes_plain_script() {
-        let triples = decode_script(
-            "CREATE (a:Lake {name: \"Lake Superior\", area: 82000})",
-        )
-        .unwrap();
-        assert_eq!(triples, vec![StrTriple::new("Lake Superior", "area", "82000")]);
+        let triples =
+            decode_script("CREATE (a:Lake {name: \"Lake Superior\", area: 82000})").unwrap();
+        assert_eq!(
+            triples,
+            vec![StrTriple::new("Lake Superior", "area", "82000")]
+        );
     }
 
     #[test]
     fn extracts_fenced_block() {
         let raw = "Here's a knowledge graph:\n```cypher\nCREATE (a {name: \"X\"})\n```\nDone.";
         assert_eq!(extract_cypher(raw), "CREATE (a {name: \"X\"})");
+    }
+
+    #[test]
+    fn cypher_fence_preferred_over_earlier_foreign_fence() {
+        let raw =
+            "Plan:\n```json\n{\"steps\": 2}\n```\nGraph:\n```cypher\nCREATE (a {name: \"X\"})\n```";
+        assert_eq!(extract_cypher(raw), "CREATE (a {name: \"X\"})");
+    }
+
+    #[test]
+    fn concatenates_multiple_cypher_fences() {
+        let raw = "```cypher\nCREATE (a {name: \"A\"})\n```\nand then\n```cypher\nCREATE (a)-[:R]->(b {name: \"B\"})\n```";
+        assert_eq!(
+            extract_cypher(raw),
+            "CREATE (a {name: \"A\"})\nCREATE (a)-[:R]->(b {name: \"B\"})"
+        );
+    }
+
+    #[test]
+    fn untagged_fence_used_when_no_cypher_tag() {
+        let raw = "```\nCREATE (a {name: \"X\"})\n```";
+        assert_eq!(extract_cypher(raw), "CREATE (a {name: \"X\"})");
+    }
+
+    #[test]
+    fn foreign_fences_fall_back_to_line_filter() {
+        let raw = "```python\nprint('hi')\n```\nCREATE (a {name: \"X\"})";
+        assert_eq!(extract_cypher(raw), "CREATE (a {name: \"X\"})");
+    }
+
+    #[test]
+    fn unterminated_fence_falls_back_to_line_filter() {
+        let raw = "```cypher\nCREATE (a {name: \"X\"})";
+        assert_eq!(extract_cypher(raw), "CREATE (a {name: \"X\"})");
+    }
+
+    #[test]
+    fn line_filter_keeps_merge_statements() {
+        let raw = "prose\nMERGE (a:Lake {name: \"Erie\"})\nmore prose";
+        assert_eq!(extract_cypher(raw), "MERGE (a:Lake {name: \"Erie\"})");
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Structured diagnostics for the static analyzer (`cylint`).
+//!
+//! Every finding carries a stable machine-readable code (`CY001`–`CY008`),
+//! a severity, and a source position, so the error-analysis harness can
+//! aggregate failure modes across a whole benchmark run the same way the
+//! paper's §4.6.1 table does — but with finer grain than "the script
+//! failed".
+
+use crate::error::Pos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable diagnostic codes. The numeric ids (`CY001`…) never change
+/// meaning; new checks append new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Code {
+    /// CY001: a `MATCH` statement in a construction-only script — the
+    /// paper's dominant LLM failure mode.
+    SpuriousMatch,
+    /// CY002: a relationship endpoint variable that is never declared
+    /// with labels or properties anywhere in the script.
+    UnboundRelVar,
+    /// CY003: a variable re-declared with a label conflicting with its
+    /// earlier declaration.
+    ConflictingLabel,
+    /// CY004: a relationship with no type (`-[]->` or `-[r]->`).
+    MissingRelType,
+    /// CY005: a node declared but never connected to anything.
+    DanglingNode,
+    /// CY006: a relationship from a node to itself.
+    SelfLoop,
+    /// CY007: the same path pattern created twice.
+    DuplicateCreate,
+    /// CY008: the same property key given values of different types
+    /// across declarations of one variable.
+    SuspiciousPropType,
+}
+
+impl Code {
+    /// All codes, in numeric order (handy for table headers).
+    pub const ALL: [Code; 8] = [
+        Code::SpuriousMatch,
+        Code::UnboundRelVar,
+        Code::ConflictingLabel,
+        Code::MissingRelType,
+        Code::DanglingNode,
+        Code::SelfLoop,
+        Code::DuplicateCreate,
+        Code::SuspiciousPropType,
+    ];
+
+    /// The stable `CY00x` identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Code::SpuriousMatch => "CY001",
+            Code::UnboundRelVar => "CY002",
+            Code::ConflictingLabel => "CY003",
+            Code::MissingRelType => "CY004",
+            Code::DanglingNode => "CY005",
+            Code::SelfLoop => "CY006",
+            Code::DuplicateCreate => "CY007",
+            Code::SuspiciousPropType => "CY008",
+        }
+    }
+
+    /// Kebab-case name, aligned with [`crate::CypherError::category`]
+    /// where the two taxonomies overlap (`spurious-match`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Code::SpuriousMatch => "spurious-match",
+            Code::UnboundRelVar => "unbound-relationship-variable",
+            Code::ConflictingLabel => "variable-redefined-with-conflicting-label",
+            Code::MissingRelType => "empty-or-missing-relationship-type",
+            Code::DanglingNode => "dangling-node-never-connected",
+            Code::SelfLoop => "self-loop",
+            Code::DuplicateCreate => "duplicate-create",
+            Code::SuspiciousPropType => "suspicious-property-type",
+        }
+    }
+
+    /// The severity this code always carries. Only CY001 makes a script
+    /// unexecutable in construction mode; everything else is advisory.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::SpuriousMatch => Severity::Error,
+            Code::UnboundRelVar | Code::ConflictingLabel | Code::MissingRelType => Severity::Warn,
+            Code::DanglingNode
+            | Code::SelfLoop
+            | Code::DuplicateCreate
+            | Code::SuspiciousPropType => Severity::Lint,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id(), self.slug())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Style or redundancy; execution is unaffected.
+    Lint,
+    /// Likely not what the model meant; execution still succeeds.
+    Warn,
+    /// The script cannot execute in construction mode.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Lint => write!(f, "lint"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Source position of the offending statement (`col == 0` when the
+    /// script was analyzed without source spans).
+    pub pos: Pos,
+    /// Index of the offending statement in the script.
+    pub stmt: usize,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic; severity is derived from the code.
+    pub fn new(code: Code, pos: Pos, stmt: usize, msg: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            pos,
+            stmt,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} [{}] at {}: {}",
+            self.code.id(),
+            self.code.slug(),
+            self.severity,
+            self.pos,
+            self.msg
+        )
+    }
+}
+
+/// One fix the [`crate::analyze::repair`] pass applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppliedFix {
+    /// The diagnostic code the fix addresses.
+    pub code: Code,
+    /// Index of the statement the fix targeted, in the *original* script.
+    pub stmt: usize,
+    /// What was done.
+    pub action: String,
+}
+
+impl fmt::Display for AppliedFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} stmt {}: {}", self.code.id(), self.stmt, self.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let ids: Vec<&str> = Code::ALL.iter().map(|c| c.id()).collect();
+        assert_eq!(
+            ids,
+            ["CY001", "CY002", "CY003", "CY004", "CY005", "CY006", "CY007", "CY008"]
+        );
+        let slugs: std::collections::HashSet<&str> = Code::ALL.iter().map(|c| c.slug()).collect();
+        assert_eq!(slugs.len(), Code::ALL.len());
+    }
+
+    #[test]
+    fn cy001_slug_matches_error_category() {
+        use crate::error::CypherError;
+        let e = CypherError::SpuriousMatch {
+            pos: Pos::default(),
+        };
+        assert_eq!(Code::SpuriousMatch.slug(), e.category());
+    }
+
+    #[test]
+    fn severity_ordering_puts_error_on_top() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Lint);
+    }
+
+    #[test]
+    fn diagnostic_display_mentions_code_and_position() {
+        let d = Diagnostic::new(Code::SelfLoop, Pos::new(12, 2, 8), 1, "(a)-[:R]->(a)");
+        let s = d.to_string();
+        assert!(s.contains("CY006"), "{s}");
+        assert!(s.contains("self-loop"), "{s}");
+        assert!(s.contains("line 2:8"), "{s}");
+    }
+}

@@ -8,18 +8,32 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Position of an error in the source text (byte offset + line).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Position of an error in the source text (byte offset + line + column).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Pos {
     /// Byte offset into the script.
     pub offset: usize,
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column (in characters, not bytes). 0 when unknown, e.g.
+    /// for positions attached to in-memory ASTs that never had source.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Build a position.
+    pub const fn new(offset: usize, line: u32, col: u32) -> Self {
+        Pos { offset, line, col }
+    }
 }
 
 impl fmt::Display for Pos {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}", self.line)
+        if self.col == 0 {
+            write!(f, "line {}", self.line)
+        } else {
+            write!(f, "line {}:{}", self.line, self.col)
+        }
     }
 }
 
@@ -78,11 +92,21 @@ impl fmt::Display for CypherError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CypherError::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
-            CypherError::Parse { pos, expected, found } => {
-                write!(f, "parse error at {pos}: expected {expected}, found {found}")
+            CypherError::Parse {
+                pos,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "parse error at {pos}: expected {expected}, found {found}"
+                )
             }
             CypherError::SpuriousMatch { pos } => {
-                write!(f, "spurious MATCH at {pos}: pseudo-graph scripts must only CREATE")
+                write!(
+                    f,
+                    "spurious MATCH at {pos}: pseudo-graph scripts must only CREATE"
+                )
             }
             CypherError::Exec { msg } => write!(f, "execution error: {msg}"),
         }
@@ -100,20 +124,37 @@ mod tests {
 
     #[test]
     fn categories() {
-        let p = Pos { offset: 0, line: 1 };
-        assert_eq!(CypherError::SpuriousMatch { pos: p }.category(), "spurious-match");
+        let p = Pos::new(0, 1, 1);
+        assert_eq!(
+            CypherError::SpuriousMatch { pos: p }.category(),
+            "spurious-match"
+        );
         assert!(CypherError::SpuriousMatch { pos: p }.is_spurious_match());
         assert!(!CypherError::Exec { msg: "x".into() }.is_spurious_match());
     }
 
     #[test]
-    fn display_contains_line() {
+    fn display_contains_line_and_col() {
         let e = CypherError::Parse {
-            pos: Pos { offset: 10, line: 3 },
+            pos: Pos::new(10, 3, 5),
             expected: "')'".into(),
             found: "','".into(),
         };
         let s = e.to_string();
-        assert!(s.contains("line 3") && s.contains("')'"));
+        assert!(s.contains("line 3:5") && s.contains("')'"));
+    }
+
+    #[test]
+    fn display_omits_unknown_col() {
+        assert_eq!(
+            Pos {
+                offset: 7,
+                line: 2,
+                col: 0
+            }
+            .to_string(),
+            "line 2"
+        );
+        assert_eq!(Pos::default().to_string(), "line 0");
     }
 }

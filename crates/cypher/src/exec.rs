@@ -62,13 +62,18 @@ impl Executor {
             match stmt {
                 Statement::Create(patterns) => self.run_create(patterns, false)?,
                 Statement::Merge(patterns) => self.run_create(patterns, true)?,
-                Statement::Match { patterns, conditions, returns } => {
+                Statement::Match {
+                    patterns,
+                    conditions,
+                    returns,
+                } => {
                     if mode == Mode::CreateOnly {
                         return Err(CypherError::SpuriousMatch {
-                            pos: crate::error::Pos { offset: 0, line: 0 },
+                            pos: crate::error::Pos::default(),
                         });
                     }
-                    out.rows.extend(self.run_match(patterns, conditions, returns)?);
+                    out.rows
+                        .extend(self.run_match(patterns, conditions, returns)?);
                 }
             }
         }
@@ -260,7 +265,16 @@ impl Executor {
             }
             trail.push((node_pat.var.clone(), to));
             self.match_hops(
-                path, hop + 1, to, env, trail, patterns, idx, conditions, returns, rows,
+                path,
+                hop + 1,
+                to,
+                env,
+                trail,
+                patterns,
+                idx,
+                conditions,
+                returns,
+                rows,
             )?;
             trail.pop();
         }
@@ -362,7 +376,11 @@ mod tests {
              CREATE (a)-[:R]->(b:Y {name: \"B\"})\n\
              CREATE (a)-[:R]->(c:Z {name: \"C\"})",
         );
-        assert_eq!(g.node_count(), 3, "variable a must be reused, not re-created");
+        assert_eq!(
+            g.node_count(),
+            3,
+            "variable a must be reused, not re-created"
+        );
         assert_eq!(g.rel_count(), 2);
     }
 
@@ -427,11 +445,7 @@ mod tests {
         .unwrap();
         let mut exec = Executor::new();
         let out = exec.run(&script, Mode::Full).unwrap();
-        let mut names: Vec<String> = out
-            .rows
-            .iter()
-            .map(|r| r[0].as_triple_text())
-            .collect();
+        let mut names: Vec<String> = out.rows.iter().map(|r| r[0].as_triple_text()).collect();
         names.sort();
         assert_eq!(names, ["Chile", "Peru"]);
     }

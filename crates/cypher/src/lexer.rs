@@ -106,10 +106,21 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
     let mut toks = Vec::new();
     let mut i = 0;
     let mut line: u32 = 1;
+    // Byte offset where the current line begins; columns are counted in
+    // chars from here so multibyte identifiers report sane positions.
+    let mut line_start: usize = 0;
 
+    macro_rules! pos_at {
+        ($off:expr) => {
+            Pos::new($off, line, src[line_start..$off].chars().count() as u32 + 1)
+        };
+    }
     macro_rules! push {
         ($tok:expr, $off:expr) => {
-            toks.push(Spanned { tok: $tok, pos: Pos { offset: $off, line } })
+            toks.push(Spanned {
+                tok: $tok,
+                pos: pos_at!($off),
+            })
         };
     }
 
@@ -122,6 +133,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             c if c.is_whitespace() => i += c.len_utf8(),
             '/' if bytes.get(i + 1) == Some(&b'/') => {
@@ -175,10 +187,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                     i += 2;
                 } else if bytes[i + 1..].first().is_some_and(|b| b.is_ascii_digit()) {
                     // negative number literal
-                    let (tok, len) = lex_number(&src[i..], true).map_err(|msg| CypherError::Lex {
-                        pos: Pos { offset: start, line },
-                        msg,
-                    })?;
+                    let (tok, len) =
+                        lex_number(&src[i..], true).map_err(|msg| CypherError::Lex {
+                            pos: pos_at!(start),
+                            msg,
+                        })?;
                     push!(tok, start);
                     i += len;
                 } else {
@@ -192,12 +205,16 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                     i += 2;
                 } else {
                     return Err(CypherError::Lex {
-                        pos: Pos { offset: start, line },
+                        pos: pos_at!(start),
                         msg: "unexpected '<'".into(),
                     });
                 }
             }
             '"' | '\'' => {
+                // Capture the opening quote's position before scanning:
+                // a multi-line literal must report where it starts, not
+                // where it ends (or fails).
+                let pos = pos_at!(start);
                 let quote = c;
                 let mut s = String::new();
                 let mut j = i + 1;
@@ -220,6 +237,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                     } else {
                         if ch == '\n' {
                             line += 1;
+                            line_start = j + 1;
                         }
                         s.push(ch);
                         j += ch.len_utf8();
@@ -227,16 +245,19 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 }
                 if !closed {
                     return Err(CypherError::Lex {
-                        pos: Pos { offset: start, line },
+                        pos,
                         msg: "unterminated string literal".into(),
                     });
                 }
-                push!(Tok::Str(s), start);
+                toks.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos,
+                });
                 i = j;
             }
             c if c.is_ascii_digit() => {
                 let (tok, len) = lex_number(&src[i..], false).map_err(|msg| CypherError::Lex {
-                    pos: Pos { offset: start, line },
+                    pos: pos_at!(start),
                     msg,
                 })?;
                 push!(tok, start);
@@ -284,7 +305,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
             other => {
                 let _ = other.len_utf8();
                 return Err(CypherError::Lex {
-                    pos: Pos { offset: start, line },
+                    pos: pos_at!(start),
                     msg: format!("unexpected character {other:?}"),
                 });
             }
@@ -292,7 +313,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
     }
     toks.push(Spanned {
         tok: Tok::Eof,
-        pos: Pos { offset: src.len(), line },
+        pos: pos_at!(src.len()),
     });
     Ok(toks)
 }
@@ -367,6 +388,34 @@ mod tests {
         let spanned = lex("// Create Great Lakes nodes\nCREATE (x)").unwrap();
         assert_eq!(spanned[0].tok, Tok::Create);
         assert_eq!(spanned[0].pos.line, 2);
+        assert_eq!(spanned[0].pos.col, 1);
+    }
+
+    #[test]
+    fn tracks_columns() {
+        let spanned = lex("CREATE (a)\nCREATE (b)-[:R]->(c)").unwrap();
+        let create2 = &spanned[4];
+        assert_eq!(create2.tok, Tok::Create);
+        assert_eq!((create2.pos.line, create2.pos.col), (2, 1));
+        let lparen2 = &spanned[5];
+        assert_eq!(lparen2.tok, Tok::LParen);
+        assert_eq!((lparen2.pos.line, lparen2.pos.col), (2, 8));
+    }
+
+    #[test]
+    fn multiline_string_reports_start_and_resumes_columns() {
+        let spanned = lex("CREATE (a {name: \"two\nlines\", area: 5})").unwrap();
+        let s = spanned
+            .iter()
+            .find(|t| matches!(t.tok, Tok::Str(_)))
+            .unwrap();
+        assert_eq!((s.pos.line, s.pos.col), (1, 18));
+        // `area` follows the string on source line 2, after `lines", `.
+        let area = spanned
+            .iter()
+            .find(|t| t.tok == Tok::Ident("area".into()))
+            .unwrap();
+        assert_eq!((area.pos.line, area.pos.col), (2, 9));
     }
 
     #[test]

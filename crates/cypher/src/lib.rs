@@ -13,20 +13,27 @@
 //!   cross-statement variable bindings, and a backtracking matcher;
 //! * [`decode`] — the pseudo-graph decode step (graph → `<s> <p> <o>`
 //!   triples), including tolerant extraction of Cypher from raw LLM prose;
+//! * [`analyze`] / [`diag`] — `cylint`, a static semantic analyzer with
+//!   stable `CY00x` diagnostic codes and an auto-[`repair`] pass that
+//!   salvages scripts the paper's pipeline would discard;
 //! * [`error`] — taxonomy matching the paper's §4.6.1 error analysis
 //!   (the spurious-`MATCH` failure mode is a first-class variant).
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod ast;
 pub mod decode;
+pub mod diag;
 pub mod error;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
 
+pub use analyze::{analyze, analyze_spanned, lint, repair, RepairOutcome};
 pub use ast::{Direction, NodePattern, PathPattern, RelPattern, ReturnItem, Script, Statement};
 pub use decode::{decode_llm_output, decode_script, extract_cypher};
+pub use diag::{AppliedFix, Code, Diagnostic, Severity};
 pub use error::{CypherError, Pos};
 pub use exec::{build_graph, ExecOutput, Executor, Mode};
-pub use parser::parse;
+pub use parser::{parse, parse_spanned, SpannedScript};

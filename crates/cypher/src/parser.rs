@@ -7,6 +7,22 @@ use kgstore::Value;
 
 /// Parse a full script.
 pub fn parse(src: &str) -> Result<Script> {
+    Ok(parse_spanned(src)?.script)
+}
+
+/// A parsed script plus the source position of each top-level statement
+/// (`spans[i]` is where `script.statements[i]` begins). The analyzer uses
+/// these to anchor diagnostics to real source locations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedScript {
+    /// The parsed script.
+    pub script: Script,
+    /// One position per statement, same order as `script.statements`.
+    pub spans: Vec<Pos>,
+}
+
+/// Parse a full script, keeping per-statement source positions.
+pub fn parse_spanned(src: &str) -> Result<SpannedScript> {
     let toks = lex(src)?;
     Parser { toks, i: 0 }.script()
 }
@@ -60,21 +76,26 @@ impl Parser {
         }
     }
 
-    fn script(&mut self) -> Result<Script> {
+    fn script(&mut self) -> Result<SpannedScript> {
         let mut statements = Vec::new();
+        let mut spans = Vec::new();
         loop {
+            let stmt_pos = self.pos();
             match self.peek() {
                 Tok::Eof => break,
                 Tok::Create => {
                     self.bump();
+                    spans.push(stmt_pos);
                     statements.push(Statement::Create(self.pattern_list()?));
                 }
                 Tok::Merge => {
                     self.bump();
+                    spans.push(stmt_pos);
                     statements.push(Statement::Merge(self.pattern_list()?));
                 }
                 Tok::Match => {
                     self.bump();
+                    spans.push(stmt_pos);
                     let patterns = self.pattern_list()?;
                     let mut conditions = Vec::new();
                     if *self.peek() == Tok::Where {
@@ -112,12 +133,19 @@ impl Parser {
                             }
                         }
                     }
-                    statements.push(Statement::Match { patterns, conditions, returns });
+                    statements.push(Statement::Match {
+                        patterns,
+                        conditions,
+                        returns,
+                    });
                 }
                 _ => return Err(self.unexpected("CREATE, MERGE, or MATCH")),
             }
         }
-        Ok(Script { statements })
+        Ok(SpannedScript {
+            script: Script { statements },
+            spans,
+        })
     }
 
     /// One or more comma-separated path patterns. A comma is only a
@@ -333,7 +361,11 @@ mod tests {
         let src = "MATCH (x:Lake) RETURN x.name, x";
         let script = parse(src).unwrap();
         match &script.statements[0] {
-            Statement::Match { patterns, conditions: _, returns } => {
+            Statement::Match {
+                patterns,
+                conditions: _,
+                returns,
+            } => {
                 assert_eq!(patterns.len(), 1);
                 assert_eq!(returns.len(), 2);
                 assert_eq!(returns[0].prop.as_deref(), Some("name"));
@@ -351,7 +383,8 @@ mod tests {
 
     #[test]
     fn parses_where_conditions() {
-        let script = parse("MATCH (x:Lake) WHERE x.area = 82000 AND x.name = \"Erie\" RETURN x").unwrap();
+        let script =
+            parse("MATCH (x:Lake) WHERE x.area = 82000 AND x.name = \"Erie\" RETURN x").unwrap();
         match &script.statements[0] {
             Statement::Match { conditions, .. } => {
                 assert_eq!(conditions.len(), 2);
@@ -360,6 +393,16 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn spans_track_statement_starts() {
+        let src = "// comment\nCREATE (a)\nMATCH (x) RETURN x\nMERGE (b:Y)";
+        let spanned = parse_spanned(src).unwrap();
+        assert_eq!(spanned.spans.len(), spanned.script.statements.len());
+        let lines: Vec<u32> = spanned.spans.iter().map(|p| p.line).collect();
+        assert_eq!(lines, [2, 3, 4]);
+        assert!(spanned.spans.iter().all(|p| p.col == 1));
     }
 
     #[test]

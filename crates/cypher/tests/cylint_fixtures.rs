@@ -1,0 +1,133 @@
+//! End-to-end `cylint` fixtures: hand-written raw LLM outputs, one per
+//! diagnostic failure mode, run through the same extract → lint →
+//! repair → execute path the pipeline uses.
+
+use cypher::{extract_cypher, lint, parse_spanned, repair, Code, Executor, Mode, Severity};
+
+/// Extract, lint, and return the diagnostic codes for a raw LLM output.
+fn codes_of(raw: &str) -> Vec<Code> {
+    lint(&extract_cypher(raw))
+        .unwrap()
+        .into_iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+#[test]
+fn cy001_fixture_spurious_match_in_prose() {
+    let raw = "<step 1> {Knowledge Planning}:\nI need to look this up in the graph.\n\
+               <step 2> {Knowledge Graph}:\nMATCH (n) RETURN n // Which lakes are in the US?\n";
+    let diags = lint(&extract_cypher(raw)).unwrap();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::SpuriousMatch);
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert!(
+        diags[0].pos.line >= 1 && diags[0].pos.col >= 1,
+        "span must be real: {:?}",
+        diags[0].pos
+    );
+}
+
+#[test]
+fn cy002_fixture_unbound_endpoint_in_fenced_output() {
+    let raw = "Here is the knowledge graph:\n```cypher\n\
+               CREATE (superior:Lake {name: \"Lake Superior\"})\n\
+               CREATE (superior)-[:LOCATED_IN]->(usa)\n```";
+    assert!(codes_of(raw).contains(&Code::UnboundRelVar));
+}
+
+#[test]
+fn cy003_fixture_conflicting_relabel() {
+    let raw = "CREATE (erie:Lake {name: \"Erie\"})-[:IN]->(us:Country {name: \"USA\"})\n\
+               CREATE (erie:City)-[:IN]->(us)";
+    assert!(codes_of(raw).contains(&Code::ConflictingLabel));
+}
+
+#[test]
+fn cy004_fixture_untyped_relationship() {
+    let raw = "CREATE (a:Lake {name: \"Erie\"})-[]->(b:Country {name: \"USA\"})";
+    assert!(codes_of(raw).contains(&Code::MissingRelType));
+}
+
+#[test]
+fn cy005_fixture_dangling_node() {
+    let raw = "CREATE (a:Lake {name: \"Erie\"})-[:IN]->(b:Country {name: \"USA\"})\n\
+               CREATE (orphan:Lake {name: \"Tahoe\"})";
+    assert!(codes_of(raw).contains(&Code::DanglingNode));
+}
+
+#[test]
+fn cy006_fixture_self_loop() {
+    let raw = "CREATE (erie:Lake {name: \"Erie\"})-[:NEXT_TO]->(erie)";
+    assert!(codes_of(raw).contains(&Code::SelfLoop));
+}
+
+#[test]
+fn cy007_fixture_duplicate_create() {
+    let raw = "CREATE (a:Lake {name: \"Erie\"})-[:IN]->(b:Country {name: \"USA\"})\n\
+               CREATE (a:Lake {name: \"Erie\"})-[:IN]->(b:Country {name: \"USA\"})";
+    assert!(codes_of(raw).contains(&Code::DuplicateCreate));
+}
+
+#[test]
+fn cy008_fixture_property_type_flip() {
+    let raw = "CREATE (a:Lake {name: \"Erie\", area: 25700})-[:IN]->(b:Country {name: \"USA\"})\n\
+               CREATE (a {area: \"large\"})";
+    assert!(codes_of(raw).contains(&Code::SuspiciousPropType));
+}
+
+/// The headline scenario: a mixed MATCH + CREATE output the paper's
+/// pipeline would discard whole is salvaged into usable triples.
+#[test]
+fn salvage_fixture_mixed_match_and_create() {
+    let raw = "<step 2> {Knowledge Graph}:\n\
+               MATCH (n) RETURN n // checking first\n\
+               CREATE (andes:MountainRange {name: \"Andes\"})\n\
+               CREATE (andes)-[:COVERS]->(peru:Country {name: \"Peru\"})\n";
+    let src = extract_cypher(raw);
+    let spanned = parse_spanned(&src).unwrap();
+
+    // Raw execution fails exactly like the paper reports…
+    let mut exec = Executor::new();
+    assert!(exec
+        .run(&spanned.script, Mode::CreateOnly)
+        .unwrap_err()
+        .is_spurious_match());
+
+    // …repair drops the MATCH and keeps the frame.
+    let outcome = repair(&spanned.script);
+    assert_eq!(outcome.fixes.len(), 1);
+    assert_eq!(outcome.fixes[0].code, Code::SpuriousMatch);
+    let mut exec = Executor::new();
+    exec.run(&outcome.script, Mode::CreateOnly).unwrap();
+    let triples = exec.into_graph().decode_triples();
+    assert!(triples
+        .iter()
+        .any(|t| t.s == "Andes" && t.p == "COVERS" && t.o == "Peru"));
+}
+
+/// Repair composes: one busted script with several failure modes at once
+/// still comes out executable, with one fix logged per repairable issue.
+#[test]
+fn kitchen_sink_fixture() {
+    let raw = "MATCH (x:Lake) RETURN x\n\
+               CREATE (erie:Lake {name: \"Erie\"})-[:IN]->(us)\n\
+               CREATE (erie:Lake {name: \"Erie\"})-[:IN]->(us)\n";
+    let src = extract_cypher(raw);
+    let spanned = parse_spanned(&src).unwrap();
+    let diags = lint(&src).unwrap();
+    assert!(diags.iter().any(|d| d.code == Code::SpuriousMatch));
+    assert!(diags.iter().any(|d| d.code == Code::UnboundRelVar));
+    assert!(diags.iter().any(|d| d.code == Code::DuplicateCreate));
+
+    let outcome = repair(&spanned.script);
+    let fixed_codes: Vec<Code> = outcome.fixes.iter().map(|f| f.code).collect();
+    assert!(fixed_codes.contains(&Code::SpuriousMatch));
+    assert!(fixed_codes.contains(&Code::DuplicateCreate));
+    assert!(fixed_codes.contains(&Code::UnboundRelVar));
+
+    let mut exec = Executor::new();
+    exec.run(&outcome.script, Mode::CreateOnly).unwrap();
+    let g = exec.into_graph();
+    assert_eq!(g.rel_count(), 1, "duplicate edges removed: {:?}", g.rels());
+}

@@ -1,8 +1,10 @@
 //! Property-based tests of the Cypher engine: the pretty-printer and
-//! parser form a fixpoint, and execution is total on printed scripts.
+//! parser form a fixpoint, execution is total on printed scripts, the
+//! analyzer never panics, and repaired scripts always execute.
 
 use cypher::{
-    parse, Direction, Executor, Mode, NodePattern, PathPattern, RelPattern, Script, Statement,
+    parse, Direction, Executor, Mode, NodePattern, PathPattern, RelPattern, ReturnItem, Script,
+    Statement,
 };
 use kgstore::Value;
 use proptest::prelude::*;
@@ -59,6 +61,35 @@ fn create_script() -> impl Strategy<Value = Script> {
     .prop_map(|statements| Script { statements })
 }
 
+fn match_statement() -> impl Strategy<Value = Statement> {
+    (
+        proptest::collection::vec(path_pattern(), 1..3),
+        proptest::collection::vec(ident(), 0..3),
+    )
+        .prop_map(|(patterns, ret_vars)| Statement::Match {
+            patterns,
+            conditions: vec![],
+            returns: ret_vars
+                .into_iter()
+                .map(|var| ReturnItem { var, prop: None })
+                .collect(),
+        })
+}
+
+/// Scripts mixing construction statements with spurious `MATCH`es — the
+/// shape of real (mis)generated LLM output the analyzer has to survive.
+fn mixed_script() -> impl Strategy<Value = Script> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::collection::vec(path_pattern(), 1..3).prop_map(Statement::Create),
+            proptest::collection::vec(path_pattern(), 1..3).prop_map(Statement::Merge),
+            match_statement(),
+        ],
+        1..5,
+    )
+    .prop_map(|statements| Script { statements })
+}
+
 proptest! {
     /// print → parse is the identity on ASTs.
     #[test]
@@ -106,5 +137,54 @@ proptest! {
         let mut exec = Executor::new();
         let err = exec.run(&parsed, Mode::CreateOnly).unwrap_err();
         prop_assert!(err.is_spurious_match());
+    }
+
+    /// The analyzer never panics on a parser-accepted script, with or
+    /// without spans, and every diagnostic carries a valid stmt index.
+    #[test]
+    fn analyze_never_panics(script in mixed_script()) {
+        for d in cypher::analyze(&script) {
+            prop_assert!(d.stmt < script.statements.len());
+            prop_assert_eq!(d.severity, d.code.severity());
+        }
+        let printed = script.to_string();
+        if let Ok(spanned) = cypher::parse_spanned(&printed) {
+            let _ = cypher::analyze_spanned(&spanned.script, &spanned.spans);
+        }
+    }
+
+    /// Whatever repair() returns executes without CypherError in
+    /// construction mode — no MATCH survives the pass.
+    #[test]
+    fn repaired_scripts_always_execute(script in mixed_script()) {
+        let outcome = cypher::repair(&script);
+        prop_assert!(
+            !outcome
+                .script
+                .statements
+                .iter()
+                .any(|s| matches!(s, Statement::Match { .. })),
+            "repair must drop every MATCH"
+        );
+        let mut exec = Executor::new();
+        prop_assert!(exec.run(&outcome.script, Mode::CreateOnly).is_ok());
+        let _ = exec.into_graph().decode_triples();
+    }
+
+    /// Repair only ever shrinks a pure-CREATE script, and leaves the
+    /// statement count alone unless it actually removed duplicates.
+    #[test]
+    fn repair_preserves_clean_construction(script in create_script()) {
+        let outcome = cypher::repair(&script);
+        let dup_fixes = outcome
+            .fixes
+            .iter()
+            .filter(|f| f.code == cypher::Code::DuplicateCreate)
+            .count();
+        if dup_fixes == 0 {
+            prop_assert_eq!(outcome.script.statements.len(), script.statements.len());
+        } else {
+            prop_assert!(outcome.script.statements.len() <= script.statements.len());
+        }
     }
 }

@@ -35,7 +35,13 @@ pub fn summarize(scores: &[f64]) -> Summary {
         min = min.min(s);
         max = max.max(s);
     }
-    Summary { n, mean, std_dev: var.sqrt(), min, max }
+    Summary {
+        n,
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+    }
 }
 
 /// Standard error of the mean.

@@ -109,6 +109,9 @@ mod tests {
 
     #[test]
     fn stage_names() {
-        assert_eq!(ErrorStage::PseudoGraphGeneration.name(), "pseudo-graph generation");
+        assert_eq!(
+            ErrorStage::PseudoGraphGeneration.name(),
+            "pseudo-graph generation"
+        );
     }
 }

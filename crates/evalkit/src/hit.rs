@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn alias_hit() {
-        assert!(is_hit("He works for TS now", &acc(&["Tekna Systems", "TS"])));
+        assert!(is_hit(
+            "He works for TS now",
+            &acc(&["Tekna Systems", "TS"])
+        ));
     }
 
     #[test]

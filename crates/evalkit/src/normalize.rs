@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn phrase_containment() {
-        assert!(contains_phrase("I believe it is Shanghai, China.", "Shanghai"));
+        assert!(contains_phrase(
+            "I believe it is Shanghai, China.",
+            "Shanghai"
+        ));
         assert!(contains_phrase("the Meridian Prize", "Meridian Prize"));
         assert!(!contains_phrase("Port Marina", "Port Mar"));
         assert!(!contains_phrase("", "x"));

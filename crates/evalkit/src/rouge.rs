@@ -55,7 +55,11 @@ pub fn rouge_l(candidate: &str, reference: &str) -> Prf {
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    Prf { precision, recall, f1 }
+    Prf {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Multi-reference ROUGE-L: the best F1 over all references (standard
@@ -145,7 +149,10 @@ mod tests {
 
     #[test]
     fn multi_reference_takes_best() {
-        let refs = vec!["completely different words".to_string(), "Norland Velia".to_string()];
+        let refs = vec![
+            "completely different words".to_string(),
+            "Norland Velia".to_string(),
+        ];
         let p = rouge_l_multi("Norland Velia", &refs);
         assert!((p.f1 - 1.0).abs() < 1e-12);
         assert_eq!(rouge_l_multi("x", &[]).f1, 0.0);
@@ -161,7 +168,11 @@ mod tests {
     #[test]
     fn accumulator_mean() {
         let mut acc = RougeAccumulator::default();
-        acc.record(Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+        acc.record(Prf {
+            precision: 1.0,
+            recall: 1.0,
+            f1: 1.0,
+        });
         acc.record(Prf::default());
         assert!((acc.percent() - 50.0).abs() < 1e-12);
     }

@@ -97,12 +97,10 @@ impl Table {
         for (label, cells) in &self.rows {
             out.push('|');
             let _ = write!(out, " {label:<w$} |", w = widths[0]);
-            for (w, cell) in widths[1..ncols].iter().zip(
-                cells
-                    .iter()
-                    .map(Some)
-                    .chain(std::iter::repeat(None)),
-            ) {
+            for (w, cell) in widths[1..ncols]
+                .iter()
+                .zip(cells.iter().map(Some).chain(std::iter::repeat(None)))
+            {
                 let text = cell.map_or_else(String::new, |c| c.render());
                 let _ = write!(out, " {text:<w$} |", w = w);
             }
@@ -121,7 +119,16 @@ mod tests {
     fn renders_aligned_table() {
         let mut t = Table::new("Main results", &["Method", "SimpleQuestions", "QALD-10"]);
         t.row("IO", vec![Cell::Value(20.2), Cell::Value(38.7)]);
-        t.row("Ours", vec![Cell::PaperVsMeasured { paper: 34.3, measured: 33.9 }, Cell::Absent]);
+        t.row(
+            "Ours",
+            vec![
+                Cell::PaperVsMeasured {
+                    paper: 34.3,
+                    measured: 33.9,
+                },
+                Cell::Absent,
+            ],
+        );
         let s = t.render();
         assert!(s.contains("Main results"));
         assert!(s.contains("20.2"));

@@ -153,7 +153,10 @@ mod tests {
         let src = yao_source();
         let cands = src.surface_candidates("Yao Ming");
         assert_eq!(cands.len(), 2);
-        assert_eq!(src.meta.get(cands[0]).unwrap().description, "basketball player");
+        assert_eq!(
+            src.meta.get(cands[0]).unwrap().description,
+            "basketball player"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct StoreStats {
 /// Compute [`StoreStats`] for a store.
 pub fn store_stats(store: &TripleStore) -> StoreStats {
     let subjects = store.subjects();
-    let max_out = subjects.iter().map(|&s| store.out_degree(s)).max().unwrap_or(0);
+    let max_out = subjects
+        .iter()
+        .map(|&s| store.out_degree(s))
+        .max()
+        .unwrap_or(0);
     let mean_out = if subjects.is_empty() {
         0.0
     } else {

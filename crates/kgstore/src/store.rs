@@ -62,7 +62,11 @@ impl TripleStore {
             let id = self
                 .by_s
                 .get(&s)
-                .and_then(|ids| ids.iter().copied().find(|&id| self.triples[id.index()] == t))
+                .and_then(|ids| {
+                    ids.iter()
+                        .copied()
+                        .find(|&id| self.triples[id.index()] == t)
+                })
                 .expect("dedup set and index out of sync");
             return (id, false);
         }

@@ -214,14 +214,20 @@ mod tests {
         let one_hop = extract(
             &src,
             "Where was Yao Ming born?",
-            &ExtractConfig { hops: 1, ..Default::default() },
+            &ExtractConfig {
+                hops: 1,
+                ..Default::default()
+            },
         );
         // 1 hop: Q1→Q3 and Q2→Song dynasty, but not Q3→Q4.
         assert_eq!(one_hop.len(), 2);
         let two_hop = extract(
             &src,
             "Where was Yao Ming born?",
-            &ExtractConfig { hops: 2, ..Default::default() },
+            &ExtractConfig {
+                hops: 2,
+                ..Default::default()
+            },
         );
         assert_eq!(two_hop.len(), 3, "2 hops adds Shanghai→China");
     }
@@ -232,7 +238,10 @@ mod tests {
         let g = extract(
             &src,
             "Where was Yao Ming born in Shanghai China?",
-            &ExtractConfig { max_triples: 1, ..Default::default() },
+            &ExtractConfig {
+                max_triples: 1,
+                ..Default::default()
+            },
         );
         assert_eq!(g.len(), 1);
     }
@@ -240,7 +249,11 @@ mod tests {
     #[test]
     fn no_seeds_means_empty_subgraph() {
         let src = source();
-        let g = extract(&src, "What is the meaning of life?", &ExtractConfig::default());
+        let g = extract(
+            &src,
+            "What is the meaning of life?",
+            &ExtractConfig::default(),
+        );
         assert!(g.is_empty());
         assert!(g.seeds.is_empty());
     }

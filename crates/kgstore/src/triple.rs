@@ -113,7 +113,11 @@ mod tests {
     #[test]
     fn display_matches_paper_notation() {
         let mut t = AtomTable::new();
-        let tr = Triple::new(t.intern("Yao Ming"), t.intern("born in"), t.intern("Shanghai"));
+        let tr = Triple::new(
+            t.intern("Yao Ming"),
+            t.intern("born in"),
+            t.intern("Shanghai"),
+        );
         assert_eq!(
             tr.display(&t).to_string(),
             "<Yao Ming> <born in> <Shanghai>"

@@ -19,7 +19,10 @@ impl Method for Io {
     fn answer(&self, ctx: &QaContext<'_>, q: &Question) -> MethodOutput {
         let p = prompt::io_prompt(&q.text);
         let out = ctx.llm.complete(&p, &LlmTask::Io { question: q });
-        MethodOutput { answer: out.text, trace: Default::default() }
+        MethodOutput {
+            answer: out.text,
+            trace: Default::default(),
+        }
     }
 }
 
@@ -34,7 +37,10 @@ impl Method for Cot {
     fn answer(&self, ctx: &QaContext<'_>, q: &Question) -> MethodOutput {
         let p = prompt::cot_prompt(&q.text);
         let out = ctx.llm.complete(&p, &LlmTask::Cot { question: q });
-        MethodOutput { answer: out.text, trace: Default::default() }
+        MethodOutput {
+            answer: out.text,
+            trace: Default::default(),
+        }
     }
 }
 
@@ -52,7 +58,13 @@ impl Method for SelfConsistency {
         let samples: Vec<String> = (0..ctx.cfg.sc_samples)
             .map(|i| {
                 ctx.llm
-                    .complete(&p, &LlmTask::CotSample { question: q, index: i })
+                    .complete(
+                        &p,
+                        &LlmTask::CotSample {
+                            question: q,
+                            index: i,
+                        },
+                    )
                     .text
             })
             .collect();
@@ -69,7 +81,10 @@ impl Method for SelfConsistency {
             .into_iter()
             .find(|s| normalize_answer(s) == winner_key)
             .unwrap_or_default();
-        MethodOutput { answer, trace: Default::default() }
+        MethodOutput {
+            answer,
+            trace: Default::default(),
+        }
     }
 }
 
@@ -92,17 +107,27 @@ impl Method for Qsm {
         let base = match ctx.base {
             Some(b) => b,
             None => {
-                owned_base =
-                    crate::retrieval::BaseIndex::for_question(source, ctx.embedder, ctx.cfg, &q.text);
+                owned_base = crate::retrieval::BaseIndex::for_question(
+                    source,
+                    ctx.embedder,
+                    ctx.cfg,
+                    &q.text,
+                );
                 &owned_base
             }
         };
-        let mut trace = crate::method::Trace { base_triples: base.len(), ..Default::default() };
+        let mut trace = crate::method::Trace {
+            base_triples: base.len(),
+            ..Default::default()
+        };
         if base.is_empty() {
             // Nothing retrieved: degrade to direct answering.
             let p = prompt::io_prompt(&q.text);
             let out = ctx.llm.complete(&p, &LlmTask::Io { question: q });
-            return MethodOutput { answer: out.text, trace };
+            return MethodOutput {
+                answer: out.text,
+                trace,
+            };
         }
         // The question itself is the query — and question-style text
         // does not get the triple-paraphrase alignment (the continuous
@@ -116,10 +141,17 @@ impl Method for Qsm {
             hits.iter().map(|h| base.verbalised[h.id].clone()).collect();
         trace.ground_triples = retrieved.len();
         let p = prompt::answer_prompt(&q.text, &retrieved);
-        let out = ctx
-            .llm
-            .complete(&p, &LlmTask::AnswerFromGraph { question: q, graph: &retrieved });
-        MethodOutput { answer: out.text, trace }
+        let out = ctx.llm.complete(
+            &p,
+            &LlmTask::AnswerFromGraph {
+                question: q,
+                graph: &retrieved,
+            },
+        );
+        MethodOutput {
+            answer: out.text,
+            trace,
+        }
     }
 }
 
@@ -144,7 +176,13 @@ mod tests {
         let (world, llm, src) = setup();
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let ctx = QaContext { llm: &llm, source: Some(&src), base: None, embedder: &emb, cfg: &cfg };
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
         let ds = simpleq::generate(&world, 5, 1);
         for q in &ds.questions {
             for m in [&Io as &dyn Method, &Cot, &SelfConsistency, &Qsm] {
@@ -159,7 +197,13 @@ mod tests {
         let (world, llm, src) = setup();
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let ctx = QaContext { llm: &llm, source: Some(&src), base: None, embedder: &emb, cfg: &cfg };
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
         let ds = simpleq::generate(&world, 5, 2);
         for q in &ds.questions {
             let a = SelfConsistency.answer(&ctx, q).answer;
@@ -173,7 +217,13 @@ mod tests {
         let (world, llm, src) = setup();
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let ctx = QaContext { llm: &llm, source: Some(&src), base: None, embedder: &emb, cfg: &cfg };
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
         let ds = simpleq::generate(&world, 10, 3);
         let mut some_retrieval = false;
         for q in &ds.questions {

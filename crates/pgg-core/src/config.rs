@@ -35,6 +35,16 @@ pub struct PipelineConfig {
     /// Verification passes: 1 = the paper's single pass; >1 enables the
     /// majority-voted verification extension (paper future work).
     pub verify_passes: u32,
+    /// Run the `cylint` auto-repair pass on pseudo-graph scripts before
+    /// execution (drop spurious `MATCH`es, dedup `CREATE`s, synthesize
+    /// unbound endpoints). `false` reproduces the paper exactly: any
+    /// failing script is discarded whole and answering degrades to CoT.
+    #[serde(default = "default_repair")]
+    pub repair: bool,
+}
+
+fn default_repair() -> bool {
+    true
 }
 
 impl Default for PipelineConfig {
@@ -48,6 +58,7 @@ impl Default for PipelineConfig {
             extract: ExtractConfig::default(),
             sc_samples: 3,
             verify_passes: 1,
+            repair: default_repair(),
         }
     }
 }

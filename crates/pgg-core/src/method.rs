@@ -34,9 +34,20 @@ pub struct Trace {
     pub pseudo_raw: Option<String>,
     /// Decoded pseudo-graph triples.
     pub pseudo_triples: Vec<StrTriple>,
-    /// Cypher failure, if the pseudo-graph step failed
-    /// (`"spurious-match"`, `"parse"`, …).
+    /// Cypher failure of the *raw* (pre-repair) script, if any
+    /// (`"spurious-match"`, `"parse"`, …). Kept even when repair later
+    /// salvages the script, so §4.6.1 error counts match the paper.
     pub cypher_error: Option<String>,
+    /// `cylint` diagnostics for the raw pseudo-graph script.
+    #[serde(default)]
+    pub diagnostics: Vec<cypher::Diagnostic>,
+    /// Human-readable log of fixes the repair pass applied.
+    #[serde(default)]
+    pub repairs: Vec<String>,
+    /// True when the raw script failed (`cypher_error` set) but the
+    /// repaired script executed — i.e. repair rescued this question.
+    #[serde(default)]
+    pub salvaged: bool,
     /// Ground-graph entity labels with scores after pruning.
     pub ground_entities: Vec<(String, f32)>,
     /// Number of ground-graph triples shown to the verifier.

@@ -6,7 +6,7 @@
 
 use crate::method::{Method, MethodOutput, QaContext, Trace};
 use crate::retrieval::{ground_graph, BaseIndex};
-use cypher::decode_llm_output;
+use cypher::{extract_cypher, Executor, Mode, Severity};
 use kgstore::StrTriple;
 use simllm::{parse_triple_lines, prompt, LlmTask};
 use worldgen::Question;
@@ -28,31 +28,63 @@ pub struct PseudoGraphPipeline {
 impl PseudoGraphPipeline {
     /// The full method (the paper's "Ours").
     pub fn full() -> Self {
-        Self { stages: Stages::Full }
+        Self {
+            stages: Stages::Full,
+        }
     }
 
     /// The pseudo-graph-only ablation.
     pub fn pseudo_only() -> Self {
-        Self { stages: Stages::PseudoOnly }
+        Self {
+            stages: Stages::PseudoOnly,
+        }
     }
 
-    /// Step 1: generate + decode the pseudo-graph. On a Cypher failure
-    /// the error is recorded and an empty graph returned (the paper
-    /// counts these as §4.6.1 errors; answering degrades to CoT).
-    fn pseudo_graph(
-        &self,
-        ctx: &QaContext<'_>,
-        q: &Question,
-        trace: &mut Trace,
-    ) -> Vec<StrTriple> {
+    /// Step 1: generate + decode the pseudo-graph, with the `cylint`
+    /// analyze → repair pass in between. `trace.cypher_error` always
+    /// reflects the *raw* script (so §4.6.1 error counts match the
+    /// paper); when repair is enabled and rescues a raw failure, the
+    /// salvaged triples are used and `trace.salvaged` is set. With
+    /// repair disabled a failing script yields an empty graph and
+    /// answering degrades to CoT, exactly as in the paper.
+    fn pseudo_graph(&self, ctx: &QaContext<'_>, q: &Question, trace: &mut Trace) -> Vec<StrTriple> {
         let p = prompt::pseudo_graph_prompt(&q.text);
         let raw = ctx
             .llm
             .complete(&p, &LlmTask::PseudoGraph { question: q })
             .text;
         trace.pseudo_raw = Some(raw.clone());
-        match decode_llm_output(&raw) {
-            Ok(triples) => {
+        let src = extract_cypher(&raw);
+        let spanned = match cypher::parse_spanned(&src) {
+            Ok(s) => s,
+            Err(e) => {
+                // Not even parseable: nothing for the analyzer to work
+                // with, no repair possible.
+                trace.cypher_error = Some(e.category().to_string());
+                return Vec::new();
+            }
+        };
+        trace.diagnostics = cypher::analyze_spanned(&spanned.script, &spanned.spans);
+        if let Some(d) = trace
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+        {
+            trace.cypher_error = Some(d.code.slug().to_string());
+        }
+        let raw_failed = trace.cypher_error.is_some();
+        let script = if ctx.cfg.repair {
+            let outcome = cypher::repair(&spanned.script);
+            trace.repairs = outcome.fixes.iter().map(|f| f.to_string()).collect();
+            outcome.script
+        } else {
+            spanned.script
+        };
+        let mut exec = Executor::new();
+        match exec.run(&script, Mode::CreateOnly) {
+            Ok(_) => {
+                trace.salvaged = raw_failed;
+                let triples = exec.into_graph().decode_triples();
                 trace.pseudo_triples = triples.clone();
                 triples
             }
@@ -65,12 +97,7 @@ impl PseudoGraphPipeline {
 
     /// Final step: answer from a graph (Figure 5). An empty graph makes
     /// the model fall back to its own reasoning.
-    fn generate_answer(
-        &self,
-        ctx: &QaContext<'_>,
-        q: &Question,
-        graph: &[StrTriple],
-    ) -> String {
+    fn generate_answer(&self, ctx: &QaContext<'_>, q: &Question, graph: &[StrTriple]) -> String {
         let p = prompt::answer_prompt(&q.text, graph);
         ctx.llm
             .complete(&p, &LlmTask::AnswerFromGraph { question: q, graph })
@@ -79,25 +106,34 @@ impl PseudoGraphPipeline {
 }
 
 /// Keep the triples present in a strict majority of verification runs,
-/// ordered by first appearance.
+/// ordered by first appearance. Each triple is normalized exactly once;
+/// the tally and emission passes share the precomputed keys instead of
+/// re-lowercasing (and re-cloning) per lookup.
 fn majority_vote(runs: &[Vec<StrTriple>]) -> Vec<StrTriple> {
     let need = runs.len() as u32 / 2 + 1;
-    let norm = |t: &StrTriple| (t.s.to_lowercase(), t.p.to_lowercase(), t.o.to_lowercase());
-    let mut counts: std::collections::HashMap<_, u32> = std::collections::HashMap::new();
-    for run in runs {
+    let normed: Vec<Vec<(String, String, String)>> = runs
+        .iter()
+        .map(|run| {
+            run.iter()
+                .map(|t| (t.s.to_lowercase(), t.p.to_lowercase(), t.o.to_lowercase()))
+                .collect()
+        })
+        .collect();
+    let mut counts: std::collections::HashMap<&(String, String, String), u32> =
+        std::collections::HashMap::new();
+    for run in &normed {
         let mut seen = std::collections::HashSet::new();
-        for t in run {
-            if seen.insert(norm(t)) {
-                *counts.entry(norm(t)).or_default() += 1;
+        for key in run {
+            if seen.insert(key) {
+                *counts.entry(key).or_default() += 1;
             }
         }
     }
     let mut out = Vec::new();
     let mut emitted = std::collections::HashSet::new();
-    for run in runs {
-        for t in run {
-            let key = norm(t);
-            if counts.get(&key).copied().unwrap_or(0) >= need && emitted.insert(key) {
+    for (run, keys) in runs.iter().zip(&normed) {
+        for (t, key) in run.iter().zip(keys) {
+            if counts.get(key).copied().unwrap_or(0) >= need && emitted.insert(key) {
                 out.push(t.clone());
             }
         }
@@ -159,7 +195,11 @@ impl Method for PseudoGraphPipeline {
                 .llm
                 .complete(
                     &p,
-                    &LlmTask::VerifyGraph { question: q, pseudo: &pseudo, ground: &ground },
+                    &LlmTask::VerifyGraph {
+                        question: q,
+                        pseudo: &pseudo,
+                        ground: &ground,
+                    },
                 )
                 .text;
             parse_triple_lines(&raw)
@@ -213,7 +253,13 @@ mod tests {
         let (world, llm, src) = setup();
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let ctx = QaContext { llm: &llm, source: Some(&src), base: None, embedder: &emb, cfg: &cfg };
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
         let ds = simpleq::generate(&world, 10, 1);
         let pipeline = PseudoGraphPipeline::full();
         let mut grounded = 0;
@@ -234,7 +280,13 @@ mod tests {
         let (world, llm, src) = setup();
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let ctx = QaContext { llm: &llm, source: Some(&src), base: None, embedder: &emb, cfg: &cfg };
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
         let ds = simpleq::generate(&world, 5, 2);
         let pipeline = PseudoGraphPipeline::pseudo_only();
         for q in &ds.questions {
@@ -250,11 +302,20 @@ mod tests {
         let (world, llm, src) = setup();
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let ctx = QaContext { llm: &llm, source: Some(&src), base: None, embedder: &emb, cfg: &cfg };
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
         let ds = simpleq::generate(&world, 5, 3);
         let pipeline = PseudoGraphPipeline::full();
         for q in &ds.questions {
-            assert_eq!(pipeline.answer(&ctx, q).answer, pipeline.answer(&ctx, q).answer);
+            assert_eq!(
+                pipeline.answer(&ctx, q).answer,
+                pipeline.answer(&ctx, q).answer
+            );
         }
     }
 
@@ -266,13 +327,120 @@ mod tests {
         let llm = SimLlm::new(world.clone(), p);
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let ctx = QaContext { llm: &llm, source: Some(&src), base: None, embedder: &emb, cfg: &cfg };
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
         let ds = simpleq::generate(&world, 3, 4);
         let pipeline = PseudoGraphPipeline::full();
         for q in &ds.questions {
             let out = pipeline.answer(&ctx, q);
             assert_eq!(out.trace.cypher_error.as_deref(), Some("spurious-match"));
             assert!(!out.answer.is_empty(), "must still answer");
+        }
+    }
+
+    #[test]
+    fn repair_salvages_some_spurious_match_scripts() {
+        let (world, _, src) = setup();
+        let mut p = ModelProfile::gpt35_sim();
+        p.cypher_match_rate = 1.0; // every script fails raw
+        let llm = SimLlm::new(world.clone(), p);
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        assert!(cfg.repair, "repair must be on by default");
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
+        let ds = simpleq::generate(&world, 20, 8);
+        let pipeline = PseudoGraphPipeline::full();
+        let mut salvaged = 0;
+        for q in &ds.questions {
+            let out = pipeline.answer(&ctx, q);
+            // Raw failure is still recorded (paper's §4.6.1 counts)…
+            assert_eq!(out.trace.cypher_error.as_deref(), Some("spurious-match"));
+            assert!(
+                out.trace
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.code == cypher::Code::SpuriousMatch),
+                "CY001 must be among the diagnostics"
+            );
+            assert!(
+                !out.trace.repairs.is_empty(),
+                "repair log must record the dropped MATCH"
+            );
+            // …and repair always makes the script executable.
+            assert!(out.trace.salvaged);
+            if !out.trace.pseudo_triples.is_empty() {
+                salvaged += 1;
+            }
+        }
+        assert!(
+            salvaged > 5,
+            "mixed outputs must yield salvaged triples: {salvaged}/20"
+        );
+    }
+
+    #[test]
+    fn repair_off_reproduces_paper_discard() {
+        let (world, _, src) = setup();
+        let mut p = ModelProfile::gpt35_sim();
+        p.cypher_match_rate = 1.0;
+        let llm = SimLlm::new(world.clone(), p);
+        let emb = Embedder::default();
+        let cfg = PipelineConfig {
+            repair: false,
+            ..Default::default()
+        };
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
+        let ds = simpleq::generate(&world, 5, 9);
+        let pipeline = PseudoGraphPipeline::full();
+        for q in &ds.questions {
+            let out = pipeline.answer(&ctx, q);
+            assert_eq!(out.trace.cypher_error.as_deref(), Some("spurious-match"));
+            assert!(!out.trace.salvaged);
+            assert!(out.trace.repairs.is_empty());
+            assert!(
+                out.trace.pseudo_triples.is_empty(),
+                "paper mode discards the whole script"
+            );
+            assert!(!out.answer.is_empty(), "answering still degrades to CoT");
+        }
+    }
+
+    #[test]
+    fn healthy_scripts_are_not_marked_salvaged() {
+        let (world, llm, src) = setup();
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
+        let ds = simpleq::generate(&world, 10, 10);
+        let pipeline = PseudoGraphPipeline::full();
+        for q in &ds.questions {
+            let out = pipeline.answer(&ctx, q);
+            if out.trace.cypher_error.is_none() {
+                assert!(!out.trace.salvaged);
+            }
         }
     }
 
@@ -285,15 +453,28 @@ mod tests {
             vec![t("a"), t("b")],
         ];
         let voted = super::majority_vote(&runs);
-        assert_eq!(voted, vec![t("a"), t("b")], "a (3/3) and b (2/3) survive; c (1/3) dies");
+        assert_eq!(
+            voted,
+            vec![t("a"), t("b")],
+            "a (3/3) and b (2/3) survive; c (1/3) dies"
+        );
     }
 
     #[test]
     fn multi_pass_verification_runs_and_scores() {
         let (world, llm, src) = setup();
         let emb = Embedder::default();
-        let cfg = PipelineConfig { verify_passes: 3, ..Default::default() };
-        let ctx = QaContext { llm: &llm, source: Some(&src), base: None, embedder: &emb, cfg: &cfg };
+        let cfg = PipelineConfig {
+            verify_passes: 3,
+            ..Default::default()
+        };
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
         let ds = simpleq::generate(&world, 5, 6);
         let pipeline = PseudoGraphPipeline::full();
         for q in &ds.questions {
@@ -307,7 +488,13 @@ mod tests {
         let (world, llm, src) = setup();
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let ctx = QaContext { llm: &llm, source: Some(&src), base: None, embedder: &emb, cfg: &cfg };
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
         let ds = simpleq::generate(&world, 1, 5);
         let before = llm.call_count();
         let out = PseudoGraphPipeline::full().answer(&ctx, &ds.questions[0]);

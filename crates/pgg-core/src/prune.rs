@@ -23,11 +23,12 @@ pub struct Candidate {
 }
 
 /// The pruning rule to apply.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum PruneStrategy {
     /// The paper's §3.2.1 rule: keep the top-`k` candidates by count
     /// (`k = |S_p|`), then drop those with mean score below the
     /// threshold.
+    #[default]
     PaperTwoStep,
     /// Rank by `count · mean_score` (one fused signal) and keep top-`k`
     /// above the threshold.
@@ -42,12 +43,6 @@ pub enum PruneStrategy {
     /// confidence score (popular same-name entities win ties — the
     /// "7 Yao Mings" heuristic made explicit).
     PopularityPrior,
-}
-
-impl Default for PruneStrategy {
-    fn default() -> Self {
-        PruneStrategy::PaperTwoStep
-    }
 }
 
 impl PruneStrategy {
@@ -72,7 +67,9 @@ impl PruneStrategy {
         match self {
             PruneStrategy::PaperTwoStep => {
                 candidates.sort_by(|a, b| {
-                    b.count.cmp(&a.count).then_with(|| a.subject.cmp(&b.subject))
+                    b.count
+                        .cmp(&a.count)
+                        .then_with(|| a.subject.cmp(&b.subject))
                 });
                 candidates.truncate(k);
                 finish(candidates, threshold, |c| c.mean_score)
@@ -100,7 +97,9 @@ impl PruneStrategy {
             }
             PruneStrategy::PopularityPrior => {
                 candidates.sort_by(|a, b| {
-                    b.count.cmp(&a.count).then_with(|| a.subject.cmp(&b.subject))
+                    b.count
+                        .cmp(&a.count)
+                        .then_with(|| a.subject.cmp(&b.subject))
                 });
                 candidates.truncate(k);
                 finish(candidates, threshold, |c| {
@@ -134,7 +133,12 @@ mod tests {
     use super::*;
 
     fn cand(id: u32, count: usize, mean: f32, pop: f32) -> Candidate {
-        Candidate { subject: Atom(id), count, mean_score: mean, popularity: pop }
+        Candidate {
+            subject: Atom(id),
+            count,
+            mean_score: mean,
+            popularity: pop,
+        }
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl BaseIndex {
             verbalised.push(v);
             subjects.push(t.s);
         }
-        Self { verbalised, subjects, index }
+        Self {
+            verbalised,
+            subjects,
+            index,
+        }
     }
 
     /// The paper's per-dataset construction: union of question-scoped
@@ -93,7 +97,11 @@ impl BaseIndex {
         cfg: &PipelineConfig,
         question: &str,
     ) -> Self {
-        Self::from_triples(source, embedder, extract(source, question, &cfg.extract).triples)
+        Self::from_triples(
+            source,
+            embedder,
+            extract(source, question, &cfg.extract).triples,
+        )
     }
 }
 
@@ -144,7 +152,10 @@ pub fn ground_graph(
         let sentence = verbalize_triple(t);
         let q = embedder.encode(&sentence);
         let salt = kgstore::hash::stable_str_hash(&sentence);
-        for hit in base.index.top_k_noisy(&q, cfg.top_k, cfg.retrieval_jitter, salt) {
+        for hit in base
+            .index
+            .top_k_noisy(&q, cfg.top_k, cfg.retrieval_jitter, salt)
+        {
             let e = best_score.entry(hit.id).or_insert(f32::MIN);
             if hit.score > *e {
                 *e = hit.score;
@@ -159,9 +170,10 @@ pub fn ground_graph(
     }
     let mut by_subject: FxHashMap<Atom, Agg> = FxHashMap::default();
     for (&idx, &score) in &best_score {
-        let c = by_subject
-            .entry(base.subjects[idx])
-            .or_insert(Agg { count: 0, score_sum: 0.0 });
+        let c = by_subject.entry(base.subjects[idx]).or_insert(Agg {
+            count: 0,
+            score_sum: 0.0,
+        });
         c.count += 1;
         c.score_sum += score;
     }

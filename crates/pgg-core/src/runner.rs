@@ -1,8 +1,8 @@
 //! The experiment runner: evaluate a method over a dataset, in
 //! parallel, producing per-question records and aggregate scores.
 
-use crate::method::{Method, QaContext, Trace};
 use crate::config::PipelineConfig;
+use crate::method::{Method, QaContext, Trace};
 use crate::retrieval::BaseIndex;
 use evalkit::{is_hit, rouge_l_multi, HitAccumulator, Prf, RougeAccumulator};
 use kgstore::KgSource;
@@ -94,26 +94,30 @@ pub fn run(
 
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|_| {
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let q: &Question = &dataset.questions[i];
-                    let ctx = QaContext { llm, source, base, embedder, cfg };
-                    let out = method.answer(&ctx, q);
-                    let (hit, rouge) = score_answer(&out.answer, &q.gold);
-                    let rec = Record {
-                        qid: q.id.clone(),
-                        question: q.text.clone(),
-                        answer: out.answer,
-                        hit,
-                        rouge,
-                        trace: out.trace,
-                    };
-                    slots.lock().unwrap()[i] = Some(rec);
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let q: &Question = &dataset.questions[i];
+                let ctx = QaContext {
+                    llm,
+                    source,
+                    base,
+                    embedder,
+                    cfg,
+                };
+                let out = method.answer(&ctx, q);
+                let (hit, rouge) = score_answer(&out.answer, &q.gold);
+                let rec = Record {
+                    qid: q.id.clone(),
+                    question: q.text.clone(),
+                    answer: out.answer,
+                    hit,
+                    rouge,
+                    trace: out.trace,
+                };
+                slots.lock().unwrap()[i] = Some(rec);
             });
         }
     })
@@ -143,7 +147,9 @@ mod tests {
     use crate::pipeline::PseudoGraphPipeline;
     use simllm::{ModelProfile, SimLlm};
     use std::sync::Arc;
-    use worldgen::{datasets::nature, datasets::simpleq, derive, generate, SourceConfig, WorldConfig};
+    use worldgen::{
+        datasets::nature, datasets::simpleq, derive, generate, SourceConfig, WorldConfig,
+    };
 
     fn setup() -> (Arc<worldgen::World>, SimLlm, kgstore::KgSource) {
         let world = Arc::new(generate(&WorldConfig::default()));
@@ -183,8 +189,26 @@ mod tests {
         let ds = simpleq::generate(&world, 20, 3);
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let serial = run(&PseudoGraphPipeline::full(), &llm, Some(&src), None, &emb, &cfg, &ds, 1);
-        let parallel = run(&PseudoGraphPipeline::full(), &llm, Some(&src), None, &emb, &cfg, &ds, 8);
+        let serial = run(
+            &PseudoGraphPipeline::full(),
+            &llm,
+            Some(&src),
+            None,
+            &emb,
+            &cfg,
+            &ds,
+            1,
+        );
+        let parallel = run(
+            &PseudoGraphPipeline::full(),
+            &llm,
+            Some(&src),
+            None,
+            &emb,
+            &cfg,
+            &ds,
+            8,
+        );
         assert_eq!(serial.hit.hits, parallel.hit.hits);
         for (a, b) in serial.records.iter().zip(&parallel.records) {
             assert_eq!(a.qid, b.qid);
@@ -199,6 +223,15 @@ mod tests {
         let ds = simpleq::generate(&world, 2, 4);
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        run(&PseudoGraphPipeline::full(), &llm, None, None, &emb, &cfg, &ds, 1);
+        run(
+            &PseudoGraphPipeline::full(),
+            &llm,
+            None,
+            None,
+            &emb,
+            &cfg,
+            &ds,
+            1,
+        );
     }
 }

@@ -68,7 +68,10 @@ impl Embedder {
     /// over dataset-scale indexes.
     pub fn paper() -> Self {
         Self::new(
-            EmbedConfig { noise: 0.6, ..Default::default() },
+            EmbedConfig {
+                noise: 0.6,
+                ..Default::default()
+            },
             SynonymTable::builtin(),
         )
     }
@@ -77,7 +80,11 @@ impl Embedder {
     pub fn new(cfg: EmbedConfig, synonyms: SynonymTable) -> Self {
         assert!(cfg.dim > 0, "dimension must be positive");
         assert!(cfg.probes > 0, "need at least one hash probe");
-        Self { cfg, synonyms, idf: None }
+        Self {
+            cfg,
+            synonyms,
+            idf: None,
+        }
     }
 
     /// Attach a fitted IDF model: word features are scaled by their
@@ -104,10 +111,7 @@ impl Embedder {
         let tokens = normalize(text);
         for tok in &tokens {
             let folded = self.synonyms.fold(tok);
-            let idf_scale = self
-                .idf
-                .as_deref()
-                .map_or(1.0, |m| m.weight(folded) / 2.0);
+            let idf_scale = self.idf.as_deref().map_or(1.0, |m| m.weight(folded) / 2.0);
             self.add_feature(&mut v, folded, self.cfg.word_weight * idf_scale);
             if self.cfg.char_weight > 0.0 && folded.len() > 3 {
                 for gram in char_ngrams(folded, 3) {
@@ -219,7 +223,10 @@ mod tests {
     #[test]
     fn encode_is_deterministic() {
         let e = emb();
-        assert_eq!(e.encode("Yao Ming born in Shanghai"), e.encode("Yao Ming born in Shanghai"));
+        assert_eq!(
+            e.encode("Yao Ming born in Shanghai"),
+            e.encode("Yao Ming born in Shanghai")
+        );
     }
 
     #[test]
@@ -251,7 +258,10 @@ mod tests {
         let same_entity = e.encode("Yao Ming occupation basketball player");
         let s_same = cosine(&pseudo, &same_entity);
         let s_exact = cosine(&pseudo, &e.encode("Yao Ming place of birth Shanghai"));
-        assert!(s_same > 0.15 && s_same < s_exact, "ordering broken: {s_same} vs {s_exact}");
+        assert!(
+            s_same > 0.15 && s_same < s_exact,
+            "ordering broken: {s_same} vs {s_exact}"
+        );
     }
 
     #[test]
@@ -295,7 +305,11 @@ mod tests {
         let noisy_sim = cosine(&noisy.encode(a), &noisy.encode(b));
         assert!(noisy_sim < clean_sim, "{noisy_sim} !< {clean_sim}");
         assert!(noisy_sim > 0.2, "structure must survive noise: {noisy_sim}");
-        assert_eq!(noisy.encode(a), noisy.encode(a), "noise must be deterministic");
+        assert_eq!(
+            noisy.encode(a),
+            noisy.encode(a),
+            "noise must be deterministic"
+        );
         // Same text still scores 1 with itself.
         assert!((cosine(&noisy.encode(a), &noisy.encode(a)) - 1.0).abs() < 1e-5);
     }
@@ -304,23 +318,33 @@ mod tests {
     fn idf_weighting_shifts_similarity_toward_rare_tokens() {
         use crate::idf::IdfModel;
         let corpus = [
-            "A instance of person", "B instance of person", "C instance of person",
-            "D instance of person", "A born in Rareville",
+            "A instance of person",
+            "B instance of person",
+            "C instance of person",
+            "D instance of person",
+            "A born in Rareville",
         ];
-        let idf = Arc::new(IdfModel::fit(corpus.iter().copied(), &SynonymTable::builtin()));
+        let idf = Arc::new(IdfModel::fit(
+            corpus.iter().copied(),
+            &SynonymTable::builtin(),
+        ));
         let plain = Embedder::default();
         let weighted = Embedder::default().with_idf(idf);
         assert!(weighted.has_idf());
         // A mixed document: rare-token overlap must dominate
         // common-token overlap once IDF weighting is on.
         let doc = "mystery instance of person born Rareville";
-        let rare_q = "mystery born Rareville";     // overlaps on rare tokens
+        let rare_q = "mystery born Rareville"; // overlaps on rare tokens
         let common_q = "somebody instance of person"; // overlaps on common tokens
         let sep = |e: &Embedder| {
-            cosine(&e.encode(doc), &e.encode(rare_q))
-                - cosine(&e.encode(doc), &e.encode(common_q))
+            cosine(&e.encode(doc), &e.encode(rare_q)) - cosine(&e.encode(doc), &e.encode(common_q))
         };
-        assert!(sep(&weighted) > sep(&plain) + 0.01, "{} !> {}", sep(&weighted), sep(&plain));
+        assert!(
+            sep(&weighted) > sep(&plain) + 0.01,
+            "{} !> {}",
+            sep(&weighted),
+            sep(&plain)
+        );
     }
 
     #[test]

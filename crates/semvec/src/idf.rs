@@ -44,12 +44,19 @@ impl IdfModel {
             max_w = max_w.max(w);
             weights.insert(h, w);
         }
-        Self { weights, default: max_w, docs: n_docs }
+        Self {
+            weights,
+            default: max_w,
+            docs: n_docs,
+        }
     }
 
     /// The weight of a canonical token (by its stable hash).
     pub fn weight_of_hash(&self, token_hash: u64) -> f32 {
-        self.weights.get(&token_hash).copied().unwrap_or(self.default)
+        self.weights
+            .get(&token_hash)
+            .copied()
+            .unwrap_or(self.default)
     }
 
     /// The weight of a canonical token string.

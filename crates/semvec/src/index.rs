@@ -111,9 +111,7 @@ impl VecIndex {
             if heap.len() < k {
                 heap.push(HeapEntry(Hit { id, score }));
             } else if let Some(worst) = heap.peek() {
-                if score > worst.0.score
-                    || (score == worst.0.score && id < worst.0.id)
-                {
+                if score > worst.0.score || (score == worst.0.score && id < worst.0.id) {
                     heap.pop();
                     heap.push(HeapEntry(Hit { id, score }));
                 }
@@ -149,9 +147,11 @@ impl VecIndex {
         }
         let mut hits: Vec<Hit> = (0..self.len)
             .map(|id| {
-                let jitter =
-                    (unit_f64(mix2(salt, id as u64)) as f32 * 2.0 - 1.0) * sigma * 1.732;
-                Hit { id, score: dot(query, self.vector(id)) + jitter }
+                let jitter = (unit_f64(mix2(salt, id as u64)) as f32 * 2.0 - 1.0) * sigma * 1.732;
+                Hit {
+                    id,
+                    score: dot(query, self.vector(id)) + jitter,
+                }
             })
             .collect();
         hits.sort_by(|a, b| {
@@ -232,7 +232,11 @@ mod tests {
     fn ties_break_by_lower_id() {
         let idx = VecIndex::from_vectors(
             2,
-            vec![unit(vec![1.0, 0.0]), unit(vec![1.0, 0.0]), unit(vec![1.0, 0.0])],
+            vec![
+                unit(vec![1.0, 0.0]),
+                unit(vec![1.0, 0.0]),
+                unit(vec![1.0, 0.0]),
+            ],
         );
         let hits = idx.top_k(&unit(vec![1.0, 0.0]), 2);
         assert_eq!(hits[0].id, 0);

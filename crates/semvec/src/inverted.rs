@@ -40,7 +40,11 @@ impl HybridIndex {
                 }
             }
         }
-        Self { vec, postings, doc_count }
+        Self {
+            vec,
+            postings,
+            doc_count,
+        }
     }
 
     /// Number of indexed documents.
@@ -107,7 +111,9 @@ impl HybridIndex {
 /// generation only needs to agree with the encoder on *overlap*, and a
 /// superset of candidates never changes the rerank result.)
 fn embedder_fold(_embedder: &Embedder, tok: &str) -> String {
-    crate::synonym::SynonymTable::builtin().fold(tok).to_string()
+    crate::synonym::SynonymTable::builtin()
+        .fold(tok)
+        .to_string()
 }
 
 #[cfg(test)]

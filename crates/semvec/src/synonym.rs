@@ -42,7 +42,15 @@ impl SynonymTable {
             &["found", "founder", "establish", "creat", "creator"],
             &["occupation", "profession", "job", "work"],
             &["genre", "style"],
-            &["educat", "school", "university", "study", "studi", "alma", "mater"],
+            &[
+                "educat",
+                "school",
+                "university",
+                "study",
+                "studi",
+                "alma",
+                "mater",
+            ],
             &["employ", "employer", "company"],
             &["headquarter", "hq", "base"],
             &["area", "size", "extent"],
@@ -54,8 +62,16 @@ impl SynonymTable {
             &["border", "adjacent", "neighbor", "neighbour"],
             &["member", "belong", "part"],
             &["award", "prize", "honor", "honour", "won", "win"],
-            
-            &["develop", "developer", "make", "made", "build", "built", "manufactur", "produc"],
+            &[
+                "develop",
+                "developer",
+                "make",
+                "made",
+                "build",
+                "built",
+                "manufactur",
+                "produc",
+            ],
             &["use", "us", "utiliz", "employ"],
             &["chip", "processor", "cpu", "soc"],
             &["language", "tongue"],
@@ -74,7 +90,17 @@ impl SynonymTable {
             &["publish", "publisher", "release"],
             &["own", "owner", "possess"],
             &["lead", "led", "leader", "head", "chief", "ceo", "president"],
-            &["famous", "renown", "notabl", "known", "acknowledg", "pioneer", "trailblazer", "invent", "inventor"],
+            &[
+                "famous",
+                "renown",
+                "notabl",
+                "known",
+                "acknowledg",
+                "pioneer",
+                "trailblazer",
+                "invent",
+                "inventor",
+            ],
         ];
         for group in GROUPS {
             let canon = group[0];

@@ -4,9 +4,9 @@
 /// verbalisations like "place of birth" lose "of" but keep the
 /// content words that carry the semantics.
 const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "of", "in", "on", "at", "to", "for", "by", "is", "are", "was", "were",
-    "be", "been", "with", "and", "or", "that", "this", "it", "its", "as", "from", "which",
-    "who", "whom", "what", "when", "where", "how", "does", "do", "did", "has", "have", "had",
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "by", "is", "are", "was", "were", "be",
+    "been", "with", "and", "or", "that", "this", "it", "its", "as", "from", "which", "who", "whom",
+    "what", "when", "where", "how", "does", "do", "did", "has", "have", "had",
 ];
 
 /// Whether a token is a stopword.

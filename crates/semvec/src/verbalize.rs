@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn humanizes_freebase_paths() {
-        assert_eq!(humanize_term("/people/person/place_of_birth"), "place of birth");
+        assert_eq!(
+            humanize_term("/people/person/place_of_birth"),
+            "place of birth"
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ fn resolve_chain_sampled(
 }
 
 fn labels(mem: &ParametricMemory<'_>, ids: &[EntityId]) -> Vec<String> {
-    let mut v: Vec<String> = ids.iter().map(|&e| mem.world().label(e).to_string()).collect();
+    let mut v: Vec<String> = ids
+        .iter()
+        .map(|&e| mem.world().label(e).to_string())
+        .collect();
     // Canonical enumeration order; see `collect_objects` in
     // `graph_answer` and the references in `worldgen::datasets::nature`.
     v.sort();
@@ -284,7 +287,7 @@ mod tests {
     use super::*;
     use crate::profile::ModelProfile;
     use worldgen::datasets::{nature, qald, simpleq};
-    use worldgen::{generate, WorldConfig, World};
+    use worldgen::{generate, World, WorldConfig};
 
     fn world() -> World {
         generate(&WorldConfig::default())
@@ -311,7 +314,9 @@ mod tests {
         let mut io_hits = 0;
         let mut cot_hits = 0;
         for q in &ds.questions {
-            let worldgen::Gold::Accepted(acc) = &q.gold else { continue };
+            let worldgen::Gold::Accepted(acc) = &q.gold else {
+                continue;
+            };
             if acc.iter().any(|g| io_answer(&mem, q).contains(g.as_str())) {
                 io_hits += 1;
             }

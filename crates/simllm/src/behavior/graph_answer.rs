@@ -3,10 +3,8 @@
 //! with a small slip rate where it ignores the graph and answers from
 //! memory instead.
 
-use crate::behavior::util::{
-    is_statement_artifact, labels_eq, pred_matches_rel, question_key,
-};
 use crate::behavior::answering;
+use crate::behavior::util::{is_statement_artifact, labels_eq, pred_matches_rel, question_key};
 use crate::memory::{ParametricMemory, RecallMode};
 use kgstore::StrTriple;
 use worldgen::datasets::english_list;
@@ -29,10 +27,7 @@ pub fn answer_from_graph(mem: &ParametricMemory<'_>, q: &Question, graph: &[StrT
             let objects = collect_objects(graph, subject, *rel);
             match objects.len() {
                 0 => answering::cot_answer(mem, q),
-                1 => format!(
-                    "Based on the graph, the answer is {}.",
-                    objects[0]
-                ),
+                1 => format!("Based on the graph, the answer is {}.", objects[0]),
                 _ => format!(
                     "Based on the graph, {} {} {}.",
                     subject,
@@ -114,8 +109,7 @@ fn chain_answer(
                     cur_id = Some(next);
                 }
                 None => {
-                    return "Based on the graph above, I cannot determine the answer."
-                        .to_string();
+                    return "Based on the graph above, I cannot determine the answer.".to_string();
                 }
             }
         }
@@ -179,7 +173,7 @@ mod tests {
     use super::*;
     use crate::profile::ModelProfile;
     use worldgen::datasets::{nature, simpleq};
-    use worldgen::{generate, Gold, WorldConfig, World};
+    use worldgen::{generate, Gold, World, WorldConfig};
 
     fn world() -> World {
         generate(&WorldConfig::default())
@@ -192,9 +186,15 @@ mod tests {
         let ds = simpleq::generate(&w, 30, 1);
         let mut followed = 0;
         for q in &ds.questions {
-            let Intent::Chain { seed, path } = &q.intent else { unreachable!() };
+            let Intent::Chain { seed, path } = &q.intent else {
+                unreachable!()
+            };
             let s = w.label(*seed);
-            let graph = vec![StrTriple::new(s, path[0].spec().wikidata, "Graph Answer Town")];
+            let graph = vec![StrTriple::new(
+                s,
+                path[0].spec().wikidata,
+                "Graph Answer Town",
+            )];
             let a = answer_from_graph(&mem, q, &graph);
             if a.contains("Graph Answer Town") {
                 followed += 1;
@@ -210,7 +210,9 @@ mod tests {
         let mem = ParametricMemory::new(&w, ModelProfile::gpt4_sim());
         let ds = nature::generate(&w, 40, 2);
         for q in &ds.questions {
-            let Intent::List { seed, rel } = &q.intent else { continue };
+            let Intent::List { seed, rel } = &q.intent else {
+                continue;
+            };
             let s = w.label(*seed);
             let graph = vec![
                 StrTriple::new(s, rel.spec().wikidata, "AlphaLand"),
@@ -231,7 +233,9 @@ mod tests {
         let mem = ParametricMemory::new(&w, ModelProfile::gpt4_sim());
         let ds = nature::generate(&w, 40, 3);
         for q in &ds.questions {
-            let Intent::List { seed, rel } = &q.intent else { continue };
+            let Intent::List { seed, rel } = &q.intent else {
+                continue;
+            };
             let s = w.label(*seed);
             let graph = vec![
                 StrTriple::new(s, rel.spec().wikidata, "statement 42"),
@@ -265,7 +269,9 @@ mod tests {
         let ds = simpleq::generate(&w, 30, 5);
         let mut hits = 0;
         for q in &ds.questions {
-            let Intent::Chain { seed, path } = &q.intent else { unreachable!() };
+            let Intent::Chain { seed, path } = &q.intent else {
+                unreachable!()
+            };
             let objs = w.objects_of(*seed, path[0]);
             let graph = vec![StrTriple::new(
                 w.label(*seed),
@@ -273,11 +279,16 @@ mod tests {
                 w.label(objs[0]),
             )];
             let a = answer_from_graph(&mem, q, &graph);
-            let Gold::Accepted(acc) = &q.gold else { unreachable!() };
+            let Gold::Accepted(acc) = &q.gold else {
+                unreachable!()
+            };
             if acc.iter().any(|g| a.contains(g.as_str())) {
                 hits += 1;
             }
         }
-        assert!(hits >= 27, "gold graph should yield gold answers: {hits}/30");
+        assert!(
+            hits >= 27,
+            "gold graph should yield gold answers: {hits}/30"
+        );
     }
 }

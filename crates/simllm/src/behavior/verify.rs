@@ -274,7 +274,7 @@ mod tests {
     use crate::graphs::GroundEntity;
     use crate::profile::ModelProfile;
     use worldgen::datasets::simpleq;
-    use worldgen::{generate, WorldConfig, World};
+    use worldgen::{generate, World, WorldConfig};
 
     fn world() -> World {
         generate(&WorldConfig::default())
@@ -294,7 +294,9 @@ mod tests {
     fn ground_for(q: &worldgen::Question, world: &World) -> (GroundGraph, String, String, String) {
         // Build a tiny synthetic ground graph matching the question's
         // seed and relation, with a distinct "true" object.
-        let worldgen::Intent::Chain { seed, path } = &q.intent else { unreachable!() };
+        let worldgen::Intent::Chain { seed, path } = &q.intent else {
+            unreachable!()
+        };
         let s = world.label(*seed).to_string();
         let p = path[0].spec().wikidata.to_string();
         let o = "KG Truth City".to_string();
@@ -315,11 +317,23 @@ mod tests {
         let mem = mem_with(&w, 1.0, 0.0);
         let q = any_question(&w);
         let (ground, s, _p, o) = ground_for(&q, &w);
-        let worldgen::Intent::Chain { path, .. } = &q.intent else { unreachable!() };
-        let pseudo = vec![StrTriple::new(s.clone(), path[0].spec().cypher, "Wrong City")];
+        let worldgen::Intent::Chain { path, .. } = &q.intent else {
+            unreachable!()
+        };
+        let pseudo = vec![StrTriple::new(
+            s.clone(),
+            path[0].spec().cypher,
+            "Wrong City",
+        )];
         let fixed = verify_graph(&mem, &q, &pseudo, &ground);
-        assert!(fixed.iter().any(|t| t.o == o), "correction missing: {fixed:?}");
-        assert!(!fixed.iter().any(|t| t.o == "Wrong City"), "wrong fact kept: {fixed:?}");
+        assert!(
+            fixed.iter().any(|t| t.o == o),
+            "correction missing: {fixed:?}"
+        );
+        assert!(
+            !fixed.iter().any(|t| t.o == "Wrong City"),
+            "wrong fact kept: {fixed:?}"
+        );
     }
 
     #[test]
@@ -328,7 +342,9 @@ mod tests {
         let mem = mem_with(&w, 1.0, 0.0);
         let q = any_question(&w);
         let (ground, s, _p, o) = ground_for(&q, &w);
-        let worldgen::Intent::Chain { path, .. } = &q.intent else { unreachable!() };
+        let worldgen::Intent::Chain { path, .. } = &q.intent else {
+            unreachable!()
+        };
         let pseudo = vec![StrTriple::new(s, path[0].spec().cypher, o.clone())];
         let fixed = verify_graph(&mem, &q, &pseudo, &ground);
         assert!(fixed.iter().any(|t| t.o == o));
@@ -341,7 +357,9 @@ mod tests {
         let mem = mem_with(&w, 1.0, 1.0);
         let q = any_question(&w);
         let (ground, s, _p, _o) = ground_for(&q, &w);
-        let worldgen::Intent::Chain { path, .. } = &q.intent else { unreachable!() };
+        let worldgen::Intent::Chain { path, .. } = &q.intent else {
+            unreachable!()
+        };
         let pseudo = vec![StrTriple::new(s, path[0].spec().cypher, "Wrong City")];
         let fixed = verify_graph(&mem, &q, &pseudo, &ground);
         assert!(fixed.iter().any(|t| t.o == "Wrong City"));
@@ -378,7 +396,10 @@ mod tests {
             let fixed = verify_graph(&mem, q, &pseudo, &ground);
             fixed.iter().any(|t| t.o == "Marker") && fixed.iter().any(|t| t.o == "B")
         });
-        assert!(appended, "append-only mode should trigger for some question");
+        assert!(
+            appended,
+            "append-only mode should trigger for some question"
+        );
     }
 
     #[test]
@@ -387,7 +408,9 @@ mod tests {
         let mem = mem_with(&w, 0.9, 0.1);
         let q = any_question(&w);
         let (ground, s, _p, _o) = ground_for(&q, &w);
-        let worldgen::Intent::Chain { path, .. } = &q.intent else { unreachable!() };
+        let worldgen::Intent::Chain { path, .. } = &q.intent else {
+            unreachable!()
+        };
         let pseudo = vec![StrTriple::new(s, path[0].spec().cypher, "Wrong City")];
         assert_eq!(
             verify_graph(&mem, &q, &pseudo, &ground),
@@ -403,7 +426,9 @@ mod tests {
         let mem = mem_with(&w, 0.6, 0.0);
         let q = any_question(&w);
         let (ground, s, _p, o) = ground_for(&q, &w);
-        let worldgen::Intent::Chain { path, .. } = &q.intent else { unreachable!() };
+        let worldgen::Intent::Chain { path, .. } = &q.intent else {
+            unreachable!()
+        };
         let pseudo = vec![StrTriple::new(s, path[0].spec().cypher, "Wrong City")];
         let voted = verify_graph_consistent(&mem, &q, &pseudo, &ground, 5);
         // The corrected triple appears in the majority of passes with

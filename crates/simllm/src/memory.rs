@@ -217,8 +217,8 @@ impl<'w> ParametricMemory<'w> {
         // Sample from the popular head of the pool deterministically.
         let head = (pool.len() / 4).max(1).min(pool.len());
         for probe in 0..8u64 {
-            let idx =
-                (mix2(mix2(self.profile.seed, key), 0x3000 + channel + probe) % head as u64) as usize;
+            let idx = (mix2(mix2(self.profile.seed, key), 0x3000 + channel + probe) % head as u64)
+                as usize;
             let cand = pool[idx];
             if !truth.contains(&cand) && cand != s {
                 return Some(cand);
@@ -252,7 +252,8 @@ impl<'w> ParametricMemory<'w> {
         if !believed.is_empty() {
             let key = Self::fact_key(s, rel, None);
             if self.draw(key, 4) < self.profile.confusion_rate * 0.3 {
-                if let Some(wrong) = self.plausible_wrong_object(s, rel, truth.first().copied(), 5) {
+                if let Some(wrong) = self.plausible_wrong_object(s, rel, truth.first().copied(), 5)
+                {
                     if !believed.contains(&wrong) && !truth.contains(&wrong) {
                         believed.push(wrong);
                     }
@@ -291,8 +292,8 @@ impl<'w> ParametricMemory<'w> {
         let key = mix2(0x9999, mix2(rel.0 as u64, o.0 as u64));
         let head = (pool.len() / 4).max(1).min(pool.len());
         for probe in 0..8u64 {
-            let idx = (mix2(mix2(self.profile.seed, key), 0x8000 + channel + probe)
-                % head as u64) as usize;
+            let idx = (mix2(mix2(self.profile.seed, key), 0x8000 + channel + probe) % head as u64)
+                as usize;
             let cand = pool[idx];
             if cand != o && !truth.contains(&cand) {
                 return Some(cand);

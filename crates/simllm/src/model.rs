@@ -146,16 +146,21 @@ impl LanguageModel for SimLlm {
                 behavior::answering::sampled_answer(&mem, question, *index)
             }
             LlmTask::PseudoGraph { question } => behavior::pseudo::pseudo_cypher(&mem, question),
-            LlmTask::VerifyGraph { question, pseudo, ground } => {
-                behavior::verify::render_fixed(&behavior::verify::verify_graph(
-                    &mem, question, pseudo, ground,
-                ))
-            }
-            LlmTask::VerifyGraphSample { question, pseudo, ground, index } => {
-                behavior::verify::render_fixed(&behavior::verify::verify_graph_sampled(
-                    &mem, question, pseudo, ground, *index,
-                ))
-            }
+            LlmTask::VerifyGraph {
+                question,
+                pseudo,
+                ground,
+            } => behavior::verify::render_fixed(&behavior::verify::verify_graph(
+                &mem, question, pseudo, ground,
+            )),
+            LlmTask::VerifyGraphSample {
+                question,
+                pseudo,
+                ground,
+                index,
+            } => behavior::verify::render_fixed(&behavior::verify::verify_graph_sampled(
+                &mem, question, pseudo, ground, *index,
+            )),
             LlmTask::AnswerFromGraph { question, graph } => {
                 behavior::graph_answer::answer_from_graph(&mem, question, graph)
             }

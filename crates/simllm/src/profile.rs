@@ -135,13 +135,19 @@ impl ModelProfile {
                 return Err(format!("{name} out of [0,1]: {p}"));
             }
         }
-        for (name, m) in [("cot_bonus", self.cot_bonus), ("activation_bonus", self.activation_bonus)] {
+        for (name, m) in [
+            ("cot_bonus", self.cot_bonus),
+            ("activation_bonus", self.activation_bonus),
+        ] {
             if !(1.0..=2.0).contains(&m) {
                 return Err(format!("{name} out of [1,2]: {m}"));
             }
         }
         if !(0.1..=1.0).contains(&self.pop_exponent) {
-            return Err(format!("pop_exponent out of [0.1,1]: {}", self.pop_exponent));
+            return Err(format!(
+                "pop_exponent out of [0.1,1]: {}",
+                self.pop_exponent
+            ));
         }
         Ok(())
     }
@@ -161,7 +167,10 @@ mod tests {
     fn gpt4_knows_more_and_withholds_more() {
         let g35 = ModelProfile::gpt35_sim();
         let g4 = ModelProfile::gpt4_sim();
-        assert!(g4.pop_exponent < g35.pop_exponent, "gpt-4 has a flatter knowledge curve");
+        assert!(
+            g4.pop_exponent < g35.pop_exponent,
+            "gpt-4 has a flatter knowledge curve"
+        );
         assert!(g4.list_recall > g35.list_recall);
         assert!(g4.pseudo_withhold > g35.pseudo_withhold);
         assert!(g4.cypher_match_rate < g35.cypher_match_rate);

@@ -70,9 +70,11 @@ pub fn verify_prompt(
          {graph to fix} and adding missing content from {ground graph} to help me \
          solve the [problem], following the format in [Example]:\n\n",
     );
-    out.push_str("[Example]:\n{ground graph}:\n[entity_0]:\n<Stevie Wonder> <occupation> <singer>\n\
+    out.push_str(
+        "[Example]:\n{ground graph}:\n[entity_0]:\n<Stevie Wonder> <occupation> <singer>\n\
                   {graph to fix}:\n<Stevie Wonder> <HAS_OCCUPATION> <actor>\n\
-                  {fixed graph}:\n<Stevie Wonder> <occupation> <singer>\n\n");
+                  {fixed graph}:\n<Stevie Wonder> <occupation> <singer>\n\n",
+    );
     out.push_str("[problem]: ");
     out.push_str(question);
     out.push_str("\n\n{ground graph}:\n");

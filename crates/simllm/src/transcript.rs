@@ -48,7 +48,10 @@ pub struct TranscriptLlm<M> {
 impl<M: LanguageModel> TranscriptLlm<M> {
     /// Wrap a model.
     pub fn new(inner: M) -> Self {
-        Self { inner, log: Mutex::new(Vec::new()) }
+        Self {
+            inner,
+            log: Mutex::new(Vec::new()),
+        }
     }
 
     /// Snapshot the transcript so far.
@@ -144,7 +147,9 @@ impl LanguageModel for ScriptedLlm {
             Some(text) => Completion { text },
             None => {
                 self.overruns.fetch_add(1, Ordering::Relaxed);
-                Completion { text: String::new() }
+                Completion {
+                    text: String::new(),
+                }
             }
         }
     }
@@ -167,7 +172,10 @@ mod tests {
 
     #[test]
     fn transcript_records_every_exchange() {
-        let world = Arc::new(generate(&WorldConfig { scale: 0.3, ..Default::default() }));
+        let world = Arc::new(generate(&WorldConfig {
+            scale: 0.3,
+            ..Default::default()
+        }));
         let llm = TranscriptLlm::new(SimLlm::new(world.clone(), ModelProfile::gpt35_sim()));
         let ds = simpleq::generate(&world, 3, 1);
         for q in &ds.questions {
@@ -183,7 +191,10 @@ mod tests {
 
     #[test]
     fn scripted_replays_a_transcript_exactly() {
-        let world = Arc::new(generate(&WorldConfig { scale: 0.3, ..Default::default() }));
+        let world = Arc::new(generate(&WorldConfig {
+            scale: 0.3,
+            ..Default::default()
+        }));
         let real = TranscriptLlm::new(SimLlm::new(world.clone(), ModelProfile::gpt35_sim()));
         let ds = simpleq::generate(&world, 4, 2);
         let originals: Vec<String> = ds
@@ -204,10 +215,16 @@ mod tests {
     #[test]
     fn scripted_overrun_is_counted() {
         let llm = ScriptedLlm::new(vec!["only one".to_string()]);
-        let world = Arc::new(generate(&WorldConfig { scale: 0.3, ..Default::default() }));
+        let world = Arc::new(generate(&WorldConfig {
+            scale: 0.3,
+            ..Default::default()
+        }));
         let ds = simpleq::generate(&world, 1, 3);
         let q = &ds.questions[0];
-        assert_eq!(llm.complete("p", &LlmTask::Io { question: q }).text, "only one");
+        assert_eq!(
+            llm.complete("p", &LlmTask::Io { question: q }).text,
+            "only one"
+        );
         assert_eq!(llm.complete("p", &LlmTask::Io { question: q }).text, "");
         assert_eq!(llm.overruns(), 1);
         assert_eq!(llm.call_count(), 2);
@@ -215,7 +232,10 @@ mod tests {
 
     #[test]
     fn task_kinds_are_stable() {
-        let world = Arc::new(generate(&WorldConfig { scale: 0.3, ..Default::default() }));
+        let world = Arc::new(generate(&WorldConfig {
+            scale: 0.3,
+            ..Default::default()
+        }));
         let ds = simpleq::generate(&world, 1, 4);
         let q = &ds.questions[0];
         assert_eq!(LlmTask::Io { question: q }.kind(), "io");
@@ -224,7 +244,11 @@ mod tests {
 
     #[test]
     fn exchanges_serialize() {
-        let e = Exchange { kind: "io".into(), prompt: "p".into(), completion: "c".into() };
+        let e = Exchange {
+            kind: "io".into(),
+            prompt: "p".into(),
+            completion: "c".into(),
+        };
         let json = serde_json::to_string(&e).unwrap();
         let back: Exchange = serde_json::from_str(&json).unwrap();
         assert_eq!(e, back);

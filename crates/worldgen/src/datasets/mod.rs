@@ -191,7 +191,10 @@ mod tests {
         for e in &w.entities {
             by_label.entry(e.label.as_str()).or_default().push(e.id);
         }
-        let dupes = by_label.values().find(|v| v.len() > 1).expect("ambiguity exists");
+        let dupes = by_label
+            .values()
+            .find(|v| v.len() > 1)
+            .expect("ambiguity exists");
         let canon = canonical_holder(&w, dupes[1]);
         for &other in dupes.iter() {
             assert!(w.entity(canon).popularity >= w.entity(other).popularity);

@@ -30,7 +30,10 @@ pub fn generate(world: &World, n: usize, seed: u64) -> Dataset {
         q.id = format!("nq-{}", questions.len());
         questions.push(q);
     }
-    Dataset { kind: DatasetKind::NatureQuestions, questions }
+    Dataset {
+        kind: DatasetKind::NatureQuestions,
+        questions,
+    }
 }
 
 /// Multi-valued relations suitable for list questions.
@@ -66,7 +69,10 @@ fn make_list(world: &World, rng: &mut StdRng) -> Option<Question> {
     if objects.len() < 3 {
         return None;
     }
-    let labels: Vec<String> = objects.iter().map(|&o| world.label(o).to_string()).collect();
+    let labels: Vec<String> = objects
+        .iter()
+        .map(|&o| world.label(o).to_string())
+        .collect();
     let text = spec
         .question
         .expect("list relation has template")
@@ -89,11 +95,13 @@ fn make_who_list(world: &World, rng: &mut StdRng) -> Option<Question> {
     if subjects.len() < 2 {
         return None;
     }
-    let labels: Vec<String> = subjects.iter().map(|&s| world.label(s).to_string()).collect();
+    let labels: Vec<String> = subjects
+        .iter()
+        .map(|&s| world.label(s).to_string())
+        .collect();
     let field_label = world.label(field).to_string();
-    let text = format!(
-        "Who are the people acknowledged as trailblazers in the field of {field_label}?"
-    );
+    let text =
+        format!("Who are the people acknowledged as trailblazers in the field of {field_label}?");
     Some(Question {
         id: String::new(),
         dataset: DatasetKind::NatureQuestions,
@@ -121,7 +129,10 @@ fn make_recent(world: &World, rng: &mut StdRng) -> Option<Question> {
     if objects.is_empty() {
         return None;
     }
-    let labels: Vec<String> = objects.iter().map(|&o| world.label(o).to_string()).collect();
+    let labels: Vec<String> = objects
+        .iter()
+        .map(|&o| world.label(o).to_string())
+        .collect();
     let text = spec
         .question
         .expect("recent relation has template")
@@ -157,15 +168,9 @@ fn references(subject: &str, phrase: &str, labels: &[String]) -> Vec<String> {
         ];
     }
     vec![
-        format!(
-            "As far as I know, it includes {list}."
-        ),
-        format!(
-            "There are {n} answers commonly mentioned: {list}."
-        ),
-        format!(
-            "To be comprehensive, the full set is {list}."
-        ),
+        format!("As far as I know, it includes {list}."),
+        format!("There are {n} answers commonly mentioned: {list}."),
+        format!("To be comprehensive, the full set is {list}."),
     ]
 }
 
@@ -251,7 +256,9 @@ mod tests {
                     .collect(),
                 _ => continue,
             };
-            let Gold::References(refs) = &q.gold else { unreachable!() };
+            let Gold::References(refs) = &q.gold else {
+                unreachable!()
+            };
             for label in &gold_labels {
                 assert!(
                     refs.iter().all(|r| r.contains(label)),

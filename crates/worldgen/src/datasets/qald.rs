@@ -63,12 +63,19 @@ pub fn generate(world: &World, n: usize, seed: u64) -> Dataset {
         q.id = format!("qald-{}", questions.len());
         questions.push(q);
     }
-    Dataset { kind: DatasetKind::Qald, questions }
+    Dataset {
+        kind: DatasetKind::Qald,
+        questions,
+    }
 }
 
 /// Tournament selection with popularity bias: real QALD questions ask
 /// about well-known entities, not uniform samples of the KG.
-fn pick_popular(world: &World, ids: &[crate::world::EntityId], rng: &mut StdRng) -> crate::world::EntityId {
+fn pick_popular(
+    world: &World,
+    ids: &[crate::world::EntityId],
+    rng: &mut StdRng,
+) -> crate::world::EntityId {
     // Uniform draw from the most popular ~12% of the pool (sorted view
     // computed on the fly; pools are small).
     let mut sorted: Vec<_> = ids.to_vec();
@@ -261,7 +268,9 @@ mod tests {
                     assert_eq!(objs.len(), 1, "chain must resolve uniquely");
                     cur = objs[0];
                 }
-                let Gold::Accepted(acc) = &q.gold else { unreachable!() };
+                let Gold::Accepted(acc) = &q.gold else {
+                    unreachable!()
+                };
                 assert!(acc.contains(&w.entity(cur).label.clone()));
             }
         }
@@ -276,7 +285,9 @@ mod tests {
                 let (ca, cb) = (w.objects_of(*a, *rel).len(), w.objects_of(*b, *rel).len());
                 assert_ne!(ca, cb);
                 let winner = if ca > cb { *a } else { *b };
-                let Gold::Accepted(acc) = &q.gold else { unreachable!() };
+                let Gold::Accepted(acc) = &q.gold else {
+                    unreachable!()
+                };
                 assert!(acc.contains(&w.entity(winner).label.clone()));
             }
         }

@@ -56,18 +56,17 @@ pub fn generate(world: &World, n: usize, seed: u64) -> Dataset {
         }
         let spec = f.rel.spec();
         let subject = &world.entity(f.s);
-        let mention = if subject.kind == EntityKind::Person
-            && rng.random::<f64>() < CASUAL_MENTION_RATE
-        {
-            subject
-                .label
-                .split_whitespace()
-                .last()
-                .unwrap_or(&subject.label)
-                .to_string()
-        } else {
-            subject.label.clone()
-        };
+        let mention =
+            if subject.kind == EntityKind::Person && rng.random::<f64>() < CASUAL_MENTION_RATE {
+                subject
+                    .label
+                    .split_whitespace()
+                    .last()
+                    .unwrap_or(&subject.label)
+                    .to_string()
+            } else {
+                subject.label.clone()
+            };
         let text = spec
             .question
             .expect("eligible relation has template")
@@ -84,11 +83,17 @@ pub fn generate(world: &World, n: usize, seed: u64) -> Dataset {
             id: format!("sq-{}", questions.len()),
             dataset: DatasetKind::SimpleQuestions,
             text,
-            intent: Intent::Chain { seed: f.s, path: vec![f.rel] },
+            intent: Intent::Chain {
+                seed: f.s,
+                path: vec![f.rel],
+            },
             gold: Gold::Accepted(accepted),
         });
     }
-    Dataset { kind: DatasetKind::SimpleQuestions, questions }
+    Dataset {
+        kind: DatasetKind::SimpleQuestions,
+        questions,
+    }
 }
 
 #[cfg(test)]
@@ -124,9 +129,13 @@ mod tests {
         let w = world();
         let d = generate(&w, 50, 1);
         for q in &d.questions {
-            let Intent::Chain { seed, path } = &q.intent else { unreachable!() };
+            let Intent::Chain { seed, path } = &q.intent else {
+                unreachable!()
+            };
             let objects = w.objects_of(*seed, path[0]);
-            let Gold::Accepted(accepted) = &q.gold else { unreachable!() };
+            let Gold::Accepted(accepted) = &q.gold else {
+                unreachable!()
+            };
             assert!(objects
                 .iter()
                 .any(|o| accepted.contains(&w.entity(*o).label)));
@@ -138,7 +147,9 @@ mod tests {
         let w = world();
         let d = generate(&w, 30, 2);
         for q in &d.questions {
-            let Intent::Chain { seed, .. } = &q.intent else { unreachable!() };
+            let Intent::Chain { seed, .. } = &q.intent else {
+                unreachable!()
+            };
             let label = &w.entity(*seed).label;
             let surname = label.split_whitespace().last().unwrap();
             assert!(
@@ -157,7 +168,9 @@ mod tests {
             .questions
             .iter()
             .filter(|q| {
-                let Intent::Chain { seed, .. } = &q.intent else { return false };
+                let Intent::Chain { seed, .. } = &q.intent else {
+                    return false;
+                };
                 !q.text.contains(w.entity(*seed).label.as_str())
             })
             .count();
@@ -180,7 +193,9 @@ mod tests {
         let w = world();
         let d = generate(&w, 80, 3);
         for q in &d.questions {
-            let Intent::Chain { path, .. } = &q.intent else { unreachable!() };
+            let Intent::Chain { path, .. } = &q.intent else {
+                unreachable!()
+            };
             assert!(!path[0].spec().recent);
         }
     }
@@ -189,8 +204,7 @@ mod tests {
     fn no_duplicate_questions() {
         let w = world();
         let d = generate(&w, 100, 4);
-        let set: std::collections::HashSet<&String> =
-            d.questions.iter().map(|q| &q.text).collect();
+        let set: std::collections::HashSet<&String> = d.questions.iter().map(|q| &q.text).collect();
         assert_eq!(set.len(), d.len());
     }
 }

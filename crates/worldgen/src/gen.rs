@@ -204,7 +204,9 @@ fn generate_facts(world: &mut World, rng: &mut StdRng) {
             let mut attempts = 0;
             while placed < k && attempts < 20 {
                 attempts += 1;
-                let Some(o) = obj_sampler.sample(rng) else { break };
+                let Some(o) = obj_sampler.sample(rng) else {
+                    break;
+                };
                 if o == s || !seen.insert((s, rel.0, o)) {
                     continue;
                 }
@@ -269,7 +271,10 @@ mod tests {
     #[test]
     fn different_seed_different_world() {
         let a = generate(&WorldConfig::default());
-        let b = generate(&WorldConfig { seed: 1, ..Default::default() });
+        let b = generate(&WorldConfig {
+            seed: 1,
+            ..Default::default()
+        });
         assert_ne!(
             a.entities.iter().map(|e| &e.label).collect::<Vec<_>>(),
             b.entities.iter().map(|e| &e.label).collect::<Vec<_>>()
@@ -291,7 +296,10 @@ mod tests {
             *by_label.entry(e.label.as_str()).or_default() += 1;
         }
         let dup = by_label.values().filter(|&&c| c > 1).count();
-        assert!(dup >= 10, "expected ambiguity, found {dup} duplicated labels");
+        assert!(
+            dup >= 10,
+            "expected ambiguity, found {dup} duplicated labels"
+        );
     }
 
     #[test]
@@ -343,7 +351,10 @@ mod tests {
 
     #[test]
     fn scaled_world_shrinks() {
-        let small = generate(&WorldConfig { scale: 0.3, ..Default::default() });
+        let small = generate(&WorldConfig {
+            scale: 0.3,
+            ..Default::default()
+        });
         let full = world();
         assert!(small.entity_count() < full.entity_count() / 2);
     }

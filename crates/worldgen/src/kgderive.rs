@@ -167,12 +167,7 @@ pub fn covered_entities(world: &World, src: &KgSource, kind: EntityKind) -> usiz
     world
         .entities_of_kind(kind)
         .iter()
-        .filter(|&&id| {
-            src.store
-                .atoms()
-                .get(&entity_sid(src.style, id))
-                .is_some()
-        })
+        .filter(|&&id| src.store.atoms().get(&entity_sid(src.style, id)).is_some())
         .count()
 }
 
@@ -183,7 +178,10 @@ mod tests {
     use crate::schema::rel_by_name;
 
     fn world() -> World {
-        generate(&WorldConfig { scale: 0.4, ..Default::default() })
+        generate(&WorldConfig {
+            scale: 0.4,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -199,7 +197,11 @@ mod tests {
         let w = world();
         let full = derive(
             &w,
-            &SourceConfig { coverage: 1.0, recent_coverage: 1.0, ..SourceConfig::wikidata() },
+            &SourceConfig {
+                coverage: 1.0,
+                recent_coverage: 1.0,
+                ..SourceConfig::wikidata()
+            },
         );
         let partial = derive(&w, &SourceConfig::wikidata());
         assert!(partial.len() < full.len());
@@ -211,7 +213,10 @@ mod tests {
         let fb = derive(&w, &SourceConfig::freebase());
         let chips = rel_by_name("uses_chip").unwrap().spec();
         let pred = fb.store.atoms().get(chips.freebase);
-        assert!(pred.is_none(), "frozen source must not contain recent relations");
+        assert!(
+            pred.is_none(),
+            "frozen source must not contain recent relations"
+        );
     }
 
     #[test]
@@ -238,10 +243,17 @@ mod tests {
         let w = world();
         let fb = derive(&w, &SourceConfig::freebase());
         let employer = rel_by_name("employer").unwrap().spec();
-        let p = fb.store.atoms().get(employer.freebase).expect("employer facts");
+        let p = fb
+            .store
+            .atoms()
+            .get(employer.freebase)
+            .expect("employer facts");
         for t in fb.store.by_predicate(p) {
             let o = fb.store.resolve(t.o);
-            assert!(o.starts_with("/m/"), "freebase object must be an entity id, got {o}");
+            assert!(
+                o.starts_with("/m/"),
+                "freebase object must be an entity id, got {o}"
+            );
         }
     }
 
@@ -253,7 +265,12 @@ mod tests {
         let present = w
             .entities
             .iter()
-            .find(|e| wd.store.atoms().get(&entity_sid(SchemaStyle::WikidataLike, e.id)).is_some())
+            .find(|e| {
+                wd.store
+                    .atoms()
+                    .get(&entity_sid(SchemaStyle::WikidataLike, e.id))
+                    .is_some()
+            })
             .expect("some entity present");
         let cands = wd.surface_candidates(&present.label);
         assert!(!cands.is_empty());
@@ -262,7 +279,10 @@ mod tests {
     #[test]
     fn sid_formats() {
         assert_eq!(entity_sid(SchemaStyle::WikidataLike, EntityId(5)), "Q1005");
-        assert_eq!(entity_sid(SchemaStyle::FreebaseLike, EntityId(5)), "/m/000005");
+        assert_eq!(
+            entity_sid(SchemaStyle::FreebaseLike, EntityId(5)),
+            "/m/000005"
+        );
     }
 
     #[test]

@@ -11,38 +11,75 @@ use rand::Rng;
 
 const FIRST: &[&str] = &[
     "Alan", "Maria", "Chen", "Amara", "Viktor", "Yuki", "Omar", "Ingrid", "Ravi", "Sofia",
-    "Dmitri", "Leila", "Hugo", "Mei", "Tariq", "Anya", "Paulo", "Nadia", "Kofi", "Elena",
-    "Marcus", "Priya", "Jonas", "Fatima", "Andre", "Sana", "Felix", "Rosa", "Iker", "Hana",
-    "Boris", "Carmen", "Niko", "Aisha", "Lars", "Vera", "Emil", "Dalia", "Rafael", "Mira",
+    "Dmitri", "Leila", "Hugo", "Mei", "Tariq", "Anya", "Paulo", "Nadia", "Kofi", "Elena", "Marcus",
+    "Priya", "Jonas", "Fatima", "Andre", "Sana", "Felix", "Rosa", "Iker", "Hana", "Boris",
+    "Carmen", "Niko", "Aisha", "Lars", "Vera", "Emil", "Dalia", "Rafael", "Mira",
 ];
 
 const LAST: &[&str] = &[
-    "Turing", "Silva", "Wei", "Okafor", "Petrov", "Tanaka", "Haddad", "Larsen", "Iyer",
-    "Moretti", "Volkov", "Farsi", "Schmidt", "Ling", "Rahman", "Kovacs", "Costa", "Haddix",
-    "Mensah", "Novak", "Grant", "Sharma", "Berg", "Alvi", "Duarte", "Qureshi", "Stein",
-    "Vidal", "Etxeberria", "Sato", "Orlov", "Reyes", "Makinen", "Diallo", "Holm", "Sokolova",
-    "Brandt", "Amari", "Pinto", "Lindqvist",
+    "Turing",
+    "Silva",
+    "Wei",
+    "Okafor",
+    "Petrov",
+    "Tanaka",
+    "Haddad",
+    "Larsen",
+    "Iyer",
+    "Moretti",
+    "Volkov",
+    "Farsi",
+    "Schmidt",
+    "Ling",
+    "Rahman",
+    "Kovacs",
+    "Costa",
+    "Haddix",
+    "Mensah",
+    "Novak",
+    "Grant",
+    "Sharma",
+    "Berg",
+    "Alvi",
+    "Duarte",
+    "Qureshi",
+    "Stein",
+    "Vidal",
+    "Etxeberria",
+    "Sato",
+    "Orlov",
+    "Reyes",
+    "Makinen",
+    "Diallo",
+    "Holm",
+    "Sokolova",
+    "Brandt",
+    "Amari",
+    "Pinto",
+    "Lindqvist",
 ];
 
 const CITY_A: &[&str] = &[
-    "Port", "New", "San", "East", "West", "North", "South", "Lake", "Fort", "Mount",
-    "Glen", "Ash", "Oak", "River", "Stone", "Gold", "Silver", "Clear", "Green", "High",
+    "Port", "New", "San", "East", "West", "North", "South", "Lake", "Fort", "Mount", "Glen", "Ash",
+    "Oak", "River", "Stone", "Gold", "Silver", "Clear", "Green", "High",
 ];
 const CITY_B: &[&str] = &[
-    "haven", "ford", "ville", "burg", "field", "bridge", "dale", "mouth", "crest", "view",
-    "wick", "stead", "holm", "gate", "port", "mere", "shore", "cliff",
+    "haven", "ford", "ville", "burg", "field", "bridge", "dale", "mouth", "crest", "view", "wick",
+    "stead", "holm", "gate", "port", "mere", "shore", "cliff",
 ];
 
 const COUNTRY_A: &[&str] = &[
-    "Nor", "Vel", "Zan", "Kor", "Al", "Bel", "Dor", "Est", "Far", "Gal", "Hel", "Ist",
-    "Jor", "Kal", "Lor", "Mar", "Nev", "Ost", "Pel", "Quar", "Ros", "Sel", "Tor", "Ul",
-    "Var", "Wes", "Xan", "Yor", "Zel", "Bra",
+    "Nor", "Vel", "Zan", "Kor", "Al", "Bel", "Dor", "Est", "Far", "Gal", "Hel", "Ist", "Jor",
+    "Kal", "Lor", "Mar", "Nev", "Ost", "Pel", "Quar", "Ros", "Sel", "Tor", "Ul", "Var", "Wes",
+    "Xan", "Yor", "Zel", "Bra",
 ];
-const COUNTRY_B: &[&str] = &["donia", "mark", "land", "ia", "avia", "istan", "ora", "una", "esia", "aria"];
+const COUNTRY_B: &[&str] = &[
+    "donia", "mark", "land", "ia", "avia", "istan", "ora", "una", "esia", "aria",
+];
 
 const RIVER_A: &[&str] = &[
-    "Silver", "Long", "Great", "Black", "White", "Red", "Blue", "Swift", "Cold", "Deep",
-    "Winding", "Broad", "Stony", "Misty", "Amber", "Iron", "Jade", "Copper", "Golden", "Wild",
+    "Silver", "Long", "Great", "Black", "White", "Red", "Blue", "Swift", "Cold", "Deep", "Winding",
+    "Broad", "Stony", "Misty", "Amber", "Iron", "Jade", "Copper", "Golden", "Wild",
 ];
 
 const RANGE_A: &[&str] = &[
@@ -52,105 +89,257 @@ const RANGE_A: &[&str] = &[
 
 const COMPANY_A: &[&str] = &[
     "Tekna", "Novex", "Quantia", "Vertex", "Solaris", "Aperion", "Lumina", "Cryon", "Helix",
-    "Zephyr", "Orion", "Pinnacle", "Nimbus", "Vantage", "Keystone", "Atlas", "Horizon",
-    "Polaris", "Synthex", "Meridian", "Cobalt", "Arcadia", "Vireo", "Stratus", "Onyx",
+    "Zephyr", "Orion", "Pinnacle", "Nimbus", "Vantage", "Keystone", "Atlas", "Horizon", "Polaris",
+    "Synthex", "Meridian", "Cobalt", "Arcadia", "Vireo", "Stratus", "Onyx",
 ];
 const COMPANY_B: &[&str] = &[
-    "Systems", "Labs", "Dynamics", "Industries", "Technologies", "Works", "Group",
-    "Computing", "Robotics", "Media", "Energy", "Motors",
+    "Systems",
+    "Labs",
+    "Dynamics",
+    "Industries",
+    "Technologies",
+    "Works",
+    "Group",
+    "Computing",
+    "Robotics",
+    "Media",
+    "Energy",
+    "Motors",
 ];
 
 const DEVICE_A: &[&str] = &[
-    "Nova", "Pulse", "Aero", "Vision", "Echo", "Flux", "Zen", "Orbit", "Spark", "Wave",
-    "Prism", "Core", "Halo", "Quark", "Vector",
+    "Nova", "Pulse", "Aero", "Vision", "Echo", "Flux", "Zen", "Orbit", "Spark", "Wave", "Prism",
+    "Core", "Halo", "Quark", "Vector",
 ];
-const DEVICE_B: &[&str] = &["Pro", "Max", "Air", "Ultra", "One", "X", "Mini", "Plus", "Go", "Neo"];
+const DEVICE_B: &[&str] = &[
+    "Pro", "Max", "Air", "Ultra", "One", "X", "Mini", "Plus", "Go", "Neo",
+];
 
-const CHIP_A: &[&str] = &["Axion", "Corex", "Nexar", "Photon", "Tessera", "Vulcan", "Argon", "Krait", "Zircon", "Helio"];
+const CHIP_A: &[&str] = &[
+    "Axion", "Corex", "Nexar", "Photon", "Tessera", "Vulcan", "Argon", "Krait", "Zircon", "Helio",
+];
 
 const UNI_A: &[&str] = &[
-    "Northfield", "Easton", "Westbrook", "Kingsford", "Clearwater", "Ashford", "Briarton",
-    "Langdale", "Mirefield", "Stonebridge", "Harrowgate", "Eldermoor", "Fairhaven", "Graythorn",
-    "Oakmont", "Winslow", "Calder", "Penrose", "Thornbury", "Veldt",
+    "Northfield",
+    "Easton",
+    "Westbrook",
+    "Kingsford",
+    "Clearwater",
+    "Ashford",
+    "Briarton",
+    "Langdale",
+    "Mirefield",
+    "Stonebridge",
+    "Harrowgate",
+    "Eldermoor",
+    "Fairhaven",
+    "Graythorn",
+    "Oakmont",
+    "Winslow",
+    "Calder",
+    "Penrose",
+    "Thornbury",
+    "Veldt",
 ];
 
 const FILM_A: &[&str] = &[
-    "The Last", "A Distant", "The Silent", "Beyond the", "Children of", "The Burning",
-    "Shadows of", "The Glass", "Whispers of", "The Iron", "Echoes of", "The Hidden",
-    "Return to", "The Broken", "Songs of", "The Crimson",
+    "The Last",
+    "A Distant",
+    "The Silent",
+    "Beyond the",
+    "Children of",
+    "The Burning",
+    "Shadows of",
+    "The Glass",
+    "Whispers of",
+    "The Iron",
+    "Echoes of",
+    "The Hidden",
+    "Return to",
+    "The Broken",
+    "Songs of",
+    "The Crimson",
 ];
 const FILM_B: &[&str] = &[
-    "Horizon", "Garden", "Empire", "River", "Winter", "Machine", "Harbor", "Mountain",
-    "Dream", "Voyage", "Kingdom", "Lantern", "Mirror", "Storm", "Orchard",
+    "Horizon", "Garden", "Empire", "River", "Winter", "Machine", "Harbor", "Mountain", "Dream",
+    "Voyage", "Kingdom", "Lantern", "Mirror", "Storm", "Orchard",
 ];
 
 const BOOK_B: &[&str] = &[
-    "Chronicle", "Testament", "Atlas", "Manifesto", "Memoir", "Paradox", "Equation",
-    "Labyrinth", "Cartography", "Symphony", "Herbarium", "Almanac",
+    "Chronicle",
+    "Testament",
+    "Atlas",
+    "Manifesto",
+    "Memoir",
+    "Paradox",
+    "Equation",
+    "Labyrinth",
+    "Cartography",
+    "Symphony",
+    "Herbarium",
+    "Almanac",
 ];
 
 const BAND_A: &[&str] = &[
-    "Velvet", "Neon", "Crimson", "Electric", "Midnight", "Paper", "Static", "Lunar",
-    "Hollow", "Golden", "Arctic", "Wild", "Broken", "Silver", "Phantom",
+    "Velvet", "Neon", "Crimson", "Electric", "Midnight", "Paper", "Static", "Lunar", "Hollow",
+    "Golden", "Arctic", "Wild", "Broken", "Silver", "Phantom",
 ];
 const BAND_B: &[&str] = &[
-    "Foxes", "Parade", "Monarchs", "Cascade", "Harbors", "Satellites", "Wolves", "Gardens",
-    "Engines", "Mirrors", "Tides", "Sparrows",
+    "Foxes",
+    "Parade",
+    "Monarchs",
+    "Cascade",
+    "Harbors",
+    "Satellites",
+    "Wolves",
+    "Gardens",
+    "Engines",
+    "Mirrors",
+    "Tides",
+    "Sparrows",
 ];
 
 const GENRES: &[&str] = &[
-    "jazz", "soul music", "funk", "blues", "pop music", "rhythm and blues", "folk rock",
-    "pop rock", "indie rock", "electronic music", "hip hop", "classical music", "ambient",
-    "science fiction", "drama", "thriller", "documentary", "comedy", "film noir", "western",
+    "jazz",
+    "soul music",
+    "funk",
+    "blues",
+    "pop music",
+    "rhythm and blues",
+    "folk rock",
+    "pop rock",
+    "indie rock",
+    "electronic music",
+    "hip hop",
+    "classical music",
+    "ambient",
+    "science fiction",
+    "drama",
+    "thriller",
+    "documentary",
+    "comedy",
+    "film noir",
+    "western",
 ];
 
 const AWARDS: &[&str] = &[
-    "Meridian Prize", "Golden Laurel Award", "Aster Medal", "Polaris Honor", "Caldera Prize",
-    "Luminary Award", "Vanguard Medal", "Zenith Prize", "Argent Cross", "Horizon Fellowship",
-    "Corona Award", "Beacon Prize", "Halcyon Medal", "Summit Laurel", "Meristem Prize",
+    "Meridian Prize",
+    "Golden Laurel Award",
+    "Aster Medal",
+    "Polaris Honor",
+    "Caldera Prize",
+    "Luminary Award",
+    "Vanguard Medal",
+    "Zenith Prize",
+    "Argent Cross",
+    "Horizon Fellowship",
+    "Corona Award",
+    "Beacon Prize",
+    "Halcyon Medal",
+    "Summit Laurel",
+    "Meristem Prize",
 ];
 
 const FIELDS: &[&str] = &[
-    "artificial intelligence", "quantum computing", "molecular biology", "renewable energy",
-    "deep sea exploration", "astrophysics", "cryptography", "neuroscience", "robotics",
-    "climate modeling", "synthetic chemistry", "computational linguistics",
+    "artificial intelligence",
+    "quantum computing",
+    "molecular biology",
+    "renewable energy",
+    "deep sea exploration",
+    "astrophysics",
+    "cryptography",
+    "neuroscience",
+    "robotics",
+    "climate modeling",
+    "synthetic chemistry",
+    "computational linguistics",
 ];
 
 const OCCUPATIONS: &[&str] = &[
-    "singer", "singer-songwriter", "record producer", "pianist", "actor", "film director",
-    "novelist", "physicist", "engineer", "basketball player", "painter", "architect",
-    "chef", "journalist", "mathematician", "composer", "biologist", "chemist", "historian",
+    "singer",
+    "singer-songwriter",
+    "record producer",
+    "pianist",
+    "actor",
+    "film director",
+    "novelist",
+    "physicist",
+    "engineer",
+    "basketball player",
+    "painter",
+    "architect",
+    "chef",
+    "journalist",
+    "mathematician",
+    "composer",
+    "biologist",
+    "chemist",
+    "historian",
     "economist",
 ];
 
 const SPORTS: &[&str] = &[
-    "basketball", "football", "tennis", "cricket", "hockey", "baseball", "volleyball",
-    "rugby", "badminton", "table tennis", "handball", "golf",
+    "basketball",
+    "football",
+    "tennis",
+    "cricket",
+    "hockey",
+    "baseball",
+    "volleyball",
+    "rugby",
+    "badminton",
+    "table tennis",
+    "handball",
+    "golf",
 ];
 
 const TEAM_B: &[&str] = &[
-    "Rockets", "Mariners", "Falcons", "Comets", "Titans", "Rangers", "Sharks", "Wolves",
-    "Pioneers", "Dragons", "Knights", "Hurricanes", "Bisons", "Ravens", "Stallions",
+    "Rockets",
+    "Mariners",
+    "Falcons",
+    "Comets",
+    "Titans",
+    "Rangers",
+    "Sharks",
+    "Wolves",
+    "Pioneers",
+    "Dragons",
+    "Knights",
+    "Hurricanes",
+    "Bisons",
+    "Ravens",
+    "Stallions",
 ];
 
-const CONTINENTS: &[&str] = &["Oresia", "Valtara", "Meridia", "Borealis", "Austrane", "Zephyria"];
+const CONTINENTS: &[&str] = &[
+    "Oresia", "Valtara", "Meridia", "Borealis", "Austrane", "Zephyria",
+];
 
 const LAKE_B: &[&str] = &[
-    "Mirror", "Crater", "Crescent", "Azure", "Glacier", "Willow", "Falcon", "Boulder",
-    "Heron", "Juniper", "Larch", "Osprey", "Pike", "Quill", "Reed",
+    "Mirror", "Crater", "Crescent", "Azure", "Glacier", "Willow", "Falcon", "Boulder", "Heron",
+    "Juniper", "Larch", "Osprey", "Pike", "Quill", "Reed",
 ];
 
 const MOUNTAIN_B: &[&str] = &[
-    "Kestrel", "Vortex", "Sentinel", "Colossus", "Warden", "Pinnacle", "Spire", "Monarch",
-    "Guardian", "Leviathan", "Basilisk", "Gryphon", "Harbinger", "Oracle", "Paragon",
+    "Kestrel",
+    "Vortex",
+    "Sentinel",
+    "Colossus",
+    "Warden",
+    "Pinnacle",
+    "Spire",
+    "Monarch",
+    "Guardian",
+    "Leviathan",
+    "Basilisk",
+    "Gryphon",
+    "Harbinger",
+    "Oracle",
+    "Paragon",
 ];
 
 /// Draw a fresh unique name of the given kind.
-pub fn fresh_name(
-    kind: EntityKind,
-    rng: &mut StdRng,
-    used: &mut FxHashSet<String>,
-) -> String {
+pub fn fresh_name(kind: EntityKind, rng: &mut StdRng, used: &mut FxHashSet<String>) -> String {
     for attempt in 0..1000 {
         let name = compose(kind, rng, attempt);
         if used.insert(name.clone()) {

@@ -165,41 +165,489 @@ pub struct RelationSpec {
 /// The canonical relation vocabulary.
 pub static RELATIONS: &[RelationSpec] = &[
     // ---- people ----
-    RelationSpec { name: "place_of_birth", subject: EntityKind::Person, object: EntityKind::City, wikidata: "place of birth", freebase: "/people/person/place_of_birth", cypher: "BORN_IN", phrase: "was born in", question: Some("Where was {s} born?"), descriptor: Some("the birthplace of {s}"), max_objects: 1, density: 0.95, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "occupation", subject: EntityKind::Person, object: EntityKind::Occupation, wikidata: "occupation", freebase: "/people/person/profession", cypher: "HAS_OCCUPATION", phrase: "works as", question: Some("What is the occupation of {s}?"), descriptor: None, max_objects: 3, density: 0.9, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "spouse", subject: EntityKind::Person, object: EntityKind::Person, wikidata: "spouse", freebase: "/people/person/spouse_s", cypher: "MARRIED_TO", phrase: "is married to", question: Some("Who is the spouse of {s}?"), descriptor: Some("the spouse of {s}"), max_objects: 1, density: 0.6, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "citizenship", subject: EntityKind::Person, object: EntityKind::Country, wikidata: "country of citizenship", freebase: "/people/person/nationality", cypher: "CITIZEN_OF", phrase: "is a citizen of", question: Some("What is the nationality of {s}?"), descriptor: Some("the home country of {s}"), max_objects: 1, density: 0.9, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "educated_at", subject: EntityKind::Person, object: EntityKind::University, wikidata: "educated at", freebase: "/people/person/education", cypher: "STUDIED_AT", phrase: "studied at", question: Some("Where did {s} study?"), descriptor: None, max_objects: 2, density: 0.7, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "employer", subject: EntityKind::Person, object: EntityKind::Company, wikidata: "employer", freebase: "/people/person/employment_history", cypher: "WORKS_FOR", phrase: "works for", question: Some("Which company does {s} work for?"), descriptor: None, max_objects: 2, density: 0.5, wikidata_mediated: true, recent: false },
-    RelationSpec { name: "award_received", subject: EntityKind::Person, object: EntityKind::Award, wikidata: "award received", freebase: "/people/person/awards_won", cypher: "WON", phrase: "received", question: Some("Which award did {s} receive?"), descriptor: None, max_objects: 3, density: 0.35, wikidata_mediated: true, recent: false },
-    RelationSpec { name: "known_for_pioneering", subject: EntityKind::Person, object: EntityKind::Field, wikidata: "known for", freebase: "/people/person/known_for", cypher: "PIONEER_OF", phrase: "is acknowledged as a pioneer of", question: None, descriptor: None, max_objects: 2, density: 0.75, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "plays_sport", subject: EntityKind::Person, object: EntityKind::Sport, wikidata: "sport", freebase: "/sports/pro_athlete/sport", cypher: "PLAYS", phrase: "plays", question: Some("Which sport does {s} play?"), descriptor: Some("the sport played by {s}"), max_objects: 1, density: 0.3, wikidata_mediated: true, recent: false },
-    RelationSpec { name: "member_of_team", subject: EntityKind::Person, object: EntityKind::Team, wikidata: "member of sports team", freebase: "/sports/pro_athlete/teams", cypher: "MEMBER_OF", phrase: "is a member of", question: Some("Which team does {s} play for?"), descriptor: None, max_objects: 2, density: 0.25, wikidata_mediated: true, recent: false },
+    RelationSpec {
+        name: "place_of_birth",
+        subject: EntityKind::Person,
+        object: EntityKind::City,
+        wikidata: "place of birth",
+        freebase: "/people/person/place_of_birth",
+        cypher: "BORN_IN",
+        phrase: "was born in",
+        question: Some("Where was {s} born?"),
+        descriptor: Some("the birthplace of {s}"),
+        max_objects: 1,
+        density: 0.95,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "occupation",
+        subject: EntityKind::Person,
+        object: EntityKind::Occupation,
+        wikidata: "occupation",
+        freebase: "/people/person/profession",
+        cypher: "HAS_OCCUPATION",
+        phrase: "works as",
+        question: Some("What is the occupation of {s}?"),
+        descriptor: None,
+        max_objects: 3,
+        density: 0.9,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "spouse",
+        subject: EntityKind::Person,
+        object: EntityKind::Person,
+        wikidata: "spouse",
+        freebase: "/people/person/spouse_s",
+        cypher: "MARRIED_TO",
+        phrase: "is married to",
+        question: Some("Who is the spouse of {s}?"),
+        descriptor: Some("the spouse of {s}"),
+        max_objects: 1,
+        density: 0.6,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "citizenship",
+        subject: EntityKind::Person,
+        object: EntityKind::Country,
+        wikidata: "country of citizenship",
+        freebase: "/people/person/nationality",
+        cypher: "CITIZEN_OF",
+        phrase: "is a citizen of",
+        question: Some("What is the nationality of {s}?"),
+        descriptor: Some("the home country of {s}"),
+        max_objects: 1,
+        density: 0.9,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "educated_at",
+        subject: EntityKind::Person,
+        object: EntityKind::University,
+        wikidata: "educated at",
+        freebase: "/people/person/education",
+        cypher: "STUDIED_AT",
+        phrase: "studied at",
+        question: Some("Where did {s} study?"),
+        descriptor: None,
+        max_objects: 2,
+        density: 0.7,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "employer",
+        subject: EntityKind::Person,
+        object: EntityKind::Company,
+        wikidata: "employer",
+        freebase: "/people/person/employment_history",
+        cypher: "WORKS_FOR",
+        phrase: "works for",
+        question: Some("Which company does {s} work for?"),
+        descriptor: None,
+        max_objects: 2,
+        density: 0.5,
+        wikidata_mediated: true,
+        recent: false,
+    },
+    RelationSpec {
+        name: "award_received",
+        subject: EntityKind::Person,
+        object: EntityKind::Award,
+        wikidata: "award received",
+        freebase: "/people/person/awards_won",
+        cypher: "WON",
+        phrase: "received",
+        question: Some("Which award did {s} receive?"),
+        descriptor: None,
+        max_objects: 3,
+        density: 0.35,
+        wikidata_mediated: true,
+        recent: false,
+    },
+    RelationSpec {
+        name: "known_for_pioneering",
+        subject: EntityKind::Person,
+        object: EntityKind::Field,
+        wikidata: "known for",
+        freebase: "/people/person/known_for",
+        cypher: "PIONEER_OF",
+        phrase: "is acknowledged as a pioneer of",
+        question: None,
+        descriptor: None,
+        max_objects: 2,
+        density: 0.75,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "plays_sport",
+        subject: EntityKind::Person,
+        object: EntityKind::Sport,
+        wikidata: "sport",
+        freebase: "/sports/pro_athlete/sport",
+        cypher: "PLAYS",
+        phrase: "plays",
+        question: Some("Which sport does {s} play?"),
+        descriptor: Some("the sport played by {s}"),
+        max_objects: 1,
+        density: 0.3,
+        wikidata_mediated: true,
+        recent: false,
+    },
+    RelationSpec {
+        name: "member_of_team",
+        subject: EntityKind::Person,
+        object: EntityKind::Team,
+        wikidata: "member of sports team",
+        freebase: "/sports/pro_athlete/teams",
+        cypher: "MEMBER_OF",
+        phrase: "is a member of",
+        question: Some("Which team does {s} play for?"),
+        descriptor: None,
+        max_objects: 2,
+        density: 0.25,
+        wikidata_mediated: true,
+        recent: false,
+    },
     // ---- geography ----
-    RelationSpec { name: "capital", subject: EntityKind::Country, object: EntityKind::City, wikidata: "capital", freebase: "/location/country/capital", cypher: "HAS_CAPITAL", phrase: "has the capital", question: Some("What is the capital of {s}?"), descriptor: Some("the capital of {s}"), max_objects: 1, density: 1.0, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "country_of", subject: EntityKind::City, object: EntityKind::Country, wikidata: "country", freebase: "/location/location/containedby", cypher: "LOCATED_IN", phrase: "is located in", question: Some("In which country is {s}?"), descriptor: Some("the country of {s}"), max_objects: 1, density: 1.0, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "continent", subject: EntityKind::Country, object: EntityKind::Continent, wikidata: "continent", freebase: "/location/country/continent", cypher: "PART_OF", phrase: "is part of", question: Some("On which continent is {s}?"), descriptor: Some("the continent of {s}"), max_objects: 1, density: 1.0, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "flows_through", subject: EntityKind::River, object: EntityKind::Country, wikidata: "country", freebase: "/geography/river/basin_countries", cypher: "FLOWS_THROUGH", phrase: "flows through", question: Some("Which countries does {s} flow through?"), descriptor: None, max_objects: 6, density: 1.0, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "covers", subject: EntityKind::MountainRange, object: EntityKind::Country, wikidata: "country", freebase: "/geography/mountain_range/countries", cypher: "COVERS", phrase: "covers", question: Some("Which countries does {s} cover?"), descriptor: None, max_objects: 8, density: 1.0, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "lake_country", subject: EntityKind::Lake, object: EntityKind::Country, wikidata: "country", freebase: "/geography/lake/containing_country", cypher: "IN_COUNTRY", phrase: "lies in", question: Some("In which country is {s}?"), descriptor: None, max_objects: 3, density: 1.0, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "highest_point", subject: EntityKind::Country, object: EntityKind::Mountain, wikidata: "highest point", freebase: "/location/country/highest_point", cypher: "HIGHEST_POINT", phrase: "has its highest point at", question: Some("What is the highest point of {s}?"), descriptor: Some("the highest point of {s}"), max_objects: 1, density: 0.8, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "mountain_range_of", subject: EntityKind::Mountain, object: EntityKind::MountainRange, wikidata: "mountain range", freebase: "/geography/mountain/mountain_range", cypher: "PART_OF_RANGE", phrase: "belongs to", question: Some("Which range does {s} belong to?"), descriptor: Some("the range of {s}"), max_objects: 1, density: 0.9, wikidata_mediated: false, recent: false },
+    RelationSpec {
+        name: "capital",
+        subject: EntityKind::Country,
+        object: EntityKind::City,
+        wikidata: "capital",
+        freebase: "/location/country/capital",
+        cypher: "HAS_CAPITAL",
+        phrase: "has the capital",
+        question: Some("What is the capital of {s}?"),
+        descriptor: Some("the capital of {s}"),
+        max_objects: 1,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "country_of",
+        subject: EntityKind::City,
+        object: EntityKind::Country,
+        wikidata: "country",
+        freebase: "/location/location/containedby",
+        cypher: "LOCATED_IN",
+        phrase: "is located in",
+        question: Some("In which country is {s}?"),
+        descriptor: Some("the country of {s}"),
+        max_objects: 1,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "continent",
+        subject: EntityKind::Country,
+        object: EntityKind::Continent,
+        wikidata: "continent",
+        freebase: "/location/country/continent",
+        cypher: "PART_OF",
+        phrase: "is part of",
+        question: Some("On which continent is {s}?"),
+        descriptor: Some("the continent of {s}"),
+        max_objects: 1,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "flows_through",
+        subject: EntityKind::River,
+        object: EntityKind::Country,
+        wikidata: "country",
+        freebase: "/geography/river/basin_countries",
+        cypher: "FLOWS_THROUGH",
+        phrase: "flows through",
+        question: Some("Which countries does {s} flow through?"),
+        descriptor: None,
+        max_objects: 6,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "covers",
+        subject: EntityKind::MountainRange,
+        object: EntityKind::Country,
+        wikidata: "country",
+        freebase: "/geography/mountain_range/countries",
+        cypher: "COVERS",
+        phrase: "covers",
+        question: Some("Which countries does {s} cover?"),
+        descriptor: None,
+        max_objects: 8,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "lake_country",
+        subject: EntityKind::Lake,
+        object: EntityKind::Country,
+        wikidata: "country",
+        freebase: "/geography/lake/containing_country",
+        cypher: "IN_COUNTRY",
+        phrase: "lies in",
+        question: Some("In which country is {s}?"),
+        descriptor: None,
+        max_objects: 3,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "highest_point",
+        subject: EntityKind::Country,
+        object: EntityKind::Mountain,
+        wikidata: "highest point",
+        freebase: "/location/country/highest_point",
+        cypher: "HIGHEST_POINT",
+        phrase: "has its highest point at",
+        question: Some("What is the highest point of {s}?"),
+        descriptor: Some("the highest point of {s}"),
+        max_objects: 1,
+        density: 0.8,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "mountain_range_of",
+        subject: EntityKind::Mountain,
+        object: EntityKind::MountainRange,
+        wikidata: "mountain range",
+        freebase: "/geography/mountain/mountain_range",
+        cypher: "PART_OF_RANGE",
+        phrase: "belongs to",
+        question: Some("Which range does {s} belong to?"),
+        descriptor: Some("the range of {s}"),
+        max_objects: 1,
+        density: 0.9,
+        wikidata_mediated: false,
+        recent: false,
+    },
     // ---- arts ----
-    RelationSpec { name: "director", subject: EntityKind::Film, object: EntityKind::Person, wikidata: "director", freebase: "/film/film/directed_by", cypher: "DIRECTED_BY", phrase: "was directed by", question: Some("Who directed {s}?"), descriptor: Some("the director of {s}"), max_objects: 1, density: 1.0, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "starring", subject: EntityKind::Film, object: EntityKind::Person, wikidata: "cast member", freebase: "/film/film/starring", cypher: "STARS", phrase: "stars", question: Some("Who starred in {s}?"), descriptor: None, max_objects: 4, density: 0.95, wikidata_mediated: true, recent: false },
-    RelationSpec { name: "author", subject: EntityKind::Book, object: EntityKind::Person, wikidata: "author", freebase: "/book/written_work/author", cypher: "WRITTEN_BY", phrase: "was written by", question: Some("Who wrote {s}?"), descriptor: Some("the author of {s}"), max_objects: 1, density: 1.0, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "film_genre", subject: EntityKind::Film, object: EntityKind::Genre, wikidata: "genre", freebase: "/film/film/genre", cypher: "HAS_GENRE", phrase: "belongs to the genre", question: Some("What genre is {s}?"), descriptor: None, max_objects: 2, density: 0.9, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "band_member", subject: EntityKind::Band, object: EntityKind::Person, wikidata: "has part", freebase: "/music/musical_group/member", cypher: "HAS_MEMBER", phrase: "includes the member", question: Some("Who is a member of {s}?"), descriptor: None, max_objects: 5, density: 1.0, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "music_genre", subject: EntityKind::Band, object: EntityKind::Genre, wikidata: "genre", freebase: "/music/artist/genre", cypher: "HAS_GENRE", phrase: "plays the genre", question: Some("What genre does {s} play?"), descriptor: None, max_objects: 3, density: 0.9, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "record_label", subject: EntityKind::Band, object: EntityKind::Company, wikidata: "record label", freebase: "/music/artist/label", cypher: "SIGNED_TO", phrase: "is signed to", question: Some("Which label is {s} signed to?"), descriptor: Some("the record label of {s}"), max_objects: 1, density: 0.8, wikidata_mediated: true, recent: false },
+    RelationSpec {
+        name: "director",
+        subject: EntityKind::Film,
+        object: EntityKind::Person,
+        wikidata: "director",
+        freebase: "/film/film/directed_by",
+        cypher: "DIRECTED_BY",
+        phrase: "was directed by",
+        question: Some("Who directed {s}?"),
+        descriptor: Some("the director of {s}"),
+        max_objects: 1,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "starring",
+        subject: EntityKind::Film,
+        object: EntityKind::Person,
+        wikidata: "cast member",
+        freebase: "/film/film/starring",
+        cypher: "STARS",
+        phrase: "stars",
+        question: Some("Who starred in {s}?"),
+        descriptor: None,
+        max_objects: 4,
+        density: 0.95,
+        wikidata_mediated: true,
+        recent: false,
+    },
+    RelationSpec {
+        name: "author",
+        subject: EntityKind::Book,
+        object: EntityKind::Person,
+        wikidata: "author",
+        freebase: "/book/written_work/author",
+        cypher: "WRITTEN_BY",
+        phrase: "was written by",
+        question: Some("Who wrote {s}?"),
+        descriptor: Some("the author of {s}"),
+        max_objects: 1,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "film_genre",
+        subject: EntityKind::Film,
+        object: EntityKind::Genre,
+        wikidata: "genre",
+        freebase: "/film/film/genre",
+        cypher: "HAS_GENRE",
+        phrase: "belongs to the genre",
+        question: Some("What genre is {s}?"),
+        descriptor: None,
+        max_objects: 2,
+        density: 0.9,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "band_member",
+        subject: EntityKind::Band,
+        object: EntityKind::Person,
+        wikidata: "has part",
+        freebase: "/music/musical_group/member",
+        cypher: "HAS_MEMBER",
+        phrase: "includes the member",
+        question: Some("Who is a member of {s}?"),
+        descriptor: None,
+        max_objects: 5,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "music_genre",
+        subject: EntityKind::Band,
+        object: EntityKind::Genre,
+        wikidata: "genre",
+        freebase: "/music/artist/genre",
+        cypher: "HAS_GENRE",
+        phrase: "plays the genre",
+        question: Some("What genre does {s} play?"),
+        descriptor: None,
+        max_objects: 3,
+        density: 0.9,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "record_label",
+        subject: EntityKind::Band,
+        object: EntityKind::Company,
+        wikidata: "record label",
+        freebase: "/music/artist/label",
+        cypher: "SIGNED_TO",
+        phrase: "is signed to",
+        question: Some("Which label is {s} signed to?"),
+        descriptor: Some("the record label of {s}"),
+        max_objects: 1,
+        density: 0.8,
+        wikidata_mediated: true,
+        recent: false,
+    },
     // ---- organisations & tech ----
-    RelationSpec { name: "founded_by", subject: EntityKind::Company, object: EntityKind::Person, wikidata: "founded by", freebase: "/organization/organization/founders", cypher: "FOUNDED_BY", phrase: "was founded by", question: Some("Who founded {s}?"), descriptor: None, max_objects: 2, density: 0.9, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "headquarters", subject: EntityKind::Company, object: EntityKind::City, wikidata: "headquarters location", freebase: "/organization/organization/headquarters", cypher: "HEADQUARTERED_IN", phrase: "is headquartered in", question: Some("Where is {s} headquartered?"), descriptor: Some("the headquarters city of {s}"), max_objects: 1, density: 0.95, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "ceo", subject: EntityKind::Company, object: EntityKind::Person, wikidata: "chief executive officer", freebase: "/business/company/ceo", cypher: "LED_BY", phrase: "is led by", question: Some("Who is the CEO of {s}?"), descriptor: Some("the CEO of {s}"), max_objects: 1, density: 0.85, wikidata_mediated: true, recent: false },
-    RelationSpec { name: "developed_by", subject: EntityKind::Device, object: EntityKind::Company, wikidata: "developer", freebase: "/computer/device/developer", cypher: "DEVELOPED_BY", phrase: "was developed by", question: Some("Which company developed {s}?"), descriptor: Some("the company behind {s}"), max_objects: 1, density: 1.0, wikidata_mediated: false, recent: true },
-    RelationSpec { name: "uses_chip", subject: EntityKind::Device, object: EntityKind::Chip, wikidata: "has part", freebase: "/computer/device/processor", cypher: "COMES_WITH", phrase: "comes with", question: Some("What kind of chips does {s} use?"), descriptor: None, max_objects: 2, density: 1.0, wikidata_mediated: false, recent: true },
-    RelationSpec { name: "university_city", subject: EntityKind::University, object: EntityKind::City, wikidata: "located in", freebase: "/education/university/city", cypher: "LOCATED_IN", phrase: "is located in", question: Some("In which city is {s}?"), descriptor: Some("the city of {s}"), max_objects: 1, density: 1.0, wikidata_mediated: false, recent: false },
-    RelationSpec { name: "team_city", subject: EntityKind::Team, object: EntityKind::City, wikidata: "home venue city", freebase: "/sports/sports_team/location", cypher: "BASED_IN", phrase: "is based in", question: Some("Where is {s} based?"), descriptor: Some("the home city of {s}"), max_objects: 1, density: 1.0, wikidata_mediated: false, recent: false },
+    RelationSpec {
+        name: "founded_by",
+        subject: EntityKind::Company,
+        object: EntityKind::Person,
+        wikidata: "founded by",
+        freebase: "/organization/organization/founders",
+        cypher: "FOUNDED_BY",
+        phrase: "was founded by",
+        question: Some("Who founded {s}?"),
+        descriptor: None,
+        max_objects: 2,
+        density: 0.9,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "headquarters",
+        subject: EntityKind::Company,
+        object: EntityKind::City,
+        wikidata: "headquarters location",
+        freebase: "/organization/organization/headquarters",
+        cypher: "HEADQUARTERED_IN",
+        phrase: "is headquartered in",
+        question: Some("Where is {s} headquartered?"),
+        descriptor: Some("the headquarters city of {s}"),
+        max_objects: 1,
+        density: 0.95,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "ceo",
+        subject: EntityKind::Company,
+        object: EntityKind::Person,
+        wikidata: "chief executive officer",
+        freebase: "/business/company/ceo",
+        cypher: "LED_BY",
+        phrase: "is led by",
+        question: Some("Who is the CEO of {s}?"),
+        descriptor: Some("the CEO of {s}"),
+        max_objects: 1,
+        density: 0.85,
+        wikidata_mediated: true,
+        recent: false,
+    },
+    RelationSpec {
+        name: "developed_by",
+        subject: EntityKind::Device,
+        object: EntityKind::Company,
+        wikidata: "developer",
+        freebase: "/computer/device/developer",
+        cypher: "DEVELOPED_BY",
+        phrase: "was developed by",
+        question: Some("Which company developed {s}?"),
+        descriptor: Some("the company behind {s}"),
+        max_objects: 1,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: true,
+    },
+    RelationSpec {
+        name: "uses_chip",
+        subject: EntityKind::Device,
+        object: EntityKind::Chip,
+        wikidata: "has part",
+        freebase: "/computer/device/processor",
+        cypher: "COMES_WITH",
+        phrase: "comes with",
+        question: Some("What kind of chips does {s} use?"),
+        descriptor: None,
+        max_objects: 2,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: true,
+    },
+    RelationSpec {
+        name: "university_city",
+        subject: EntityKind::University,
+        object: EntityKind::City,
+        wikidata: "located in",
+        freebase: "/education/university/city",
+        cypher: "LOCATED_IN",
+        phrase: "is located in",
+        question: Some("In which city is {s}?"),
+        descriptor: Some("the city of {s}"),
+        max_objects: 1,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
+    RelationSpec {
+        name: "team_city",
+        subject: EntityKind::Team,
+        object: EntityKind::City,
+        wikidata: "home venue city",
+        freebase: "/sports/sports_team/location",
+        cypher: "BASED_IN",
+        phrase: "is based in",
+        question: Some("Where is {s} based?"),
+        descriptor: Some("the home city of {s}"),
+        max_objects: 1,
+        density: 1.0,
+        wikidata_mediated: false,
+        recent: false,
+    },
 ];
 
 /// Look up a relation id by canonical name.
@@ -267,6 +715,9 @@ mod tests {
     #[test]
     fn some_relations_are_mediated() {
         let mediated: Vec<_> = RELATIONS.iter().filter(|r| r.wikidata_mediated).collect();
-        assert!(mediated.len() >= 3, "need enough mediated relations for Table 3");
+        assert!(
+            mediated.len() >= 3,
+            "need enough mediated relations for Table 3"
+        );
     }
 }

@@ -24,11 +24,7 @@ fn main() {
     println!("Schema flavour comparison (first triples of each source):");
     for src in [&wikidata, &freebase] {
         let t = src.store.iter().next().unwrap();
-        println!(
-            "  {:13} {}",
-            src.name,
-            src.store.to_str_triple(t)
-        );
+        println!("  {:13} {}", src.name, src.store.to_str_triple(t));
     }
 
     let mut table = Table::new(

@@ -28,7 +28,10 @@ fn main() {
 
     let methods: Vec<(&str, Box<dyn Method>)> = vec![
         ("CoT", Box::new(Cot)),
-        ("Pseudo-graph only", Box::new(PseudoGraphPipeline::pseudo_only())),
+        (
+            "Pseudo-graph only",
+            Box::new(PseudoGraphPipeline::pseudo_only()),
+        ),
         ("Full pipeline", Box::new(PseudoGraphPipeline::full())),
     ];
 

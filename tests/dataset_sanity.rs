@@ -47,8 +47,12 @@ fn simplequestions_mostly_answerable_from_freebase() {
     let ds = worldgen::datasets::simpleq::generate(&w, 300, 101);
     let mut answerable = 0;
     for q in &ds.questions {
-        let Intent::Chain { seed, path } = &q.intent else { unreachable!() };
-        let Gold::Accepted(accepted) = &q.gold else { unreachable!() };
+        let Intent::Chain { seed, path } = &q.intent else {
+            unreachable!()
+        };
+        let Gold::Accepted(accepted) = &q.gold else {
+            unreachable!()
+        };
         if let Some(ans) = kg_answer(&w, &fb, *seed, path) {
             if accepted.contains(&ans) {
                 answerable += 1;
@@ -70,8 +74,12 @@ fn qald_chains_are_oracle_answerable_from_wikidata() {
     let mut total = 0;
     let mut answerable = 0;
     for q in &ds.questions {
-        let Intent::Chain { seed, path } = &q.intent else { continue };
-        let Gold::Accepted(accepted) = &q.gold else { continue };
+        let Intent::Chain { seed, path } = &q.intent else {
+            continue;
+        };
+        let Gold::Accepted(accepted) = &q.gold else {
+            continue;
+        };
         total += 1;
         if let Some(ans) = kg_answer(&w, &wd, *seed, path) {
             if accepted.contains(&ans) {

@@ -16,7 +16,10 @@ fn figure7_threshold_prunes_everything() {
     let llm = SimLlm::new(world.clone(), ModelProfile::gpt35_sim());
     let ds = worldgen::datasets::simpleq::generate(&world, 15, 77);
     let emb = Embedder::paper();
-    let cfg = PipelineConfig { entity_threshold: 0.99, ..Default::default() }; // absurd threshold
+    let cfg = PipelineConfig {
+        entity_threshold: 0.99,
+        ..Default::default()
+    }; // absurd threshold
 
     let res = pipeline::run(
         &PseudoGraphPipeline::full(),
@@ -31,7 +34,10 @@ fn figure7_threshold_prunes_everything() {
     // Everything pruned → no ground entities anywhere, yet the pipeline
     // still answers every question (robustness).
     for r in &res.records {
-        assert!(r.trace.ground_entities.is_empty(), "nothing must survive 0.99");
+        assert!(
+            r.trace.ground_entities.is_empty(),
+            "nothing must survive 0.99"
+        );
         assert!(!r.answer.is_empty());
     }
 }
@@ -44,7 +50,9 @@ fn figure8_overtrust_keeps_wrong_facts() {
     let world = Arc::new(worldgen::generate(&worldgen::WorldConfig::default()));
     let ds = worldgen::datasets::simpleq::generate(&world, 1, 99);
     let q = &ds.questions[0];
-    let worldgen::Intent::Chain { seed, path } = &q.intent else { unreachable!() };
+    let worldgen::Intent::Chain { seed, path } = &q.intent else {
+        unreachable!()
+    };
     let subject = world.label(*seed).to_string();
 
     let ground = GroundGraph {
@@ -125,12 +133,8 @@ fn figure6_ambiguous_labels_compete_in_pruning() {
 
     let emb = Embedder::default(); // no jitter: deterministic count logic
     let cfg = PipelineConfig::default();
-    let base = pipeline::BaseIndex::for_question(
-        &source,
-        &emb,
-        &cfg,
-        "What is the genre of Madam Satan?",
-    );
+    let base =
+        pipeline::BaseIndex::for_question(&source, &emb, &cfg, "What is the genre of Madam Satan?");
     let pseudo = vec![kgstore::StrTriple::new("Madam Satan", "HAS_GENRE", "jazz")];
     let (ground, _) = pipeline::ground_graph(&source, &base, &emb, &cfg, &pseudo);
     // k = 1 → exactly one entity survives; the well-connected nightclub

@@ -69,12 +69,20 @@ fn mediated_relations_are_two_hops_on_wikidata_only() {
     let mediated = worldgen::rel_by_name("ceo").unwrap().spec();
 
     // Wikidata: ceo edges end at statement nodes.
-    let p = wikidata.store.atoms().get(mediated.wikidata).expect("ceo facts");
+    let p = wikidata
+        .store
+        .atoms()
+        .get(mediated.wikidata)
+        .expect("ceo facts");
     for t in wikidata.store.by_predicate(p) {
         assert!(wikidata.store.resolve(t.o).starts_with('S'));
     }
     // Freebase: direct entity-to-entity edges.
-    let p = freebase.store.atoms().get(mediated.freebase).expect("ceo facts");
+    let p = freebase
+        .store
+        .atoms()
+        .get(mediated.freebase)
+        .expect("ceo facts");
     for t in freebase.store.by_predicate(p) {
         assert!(freebase.store.resolve(t.o).starts_with("/m/"));
     }

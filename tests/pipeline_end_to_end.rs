@@ -170,7 +170,16 @@ fn token_telemetry_accumulates_across_methods() {
     let emb = Embedder::paper();
     let cfg = PipelineConfig::default();
     let before = llm.tokens_processed();
-    pipeline::run(&PseudoGraphPipeline::full(), &llm, Some(&source), None, &emb, &cfg, &ds, 1);
+    pipeline::run(
+        &PseudoGraphPipeline::full(),
+        &llm,
+        Some(&source),
+        None,
+        &emb,
+        &cfg,
+        &ds,
+        1,
+    );
     let mid = llm.tokens_processed();
     assert!(mid > before);
     pipeline::run(&Io, &llm, None, None, &emb, &cfg, &ds, 1);

@@ -35,7 +35,10 @@ fn replaying_a_transcript_reproduces_the_run() {
         1,
     );
     let transcript = recorder.transcript();
-    assert!(transcript.len() >= ds.len() * 2, "pipeline makes ≥2 calls per question");
+    assert!(
+        transcript.len() >= ds.len() * 2,
+        "pipeline makes ≥2 calls per question"
+    );
 
     // Replay: the scripted model knows nothing about the world, yet the
     // run is identical because the pipeline only consumes completions.
@@ -50,7 +53,11 @@ fn replaying_a_transcript_reproduces_the_run() {
         &ds,
         1,
     );
-    assert_eq!(replayer.overruns(), 0, "replay must consume exactly the script");
+    assert_eq!(
+        replayer.overruns(),
+        0,
+        "replay must consume exactly the script"
+    );
     assert_eq!(original.hit.hits, replayed.hit.hits);
     for (a, b) in original.records.iter().zip(&replayed.records) {
         assert_eq!(a.answer, b.answer, "replayed answer diverged on {}", a.qid);
