@@ -15,4 +15,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> chaos smoke (fault rate 0.3: no panics, nonzero score)"
+cargo run -q --release -p bench --bin chaos -- --smoke
+
 echo "ci.sh: all checks passed"

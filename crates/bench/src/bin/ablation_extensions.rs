@@ -6,9 +6,10 @@
 //!
 //! Usage: `cargo run --release -p bench --bin ablation_extensions`.
 
+use bench::run_or_exit as run;
 use bench::{model, setup};
 use evalkit::{Cell, Table};
-use pgg_core::{run, BaseIndex, PruneStrategy, PseudoGraphPipeline};
+use pgg_core::{BaseIndex, PruneStrategy, PseudoGraphPipeline};
 use semvec::{Embedder, IdfModel, SynonymTable};
 use std::sync::Arc;
 

@@ -1,6 +1,7 @@
 //! Ad-hoc diagnostic for Nature Questions (not a reproduction table).
+use bench::run_or_exit as run;
 use bench::{model, setup};
-use pgg_core::{run, Cot, Method, PseudoGraphPipeline};
+use pgg_core::{Cot, Method, PseudoGraphPipeline};
 
 fn main() {
     let exp = setup(50);

@@ -11,9 +11,10 @@
 //! Usage: `cargo run --release -p bench --bin error_analysis`
 //! (`FAST=1` shrinks the SimpleQuestions sample).
 
+use bench::run_or_exit as run;
 use bench::{model, setup};
 use evalkit::{Cell, ErrorStage, ErrorTally, Table};
-use pgg_core::{run, PseudoGraphPipeline, RunResult};
+use pgg_core::{PseudoGraphPipeline, RunResult};
 
 fn main() {
     let fast = std::env::var("FAST").is_ok();

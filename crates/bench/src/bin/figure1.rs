@@ -36,6 +36,7 @@ fn main() {
     }
     let raw = llm
         .complete(&p1, &LlmTask::PseudoGraph { question: q })
+        .expect("SimLlm transport never faults")
         .text;
     println!("├─ Step 1: LLM output (Cypher) ──────────────────────────");
     for line in raw.lines().filter(|l| l.contains("CREATE")).take(8) {
@@ -77,6 +78,7 @@ fn main() {
                 graph: &fixed,
             },
         )
+        .expect("SimLlm transport never faults")
         .text;
     println!("├─ Step 4: answer ───────────────────────────────────────");
     println!("│ {answer}");

@@ -5,9 +5,10 @@
 //! Usage: `cargo run --release -p bench --bin table2` (set `FAST=1` for
 //! a reduced-size smoke run).
 
+use bench::run_or_exit as run;
 use bench::{model, setup};
 use evalkit::{Cell, Table};
-use pgg_core::{run, Cot, Io, Method, PseudoGraphPipeline, Qsm, SelfConsistency};
+use pgg_core::{Cot, Io, Method, PseudoGraphPipeline, Qsm, SelfConsistency};
 
 /// Paper numbers for the paper-vs-measured columns.
 /// (method, sq, qald, nq) per model; `None` = the paper's `-`.

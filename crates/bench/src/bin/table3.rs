@@ -5,9 +5,10 @@
 //! Usage: `cargo run --release -p bench --bin table3` (`FAST=1` for a
 //! reduced SimpleQuestions sample).
 
+use bench::run_or_exit as run;
 use bench::{model, setup};
 use evalkit::{Cell, Table};
-use pgg_core::{run, Cot, PseudoGraphPipeline};
+use pgg_core::{Cot, PseudoGraphPipeline};
 
 fn main() {
     let fast = std::env::var("FAST").is_ok();

@@ -6,9 +6,10 @@
 //!
 //! Usage: `cargo run --release -p bench --bin threshold_sweep`.
 
+use bench::run_or_exit as run;
 use bench::{model, setup};
 use evalkit::{Cell, Table};
-use pgg_core::{run, PseudoGraphPipeline};
+use pgg_core::PseudoGraphPipeline;
 
 fn main() {
     let exp = setup(50);

@@ -80,8 +80,9 @@ pub fn ablation_table(
     title: &str,
     paper_rows: &[(f64, f64); 3],
 ) -> (String, [(pgg_core::RunResult, pgg_core::RunResult); 3]) {
+    use crate::run_or_exit as run;
     use evalkit::{Cell, Table};
-    use pgg_core::{run, Cot, Method, PseudoGraphPipeline};
+    use pgg_core::{Cot, Method, PseudoGraphPipeline};
 
     let exp = setup(50);
     let llm = model(&exp.world, model_name);
@@ -166,6 +167,27 @@ pub fn ablation_table(
         ],
     );
     (t.render(), results)
+}
+
+/// Run one (method × dataset) experiment, exiting the process with a
+/// printed error on runner misconfiguration. The bench binaries all
+/// funnel through this so a typed [`pgg_core::RunError`] becomes a
+/// clean nonzero exit instead of a panic backtrace.
+#[allow(clippy::too_many_arguments)] // mirrors pgg_core::run
+pub fn run_or_exit(
+    method: &dyn pgg_core::Method,
+    llm: &dyn simllm::LanguageModel,
+    source: Option<&kgstore::KgSource>,
+    base: Option<&BaseIndex>,
+    embedder: &Embedder,
+    cfg: &PipelineConfig,
+    dataset: &Dataset,
+    threads: usize,
+) -> pgg_core::RunResult {
+    pgg_core::run(method, llm, source, base, embedder, cfg, dataset, threads).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Construct a model by short name (`"gpt-3.5"` / `"gpt-4"`).

@@ -1,12 +1,45 @@
 //! The paper's baselines: IO, CoT, Self-Consistency, and Question
 //! Semantic Matching.
 
-use crate::method::{Method, MethodOutput, QaContext};
+use crate::method::{Method, MethodOutput, QaContext, Trace};
+use crate::resilience::ResilientLlm;
 use evalkit::normalize_answer;
 use kgstore::hash::FxHashMap;
 use kgstore::StrTriple;
 use simllm::{prompt, LlmTask};
 use worldgen::Question;
+
+/// One resilient single-shot call with the shared text degradation:
+/// truncated output is kept, any other exhausted failure yields the
+/// `fallback` text and records `degraded` in the trace.
+fn complete_or_degrade(
+    rl: &ResilientLlm<'_>,
+    prompt: &str,
+    task: &LlmTask<'_>,
+    trace: &mut Trace,
+    degraded: &str,
+    fallback: &str,
+) -> String {
+    let (res, call) = rl.complete(prompt, task);
+    trace.llm_calls.push(call);
+    match res {
+        Ok(c) => c.text,
+        Err(e) => match e.partial_text() {
+            Some(t) if !t.is_empty() => {
+                trace.degradation.push(format!("{degraded}:truncated"));
+                t.to_string()
+            }
+            _ => {
+                trace.degradation.push(degraded.to_string());
+                fallback.to_string()
+            }
+        },
+    }
+}
+
+/// The stock "cannot answer" text used when a baseline's only LLM call
+/// is exhausted — the question is still answered, just unhelpfully.
+const UNANSWERED: &str = "I cannot answer this question.";
 
 /// Standard 6-shot input-output prompting.
 pub struct Io;
@@ -17,12 +50,18 @@ impl Method for Io {
     }
 
     fn answer(&self, ctx: &QaContext<'_>, q: &Question) -> MethodOutput {
+        let rl = ResilientLlm::new(ctx.llm, &ctx.cfg.resilience);
+        let mut trace = Trace::default();
         let p = prompt::io_prompt(&q.text);
-        let out = ctx.llm.complete(&p, &LlmTask::Io { question: q });
-        MethodOutput {
-            answer: out.text,
-            trace: Default::default(),
-        }
+        let answer = complete_or_degrade(
+            &rl,
+            &p,
+            &LlmTask::Io { question: q },
+            &mut trace,
+            "io:unanswered",
+            UNANSWERED,
+        );
+        MethodOutput { answer, trace }
     }
 }
 
@@ -35,12 +74,18 @@ impl Method for Cot {
     }
 
     fn answer(&self, ctx: &QaContext<'_>, q: &Question) -> MethodOutput {
+        let rl = ResilientLlm::new(ctx.llm, &ctx.cfg.resilience);
+        let mut trace = Trace::default();
         let p = prompt::cot_prompt(&q.text);
-        let out = ctx.llm.complete(&p, &LlmTask::Cot { question: q });
-        MethodOutput {
-            answer: out.text,
-            trace: Default::default(),
-        }
+        let answer = complete_or_degrade(
+            &rl,
+            &p,
+            &LlmTask::Cot { question: q },
+            &mut trace,
+            "cot:unanswered",
+            UNANSWERED,
+        );
+        MethodOutput { answer, trace }
     }
 }
 
@@ -54,20 +99,41 @@ impl Method for SelfConsistency {
     }
 
     fn answer(&self, ctx: &QaContext<'_>, q: &Question) -> MethodOutput {
+        let rl = ResilientLlm::new(ctx.llm, &ctx.cfg.resilience);
+        let mut trace = Trace::default();
         let p = prompt::cot_prompt(&q.text);
-        let samples: Vec<String> = (0..ctx.cfg.sc_samples)
-            .map(|i| {
-                ctx.llm
-                    .complete(
-                        &p,
-                        &LlmTask::CotSample {
-                            question: q,
-                            index: i,
-                        },
-                    )
-                    .text
-            })
-            .collect();
+        let mut samples: Vec<String> = Vec::new();
+        let mut dropped = 0u32;
+        for i in 0..ctx.cfg.sc_samples {
+            let (res, call) = rl.complete(
+                &p,
+                &LlmTask::CotSample {
+                    question: q,
+                    index: i,
+                },
+            );
+            trace.llm_calls.push(call);
+            match res {
+                Ok(c) => samples.push(c.text),
+                Err(e) => match e.partial_text() {
+                    Some(t) if !t.is_empty() => samples.push(t.to_string()),
+                    // A failed sample is dropped from the vote.
+                    _ => dropped += 1,
+                },
+            }
+        }
+        if dropped > 0 {
+            trace
+                .degradation
+                .push(format!("sc:dropped-samples:{dropped}"));
+        }
+        if samples.is_empty() {
+            trace.degradation.push("sc:unanswered".into());
+            return MethodOutput {
+                answer: UNANSWERED.to_string(),
+                trace,
+            };
+        }
         let mut votes: FxHashMap<String, usize> = FxHashMap::default();
         for s in &samples {
             *votes.entry(normalize_answer(s)).or_default() += 1;
@@ -81,10 +147,7 @@ impl Method for SelfConsistency {
             .into_iter()
             .find(|s| normalize_answer(s) == winner_key)
             .unwrap_or_default();
-        MethodOutput {
-            answer,
-            trace: Default::default(),
-        }
+        MethodOutput { answer, trace }
     }
 }
 
@@ -102,6 +165,7 @@ impl Method for Qsm {
     }
 
     fn answer(&self, ctx: &QaContext<'_>, q: &Question) -> MethodOutput {
+        let rl = ResilientLlm::new(ctx.llm, &ctx.cfg.resilience);
         let source = ctx.source.expect("QSM needs a KG source");
         let owned_base;
         let base = match ctx.base {
@@ -123,11 +187,15 @@ impl Method for Qsm {
         if base.is_empty() {
             // Nothing retrieved: degrade to direct answering.
             let p = prompt::io_prompt(&q.text);
-            let out = ctx.llm.complete(&p, &LlmTask::Io { question: q });
-            return MethodOutput {
-                answer: out.text,
-                trace,
-            };
+            let answer = complete_or_degrade(
+                &rl,
+                &p,
+                &LlmTask::Io { question: q },
+                &mut trace,
+                "qsm:unanswered",
+                UNANSWERED,
+            );
+            return MethodOutput { answer, trace };
         }
         // The question itself is the query — and question-style text
         // does not get the triple-paraphrase alignment (the continuous
@@ -141,17 +209,28 @@ impl Method for Qsm {
             hits.iter().map(|h| base.verbalised[h.id].clone()).collect();
         trace.ground_triples = retrieved.len();
         let p = prompt::answer_prompt(&q.text, &retrieved);
-        let out = ctx.llm.complete(
+        let (res, call) = rl.complete(
             &p,
             &LlmTask::AnswerFromGraph {
                 question: q,
                 graph: &retrieved,
             },
         );
-        MethodOutput {
-            answer: out.text,
-            trace,
-        }
+        trace.llm_calls.push(call);
+        let answer = match res {
+            Ok(c) => c.text,
+            Err(e) => match e.partial_text() {
+                Some(t) if !t.is_empty() => {
+                    trace.degradation.push("qsm:truncated".into());
+                    t.to_string()
+                }
+                _ => {
+                    trace.degradation.push("qsm:graph-objects".into());
+                    crate::resilience::best_effort_answer(&retrieved)
+                }
+            },
+        };
+        MethodOutput { answer, trace }
     }
 }
 

@@ -1,6 +1,7 @@
 //! Pipeline configuration.
 
 use crate::prune::PruneStrategy;
+use crate::resilience::ResilienceConfig;
 use kgstore::ExtractConfig;
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,11 @@ pub struct PipelineConfig {
     /// failing script is discarded whole and answering degrades to CoT.
     #[serde(default = "default_repair")]
     pub repair: bool,
+    /// Retry / circuit-breaker policy for LLM transport faults (see
+    /// [`crate::resilience`]). Irrelevant when the model never fails
+    /// (plain [`simllm::SimLlm`]): the first attempt always succeeds.
+    #[serde(default)]
+    pub resilience: ResilienceConfig,
 }
 
 fn default_repair() -> bool {
@@ -59,6 +65,7 @@ impl Default for PipelineConfig {
             sc_samples: 3,
             verify_passes: 1,
             repair: default_repair(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }

@@ -12,7 +12,10 @@
 //! * [`method`] — the shared [`Method`] trait, traces, Table-1
 //!   capability rows;
 //! * [`runner`] — parallel (method × dataset) evaluation with
-//!   per-question records;
+//!   per-question records, per-question panic isolation, and
+//!   transport-fault telemetry;
+//! * [`resilience`] — retry/circuit-breaker middleware over the fallible
+//!   LLM transport, plus the per-stage degradation helpers;
 //! * [`config`] — pipeline knobs and the paper's experiment constants.
 
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ pub mod method;
 pub mod pipeline;
 pub mod prune;
 pub mod report;
+pub mod resilience;
 pub mod retrieval;
 pub mod runner;
 
@@ -32,5 +36,6 @@ pub use method::{capability_row, Capabilities, Method, MethodOutput, QaContext, 
 pub use pipeline::{PseudoGraphPipeline, Stages};
 pub use prune::{Candidate, PruneStrategy};
 pub use report::{write_markdown_summary, write_records_jsonl, RunSummary};
+pub use resilience::{best_effort_answer, ResilienceConfig, ResilientLlm, StageCall};
 pub use retrieval::{ground_graph, BaseIndex, RetrievalStats};
-pub use runner::{run, score_answer, Record, RunResult};
+pub use runner::{run, score_answer, FaultSummary, Record, RunError, RunResult};

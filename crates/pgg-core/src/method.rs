@@ -56,6 +56,27 @@ pub struct Trace {
     pub fixed_triples: Vec<StrTriple>,
     /// `G_base` size (retrieval diagnostics).
     pub base_triples: usize,
+    /// Transport telemetry of every stage-level LLM call: attempts,
+    /// faults seen, virtual backoff, breaker fast-fails.
+    #[serde(default)]
+    pub llm_calls: Vec<crate::resilience::StageCall>,
+    /// Degradation paths taken when a stage's attempts were exhausted
+    /// (`"pseudo:empty-graph"`, `"verify:unverified"`,
+    /// `"answer:graph-objects"`, …). Empty on a clean run.
+    #[serde(default)]
+    pub degradation: Vec<String>,
+}
+
+impl Trace {
+    /// Total transport attempts across all LLM calls of this question.
+    pub fn total_attempts(&self) -> u32 {
+        self.llm_calls.iter().map(|c| c.attempts).sum()
+    }
+
+    /// Total faults observed across all LLM calls of this question.
+    pub fn total_faults(&self) -> usize {
+        self.llm_calls.iter().map(|c| c.faults.len()).sum()
+    }
 }
 
 /// A method's final output for one question.

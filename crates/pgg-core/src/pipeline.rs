@@ -5,6 +5,7 @@
 //! the pseudo-graph, skipping retrieval and verification.
 
 use crate::method::{Method, MethodOutput, QaContext, Trace};
+use crate::resilience::{best_effort_answer, ResilientLlm};
 use crate::retrieval::{ground_graph, BaseIndex};
 use cypher::{extract_cypher, Executor, Mode, Severity};
 use kgstore::StrTriple;
@@ -47,12 +48,34 @@ impl PseudoGraphPipeline {
     /// salvaged triples are used and `trace.salvaged` is set. With
     /// repair disabled a failing script yields an empty graph and
     /// answering degrades to CoT, exactly as in the paper.
-    fn pseudo_graph(&self, ctx: &QaContext<'_>, q: &Question, trace: &mut Trace) -> Vec<StrTriple> {
+    ///
+    /// Degradation: a truncated completion is salvaged as raw Cypher
+    /// (`extract_cypher` already tolerates an unterminated fence); any
+    /// other exhausted failure yields an empty pseudo-graph, so the
+    /// question degrades to graph-free answering downstream.
+    fn pseudo_graph(
+        &self,
+        ctx: &QaContext<'_>,
+        rl: &ResilientLlm<'_>,
+        q: &Question,
+        trace: &mut Trace,
+    ) -> Vec<StrTriple> {
         let p = prompt::pseudo_graph_prompt(&q.text);
-        let raw = ctx
-            .llm
-            .complete(&p, &LlmTask::PseudoGraph { question: q })
-            .text;
+        let (res, call) = rl.complete(&p, &LlmTask::PseudoGraph { question: q });
+        trace.llm_calls.push(call);
+        let raw = match res {
+            Ok(c) => c.text,
+            Err(e) => match e.partial_text() {
+                Some(t) if !t.is_empty() => {
+                    trace.degradation.push("pseudo:truncated-salvage".into());
+                    t.to_string()
+                }
+                _ => {
+                    trace.degradation.push("pseudo:empty-graph".into());
+                    return Vec::new();
+                }
+            },
+        };
         trace.pseudo_raw = Some(raw.clone());
         let src = extract_cypher(&raw);
         let spanned = match cypher::parse_spanned(&src) {
@@ -97,11 +120,33 @@ impl PseudoGraphPipeline {
 
     /// Final step: answer from a graph (Figure 5). An empty graph makes
     /// the model fall back to its own reasoning.
-    fn generate_answer(&self, ctx: &QaContext<'_>, q: &Question, graph: &[StrTriple]) -> String {
+    ///
+    /// Degradation: a truncated completion is used as-is; any other
+    /// exhausted failure assembles a best-effort answer from the graph's
+    /// object strings — a degraded question is still answered.
+    fn generate_answer(
+        &self,
+        rl: &ResilientLlm<'_>,
+        q: &Question,
+        graph: &[StrTriple],
+        trace: &mut Trace,
+    ) -> String {
         let p = prompt::answer_prompt(&q.text, graph);
-        ctx.llm
-            .complete(&p, &LlmTask::AnswerFromGraph { question: q, graph })
-            .text
+        let (res, call) = rl.complete(&p, &LlmTask::AnswerFromGraph { question: q, graph });
+        trace.llm_calls.push(call);
+        match res {
+            Ok(c) => c.text,
+            Err(e) => match e.partial_text() {
+                Some(t) if !t.is_empty() => {
+                    trace.degradation.push("answer:truncated".into());
+                    t.to_string()
+                }
+                _ => {
+                    trace.degradation.push("answer:graph-objects".into());
+                    best_effort_answer(graph)
+                }
+            },
+        }
     }
 }
 
@@ -155,12 +200,16 @@ impl Method for PseudoGraphPipeline {
 
     fn answer(&self, ctx: &QaContext<'_>, q: &Question) -> MethodOutput {
         let mut trace = Trace::default();
+        // Question-scoped middleware: breaker state and the virtual
+        // backoff clock live and die with this one answer, so a
+        // parallel run's schedule matches a serial run's exactly.
+        let rl = ResilientLlm::new(ctx.llm, &ctx.cfg.resilience);
 
         // Step 1 — Pseudo-Graph Generation.
-        let pseudo = self.pseudo_graph(ctx, q, &mut trace);
+        let pseudo = self.pseudo_graph(ctx, &rl, q, &mut trace);
 
         if self.stages == Stages::PseudoOnly {
-            let answer = self.generate_answer(ctx, q, &pseudo);
+            let answer = self.generate_answer(&rl, q, &pseudo, &mut trace);
             return MethodOutput { answer, trace };
         }
 
@@ -191,43 +240,75 @@ impl Method for PseudoGraphPipeline {
             pseudo.clone()
         } else if ctx.cfg.verify_passes <= 1 {
             let p = prompt::verify_prompt(&q.text, &pseudo, &ground.sections());
-            let raw = ctx
-                .llm
-                .complete(
+            let (res, call) = rl.complete(
+                &p,
+                &LlmTask::VerifyGraph {
+                    question: q,
+                    pseudo: &pseudo,
+                    ground: &ground,
+                },
+            );
+            trace.llm_calls.push(call);
+            match res {
+                Ok(c) => parse_triple_lines(&c.text),
+                // A truncated verifier output is a valid prefix of the
+                // fixed-triple list; anything else exhausted keeps the
+                // pseudo-graph unverified rather than losing it.
+                Err(e) => match e.partial_text() {
+                    Some(t) if !t.is_empty() => {
+                        trace.degradation.push("verify:truncated-prefix".into());
+                        parse_triple_lines(t)
+                    }
+                    _ => {
+                        trace.degradation.push("verify:unverified".into());
+                        pseudo.clone()
+                    }
+                },
+            }
+        } else {
+            let p = prompt::verify_prompt(&q.text, &pseudo, &ground.sections());
+            let mut runs: Vec<Vec<StrTriple>> = Vec::new();
+            let mut dropped = 0u32;
+            for i in 0..ctx.cfg.verify_passes {
+                let (res, call) = rl.complete(
                     &p,
-                    &LlmTask::VerifyGraph {
+                    &LlmTask::VerifyGraphSample {
                         question: q,
                         pseudo: &pseudo,
                         ground: &ground,
+                        index: i,
                     },
-                )
-                .text;
-            parse_triple_lines(&raw)
-        } else {
-            let p = prompt::verify_prompt(&q.text, &pseudo, &ground.sections());
-            let runs: Vec<Vec<StrTriple>> = (0..ctx.cfg.verify_passes)
-                .map(|i| {
-                    let raw = ctx
-                        .llm
-                        .complete(
-                            &p,
-                            &LlmTask::VerifyGraphSample {
-                                question: q,
-                                pseudo: &pseudo,
-                                ground: &ground,
-                                index: i,
-                            },
-                        )
-                        .text;
-                    parse_triple_lines(&raw)
-                })
-                .collect();
-            majority_vote(&runs)
+                );
+                trace.llm_calls.push(call);
+                match res {
+                    Ok(c) => runs.push(parse_triple_lines(&c.text)),
+                    Err(e) => match e.partial_text() {
+                        Some(t) if !t.is_empty() => {
+                            trace.degradation.push("verify:truncated-prefix".into());
+                            runs.push(parse_triple_lines(t));
+                        }
+                        // A failed pass is dropped from the tally; the
+                        // vote runs over the survivors.
+                        _ => dropped += 1,
+                    },
+                }
+            }
+            if dropped > 0 {
+                trace
+                    .degradation
+                    .push(format!("verify:dropped-passes:{dropped}"));
+            }
+            if runs.is_empty() {
+                trace.degradation.push("verify:unverified".into());
+                pseudo.clone()
+            } else {
+                majority_vote(&runs)
+            }
         };
         trace.fixed_triples = fixed.clone();
 
         // Step 4 — Answer Generation.
-        let answer = self.generate_answer(ctx, q, &fixed);
+        let answer = self.generate_answer(&rl, q, &fixed, &mut trace);
         MethodOutput { answer, trace }
     }
 }
@@ -481,6 +562,80 @@ mod tests {
             let out = pipeline.answer(&ctx, q);
             assert!(!out.answer.is_empty());
         }
+    }
+
+    #[test]
+    fn zero_fault_rate_is_byte_identical_to_the_bare_model() {
+        use simllm::{FaultPlan, FaultyLlm};
+        let (world, llm, src) = setup();
+        let faulty = FaultyLlm::new(
+            SimLlm::new(world.clone(), ModelProfile::gpt35_sim()),
+            FaultPlan::none(42),
+        );
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let plain_ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
+        let faulty_ctx = QaContext {
+            llm: &faulty,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
+        let ds = simpleq::generate(&world, 8, 11);
+        let pipeline = PseudoGraphPipeline::full();
+        for q in &ds.questions {
+            let a = pipeline.answer(&plain_ctx, q);
+            let b = pipeline.answer(&faulty_ctx, q);
+            assert_eq!(a.answer, b.answer, "rate 0 must be transparent");
+            assert_eq!(a.trace.fixed_triples, b.trace.fixed_triples);
+            assert!(b.trace.degradation.is_empty());
+            assert!(b.trace.llm_calls.iter().all(|c| c.attempts == 1));
+        }
+        assert_eq!(faulty.faults_injected(), 0);
+    }
+
+    #[test]
+    fn faulty_transport_always_yields_an_answer() {
+        use simllm::{FaultPlan, FaultyLlm};
+        let (world, _, src) = setup();
+        let faulty = FaultyLlm::new(
+            SimLlm::new(world.clone(), ModelProfile::gpt35_sim()),
+            FaultPlan::uniform(7, 0.5),
+        );
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ctx = QaContext {
+            llm: &faulty,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
+        let ds = simpleq::generate(&world, 20, 12);
+        let pipeline = PseudoGraphPipeline::full();
+        let mut degraded = 0;
+        for q in &ds.questions {
+            let out = pipeline.answer(&ctx, q);
+            assert!(!out.answer.is_empty(), "degraded, never missing: {}", q.id);
+            assert!(!out.trace.llm_calls.is_empty());
+            if !out.trace.degradation.is_empty() {
+                degraded += 1;
+            }
+        }
+        assert!(
+            faulty.faults_injected() > 0,
+            "a 0.5 total rate must inject faults"
+        );
+        // With retries most faults recover silently; at this rate at
+        // least one question should still have taken a degraded path.
+        assert!(degraded >= 1, "expected some degradation at rate 0.5");
     }
 
     #[test]

@@ -24,6 +24,18 @@ pub struct RunSummary {
     pub cypher_failures: usize,
     /// Questions whose ground graph was empty.
     pub empty_ground: usize,
+    /// Questions whose method panicked (scored as misses).
+    #[serde(default)]
+    pub errors: usize,
+    /// Transport faults observed across the run.
+    #[serde(default)]
+    pub faults: u64,
+    /// Retry attempts spent recovering from transport faults.
+    #[serde(default)]
+    pub retries: u64,
+    /// Questions that took at least one degradation path.
+    #[serde(default)]
+    pub degraded: usize,
 }
 
 impl RunSummary {
@@ -45,6 +57,10 @@ impl RunSummary {
                 .iter()
                 .filter(|r| r.trace.ground_entities.is_empty())
                 .count(),
+            errors: run.errors,
+            faults: run.faults.faults,
+            retries: run.faults.retries,
+            degraded: run.faults.degraded_questions,
         }
     }
 }
@@ -63,13 +79,23 @@ pub fn write_records_jsonl(run: &RunResult, path: &Path) -> std::io::Result<()> 
 /// Write a summary of several runs as a markdown table.
 pub fn write_markdown_summary(runs: &[RunSummary], path: &Path) -> std::io::Result<()> {
     let mut out = String::from(
-        "| method | dataset | n | score | hits | cypher failures | empty ground |\n\
-         |---|---|---|---|---|---|---|\n",
+        "| method | dataset | n | score | hits | cypher failures | empty ground | errors | faults | retries | degraded |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|\n",
     );
     for s in runs {
         out.push_str(&format!(
-            "| {} | {} | {} | {:.1} | {} | {} | {} |\n",
-            s.method, s.dataset, s.questions, s.score, s.hits, s.cypher_failures, s.empty_ground
+            "| {} | {} | {} | {:.1} | {} | {} | {} | {} | {} | {} | {} |\n",
+            s.method,
+            s.dataset,
+            s.questions,
+            s.score,
+            s.hits,
+            s.cypher_failures,
+            s.empty_ground,
+            s.errors,
+            s.faults,
+            s.retries,
+            s.degraded
         ));
     }
     std::fs::write(path, out)
@@ -90,6 +116,8 @@ mod tests {
             dataset: "QALD-10".into(),
             hit,
             rouge: Default::default(),
+            errors: 0,
+            faults: Default::default(),
             records: vec![
                 Record {
                     qid: "q0".into(),

@@ -1,0 +1,398 @@
+//! Resilient LLM middleware: bounded retries with deterministic
+//! exponential backoff, a per-task-kind circuit breaker, and the
+//! per-call telemetry the pipeline folds into question traces.
+//!
+//! [`ResilientLlm`] wraps a `&dyn LanguageModel` for the duration of one
+//! question (every [`crate::Method`] creates one at the top of
+//! `answer`), so breaker state and the virtual clock are scoped to that
+//! question. That scoping is deliberate: a process-wide breaker would
+//! make one question's faults change another's behaviour depending on
+//! scheduling, and parallel runs would stop matching serial ones. The
+//! backoff clock is *simulated* — waits are accumulated as virtual
+//! milliseconds for telemetry, never slept, so a chaos sweep over a
+//! thousand questions finishes at CPU speed and tests stay instant. A
+//! production transport would sleep the same schedule for real.
+
+use kgstore::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use simllm::{Completion, LanguageModel, LlmError, LlmTask};
+use std::cell::{Cell, RefCell};
+
+/// Retry / breaker knobs (part of [`crate::PipelineConfig`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Master switch. `false` = one attempt per call, no breaker — the
+    /// chaos bench's "resilience off" arm; degradation policies still
+    /// apply (a failed stage degrades, it never aborts the question).
+    pub enabled: bool,
+    /// Attempts per call including the first (retries = attempts − 1).
+    pub max_attempts: u32,
+    /// First backoff wait; doubles per retry.
+    pub backoff_base_ms: u64,
+    /// Ceiling on a single backoff wait.
+    pub backoff_cap_ms: u64,
+    /// Consecutive attempt failures of one task kind that trip the
+    /// breaker; once open, calls of that kind fail fast.
+    pub breaker_threshold: u32,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_attempts: 3,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 2_000,
+            breaker_threshold: 5,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The resilience-off arm: single attempt, no breaker, no backoff.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// What one stage-level LLM call cost: attempts, faults seen, virtual
+/// backoff, and whether the breaker short-circuited it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageCall {
+    /// Task kind (`"pseudo-graph"`, `"verify"`, `"answer"`, …).
+    pub stage: String,
+    /// Attempts actually made against the transport.
+    pub attempts: u32,
+    /// Fault kinds observed, in order.
+    pub faults: Vec<String>,
+    /// Virtual backoff accumulated across retries (ms).
+    pub backoff_ms: u64,
+    /// The breaker was open and the call failed without reaching the
+    /// transport (on its remaining attempts).
+    pub fast_failed: bool,
+}
+
+/// Per-question retry/breaker middleware over any [`LanguageModel`].
+pub struct ResilientLlm<'a> {
+    llm: &'a dyn LanguageModel,
+    cfg: &'a ResilienceConfig,
+    /// Consecutive attempt failures per task kind; a success resets.
+    breakers: RefCell<FxHashMap<&'static str, u32>>,
+    clock_ms: Cell<u64>,
+}
+
+impl<'a> ResilientLlm<'a> {
+    /// Wrap a model for one question's worth of calls.
+    pub fn new(llm: &'a dyn LanguageModel, cfg: &'a ResilienceConfig) -> Self {
+        Self {
+            llm,
+            cfg,
+            breakers: RefCell::new(FxHashMap::default()),
+            clock_ms: Cell::new(0),
+        }
+    }
+
+    /// Virtual milliseconds spent backing off so far.
+    pub fn virtual_elapsed_ms(&self) -> u64 {
+        self.clock_ms.get()
+    }
+
+    fn backoff_for(&self, retry: u32, err: &LlmError) -> u64 {
+        match err {
+            LlmError::RateLimited { retry_after_ms } => *retry_after_ms,
+            _ => self
+                .cfg
+                .backoff_base_ms
+                .saturating_mul(1u64 << retry.min(16))
+                .min(self.cfg.backoff_cap_ms),
+        }
+    }
+
+    /// Run one completion with retries and the breaker; returns the
+    /// final outcome plus the [`StageCall`] record for the trace.
+    pub fn complete(
+        &self,
+        prompt: &str,
+        task: &LlmTask<'_>,
+    ) -> (Result<Completion, LlmError>, StageCall) {
+        let kind = task.kind();
+        let mut call = StageCall {
+            stage: kind.to_string(),
+            ..Default::default()
+        };
+        if !self.cfg.enabled {
+            call.attempts = 1;
+            let res = self.llm.complete(prompt, task);
+            if let Err(e) = &res {
+                call.faults.push(e.kind().to_string());
+            }
+            return (res, call);
+        }
+        let mut last: Option<LlmError> = None;
+        for retry in 0..self.cfg.max_attempts {
+            if self.breakers.borrow().get(kind).copied().unwrap_or(0) >= self.cfg.breaker_threshold
+            {
+                call.fast_failed = true;
+                break;
+            }
+            call.attempts += 1;
+            match self.llm.complete(prompt, task) {
+                Ok(c) => {
+                    self.breakers.borrow_mut().insert(kind, 0);
+                    return (Ok(c), call);
+                }
+                Err(e) => {
+                    call.faults.push(e.kind().to_string());
+                    *self.breakers.borrow_mut().entry(kind).or_default() += 1;
+                    let budget_left = retry + 1 < self.cfg.max_attempts;
+                    if e.is_retryable() && budget_left {
+                        let wait = self.backoff_for(retry, &e);
+                        call.backoff_ms += wait;
+                        self.clock_ms.set(self.clock_ms.get() + wait);
+                        last = Some(e);
+                    } else {
+                        last = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        // A pure fast-fail (breaker open before the first attempt) has
+        // no transport error of its own; it reports as transient.
+        (Err(last.unwrap_or(LlmError::Transient)), call)
+    }
+}
+
+/// Best-effort answer assembled from a graph's object strings — the
+/// answer-stage degradation when every attempt at the model failed.
+/// Always non-empty: a degraded question still produces an answer.
+pub fn best_effort_answer(graph: &[kgstore::StrTriple]) -> String {
+    let mut objs: Vec<&str> = Vec::new();
+    for t in graph {
+        if !t.o.is_empty() && !objs.iter().any(|o| o.eq_ignore_ascii_case(&t.o)) {
+            objs.push(&t.o);
+        }
+        if objs.len() >= 8 {
+            break;
+        }
+    }
+    if objs.is_empty() {
+        "Based on the graph above, I cannot determine the answer.".to_string()
+    } else {
+        format!("Based on the graph, the answer is {}.", objs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgstore::StrTriple;
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use worldgen::{datasets::simpleq, generate, WorldConfig};
+
+    /// A model that fails according to a fixed outcome script.
+    struct FlakyLlm {
+        script: Mutex<VecDeque<Result<String, LlmError>>>,
+        calls: AtomicUsize,
+    }
+
+    impl FlakyLlm {
+        fn new(script: Vec<Result<String, LlmError>>) -> Self {
+            Self {
+                script: Mutex::new(script.into()),
+                calls: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl LanguageModel for FlakyLlm {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn complete(&self, _p: &str, _t: &LlmTask<'_>) -> Result<Completion, LlmError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            match self.script.lock().pop_front() {
+                Some(Ok(text)) => Ok(Completion { text }),
+                Some(Err(e)) => Err(e),
+                None => Ok(Completion { text: "ok".into() }),
+            }
+        }
+        fn call_count(&self) -> usize {
+            self.calls.load(Ordering::Relaxed)
+        }
+        fn tokens_processed(&self) -> usize {
+            0
+        }
+    }
+
+    fn question() -> worldgen::Question {
+        let world = Arc::new(generate(&WorldConfig {
+            scale: 0.3,
+            ..Default::default()
+        }));
+        simpleq::generate(&world, 1, 1).questions.pop().unwrap()
+    }
+
+    #[test]
+    fn retries_recover_from_transient_faults() {
+        let q = question();
+        let llm = FlakyLlm::new(vec![
+            Err(LlmError::Timeout),
+            Err(LlmError::Transient),
+            Ok("recovered".into()),
+        ]);
+        let cfg = ResilienceConfig::default();
+        let rl = ResilientLlm::new(&llm, &cfg);
+        let (res, call) = rl.complete("p", &LlmTask::Io { question: &q });
+        assert_eq!(res.unwrap().text, "recovered");
+        assert_eq!(call.attempts, 3);
+        assert_eq!(call.faults, vec!["timeout", "transient"]);
+        assert!(call.backoff_ms > 0);
+        assert!(!call.fast_failed);
+    }
+
+    #[test]
+    fn backoff_doubles_and_respects_retry_after() {
+        let q = question();
+        let llm = FlakyLlm::new(vec![
+            Err(LlmError::Transient),
+            Err(LlmError::RateLimited { retry_after_ms: 77 }),
+            Err(LlmError::Transient),
+        ]);
+        let cfg = ResilienceConfig {
+            max_attempts: 4,
+            ..Default::default()
+        };
+        let rl = ResilientLlm::new(&llm, &cfg);
+        let (_, call) = rl.complete("p", &LlmTask::Io { question: &q });
+        // 100 (transient, retry 0) + 77 (rate-limit hint) + 400 (retry 2).
+        assert_eq!(call.backoff_ms, 100 + 77 + 400);
+        assert_eq!(rl.virtual_elapsed_ms(), call.backoff_ms);
+    }
+
+    #[test]
+    fn truncation_is_not_retried() {
+        let q = question();
+        let llm = FlakyLlm::new(vec![Err(LlmError::Truncated {
+            text: "part".into(),
+        })]);
+        let cfg = ResilienceConfig::default();
+        let rl = ResilientLlm::new(&llm, &cfg);
+        let (res, call) = rl.complete("p", &LlmTask::Io { question: &q });
+        assert_eq!(call.attempts, 1, "non-retryable fault must not retry");
+        assert_eq!(res.unwrap_err().partial_text(), Some("part"));
+    }
+
+    #[test]
+    fn breaker_trips_and_fails_fast() {
+        let q = question();
+        let always: Vec<_> = (0..20).map(|_| Err(LlmError::Transient)).collect();
+        let llm = FlakyLlm::new(always);
+        let cfg = ResilienceConfig {
+            max_attempts: 3,
+            breaker_threshold: 4,
+            ..Default::default()
+        };
+        let rl = ResilientLlm::new(&llm, &cfg);
+        let task = LlmTask::Io { question: &q };
+        let (r1, c1) = rl.complete("p", &task);
+        assert!(r1.is_err());
+        assert_eq!(c1.attempts, 3);
+        // 3 consecutive failures so far; the next call's first failure
+        // trips the threshold of 4 and the rest fast-fail.
+        let (r2, c2) = rl.complete("p", &task);
+        assert!(r2.is_err());
+        assert_eq!(c2.attempts, 1);
+        assert!(c2.fast_failed);
+        // Fully open now: no transport attempts at all.
+        let (r3, c3) = rl.complete("p", &task);
+        assert!(r3.is_err());
+        assert_eq!(c3.attempts, 0);
+        assert!(c3.fast_failed);
+        assert_eq!(llm.call_count(), 4);
+    }
+
+    #[test]
+    fn breaker_is_per_task_kind() {
+        let q = question();
+        let always: Vec<_> = (0..5).map(|_| Err(LlmError::Transient)).collect();
+        let llm = FlakyLlm::new(always);
+        let cfg = ResilienceConfig {
+            max_attempts: 5,
+            breaker_threshold: 5,
+            ..Default::default()
+        };
+        let rl = ResilientLlm::new(&llm, &cfg);
+        let (_, c1) = rl.complete("p", &LlmTask::Io { question: &q });
+        assert_eq!(
+            c1.attempts, 5,
+            "io burned its budget and tripped its breaker"
+        );
+        // The io breaker is open: same kind fails without the transport.
+        let (r_io, c_io) = rl.complete("p", &LlmTask::Io { question: &q });
+        assert!(r_io.is_err());
+        assert!(c_io.fast_failed);
+        // A different task kind has its own (closed) breaker and the
+        // script is exhausted (→ Ok), so it reaches the transport and
+        // succeeds on the first attempt.
+        let (r2, c2) = rl.complete("p", &LlmTask::Cot { question: &q });
+        assert!(r2.is_ok());
+        assert!(!c2.fast_failed);
+        assert_eq!(c2.attempts, 1);
+    }
+
+    #[test]
+    fn success_resets_the_breaker_counter() {
+        let q = question();
+        let llm = FlakyLlm::new(vec![
+            Err(LlmError::Transient),
+            Err(LlmError::Transient),
+            Ok("fine".into()),
+            Err(LlmError::Transient),
+            Ok("fine again".into()),
+        ]);
+        let cfg = ResilienceConfig {
+            breaker_threshold: 3,
+            ..Default::default()
+        };
+        let rl = ResilientLlm::new(&llm, &cfg);
+        let task = LlmTask::Io { question: &q };
+        assert!(rl.complete("p", &task).0.is_ok());
+        // Counter was reset by the success; one more failure stays
+        // under the threshold and the retry succeeds.
+        let (r, c) = rl.complete("p", &task);
+        assert!(r.is_ok());
+        assert!(!c.fast_failed);
+    }
+
+    #[test]
+    fn disabled_means_single_attempt() {
+        let q = question();
+        let llm = FlakyLlm::new(vec![Err(LlmError::Timeout), Ok("never reached".into())]);
+        let cfg = ResilienceConfig::disabled();
+        let rl = ResilientLlm::new(&llm, &cfg);
+        let (res, call) = rl.complete("p", &LlmTask::Io { question: &q });
+        assert!(res.is_err());
+        assert_eq!(call.attempts, 1);
+        assert_eq!(call.backoff_ms, 0);
+    }
+
+    #[test]
+    fn best_effort_answer_is_never_empty() {
+        assert!(!best_effort_answer(&[]).is_empty());
+        let g = vec![
+            StrTriple::new("a", "p", "Peru"),
+            StrTriple::new("a", "p", "peru"),
+            StrTriple::new("b", "q", "Chile"),
+        ];
+        let a = best_effort_answer(&g);
+        assert!(a.contains("Peru") && a.contains("Chile"));
+        assert_eq!(a.matches("eru").count(), 1, "case-insensitive dedup");
+    }
+}

@@ -1,5 +1,11 @@
 //! The experiment runner: evaluate a method over a dataset, in
 //! parallel, producing per-question records and aggregate scores.
+//!
+//! The runner is the robustness boundary of the harness: a question
+//! whose method panics becomes a scored-as-miss [`Record`] (counted in
+//! [`RunResult::errors`]) instead of tearing down the whole sweep, and
+//! misconfiguration (a KG method with no KG source) is a typed
+//! [`RunError`] for the caller rather than an abort.
 
 use crate::config::PipelineConfig;
 use crate::method::{Method, QaContext, Trace};
@@ -9,6 +15,8 @@ use kgstore::KgSource;
 use semvec::Embedder;
 use serde::{Deserialize, Serialize};
 use simllm::LanguageModel;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use worldgen::{Dataset, Gold, Question};
 
 /// One scored question.
@@ -28,6 +36,43 @@ pub struct Record {
     pub trace: Trace,
 }
 
+/// Transport-fault telemetry aggregated over a whole run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Transport attempts across all stage-level LLM calls.
+    pub attempts: u64,
+    /// Faults observed (every failed attempt, whatever its kind).
+    pub faults: u64,
+    /// Attempts beyond the first per call (the retry overhead).
+    pub retries: u64,
+    /// Virtual backoff accumulated (ms; never slept).
+    pub backoff_ms: u64,
+    /// Calls short-circuited by an open circuit breaker.
+    pub fast_fails: u64,
+    /// Questions that took at least one degradation path.
+    pub degraded_questions: usize,
+    /// Fault counts by kind slug (`"timeout"`, `"truncated"`, …).
+    pub by_kind: BTreeMap<String, u64>,
+}
+
+impl FaultSummary {
+    fn absorb(&mut self, trace: &Trace) {
+        for call in &trace.llm_calls {
+            self.attempts += u64::from(call.attempts);
+            self.faults += call.faults.len() as u64;
+            self.retries += u64::from(call.attempts.saturating_sub(1));
+            self.backoff_ms += call.backoff_ms;
+            self.fast_fails += u64::from(call.fast_failed);
+            for f in &call.faults {
+                *self.by_kind.entry(f.clone()).or_default() += 1;
+            }
+        }
+        if !trace.degradation.is_empty() {
+            self.degraded_questions += 1;
+        }
+    }
+}
+
 /// Aggregate result of one (method × dataset) run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunResult {
@@ -41,6 +86,13 @@ pub struct RunResult {
     pub rouge: RougeAccumulator,
     /// Per-question records, in dataset order.
     pub records: Vec<Record>,
+    /// Questions whose method panicked (still present in `records`,
+    /// scored as misses with a `panic:…` degradation note).
+    #[serde(default)]
+    pub errors: usize,
+    /// Transport-fault telemetry aggregated over the run.
+    #[serde(default)]
+    pub faults: FaultSummary,
 }
 
 impl RunResult {
@@ -55,11 +107,54 @@ impl RunResult {
     }
 }
 
+/// Why a run could not start (or finish).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A method that needs a KG was handed no source.
+    MissingKgSource {
+        /// The offending method's name.
+        method: String,
+    },
+    /// A worker thread died outside the per-question isolation (a bug
+    /// in the runner itself, not in a method).
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::MissingKgSource { method } => {
+                write!(f, "{method} requires a KG source but none was provided")
+            }
+            RunError::WorkerPanicked => write!(f, "a runner worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Score one answer against gold.
 pub fn score_answer(answer: &str, gold: &Gold) -> (Option<bool>, Option<Prf>) {
     match gold {
         Gold::Accepted(accepted) => (Some(is_hit(answer, accepted)), None),
         Gold::References(refs) => (None, Some(rouge_l_multi(answer, refs))),
+    }
+}
+
+/// The scored-as-miss record for a question whose method panicked (or,
+/// unreachably, whose slot was never filled).
+fn failed_record(q: &Question, note: String) -> Record {
+    let (hit, rouge) = score_answer("", &q.gold);
+    Record {
+        qid: q.id.clone(),
+        question: q.text.clone(),
+        answer: String::new(),
+        hit,
+        rouge,
+        trace: Trace {
+            degradation: vec![note],
+            ..Default::default()
+        },
     }
 }
 
@@ -74,12 +169,12 @@ pub fn run(
     cfg: &PipelineConfig,
     dataset: &Dataset,
     threads: usize,
-) -> RunResult {
-    assert!(
-        !(method.needs_kg() && source.is_none()),
-        "{} requires a KG source",
-        method.name()
-    );
+) -> Result<RunResult, RunError> {
+    if method.needs_kg() && source.is_none() {
+        return Err(RunError::MissingKgSource {
+            method: method.name().to_string(),
+        });
+    }
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get())
     } else {
@@ -90,7 +185,10 @@ pub fn run(
     let mut records: Vec<Option<Record>> = Vec::with_capacity(n);
     records.resize_with(n, || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = std::sync::Mutex::new(&mut records);
+    // parking_lot: a panicking holder cannot poison the lock (and the
+    // per-question catch_unwind below keeps panics out of the critical
+    // section anyway).
+    let slots = parking_lot::Mutex::new(&mut records);
 
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
@@ -107,45 +205,71 @@ pub fn run(
                     embedder,
                     cfg,
                 };
-                let out = method.answer(&ctx, q);
-                let (hit, rouge) = score_answer(&out.answer, &q.gold);
-                let rec = Record {
-                    qid: q.id.clone(),
-                    question: q.text.clone(),
-                    answer: out.answer,
-                    hit,
-                    rouge,
-                    trace: out.trace,
+                // One question's panic becomes one failed record; the
+                // other N−1 questions (and the sweep) are unaffected.
+                let rec = match catch_unwind(AssertUnwindSafe(|| method.answer(&ctx, q))) {
+                    Ok(out) => {
+                        let (hit, rouge) = score_answer(&out.answer, &q.gold);
+                        Record {
+                            qid: q.id.clone(),
+                            question: q.text.clone(),
+                            answer: out.answer,
+                            hit,
+                            rouge,
+                            trace: out.trace,
+                        }
+                    }
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "unknown panic".to_string());
+                        failed_record(q, format!("panic:{msg}"))
+                    }
                 };
-                slots.lock().unwrap()[i] = Some(rec);
+                slots.lock()[i] = Some(rec);
             });
         }
     })
-    .expect("worker panicked");
+    .map_err(|_| RunError::WorkerPanicked)?;
 
     let mut result = RunResult {
         method: method.name().to_string(),
         dataset: dataset.kind.name().to_string(),
         ..Default::default()
     };
-    for rec in records.into_iter().map(|r| r.expect("record filled")) {
+    for (i, slot) in records.into_iter().enumerate() {
+        let rec = slot
+            .unwrap_or_else(|| failed_record(&dataset.questions[i], "missing-record".to_string()));
+        if rec
+            .trace
+            .degradation
+            .iter()
+            .any(|d| d.starts_with("panic:") || d == "missing-record")
+            && rec.answer.is_empty()
+        {
+            result.errors += 1;
+        }
         if let Some(h) = rec.hit {
             result.hit.record(h);
         }
         if let Some(p) = rec.rouge {
             result.rouge.record(p);
         }
+        result.faults.absorb(&rec.trace);
         result.records.push(rec);
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::baselines::{Cot, Io};
+    use crate::method::MethodOutput;
     use crate::pipeline::PseudoGraphPipeline;
-    use simllm::{ModelProfile, SimLlm};
+    use simllm::{FaultPlan, FaultyLlm, ModelProfile, SimLlm};
     use std::sync::Arc;
     use worldgen::{
         datasets::nature, datasets::simpleq, derive, generate, SourceConfig, WorldConfig,
@@ -164,10 +288,11 @@ mod tests {
         let ds = simpleq::generate(&world, 40, 1);
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let res = run(&Io, &llm, Some(&src), None, &emb, &cfg, &ds, 4);
+        let res = run(&Io, &llm, Some(&src), None, &emb, &cfg, &ds, 4).unwrap();
         assert_eq!(res.hit.total, 40);
         assert_eq!(res.rouge.total, 0);
         assert_eq!(res.records.len(), 40);
+        assert_eq!(res.errors, 0);
         assert!(res.score() >= 0.0 && res.score() <= 100.0);
     }
 
@@ -177,7 +302,7 @@ mod tests {
         let ds = nature::generate(&world, 10, 2);
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        let res = run(&Cot, &llm, Some(&src), None, &emb, &cfg, &ds, 2);
+        let res = run(&Cot, &llm, Some(&src), None, &emb, &cfg, &ds, 2).unwrap();
         assert_eq!(res.rouge.total, 10);
         assert_eq!(res.hit.total, 0);
         assert!(res.score() > 0.0, "some lexical overlap expected");
@@ -198,7 +323,8 @@ mod tests {
             &cfg,
             &ds,
             1,
-        );
+        )
+        .unwrap();
         let parallel = run(
             &PseudoGraphPipeline::full(),
             &llm,
@@ -208,7 +334,8 @@ mod tests {
             &cfg,
             &ds,
             8,
-        );
+        )
+        .unwrap();
         assert_eq!(serial.hit.hits, parallel.hit.hits);
         for (a, b) in serial.records.iter().zip(&parallel.records) {
             assert_eq!(a.qid, b.qid);
@@ -217,13 +344,85 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires a KG source")]
-    fn kg_method_without_source_panics() {
+    fn parallel_equals_serial_under_faults() {
+        let (world, _, src) = setup();
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ds = simpleq::generate(&world, 20, 3);
+        let mut results = Vec::new();
+        for threads in [1usize, 8] {
+            // Fresh decorator per run: attempt counters must start at
+            // zero for the schedules to be comparable.
+            let faulty = FaultyLlm::new(
+                SimLlm::new(world.clone(), ModelProfile::gpt35_sim()),
+                FaultPlan::uniform(99, 0.3),
+            );
+            results.push(
+                run(
+                    &PseudoGraphPipeline::full(),
+                    &faulty,
+                    Some(&src),
+                    None,
+                    &emb,
+                    &cfg,
+                    &ds,
+                    threads,
+                )
+                .unwrap(),
+            );
+        }
+        let (serial, parallel) = (&results[0], &results[1]);
+        assert_eq!(serial.faults, parallel.faults, "identical fault schedule");
+        for (a, b) in serial.records.iter().zip(&parallel.records) {
+            assert_eq!(a.answer, b.answer);
+            assert_eq!(a.trace.llm_calls, b.trace.llm_calls);
+            assert_eq!(a.trace.degradation, b.trace.degradation);
+        }
+    }
+
+    #[test]
+    fn fault_telemetry_is_aggregated() {
+        let (world, _, src) = setup();
+        let faulty = FaultyLlm::new(
+            SimLlm::new(world.clone(), ModelProfile::gpt35_sim()),
+            FaultPlan::uniform(5, 0.3),
+        );
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ds = simpleq::generate(&world, 30, 6);
+        let res = run(
+            &PseudoGraphPipeline::full(),
+            &faulty,
+            Some(&src),
+            None,
+            &emb,
+            &cfg,
+            &ds,
+            4,
+        )
+        .unwrap();
+        assert!(res.faults.attempts > 0);
+        assert!(res.faults.faults > 0, "rate 0.3 must observe faults");
+        assert!(res.faults.retries > 0, "retryable faults must retry");
+        assert_eq!(
+            res.faults.faults,
+            res.faults.by_kind.values().sum::<u64>(),
+            "by-kind counts must sum to the total"
+        );
+        assert_eq!(res.errors, 0, "faults degrade, they never panic");
+        assert!(
+            res.records.iter().all(|r| !r.answer.is_empty()),
+            "every question still answered"
+        );
+    }
+
+    #[test]
+    fn kg_method_without_source_is_a_typed_error() {
         let (world, llm, _) = setup();
         let ds = simpleq::generate(&world, 2, 4);
         let emb = Embedder::default();
         let cfg = PipelineConfig::default();
-        run(
+        let err = run(
             &PseudoGraphPipeline::full(),
             &llm,
             None,
@@ -232,6 +431,61 @@ mod tests {
             &cfg,
             &ds,
             1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::MissingKgSource {
+                method: "Ours".into()
+            }
         );
+        assert!(err.to_string().contains("requires a KG source"));
+    }
+
+    /// A method that panics on every third question.
+    struct Panicky;
+
+    impl crate::method::Method for Panicky {
+        fn name(&self) -> &'static str {
+            "Panicky"
+        }
+        fn answer(&self, _ctx: &QaContext<'_>, q: &Question) -> MethodOutput {
+            let idx: usize = q.id.rsplit('-').next().unwrap().parse().unwrap_or(0);
+            if idx.is_multiple_of(3) {
+                panic!("synthetic failure on {}", q.id);
+            }
+            MethodOutput {
+                answer: "fine".into(),
+                trace: Trace::default(),
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_method_yields_failed_records_not_a_crash() {
+        let (world, llm, src) = setup();
+        let ds = simpleq::generate(&world, 12, 7);
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let res = run(&Panicky, &llm, Some(&src), None, &emb, &cfg, &ds, 4).unwrap();
+        assert_eq!(res.records.len(), 12, "every slot filled");
+        assert!(res.errors > 0, "panics are counted");
+        assert_eq!(
+            res.errors,
+            res.records
+                .iter()
+                .filter(|r| r.trace.degradation.iter().any(|d| d.starts_with("panic:")))
+                .count()
+        );
+        for r in &res.records {
+            if r.answer.is_empty() {
+                assert_eq!(r.hit, Some(false), "failed records score as misses");
+            } else {
+                assert_eq!(r.answer, "fine");
+            }
+        }
+        // Determinism: the same run again produces the same errors.
+        let again = run(&Panicky, &llm, Some(&src), None, &emb, &cfg, &ds, 1).unwrap();
+        assert_eq!(res.errors, again.errors);
     }
 }

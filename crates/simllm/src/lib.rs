@@ -12,7 +12,9 @@
 //! * [`profile`] — the calibratable per-model parameters;
 //! * [`memory`] — stable seeded fact recall / confabulation;
 //! * [`prompt`] — the paper's Figure 3–5 prompt templates;
-//! * [`model`] — the [`LanguageModel`] trait + [`SimLlm`];
+//! * [`model`] — the [`LanguageModel`] trait, the [`LlmError`]
+//!   transport-fault taxonomy, + [`SimLlm`];
+//! * [`faults`] — the seeded [`FaultyLlm`] fault-injection decorator;
 //! * [`behavior`] — task implementations (IO/CoT/SC, pseudo-graph
 //!   Cypher, graph verification, graph-grounded answering);
 //! * [`graphs`] — the ground-graph types exchanged with the pipeline.
@@ -20,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod faults;
 pub mod graphs;
 pub mod memory;
 pub mod model;
@@ -28,8 +31,9 @@ pub mod prompt;
 pub mod transcript;
 
 pub use behavior::verify::{parse_triple_lines, verify_graph_consistent};
+pub use faults::{FaultPlan, FaultRates, FaultyLlm};
 pub use graphs::{GroundEntity, GroundGraph};
 pub use memory::{ParametricMemory, Recall, RecallMode};
-pub use model::{Completion, LanguageModel, LlmTask, SimLlm};
+pub use model::{Completion, LanguageModel, LlmError, LlmTask, SimLlm};
 pub use profile::ModelProfile;
 pub use transcript::{Exchange, ScriptedLlm, TranscriptLlm};

@@ -73,6 +73,29 @@ pub enum LlmTask<'a> {
     },
 }
 
+impl LlmTask<'_> {
+    /// The question this task is about (every task carries one).
+    pub fn question(&self) -> &Question {
+        match self {
+            LlmTask::Io { question }
+            | LlmTask::Cot { question }
+            | LlmTask::CotSample { question, .. }
+            | LlmTask::PseudoGraph { question }
+            | LlmTask::VerifyGraph { question, .. }
+            | LlmTask::VerifyGraphSample { question, .. }
+            | LlmTask::AnswerFromGraph { question, .. } => question,
+        }
+    }
+
+    /// Temperature-sample index of the task (0 for unsampled tasks).
+    pub fn sample_index(&self) -> u32 {
+        match self {
+            LlmTask::CotSample { index, .. } | LlmTask::VerifyGraphSample { index, .. } => *index,
+            _ => 0,
+        }
+    }
+}
+
 /// A model completion.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Completion {
@@ -80,14 +103,87 @@ pub struct Completion {
     pub text: String,
 }
 
+/// Transport-level failure of one completion call, classified by what a
+/// caller can do about it. Retryable errors ([`LlmError::Timeout`],
+/// [`LlmError::RateLimited`], [`LlmError::Transient`],
+/// [`LlmError::Empty`]) may succeed on a fresh attempt; truncation is
+/// deterministic for a fixed request at temperature 0, so retrying
+/// wastes budget — callers should salvage the partial text instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LlmError {
+    /// The call exceeded its deadline; no text was produced.
+    Timeout,
+    /// The provider shed load; it suggests waiting `retry_after_ms`.
+    RateLimited {
+        /// Provider-suggested wait before the next attempt.
+        retry_after_ms: u64,
+    },
+    /// A transient transport or server failure (5xx, dropped socket).
+    Transient,
+    /// The completion was cut off mid-output; the partial text is kept.
+    Truncated {
+        /// Whatever text arrived before the cutoff.
+        text: String,
+    },
+    /// The provider returned an empty completion body.
+    Empty,
+}
+
+impl LlmError {
+    /// Stable slug of the fault kind (telemetry / trace keys).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LlmError::Timeout => "timeout",
+            LlmError::RateLimited { .. } => "rate-limited",
+            LlmError::Transient => "transient",
+            LlmError::Truncated { .. } => "truncated",
+            LlmError::Empty => "empty",
+        }
+    }
+
+    /// Whether a fresh attempt at the same request can succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, LlmError::Truncated { .. })
+    }
+
+    /// The salvageable partial text, if the error carries one.
+    pub fn partial_text(&self) -> Option<&str> {
+        match self {
+            LlmError::Truncated { text } => Some(text),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmError::Timeout => write!(f, "completion timed out"),
+            LlmError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited (retry after {retry_after_ms} ms)")
+            }
+            LlmError::Transient => write!(f, "transient transport failure"),
+            LlmError::Truncated { text } => {
+                write!(f, "completion truncated after {} bytes", text.len())
+            }
+            LlmError::Empty => write!(f, "empty completion"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
 /// The LLM abstraction the pipeline is written against. A production
-/// deployment would implement this over an HTTP API; the reproduction
-/// implements it with [`SimLlm`].
+/// deployment would implement this over an HTTP API — which times out,
+/// gets rate-limited, and truncates — so completion is fallible; the
+/// reproduction implements it with [`SimLlm`] (infallible) and the
+/// [`crate::faults::FaultyLlm`] decorator (injects [`LlmError`]s on a
+/// deterministic schedule).
 pub trait LanguageModel: Send + Sync {
     /// Model display name.
     fn name(&self) -> &str;
     /// Run one completion.
-    fn complete(&self, prompt: &str, task: &LlmTask<'_>) -> Completion;
+    fn complete(&self, prompt: &str, task: &LlmTask<'_>) -> Result<Completion, LlmError>;
     /// Number of completions served (telemetry).
     fn call_count(&self) -> usize;
     /// Approximate tokens processed, prompt + completion (telemetry).
@@ -137,7 +233,7 @@ impl LanguageModel for SimLlm {
         &self.profile.name
     }
 
-    fn complete(&self, prompt: &str, task: &LlmTask<'_>) -> Completion {
+    fn complete(&self, prompt: &str, task: &LlmTask<'_>) -> Result<Completion, LlmError> {
         let mem = self.memory();
         let text = match task {
             LlmTask::Io { question } => behavior::answering::io_answer(&mem, question),
@@ -166,7 +262,7 @@ impl LanguageModel for SimLlm {
             }
         };
         self.account(prompt, &text);
-        Completion { text }
+        Ok(Completion { text })
     }
 
     fn call_count(&self) -> usize {
@@ -195,7 +291,7 @@ mod tests {
         let ds = simpleq::generate(&world, 3, 1);
         for q in &ds.questions {
             let prompt = crate::prompt::io_prompt(&q.text);
-            llm.complete(&prompt, &LlmTask::Io { question: q });
+            llm.complete(&prompt, &LlmTask::Io { question: q }).unwrap();
         }
         assert_eq!(llm.call_count(), 3);
         assert!(llm.tokens_processed() > 100);
@@ -206,8 +302,8 @@ mod tests {
         let (world, llm) = setup();
         let ds = simpleq::generate(&world, 5, 2);
         for q in &ds.questions {
-            let a = llm.complete("p", &LlmTask::Cot { question: q });
-            let b = llm.complete("p", &LlmTask::Cot { question: q });
+            let a = llm.complete("p", &LlmTask::Cot { question: q }).unwrap();
+            let b = llm.complete("p", &LlmTask::Cot { question: q }).unwrap();
             assert_eq!(a, b);
         }
     }
@@ -216,5 +312,35 @@ mod tests {
     fn name_comes_from_profile() {
         let (_, llm) = setup();
         assert_eq!(llm.name(), "gpt-3.5-sim");
+    }
+
+    #[test]
+    fn error_taxonomy_is_retryability_classified() {
+        assert!(LlmError::Timeout.is_retryable());
+        assert!(LlmError::RateLimited { retry_after_ms: 50 }.is_retryable());
+        assert!(LlmError::Transient.is_retryable());
+        assert!(LlmError::Empty.is_retryable());
+        let trunc = LlmError::Truncated { text: "par".into() };
+        assert!(!trunc.is_retryable(), "truncation is deterministic");
+        assert_eq!(trunc.partial_text(), Some("par"));
+        assert_eq!(trunc.kind(), "truncated");
+        assert!(LlmError::Timeout.partial_text().is_none());
+    }
+
+    #[test]
+    fn task_accessors_cover_every_variant() {
+        let (world, _) = setup();
+        let ds = simpleq::generate(&world, 1, 9);
+        let q = &ds.questions[0];
+        assert_eq!(LlmTask::Io { question: q }.question().id, q.id);
+        assert_eq!(LlmTask::Io { question: q }.sample_index(), 0);
+        assert_eq!(
+            LlmTask::CotSample {
+                question: q,
+                index: 2
+            }
+            .sample_index(),
+            2
+        );
     }
 }

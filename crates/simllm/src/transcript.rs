@@ -7,7 +7,7 @@
 //! (and would let the pipeline be driven by completions captured from a
 //! real API).
 
-use crate::model::{Completion, LanguageModel, LlmTask};
+use crate::model::{Completion, LanguageModel, LlmError, LlmTask};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -80,14 +80,17 @@ impl<M: LanguageModel> LanguageModel for TranscriptLlm<M> {
         self.inner.name()
     }
 
-    fn complete(&self, prompt: &str, task: &LlmTask<'_>) -> Completion {
-        let completion = self.inner.complete(prompt, task);
+    fn complete(&self, prompt: &str, task: &LlmTask<'_>) -> Result<Completion, LlmError> {
+        // Only served completions enter the transcript: the audit trail
+        // records what the model said, and transport faults are the
+        // resilience layer's telemetry, not the model's.
+        let completion = self.inner.complete(prompt, task)?;
         self.log.lock().push(Exchange {
             kind: task.kind().to_string(),
             prompt: prompt.to_string(),
             completion: completion.text.clone(),
         });
-        completion
+        Ok(completion)
     }
 
     fn call_count(&self) -> usize {
@@ -141,15 +144,15 @@ impl LanguageModel for ScriptedLlm {
         &self.name
     }
 
-    fn complete(&self, _prompt: &str, _task: &LlmTask<'_>) -> Completion {
+    fn complete(&self, _prompt: &str, _task: &LlmTask<'_>) -> Result<Completion, LlmError> {
         self.calls.fetch_add(1, Ordering::Relaxed);
         match self.script.lock().pop_front() {
-            Some(text) => Completion { text },
+            Some(text) => Ok(Completion { text }),
             None => {
                 self.overruns.fetch_add(1, Ordering::Relaxed);
-                Completion {
+                Ok(Completion {
                     text: String::new(),
-                }
+                })
             }
         }
     }
@@ -180,7 +183,7 @@ mod tests {
         let ds = simpleq::generate(&world, 3, 1);
         for q in &ds.questions {
             let p = crate::prompt::io_prompt(&q.text);
-            llm.complete(&p, &LlmTask::Io { question: q });
+            llm.complete(&p, &LlmTask::Io { question: q }).unwrap();
         }
         let t = llm.transcript();
         assert_eq!(t.len(), 3);
@@ -200,12 +203,19 @@ mod tests {
         let originals: Vec<String> = ds
             .questions
             .iter()
-            .map(|q| real.complete("p", &LlmTask::Cot { question: q }).text)
+            .map(|q| {
+                real.complete("p", &LlmTask::Cot { question: q })
+                    .unwrap()
+                    .text
+            })
             .collect();
 
         let replay = ScriptedLlm::from_transcript(&real.transcript());
         for (q, orig) in ds.questions.iter().zip(&originals) {
-            let got = replay.complete("p", &LlmTask::Cot { question: q }).text;
+            let got = replay
+                .complete("p", &LlmTask::Cot { question: q })
+                .unwrap()
+                .text;
             assert_eq!(&got, orig);
         }
         assert_eq!(replay.remaining(), 0);
@@ -222,10 +232,17 @@ mod tests {
         let ds = simpleq::generate(&world, 1, 3);
         let q = &ds.questions[0];
         assert_eq!(
-            llm.complete("p", &LlmTask::Io { question: q }).text,
+            llm.complete("p", &LlmTask::Io { question: q })
+                .unwrap()
+                .text,
             "only one"
         );
-        assert_eq!(llm.complete("p", &LlmTask::Io { question: q }).text, "");
+        assert_eq!(
+            llm.complete("p", &LlmTask::Io { question: q })
+                .unwrap()
+                .text,
+            ""
+        );
         assert_eq!(llm.overruns(), 1);
         assert_eq!(llm.call_count(), 2);
     }

@@ -1,0 +1,83 @@
+//! Property-based tests of the verification-output parser: the layer
+//! that turns (possibly garbled, possibly truncated) LLM text back into
+//! triples must never panic and must skip anything malformed — it sits
+//! directly downstream of the fallible transport, where truncation
+//! hands it arbitrary prefixes of valid output.
+
+use kgstore::StrTriple;
+use proptest::prelude::*;
+use simllm::behavior::verify::render_fixed;
+use simllm::parse_triple_lines;
+
+fn triple() -> impl Strategy<Value = StrTriple> {
+    // Component text without the <>-delimiter characters themselves.
+    let part = "[a-zA-Z0-9 _.,'-]{1,16}";
+    (part, part, part).prop_map(|(s, p, o)| StrTriple::new(s, p, o))
+}
+
+proptest! {
+    /// Total on arbitrary input: garbage in, no panic out.
+    #[test]
+    fn never_panics_on_arbitrary_text(text in "\\PC{0,300}") {
+        let _ = parse_triple_lines(&text);
+    }
+
+    /// Total on arbitrary *bytes-as-lines* soup with angle brackets
+    /// sprinkled in (the adversarial shape for this parser).
+    #[test]
+    fn never_panics_on_bracket_soup(text in "[<> a-z\n]{0,200}") {
+        let _ = parse_triple_lines(&text);
+    }
+
+    /// Round-trip: render then parse recovers exactly the triples.
+    #[test]
+    fn roundtrips_rendered_output(ts in proptest::collection::vec(triple(), 0..8)) {
+        let parsed = parse_triple_lines(&render_fixed(&ts));
+        prop_assert_eq!(parsed, ts);
+    }
+
+    /// Any char-boundary prefix of valid output (what a truncated
+    /// completion delivers) parses to a prefix of the triple list —
+    /// complete lines survive, the torn line is skipped, no panic.
+    #[test]
+    fn truncated_output_parses_to_a_prefix(
+        ts in proptest::collection::vec(triple(), 1..8),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let full = render_fixed(&ts);
+        let mut cut = (full.len() as f64 * cut_frac) as usize;
+        while cut > 0 && !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let parsed = parse_triple_lines(&full[..cut]);
+        prop_assert!(parsed.len() <= ts.len());
+        prop_assert_eq!(&parsed[..], &ts[..parsed.len()], "prefix property");
+    }
+
+    /// Garbage lines interleaved with valid ones are skipped without
+    /// disturbing the valid triples.
+    #[test]
+    fn garbage_lines_are_skipped(
+        ts in proptest::collection::vec(triple(), 1..6),
+        junk in proptest::collection::vec("[a-zA-Z<> ]{0,24}", 1..6),
+    ) {
+        let mut text = String::new();
+        for (i, t) in ts.iter().enumerate() {
+            // Junk that is not itself <a> <b> <c> shaped.
+            let j = &junk[i % junk.len()];
+            let is_tripleish = {
+                let j = j.trim();
+                j.starts_with('<')
+                    && j.ends_with('>')
+                    && j[1..j.len().saturating_sub(1)].split("> <").count() == 3
+            };
+            if !is_tripleish {
+                text.push_str(j);
+                text.push('\n');
+            }
+            text.push_str(&t.to_string());
+            text.push('\n');
+        }
+        prop_assert_eq!(parse_triple_lines(&text), ts);
+    }
+}

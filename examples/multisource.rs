@@ -31,7 +31,7 @@ fn main() {
         "Same questions, different KG sources (GPT-3.5, n=60)",
         &["Method / source", "Hit@1"],
     );
-    let cot = pipeline::run(&Cot, &llm, None, None, &embedder, &cfg, &dataset, 0);
+    let cot = pipeline::run(&Cot, &llm, None, None, &embedder, &cfg, &dataset, 0).unwrap();
     table.row("CoT (no KG)", vec![evalkit::Cell::Value(cot.score())]);
     for src in [&freebase, &wikidata] {
         let res = pipeline::run(
@@ -43,7 +43,8 @@ fn main() {
             &cfg,
             &dataset,
             0,
-        );
+        )
+        .unwrap();
         table.row(
             format!("Ours / {}", src.name),
             vec![evalkit::Cell::Value(res.score())],

@@ -47,7 +47,8 @@ fn main() {
             &cfg,
             &dataset,
             0,
-        );
+        )
+        .unwrap();
         rows.push((label.to_string(), res.score()));
         sample.push((label.to_string(), res.records[0].answer.clone()));
     }

@@ -41,8 +41,9 @@ fn main() {
         &cfg,
         &dataset,
         0,
-    );
-    let cot = pipeline::run(&Cot, &llm, None, None, &embedder, &cfg, &dataset, 0);
+    )
+    .unwrap();
+    let cot = pipeline::run(&Cot, &llm, None, None, &embedder, &cfg, &dataset, 0).unwrap();
 
     for (o, c) in ours.records.iter().zip(&cot.records) {
         println!("\nQ: {}", o.question);

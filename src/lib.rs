@@ -46,7 +46,7 @@
 //!     &cfg,
 //!     &dataset,
 //!     1,
-//! );
+//! ).unwrap();
 //! assert_eq!(result.records.len(), 5);
 //! ```
 

@@ -30,7 +30,8 @@ fn figure7_threshold_prunes_everything() {
         &cfg,
         &ds,
         0,
-    );
+    )
+    .unwrap();
     // Everything pruned → no ground entities anywhere, yet the pipeline
     // still answers every question (robustness).
     for r in &res.records {
@@ -162,7 +163,8 @@ fn spurious_match_is_counted_and_survived() {
         &cfg,
         &ds,
         0,
-    );
+    )
+    .unwrap();
     for r in &res.records {
         assert_eq!(r.trace.cypher_error.as_deref(), Some("spurious-match"));
         assert!(!r.answer.is_empty(), "pipeline must degrade gracefully");

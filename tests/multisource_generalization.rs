@@ -15,7 +15,7 @@ fn same_questions_work_on_both_schemas() {
     let emb = Embedder::paper();
     let cfg = PipelineConfig::default();
 
-    let cot = pipeline::run(&Cot, &llm, None, None, &emb, &cfg, &ds, 0);
+    let cot = pipeline::run(&Cot, &llm, None, None, &emb, &cfg, &ds, 0).unwrap();
     for src in [&freebase, &wikidata] {
         let res = pipeline::run(
             &PseudoGraphPipeline::full(),
@@ -26,7 +26,8 @@ fn same_questions_work_on_both_schemas() {
             &cfg,
             &ds,
             0,
-        );
+        )
+        .unwrap();
         assert!(
             res.score() > cot.score(),
             "KG enhancement must improve over CoT on {}: {:.1} vs {:.1}",
@@ -107,7 +108,8 @@ fn pipeline_never_sees_world_ids() {
         &cfg,
         &ds,
         0,
-    );
+    )
+    .unwrap();
     for r in &res.records {
         for (label, _) in &r.trace.ground_entities {
             let is_qid = label.len() > 1

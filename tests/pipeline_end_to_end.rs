@@ -24,7 +24,7 @@ fn full_pipeline_beats_cot_on_simple_questions() {
         &cfg,
         ds.questions.iter().map(|q| q.text.as_str()),
     );
-    let cot = pipeline::run(&Cot, &llm, None, None, &emb, &cfg, &ds, 0);
+    let cot = pipeline::run(&Cot, &llm, None, None, &emb, &cfg, &ds, 0).unwrap();
     let ours = pipeline::run(
         &PseudoGraphPipeline::full(),
         &llm,
@@ -34,7 +34,8 @@ fn full_pipeline_beats_cot_on_simple_questions() {
         &cfg,
         &ds,
         0,
-    );
+    )
+    .unwrap();
     assert!(
         ours.score() > cot.score() + 5.0,
         "KG enhancement must clearly beat CoT: ours {:.1} vs cot {:.1}",
@@ -58,7 +59,8 @@ fn full_pipeline_is_deterministic_end_to_end() {
         &cfg,
         &ds,
         4,
-    );
+    )
+    .unwrap();
     let run2 = pipeline::run(
         &PseudoGraphPipeline::full(),
         &llm,
@@ -68,7 +70,8 @@ fn full_pipeline_is_deterministic_end_to_end() {
         &cfg,
         &ds,
         2,
-    );
+    )
+    .unwrap();
     assert_eq!(run1.hit.hits, run2.hit.hits);
     for (a, b) in run1.records.iter().zip(&run2.records) {
         assert_eq!(a.answer, b.answer, "answers must not depend on threading");
@@ -96,7 +99,8 @@ fn open_ended_verification_adds_breadth() {
         &cfg,
         &ds,
         0,
-    );
+    )
+    .unwrap();
     let full = pipeline::run(
         &PseudoGraphPipeline::full(),
         &llm,
@@ -106,7 +110,8 @@ fn open_ended_verification_adds_breadth() {
         &cfg,
         &ds,
         0,
-    );
+    )
+    .unwrap();
     assert!(
         full.score() > pseudo_only.score() + 5.0,
         "verification must add breadth on open-ended questions: {:.1} vs {:.1}",
@@ -123,8 +128,8 @@ fn gpt4_profile_outscores_gpt35_on_qald() {
     let ds = worldgen::datasets::qald::generate(&world, 150, 21);
     let emb = Embedder::paper();
     let cfg = PipelineConfig::default();
-    let s35 = pipeline::run(&Cot, &llm35, Some(&source), None, &emb, &cfg, &ds, 0);
-    let s4 = pipeline::run(&Cot, &llm4, Some(&source), None, &emb, &cfg, &ds, 0);
+    let s35 = pipeline::run(&Cot, &llm35, Some(&source), None, &emb, &cfg, &ds, 0).unwrap();
+    let s4 = pipeline::run(&Cot, &llm4, Some(&source), None, &emb, &cfg, &ds, 0).unwrap();
     assert!(
         s4.score() > s35.score(),
         "gpt-4 profile must beat gpt-3.5: {:.1} vs {:.1}",
@@ -148,7 +153,8 @@ fn pipeline_records_carry_complete_traces() {
         &cfg,
         &ds,
         0,
-    );
+    )
+    .unwrap();
     for r in &res.records {
         assert!(r.trace.pseudo_raw.is_some(), "raw LLM output recorded");
         assert!(
@@ -179,9 +185,10 @@ fn token_telemetry_accumulates_across_methods() {
         &cfg,
         &ds,
         1,
-    );
+    )
+    .unwrap();
     let mid = llm.tokens_processed();
     assert!(mid > before);
-    pipeline::run(&Io, &llm, None, None, &emb, &cfg, &ds, 1);
+    pipeline::run(&Io, &llm, None, None, &emb, &cfg, &ds, 1).unwrap();
     assert!(llm.tokens_processed() > mid);
 }

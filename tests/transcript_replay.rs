@@ -33,7 +33,8 @@ fn replaying_a_transcript_reproduces_the_run() {
         &cfg,
         &ds,
         1,
-    );
+    )
+    .unwrap();
     let transcript = recorder.transcript();
     assert!(
         transcript.len() >= ds.len() * 2,
@@ -52,7 +53,8 @@ fn replaying_a_transcript_reproduces_the_run() {
         &cfg,
         &ds,
         1,
-    );
+    )
+    .unwrap();
     assert_eq!(
         replayer.overruns(),
         0,
@@ -83,7 +85,8 @@ fn transcript_prompts_contain_the_paper_prompt_markers() {
         &cfg,
         &ds,
         1,
-    );
+    )
+    .unwrap();
     let t = recorder.transcript();
     // Figure-3 prompt markers on pseudo-graph calls.
     assert!(t
