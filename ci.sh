@@ -18,4 +18,7 @@ cargo test -q --workspace
 echo "==> chaos smoke (fault rate 0.3: no panics, nonzero score)"
 cargo run -q --release -p bench --bin chaos -- --smoke
 
+echo "==> perf smoke (pruned retrieval bit-identical to the exact scan)"
+cargo run -q --release -p bench --bin perf -- --smoke
+
 echo "ci.sh: all checks passed"

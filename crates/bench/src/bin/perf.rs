@@ -1,0 +1,324 @@
+//! Perf bench: the retrieval fast path measured end to end, with every
+//! speedup gated on bit-identical results.
+//!
+//! Three sections, each an exact-vs-fast pair:
+//!
+//! * **build** — serial vs parallel [`BaseIndex`] construction over the
+//!   QALD-10 question union (byte-identical output asserted);
+//! * **retrieval** — exact scan vs pruned (token-postings + verified
+//!   ceiling) top-k over every indexed verbalisation as a self-query
+//!   (bit-identical hits asserted);
+//! * **end-to-end** — the full pipeline in exact vs pruned mode, each
+//!   run cold (fresh query-embedding cache) then warm (same base
+//!   re-queried), reporting questions/sec (identical answers asserted
+//!   across all four arms).
+//!
+//! Usage:
+//! * `cargo run --release -p bench --bin perf` — full run; writes
+//!   `BENCH_perf.json` and exits nonzero on any divergence;
+//! * `cargo run --release -p bench --bin perf -- --smoke` — the CI
+//!   smoke: reduced sizes, same identity assertions, no JSON file.
+
+use bench::run_or_exit as run;
+use bench::{model, setup, Experiment};
+use pgg_core::{BaseIndex, PipelineConfig, PseudoGraphPipeline, RetrievalMode};
+use semvec::QueryStyle;
+use std::time::Instant;
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+struct BuildTiming {
+    docs: usize,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+/// Serial vs parallel index build over the same question set; panics
+/// (→ nonzero exit) if the outputs differ in any byte.
+fn bench_build(exp: &Experiment, dataset: &worldgen::Dataset) -> (BuildTiming, BaseIndex) {
+    let questions: Vec<&str> = dataset.questions.iter().map(|q| q.text.as_str()).collect();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    let t = Instant::now();
+    let serial = BaseIndex::for_questions_with_threads(
+        &exp.wikidata,
+        &exp.embedder,
+        &exp.cfg,
+        questions.iter().copied(),
+        1,
+    );
+    let serial_ms = ms(t);
+
+    let t = Instant::now();
+    let parallel = BaseIndex::for_questions_with_threads(
+        &exp.wikidata,
+        &exp.embedder,
+        &exp.cfg,
+        questions.iter().copied(),
+        threads,
+    );
+    let parallel_ms = ms(t);
+
+    assert_eq!(serial.verbalised, parallel.verbalised, "build diverged");
+    assert_eq!(serial.subjects, parallel.subjects, "build diverged");
+    for id in 0..serial.len() {
+        assert_eq!(
+            serial.hybrid().vectors().vector(id),
+            parallel.hybrid().vectors().vector(id),
+            "build diverged at vector {id}"
+        );
+    }
+    (
+        BuildTiming {
+            docs: serial.len(),
+            threads,
+            serial_ms,
+            parallel_ms,
+        },
+        parallel,
+    )
+}
+
+struct RetrievalTiming {
+    queries: usize,
+    exact_ms: f64,
+    pruned_ms: f64,
+    identical: bool,
+}
+
+/// Exact vs pruned retrieval over `queries` self-queries (every indexed
+/// verbalisation queried back at the pipeline's k and jitter).
+fn bench_retrieval(exp: &Experiment, base: &BaseIndex, queries: usize) -> RetrievalTiming {
+    let texts: Vec<String> = base
+        .verbalised
+        .iter()
+        .take(queries)
+        .map(|t| t.sentence())
+        .collect();
+    let (k, sigma) = (exp.cfg.top_k, exp.cfg.retrieval_jitter);
+
+    let arm = |mode: RetrievalMode| {
+        let t = Instant::now();
+        let hits: Vec<_> = texts
+            .iter()
+            .map(|q| {
+                let salt = kgstore::hash::stable_str_hash(q);
+                base.search(&exp.embedder, q, QueryStyle::Folded, k, sigma, salt, mode)
+            })
+            .collect();
+        (ms(t), hits)
+    };
+    let (exact_ms, exact) = arm(RetrievalMode::Exact);
+    let (pruned_ms, pruned) = arm(RetrievalMode::Pruned);
+    RetrievalTiming {
+        queries: texts.len(),
+        exact_ms,
+        pruned_ms,
+        identical: exact == pruned,
+    }
+}
+
+struct E2eArm {
+    mode: &'static str,
+    cold_ms: f64,
+    warm_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    answers: Vec<String>,
+}
+
+/// Full pipeline on QALD-10, one retrieval mode: cold run on a fresh
+/// base (empty query-embedding cache), then a warm re-run on the same.
+fn e2e_arm(exp: &Experiment, dataset: &worldgen::Dataset, mode: RetrievalMode) -> E2eArm {
+    let cfg = PipelineConfig {
+        retrieval_mode: mode,
+        ..exp.cfg.clone()
+    };
+    let base = BaseIndex::for_questions(
+        &exp.wikidata,
+        &exp.embedder,
+        &cfg,
+        dataset.questions.iter().map(|q| q.text.as_str()),
+    );
+    let llm = model(&exp.world, "gpt-3.5");
+    let pipeline = PseudoGraphPipeline::full();
+
+    let t = Instant::now();
+    let cold = run(
+        &pipeline,
+        &llm,
+        Some(&exp.wikidata),
+        Some(&base),
+        &exp.embedder,
+        &cfg,
+        dataset,
+        0,
+    );
+    let cold_ms = ms(t);
+
+    let t = Instant::now();
+    let warm = run(
+        &pipeline,
+        &llm,
+        Some(&exp.wikidata),
+        Some(&base),
+        &exp.embedder,
+        &cfg,
+        dataset,
+        0,
+    );
+    let warm_ms = ms(t);
+
+    let answers: Vec<String> = cold.records.iter().map(|r| r.answer.clone()).collect();
+    let warm_answers: Vec<String> = warm.records.iter().map(|r| r.answer.clone()).collect();
+    assert_eq!(
+        answers, warm_answers,
+        "warm cache changed answers in {mode:?} mode"
+    );
+    let stats = base.cache_stats();
+    E2eArm {
+        mode: match mode {
+            RetrievalMode::Exact => "exact",
+            RetrievalMode::Pruned => "pruned",
+        },
+        cold_ms,
+        warm_ms,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        answers,
+    }
+}
+
+fn json_report(
+    build: &BuildTiming,
+    retr: &RetrievalTiming,
+    arms: &[E2eArm],
+    questions: usize,
+    k: usize,
+    sigma: f32,
+) -> String {
+    // Hand-formatted: the report layout is fixed and flat, and keeping
+    // the encoder trivial means the bench has no serializer in its hot
+    // or cold path to misattribute time to.
+    let arm_json: Vec<String> = arms
+        .iter()
+        .map(|a| {
+            format!(
+                concat!(
+                    "    {{\"mode\": \"{}\", \"cold_ms\": {:.1}, \"warm_ms\": {:.1}, ",
+                    "\"cold_qps\": {:.2}, \"warm_qps\": {:.2}, ",
+                    "\"cache_hits\": {}, \"cache_misses\": {}}}"
+                ),
+                a.mode,
+                a.cold_ms,
+                a.warm_ms,
+                questions as f64 / (a.cold_ms / 1e3),
+                questions as f64 / (a.warm_ms / 1e3),
+                a.cache_hits,
+                a.cache_misses,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"perf\",\n",
+            "  \"dataset\": \"qald\",\n",
+            "  \"source\": \"wikidata\",\n",
+            "  \"build\": {{\"docs\": {}, \"threads\": {}, \"serial_ms\": {:.1}, ",
+            "\"parallel_ms\": {:.1}, \"speedup\": {:.2}, \"identical\": true}},\n",
+            "  \"retrieval\": {{\"queries\": {}, \"k\": {}, \"sigma\": {:.2}, ",
+            "\"exact_ms\": {:.1}, \"pruned_ms\": {:.1}, \"speedup\": {:.2}, ",
+            "\"identical\": {}}},\n",
+            "  \"e2e\": {{\"questions\": {}, \"answers_identical\": true, \"arms\": [\n",
+            "{}\n",
+            "  ]}}\n",
+            "}}\n"
+        ),
+        build.docs,
+        build.threads,
+        build.serial_ms,
+        build.parallel_ms,
+        build.serial_ms / build.parallel_ms,
+        retr.queries,
+        k,
+        sigma,
+        retr.exact_ms,
+        retr.pruned_ms,
+        retr.exact_ms / retr.pruned_ms,
+        retr.identical,
+        questions,
+        arm_json.join(",\n"),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let exp = setup(20);
+    let (dataset, retr_queries, e2e_questions) = if smoke {
+        (&exp.nature, 600, 15)
+    } else {
+        (&exp.qald, usize::MAX, exp.qald.questions.len())
+    };
+
+    let (build, base) = bench_build(&exp, dataset);
+    let retr = bench_retrieval(&exp, &base, retr_queries.min(base.len()));
+    if !retr.identical {
+        eprintln!(
+            "perf violation: pruned retrieval diverged from the exact scan \
+             over {} self-queries",
+            retr.queries
+        );
+        std::process::exit(1);
+    }
+
+    let e2e_set = worldgen::Dataset {
+        kind: dataset.kind,
+        questions: dataset.questions[..e2e_questions.min(dataset.questions.len())].to_vec(),
+    };
+    let exact_arm = e2e_arm(&exp, &e2e_set, RetrievalMode::Exact);
+    let pruned_arm = e2e_arm(&exp, &e2e_set, RetrievalMode::Pruned);
+    if exact_arm.answers != pruned_arm.answers {
+        eprintln!("perf violation: pruned mode changed end-to-end answers");
+        std::process::exit(1);
+    }
+
+    let retrieval_speedup = retr.exact_ms / retr.pruned_ms;
+    if smoke {
+        println!(
+            "perf smoke ok: docs={} build byte-identical ({:.0}ms serial / {:.0}ms \
+             x{}), retrieval bit-identical over {} queries (speedup {:.2}), \
+             e2e answers identical across modes and cache states",
+            build.docs,
+            build.serial_ms,
+            build.parallel_ms,
+            build.threads,
+            retr.queries,
+            retrieval_speedup,
+        );
+        return;
+    }
+
+    let arms = [exact_arm, pruned_arm];
+    let report = json_report(
+        &build,
+        &retr,
+        &arms,
+        e2e_set.questions.len(),
+        exp.cfg.top_k,
+        exp.cfg.retrieval_jitter,
+    );
+    std::fs::write("BENCH_perf.json", &report).expect("write BENCH_perf.json");
+    println!("{report}");
+    println!(
+        "perf ok: docs={} retrieval_speedup={:.2} build_speedup={:.2} \
+         warm_qps(pruned)={:.1} — BENCH_perf.json written",
+        build.docs,
+        retrieval_speedup,
+        build.serial_ms / build.parallel_ms,
+        e2e_set.questions.len() as f64 / (arms[1].warm_ms / 1e3),
+    );
+}

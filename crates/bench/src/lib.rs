@@ -9,7 +9,8 @@
 use pgg_core::{paper, BaseIndex, PipelineConfig};
 use semvec::Embedder;
 use simllm::{ModelProfile, SimLlm};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use worldgen::{datasets, derive, generate, Dataset, SourceConfig, World, WorldConfig};
 
 pub use pgg_core;
@@ -32,6 +33,11 @@ pub struct Experiment {
     pub embedder: Embedder,
     /// Pipeline configuration.
     pub cfg: PipelineConfig,
+    /// Memo of dataset-level base indexes, keyed on (source name,
+    /// question-set hash): sweep arms and bench tables querying the
+    /// same (source, dataset) share one build instead of re-encoding
+    /// thousands of identical triples per arm.
+    base_cache: Mutex<HashMap<(String, u64), Arc<BaseIndex>>>,
 }
 
 /// Build the fixture. `simpleq_n` follows the paper's per-model budget
@@ -55,20 +61,36 @@ pub fn setup(simpleq_n: usize) -> Experiment {
         nature,
         embedder: Embedder::paper(),
         cfg: PipelineConfig::default(),
+        base_cache: Mutex::new(HashMap::new()),
     }
 }
 
 impl Experiment {
-    /// Build the per-dataset semantic KG index over a source (the
-    /// paper's "constructing the corresponding semantic KG based on the
-    /// questions").
-    pub fn base(&self, dataset: &Dataset, source: &kgstore::KgSource) -> BaseIndex {
-        BaseIndex::for_questions(
+    /// Build (or fetch the memoized) per-dataset semantic KG index over
+    /// a source (the paper's "constructing the corresponding semantic
+    /// KG based on the questions"). Identical (source, question set)
+    /// pairs — e.g. the arms of a threshold sweep, or the same dataset
+    /// under two models — share one build.
+    pub fn base(&self, dataset: &Dataset, source: &kgstore::KgSource) -> Arc<BaseIndex> {
+        let mut qhash = kgstore::hash::stable_str_hash(source.name.as_str());
+        for q in &dataset.questions {
+            qhash = kgstore::hash::mix2(qhash, kgstore::hash::stable_str_hash(&q.text));
+        }
+        let key = (source.name.clone(), qhash);
+        if let Some(b) = self.base_cache.lock().unwrap().get(&key) {
+            return Arc::clone(b);
+        }
+        let built = Arc::new(BaseIndex::for_questions(
             source,
             &self.embedder,
             &self.cfg,
             dataset.questions.iter().map(|q| q.text.as_str()),
-        )
+        ));
+        self.base_cache
+            .lock()
+            .unwrap()
+            .insert(key, Arc::clone(&built));
+        built
     }
 }
 

@@ -166,20 +166,7 @@ impl Method for Qsm {
 
     fn answer(&self, ctx: &QaContext<'_>, q: &Question) -> MethodOutput {
         let rl = ResilientLlm::new(ctx.llm, &ctx.cfg.resilience);
-        let source = ctx.source.expect("QSM needs a KG source");
-        let owned_base;
-        let base = match ctx.base {
-            Some(b) => b,
-            None => {
-                owned_base = crate::retrieval::BaseIndex::for_question(
-                    source,
-                    ctx.embedder,
-                    ctx.cfg,
-                    &q.text,
-                );
-                &owned_base
-            }
-        };
+        let base = ctx.base_for(&q.text);
         let mut trace = crate::method::Trace {
             base_triples: base.len(),
             ..Default::default()
@@ -199,12 +186,18 @@ impl Method for Qsm {
         }
         // The question itself is the query — and question-style text
         // does not get the triple-paraphrase alignment (the continuous
-        // phrasing vs discrete triple gap the paper highlights).
-        let qv = ctx.embedder.encode_unfolded(&q.text);
+        // phrasing vs discrete triple gap the paper highlights), so it
+        // is encoded unfolded.
         let salt = kgstore::hash::stable_str_hash(&q.text);
-        let hits = base
-            .index
-            .top_k_noisy(&qv, ctx.cfg.top_k, ctx.cfg.retrieval_jitter, salt);
+        let hits = base.search(
+            ctx.embedder,
+            &q.text,
+            semvec::QueryStyle::Unfolded,
+            ctx.cfg.top_k,
+            ctx.cfg.retrieval_jitter,
+            salt,
+            ctx.cfg.retrieval_mode,
+        );
         let retrieved: Vec<StrTriple> =
             hits.iter().map(|h| base.verbalised[h.id].clone()).collect();
         trace.ground_triples = retrieved.len();

@@ -2,6 +2,7 @@
 
 use crate::prune::PruneStrategy;
 use crate::resilience::ResilienceConfig;
+use crate::retrieval::RetrievalMode;
 use kgstore::ExtractConfig;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,12 @@ pub struct PipelineConfig {
     /// (plain [`simllm::SimLlm`]): the first attempt always succeeds.
     #[serde(default)]
     pub resilience: ResilienceConfig,
+    /// Which scan the base index runs per retrieval query. The pruned
+    /// fast path is the default and returns hits bit-identical to the
+    /// exact scan (see [`semvec::HybridIndex`]); `Exact` keeps the
+    /// brute-force reference available to benches.
+    #[serde(default)]
+    pub retrieval_mode: RetrievalMode,
 }
 
 fn default_repair() -> bool {
@@ -66,6 +73,7 @@ impl Default for PipelineConfig {
             verify_passes: 1,
             repair: default_repair(),
             resilience: ResilienceConfig::default(),
+            retrieval_mode: RetrievalMode::default(),
         }
     }
 }

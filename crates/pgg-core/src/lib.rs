@@ -32,10 +32,10 @@ pub mod runner;
 
 pub use baselines::{Cot, Io, Qsm, SelfConsistency};
 pub use config::{paper, PipelineConfig};
-pub use method::{capability_row, Capabilities, Method, MethodOutput, QaContext, Trace};
+pub use method::{capability_row, BaseRef, Capabilities, Method, MethodOutput, QaContext, Trace};
 pub use pipeline::{PseudoGraphPipeline, Stages};
 pub use prune::{Candidate, PruneStrategy};
 pub use report::{write_markdown_summary, write_records_jsonl, RunSummary};
 pub use resilience::{best_effort_answer, ResilienceConfig, ResilientLlm, StageCall};
-pub use retrieval::{ground_graph, BaseIndex, RetrievalStats};
+pub use retrieval::{ground_graph, BaseIndex, CacheStats, RetrievalMode, RetrievalStats};
 pub use runner::{run, score_answer, FaultSummary, Record, RunError, RunResult};

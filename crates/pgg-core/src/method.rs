@@ -26,6 +26,44 @@ pub struct QaContext<'a> {
     pub cfg: &'a PipelineConfig,
 }
 
+/// A base index that is either the context's shared dataset-level build
+/// or a question-scoped build owned by the caller. Dereferences to
+/// [`BaseIndex`] either way.
+pub enum BaseRef<'a> {
+    /// The prebuilt dataset-level index from the context.
+    Shared(&'a BaseIndex),
+    /// A question-scoped index built on demand.
+    Owned(BaseIndex),
+}
+
+impl std::ops::Deref for BaseRef<'_> {
+    type Target = BaseIndex;
+
+    fn deref(&self) -> &BaseIndex {
+        match self {
+            BaseRef::Shared(b) => b,
+            BaseRef::Owned(b) => b,
+        }
+    }
+}
+
+impl<'a> QaContext<'a> {
+    /// The single build path every KG method routes through: the shared
+    /// dataset-level index when one was prebuilt, else one
+    /// question-scoped build (never two for the same answer).
+    pub fn base_for(&self, question: &str) -> BaseRef<'a> {
+        match self.base {
+            Some(b) => BaseRef::Shared(b),
+            None => BaseRef::Owned(BaseIndex::for_question(
+                self.source.expect("KG method needs a source"),
+                self.embedder,
+                self.cfg,
+                question,
+            )),
+        }
+    }
+}
+
 /// Per-question trace of what the pipeline did — the raw material of
 /// the §4.6 error analysis and the Figure-1 walk-through.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]

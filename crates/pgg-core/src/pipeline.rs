@@ -6,7 +6,7 @@
 
 use crate::method::{Method, MethodOutput, QaContext, Trace};
 use crate::resilience::{best_effort_answer, ResilientLlm};
-use crate::retrieval::{ground_graph, BaseIndex};
+use crate::retrieval::ground_graph;
 use cypher::{extract_cypher, Executor, Mode, Severity};
 use kgstore::StrTriple;
 use simllm::{parse_triple_lines, prompt, LlmTask};
@@ -215,15 +215,8 @@ impl Method for PseudoGraphPipeline {
 
         // Step 2 — Semantic Querying + two-step pruning.
         let source = ctx.source.expect("full pipeline needs a KG source");
-        let owned_base;
-        let base = match ctx.base {
-            Some(b) => b,
-            None => {
-                owned_base = BaseIndex::for_question(source, ctx.embedder, ctx.cfg, &q.text);
-                &owned_base
-            }
-        };
-        let (ground, stats) = ground_graph(source, base, ctx.embedder, ctx.cfg, &pseudo);
+        let base = ctx.base_for(&q.text);
+        let (ground, stats) = ground_graph(source, &base, ctx.embedder, ctx.cfg, &pseudo);
         trace.base_triples = stats.base_triples;
         trace.ground_entities = ground
             .entities

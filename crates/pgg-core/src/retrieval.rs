@@ -16,23 +16,120 @@
 //! 4. Pruning step 2 (confidence): score each subject by the mean
 //!    similarity of its retrieved triples, drop those below the
 //!    threshold, sort the rest descending → ground graph `G_g`.
+//!
+//! Retrieval runs on the fast path by default: the base index is a
+//! [`HybridIndex`] (token-postings candidate pruning + exact rerank,
+//! bit-identical to the full scan under the zero-overlap-ceiling
+//! contract — see `semvec::inverted`), queries go through a bounded
+//! thread-safe embedding cache, and dataset-level builds encode across
+//! threads with deterministic output. [`RetrievalMode::Exact`] keeps
+//! the brute-force scan available for equivalence benches.
 
 use crate::config::PipelineConfig;
 use crate::prune::Candidate;
 use kgstore::hash::{FxHashMap, FxHashSet};
 use kgstore::{extract, Atom, KgSource, StrTriple, Triple};
-use semvec::{verbalize_triple, Embedder, VecIndex};
+use parking_lot::Mutex;
+use semvec::{verbalize_triple, Embedder, Hit, HybridIndex, QueryStyle, VecIndex};
+use serde::{Deserialize, Serialize};
 use simllm::{GroundEntity, GroundGraph};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which scan the base index runs per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RetrievalMode {
+    /// Token-postings candidate pruning + exact rerank (the fast path;
+    /// hits are bit-identical to [`Exact`] under the hybrid index's
+    /// documented ceiling contract, which the perf bench asserts).
+    ///
+    /// [`Exact`]: RetrievalMode::Exact
+    #[default]
+    Pruned,
+    /// Brute-force scan of every indexed triple.
+    Exact,
+}
+
+/// Upper bound on cached query embeddings before the cache resets.
+/// Entries are one `dim`-float vector plus the query text (~1.2 KiB at
+/// dim 256), so the cap bounds memory at a few MiB per base index; the
+/// whole map is cleared when full (queries repeat across
+/// self-consistency samples, retries, and questions in clusters, so a
+/// wholesale reset costs a handful of re-encodes, not churn).
+const QUERY_CACHE_CAP: usize = 4096;
+
+/// Monotonic counters of the query-embedding cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to encode.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// Cache key: (folded?, query text) → shared embedding.
+type CachedVectors = FxHashMap<(bool, String), Arc<Vec<f32>>>;
+
+/// Bounded, thread-safe memo of query embeddings. Encoding is
+/// deterministic, so a cached vector is byte-for-byte the vector a
+/// fresh encode would produce — the cache can never change a result,
+/// only skip work.
+struct QueryCache {
+    map: Mutex<CachedVectors>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    fn new() -> Self {
+        Self {
+            map: Mutex::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_encode(&self, embedder: &Embedder, text: &str, style: QueryStyle) -> Arc<Vec<f32>> {
+        let folded = style == QueryStyle::Folded;
+        if let Some(v) = self.map.lock().get(&(folded, text.to_string())) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Encode outside the lock so concurrent misses don't serialize.
+        let v = Arc::new(match style {
+            QueryStyle::Folded => embedder.encode(text),
+            QueryStyle::Unfolded => embedder.encode_unfolded(text),
+        });
+        let mut map = self.map.lock();
+        if map.len() >= QUERY_CACHE_CAP {
+            map.clear();
+        }
+        map.insert((folded, text.to_string()), Arc::clone(&v));
+        v
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().len(),
+        }
+    }
+}
 
 /// A pre-encoded semantic KG: verbalised triples, their subject atoms
-/// (into the source's table), and the vector index.
+/// (into the source's table), and the hybrid (postings + vector) index,
+/// plus a query-embedding cache.
 pub struct BaseIndex {
     /// Verbalised triples in index order.
     pub verbalised: Vec<StrTriple>,
     /// Subject atom of each triple (resolvable in the source).
     pub subjects: Vec<Atom>,
-    /// The vector index over the verbalised sentences.
-    pub index: VecIndex,
+    index: HybridIndex,
+    cache: QueryCache,
 }
 
 impl BaseIndex {
@@ -46,36 +143,82 @@ impl BaseIndex {
         self.verbalised.is_empty()
     }
 
-    /// Build from an explicit set of triples of a source.
+    /// The underlying exact vector index (one row per triple).
+    pub fn vectors(&self) -> &VecIndex {
+        self.index.vectors()
+    }
+
+    /// The hybrid index itself.
+    pub fn hybrid(&self) -> &HybridIndex {
+        &self.index
+    }
+
+    /// Query-embedding cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Build from an explicit set of triples of a source (serial).
     pub fn from_triples(
         source: &KgSource,
         embedder: &Embedder,
         triples: impl IntoIterator<Item = Triple>,
     ) -> Self {
+        Self::from_triples_parallel(source, embedder, triples, 1)
+    }
+
+    /// Build from triples with `threads` encoder workers (0 = all
+    /// cores). Verbalisation and assembly are serial and duplicate
+    /// sentences are encoded once, so the result is byte-identical
+    /// across thread counts.
+    pub fn from_triples_parallel(
+        source: &KgSource,
+        embedder: &Embedder,
+        triples: impl IntoIterator<Item = Triple>,
+        threads: usize,
+    ) -> Self {
         let mut verbalised = Vec::new();
         let mut subjects = Vec::new();
-        let mut index = VecIndex::new(embedder.dim());
+        let mut sentences: Vec<String> = Vec::new();
         for t in triples {
             let v = source.verbalize(t);
             let v = StrTriple::new(v.s, semvec::humanize_term(&v.p), v.o);
-            index.add(&embedder.encode(&v.sentence()));
+            sentences.push(v.sentence());
             verbalised.push(v);
             subjects.push(t.s);
         }
+        let refs: Vec<&str> = sentences.iter().map(|s| s.as_str()).collect();
+        let index = HybridIndex::build_parallel(embedder, &refs, threads);
         Self {
             verbalised,
             subjects,
             index,
+            cache: QueryCache::new(),
         }
     }
 
     /// The paper's per-dataset construction: union of question-scoped
-    /// extractions over all dataset questions.
+    /// extractions over all dataset questions, encoded across all
+    /// cores.
     pub fn for_questions<'a>(
         source: &KgSource,
         embedder: &Embedder,
         cfg: &PipelineConfig,
         questions: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
+        Self::for_questions_with_threads(source, embedder, cfg, questions, 0)
+    }
+
+    /// [`for_questions`] with an explicit encoder thread count (1 =
+    /// serial reference; the output is identical either way).
+    ///
+    /// [`for_questions`]: BaseIndex::for_questions
+    pub fn for_questions_with_threads<'a>(
+        source: &KgSource,
+        embedder: &Embedder,
+        cfg: &PipelineConfig,
+        questions: impl IntoIterator<Item = &'a str>,
+        threads: usize,
     ) -> Self {
         let mut seen: FxHashSet<Triple> = FxHashSet::default();
         let mut union: Vec<Triple> = Vec::new();
@@ -86,11 +229,11 @@ impl BaseIndex {
                 }
             }
         }
-        Self::from_triples(source, embedder, union)
+        Self::from_triples_parallel(source, embedder, union, threads)
     }
 
     /// Question-scoped construction (used when no dataset-level index
-    /// was prebuilt).
+    /// was prebuilt). Small enough that a serial build wins.
     pub fn for_question(
         source: &KgSource,
         embedder: &Embedder,
@@ -102,6 +245,41 @@ impl BaseIndex {
             embedder,
             extract(source, question, &cfg.extract).triples,
         )
+    }
+
+    /// Encode a query through the embedding cache.
+    pub fn query_vector(
+        &self,
+        embedder: &Embedder,
+        text: &str,
+        style: QueryStyle,
+    ) -> Arc<Vec<f32>> {
+        self.cache.get_or_encode(embedder, text, style)
+    }
+
+    /// Noisy top-k over the base, on the configured path. `style` must
+    /// say how the query text is to be encoded (pseudo-triple sentences
+    /// fold; question-style text does not). Pruned and exact modes
+    /// return identical hits (the hybrid index's ceiling contract).
+    #[allow(clippy::too_many_arguments)] // one knob per retrieval degree of freedom
+    pub fn search(
+        &self,
+        embedder: &Embedder,
+        text: &str,
+        style: QueryStyle,
+        k: usize,
+        sigma: f32,
+        salt: u64,
+        mode: RetrievalMode,
+    ) -> Vec<Hit> {
+        let q = self.query_vector(embedder, text, style);
+        match mode {
+            RetrievalMode::Exact => self.index.vectors().top_k_noisy(&q, k, sigma, salt),
+            RetrievalMode::Pruned => {
+                let cands = self.index.candidates(embedder, text, style);
+                self.index.top_k_noisy_encoded(&q, &cands, k, sigma, salt)
+            }
+        }
     }
 }
 
@@ -150,12 +328,16 @@ pub fn ground_graph(
     let mut best_score: FxHashMap<usize, f32> = FxHashMap::default();
     for t in pseudo {
         let sentence = verbalize_triple(t);
-        let q = embedder.encode(&sentence);
         let salt = kgstore::hash::stable_str_hash(&sentence);
-        for hit in base
-            .index
-            .top_k_noisy(&q, cfg.top_k, cfg.retrieval_jitter, salt)
-        {
+        for hit in base.search(
+            embedder,
+            &sentence,
+            QueryStyle::Folded,
+            cfg.top_k,
+            cfg.retrieval_jitter,
+            salt,
+            cfg.retrieval_mode,
+        ) {
             let e = best_score.entry(hit.id).or_insert(f32::MIN);
             if hit.score > *e {
                 *e = hit.score;
@@ -295,6 +477,64 @@ mod tests {
         );
         let single = base_for(&src, &emb, "Where was Yao Ming born?");
         assert!(base.len() >= single.len());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_build() {
+        let src = source();
+        let emb = Embedder::default();
+        let questions = ["Where was Yao Ming born?", "In which country is Shanghai?"];
+        let serial = BaseIndex::for_questions_with_threads(&src, &emb, &cfg(), questions, 1);
+        let parallel = BaseIndex::for_questions_with_threads(&src, &emb, &cfg(), questions, 4);
+        assert_eq!(serial.verbalised, parallel.verbalised);
+        assert_eq!(serial.subjects, parallel.subjects);
+        for id in 0..serial.len() {
+            assert_eq!(serial.vectors().vector(id), parallel.vectors().vector(id));
+        }
+    }
+
+    #[test]
+    fn pruned_and_exact_modes_agree_on_ground_graphs() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "Where was Yao Ming born in Shanghai?");
+        let pseudo = vec![
+            StrTriple::new("Yao Ming", "BORN_IN", "Shanghai"),
+            StrTriple::new("Shanghai", "LOCATED_IN", "China"),
+        ];
+        let mut exact_cfg = cfg();
+        exact_cfg.retrieval_mode = RetrievalMode::Exact;
+        let (g_pruned, _) = ground_graph(&src, &base, &emb, &cfg(), &pseudo);
+        let (g_exact, _) = ground_graph(&src, &base, &emb, &exact_cfg, &pseudo);
+        assert_eq!(g_pruned.entities.len(), g_exact.entities.len());
+        for (a, b) in g_pruned.entities.iter().zip(&g_exact.entities) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.score, b.score, "scores must be bit-identical");
+            assert_eq!(a.triples, b.triples);
+        }
+    }
+
+    #[test]
+    fn query_cache_hits_on_repeat_queries() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "Where was Yao Ming born?");
+        let pseudo = vec![StrTriple::new("Yao Ming", "BORN_IN", "Beijing")];
+        let (first, _) = ground_graph(&src, &base, &emb, &cfg(), &pseudo);
+        let after_first = base.cache_stats();
+        assert!(after_first.misses >= 1);
+        assert!(after_first.entries >= 1);
+        let (second, _) = ground_graph(&src, &base, &emb, &cfg(), &pseudo);
+        let after_second = base.cache_stats();
+        assert!(
+            after_second.hits > after_first.hits,
+            "repeat query must hit: {after_second:?}"
+        );
+        assert_eq!(after_second.misses, after_first.misses);
+        assert_eq!(first.entities.len(), second.entities.len());
+        for (a, b) in first.entities.iter().zip(&second.entities) {
+            assert_eq!(a.score, b.score, "cached encode must not change scores");
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Property-based tests of the retrieval layer: parallel index builds
+//! must be byte-identical to the serial reference for any question
+//! subset and thread count, and the pruned search must agree with the
+//! exact scan through the public `search` API.
+
+use pgg_core::{paper, BaseIndex, PipelineConfig, RetrievalMode};
+use proptest::prelude::*;
+use semvec::{Embedder, QueryStyle};
+use std::sync::OnceLock;
+use worldgen::{datasets, derive, generate, SourceConfig, World, WorldConfig};
+
+struct Fixture {
+    source: kgstore::KgSource,
+    questions: Vec<String>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let world: World = generate(&WorldConfig {
+            seed: paper::WORLD_SEED,
+            ..Default::default()
+        });
+        let source = derive(&world, &SourceConfig::wikidata());
+        let questions = datasets::qald::generate(&world, 40, paper::QALD_SEED)
+            .questions
+            .into_iter()
+            .map(|q| q.text)
+            .collect();
+        Fixture { source, questions }
+    })
+}
+
+proptest! {
+    /// `for_questions` builds the same index — same verbalised triples,
+    /// subjects, and embedding bytes — no matter how many encoder
+    /// threads are used or how the question subset is shaped (overlaps
+    /// and duplicates included).
+    #[test]
+    fn parallel_for_questions_is_byte_identical_to_serial(
+        picks in proptest::collection::vec(0usize..40, 1..12),
+        threads in 2usize..8,
+    ) {
+        let fix = fixture();
+        let embedder = Embedder::paper();
+        let cfg = PipelineConfig::default();
+        let qs: Vec<&str> = picks.iter().map(|&i| fix.questions[i].as_str()).collect();
+        let serial =
+            BaseIndex::for_questions_with_threads(&fix.source, &embedder, &cfg, qs.iter().copied(), 1);
+        let parallel =
+            BaseIndex::for_questions_with_threads(&fix.source, &embedder, &cfg, qs.iter().copied(), threads);
+        prop_assert_eq!(&serial.verbalised, &parallel.verbalised);
+        prop_assert_eq!(&serial.subjects, &parallel.subjects);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for id in 0..serial.len() {
+            prop_assert_eq!(
+                serial.hybrid().vectors().vector(id),
+                parallel.hybrid().vectors().vector(id)
+            );
+        }
+    }
+
+    /// Through the public `search` API, pruned retrieval returns hits
+    /// bit-identical to the exact scan for any question, k, and salt.
+    #[test]
+    fn pruned_search_equals_exact_search(
+        qi in 0usize..40,
+        k in 1usize..20,
+        salt in any::<u64>(),
+        sigma in 0.0f32..0.6,
+    ) {
+        let fix = fixture();
+        let embedder = Embedder::paper();
+        let cfg = PipelineConfig::default();
+        let text = fix.questions[qi].as_str();
+        let base = BaseIndex::for_question(&fix.source, &embedder, &cfg, text);
+        let pruned = base.search(&embedder, text, QueryStyle::Folded, k, sigma, salt, RetrievalMode::Pruned);
+        let exact = base.search(&embedder, text, QueryStyle::Folded, k, sigma, salt, RetrievalMode::Exact);
+        prop_assert_eq!(pruned, exact);
+    }
+}

@@ -104,13 +104,32 @@ impl Embedder {
         self.cfg.dim
     }
 
+    /// The synonym table this encoder folds tokens with.
+    pub fn synonyms(&self) -> &SynonymTable {
+        &self.synonyms
+    }
+
+    /// Fold one (normalised) token exactly the way [`encode`] does.
+    /// Candidate generation over an index built with this encoder must
+    /// use this fold — not a fixed builtin table — so token overlap
+    /// agrees with the encoder under custom or empty synonym configs.
+    ///
+    /// [`encode`]: Embedder::encode
+    pub fn fold_token<'a>(&'a self, tok: &'a str) -> &'a str {
+        self.synonyms.fold(tok)
+    }
+
     /// Encode a text into an L2-normalised vector. An all-zero vector is
     /// returned for texts with no features (e.g. only stopwords).
     pub fn encode(&self, text: &str) -> Vector {
+        self.encode_impl(text, true)
+    }
+
+    fn encode_impl(&self, text: &str, fold: bool) -> Vector {
         let mut v = vec![0.0f32; self.cfg.dim];
         let tokens = normalize(text);
         for tok in &tokens {
-            let folded = self.synonyms.fold(tok);
+            let folded = if fold { self.synonyms.fold(tok) } else { tok };
             let idf_scale = self.idf.as_deref().map_or(1.0, |m| m.weight(folded) / 2.0);
             self.add_feature(&mut v, folded, self.cfg.word_weight * idf_scale);
             if self.cfg.char_weight > 0.0 && folded.len() > 3 {
@@ -150,13 +169,10 @@ impl Embedder {
     /// matching enjoys (the paper: "the continuous nature of question
     /// expression contrasts with the discontinuous nature of semantic
     /// triples"); query-style encodings therefore skip the fold.
+    /// Equivalent to encoding with an empty synonym table, without
+    /// cloning the config or IDF handle into a throwaway encoder.
     pub fn encode_unfolded(&self, text: &str) -> Vector {
-        let unfolded = Embedder {
-            cfg: self.cfg.clone(),
-            synonyms: crate::synonym::SynonymTable::empty(),
-            idf: self.idf.clone(),
-        };
-        unfolded.encode(text)
+        self.encode_impl(text, false)
     }
 
     /// Encode a batch of texts.

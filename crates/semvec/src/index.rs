@@ -47,6 +47,74 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Bounded top-k selection: O(N log k) instead of the O(N log N) full
+/// sort, producing the *same* hits in the same order as sorting every
+/// scored document by (score desc, id asc) and truncating to k.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl TopK {
+    /// Selector keeping the best `k` hits.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer one scored hit.
+    pub fn offer(&mut self, hit: Hit) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry(hit));
+        } else if let Some(worst) = self.heap.peek() {
+            if hit.score > worst.0.score || (hit.score == worst.0.score && hit.id < worst.0.id) {
+                self.heap.pop();
+                self.heap.push(HeapEntry(hit));
+            }
+        }
+    }
+
+    /// The current k-th best hit (the eviction bound), once k hits have
+    /// been offered. Any candidate that cannot beat this hit under the
+    /// (score desc, id asc) order can be skipped without changing the
+    /// final result.
+    pub fn bound(&self) -> Option<Hit> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|e| e.0)
+        }
+    }
+
+    /// Number of hits currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no hit has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Finish: the held hits, highest score first, ties by lower id.
+    pub fn into_sorted(self) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self.heap.into_iter().map(|e| e.0).collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits
+    }
+}
+
 /// Flat, append-only vector index with exact top-k search.
 #[derive(Debug, Clone, Default)]
 pub struct VecIndex {
@@ -105,26 +173,32 @@ impl VecIndex {
         if k == 0 || self.len == 0 {
             return Vec::new();
         }
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        let mut top = TopK::new(k);
         for id in 0..self.len {
-            let score = dot(query, self.vector(id));
-            if heap.len() < k {
-                heap.push(HeapEntry(Hit { id, score }));
-            } else if let Some(worst) = heap.peek() {
-                if score > worst.0.score || (score == worst.0.score && id < worst.0.id) {
-                    heap.pop();
-                    heap.push(HeapEntry(Hit { id, score }));
-                }
-            }
+            top.offer(Hit {
+                id,
+                score: dot(query, self.vector(id)),
+            });
         }
-        let mut hits: Vec<Hit> = heap.into_iter().map(|e| e.0).collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        hits
+        top.into_sorted()
+    }
+
+    /// The deterministic per-(query, doc) score jitter added by
+    /// [`top_k_noisy`](VecIndex::top_k_noisy): uniform with standard
+    /// deviation `sigma`, keyed on (salt, id). Exposed so pruned search
+    /// paths can reproduce the exact-scan scores bit for bit.
+    #[inline]
+    pub fn jitter(salt: u64, id: usize, sigma: f32) -> f32 {
+        Self::jitter_of(kgstore::hash::mix2(salt, id as u64), sigma)
+    }
+
+    /// [`jitter`](VecIndex::jitter) from the already mixed per-(salt,
+    /// id) hash, so callers that pre-screen on the hash (the pruned
+    /// search's suspect pass) reproduce the same bits without mixing
+    /// twice.
+    #[inline]
+    pub fn jitter_of(hash: u64, sigma: f32) -> f32 {
+        (kgstore::hash::unit_f64(hash) as f32 * 2.0 - 1.0) * sigma * 1.732
     }
 
     /// Exact top-k with deterministic per-(query, doc) score jitter.
@@ -137,7 +211,6 @@ impl VecIndex {
     /// of standard deviation `sigma` added to its score before ranking.
     /// `salt` must identify the query (e.g. a hash of its text).
     pub fn top_k_noisy(&self, query: &[f32], k: usize, sigma: f32, salt: u64) -> Vec<Hit> {
-        use kgstore::hash::{mix2, unit_f64};
         assert_eq!(query.len(), self.dim, "dimension mismatch");
         if sigma <= 0.0 {
             return self.top_k(query, k);
@@ -145,23 +218,14 @@ impl VecIndex {
         if k == 0 || self.len == 0 {
             return Vec::new();
         }
-        let mut hits: Vec<Hit> = (0..self.len)
-            .map(|id| {
-                let jitter = (unit_f64(mix2(salt, id as u64)) as f32 * 2.0 - 1.0) * sigma * 1.732;
-                Hit {
-                    id,
-                    score: dot(query, self.vector(id)) + jitter,
-                }
-            })
-            .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        hits.truncate(k);
-        hits
+        let mut top = TopK::new(k);
+        for id in 0..self.len {
+            top.offer(Hit {
+                id,
+                score: dot(query, self.vector(id)) + Self::jitter(salt, id, sigma),
+            });
+        }
+        top.into_sorted()
     }
 
     /// All hits with score ≥ `threshold`, highest first.

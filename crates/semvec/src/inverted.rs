@@ -1,50 +1,159 @@
 //! Token-postings candidate generation over the vector index.
 //!
-//! Exact top-k is O(N·d) per query. Since hashing embeddings only score
-//! documents that share canonical tokens with the query (plus noise),
-//! an inverted index over canonical tokens prunes the scan to the
-//! documents that can score at all — the standard lexical-candidates +
-//! dense-rerank architecture, here with *identical* results to the full
-//! scan by construction (zero-overlap documents score ≤ the noise floor
-//! and are handled by a fallback).
+//! Exact top-k is O(N·d) per query. Since hashing embeddings mostly
+//! score documents that share canonical tokens with the query, an
+//! inverted index over canonical tokens prunes the scan to the
+//! documents that can score meaningfully — the standard
+//! lexical-candidates + dense-rerank architecture. The pruned search
+//! returns *identical* hits to the full scan under a documented
+//! contract:
+//!
+//! **Zero-overlap ceiling.** A document sharing no canonical token with
+//! the query has no word-feature mass in common with it; its dot
+//! product comes only from char-trigram overlap, hash collisions, and
+//! encoder noise — the noise floor of the encoder. The index assumes
+//! that floor is bounded by [`HybridIndex::ceiling`] (default
+//! [`DEFAULT_CEILING`], calibrated with a wide margin against the
+//! worldgen corpora; see DESIGN.md). Every pruned query *verifies* its
+//! own result against that bound: any non-candidate whose ceiling plus
+//! (exactly computed, cheap) retrieval jitter could reach the current
+//! k-th score is scored in full, and when fewer than `k` candidates
+//! exist at all the query falls back to the exact scan. So result
+//! length and ordering always match [`VecIndex`], and the hits are
+//! bit-identical whenever the ceiling holds — which the perf bench and
+//! the CI smoke assert on every full run.
 
 use crate::embed::Embedder;
-use crate::index::{Hit, VecIndex};
+use crate::index::{Hit, TopK, VecIndex};
 use crate::token::normalize;
 use kgstore::hash::{stable_str_hash, FxHashMap};
+
+/// Default bound on the dot product between a query and a document that
+/// share no canonical token. Calibrated against the worldgen corpora
+/// under both the clean and the `Embedder::paper` (noise 0.6) encoders
+/// (max observed zero-overlap dot 0.424 across all three source ×
+/// dataset corpora; see DESIGN.md); raise it (via
+/// [`HybridIndex::with_ceiling`]) for adversarial corpora, at the cost
+/// of pruning less.
+pub const DEFAULT_CEILING: f32 = 0.48;
+
+/// How the query text was (or will be) encoded, which decides which
+/// postings a token can match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStyle {
+    /// Query tokens are synonym-folded before hashing (the encoder's
+    /// [`Embedder::encode`] path): look up postings by folded token.
+    Folded,
+    /// Query tokens are hashed raw ([`Embedder::encode_unfolded`]):
+    /// a word feature can only overlap a document whose *canonical*
+    /// token equals the raw query token, so look up postings by the
+    /// unfolded token.
+    Unfolded,
+}
 
 /// A vector index paired with token postings for candidate pruning.
 pub struct HybridIndex {
     vec: VecIndex,
+    /// Canonical-token hash → ascending doc ids containing it.
     postings: FxHashMap<u64, Vec<u32>>,
-    /// Synonym-folded canonical token hashes per document.
     doc_count: usize,
+    ceiling: f32,
 }
 
 impl HybridIndex {
     /// Build from texts: encodes each with `embedder` and indexes its
-    /// canonical tokens.
+    /// canonical tokens (folded with the *embedder's* synonym table, so
+    /// candidate overlap agrees with the encoder under custom or empty
+    /// synonym configurations).
     pub fn build<'a, I: IntoIterator<Item = &'a str>>(embedder: &Embedder, texts: I) -> Self {
+        let texts: Vec<&str> = texts.into_iter().collect();
+        Self::build_parallel(embedder, &texts, 1)
+    }
+
+    /// Build with `threads` encoder workers (0 = all cores). Repeated
+    /// identical texts are encoded and tokenized once and their results
+    /// reused; output is byte-identical to the serial build regardless
+    /// of thread count (work is partitioned by index and reassembled in
+    /// order).
+    pub fn build_parallel(embedder: &Embedder, texts: &[&str], threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            threads
+        };
+
+        // Dedup: unique texts, and for each doc the unique slot it maps
+        // to. Duplicate verbalisations (same sentence from different
+        // triples) cost one encode instead of many.
+        let mut slot_of_text: FxHashMap<&str, usize> = FxHashMap::default();
+        let mut unique: Vec<&str> = Vec::new();
+        let doc_slots: Vec<usize> = texts
+            .iter()
+            .map(|&t| {
+                *slot_of_text.entry(t).or_insert_with(|| {
+                    unique.push(t);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+
+        // Encode + tokenize each unique text, in parallel when asked.
+        let encode_one = |text: &str| -> (Vec<f32>, Vec<u64>) {
+            let v = embedder.encode(text);
+            let mut hashes: Vec<u64> = normalize(text)
+                .iter()
+                .map(|tok| stable_str_hash(embedder.fold_token(tok)))
+                .collect();
+            hashes.sort_unstable();
+            hashes.dedup();
+            (v, hashes)
+        };
+        let encoded: Vec<(Vec<f32>, Vec<u64>)> = if threads <= 1 || unique.len() < 2 {
+            unique.iter().map(|t| encode_one(t)).collect()
+        } else {
+            let mut out: Vec<Option<(Vec<f32>, Vec<u64>)>> = Vec::with_capacity(unique.len());
+            out.resize_with(unique.len(), || None);
+            let chunk = unique.len().div_ceil(threads.min(unique.len()));
+            let encode_one = &encode_one;
+            std::thread::scope(|scope| {
+                for (texts, slots) in unique.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (t, slot) in texts.iter().zip(slots) {
+                            *slot = Some(encode_one(t));
+                        }
+                    });
+                }
+            });
+            out.into_iter().map(|o| o.expect("slot filled")).collect()
+        };
+
+        // Assemble in doc order: flat vectors plus postings (ascending
+        // ids by construction).
         let mut vec = VecIndex::new(embedder.dim());
         let mut postings: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-        let mut doc_count = 0usize;
-        for text in texts {
-            let id = vec.add(&embedder.encode(text)) as u32;
-            doc_count += 1;
-            let mut seen = std::collections::HashSet::new();
-            for tok in normalize(text) {
-                let folded = embedder_fold(embedder, &tok);
-                let h = stable_str_hash(&folded);
-                if seen.insert(h) {
-                    postings.entry(h).or_default().push(id);
-                }
+        for (id, &slot) in doc_slots.iter().enumerate() {
+            vec.add(&encoded[slot].0);
+            for &h in &encoded[slot].1 {
+                postings.entry(h).or_default().push(id as u32);
             }
         }
         Self {
             vec,
             postings,
-            doc_count,
+            doc_count: texts.len(),
+            ceiling: DEFAULT_CEILING,
         }
+    }
+
+    /// Override the zero-overlap ceiling (see module docs).
+    pub fn with_ceiling(mut self, ceiling: f32) -> Self {
+        self.ceiling = ceiling;
+        self
+    }
+
+    /// The zero-overlap ceiling in force.
+    pub fn ceiling(&self) -> f32 {
+        self.ceiling
     }
 
     /// Number of indexed documents.
@@ -63,12 +172,18 @@ impl HybridIndex {
     }
 
     /// Candidate document ids sharing at least one canonical token with
-    /// the query text (sorted, deduplicated).
-    pub fn candidates(&self, embedder: &Embedder, query_text: &str) -> Vec<u32> {
+    /// the query text (sorted, deduplicated). `style` must match how
+    /// the query vector is encoded — folded queries look up folded
+    /// tokens, unfolded queries their raw tokens (a raw word feature
+    /// can only collide with a document token that folds to itself).
+    pub fn candidates(&self, embedder: &Embedder, query_text: &str, style: QueryStyle) -> Vec<u32> {
         let mut out: Vec<u32> = Vec::new();
         for tok in normalize(query_text) {
-            let folded = embedder_fold(embedder, &tok);
-            if let Some(list) = self.postings.get(&stable_str_hash(&folded)) {
+            let key = match style {
+                QueryStyle::Folded => embedder.fold_token(&tok),
+                QueryStyle::Unfolded => tok.as_str(),
+            };
+            if let Some(list) = self.postings.get(&stable_str_hash(key)) {
                 out.extend_from_slice(list);
             }
         }
@@ -77,48 +192,150 @@ impl HybridIndex {
         out
     }
 
-    /// Top-k via candidate pruning + exact rerank. Falls back to the
-    /// full scan when candidates are fewer than `k` (so results always
-    /// have the same length as the exact search).
-    pub fn top_k(&self, embedder: &Embedder, query_text: &str, k: usize) -> Vec<Hit> {
-        let cands = self.candidates(embedder, query_text);
-        if cands.len() < k {
-            let q = embedder.encode(query_text);
-            return self.vec.top_k(&q, k);
+    /// Top-k via candidate pruning + exact rerank, given the already
+    /// encoded query vector. Falls back to the full scan when
+    /// candidates are fewer than `k`, and scores every non-candidate
+    /// the ceiling contract cannot exclude, so the result is identical
+    /// to [`VecIndex::top_k`] whenever the ceiling holds — and always
+    /// has the exact-scan's length and ordering.
+    pub fn top_k_encoded(&self, query: &[f32], cands: &[u32], k: usize) -> Vec<Hit> {
+        self.top_k_noisy_encoded(query, cands, k, 0.0, 0)
+    }
+
+    /// Top-k with the deterministic per-(query, doc) score jitter of
+    /// [`VecIndex::top_k_noisy`], via candidate pruning. Returns hits
+    /// bit-identical to the exact noisy scan under the ceiling
+    /// contract: candidates are scored exactly (dot + jitter, same
+    /// float order as the full scan), and every non-candidate whose
+    /// `ceiling + jitter` could still reach the current k-th hit is
+    /// scored in full rather than trusted.
+    pub fn top_k_noisy_encoded(
+        &self,
+        query: &[f32],
+        cands: &[u32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+    ) -> Vec<Hit> {
+        if k == 0 || self.doc_count == 0 {
+            return Vec::new();
         }
+        if cands.len() < k {
+            // Documented fallback: fewer candidates than k means the
+            // tail of the exact result is below the noise floor, where
+            // pruning cannot reproduce it — scan everything.
+            return self.vec.top_k_noisy(query, k, sigma, salt);
+        }
+        let sigma = sigma.max(0.0);
+        let mut top = TopK::new(k);
+        // Phase 1: candidates, scored exactly as the full scan would.
+        for &id in cands {
+            let id = id as usize;
+            let mut score = crate::embed::dot(query, self.vec.vector(id));
+            if sigma > 0.0 {
+                score += VecIndex::jitter(salt, id, sigma);
+            }
+            top.offer(Hit { id, score });
+        }
+        // Phase 2: verify the exclusion of every non-candidate. Its dot
+        // is at most `ceiling` (zero token overlap → noise floor); its
+        // jitter is a pure function of one hash, so the suspect test
+        // `ceiling + jitter >= kth` reduces to an integer compare on
+        // the hash's top 53 bits against a precomputed threshold
+        // (conservatively padded, so rounding can only admit extra
+        // suspects — each then scored with the exact f32 expression).
+        // Only suspects pay the d-dimensional dot. The k-th score never
+        // decreases, so the threshold only rises: once it exceeds every
+        // possible hash the remaining docs are excluded wholesale.
+        let mut kth = top.bound().expect("k candidates offered").score;
+        let mut hash_floor = suspect_hash_floor(kth, self.ceiling, sigma);
+        let mut cand_iter = cands.iter().copied().peekable();
+        for id in 0..self.doc_count {
+            if cand_iter.peek() == Some(&(id as u32)) {
+                cand_iter.next();
+                continue;
+            }
+            let floor = match hash_floor {
+                Some(f) => f,
+                // No jitter can lift a zero-overlap doc to the bound,
+                // and the bound only tightens: done.
+                None => break,
+            };
+            let hash = kgstore::hash::mix2(salt, id as u64);
+            if (hash >> 11) < floor {
+                continue;
+            }
+            let mut score = crate::embed::dot(query, self.vec.vector(id));
+            if sigma > 0.0 {
+                score += VecIndex::jitter_of(hash, sigma);
+            }
+            top.offer(Hit { id, score });
+            let new_kth = top.bound().expect("still k hits").score;
+            if new_kth != kth {
+                kth = new_kth;
+                hash_floor = suspect_hash_floor(kth, self.ceiling, sigma);
+            }
+        }
+        top.into_sorted()
+    }
+
+    /// Top-k via candidate pruning + exact rerank from query text
+    /// (folded-query style). Result contract as [`top_k_encoded`].
+    ///
+    /// [`top_k_encoded`]: HybridIndex::top_k_encoded
+    pub fn top_k(&self, embedder: &Embedder, query_text: &str, k: usize) -> Vec<Hit> {
+        let cands = self.candidates(embedder, query_text, QueryStyle::Folded);
         let q = embedder.encode(query_text);
-        let mut hits: Vec<Hit> = cands
-            .into_iter()
-            .map(|id| Hit {
-                id: id as usize,
-                score: crate::embed::dot(&q, self.vec.vector(id as usize)),
-            })
-            .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        hits.truncate(k);
-        hits
+        self.top_k_encoded(&q, &cands, k)
+    }
+
+    /// Noisy top-k from query text (folded-query style). Result
+    /// contract as [`top_k_noisy_encoded`].
+    ///
+    /// [`top_k_noisy_encoded`]: HybridIndex::top_k_noisy_encoded
+    pub fn top_k_noisy(
+        &self,
+        embedder: &Embedder,
+        query_text: &str,
+        k: usize,
+        sigma: f32,
+        salt: u64,
+    ) -> Vec<Hit> {
+        let cands = self.candidates(embedder, query_text, QueryStyle::Folded);
+        let q = embedder.encode(query_text);
+        self.top_k_noisy_encoded(&q, &cands, k, sigma, salt)
     }
 }
 
-/// Fold a token the way the embedder's synonym table would. (The
-/// embedder does not expose its table; for the builtin configuration
-/// folding is stable, so we use a builtin table here. Candidate
-/// generation only needs to agree with the encoder on *overlap*, and a
-/// superset of candidates never changes the rerank result.)
-fn embedder_fold(_embedder: &Embedder, tok: &str) -> String {
-    crate::synonym::SynonymTable::builtin()
-        .fold(tok)
-        .to_string()
+/// Smallest `hash >> 11` value (the 53-bit mantissa source of
+/// [`kgstore::hash::unit_f64`]) whose jitter could lift a zero-overlap
+/// document from `ceiling` to the current `kth` score. `Some(0)` means
+/// every document is a suspect, `None` means none can ever be (and
+/// since the k-th score only rises, the caller may stop scanning). The
+/// boundary is computed in f64 and padded down by 1e-5 in unit space —
+/// orders of magnitude more than the f32 rounding of the real jitter
+/// expression — so it can only admit *extra* suspects, never miss one.
+fn suspect_hash_floor(kth: f32, ceiling: f32, sigma: f32) -> Option<u64> {
+    if sigma <= 0.0 {
+        return (ceiling >= kth).then_some(0);
+    }
+    // jitter = (2u − 1)·σ·1.732 for unit u ∈ [0, 1); suspect iff
+    // ceiling + jitter ≥ kth, i.e. u ≥ ((kth − ceiling)/(σ·1.732) + 1)/2.
+    let u = (((kth - ceiling) as f64) / (sigma as f64 * 1.732) + 1.0) / 2.0 - 1e-5;
+    if u <= 0.0 {
+        Some(0)
+    } else if u >= 1.0 {
+        None
+    } else {
+        Some((u * (1u64 << 53) as f64) as u64)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synonym::SynonymTable;
+    use crate::EmbedConfig;
 
     fn corpus() -> Vec<String> {
         (0..500)
@@ -126,28 +343,46 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn hybrid_matches_exact_when_candidates_cover() {
-        let emb = Embedder::default();
-        let texts = corpus();
-        let hybrid = HybridIndex::build(&emb, texts.iter().map(|s| s.as_str()));
-        let exact = VecIndex::from_vectors(emb.dim(), texts.iter().map(|t| emb.encode(t)));
+    fn exact(emb: &Embedder, texts: &[String]) -> VecIndex {
+        VecIndex::from_vectors(emb.dim(), texts.iter().map(|t| emb.encode(t)))
+    }
 
-        let query = "entity42 relation0 value3";
-        let h = hybrid.top_k(&emb, query, 10);
-        let e = exact.top_k(&emb.encode(query), 10);
-        // The true top hits all share tokens with the query, so the
-        // pruned search finds the same head of the ranking.
-        assert_eq!(h[0].id, e[0].id);
-        assert!((h[0].score - e[0].score).abs() < 1e-5);
-        let h_ids: std::collections::HashSet<_> = h.iter().map(|x| x.id).collect();
-        // Every hybrid hit with positive score must be in the exact list
-        // or tie with its tail.
-        let min_exact = e.last().unwrap().score;
-        for hit in &h {
-            assert!(hit.score <= e[0].score + 1e-5);
-            if hit.score > min_exact + 1e-5 {
-                assert!(h_ids.contains(&hit.id));
+    #[test]
+    fn hybrid_matches_exact_scan_exactly() {
+        for emb in [Embedder::default(), Embedder::paper()] {
+            let texts = corpus();
+            let hybrid = HybridIndex::build(&emb, texts.iter().map(|s| s.as_str()));
+            let exact = exact(&emb, &texts);
+            for query in [
+                "entity42 relation0 value3",
+                "entity7 relation3",
+                "value11 relation5 entity100",
+            ] {
+                let h = hybrid.top_k(&emb, query, 10);
+                let e = exact.top_k(&emb.encode(query), 10);
+                assert_eq!(h, e, "pruned != exact for {query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_noisy_matches_exact_noisy_scan_exactly() {
+        for emb in [Embedder::default(), Embedder::paper()] {
+            let texts = corpus();
+            let hybrid = HybridIndex::build(&emb, texts.iter().map(|s| s.as_str()));
+            let exact = exact(&emb, &texts);
+            for (salt, query) in [
+                (7u64, "entity42 relation0 value3"),
+                (42, "entity7 relation3"),
+                (1337, "value11 relation5 entity100"),
+            ] {
+                for sigma in [0.0f32, 0.1, 0.3, 0.6] {
+                    let cands = hybrid.candidates(&emb, query, QueryStyle::Folded);
+                    let q = emb.encode(query);
+                    let h = hybrid.top_k_noisy_encoded(&q, &cands, 10, sigma, salt);
+                    let e = exact.top_k_noisy(&q, 10, sigma, salt);
+                    assert_eq!(h, e, "pruned != exact for {query:?} sigma {sigma}");
+                }
             }
         }
     }
@@ -157,12 +392,57 @@ mod tests {
         let emb = Embedder::default();
         let texts = corpus();
         let hybrid = HybridIndex::build(&emb, texts.iter().map(|s| s.as_str()));
-        let cands = hybrid.candidates(&emb, "entity42 relation0 value3");
+        let cands = hybrid.candidates(&emb, "entity42 relation0 value3", QueryStyle::Folded);
         assert!(!cands.is_empty());
         assert!(
             cands.len() < texts.len() / 2,
             "pruning should discard most docs: {}",
             cands.len()
+        );
+    }
+
+    #[test]
+    fn candidate_generation_respects_the_embedder_synonyms() {
+        // A custom table folding "born" → "birth": candidate lookup
+        // must use it, not the builtin table.
+        let mut table = SynonymTable::empty();
+        table.add("born", "birth");
+        let emb = Embedder::new(EmbedConfig::default(), table);
+        let texts = ["yao birth shanghai", "lake area huge"];
+        let hybrid = HybridIndex::build(&emb, texts.iter().copied());
+        let cands = hybrid.candidates(&emb, "born yao", QueryStyle::Folded);
+        assert_eq!(cands, vec![0], "custom fold must reach the birth doc");
+
+        // Under an *empty* table the same query folds to nothing
+        // shared with doc 0's "birth" token except "yao".
+        let emb_plain = Embedder::new(EmbedConfig::default(), SynonymTable::empty());
+        let hybrid_plain = HybridIndex::build(&emb_plain, texts.iter().copied());
+        let cands_plain = hybrid_plain.candidates(&emb_plain, "born yao", QueryStyle::Folded);
+        assert_eq!(cands_plain, vec![0], "matches only via yao");
+        assert!(hybrid_plain
+            .candidates(&emb_plain, "born", QueryStyle::Folded)
+            .is_empty());
+    }
+
+    #[test]
+    fn unfolded_queries_look_up_raw_tokens() {
+        let emb = Embedder::default(); // builtin table folds born→birth
+        let texts = ["yao birth shanghai", "born free"];
+        let hybrid = HybridIndex::build(&emb, texts.iter().copied());
+        // Both docs index the canonical token "birth" ("born" folds at
+        // build time), so the folded query reaches both — but a raw
+        // "born" query feature overlaps neither doc's word features.
+        assert_eq!(
+            hybrid.candidates(&emb, "born", QueryStyle::Folded),
+            vec![0, 1]
+        );
+        assert!(hybrid
+            .candidates(&emb, "born", QueryStyle::Unfolded)
+            .is_empty());
+        // A raw token that is its own canonical form matches normally.
+        assert_eq!(
+            hybrid.candidates(&emb, "shanghai", QueryStyle::Unfolded),
+            vec![0]
         );
     }
 
@@ -173,6 +453,45 @@ mod tests {
         let hybrid = HybridIndex::build(&emb, texts.iter().map(|s| s.as_str()));
         let hits = hybrid.top_k(&emb, "zzz qqq totally unseen", 5);
         assert_eq!(hits.len(), 5, "fallback must still return k hits");
+        let e = exact(&emb, &texts);
+        assert_eq!(hits, e.top_k(&emb.encode("zzz qqq totally unseen"), 5));
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        let emb = Embedder::paper();
+        let texts: Vec<String> = corpus().into_iter().chain(corpus()).collect(); // dupes
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let serial = HybridIndex::build_parallel(&emb, &refs, 1);
+        let parallel = HybridIndex::build_parallel(&emb, &refs, 8);
+        assert_eq!(serial.len(), parallel.len());
+        for id in 0..serial.len() {
+            assert_eq!(serial.vectors().vector(id), parallel.vectors().vector(id));
+        }
+        let q = emb.encode("entity42 relation0 value3");
+        assert_eq!(
+            serial.top_k_noisy_encoded(
+                &q,
+                &serial.candidates(&emb, "entity42 relation0 value3", QueryStyle::Folded),
+                10,
+                0.3,
+                9
+            ),
+            parallel.top_k_noisy_encoded(
+                &q,
+                &parallel.candidates(&emb, "entity42 relation0 value3", QueryStyle::Folded),
+                10,
+                0.3,
+                9
+            ),
+        );
+    }
+
+    #[test]
+    fn ceiling_is_configurable() {
+        let emb = Embedder::default();
+        let hybrid = HybridIndex::build(&emb, ["a b c"].iter().copied()).with_ceiling(0.9);
+        assert_eq!(hybrid.ceiling(), 0.9);
     }
 
     #[test]

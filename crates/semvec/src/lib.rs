@@ -24,7 +24,7 @@ pub mod verbalize;
 
 pub use embed::{cosine, dot, l2_normalize, EmbedConfig, Embedder, Vector};
 pub use idf::IdfModel;
-pub use index::{Hit, VecIndex};
-pub use inverted::HybridIndex;
+pub use index::{Hit, TopK, VecIndex};
+pub use inverted::{HybridIndex, QueryStyle, DEFAULT_CEILING};
 pub use synonym::SynonymTable;
 pub use verbalize::{display_triple, humanize_term, verbalize_triple};

@@ -2,10 +2,23 @@
 //! invariants, top-k agreement with brute force, determinism.
 
 use proptest::prelude::*;
-use semvec::{cosine, dot, Embedder, VecIndex};
+use semvec::{cosine, dot, Embedder, HybridIndex, QueryStyle, VecIndex};
 
 fn text() -> impl Strategy<Value = String> {
     "[a-zA-Z ]{1,60}"
+}
+
+/// Sentences over a closed vocabulary of trigram-disjoint words — the
+/// shape of real verbalised triples, where the zero-overlap ceiling
+/// contract holds. (Arbitrary character soup can violate the ceiling:
+/// two distinct tokens may share most of their char trigrams.)
+fn vocab_sentence() -> impl Strategy<Value = String> {
+    const VOCAB: [&str; 12] = [
+        "zebra", "quartz", "violin", "hammock", "puzzle", "dwarf", "sphinx", "jigsaw", "oxygen",
+        "kumquat", "fjord", "byway",
+    ];
+    proptest::collection::vec(0usize..VOCAB.len(), 1..6)
+        .prop_map(|ids| ids.iter().map(|&i| VOCAB[i]).collect::<Vec<_>>().join(" "))
 }
 
 proptest! {
@@ -91,5 +104,101 @@ proptest! {
         for w in a.windows(2) {
             prop_assert!(w[0].score >= w[1].score);
         }
+    }
+
+    /// Pruned hybrid search is bit-identical to the exact noisy scan on
+    /// ceiling-respecting corpora (closed vocabulary, so zero-overlap
+    /// docs sit at the encoder noise floor) for arbitrary k, sigma and
+    /// salt — including k beyond the candidate count (the documented
+    /// full-scan fallback) and k beyond the corpus size.
+    #[test]
+    fn hybrid_pruned_equals_exact_on_vocab_corpora(
+        docs in proptest::collection::vec(vocab_sentence(), 1..40),
+        query in vocab_sentence(),
+        k in 1usize..50,
+        sigma in 0.0f32..0.6,
+        salt in any::<u64>(),
+    ) {
+        for emb in [Embedder::default(), Embedder::paper()] {
+            let refs: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+            let hybrid = HybridIndex::build_parallel(&emb, &refs, 1);
+            let exact = VecIndex::from_vectors(emb.dim(), docs.iter().map(|d| emb.encode(d)));
+            let q = emb.encode(&query);
+            let cands = hybrid.candidates(&emb, &query, QueryStyle::Folded);
+            prop_assert_eq!(
+                hybrid.top_k_noisy_encoded(&q, &cands, k, sigma, salt),
+                exact.top_k_noisy(&q, k, sigma, salt)
+            );
+        }
+    }
+
+    /// With the ceiling raised to the maximum possible dot (1.0 for
+    /// unit-norm vectors), the pruned search is equivalent to the exact
+    /// scan *unconditionally* — even on adversarial character soup
+    /// where distinct tokens share trigram mass. This pins down the
+    /// correctness of the two-phase machinery itself (candidate rerank,
+    /// suspect verification, fallback, heap ordering).
+    #[test]
+    fn hybrid_with_saturated_ceiling_equals_exact_on_any_corpus(
+        docs in proptest::collection::vec(text(), 1..30),
+        query in text(),
+        k in 1usize..12,
+        sigma in 0.0f32..0.6,
+        salt in any::<u64>(),
+    ) {
+        let emb = Embedder::paper();
+        let refs: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+        let hybrid = HybridIndex::build_parallel(&emb, &refs, 1).with_ceiling(1.0);
+        let exact = VecIndex::from_vectors(emb.dim(), docs.iter().map(|d| emb.encode(d)));
+        let q = emb.encode(&query);
+        let cands = hybrid.candidates(&emb, &query, QueryStyle::Folded);
+        prop_assert_eq!(
+            hybrid.top_k_noisy_encoded(&q, &cands, k, sigma, salt),
+            exact.top_k_noisy(&q, k, sigma, salt)
+        );
+    }
+
+    /// Unfolded (raw-token) queries: same unconditional equivalence,
+    /// with candidates looked up by raw token hash.
+    #[test]
+    fn hybrid_unfolded_queries_equal_exact(
+        docs in proptest::collection::vec(vocab_sentence(), 1..30),
+        query in vocab_sentence(),
+        k in 1usize..12,
+        salt in any::<u64>(),
+    ) {
+        let emb = Embedder::paper();
+        let refs: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+        let hybrid = HybridIndex::build_parallel(&emb, &refs, 1);
+        let exact = VecIndex::from_vectors(emb.dim(), docs.iter().map(|d| emb.encode(d)));
+        let q = emb.encode_unfolded(&query);
+        let cands = hybrid.candidates(&emb, &query, QueryStyle::Unfolded);
+        prop_assert_eq!(
+            hybrid.top_k_noisy_encoded(&q, &cands, k, 0.3, salt),
+            exact.top_k_noisy(&q, k, 0.3, salt)
+        );
+    }
+
+    /// Parallel index builds are byte-identical to the serial build for
+    /// any corpus (including duplicates) and any thread count.
+    #[test]
+    fn hybrid_parallel_build_equals_serial(
+        docs in proptest::collection::vec(text(), 1..40),
+        threads in 2usize..8,
+        query in text(),
+    ) {
+        let emb = Embedder::paper();
+        // Force duplicates so the dedup path is exercised.
+        let doubled: Vec<&str> = docs.iter().chain(docs.iter()).map(|s| s.as_str()).collect();
+        let serial = HybridIndex::build_parallel(&emb, &doubled, 1);
+        let parallel = HybridIndex::build_parallel(&emb, &doubled, threads);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for id in 0..serial.len() {
+            prop_assert_eq!(serial.vectors().vector(id), parallel.vectors().vector(id));
+        }
+        prop_assert_eq!(
+            serial.candidates(&emb, &query, QueryStyle::Folded),
+            parallel.candidates(&emb, &query, QueryStyle::Folded)
+        );
     }
 }
