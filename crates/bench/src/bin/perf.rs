@@ -1,13 +1,17 @@
 //! Perf bench: the retrieval fast path measured end to end, with every
 //! speedup gated on bit-identical results.
 //!
-//! Three sections, each an exact-vs-fast pair:
+//! Four sections, each an exact-vs-fast pair:
 //!
 //! * **build** — serial vs parallel [`BaseIndex`] construction over the
 //!   QALD-10 question union (byte-identical output asserted);
 //! * **retrieval** — exact scan vs pruned (token-postings + verified
 //!   ceiling) top-k over every indexed verbalisation as a self-query
 //!   (bit-identical hits asserted);
+//! * **scoring** — pure-f32 scan vs int8 screen + margin rerank over
+//!   the full base, one self-query per stored vector (bit-identical
+//!   hits asserted; screen/rerank breakdown and f32 vs f32+i8 index
+//!   bytes reported);
 //! * **end-to-end** — the full pipeline in exact vs pruned mode, each
 //!   run cold (fresh query-embedding cache) then warm (same base
 //!   re-queried), reporting questions/sec (identical answers asserted
@@ -21,8 +25,8 @@
 
 use bench::run_or_exit as run;
 use bench::{model, setup, Experiment};
-use pgg_core::{BaseIndex, PipelineConfig, PseudoGraphPipeline, RetrievalMode};
-use semvec::QueryStyle;
+use pgg_core::{BaseIndex, PipelineConfig, PseudoGraphPipeline, RetrievalMode, ScoringMode};
+use semvec::{QueryStyle, ScreenStats};
 use std::time::Instant;
 
 fn ms(t: Instant) -> f64 {
@@ -106,7 +110,16 @@ fn bench_retrieval(exp: &Experiment, base: &BaseIndex, queries: usize) -> Retrie
             .iter()
             .map(|q| {
                 let salt = kgstore::hash::stable_str_hash(q);
-                base.search(&exp.embedder, q, QueryStyle::Folded, k, sigma, salt, mode)
+                base.search(
+                    &exp.embedder,
+                    q,
+                    QueryStyle::Folded,
+                    k,
+                    sigma,
+                    salt,
+                    mode,
+                    ScoringMode::ExactF32,
+                )
             })
             .collect();
         (ms(t), hits)
@@ -118,6 +131,54 @@ fn bench_retrieval(exp: &Experiment, base: &BaseIndex, queries: usize) -> Retrie
         exact_ms,
         pruned_ms,
         identical: exact == pruned,
+    }
+}
+
+struct ScoringTiming {
+    queries: usize,
+    exact_ms: f64,
+    quant_ms: f64,
+    stats: ScreenStats,
+    identical: bool,
+    bytes_f32: usize,
+    bytes_with_quant: usize,
+}
+
+/// Pure-f32 scan vs int8 screen + exact rerank, measured at the vector
+/// index (no query encoding in either arm, so the ratio is the scoring
+/// kernel alone): every stored vector queried back against the full
+/// base at the pipeline's k and jitter.
+fn bench_scoring(exp: &Experiment, base: &BaseIndex, queries: usize) -> ScoringTiming {
+    let vecs = base.hybrid().vectors();
+    let (k, sigma) = (exp.cfg.top_k, exp.cfg.retrieval_jitter);
+    let n = queries.min(vecs.len());
+
+    let t = Instant::now();
+    let exact: Vec<_> = (0..n)
+        .map(|id| vecs.top_k_noisy(vecs.vector(id), k, sigma, id as u64))
+        .collect();
+    let exact_ms = ms(t);
+
+    let mut stats = ScreenStats::default();
+    let t = Instant::now();
+    let quant: Vec<_> = (0..n)
+        .map(|id| {
+            let (hits, s) = vecs.top_k_noisy_quant(vecs.vector(id), k, sigma, id as u64);
+            stats.absorb(s);
+            hits
+        })
+        .collect();
+    let quant_ms = ms(t);
+
+    let store = vecs.store();
+    ScoringTiming {
+        queries: n,
+        exact_ms,
+        quant_ms,
+        stats,
+        identical: exact == quant,
+        bytes_f32: store.bytes_f32(),
+        bytes_with_quant: store.bytes_with_quant(),
     }
 }
 
@@ -195,6 +256,7 @@ fn e2e_arm(exp: &Experiment, dataset: &worldgen::Dataset, mode: RetrievalMode) -
 fn json_report(
     build: &BuildTiming,
     retr: &RetrievalTiming,
+    scoring: &ScoringTiming,
     arms: &[E2eArm],
     questions: usize,
     k: usize,
@@ -233,6 +295,10 @@ fn json_report(
             "  \"retrieval\": {{\"queries\": {}, \"k\": {}, \"sigma\": {:.2}, ",
             "\"exact_ms\": {:.1}, \"pruned_ms\": {:.1}, \"speedup\": {:.2}, ",
             "\"identical\": {}}},\n",
+            "  \"scoring\": {{\"queries\": {}, \"k\": {}, \"sigma\": {:.2}, ",
+            "\"exact_f32_ms\": {:.1}, \"quant_ms\": {:.1}, \"speedup\": {:.2}, ",
+            "\"screened\": {}, \"reranked\": {}, \"rerank_rate\": {:.4}, ",
+            "\"bytes_f32\": {}, \"bytes_with_quant\": {}, \"identical\": {}}},\n",
             "  \"e2e\": {{\"questions\": {}, \"answers_identical\": true, \"arms\": [\n",
             "{}\n",
             "  ]}}\n",
@@ -250,6 +316,18 @@ fn json_report(
         retr.pruned_ms,
         retr.exact_ms / retr.pruned_ms,
         retr.identical,
+        scoring.queries,
+        k,
+        sigma,
+        scoring.exact_ms,
+        scoring.quant_ms,
+        scoring.exact_ms / scoring.quant_ms,
+        scoring.stats.screened,
+        scoring.stats.reranked,
+        scoring.stats.rerank_rate(),
+        scoring.bytes_f32,
+        scoring.bytes_with_quant,
+        scoring.identical,
         questions,
         arm_json.join(",\n"),
     )
@@ -275,6 +353,16 @@ fn main() {
         std::process::exit(1);
     }
 
+    let scoring = bench_scoring(&exp, &base, retr_queries.min(base.len()));
+    if !scoring.identical {
+        eprintln!(
+            "perf violation: quantized screen+rerank diverged from the \
+             exact f32 scan over {} self-queries",
+            scoring.queries
+        );
+        std::process::exit(1);
+    }
+
     let e2e_set = worldgen::Dataset {
         kind: dataset.kind,
         questions: dataset.questions[..e2e_questions.min(dataset.questions.len())].to_vec(),
@@ -287,17 +375,22 @@ fn main() {
     }
 
     let retrieval_speedup = retr.exact_ms / retr.pruned_ms;
+    let scoring_speedup = scoring.exact_ms / scoring.quant_ms;
     if smoke {
         println!(
             "perf smoke ok: docs={} build byte-identical ({:.0}ms serial / {:.0}ms \
              x{}), retrieval bit-identical over {} queries (speedup {:.2}), \
-             e2e answers identical across modes and cache states",
+             scoring bit-identical over {} queries (speedup {:.2}, rerank rate \
+             {:.4}), e2e answers identical across modes and cache states",
             build.docs,
             build.serial_ms,
             build.parallel_ms,
             build.threads,
             retr.queries,
             retrieval_speedup,
+            scoring.queries,
+            scoring_speedup,
+            scoring.stats.rerank_rate(),
         );
         return;
     }
@@ -306,6 +399,7 @@ fn main() {
     let report = json_report(
         &build,
         &retr,
+        &scoring,
         &arms,
         e2e_set.questions.len(),
         exp.cfg.top_k,
@@ -314,10 +408,11 @@ fn main() {
     std::fs::write("BENCH_perf.json", &report).expect("write BENCH_perf.json");
     println!("{report}");
     println!(
-        "perf ok: docs={} retrieval_speedup={:.2} build_speedup={:.2} \
-         warm_qps(pruned)={:.1} — BENCH_perf.json written",
+        "perf ok: docs={} retrieval_speedup={:.2} scoring_speedup={:.2} \
+         build_speedup={:.2} warm_qps(pruned)={:.1} — BENCH_perf.json written",
         build.docs,
         retrieval_speedup,
+        scoring_speedup,
         build.serial_ms / build.parallel_ms,
         e2e_set.questions.len() as f64 / (arms[1].warm_ms / 1e3),
     );

@@ -197,6 +197,7 @@ impl Method for Qsm {
             ctx.cfg.retrieval_jitter,
             salt,
             ctx.cfg.retrieval_mode,
+            ctx.cfg.scoring_mode,
         );
         let retrieved: Vec<StrTriple> =
             hits.iter().map(|h| base.verbalised[h.id].clone()).collect();

@@ -2,7 +2,7 @@
 
 use crate::prune::PruneStrategy;
 use crate::resilience::ResilienceConfig;
-use crate::retrieval::RetrievalMode;
+use crate::retrieval::{RetrievalMode, ScoringMode};
 use kgstore::ExtractConfig;
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +54,13 @@ pub struct PipelineConfig {
     /// brute-force reference available to benches.
     #[serde(default)]
     pub retrieval_mode: RetrievalMode,
+    /// How candidate documents are scored inside a scan. The default
+    /// screens with the int8 kernel and reranks the margin band with
+    /// exact f32 (bit-identical hits by the quantization error-bound
+    /// contract — see [`semvec::SoaStore`]); `ExactF32` keeps the pure
+    /// float path available to benches.
+    #[serde(default)]
+    pub scoring_mode: ScoringMode,
 }
 
 fn default_repair() -> bool {
@@ -74,6 +81,7 @@ impl Default for PipelineConfig {
             repair: default_repair(),
             resilience: ResilienceConfig::default(),
             retrieval_mode: RetrievalMode::default(),
+            scoring_mode: ScoringMode::default(),
         }
     }
 }

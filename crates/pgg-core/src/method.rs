@@ -32,8 +32,10 @@ pub struct QaContext<'a> {
 pub enum BaseRef<'a> {
     /// The prebuilt dataset-level index from the context.
     Shared(&'a BaseIndex),
-    /// A question-scoped index built on demand.
-    Owned(BaseIndex),
+    /// A question-scoped index built on demand (boxed: a [`BaseIndex`]
+    /// is hundreds of bytes of inline state, and the enum is passed
+    /// around by value).
+    Owned(Box<BaseIndex>),
 }
 
 impl std::ops::Deref for BaseRef<'_> {
@@ -54,12 +56,12 @@ impl<'a> QaContext<'a> {
     pub fn base_for(&self, question: &str) -> BaseRef<'a> {
         match self.base {
             Some(b) => BaseRef::Shared(b),
-            None => BaseRef::Owned(BaseIndex::for_question(
+            None => BaseRef::Owned(Box::new(BaseIndex::for_question(
                 self.source.expect("KG method needs a source"),
                 self.embedder,
                 self.cfg,
                 question,
-            )),
+            ))),
         }
     }
 }

@@ -30,9 +30,10 @@ use crate::prune::Candidate;
 use kgstore::hash::{FxHashMap, FxHashSet};
 use kgstore::{extract, Atom, KgSource, StrTriple, Triple};
 use parking_lot::Mutex;
-use semvec::{verbalize_triple, Embedder, Hit, HybridIndex, QueryStyle, VecIndex};
+use semvec::{verbalize_triple, Embedder, Hit, HybridIndex, QueryStyle, ScreenStats, VecIndex};
 use serde::{Deserialize, Serialize};
 use simllm::{GroundEntity, GroundGraph};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -50,13 +51,34 @@ pub enum RetrievalMode {
     Exact,
 }
 
-/// Upper bound on cached query embeddings before the cache resets.
-/// Entries are one `dim`-float vector plus the query text (~1.2 KiB at
-/// dim 256), so the cap bounds memory at a few MiB per base index; the
-/// whole map is cleared when full (queries repeat across
-/// self-consistency samples, retries, and questions in clusters, so a
-/// wholesale reset costs a handful of re-encodes, not churn).
+/// How each scanned document is scored. Orthogonal to
+/// [`RetrievalMode`]: retrieval mode decides *which* documents are
+/// scanned, scoring mode decides *how* each is scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScoringMode {
+    /// The quantized two-stage engine: int8 screen of every scanned
+    /// document, exact f32 rerank of everything within the provable
+    /// per-pair error bound of the quantized k-th score. Bit-identical
+    /// to [`ExactF32`] — same ids, same scores, same tie-break order —
+    /// by construction (see [`semvec::quant`]); the perf bench and the
+    /// CI smoke assert it on every run.
+    ///
+    /// [`ExactF32`]: ScoringMode::ExactF32
+    #[default]
+    QuantizedScreen,
+    /// The plain f32 dot for every scanned document (the reference
+    /// path the quantized engine is checked against).
+    ExactF32,
+}
+
+/// Upper bound on cached query embeddings. Entries are one `dim`-float
+/// vector plus the query text (~1.2 KiB at dim 256), so the cap bounds
+/// memory at a few MiB per base index.
 const QUERY_CACHE_CAP: usize = 4096;
+
+/// Of the total capacity, how much belongs to the probationary
+/// segment; the remainder is the protected segment.
+const PROBATION_FRACTION: usize = 4; // one quarter
 
 /// Monotonic counters of the query-embedding cache.
 #[derive(Debug, Clone, Copy, Default)]
@@ -65,37 +87,118 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to encode.
     pub misses: u64,
+    /// Entries evicted one at a time by segment overflow (the old
+    /// clear-on-full wipe is gone; a full segment sheds exactly one
+    /// entry per insertion).
+    pub evictions: u64,
     /// Entries currently held.
     pub entries: usize,
 }
 
-/// Cache key: (folded?, query text) → shared embedding.
-type CachedVectors = FxHashMap<(bool, String), Arc<Vec<f32>>>;
+/// Cache key: (folded?, query text).
+type Key = (bool, String);
 
-/// Bounded, thread-safe memo of query embeddings. Encoding is
+/// Which cache segment an entry currently lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seg {
+    Probation,
+    Protected,
+}
+
+/// The mutexed state of the two-segment cache.
+struct CacheState {
+    map: FxHashMap<Key, (Arc<Vec<f32>>, Seg)>,
+    /// FIFO insertion orders per segment. Lazily invalidated: a key
+    /// promoted out of probation stays in the probation queue until it
+    /// is popped and found stale (its map segment no longer matches).
+    probation_fifo: VecDeque<Key>,
+    protected_fifo: VecDeque<Key>,
+    /// Live entries per segment (queues may be longer due to stale
+    /// keys).
+    probation_len: usize,
+    protected_len: usize,
+    /// Hashes of recently evicted keys ("ghosts"): a re-miss on a
+    /// ghost inserts straight into the protected segment, so a hot
+    /// working set larger than probation stops thrashing after one
+    /// round trip. Bounded FIFO.
+    ghost_fifo: VecDeque<u64>,
+    ghosts: FxHashSet<u64>,
+}
+
+/// Bounded, thread-safe memo of query embeddings with deterministic
+/// two-segment (probationary/protected) eviction. Encoding is
 /// deterministic, so a cached vector is byte-for-byte the vector a
 /// fresh encode would produce — the cache can never change a result,
 /// only skip work.
+///
+/// Eviction discipline (all FIFO, hence deterministic for a given
+/// access sequence):
+/// * a miss inserts into **probation** — unless the key was recently
+///   evicted (a *ghost*), in which case it goes straight to
+///   **protected**: seeing a key again after losing it is the signal
+///   that it is part of a hot working set;
+/// * a hit on a probationary entry promotes it to protected;
+/// * a full segment evicts its oldest entry (one per insertion — never
+///   the wholesale clear the old cache did), recording the key as a
+///   ghost.
 struct QueryCache {
-    map: Mutex<CachedVectors>,
+    state: Mutex<CacheState>,
+    probation_cap: usize,
+    protected_cap: usize,
+    ghost_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl QueryCache {
     fn new() -> Self {
+        Self::with_caps(
+            QUERY_CACHE_CAP / PROBATION_FRACTION,
+            QUERY_CACHE_CAP - QUERY_CACHE_CAP / PROBATION_FRACTION,
+        )
+    }
+
+    /// Explicit segment capacities (exposed for tests; both must be
+    /// nonzero).
+    fn with_caps(probation_cap: usize, protected_cap: usize) -> Self {
+        assert!(probation_cap > 0 && protected_cap > 0);
         Self {
-            map: Mutex::new(FxHashMap::default()),
+            state: Mutex::new(CacheState {
+                map: FxHashMap::default(),
+                probation_fifo: VecDeque::new(),
+                protected_fifo: VecDeque::new(),
+                probation_len: 0,
+                protected_len: 0,
+                ghost_fifo: VecDeque::new(),
+                ghosts: FxHashSet::default(),
+            }),
+            probation_cap,
+            protected_cap,
+            ghost_cap: probation_cap + protected_cap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    fn ghost_hash(key: &Key) -> u64 {
+        kgstore::hash::mix2(kgstore::hash::stable_str_hash(&key.1), key.0 as u64)
     }
 
     fn get_or_encode(&self, embedder: &Embedder, text: &str, style: QueryStyle) -> Arc<Vec<f32>> {
         let folded = style == QueryStyle::Folded;
-        if let Some(v) = self.map.lock().get(&(folded, text.to_string())) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(v);
+        let key: Key = (folded, text.to_string());
+        {
+            let mut st = self.state.lock();
+            if let Some((v, seg)) = st.map.get(&key).map(|(v, s)| (Arc::clone(v), *s)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if seg == Seg::Probation {
+                    Self::promote(&mut st, &key);
+                    self.evict_overflow(&mut st, Seg::Protected);
+                }
+                return v;
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Encode outside the lock so concurrent misses don't serialize.
@@ -103,19 +206,109 @@ impl QueryCache {
             QueryStyle::Folded => embedder.encode(text),
             QueryStyle::Unfolded => embedder.encode_unfolded(text),
         });
-        let mut map = self.map.lock();
-        if map.len() >= QUERY_CACHE_CAP {
-            map.clear();
+        let mut st = self.state.lock();
+        // A concurrent miss may have inserted the key meanwhile; the
+        // vectors are identical bits either way, so the existing entry
+        // (and its segment bookkeeping) is kept untouched.
+        if st.map.contains_key(&key) {
+            return v;
         }
-        map.insert((folded, text.to_string()), Arc::clone(&v));
+        let seg = if st.ghosts.contains(&Self::ghost_hash(&key)) {
+            Seg::Protected
+        } else {
+            Seg::Probation
+        };
+        st.map.insert(key.clone(), (Arc::clone(&v), seg));
+        match seg {
+            Seg::Probation => {
+                st.probation_fifo.push_back(key);
+                st.probation_len += 1;
+            }
+            Seg::Protected => {
+                st.protected_fifo.push_back(key);
+                st.protected_len += 1;
+            }
+        }
+        self.evict_overflow(&mut st, seg);
         v
+    }
+
+    /// Move a probationary entry to the protected segment. The stale
+    /// probation-queue slot is skipped when it surfaces.
+    fn promote(st: &mut CacheState, key: &Key) {
+        if let Some((_, seg)) = st.map.get_mut(key) {
+            *seg = Seg::Protected;
+            st.probation_len -= 1;
+            st.protected_len += 1;
+            st.protected_fifo.push_back(key.clone());
+        }
+    }
+
+    /// Evict the oldest live entry of a segment while it is over
+    /// capacity, recording ghosts.
+    fn evict_overflow(&self, st: &mut CacheState, seg: Seg) {
+        let (cap, live) = match seg {
+            Seg::Probation => (self.probation_cap, st.probation_len),
+            Seg::Protected => (self.protected_cap, st.protected_len),
+        };
+        let mut live = live;
+        while live > cap {
+            let key = match seg {
+                Seg::Probation => st.probation_fifo.pop_front(),
+                Seg::Protected => st.protected_fifo.pop_front(),
+            }
+            .expect("live entries imply a nonempty queue");
+            // Skip stale slots: promoted or already-replaced keys.
+            let is_live = matches!(st.map.get(&key), Some((_, s)) if *s == seg);
+            if !is_live {
+                continue;
+            }
+            st.map.remove(&key);
+            live -= 1;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            let h = Self::ghost_hash(&key);
+            if st.ghosts.insert(h) {
+                st.ghost_fifo.push_back(h);
+                while st.ghost_fifo.len() > self.ghost_cap {
+                    let old = st.ghost_fifo.pop_front().expect("nonempty");
+                    st.ghosts.remove(&old);
+                }
+            }
+        }
+        match seg {
+            Seg::Probation => st.probation_len = live,
+            Seg::Protected => st.protected_len = live,
+        }
     }
 
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.state.lock().map.len(),
+        }
+    }
+}
+
+/// Monotonic counters of the quantized scoring engine across every
+/// search this index served: documents screened by the int8 kernel and
+/// documents the margin sent to the exact f32 rerank.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScoringStats {
+    /// Documents scored by the int8 screening kernel.
+    pub screened: u64,
+    /// Documents re-scored by the exact f32 path.
+    pub reranked: u64,
+}
+
+impl ScoringStats {
+    /// Fraction of screened documents that needed the exact rerank.
+    pub fn rerank_rate(&self) -> f64 {
+        if self.screened == 0 {
+            0.0
+        } else {
+            self.reranked as f64 / self.screened as f64
         }
     }
 }
@@ -130,6 +323,8 @@ pub struct BaseIndex {
     pub subjects: Vec<Atom>,
     index: HybridIndex,
     cache: QueryCache,
+    screened: AtomicU64,
+    reranked: AtomicU64,
 }
 
 impl BaseIndex {
@@ -156,6 +351,20 @@ impl BaseIndex {
     /// Query-embedding cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Quantized-scoring counters accumulated over every search this
+    /// index served (zero when only [`ScoringMode::ExactF32`] ran).
+    pub fn scoring_stats(&self) -> ScoringStats {
+        ScoringStats {
+            screened: self.screened.load(Ordering::Relaxed),
+            reranked: self.reranked.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_screen(&self, stats: ScreenStats) {
+        self.screened.fetch_add(stats.screened, Ordering::Relaxed);
+        self.reranked.fetch_add(stats.reranked, Ordering::Relaxed);
     }
 
     /// Build from an explicit set of triples of a source (serial).
@@ -194,6 +403,8 @@ impl BaseIndex {
             subjects,
             index,
             cache: QueryCache::new(),
+            screened: AtomicU64::new(0),
+            reranked: AtomicU64::new(0),
         }
     }
 
@@ -259,8 +470,11 @@ impl BaseIndex {
 
     /// Noisy top-k over the base, on the configured path. `style` must
     /// say how the query text is to be encoded (pseudo-triple sentences
-    /// fold; question-style text does not). Pruned and exact modes
-    /// return identical hits (the hybrid index's ceiling contract).
+    /// fold; question-style text does not). All four (retrieval mode ×
+    /// scoring mode) combinations return identical hits — the hybrid
+    /// index's ceiling contract and the quantized engine's error-bound
+    /// contract both guarantee bit-identity, and the perf bench asserts
+    /// the full cross product.
     #[allow(clippy::too_many_arguments)] // one knob per retrieval degree of freedom
     pub fn search(
         &self,
@@ -271,13 +485,29 @@ impl BaseIndex {
         sigma: f32,
         salt: u64,
         mode: RetrievalMode,
+        scoring: ScoringMode,
     ) -> Vec<Hit> {
         let q = self.query_vector(embedder, text, style);
-        match mode {
-            RetrievalMode::Exact => self.index.vectors().top_k_noisy(&q, k, sigma, salt),
-            RetrievalMode::Pruned => {
+        match (mode, scoring) {
+            (RetrievalMode::Exact, ScoringMode::ExactF32) => {
+                self.index.vectors().top_k_noisy(&q, k, sigma, salt)
+            }
+            (RetrievalMode::Exact, ScoringMode::QuantizedScreen) => {
+                let (hits, stats) = self.index.vectors().top_k_noisy_quant(&q, k, sigma, salt);
+                self.record_screen(stats);
+                hits
+            }
+            (RetrievalMode::Pruned, ScoringMode::ExactF32) => {
                 let cands = self.index.candidates(embedder, text, style);
                 self.index.top_k_noisy_encoded(&q, &cands, k, sigma, salt)
+            }
+            (RetrievalMode::Pruned, ScoringMode::QuantizedScreen) => {
+                let cands = self.index.candidates(embedder, text, style);
+                let (hits, stats) = self
+                    .index
+                    .top_k_noisy_encoded_quant(&q, &cands, k, sigma, salt);
+                self.record_screen(stats);
+                hits
             }
         }
     }
@@ -337,6 +567,7 @@ pub fn ground_graph(
             cfg.retrieval_jitter,
             salt,
             cfg.retrieval_mode,
+            cfg.scoring_mode,
         ) {
             let e = best_score.entry(hit.id).or_insert(f32::MIN);
             if hit.score > *e {
@@ -515,6 +746,36 @@ mod tests {
     }
 
     #[test]
+    fn quantized_and_exact_scoring_agree_on_ground_graphs() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "Where was Yao Ming born in Shanghai?");
+        let pseudo = vec![
+            StrTriple::new("Yao Ming", "BORN_IN", "Shanghai"),
+            StrTriple::new("Shanghai", "LOCATED_IN", "China"),
+        ];
+        let mut f32_cfg = cfg();
+        f32_cfg.scoring_mode = ScoringMode::ExactF32;
+        for mode in [RetrievalMode::Pruned, RetrievalMode::Exact] {
+            let mut quant_cfg = cfg();
+            quant_cfg.retrieval_mode = mode;
+            let mut exact_cfg = f32_cfg.clone();
+            exact_cfg.retrieval_mode = mode;
+            let (g_quant, _) = ground_graph(&src, &base, &emb, &quant_cfg, &pseudo);
+            let (g_exact, _) = ground_graph(&src, &base, &emb, &exact_cfg, &pseudo);
+            assert_eq!(g_quant.entities.len(), g_exact.entities.len());
+            for (a, b) in g_quant.entities.iter().zip(&g_exact.entities) {
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.score, b.score, "scores must be bit-identical");
+                assert_eq!(a.triples, b.triples);
+            }
+        }
+        let stats = base.scoring_stats();
+        assert!(stats.screened > 0, "quantized default path never engaged");
+        assert!(stats.reranked <= stats.screened);
+    }
+
+    #[test]
     fn query_cache_hits_on_repeat_queries() {
         let src = source();
         let emb = Embedder::default();
@@ -535,6 +796,77 @@ mod tests {
         for (a, b) in first.entities.iter().zip(&second.entities) {
             assert_eq!(a.score, b.score, "cached encode must not change scores");
         }
+    }
+
+    #[test]
+    fn cache_evicts_per_entry_not_wholesale() {
+        let emb = Embedder::default();
+        let cache = QueryCache::with_caps(4, 12);
+        for i in 0..20 {
+            cache.get_or_encode(&emb, &format!("probe query {i}"), QueryStyle::Folded);
+        }
+        let s = cache.stats();
+        // 20 one-shot keys through a 4-slot probation: the segment
+        // stays full the whole time — never wiped — shedding exactly
+        // one entry per overflowing insert.
+        assert_eq!(s.entries, 4, "{s:?}");
+        assert_eq!(s.evictions, 16, "{s:?}");
+        assert_eq!(s.misses, 20, "{s:?}");
+        assert_eq!(s.hits, 0, "{s:?}");
+    }
+
+    #[test]
+    fn hot_working_set_wider_than_probation_is_not_wiped() {
+        let emb = Embedder::default();
+        // Probation holds 4, total capacity 16; the hot set is 8 —
+        // larger than one segment, smaller than the cache.
+        let cache = QueryCache::with_caps(4, 12);
+        let keys: Vec<String> = (0..8).map(|i| format!("hot query {i}")).collect();
+        // Round 1: all miss into probation; the first half is pushed
+        // out (as ghosts) by the second. Round 2: the ghosted half
+        // re-misses straight into protected, the rest hit and promote.
+        for _ in 0..2 {
+            for k in &keys {
+                cache.get_or_encode(&emb, k, QueryStyle::Folded);
+            }
+        }
+        let warm = cache.stats();
+        // From round 3 on, the working set is resident: every access
+        // hits, nothing is evicted.
+        for _ in 0..3 {
+            for k in &keys {
+                cache.get_or_encode(&emb, k, QueryStyle::Folded);
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(
+            s.hits - warm.hits,
+            24,
+            "all post-warmup accesses hit: {s:?}"
+        );
+        assert_eq!(s.misses, warm.misses, "{s:?}");
+        assert_eq!(s.evictions, warm.evictions, "{s:?}");
+        assert_eq!(s.entries, 8, "whole working set resident: {s:?}");
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_bits() {
+        let emb = Embedder::default();
+        let cache = QueryCache::with_caps(4, 12);
+        let fresh = emb.encode("Where was Yao Ming born?");
+        let a = cache.get_or_encode(&emb, "Where was Yao Ming born?", QueryStyle::Folded);
+        let b = cache.get_or_encode(&emb, "Where was Yao Ming born?", QueryStyle::Folded);
+        assert!(a
+            .iter()
+            .zip(fresh.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second lookup must be served from cache"
+        );
+        // Folded and unfolded are distinct keys.
+        cache.get_or_encode(&emb, "Where was Yao Ming born?", QueryStyle::Unfolded);
+        assert_eq!(cache.stats().entries, 2);
     }
 
     #[test]

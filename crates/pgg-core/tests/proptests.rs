@@ -3,7 +3,7 @@
 //! subset and thread count, and the pruned search must agree with the
 //! exact scan through the public `search` API.
 
-use pgg_core::{paper, BaseIndex, PipelineConfig, RetrievalMode};
+use pgg_core::{paper, BaseIndex, PipelineConfig, RetrievalMode, ScoringMode};
 use proptest::prelude::*;
 use semvec::{Embedder, QueryStyle};
 use std::sync::OnceLock;
@@ -74,8 +74,87 @@ proptest! {
         let cfg = PipelineConfig::default();
         let text = fix.questions[qi].as_str();
         let base = BaseIndex::for_question(&fix.source, &embedder, &cfg, text);
-        let pruned = base.search(&embedder, text, QueryStyle::Folded, k, sigma, salt, RetrievalMode::Pruned);
-        let exact = base.search(&embedder, text, QueryStyle::Folded, k, sigma, salt, RetrievalMode::Exact);
+        let pruned = base.search(&embedder, text, QueryStyle::Folded, k, sigma, salt, RetrievalMode::Pruned, ScoringMode::ExactF32);
+        let exact = base.search(&embedder, text, QueryStyle::Folded, k, sigma, salt, RetrievalMode::Exact, ScoringMode::ExactF32);
         prop_assert_eq!(pruned, exact);
+    }
+
+    /// The quantized screen+rerank engine returns hits bit-identical to
+    /// the pure-f32 scan through the public `search` API, in both
+    /// retrieval modes, at the pipeline's default jitter (sigma = 0.30)
+    /// and with noise off (sigma = 0).
+    #[test]
+    fn quantized_scoring_equals_exact_f32_search(
+        qi in 0usize..40,
+        k in 1usize..20,
+        salt in any::<u64>(),
+        noisy in any::<bool>(),
+        mode_pruned in any::<bool>(),
+    ) {
+        let fix = fixture();
+        let embedder = Embedder::paper();
+        let cfg = PipelineConfig::default();
+        let sigma = if noisy { 0.30 } else { 0.0 };
+        let mode = if mode_pruned { RetrievalMode::Pruned } else { RetrievalMode::Exact };
+        let text = fix.questions[qi].as_str();
+        let base = BaseIndex::for_question(&fix.source, &embedder, &cfg, text);
+        let quant = base.search(&embedder, text, QueryStyle::Folded, k, sigma, salt, mode, ScoringMode::QuantizedScreen);
+        let exact = base.search(&embedder, text, QueryStyle::Folded, k, sigma, salt, mode, ScoringMode::ExactF32);
+        prop_assert_eq!(quant, exact);
+        let stats = base.scoring_stats();
+        prop_assert!(stats.reranked <= stats.screened);
+    }
+}
+
+/// Deterministic counterpart of the proptest above, so the identity is
+/// exercised even where the `proptest` dependency is stubbed out: a
+/// seeded sweep over questions, k, salts, and both sigmas, asserting
+/// the quantized engine against the f32 reference in both modes.
+#[test]
+fn quantized_scoring_matches_exact_f32_on_seeded_sweep() {
+    let fix = fixture();
+    let embedder = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    for (qi, k, salt) in [
+        (0usize, 1usize, 0u64),
+        (3, 5, 0x9E3779B97F4A7C15),
+        (11, 10, 42),
+        (17, 19, u64::MAX),
+        (29, 12, 0xC0FFEE),
+        (39, 7, 7),
+    ] {
+        let text = fix.questions[qi].as_str();
+        let base = BaseIndex::for_question(&fix.source, &embedder, &cfg, text);
+        for sigma in [0.0f32, 0.30] {
+            for mode in [RetrievalMode::Exact, RetrievalMode::Pruned] {
+                let quant = base.search(
+                    &embedder,
+                    text,
+                    QueryStyle::Folded,
+                    k,
+                    sigma,
+                    salt,
+                    mode,
+                    ScoringMode::QuantizedScreen,
+                );
+                let exact = base.search(
+                    &embedder,
+                    text,
+                    QueryStyle::Folded,
+                    k,
+                    sigma,
+                    salt,
+                    mode,
+                    ScoringMode::ExactF32,
+                );
+                assert_eq!(
+                    quant, exact,
+                    "quantized vs exact diverged: qi={qi} k={k} salt={salt} sigma={sigma} mode={mode:?}"
+                );
+            }
+        }
+        let stats = base.scoring_stats();
+        assert!(stats.reranked <= stats.screened);
+        assert!(stats.screened > 0, "quantized path never engaged");
     }
 }

@@ -220,12 +220,36 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     }
 }
 
+/// How many independent f32 accumulators [`dot`] carries. Eight lanes
+/// break the serial dependency chain of a scalar sum, so the compiler
+/// can keep full SIMD width busy.
+const DOT_LANES: usize = 8;
+
 /// Plain dot product (equals cosine for unit-norm vectors). Hot path of
-/// the top-k scan, kept free of sqrt.
+/// the top-k scan and of the quantized engine's exact rerank stage,
+/// kept free of sqrt. Chunked 8-lane accumulation with a fixed
+/// pairwise reduction: deterministic (the same inputs always produce
+/// the same bits) and autovectorizable.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let split = a.len() - a.len() % DOT_LANES;
+    let mut acc = [0.0f32; DOT_LANES];
+    for (ca, cb) in a[..split]
+        .chunks_exact(DOT_LANES)
+        .zip(b[..split].chunks_exact(DOT_LANES))
+    {
+        for j in 0..DOT_LANES {
+            acc[j] += ca[j] * cb[j];
+        }
+    }
+    // Fixed pairwise reduction so the result is a pure function of the
+    // inputs, independent of how the loop above was vectorized.
+    let mut sum = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+    for (x, y) in a[split..].iter().zip(&b[split..]) {
+        sum += x * y;
+    }
+    sum
 }
 
 #[cfg(test)]
@@ -295,6 +319,25 @@ mod tests {
         let c = cosine(&a, &b);
         assert!((-1.0..=1.0).contains(&c));
         assert!((cosine(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn chunked_dot_matches_naive_loop_on_fixed_vectors() {
+        // Integer-valued components keep every product and partial sum
+        // exactly representable, so the chunked accumulation must agree
+        // with the naive sequential loop bit for bit — at lane-multiple
+        // lengths, with a remainder tail, and below one lane.
+        let naive = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+        for len in [1usize, 3, 7, 8, 9, 16, 23, 256] {
+            let a: Vec<f32> = (0..len).map(|i| ((i % 13) as f32) - 6.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| ((i % 7) as f32) - 3.0).collect();
+            assert_eq!(dot(&a, &b), naive(&a, &b), "len {len}");
+        }
+        // And a hand-pinned case.
+        let a = [2.0f32, -1.0, 0.5, 4.0, -3.0, 1.0, 0.0, 2.0, 8.0];
+        let b = [1.0f32, 2.0, 4.0, -0.5, 1.0, 1.0, 9.0, 0.5, 0.25];
+        assert_eq!(dot(&a, &b), naive(&a, &b));
+        assert_eq!(dot(&a, &b), 1.0);
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //!
 //! Per-question KG subsets (`G_base`) are a few thousand triples, so an
 //! exact scan with a bounded min-heap is both simplest and fastest —
-//! flat storage keeps the scan cache-friendly.
+//! the struct-of-arrays store ([`SoaStore`]) keeps the scan
+//! cache-friendly, and its int8 face drives the quantized screening
+//! pass of [`VecIndex::top_k_noisy_quant`].
 
 use crate::embed::dot;
+use crate::quant::{QuantQuery, ScreenStats, SoaStore};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -115,22 +118,19 @@ impl TopK {
     }
 }
 
-/// Flat, append-only vector index with exact top-k search.
+/// Append-only vector index with exact top-k search, backed by the
+/// struct-of-arrays store (one flat f32 block + one flat int8 block,
+/// row stride = dim).
 #[derive(Debug, Clone, Default)]
 pub struct VecIndex {
-    dim: usize,
-    data: Vec<f32>,
-    len: usize,
+    store: SoaStore,
 }
 
 impl VecIndex {
     /// New index for vectors of dimension `dim`.
     pub fn new(dim: usize) -> Self {
-        assert!(dim > 0);
         Self {
-            dim,
-            data: Vec::new(),
-            len: 0,
+            store: SoaStore::new(dim),
         }
     }
 
@@ -145,36 +145,38 @@ impl VecIndex {
 
     /// Append a vector; its id is its insertion order.
     pub fn add(&mut self, v: &[f32]) -> usize {
-        assert_eq!(v.len(), self.dim, "dimension mismatch");
-        self.data.extend_from_slice(v);
-        self.len += 1;
-        self.len - 1
+        self.store.push(v)
     }
 
     /// Number of indexed vectors.
     pub fn len(&self) -> usize {
-        self.len
+        self.store.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.store.is_empty()
     }
 
     /// The stored vector with a given id.
     pub fn vector(&self, id: usize) -> &[f32] {
-        &self.data[id * self.dim..(id + 1) * self.dim]
+        self.store.row(id)
+    }
+
+    /// The underlying struct-of-arrays store.
+    pub fn store(&self) -> &SoaStore {
+        &self.store
     }
 
     /// Exact top-k by dot product, highest score first. Deterministic:
     /// ties broken by lower id first.
     pub fn top_k(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        assert_eq!(query.len(), self.dim, "dimension mismatch");
-        if k == 0 || self.len == 0 {
+        assert_eq!(query.len(), self.store.dim(), "dimension mismatch");
+        if k == 0 || self.store.is_empty() {
             return Vec::new();
         }
         let mut top = TopK::new(k);
-        for id in 0..self.len {
+        for id in 0..self.store.len() {
             top.offer(Hit {
                 id,
                 score: dot(query, self.vector(id)),
@@ -211,15 +213,15 @@ impl VecIndex {
     /// of standard deviation `sigma` added to its score before ranking.
     /// `salt` must identify the query (e.g. a hash of its text).
     pub fn top_k_noisy(&self, query: &[f32], k: usize, sigma: f32, salt: u64) -> Vec<Hit> {
-        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        assert_eq!(query.len(), self.store.dim(), "dimension mismatch");
         if sigma <= 0.0 {
             return self.top_k(query, k);
         }
-        if k == 0 || self.len == 0 {
+        if k == 0 || self.store.is_empty() {
             return Vec::new();
         }
         let mut top = TopK::new(k);
-        for id in 0..self.len {
+        for id in 0..self.store.len() {
             top.offer(Hit {
                 id,
                 score: dot(query, self.vector(id)) + Self::jitter(salt, id, sigma),
@@ -228,9 +230,91 @@ impl VecIndex {
         top.into_sorted()
     }
 
+    /// [`top_k_noisy`](VecIndex::top_k_noisy) through the quantized
+    /// two-stage engine: screen every document with the int8 kernel,
+    /// then rerank with the exact f32 expression every document whose
+    /// quantized score is within the per-pair error bound of the
+    /// quantized k-th score. Returns hits **bit-identical** to the
+    /// exact scan — same ids, same scores, same tie-break order — plus
+    /// the screen/rerank counters.
+    ///
+    /// Why identical: let `B` bound `|exact − quantized|` per pair
+    /// ([`crate::quant::pair_error_bound`]) and `θ̂` be the quantized
+    /// k-th score. Any document with quantized score `< θ̂ − 2B` has
+    /// exact score `< θ̂ − B`, while the k quantized-top documents all
+    /// have exact score `≥ θ̂ − B` — so at least k documents beat every
+    /// skipped one and the skipped ones cannot appear in the exact
+    /// top-k. Everything inside the margin is re-scored with the same
+    /// f32 expression the exact scan uses, and [`TopK`]'s total order
+    /// (score desc, id asc) makes the kept set order-independent.
+    pub fn top_k_noisy_quant(
+        &self,
+        query: &[f32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+    ) -> (Vec<Hit>, ScreenStats) {
+        assert_eq!(query.len(), self.store.dim(), "dimension mismatch");
+        let n = self.store.len();
+        if k == 0 || n == 0 {
+            return (Vec::new(), ScreenStats::default());
+        }
+        let sigma = sigma.max(0.0);
+        let quant = self.store.quant();
+        let qq = QuantQuery::new(query);
+        let factor = qq.dequant_factor(quant);
+        let bound = qq.error_bound(quant, self.store.dim());
+
+        // Stage 1: int8 screen of every document — raw integer dots
+        // batched over the whole block (one SIMD dispatch per scan),
+        // then landed in f32 score space. The jitter is exact (a pure
+        // function of one hash) in both stages, so it does not enter
+        // the error bound.
+        let mut raw = Vec::with_capacity(n);
+        quant.dot_all(qq.row(), &mut raw);
+        let mut screened = Vec::with_capacity(n);
+        let mut quant_top = TopK::new(k);
+        for (id, &d) in raw.iter().enumerate() {
+            let mut s = d as f32 * factor;
+            if sigma > 0.0 {
+                s += Self::jitter(salt, id, sigma);
+            }
+            screened.push(s);
+            quant_top.offer(Hit { id, score: s });
+        }
+
+        // Stage 2: exact f32 rerank of every document inside the
+        // margin. With fewer than k documents everything reranks (the
+        // exact scan would keep them all anyway).
+        let margin = match quant_top.bound() {
+            Some(kth) => kth.score as f64 - 2.0 * bound,
+            None => f64::NEG_INFINITY,
+        };
+        let mut top = TopK::new(k);
+        let mut reranked = 0u64;
+        for (id, &s) in screened.iter().enumerate() {
+            if (s as f64) < margin {
+                continue;
+            }
+            reranked += 1;
+            let mut score = dot(query, self.vector(id));
+            if sigma > 0.0 {
+                score += Self::jitter(salt, id, sigma);
+            }
+            top.offer(Hit { id, score });
+        }
+        (
+            top.into_sorted(),
+            ScreenStats {
+                screened: n as u64,
+                reranked,
+            },
+        )
+    }
+
     /// All hits with score ≥ `threshold`, highest first.
     pub fn above_threshold(&self, query: &[f32], threshold: f32) -> Vec<Hit> {
-        let mut hits: Vec<Hit> = (0..self.len)
+        let mut hits: Vec<Hit> = (0..self.store.len())
             .filter_map(|id| {
                 let score = dot(query, self.vector(id));
                 (score >= threshold).then_some(Hit { id, score })
@@ -343,6 +427,56 @@ mod tests {
         let idx = VecIndex::new(4);
         assert!(idx.top_k(&[0.0; 4], 5).is_empty());
         assert!(idx.is_empty());
+        let (hits, stats) = idx.top_k_noisy_quant(&[0.0; 4], 5, 0.3, 1);
+        assert!(hits.is_empty());
+        assert_eq!(stats, crate::quant::ScreenStats::default());
+    }
+
+    #[test]
+    fn quantized_top_k_is_bit_identical_to_exact() {
+        // Dense cluster of near-parallel vectors: quantized ordering
+        // alone would get these wrong, the rerank must fix them.
+        let vecs: Vec<Vec<f32>> = (0..200)
+            .map(|i| unit(vec![1.0, i as f32 * 1e-3, (i % 7) as f32 * 1e-3]))
+            .collect();
+        let idx = VecIndex::from_vectors(3, vecs);
+        let q = unit(vec![1.0, 0.05, 0.02]);
+        for (sigma, salt) in [(0.0f32, 0u64), (0.3, 42), (0.6, 7)] {
+            let exact = idx.top_k_noisy(&q, 10, sigma, salt);
+            let (quant, stats) = idx.top_k_noisy_quant(&q, 10, sigma, salt);
+            assert_eq!(quant, exact, "sigma {sigma} salt {salt}");
+            assert_eq!(stats.screened, 200);
+            assert!(stats.reranked >= 10, "margin must cover the top-k");
+        }
+    }
+
+    #[test]
+    fn quantized_top_k_handles_ties_and_small_indexes() {
+        let idx = VecIndex::from_vectors(
+            2,
+            vec![
+                unit(vec![1.0, 0.0]),
+                unit(vec![1.0, 0.0]),
+                unit(vec![1.0, 0.0]),
+            ],
+        );
+        let q = unit(vec![1.0, 0.0]);
+        // Ties break by lower id, k > len returns all, like the exact.
+        let (hits, _) = idx.top_k_noisy_quant(&q, 2, 0.0, 0);
+        assert_eq!(hits, idx.top_k(&q, 2));
+        let (all, _) = idx.top_k_noisy_quant(&q, 10, 0.0, 0);
+        assert_eq!(all, idx.top_k(&q, 10));
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn quantized_top_k_on_zero_vectors() {
+        let idx = VecIndex::from_vectors(2, vec![vec![0.0, 0.0]; 4]);
+        let q = vec![0.0, 0.0];
+        for sigma in [0.0f32, 0.3] {
+            let (hits, _) = idx.top_k_noisy_quant(&q, 2, sigma, 5);
+            assert_eq!(hits, idx.top_k_noisy(&q, 2, sigma, 5));
+        }
     }
 
     #[test]

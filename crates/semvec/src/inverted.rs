@@ -25,6 +25,7 @@
 
 use crate::embed::Embedder;
 use crate::index::{Hit, TopK, VecIndex};
+use crate::quant::{dot_i8, QuantQuery, ScreenStats};
 use crate::token::normalize;
 use kgstore::hash::{stable_str_hash, FxHashMap};
 
@@ -217,25 +218,105 @@ impl HybridIndex {
         sigma: f32,
         salt: u64,
     ) -> Vec<Hit> {
+        self.top_k_noisy_scored(query, cands, k, sigma, salt, false)
+            .0
+    }
+
+    /// [`top_k_noisy_encoded`] with the candidate phase run through the
+    /// quantized two-stage engine: candidates are *screened* with the
+    /// int8 kernel and only those within the per-pair error bound of
+    /// the quantized k-th score pay the exact f32 dot (see
+    /// [`VecIndex::top_k_noisy_quant`] for the proof sketch). The
+    /// ceiling-suspect phase is unchanged and exact, so the result
+    /// keeps the full bit-identity contract. Returns the hits plus the
+    /// screen/rerank counters of the quantized stage (suspects scored
+    /// by the ceiling phase are not part of either counter).
+    ///
+    /// [`top_k_noisy_encoded`]: HybridIndex::top_k_noisy_encoded
+    pub fn top_k_noisy_encoded_quant(
+        &self,
+        query: &[f32],
+        cands: &[u32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+    ) -> (Vec<Hit>, ScreenStats) {
+        self.top_k_noisy_scored(query, cands, k, sigma, salt, true)
+    }
+
+    /// Shared pruned scan: candidate phase (exact, or quantized screen
+    /// + margin rerank), then the ceiling-verified suspect phase.
+    fn top_k_noisy_scored(
+        &self,
+        query: &[f32],
+        cands: &[u32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+        quantized: bool,
+    ) -> (Vec<Hit>, ScreenStats) {
         if k == 0 || self.doc_count == 0 {
-            return Vec::new();
+            return (Vec::new(), ScreenStats::default());
         }
         if cands.len() < k {
             // Documented fallback: fewer candidates than k means the
             // tail of the exact result is below the noise floor, where
             // pruning cannot reproduce it — scan everything.
-            return self.vec.top_k_noisy(query, k, sigma, salt);
+            return if quantized {
+                self.vec.top_k_noisy_quant(query, k, sigma, salt)
+            } else {
+                (
+                    self.vec.top_k_noisy(query, k, sigma, salt),
+                    ScreenStats::default(),
+                )
+            };
         }
         let sigma = sigma.max(0.0);
         let mut top = TopK::new(k);
-        // Phase 1: candidates, scored exactly as the full scan would.
-        for &id in cands {
-            let id = id as usize;
-            let mut score = crate::embed::dot(query, self.vec.vector(id));
-            if sigma > 0.0 {
-                score += VecIndex::jitter(salt, id, sigma);
+        let mut stats = ScreenStats::default();
+        // Phase 1: candidates. Exact mode scores each with the f32 dot
+        // the full scan uses; quantized mode screens all of them with
+        // the int8 kernel first and exact-scores only the margin.
+        if quantized {
+            let quant = self.vec.store().quant();
+            let qq = QuantQuery::new(query);
+            let factor = qq.dequant_factor(quant);
+            let bound = qq.error_bound(quant, self.vec.store().dim());
+            let mut screened = Vec::with_capacity(cands.len());
+            let mut quant_top = TopK::new(k);
+            for &id in cands {
+                let id = id as usize;
+                let mut s = dot_i8(qq.row(), quant.row(id)) as f32 * factor;
+                if sigma > 0.0 {
+                    s += VecIndex::jitter(salt, id, sigma);
+                }
+                screened.push(s);
+                quant_top.offer(Hit { id, score: s });
             }
-            top.offer(Hit { id, score });
+            stats.screened = cands.len() as u64;
+            let kth = quant_top.bound().expect("k candidates screened").score;
+            let margin = kth as f64 - 2.0 * bound;
+            for (&id, &s) in cands.iter().zip(&screened) {
+                if (s as f64) < margin {
+                    continue;
+                }
+                stats.reranked += 1;
+                let id = id as usize;
+                let mut score = crate::embed::dot(query, self.vec.vector(id));
+                if sigma > 0.0 {
+                    score += VecIndex::jitter(salt, id, sigma);
+                }
+                top.offer(Hit { id, score });
+            }
+        } else {
+            for &id in cands {
+                let id = id as usize;
+                let mut score = crate::embed::dot(query, self.vec.vector(id));
+                if sigma > 0.0 {
+                    score += VecIndex::jitter(salt, id, sigma);
+                }
+                top.offer(Hit { id, score });
+            }
         }
         // Phase 2: verify the exclusion of every non-candidate. Its dot
         // is at most `ceiling` (zero token overlap → noise floor); its
@@ -276,7 +357,7 @@ impl HybridIndex {
                 hash_floor = suspect_hash_floor(kth, self.ceiling, sigma);
             }
         }
-        top.into_sorted()
+        (top.into_sorted(), stats)
     }
 
     /// Top-k via candidate pruning + exact rerank from query text

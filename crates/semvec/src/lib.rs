@@ -10,6 +10,8 @@
 //! * [`synonym`] — folding of verbalisation variants (schema-agnostic);
 //! * [`embed`] — the encoder (ℝ^256, signed feature hashing, L2-norm);
 //! * [`index`] — flat exact top-k / threshold search;
+//! * [`quant`] — struct-of-arrays storage with int8 scalar
+//!   quantization and the bit-identical two-stage scoring engine;
 //! * [`verbalize`] — schema term humanisation for prompts and encoding.
 
 #![warn(missing_docs)]
@@ -18,6 +20,7 @@ pub mod embed;
 pub mod idf;
 pub mod index;
 pub mod inverted;
+pub mod quant;
 pub mod synonym;
 pub mod token;
 pub mod verbalize;
@@ -26,5 +29,6 @@ pub use embed::{cosine, dot, l2_normalize, EmbedConfig, Embedder, Vector};
 pub use idf::IdfModel;
 pub use index::{Hit, TopK, VecIndex};
 pub use inverted::{HybridIndex, QueryStyle, DEFAULT_CEILING};
+pub use quant::{dot_i8, pair_error_bound, QuantQuery, QuantRows, ScreenStats, SoaStore};
 pub use synonym::SynonymTable;
 pub use verbalize::{display_triple, humanize_term, verbalize_triple};

@@ -1,0 +1,528 @@
+//! Struct-of-arrays vector storage with int8 scalar quantization.
+//!
+//! The scoring hot loop of retrieval is a dot product per (query,
+//! document) pair. This module holds the document vectors in one
+//! contiguous struct-of-arrays block — a single flat `Vec<f32>` with
+//! row stride `dim`, plus a single flat `Vec<i8>` holding the same rows
+//! symmetrically quantized against one per-index scale — so a scan
+//! walks two dense arrays instead of chasing per-document heap
+//! allocations, and the screening pass runs on 1-byte lanes the
+//! autovectorizer widens to i32.
+//!
+//! **Exactness contract.** Quantization is lossy, so a quantized score
+//! alone may not rank documents the way the exact f32 scan does. The
+//! two-stage top-k ([`crate::VecIndex::top_k_noisy_quant`]) therefore
+//! screens every document with the int8 kernel and then *reranks* with
+//! the exact f32 path every document whose quantized score lands within
+//! a provable per-pair error bound of the quantized k-th score. The
+//! bound ([`pair_error_bound`], derivation below) guarantees the final
+//! top-k — ids, scores, and tie-break order — is bit-identical to the
+//! exact scan.
+//!
+//! **Error-bound derivation.** Write a vector `x` and its dequantized
+//! form `x̂ = s·q` (scale `s`, int8 row `q`). Rounding gives a
+//! per-component error of at most `s/2`, so `‖x − x̂‖₂ ≤ (s/2)·√d`.
+//! For a query `x` (scale `s_q`) against a stored row `y` (index scale
+//! `s_y`):
+//!
+//! ```text
+//! |x·y − x̂·ŷ| = |(x − x̂)·y + x̂·(y − ŷ)|
+//!             ≤ ‖x − x̂‖·‖y‖ + ‖x̂‖·‖y − ŷ‖
+//!             ≤ e_q·max‖y‖ + (‖x‖ + e_q)·e_y
+//! ```
+//!
+//! with `e_q = (s_q/2)·√d` and `e_y = (s_y/2)·√d`. The bound is
+//! computed in f64 and padded (relative 1e-3, absolute 1e-4) so that
+//! the f32 rounding of the exact dot, of the scale multiply, and of the
+//! quantization divides is covered with orders of magnitude to spare —
+//! padding can only *widen* the rerank margin, never break exactness.
+//! Property tests assert the padded bound is never violated.
+
+use std::sync::OnceLock;
+
+/// How many i32 accumulator lanes the integer kernel carries. Sixteen
+/// independent sums of i16 products autovectorize to widening
+/// multiply-add on any SIMD target; any i8·i8 product fits i16
+/// (|−128·−128| = 16384 < 2¹⁵) and an i32 lane overflows only past
+/// ~10⁶ dimensions — far beyond any embedding here.
+const I8_LANES: usize = 16;
+
+/// The kernel body, shared by the dispatched variants below: identical
+/// integer arithmetic, so every variant returns the same value to the
+/// bit — dispatch only changes codegen.
+#[inline]
+fn dot_i8_body(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let split = a.len() - a.len() % I8_LANES;
+    let mut acc = [0i32; I8_LANES];
+    for (ca, cb) in a[..split]
+        .chunks_exact(I8_LANES)
+        .zip(b[..split].chunks_exact(I8_LANES))
+    {
+        for j in 0..I8_LANES {
+            acc[j] += (ca[j] as i16 * cb[j] as i16) as i32;
+        }
+    }
+    let mut sum: i32 = acc.iter().sum();
+    for (x, y) in a[split..].iter().zip(&b[split..]) {
+        sum += *x as i32 * *y as i32;
+    }
+    sum
+}
+
+/// AVX2 instantiation of the kernel body. The baseline x86-64 target
+/// (SSE2) cannot vectorize the widening i8 multiply profitably, so
+/// without this the integer screen barely beats the f32 scan; with it
+/// the body compiles to 256-bit widening multiply-adds (~2.5× the f32
+/// kernel at dim 256, measured in the perf bench).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    dot_i8_body(a, b)
+}
+
+/// Chunked integer dot product over int8 rows, accumulated in i32.
+/// The screening kernel of the two-stage top-k. Runtime-dispatched to
+/// an AVX2 build of the same arithmetic where the CPU supports it
+/// (the detection result is cached by the stdlib, so the check is one
+/// atomic load per call).
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 feature was just verified at runtime.
+            return unsafe { dot_i8_avx2(a, b) };
+        }
+    }
+    dot_i8_body(a, b)
+}
+
+/// One query row against every stored row of a flat i8 block,
+/// appending the raw integer dots to `out`. Same arithmetic as
+/// [`dot_i8`] row by row; the batch shape exists so the feature
+/// dispatch happens once per *scan* instead of once per pair, and so
+/// the kernel body inlines into the row loop with the query resident.
+#[inline]
+fn dot_i8_block_body(query: &[i8], rows: &[i8], dim: usize, out: &mut Vec<i32>) {
+    debug_assert_eq!(query.len(), dim);
+    debug_assert_eq!(rows.len() % dim.max(1), 0);
+    out.extend(rows.chunks_exact(dim).map(|row| dot_i8_body(query, row)));
+}
+
+/// AVX2 instantiation of the block screen (see [`dot_i8_avx2`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn dot_i8_block_avx2(query: &[i8], rows: &[i8], dim: usize, out: &mut Vec<i32>) {
+    dot_i8_block_body(query, rows, dim, out);
+}
+
+/// Runtime-dispatched batch screen over a flat i8 block.
+#[inline]
+fn dot_i8_block(query: &[i8], rows: &[i8], dim: usize, out: &mut Vec<i32>) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 feature was just verified at runtime.
+            unsafe { dot_i8_block_avx2(query, rows, dim, out) };
+            return;
+        }
+    }
+    dot_i8_block_body(query, rows, dim, out);
+}
+
+/// Symmetric int8 quantization of one f32 slice against a given scale:
+/// `q = round(x / scale)` clamped to `[-127, 127]`. A zero scale (the
+/// all-zero corpus) quantizes everything to zero.
+fn quantize_into(src: &[f32], scale: f32, out: &mut Vec<i8>) {
+    if scale == 0.0 {
+        out.extend(std::iter::repeat_n(0i8, src.len()));
+        return;
+    }
+    out.extend(
+        src.iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8),
+    );
+}
+
+/// Largest absolute component of a slice.
+fn max_abs(v: &[f32]) -> f32 {
+    v.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// The quantized face of a [`SoaStore`]: one flat `Vec<i8>` sharing the
+/// f32 block's row stride, the per-index symmetric scale it was
+/// quantized with, and the largest row norm (a term of the error
+/// bound). Built lazily on first quantized search and invalidated by
+/// any append.
+#[derive(Debug, Clone)]
+pub struct QuantRows {
+    scale: f32,
+    max_norm: f32,
+    data: Vec<i8>,
+    dim: usize,
+}
+
+impl QuantRows {
+    fn build(dim: usize, rows: usize, data: &[f32]) -> Self {
+        let scale = max_abs(data) / 127.0;
+        let mut q = Vec::with_capacity(data.len());
+        quantize_into(data, scale, &mut q);
+        let mut max_norm = 0.0f64;
+        for r in 0..rows {
+            let row = &data[r * dim..(r + 1) * dim];
+            let n: f64 = row.iter().map(|&x| x as f64 * x as f64).sum::<f64>();
+            max_norm = max_norm.max(n);
+        }
+        Self {
+            scale,
+            max_norm: max_norm.sqrt() as f32,
+            data: q,
+            dim,
+        }
+    }
+
+    /// The per-index symmetric scale (`max |x| / 127`).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The largest row L2 norm in the index.
+    pub fn max_norm(&self) -> f32 {
+        self.max_norm
+    }
+
+    /// The int8 row with a given id.
+    #[inline]
+    pub fn row(&self, id: usize) -> &[i8] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Bytes held by the int8 block.
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw integer dots of one quantized query against every row,
+    /// appended to `out` in row order — exactly `dot_i8(query, row)`
+    /// per row, batched so the SIMD dispatch and the query row are
+    /// hoisted out of the per-pair loop.
+    pub fn dot_all(&self, query: &[i8], out: &mut Vec<i32>) {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if self.dim == 0 {
+            return;
+        }
+        out.reserve(self.data.len() / self.dim);
+        dot_i8_block(query, &self.data, self.dim, out);
+    }
+}
+
+/// A query quantized for screening: its int8 form, its own symmetric
+/// scale, and its exact L2 norm (both feed the error bound).
+#[derive(Debug, Clone)]
+pub struct QuantQuery {
+    q: Vec<i8>,
+    scale: f32,
+    norm: f32,
+}
+
+impl QuantQuery {
+    /// Quantize a query vector with its own per-query symmetric scale.
+    pub fn new(query: &[f32]) -> Self {
+        let scale = max_abs(query) / 127.0;
+        let mut q = Vec::with_capacity(query.len());
+        quantize_into(query, scale, &mut q);
+        let norm = query
+            .iter()
+            .map(|&x| x as f64 * x as f64)
+            .sum::<f64>()
+            .sqrt() as f32;
+        Self { q, scale, norm }
+    }
+
+    /// The int8 query row.
+    #[inline]
+    pub fn row(&self) -> &[i8] {
+        &self.q
+    }
+
+    /// Combined dequantization factor against an index: multiply an
+    /// integer dot by this to land in f32 score space.
+    #[inline]
+    pub fn dequant_factor(&self, index: &QuantRows) -> f32 {
+        self.scale * index.scale
+    }
+
+    /// The padded per-pair error bound between this query's quantized
+    /// dot against any row of `index` and the exact f32 dot (see the
+    /// module docs for the derivation). Never negative.
+    pub fn error_bound(&self, index: &QuantRows, dim: usize) -> f64 {
+        pair_error_bound(
+            self.scale as f64,
+            self.norm as f64,
+            index.scale as f64,
+            index.max_norm as f64,
+            dim,
+        )
+    }
+}
+
+/// The padded per-pair quantization-error bound:
+/// `e_q·max_norm + (‖query‖ + e_q)·e_y` with `e = (scale/2)·√dim`,
+/// padded relatively (1e-3) and absolutely (1e-4) to also cover the f32
+/// rounding of the exact dot, the scale multiplies, and the
+/// quantization divides. Padding widens the rerank margin; it can never
+/// exclude a document the exact scan would keep.
+pub fn pair_error_bound(
+    query_scale: f64,
+    query_norm: f64,
+    index_scale: f64,
+    index_max_norm: f64,
+    dim: usize,
+) -> f64 {
+    let sqrt_d = (dim as f64).sqrt();
+    let eq = 0.5 * query_scale * sqrt_d;
+    let ey = 0.5 * index_scale * sqrt_d;
+    let raw = eq * index_max_norm + (query_norm + eq) * ey;
+    raw * 1.001 + 1e-4
+}
+
+/// Counters of one (or an accumulation of) two-stage scored scans:
+/// how many documents the int8 kernel screened and how many of them the
+/// margin sent to the exact f32 rerank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenStats {
+    /// Documents scored by the int8 screening kernel.
+    pub screened: u64,
+    /// Documents re-scored by the exact f32 path (margin suspects).
+    pub reranked: u64,
+}
+
+impl ScreenStats {
+    /// Accumulate another scan's counters.
+    pub fn absorb(&mut self, other: ScreenStats) {
+        self.screened += other.screened;
+        self.reranked += other.reranked;
+    }
+
+    /// Fraction of screened documents that needed the exact rerank
+    /// (0 when nothing was screened).
+    pub fn rerank_rate(&self) -> f64 {
+        if self.screened == 0 {
+            0.0
+        } else {
+            self.reranked as f64 / self.screened as f64
+        }
+    }
+}
+
+/// Contiguous struct-of-arrays vector store: all rows in one flat
+/// `Vec<f32>` with stride `dim`, plus the lazily built int8 block
+/// ([`QuantRows`]) quantized against a single per-index scale. The SoA
+/// layout replaces per-document heap allocations, so both the exact
+/// and the quantized scan walk dense memory.
+#[derive(Debug, Clone, Default)]
+pub struct SoaStore {
+    dim: usize,
+    rows: usize,
+    data: Vec<f32>,
+    quant: OnceLock<QuantRows>,
+}
+
+impl SoaStore {
+    /// Empty store for rows of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0);
+        Self {
+            dim,
+            rows: 0,
+            data: Vec::new(),
+            quant: OnceLock::new(),
+        }
+    }
+
+    /// Build from row slices (e.g. the old `Vec<Vec<f32>>` layout);
+    /// rows keep their order and bits.
+    pub fn from_rows<R: AsRef<[f32]>, I: IntoIterator<Item = R>>(dim: usize, rows: I) -> Self {
+        let mut store = Self::new(dim);
+        for r in rows {
+            store.push(r.as_ref());
+        }
+        store
+    }
+
+    /// Append one row; returns its id (insertion order). Invalidates
+    /// the quantized block — the per-index scale may change.
+    pub fn push(&mut self, row: &[f32]) -> usize {
+        assert_eq!(row.len(), self.dim, "dimension mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        self.quant.take();
+        self.rows - 1
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The f32 row with a given id.
+    #[inline]
+    pub fn row(&self, id: usize) -> &[f32] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// The quantized block, built on first use (one pass over the f32
+    /// block) and cached until the next [`push`](SoaStore::push).
+    pub fn quant(&self) -> &QuantRows {
+        self.quant
+            .get_or_init(|| QuantRows::build(self.dim, self.rows, &self.data))
+    }
+
+    /// Bytes held by the f32 block.
+    pub fn bytes_f32(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes the f32 + int8 blocks hold together once the quantized
+    /// face exists (the int8 block is exactly one byte per component).
+    pub fn bytes_with_quant(&self) -> usize {
+        self.bytes_f32() + self.rows * self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_i8_matches_naive_loop() {
+        // Lengths straddling the lane width, values across the range.
+        for len in [0usize, 1, 7, 8, 9, 16, 63, 256] {
+            let a: Vec<i8> = (0..len).map(|i| ((i * 37) % 255) as i8).collect();
+            let b: Vec<i8> = (0..len).map(|i| ((i * 91 + 13) % 255) as i8).collect();
+            let naive: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(dot_i8(&a, &b), naive, "len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_i8_extremes_do_not_overflow() {
+        let a = vec![127i8; 4096];
+        let b = vec![-127i8; 4096];
+        assert_eq!(dot_i8(&a, &b), -127 * 127 * 4096);
+    }
+
+    #[test]
+    fn quantization_error_is_within_half_scale() {
+        let rows: Vec<Vec<f32>> = (0..20)
+            .map(|r| (0..32).map(|i| ((r * 32 + i) as f32).sin()).collect())
+            .collect();
+        let store = SoaStore::from_rows(32, &rows);
+        let q = store.quant();
+        let tol = q.scale() as f64 * 0.5 * 1.001 + 1e-9;
+        for (r, row) in rows.iter().enumerate() {
+            for (i, &x) in row.iter().enumerate() {
+                let back = q.row(r)[i] as f64 * q.scale() as f64;
+                assert!(
+                    (x as f64 - back).abs() <= tol,
+                    "row {r} comp {i}: {x} vs {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn store_round_trips_rows_bitwise() {
+        let rows: Vec<Vec<f32>> = vec![
+            vec![0.25, -1.5, 3.75, 0.0],
+            vec![f32::MIN_POSITIVE, -0.0, 1e-20, 42.0],
+            vec![0.0; 4],
+        ];
+        let store = SoaStore::from_rows(4, &rows);
+        assert_eq!(store.len(), 3);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(store.row(i), r.as_slice(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn push_invalidates_quantized_block() {
+        let mut store = SoaStore::from_rows(2, [[0.5f32, 0.5]]);
+        assert_eq!(store.quant().scale(), 0.5 / 127.0);
+        // A larger component must widen the scale after re-build.
+        store.push(&[2.0, 0.0]);
+        assert_eq!(store.quant().scale(), 2.0 / 127.0);
+    }
+
+    #[test]
+    fn zero_corpus_quantizes_to_zero() {
+        let store = SoaStore::from_rows(3, [[0.0f32; 3]; 2]);
+        let q = store.quant();
+        assert_eq!(q.scale(), 0.0);
+        assert!(q.row(0).iter().all(|&x| x == 0));
+        let qq = QuantQuery::new(&[0.0; 3]);
+        assert_eq!(dot_i8(qq.row(), q.row(1)), 0);
+        assert!(qq.error_bound(q, 3) >= 0.0);
+    }
+
+    #[test]
+    fn error_bound_covers_observed_error() {
+        let rows: Vec<Vec<f32>> = (0..64)
+            .map(|r| {
+                let mut v: Vec<f32> = (0..48).map(|i| ((r * 48 + i) as f32 * 0.7).cos()).collect();
+                crate::embed::l2_normalize(&mut v);
+                v
+            })
+            .collect();
+        let store = SoaStore::from_rows(48, &rows);
+        let q = store.quant();
+        for (probe, query) in rows.iter().enumerate() {
+            let qq = QuantQuery::new(query);
+            let bound = qq.error_bound(q, 48);
+            let factor = qq.dequant_factor(q);
+            for id in 0..store.len() {
+                let exact = crate::embed::dot(query, store.row(id)) as f64;
+                let approx = (dot_i8(qq.row(), q.row(id)) as f32 * factor) as f64;
+                assert!(
+                    (exact - approx).abs() <= bound,
+                    "pair ({probe}, {id}): |{exact} - {approx}| > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let store = SoaStore::from_rows(8, [[1.0f32; 8]; 10]);
+        assert_eq!(store.bytes_f32(), 10 * 8 * 4);
+        assert_eq!(store.bytes_with_quant(), 10 * 8 * 5);
+    }
+
+    #[test]
+    fn screen_stats_accumulate_and_rate() {
+        let mut s = ScreenStats::default();
+        assert_eq!(s.rerank_rate(), 0.0);
+        s.absorb(ScreenStats {
+            screened: 100,
+            reranked: 25,
+        });
+        s.absorb(ScreenStats {
+            screened: 100,
+            reranked: 15,
+        });
+        assert_eq!(s.screened, 200);
+        assert_eq!(s.reranked, 40);
+        assert!((s.rerank_rate() - 0.2).abs() < 1e-12);
+    }
+}

@@ -2,7 +2,9 @@
 //! invariants, top-k agreement with brute force, determinism.
 
 use proptest::prelude::*;
-use semvec::{cosine, dot, Embedder, HybridIndex, QueryStyle, VecIndex};
+use semvec::{
+    cosine, dot, dot_i8, Embedder, HybridIndex, QuantQuery, QueryStyle, SoaStore, VecIndex,
+};
 
 fn text() -> impl Strategy<Value = String> {
     "[a-zA-Z ]{1,60}"
@@ -179,6 +181,76 @@ proptest! {
         );
     }
 
+    /// The quantized screen + exact rerank top-k is bit-identical to
+    /// the pure-f32 noisy scan on arbitrary corpora, at the pipeline's
+    /// default jitter (sigma = 0.30) and with noise off (sigma = 0).
+    #[test]
+    fn quant_screen_rerank_topk_equals_exact_f32(
+        docs in proptest::collection::vec(text(), 1..40),
+        query in text(),
+        k in 1usize..15,
+        salt in any::<u64>(),
+    ) {
+        let emb = Embedder::paper();
+        let index = VecIndex::from_vectors(emb.dim(), docs.iter().map(|d| emb.encode(d)));
+        let q = emb.encode(&query);
+        for sigma in [0.0f32, 0.30] {
+            let exact = index.top_k_noisy(&q, k, sigma, salt);
+            let (quant, stats) = index.top_k_noisy_quant(&q, k, sigma, salt);
+            prop_assert_eq!(&quant, &exact);
+            prop_assert_eq!(stats.screened, docs.len() as u64);
+            prop_assert!(stats.reranked <= stats.screened);
+        }
+    }
+
+    /// The padded per-pair error bound is never violated: for random
+    /// (query, doc) pairs, the dequantized int8 dot stays within the
+    /// bound of the exact f32 dot.
+    #[test]
+    fn quant_error_bound_never_violated(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-2.0f32..2.0, 32), 1..24),
+        query in proptest::collection::vec(-2.0f32..2.0, 32),
+    ) {
+        let dim = query.len();
+        let store = SoaStore::from_rows(dim, rows.iter().cloned());
+        let qr = store.quant();
+        let qq = QuantQuery::new(&query);
+        let bound = qq.error_bound(qr, dim);
+        let factor = qq.dequant_factor(qr);
+        for (id, row) in rows.iter().enumerate() {
+            let exact = dot(&query, row) as f64;
+            let approx = (dot_i8(qq.row(), qr.row(id)) as f32 * factor) as f64;
+            prop_assert!(
+                (exact - approx).abs() <= bound,
+                "bound violated: |{exact} - {approx}| > {bound}"
+            );
+        }
+    }
+
+    /// The struct-of-arrays store hands back every row bit-identical to
+    /// what was pushed, across both construction paths.
+    #[test]
+    fn soa_store_roundtrips_rows_bitwise(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(any::<f32>(), 16), 0..24),
+    ) {
+        let bulk = SoaStore::from_rows(16, rows.iter().cloned());
+        let mut incremental = SoaStore::new(16);
+        for r in &rows {
+            incremental.push(r);
+        }
+        prop_assert_eq!(bulk.len(), rows.len());
+        prop_assert_eq!(incremental.len(), rows.len());
+        for (id, r) in rows.iter().enumerate() {
+            let b: Vec<u32> = bulk.row(id).iter().map(|x| x.to_bits()).collect();
+            let i: Vec<u32> = incremental.row(id).iter().map(|x| x.to_bits()).collect();
+            let want: Vec<u32> = r.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(&b, &want);
+            prop_assert_eq!(&i, &want);
+        }
+    }
+
     /// Parallel index builds are byte-identical to the serial build for
     /// any corpus (including duplicates) and any thread count.
     #[test]
@@ -200,5 +272,81 @@ proptest! {
             serial.candidates(&emb, &query, QueryStyle::Folded),
             parallel.candidates(&emb, &query, QueryStyle::Folded)
         );
+    }
+}
+
+/// Tiny deterministic generator for the seeded fallback tests below —
+/// splitmix64 over a counter, mapped into [-2, 2).
+fn seeded_f32(state: &mut u64) -> f32 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    ((z >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+}
+
+/// Seeded counterpart of `quant_screen_rerank_topk_equals_exact_f32` +
+/// `quant_error_bound_never_violated` + `soa_store_roundtrips_rows_bitwise`,
+/// so the invariants are exercised even where the `proptest` dependency
+/// is stubbed out: random corpora from a fixed splitmix64 stream.
+#[test]
+fn quant_invariants_hold_on_seeded_random_corpora() {
+    for (seed, n, dim, k) in [
+        (1u64, 1usize, 8usize, 1usize),
+        (2, 7, 33, 3),
+        (3, 40, 64, 10),
+        (4, 128, 256, 15),
+        (5, 64, 48, 64),
+    ] {
+        let mut state = seed;
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| seeded_f32(&mut state)).collect())
+            .collect();
+        let query: Vec<f32> = (0..dim).map(|_| seeded_f32(&mut state)).collect();
+
+        // SoA round-trip, both construction paths.
+        let store = SoaStore::from_rows(dim, rows.iter().cloned());
+        let mut incremental = SoaStore::new(dim);
+        for r in &rows {
+            incremental.push(r);
+        }
+        for (id, r) in rows.iter().enumerate() {
+            assert!(store
+                .row(id)
+                .iter()
+                .zip(r)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert!(incremental
+                .row(id)
+                .iter()
+                .zip(r)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+
+        // Per-pair error bound.
+        let qr = store.quant();
+        let qq = QuantQuery::new(&query);
+        let bound = qq.error_bound(qr, dim);
+        let factor = qq.dequant_factor(qr);
+        for (id, row) in rows.iter().enumerate() {
+            let exact = dot(&query, row) as f64;
+            let approx = (dot_i8(qq.row(), qr.row(id)) as f32 * factor) as f64;
+            assert!(
+                (exact - approx).abs() <= bound,
+                "seed {seed}: bound violated at row {id}: |{exact} - {approx}| > {bound}"
+            );
+        }
+
+        // Two-stage top-k bit-identity at sigma 0 and the pipeline's 0.30.
+        let index = VecIndex::from_vectors(dim, rows.iter().cloned());
+        for sigma in [0.0f32, 0.30] {
+            for salt in [0u64, seed.wrapping_mul(0xC0FFEE)] {
+                let exact = index.top_k_noisy(&query, k, sigma, salt);
+                let (quant, stats) = index.top_k_noisy_quant(&query, k, sigma, salt);
+                assert_eq!(quant, exact, "seed {seed} sigma {sigma} salt {salt}");
+                assert_eq!(stats.screened, n as u64);
+            }
+        }
     }
 }
