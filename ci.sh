@@ -18,16 +18,24 @@ cargo test -q --workspace
 echo "==> chaos smoke (fault rate 0.3: no panics, nonzero score)"
 cargo run -q --release -p bench --bin chaos -- --smoke
 
-echo "==> perf smoke (pruned retrieval + quantized scoring bit-identical to the exact scan)"
+echo "==> perf smoke (pruned retrieval + quantized scoring + batched engine bit-identical to the exact scan)"
 cargo run -q --release -p bench --bin perf -- --smoke | tee /tmp/perf_smoke.out
 grep -q "scoring bit-identical" /tmp/perf_smoke.out || {
     echo "ci.sh: perf smoke lost the scoring identity assertion" >&2
     exit 1
 }
+grep -q "batched kernel bit-identical" /tmp/perf_smoke.out || {
+    echo "ci.sh: perf smoke lost the batched-identity assertion" >&2
+    exit 1
+}
 
-echo "==> BENCH_perf.json carries a scoring section"
+echo "==> BENCH_perf.json carries scoring and batched sections"
 grep -q '"scoring"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json lacks the \"scoring\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
+    exit 1
+}
+grep -q '"batched"' BENCH_perf.json || {
+    echo "ci.sh: BENCH_perf.json lacks the \"batched\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
     exit 1
 }
 

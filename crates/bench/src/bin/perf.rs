@@ -12,10 +12,15 @@
 //!   the full base, one self-query per stored vector (bit-identical
 //!   hits asserted; screen/rerank breakdown and f32 vs f32+i8 index
 //!   bytes reported);
-//! * **end-to-end** — the full pipeline in exact vs pruned mode, each
-//!   run cold (fresh query-embedding cache) then warm (same base
-//!   re-queried), reporting questions/sec (identical answers asserted
-//!   across all four arms).
+//! * **batched** — the query-tiled quantized kernel vs one sequential
+//!   scan per query, at batch widths 1/4/8/16 over the full base
+//!   (per-query results bit-identical to the sequential engine
+//!   asserted at every width);
+//! * **end-to-end** — the full pipeline in exact vs pruned mode (both
+//!   batched) plus a pruned per-query arm, each run cold (fresh
+//!   query-embedding cache) then warm (same base re-queried), reporting
+//!   questions/sec, postings-build time, and the candidate fraction
+//!   pruning achieved (identical answers asserted across all arms).
 //!
 //! Usage:
 //! * `cargo run --release -p bench --bin perf` — full run; writes
@@ -25,8 +30,10 @@
 
 use bench::run_or_exit as run;
 use bench::{model, setup, Experiment};
-use pgg_core::{BaseIndex, PipelineConfig, PseudoGraphPipeline, RetrievalMode, ScoringMode};
-use semvec::{QueryStyle, ScreenStats};
+use pgg_core::{
+    BaseIndex, BatchMode, PipelineConfig, PseudoGraphPipeline, RetrievalMode, ScoringMode,
+};
+use semvec::{NoisyQuery, QueryStyle, ScreenStats};
 use std::time::Instant;
 
 fn ms(t: Instant) -> f64 {
@@ -182,28 +189,103 @@ fn bench_scoring(exp: &Experiment, base: &BaseIndex, queries: usize) -> ScoringT
     }
 }
 
+struct BatchedWidth {
+    width: usize,
+    batch_ms: f64,
+}
+
+struct BatchedTiming {
+    queries: usize,
+    seq_ms: f64,
+    widths: Vec<BatchedWidth>,
+    identical: bool,
+}
+
+/// The query-tiled quantized kernel vs one sequential quantized scan
+/// per query: every stored vector queried back against the full base,
+/// the batched engine fed in chunks of each width. Every width's
+/// per-query (hits, screen stats) must be bit-identical to the
+/// sequential engine's.
+fn bench_batched(exp: &Experiment, base: &BaseIndex, queries: usize) -> BatchedTiming {
+    let vecs = base.hybrid().vectors();
+    let (k, sigma) = (exp.cfg.top_k, exp.cfg.retrieval_jitter);
+    let n = queries.min(vecs.len());
+
+    let t = Instant::now();
+    let seq: Vec<_> = (0..n)
+        .map(|id| vecs.top_k_noisy_quant(vecs.vector(id), k, sigma, id as u64))
+        .collect();
+    let seq_ms = ms(t);
+
+    let mut widths = Vec::new();
+    let mut identical = true;
+    for width in [1usize, 4, 8, 16] {
+        let t = Instant::now();
+        let mut batched = Vec::with_capacity(n);
+        let mut start = 0;
+        while start < n {
+            let end = (start + width).min(n);
+            let slots: Vec<NoisyQuery<'_>> = (start..end)
+                .map(|id| NoisyQuery {
+                    vector: vecs.vector(id),
+                    salt: id as u64,
+                })
+                .collect();
+            batched.extend(vecs.top_k_noisy_quant_batch(&slots, k, sigma));
+            start = end;
+        }
+        let batch_ms = ms(t);
+        identical &= batched.len() == seq.len()
+            && batched
+                .iter()
+                .zip(&seq)
+                .all(|((bh, bs), (sh, ss))| bh == sh && bs == ss);
+        widths.push(BatchedWidth { width, batch_ms });
+    }
+    BatchedTiming {
+        queries: n,
+        seq_ms,
+        widths,
+        identical,
+    }
+}
+
 struct E2eArm {
     mode: &'static str,
+    batch: &'static str,
+    build_ms: f64,
     cold_ms: f64,
     warm_ms: f64,
     cache_hits: u64,
     cache_misses: u64,
+    cand_fraction: f64,
+    mean_batch_width: f64,
+    dedup_rate: f64,
     answers: Vec<String>,
 }
 
-/// Full pipeline on QALD-10, one retrieval mode: cold run on a fresh
-/// base (empty query-embedding cache), then a warm re-run on the same.
-fn e2e_arm(exp: &Experiment, dataset: &worldgen::Dataset, mode: RetrievalMode) -> E2eArm {
+/// Full pipeline on QALD-10, one (retrieval mode, batch mode) pair:
+/// cold run on a fresh base (empty query-embedding cache), then a warm
+/// re-run on the same.
+fn e2e_arm(
+    exp: &Experiment,
+    dataset: &worldgen::Dataset,
+    mode: RetrievalMode,
+    batch: BatchMode,
+) -> E2eArm {
     let cfg = PipelineConfig {
         retrieval_mode: mode,
+        batch_mode: batch,
         ..exp.cfg.clone()
     };
+    let t = Instant::now();
     let base = BaseIndex::for_questions(
         &exp.wikidata,
         &exp.embedder,
         &cfg,
         dataset.questions.iter().map(|q| q.text.as_str()),
     );
+    let build_ms = ms(t);
     let llm = model(&exp.world, "gpt-3.5");
     let pipeline = PseudoGraphPipeline::full();
 
@@ -240,23 +322,34 @@ fn e2e_arm(exp: &Experiment, dataset: &worldgen::Dataset, mode: RetrievalMode) -
         "warm cache changed answers in {mode:?} mode"
     );
     let stats = base.cache_stats();
+    let scoring = base.scoring_stats();
     E2eArm {
         mode: match mode {
             RetrievalMode::Exact => "exact",
             RetrievalMode::Pruned => "pruned",
         },
+        batch: match batch {
+            BatchMode::Batched => "batched",
+            BatchMode::PerQuery => "per-query",
+        },
+        build_ms,
         cold_ms,
         warm_ms,
         cache_hits: stats.hits,
         cache_misses: stats.misses,
+        cand_fraction: scoring.candidate_fraction(base.len()),
+        mean_batch_width: scoring.mean_batch_width(),
+        dedup_rate: scoring.dedup_rate(),
         answers,
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one argument per report section
 fn json_report(
     build: &BuildTiming,
     retr: &RetrievalTiming,
     scoring: &ScoringTiming,
+    batched: &BatchedTiming,
     arms: &[E2eArm],
     questions: usize,
     k: usize,
@@ -265,22 +358,42 @@ fn json_report(
     // Hand-formatted: the report layout is fixed and flat, and keeping
     // the encoder trivial means the bench has no serializer in its hot
     // or cold path to misattribute time to.
+    let width_json: Vec<String> = batched
+        .widths
+        .iter()
+        .map(|w| {
+            format!(
+                "    {{\"width\": {}, \"batch_ms\": {:.1}, \"speedup\": {:.2}}}",
+                w.width,
+                w.batch_ms,
+                batched.seq_ms / w.batch_ms,
+            )
+        })
+        .collect();
     let arm_json: Vec<String> = arms
         .iter()
         .map(|a| {
             format!(
                 concat!(
-                    "    {{\"mode\": \"{}\", \"cold_ms\": {:.1}, \"warm_ms\": {:.1}, ",
+                    "    {{\"mode\": \"{}\", \"batch\": \"{}\", \"build_ms\": {:.1}, ",
+                    "\"cold_ms\": {:.1}, \"warm_ms\": {:.1}, ",
                     "\"cold_qps\": {:.2}, \"warm_qps\": {:.2}, ",
-                    "\"cache_hits\": {}, \"cache_misses\": {}}}"
+                    "\"cache_hits\": {}, \"cache_misses\": {}, ",
+                    "\"cand_fraction\": {:.4}, \"mean_batch_width\": {:.2}, ",
+                    "\"dedup_rate\": {:.4}}}"
                 ),
                 a.mode,
+                a.batch,
+                a.build_ms,
                 a.cold_ms,
                 a.warm_ms,
                 questions as f64 / (a.cold_ms / 1e3),
                 questions as f64 / (a.warm_ms / 1e3),
                 a.cache_hits,
                 a.cache_misses,
+                a.cand_fraction,
+                a.mean_batch_width,
+                a.dedup_rate,
             )
         })
         .collect();
@@ -299,6 +412,10 @@ fn json_report(
             "\"exact_f32_ms\": {:.1}, \"quant_ms\": {:.1}, \"speedup\": {:.2}, ",
             "\"screened\": {}, \"reranked\": {}, \"rerank_rate\": {:.4}, ",
             "\"bytes_f32\": {}, \"bytes_with_quant\": {}, \"identical\": {}}},\n",
+            "  \"batched\": {{\"queries\": {}, \"k\": {}, \"sigma\": {:.2}, ",
+            "\"seq_ms\": {:.1}, \"identical\": {}, \"widths\": [\n",
+            "{}\n",
+            "  ]}},\n",
             "  \"e2e\": {{\"questions\": {}, \"answers_identical\": true, \"arms\": [\n",
             "{}\n",
             "  ]}}\n",
@@ -328,6 +445,12 @@ fn json_report(
         scoring.bytes_f32,
         scoring.bytes_with_quant,
         scoring.identical,
+        batched.queries,
+        k,
+        sigma,
+        batched.seq_ms,
+        batched.identical,
+        width_json.join(",\n"),
         questions,
         arm_json.join(",\n"),
     )
@@ -363,25 +486,57 @@ fn main() {
         std::process::exit(1);
     }
 
+    let batched = bench_batched(&exp, &base, retr_queries.min(base.len()));
+    if !batched.identical {
+        eprintln!(
+            "perf violation: the batched quantized engine diverged from the \
+             sequential per-query scan over {} self-queries",
+            batched.queries
+        );
+        std::process::exit(1);
+    }
+
     let e2e_set = worldgen::Dataset {
         kind: dataset.kind,
         questions: dataset.questions[..e2e_questions.min(dataset.questions.len())].to_vec(),
     };
-    let exact_arm = e2e_arm(&exp, &e2e_set, RetrievalMode::Exact);
-    let pruned_arm = e2e_arm(&exp, &e2e_set, RetrievalMode::Pruned);
+    let exact_arm = e2e_arm(&exp, &e2e_set, RetrievalMode::Exact, BatchMode::Batched);
+    let pruned_arm = e2e_arm(&exp, &e2e_set, RetrievalMode::Pruned, BatchMode::Batched);
+    let perquery_arm = e2e_arm(&exp, &e2e_set, RetrievalMode::Pruned, BatchMode::PerQuery);
     if exact_arm.answers != pruned_arm.answers {
         eprintln!("perf violation: pruned mode changed end-to-end answers");
         std::process::exit(1);
     }
+    if pruned_arm.answers != perquery_arm.answers {
+        eprintln!("perf violation: batched mode changed end-to-end answers");
+        std::process::exit(1);
+    }
+    if pruned_arm.cold_ms > exact_arm.cold_ms {
+        eprintln!(
+            "WARN: pruned e2e underperforms exact (cold {:.2} q/s vs {:.2} q/s, \
+             candidate fraction {:.3}) — postings pruning is not paying for \
+             its candidate lookups on this corpus",
+            e2e_set.questions.len() as f64 / (pruned_arm.cold_ms / 1e3),
+            e2e_set.questions.len() as f64 / (exact_arm.cold_ms / 1e3),
+            pruned_arm.cand_fraction,
+        );
+    }
 
     let retrieval_speedup = retr.exact_ms / retr.pruned_ms;
     let scoring_speedup = scoring.exact_ms / scoring.quant_ms;
+    let batched_w8 = batched
+        .widths
+        .iter()
+        .find(|w| w.width == 8)
+        .map_or(1.0, |w| batched.seq_ms / w.batch_ms);
     if smoke {
         println!(
             "perf smoke ok: docs={} build byte-identical ({:.0}ms serial / {:.0}ms \
              x{}), retrieval bit-identical over {} queries (speedup {:.2}), \
              scoring bit-identical over {} queries (speedup {:.2}, rerank rate \
-             {:.4}), e2e answers identical across modes and cache states",
+             {:.4}), batched kernel bit-identical over {} queries at widths \
+             1/4/8/16 (w8 speedup {:.2}), e2e answers identical across modes, \
+             batch modes, and cache states",
             build.docs,
             build.serial_ms,
             build.parallel_ms,
@@ -391,15 +546,18 @@ fn main() {
             scoring.queries,
             scoring_speedup,
             scoring.stats.rerank_rate(),
+            batched.queries,
+            batched_w8,
         );
         return;
     }
 
-    let arms = [exact_arm, pruned_arm];
+    let arms = [exact_arm, pruned_arm, perquery_arm];
     let report = json_report(
         &build,
         &retr,
         &scoring,
+        &batched,
         &arms,
         e2e_set.questions.len(),
         exp.cfg.top_k,
@@ -409,11 +567,13 @@ fn main() {
     println!("{report}");
     println!(
         "perf ok: docs={} retrieval_speedup={:.2} scoring_speedup={:.2} \
-         build_speedup={:.2} warm_qps(pruned)={:.1} — BENCH_perf.json written",
+         build_speedup={:.2} batched_w8_speedup={:.2} warm_qps(pruned)={:.1} \
+         — BENCH_perf.json written",
         build.docs,
         retrieval_speedup,
         scoring_speedup,
         build.serial_ms / build.parallel_ms,
+        batched_w8,
         e2e_set.questions.len() as f64 / (arms[1].warm_ms / 1e3),
     );
 }

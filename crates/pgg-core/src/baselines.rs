@@ -189,16 +189,37 @@ impl Method for Qsm {
         // phrasing vs discrete triple gap the paper highlights), so it
         // is encoded unfolded.
         let salt = kgstore::hash::stable_str_hash(&q.text);
-        let hits = base.search(
-            ctx.embedder,
-            &q.text,
-            semvec::QueryStyle::Unfolded,
-            ctx.cfg.top_k,
-            ctx.cfg.retrieval_jitter,
-            salt,
-            ctx.cfg.retrieval_mode,
-            ctx.cfg.scoring_mode,
-        );
+        let hits = match ctx.cfg.batch_mode {
+            crate::retrieval::BatchMode::Batched => {
+                // A single-slot batch: same hits, through the batch
+                // entry point the pipeline uses.
+                let slots = [crate::retrieval::QuerySlot {
+                    text: &q.text,
+                    style: semvec::QueryStyle::Unfolded,
+                    salt,
+                }];
+                base.search_batch(
+                    ctx.embedder,
+                    &slots,
+                    ctx.cfg.top_k,
+                    ctx.cfg.retrieval_jitter,
+                    ctx.cfg.retrieval_mode,
+                    ctx.cfg.scoring_mode,
+                )
+                .pop()
+                .unwrap_or_default()
+            }
+            crate::retrieval::BatchMode::PerQuery => base.search(
+                ctx.embedder,
+                &q.text,
+                semvec::QueryStyle::Unfolded,
+                ctx.cfg.top_k,
+                ctx.cfg.retrieval_jitter,
+                salt,
+                ctx.cfg.retrieval_mode,
+                ctx.cfg.scoring_mode,
+            ),
+        };
         let retrieved: Vec<StrTriple> =
             hits.iter().map(|h| base.verbalised[h.id].clone()).collect();
         trace.ground_triples = retrieved.len();

@@ -2,7 +2,7 @@
 
 use crate::prune::PruneStrategy;
 use crate::resilience::ResilienceConfig;
-use crate::retrieval::{RetrievalMode, ScoringMode};
+use crate::retrieval::{BatchMode, RetrievalMode, ScoringMode};
 use kgstore::ExtractConfig;
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +61,13 @@ pub struct PipelineConfig {
     /// float path available to benches.
     #[serde(default)]
     pub scoring_mode: ScoringMode,
+    /// Whether a question's semantic queries run as one tiled batch
+    /// (the default — identical verbalisations share a slot, block
+    /// loads are shared across the batch) or one scan per query.
+    /// Results are bit-identical in both modes — batching changes when
+    /// a (query, document) pair is scored, never its value.
+    #[serde(default)]
+    pub batch_mode: BatchMode,
 }
 
 fn default_repair() -> bool {
@@ -82,6 +89,7 @@ impl Default for PipelineConfig {
             resilience: ResilienceConfig::default(),
             retrieval_mode: RetrievalMode::default(),
             scoring_mode: ScoringMode::default(),
+            batch_mode: BatchMode::default(),
         }
     }
 }

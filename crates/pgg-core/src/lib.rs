@@ -38,6 +38,7 @@ pub use prune::{Candidate, PruneStrategy};
 pub use report::{write_markdown_summary, write_records_jsonl, RunSummary};
 pub use resilience::{best_effort_answer, ResilienceConfig, ResilientLlm, StageCall};
 pub use retrieval::{
-    ground_graph, BaseIndex, CacheStats, RetrievalMode, RetrievalStats, ScoringMode, ScoringStats,
+    ground_graph, BaseIndex, BatchMode, CacheStats, QuerySlot, RetrievalMode, RetrievalStats,
+    ScoringMode, ScoringStats,
 };
 pub use runner::{run, score_answer, FaultSummary, Record, RunError, RunResult};

@@ -71,6 +71,24 @@ pub enum ScoringMode {
     ExactF32,
 }
 
+/// Whether semantic querying batches a question's pseudo-triple
+/// queries into one tiled pass over the base index. Orthogonal to
+/// [`RetrievalMode`] and [`ScoringMode`]: batching changes *when* each
+/// (query, document) pair is scored, never its value, so both modes
+/// return bit-identical hits (the perf bench asserts it at full
+/// scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BatchMode {
+    /// Collect all of a question's queries (deduplicated) into one
+    /// [`BaseIndex::search_batch`] call: the query-tiled kernels share
+    /// each document-block load across the batch.
+    #[default]
+    Batched,
+    /// One [`BaseIndex::search`] call per query — the sequential
+    /// reference path the batched engine is checked against.
+    PerQuery,
+}
+
 /// Upper bound on cached query embeddings. Entries are one `dim`-float
 /// vector plus the query text (~1.2 KiB at dim 256), so the cap bounds
 /// memory at a few MiB per base index.
@@ -291,15 +309,30 @@ impl QueryCache {
     }
 }
 
-/// Monotonic counters of the quantized scoring engine across every
-/// search this index served: documents screened by the int8 kernel and
-/// documents the margin sent to the exact f32 rerank.
+/// Monotonic counters of the scoring engine across every search this
+/// index served: documents screened by the int8 kernel, documents the
+/// margin sent to the exact f32 rerank, and the batch-entry shape
+/// (how many [`BaseIndex::search_batch`] calls ran, how wide they
+/// were, how many slots deduplication collapsed).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScoringStats {
     /// Documents scored by the int8 screening kernel.
     pub screened: u64,
     /// Documents re-scored by the exact f32 path.
     pub reranked: u64,
+    /// [`BaseIndex::search_batch`] calls served.
+    pub batches: u64,
+    /// Query slots across all batches (before deduplication).
+    pub batch_slots: u64,
+    /// Slots that shared another slot's encoding and scan because their
+    /// (style, salt, text) key was a duplicate within the batch.
+    pub batch_deduped: u64,
+    /// Queries answered through the pruned (token-postings) scan.
+    pub pruned_queries: u64,
+    /// Candidate documents those pruned scans actually visited (the
+    /// full base is `pruned_queries × base.len()` documents; the gap is
+    /// what pruning saved).
+    pub pruned_candidates: u64,
 }
 
 impl ScoringStats {
@@ -309,6 +342,36 @@ impl ScoringStats {
             0.0
         } else {
             self.reranked as f64 / self.screened as f64
+        }
+    }
+
+    /// Mean slots per [`BaseIndex::search_batch`] call (0 when no
+    /// batch ran).
+    pub fn mean_batch_width(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_slots as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of batch slots answered by another slot's scan.
+    pub fn dedup_rate(&self) -> f64 {
+        if self.batch_slots == 0 {
+            0.0
+        } else {
+            self.batch_deduped as f64 / self.batch_slots as f64
+        }
+    }
+
+    /// Mean fraction of the base each pruned query actually scanned
+    /// (1.0 would mean pruning never dropped a document).
+    pub fn candidate_fraction(&self, base_len: usize) -> f64 {
+        let denom = self.pruned_queries as f64 * base_len as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.pruned_candidates as f64 / denom
         }
     }
 }
@@ -325,6 +388,11 @@ pub struct BaseIndex {
     cache: QueryCache,
     screened: AtomicU64,
     reranked: AtomicU64,
+    batches: AtomicU64,
+    batch_slots: AtomicU64,
+    batch_deduped: AtomicU64,
+    pruned_queries: AtomicU64,
+    pruned_candidates: AtomicU64,
 }
 
 impl BaseIndex {
@@ -359,12 +427,23 @@ impl BaseIndex {
         ScoringStats {
             screened: self.screened.load(Ordering::Relaxed),
             reranked: self.reranked.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_slots: self.batch_slots.load(Ordering::Relaxed),
+            batch_deduped: self.batch_deduped.load(Ordering::Relaxed),
+            pruned_queries: self.pruned_queries.load(Ordering::Relaxed),
+            pruned_candidates: self.pruned_candidates.load(Ordering::Relaxed),
         }
     }
 
     fn record_screen(&self, stats: ScreenStats) {
         self.screened.fetch_add(stats.screened, Ordering::Relaxed);
         self.reranked.fetch_add(stats.reranked, Ordering::Relaxed);
+    }
+
+    fn record_pruned(&self, candidates: usize) {
+        self.pruned_queries.fetch_add(1, Ordering::Relaxed);
+        self.pruned_candidates
+            .fetch_add(candidates as u64, Ordering::Relaxed);
     }
 
     /// Build from an explicit set of triples of a source (serial).
@@ -405,6 +484,11 @@ impl BaseIndex {
             cache: QueryCache::new(),
             screened: AtomicU64::new(0),
             reranked: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_slots: AtomicU64::new(0),
+            batch_deduped: AtomicU64::new(0),
+            pruned_queries: AtomicU64::new(0),
+            pruned_candidates: AtomicU64::new(0),
         }
     }
 
@@ -499,10 +583,12 @@ impl BaseIndex {
             }
             (RetrievalMode::Pruned, ScoringMode::ExactF32) => {
                 let cands = self.index.candidates(embedder, text, style);
+                self.record_pruned(cands.len());
                 self.index.top_k_noisy_encoded(&q, &cands, k, sigma, salt)
             }
             (RetrievalMode::Pruned, ScoringMode::QuantizedScreen) => {
                 let cands = self.index.candidates(embedder, text, style);
+                self.record_pruned(cands.len());
                 let (hits, stats) = self
                     .index
                     .top_k_noisy_encoded_quant(&q, &cands, k, sigma, salt);
@@ -511,6 +597,138 @@ impl BaseIndex {
             }
         }
     }
+
+    /// Noisy top-k for a whole batch of queries in one pass over the
+    /// base. Result `i` is bit-identical to what
+    /// `search(embedder, slots[i].text, slots[i].style, k, sigma,
+    /// slots[i].salt, mode, scoring)` returns — batching shares block
+    /// loads across queries and deduplicates identical slots, but every
+    /// (query, document) score and every tie-break is computed by the
+    /// same operations in the same order as the sequential path.
+    ///
+    /// Slots with the same (style, salt, text) key are encoded and
+    /// scanned once; the shared result fans back out to every duplicate
+    /// slot.
+    pub fn search_batch(
+        &self,
+        embedder: &Embedder,
+        slots: &[QuerySlot<'_>],
+        k: usize,
+        sigma: f32,
+        mode: RetrievalMode,
+        scoring: ScoringMode,
+    ) -> Vec<Vec<Hit>> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_slots
+            .fetch_add(slots.len() as u64, Ordering::Relaxed);
+        if slots.is_empty() {
+            return Vec::new();
+        }
+
+        // Deduplicate: identical (style, salt, text) slots share one
+        // scan slot and fan the result back out.
+        let mut unique: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(slots.len());
+        let mut seen: FxHashMap<(bool, u64, &str), usize> = FxHashMap::default();
+        for s in slots {
+            let key = (s.style == QueryStyle::Folded, s.salt, s.text);
+            match seen.get(&key) {
+                Some(&u) => slot_of.push(u),
+                None => {
+                    let u = unique.len();
+                    seen.insert(key, u);
+                    unique.push(slot_of.len());
+                    slot_of.push(u);
+                }
+            }
+        }
+        self.batch_deduped
+            .fetch_add((slots.len() - unique.len()) as u64, Ordering::Relaxed);
+
+        // Encode the unique queries (through the cache, like the
+        // sequential path — a batch never changes cache behaviour
+        // beyond skipping its own duplicates).
+        let vectors: Vec<Arc<Vec<f32>>> = unique
+            .iter()
+            .map(|&i| self.query_vector(embedder, slots[i].text, slots[i].style))
+            .collect();
+
+        let results: Vec<Vec<Hit>> = match mode {
+            RetrievalMode::Exact => {
+                let queries: Vec<semvec::NoisyQuery<'_>> = unique
+                    .iter()
+                    .zip(&vectors)
+                    .map(|(&i, v)| semvec::NoisyQuery {
+                        vector: v.as_slice(),
+                        salt: slots[i].salt,
+                    })
+                    .collect();
+                match scoring {
+                    ScoringMode::ExactF32 => {
+                        self.index.vectors().top_k_noisy_batch(&queries, k, sigma)
+                    }
+                    ScoringMode::QuantizedScreen => self
+                        .index
+                        .vectors()
+                        .top_k_noisy_quant_batch(&queries, k, sigma)
+                        .into_iter()
+                        .map(|(hits, stats)| {
+                            self.record_screen(stats);
+                            hits
+                        })
+                        .collect(),
+                }
+            }
+            RetrievalMode::Pruned => {
+                let cands: Vec<Vec<u32>> = unique
+                    .iter()
+                    .map(|&i| {
+                        let c = self
+                            .index
+                            .candidates(embedder, slots[i].text, slots[i].style);
+                        self.record_pruned(c.len());
+                        c
+                    })
+                    .collect();
+                let batch: Vec<semvec::BatchSlot<'_>> = unique
+                    .iter()
+                    .zip(&vectors)
+                    .zip(&cands)
+                    .map(|((&i, v), c)| semvec::BatchSlot {
+                        query: v.as_slice(),
+                        cands: c,
+                        salt: slots[i].salt,
+                    })
+                    .collect();
+                match scoring {
+                    ScoringMode::ExactF32 => self.index.top_k_noisy_encoded_batch(&batch, k, sigma),
+                    ScoringMode::QuantizedScreen => {
+                        let (hits, stats) =
+                            self.index.top_k_noisy_encoded_quant_batch(&batch, k, sigma);
+                        for s in stats {
+                            self.record_screen(s);
+                        }
+                        hits
+                    }
+                }
+            }
+        };
+
+        // Fan the unique results back out to every original slot.
+        slot_of.into_iter().map(|u| results[u].clone()).collect()
+    }
+}
+
+/// One query of a [`BaseIndex::search_batch`] call: the text plus the
+/// same per-query knobs [`BaseIndex::search`] takes.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySlot<'a> {
+    /// Query text.
+    pub text: &'a str,
+    /// How the text is encoded.
+    pub style: QueryStyle,
+    /// Jitter stream salt.
+    pub salt: u64,
 }
 
 /// Intermediate retrieval diagnostics, recorded in traces and used by
@@ -555,24 +773,51 @@ pub fn ground_graph(
     stats.pseudo_subjects = k;
 
     // Per-base-triple best similarity across pseudo-triple queries.
+    // Batched mode collects every pseudo-triple's query into one tiled
+    // pass (identical sentences share a slot); PerQuery is the
+    // sequential escape hatch. Both yield the same hits per query, so
+    // the merged map is identical either way.
+    let sentences: Vec<String> = pseudo.iter().map(verbalize_triple).collect();
+    let per_query: Vec<Vec<Hit>> = match cfg.batch_mode {
+        BatchMode::Batched => {
+            let slots: Vec<QuerySlot<'_>> = sentences
+                .iter()
+                .map(|s| QuerySlot {
+                    text: s,
+                    style: QueryStyle::Folded,
+                    salt: kgstore::hash::stable_str_hash(s),
+                })
+                .collect();
+            base.search_batch(
+                embedder,
+                &slots,
+                cfg.top_k,
+                cfg.retrieval_jitter,
+                cfg.retrieval_mode,
+                cfg.scoring_mode,
+            )
+        }
+        BatchMode::PerQuery => sentences
+            .iter()
+            .map(|sentence| {
+                base.search(
+                    embedder,
+                    sentence,
+                    QueryStyle::Folded,
+                    cfg.top_k,
+                    cfg.retrieval_jitter,
+                    kgstore::hash::stable_str_hash(sentence),
+                    cfg.retrieval_mode,
+                    cfg.scoring_mode,
+                )
+            })
+            .collect(),
+    };
     let mut best_score: FxHashMap<usize, f32> = FxHashMap::default();
-    for t in pseudo {
-        let sentence = verbalize_triple(t);
-        let salt = kgstore::hash::stable_str_hash(&sentence);
-        for hit in base.search(
-            embedder,
-            &sentence,
-            QueryStyle::Folded,
-            cfg.top_k,
-            cfg.retrieval_jitter,
-            salt,
-            cfg.retrieval_mode,
-            cfg.scoring_mode,
-        ) {
-            let e = best_score.entry(hit.id).or_insert(f32::MIN);
-            if hit.score > *e {
-                *e = hit.score;
-            }
+    for hit in per_query.into_iter().flatten() {
+        let e = best_score.entry(hit.id).or_insert(f32::MIN);
+        if hit.score > *e {
+            *e = hit.score;
         }
     }
 
@@ -913,6 +1158,167 @@ mod tests {
         let (g, stats) = ground_graph(&src, &base, &emb, &cfg(), &pseudo);
         assert_eq!(stats.base_triples, 0);
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn ghost_readmission_across_eviction_boundary() {
+        let emb = Embedder::default();
+        // Probation holds 2: the third one-shot key evicts the first,
+        // ghosting it.
+        let cache = QueryCache::with_caps(2, 8);
+        cache.get_or_encode(&emb, "ghost key", QueryStyle::Folded);
+        cache.get_or_encode(&emb, "filler one", QueryStyle::Folded);
+        cache.get_or_encode(&emb, "filler two", QueryStyle::Folded);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1, "oldest probation entry evicted: {s:?}");
+        // Re-missing the ghosted key must insert straight into the
+        // protected segment: further probation churn can't touch it.
+        cache.get_or_encode(&emb, "ghost key", QueryStyle::Folded);
+        let after_readmit = cache.stats();
+        assert_eq!(after_readmit.misses, 4, "{after_readmit:?}");
+        for i in 0..6 {
+            cache.get_or_encode(&emb, &format!("churn {i}"), QueryStyle::Folded);
+        }
+        cache.get_or_encode(&emb, "ghost key", QueryStyle::Folded);
+        let s = cache.stats();
+        assert_eq!(
+            s.misses,
+            after_readmit.misses + 6,
+            "re-admitted ghost survives probation churn (hits, not re-misses): {s:?}"
+        );
+        assert_eq!(s.hits, 1, "{s:?}");
+    }
+
+    #[test]
+    fn concurrent_get_or_encode_counters_are_monotonic_and_complete() {
+        let emb = Embedder::default();
+        let cache = Arc::new(QueryCache::with_caps(8, 24));
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 100;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                let emb = &emb;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Shared keys (contended) interleaved with
+                        // thread-private keys (guaranteed misses).
+                        let text = if i % 2 == 0 {
+                            format!("shared {}", i % 8)
+                        } else {
+                            format!("private {t} {i}")
+                        };
+                        let v = cache.get_or_encode(emb, &text, QueryStyle::Folded);
+                        assert!(!v.is_empty());
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        // Every access was classified exactly once, whatever the
+        // interleaving.
+        assert_eq!(
+            s.hits + s.misses,
+            (THREADS * PER_THREAD) as u64,
+            "each access counts once: {s:?}"
+        );
+        // The 400 private keys can never hit.
+        assert!(s.misses >= (THREADS * PER_THREAD / 2) as u64, "{s:?}");
+        // The 8 shared keys were accessed 400 times; at most 8 first
+        // encounters (plus concurrent-miss races, bounded by accesses)
+        // were misses, so hits must be substantial.
+        assert!(s.hits > 0, "{s:?}");
+    }
+
+    #[test]
+    fn batch_dedup_fans_out_identical_hits() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "Where was Yao Ming born in Shanghai?");
+        let text_a = "Yao Ming place of birth Shanghai";
+        let text_b = "Shanghai country China";
+        let salt_a = kgstore::hash::stable_str_hash(text_a);
+        let salt_b = kgstore::hash::stable_str_hash(text_b);
+        let slots = [
+            QuerySlot {
+                text: text_a,
+                style: QueryStyle::Folded,
+                salt: salt_a,
+            },
+            QuerySlot {
+                text: text_b,
+                style: QueryStyle::Folded,
+                salt: salt_b,
+            },
+            QuerySlot {
+                text: text_a,
+                style: QueryStyle::Folded,
+                salt: salt_a,
+            },
+            QuerySlot {
+                text: text_a,
+                style: QueryStyle::Folded,
+                salt: salt_a,
+            },
+        ];
+        for mode in [RetrievalMode::Pruned, RetrievalMode::Exact] {
+            for scoring in [ScoringMode::QuantizedScreen, ScoringMode::ExactF32] {
+                let results = base.search_batch(&emb, &slots, 5, 0.3, mode, scoring);
+                assert_eq!(results.len(), 4);
+                assert_eq!(results[0], results[2], "{mode:?}/{scoring:?}");
+                assert_eq!(results[0], results[3], "{mode:?}/{scoring:?}");
+                // And each slot matches its sequential counterpart.
+                for (r, s) in results.iter().zip(&slots) {
+                    let seq = base.search(&emb, s.text, s.style, 5, 0.3, s.salt, mode, scoring);
+                    assert_eq!(r, &seq, "{mode:?}/{scoring:?}");
+                }
+            }
+        }
+        let stats = base.scoring_stats();
+        assert_eq!(stats.batches, 4, "{stats:?}");
+        assert_eq!(stats.batch_slots, 16, "{stats:?}");
+        // Two duplicate slots collapsed per batch.
+        assert_eq!(stats.batch_deduped, 8, "{stats:?}");
+        assert!(stats.mean_batch_width() == 4.0, "{stats:?}");
+        assert!(stats.dedup_rate() == 0.5, "{stats:?}");
+    }
+
+    #[test]
+    fn batched_and_perquery_modes_agree_on_ground_graphs() {
+        let src = source();
+        let emb = Embedder::default();
+        let base = base_for(&src, &emb, "Where was Yao Ming born in Shanghai?");
+        // Duplicate pseudo-triples exercise the dedup + fan-out path.
+        let pseudo = vec![
+            StrTriple::new("Yao Ming", "BORN_IN", "Shanghai"),
+            StrTriple::new("Shanghai", "LOCATED_IN", "China"),
+            StrTriple::new("Yao Ming", "BORN_IN", "Shanghai"),
+        ];
+        for mode in [RetrievalMode::Pruned, RetrievalMode::Exact] {
+            for scoring in [ScoringMode::QuantizedScreen, ScoringMode::ExactF32] {
+                let mut batched_cfg = cfg();
+                batched_cfg.retrieval_mode = mode;
+                batched_cfg.scoring_mode = scoring;
+                batched_cfg.batch_mode = BatchMode::Batched;
+                let mut seq_cfg = batched_cfg.clone();
+                seq_cfg.batch_mode = BatchMode::PerQuery;
+                let (g_b, s_b) = ground_graph(&src, &base, &emb, &batched_cfg, &pseudo);
+                let (g_s, s_s) = ground_graph(&src, &base, &emb, &seq_cfg, &pseudo);
+                assert_eq!(g_b.entities.len(), g_s.entities.len());
+                for (a, b) in g_b.entities.iter().zip(&g_s.entities) {
+                    assert_eq!(a.label, b.label, "{mode:?}/{scoring:?}");
+                    assert_eq!(a.score, b.score, "scores must be bit-identical");
+                    assert_eq!(a.triples, b.triples);
+                }
+                assert_eq!(s_b.candidate_subjects, s_s.candidate_subjects);
+            }
+        }
+        let stats = base.scoring_stats();
+        assert!(stats.batches >= 4, "batched mode engaged: {stats:?}");
+        assert!(
+            stats.batch_deduped >= 4,
+            "duplicate slot collapsed: {stats:?}"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! subset and thread count, and the pruned search must agree with the
 //! exact scan through the public `search` API.
 
-use pgg_core::{paper, BaseIndex, PipelineConfig, RetrievalMode, ScoringMode};
+use pgg_core::{paper, BaseIndex, PipelineConfig, QuerySlot, RetrievalMode, ScoringMode};
 use proptest::prelude::*;
 use semvec::{Embedder, QueryStyle};
 use std::sync::OnceLock;
@@ -104,6 +104,49 @@ proptest! {
         let stats = base.scoring_stats();
         prop_assert!(stats.reranked <= stats.screened);
     }
+
+    /// `search_batch` returns, slot for slot, the hits `search` returns
+    /// — for arbitrary batch widths (empty and singleton included),
+    /// duplicate slots, and the full retrieval × scoring cross product.
+    #[test]
+    fn batched_search_equals_sequential_search(
+        picks in proptest::collection::vec(0usize..40, 0..8),
+        dup in any::<bool>(),
+        k in 1usize..20,
+        sigma in 0.0f32..0.6,
+        mode_pruned in any::<bool>(),
+        quantized in any::<bool>(),
+    ) {
+        let fix = fixture();
+        let embedder = Embedder::paper();
+        let cfg = PipelineConfig::default();
+        let mode = if mode_pruned { RetrievalMode::Pruned } else { RetrievalMode::Exact };
+        let scoring = if quantized { ScoringMode::QuantizedScreen } else { ScoringMode::ExactF32 };
+        let base = BaseIndex::for_questions(
+            &fix.source,
+            &embedder,
+            &cfg,
+            fix.questions.iter().take(10).map(|s| s.as_str()),
+        );
+        let mut texts: Vec<&str> = picks.iter().map(|&i| fix.questions[i].as_str()).collect();
+        if dup && !texts.is_empty() {
+            texts.push(texts[0]);
+        }
+        let slots: Vec<QuerySlot<'_>> = texts
+            .iter()
+            .map(|t| QuerySlot {
+                text: t,
+                style: QueryStyle::Folded,
+                salt: kgstore::hash::stable_str_hash(t),
+            })
+            .collect();
+        let batched = base.search_batch(&embedder, &slots, k, sigma, mode, scoring);
+        prop_assert_eq!(batched.len(), slots.len());
+        for (got, s) in batched.iter().zip(&slots) {
+            let seq = base.search(&embedder, s.text, s.style, k, sigma, s.salt, mode, scoring);
+            prop_assert_eq!(got, &seq);
+        }
+    }
 }
 
 /// Deterministic counterpart of the proptest above, so the identity is
@@ -157,4 +200,65 @@ fn quantized_scoring_matches_exact_f32_on_seeded_sweep() {
         assert!(stats.reranked <= stats.screened);
         assert!(stats.screened > 0, "quantized path never engaged");
     }
+}
+
+/// Seeded counterpart of `batched_search_equals_sequential_search`:
+/// batch widths 0, 1, and wider-than-tile (with a duplicate slot) swept
+/// over the full retrieval × scoring cross product.
+#[test]
+fn batched_search_matches_sequential_on_seeded_sweep() {
+    let fix = fixture();
+    let embedder = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    let base = BaseIndex::for_questions(
+        &fix.source,
+        &embedder,
+        &cfg,
+        fix.questions.iter().take(12).map(|s| s.as_str()),
+    );
+    for (width, k, sigma) in [
+        (0usize, 5usize, 0.30f32),
+        (1, 1, 0.0),
+        (3, 10, 0.30),
+        (6, 19, 0.30),
+        (9, 7, 0.0),
+    ] {
+        let mut texts: Vec<&str> = (0..width)
+            .map(|i| fix.questions[(i * 7 + 3) % 40].as_str())
+            .collect();
+        if width >= 2 {
+            texts[width - 1] = texts[0];
+        }
+        let slots: Vec<QuerySlot<'_>> = texts
+            .iter()
+            .map(|t| QuerySlot {
+                text: t,
+                style: QueryStyle::Folded,
+                salt: kgstore::hash::stable_str_hash(t),
+            })
+            .collect();
+        for mode in [RetrievalMode::Pruned, RetrievalMode::Exact] {
+            for scoring in [ScoringMode::QuantizedScreen, ScoringMode::ExactF32] {
+                let batched = base.search_batch(&embedder, &slots, k, sigma, mode, scoring);
+                assert_eq!(batched.len(), slots.len());
+                for (got, s) in batched.iter().zip(&slots) {
+                    let seq =
+                        base.search(&embedder, s.text, s.style, k, sigma, s.salt, mode, scoring);
+                    assert_eq!(
+                        got, &seq,
+                        "batched vs sequential diverged: width={width} k={k} sigma={sigma} mode={mode:?} scoring={scoring:?}"
+                    );
+                }
+                if width >= 2 {
+                    assert_eq!(batched[0], batched[width - 1], "duplicate slots must agree");
+                }
+            }
+        }
+    }
+    let stats = base.scoring_stats();
+    assert!(stats.batches >= 20, "batch entry engaged: {stats:?}");
+    assert!(
+        stats.batch_deduped > 0,
+        "duplicate slots collapsed: {stats:?}"
+    );
 }

@@ -252,6 +252,88 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     sum
 }
 
+/// How many queries one register tile of [`dot_batch`] carries (four
+/// [`DOT_LANES`]-wide accumulator sets plus the shared row load fit the
+/// 256-bit register file).
+const DOT_QUERY_TILE: usize = 4;
+
+/// Bytes of document rows per cache tile of [`dot_batch`]; matches the
+/// int8 kernel's tile so both faces of a store stream the same way.
+const DOT_TILE_BYTES: usize = 16 * 1024;
+
+/// One document row against [`DOT_QUERY_TILE`] query rows, sharing the
+/// row's loads across four accumulator sets. Each query's accumulation
+/// replays [`dot`] exactly — same chunk order, same per-lane adds, same
+/// fixed pairwise reduction, same remainder tail — and f32 addition
+/// only depends on its own operand sequence, so each returned dot
+/// equals `dot(query, row)` bit for bit.
+#[inline(always)]
+fn dot_row_x4(qs: [&[f32]; DOT_QUERY_TILE], row: &[f32]) -> [f32; DOT_QUERY_TILE] {
+    let len = row.len();
+    let split = len - len % DOT_LANES;
+    let mut acc = [[0.0f32; DOT_LANES]; DOT_QUERY_TILE];
+    let mut i = 0;
+    while i < split {
+        let r = &row[i..i + DOT_LANES];
+        for (a, q) in acc.iter_mut().zip(&qs) {
+            let c = &q[i..i + DOT_LANES];
+            for j in 0..DOT_LANES {
+                a[j] += c[j] * r[j];
+            }
+        }
+        i += DOT_LANES;
+    }
+    let mut out = [0.0f32; DOT_QUERY_TILE];
+    for (o, (a, q)) in out.iter_mut().zip(acc.iter().zip(&qs)) {
+        let mut sum = ((a[0] + a[4]) + (a[1] + a[5])) + ((a[2] + a[6]) + (a[3] + a[7]));
+        for (x, y) in q[split..].iter().zip(&row[split..]) {
+            sum += x * y;
+        }
+        *o = sum;
+    }
+    out
+}
+
+/// Query-tiled batch dot: every query of the batch against every row of
+/// a flat f32 block (stride `dim`), each query's dots appended to its
+/// `out` vector in row order. Cache-tiled over document chunks and
+/// register-blocked [`DOT_QUERY_TILE`] queries at a time — the batched
+/// f32 counterpart of [`crate::quant::dot_i8_batch`], serving the exact
+/// scoring path. Bit-identical per pair to [`dot`]: the tiling only
+/// reorders *which* pair is computed when, never the float-operation
+/// sequence within a pair.
+pub fn dot_batch(queries: &[&[f32]], rows: &[f32], dim: usize, out: &mut [Vec<f32>]) {
+    assert_eq!(queries.len(), out.len(), "one output vec per query");
+    for q in queries {
+        assert_eq!(q.len(), dim, "dimension mismatch");
+    }
+    if dim == 0 || queries.is_empty() {
+        return;
+    }
+    debug_assert_eq!(rows.len() % dim, 0);
+    let tile_elems = (DOT_TILE_BYTES / (dim * std::mem::size_of::<f32>())).max(1) * dim;
+    let mut start = 0;
+    while start < rows.len() {
+        let tile = &rows[start..rows.len().min(start + tile_elems)];
+        let mut q = 0;
+        while q + DOT_QUERY_TILE <= queries.len() {
+            let qs = [queries[q], queries[q + 1], queries[q + 2], queries[q + 3]];
+            for row in tile.chunks_exact(dim) {
+                let d = dot_row_x4(qs, row);
+                for t in 0..DOT_QUERY_TILE {
+                    out[q + t].push(d[t]);
+                }
+            }
+            q += DOT_QUERY_TILE;
+        }
+        for t in q..queries.len() {
+            let query = queries[t];
+            out[t].extend(tile.chunks_exact(dim).map(|row| dot(query, row)));
+        }
+        start += tile_elems;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +420,49 @@ mod tests {
         let b = [1.0f32, 2.0, 4.0, -0.5, 1.0, 1.0, 9.0, 0.5, 0.25];
         assert_eq!(dot(&a, &b), naive(&a, &b));
         assert_eq!(dot(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn dot_remainder_lanes_match_naive_loop() {
+        // Dimensions that are not multiples of the 8-lane width pin the
+        // tail handling: 1 (all tail), 7 (sub-lane), 17 (two full
+        // chunks plus one element). Integer-valued components keep
+        // every operation exact, so equality is bitwise.
+        let naive = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+        for dim in [1usize, 7, 17] {
+            let a: Vec<f32> = (0..dim).map(|i| ((i % 11) as f32) - 5.0).collect();
+            let b: Vec<f32> = (0..dim).map(|i| ((i % 5) as f32) - 2.0).collect();
+            assert_eq!(dot(&a, &b), naive(&a, &b), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn batched_dot_matches_sequential_dot_bitwise() {
+        // Non-integer values on purpose: the batch must replay `dot`'s
+        // exact float-operation order, not merely approximate it. Block
+        // spans several cache tiles at dim 48 (85 rows/tile at 16 KiB).
+        let dim = 48usize;
+        let rows_n = 300usize;
+        let rows: Vec<f32> = (0..rows_n * dim).map(|i| (i as f32 * 0.37).sin()).collect();
+        let queries: Vec<Vec<f32>> = (0..7)
+            .map(|q| {
+                (0..dim)
+                    .map(|i| ((i + q * 31) as f32 * 0.53).cos())
+                    .collect()
+            })
+            .collect();
+        for width in [0usize, 1, 3, 4, 6, 7] {
+            let refs: Vec<&[f32]> = queries[..width].iter().map(|q| q.as_slice()).collect();
+            let mut out = vec![Vec::new(); width];
+            dot_batch(&refs, &rows, dim, &mut out);
+            for (q, o) in out.iter().enumerate() {
+                let seq: Vec<f32> = rows
+                    .chunks_exact(dim)
+                    .map(|r| dot(&queries[q], r))
+                    .collect();
+                assert_eq!(o, &seq, "width {width} query {q}");
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,18 @@ use crate::quant::{QuantQuery, ScreenStats, SoaStore};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// One query of a batched scan: the encoded vector plus the jitter salt
+/// identifying it (see [`VecIndex::top_k_noisy`]). Batch entries take a
+/// slice of these so every query keeps its own deterministic jitter
+/// stream while sharing the block traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct NoisyQuery<'a> {
+    /// The encoded query vector (dimension must match the index).
+    pub vector: &'a [f32],
+    /// Per-query jitter salt (a hash of the query text).
+    pub salt: u64,
+}
+
 /// A scored hit: payload index plus similarity.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hit {
@@ -312,6 +324,121 @@ impl VecIndex {
         )
     }
 
+    /// [`top_k_noisy`](VecIndex::top_k_noisy) for a batch of queries in
+    /// one query-tiled sweep over the f32 block
+    /// ([`crate::embed::dot_batch`]), one [`TopK`] heap per query.
+    /// Result `i` is bit-identical to `top_k_noisy(queries[i].vector,
+    /// k, sigma, queries[i].salt)`: every (query, doc) pair runs the
+    /// same float expression in the same per-query order — the tiling
+    /// only changes *when* a pair is computed, and each heap only sees
+    /// its own query's offers.
+    pub fn top_k_noisy_batch(
+        &self,
+        queries: &[NoisyQuery<'_>],
+        k: usize,
+        sigma: f32,
+    ) -> Vec<Vec<Hit>> {
+        for q in queries {
+            assert_eq!(q.vector.len(), self.store.dim(), "dimension mismatch");
+        }
+        if k == 0 || self.store.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let refs: Vec<&[f32]> = queries.iter().map(|q| q.vector).collect();
+        let mut dots: Vec<Vec<f32>> = vec![Vec::new(); queries.len()];
+        self.store.dot_all_batch(&refs, &mut dots);
+        queries
+            .iter()
+            .zip(&dots)
+            .map(|(q, d)| {
+                let mut top = TopK::new(k);
+                for (id, &s) in d.iter().enumerate() {
+                    let score = if sigma > 0.0 {
+                        s + Self::jitter(q.salt, id, sigma)
+                    } else {
+                        s
+                    };
+                    top.offer(Hit { id, score });
+                }
+                top.into_sorted()
+            })
+            .collect()
+    }
+
+    /// [`top_k_noisy_quant`](VecIndex::top_k_noisy_quant) for a batch
+    /// of queries: the int8 screen runs as one query-tiled sweep over
+    /// the quantized block ([`crate::quant::dot_i8_batch`]), then each
+    /// query's margin rerank proceeds exactly as in the sequential
+    /// path. Result `i` — hits and counters — is bit-identical to the
+    /// sequential call for query `i`: the raw integer dots are exact in
+    /// any evaluation order, and everything downstream of them (f32
+    /// landing, jitter, margin, rerank) is per-query state the batch
+    /// never shares. Batching therefore also leaves each query's error
+    /// bound untouched — the bound is a function of that query's scale
+    /// and norm against the index, not of traversal order.
+    pub fn top_k_noisy_quant_batch(
+        &self,
+        queries: &[NoisyQuery<'_>],
+        k: usize,
+        sigma: f32,
+    ) -> Vec<(Vec<Hit>, ScreenStats)> {
+        for q in queries {
+            assert_eq!(q.vector.len(), self.store.dim(), "dimension mismatch");
+        }
+        let n = self.store.len();
+        if k == 0 || n == 0 {
+            return vec![(Vec::new(), ScreenStats::default()); queries.len()];
+        }
+        let sigma = sigma.max(0.0);
+        let quant = self.store.quant();
+        let qqs: Vec<QuantQuery> = queries.iter().map(|q| QuantQuery::new(q.vector)).collect();
+        let qrows: Vec<&[i8]> = qqs.iter().map(|qq| qq.row()).collect();
+        let mut raw: Vec<Vec<i32>> = vec![Vec::new(); queries.len()];
+        quant.dot_all_batch(&qrows, &mut raw);
+        queries
+            .iter()
+            .zip(qqs.iter().zip(&raw))
+            .map(|(q, (qq, raw))| {
+                let factor = qq.dequant_factor(quant);
+                let bound = qq.error_bound(quant, self.store.dim());
+                let mut screened = Vec::with_capacity(n);
+                let mut quant_top = TopK::new(k);
+                for (id, &d) in raw.iter().enumerate() {
+                    let mut s = d as f32 * factor;
+                    if sigma > 0.0 {
+                        s += Self::jitter(q.salt, id, sigma);
+                    }
+                    screened.push(s);
+                    quant_top.offer(Hit { id, score: s });
+                }
+                let margin = match quant_top.bound() {
+                    Some(kth) => kth.score as f64 - 2.0 * bound,
+                    None => f64::NEG_INFINITY,
+                };
+                let mut top = TopK::new(k);
+                let mut reranked = 0u64;
+                for (id, &s) in screened.iter().enumerate() {
+                    if (s as f64) < margin {
+                        continue;
+                    }
+                    reranked += 1;
+                    let mut score = dot(q.vector, self.vector(id));
+                    if sigma > 0.0 {
+                        score += Self::jitter(q.salt, id, sigma);
+                    }
+                    top.offer(Hit { id, score });
+                }
+                (
+                    top.into_sorted(),
+                    ScreenStats {
+                        screened: n as u64,
+                        reranked,
+                    },
+                )
+            })
+            .collect()
+    }
+
     /// All hits with score ≥ `threshold`, highest first.
     pub fn above_threshold(&self, query: &[f32], threshold: f32) -> Vec<Hit> {
         let mut hits: Vec<Hit> = (0..self.store.len())
@@ -483,5 +610,60 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn add_checks_dims() {
         VecIndex::new(3).add(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batched_top_k_matches_sequential_per_query() {
+        let vecs: Vec<Vec<f32>> = (0..120)
+            .map(|i| unit(vec![1.0, i as f32 * 2e-3, (i % 5) as f32 * 3e-3]))
+            .collect();
+        let idx = VecIndex::from_vectors(3, vecs.clone());
+        // Mixed batch with a duplicate (same vector *and* salt) slot.
+        let picks = [3usize, 40, 3, 99, 7];
+        let queries: Vec<NoisyQuery> = picks
+            .iter()
+            .map(|&i| NoisyQuery {
+                vector: &vecs[i],
+                salt: if i == 3 { 11 } else { i as u64 },
+            })
+            .collect();
+        for sigma in [0.0f32, 0.3] {
+            let exact = idx.top_k_noisy_batch(&queries, 10, sigma);
+            let quant = idx.top_k_noisy_quant_batch(&queries, 10, sigma);
+            for (slot, q) in queries.iter().enumerate() {
+                let seq = idx.top_k_noisy(q.vector, 10, sigma, q.salt);
+                assert_eq!(exact[slot], seq, "exact slot {slot} sigma {sigma}");
+                let (seq_q, seq_stats) = idx.top_k_noisy_quant(q.vector, 10, sigma, q.salt);
+                assert_eq!(quant[slot].0, seq_q, "quant slot {slot} sigma {sigma}");
+                assert_eq!(quant[slot].1, seq_stats, "stats slot {slot} sigma {sigma}");
+            }
+            // Duplicate slots fan out the same hits.
+            assert_eq!(exact[0], exact[2]);
+            assert_eq!(quant[0], quant[2]);
+        }
+    }
+
+    #[test]
+    fn batched_top_k_edge_batches() {
+        let idx = sample();
+        let q = unit(vec![1.0, 0.1, 0.0]);
+        // Empty batch.
+        assert!(idx.top_k_noisy_batch(&[], 3, 0.3).is_empty());
+        assert!(idx.top_k_noisy_quant_batch(&[], 3, 0.3).is_empty());
+        // Singleton batch equals the sequential scan.
+        let one = [NoisyQuery {
+            vector: &q,
+            salt: 42,
+        }];
+        assert_eq!(
+            idx.top_k_noisy_batch(&one, 3, 0.3),
+            vec![idx.top_k_noisy(&q, 3, 0.3, 42)]
+        );
+        // k == 0 and empty index return empty per slot.
+        assert_eq!(idx.top_k_noisy_batch(&one, 0, 0.3), vec![Vec::new()]);
+        let empty = VecIndex::new(3);
+        let (hits, stats) = &empty.top_k_noisy_quant_batch(&one, 3, 0.3)[0];
+        assert!(hits.is_empty());
+        assert_eq!(*stats, crate::quant::ScreenStats::default());
     }
 }

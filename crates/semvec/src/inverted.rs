@@ -24,7 +24,7 @@
 //! the CI smoke assert on every full run.
 
 use crate::embed::Embedder;
-use crate::index::{Hit, TopK, VecIndex};
+use crate::index::{Hit, NoisyQuery, TopK, VecIndex};
 use crate::quant::{dot_i8, QuantQuery, ScreenStats};
 use crate::token::normalize;
 use kgstore::hash::{stable_str_hash, FxHashMap};
@@ -296,18 +296,9 @@ impl HybridIndex {
             stats.screened = cands.len() as u64;
             let kth = quant_top.bound().expect("k candidates screened").score;
             let margin = kth as f64 - 2.0 * bound;
-            for (&id, &s) in cands.iter().zip(&screened) {
-                if (s as f64) < margin {
-                    continue;
-                }
-                stats.reranked += 1;
-                let id = id as usize;
-                let mut score = crate::embed::dot(query, self.vec.vector(id));
-                if sigma > 0.0 {
-                    score += VecIndex::jitter(salt, id, sigma);
-                }
-                top.offer(Hit { id, score });
-            }
+            self.rerank_candidates(
+                query, cands, &screened, margin, sigma, salt, &mut top, &mut stats,
+            );
         } else {
             for &id in cands {
                 let id = id as usize;
@@ -318,16 +309,62 @@ impl HybridIndex {
                 top.offer(Hit { id, score });
             }
         }
-        // Phase 2: verify the exclusion of every non-candidate. Its dot
-        // is at most `ceiling` (zero token overlap → noise floor); its
-        // jitter is a pure function of one hash, so the suspect test
-        // `ceiling + jitter >= kth` reduces to an integer compare on
-        // the hash's top 53 bits against a precomputed threshold
-        // (conservatively padded, so rounding can only admit extra
-        // suspects — each then scored with the exact f32 expression).
-        // Only suspects pay the d-dimensional dot. The k-th score never
-        // decreases, so the threshold only rises: once it exceeds every
-        // possible hash the remaining docs are excluded wholesale.
+        self.verify_non_candidates(query, cands, sigma, salt, &mut top);
+        (top.into_sorted(), stats)
+    }
+
+    /// Margin epilogue of the quantized candidate screen: every
+    /// candidate whose screened score lands inside the margin pays the
+    /// exact f32 dot (+ jitter) and is offered to `top`. Shared by the
+    /// sequential and batched pruned scans so both run the identical
+    /// float expressions in the identical per-query order.
+    #[allow(clippy::too_many_arguments)]
+    fn rerank_candidates(
+        &self,
+        query: &[f32],
+        cands: &[u32],
+        screened: &[f32],
+        margin: f64,
+        sigma: f32,
+        salt: u64,
+        top: &mut TopK,
+        stats: &mut ScreenStats,
+    ) {
+        for (&id, &s) in cands.iter().zip(screened) {
+            if (s as f64) < margin {
+                continue;
+            }
+            stats.reranked += 1;
+            let id = id as usize;
+            let mut score = crate::embed::dot(query, self.vec.vector(id));
+            if sigma > 0.0 {
+                score += VecIndex::jitter(salt, id, sigma);
+            }
+            top.offer(Hit { id, score });
+        }
+    }
+
+    /// Phase 2 of the pruned scan: verify the exclusion of every
+    /// non-candidate. Its dot is at most `ceiling` (zero token overlap
+    /// → noise floor); its jitter is a pure function of one hash, so
+    /// the suspect test `ceiling + jitter >= kth` reduces to an integer
+    /// compare on the hash's top 53 bits against a precomputed
+    /// threshold (conservatively padded, so rounding can only admit
+    /// extra suspects — each then scored with the exact f32
+    /// expression). Only suspects pay the d-dimensional dot. The k-th
+    /// score never decreases, so the threshold only rises: once it
+    /// exceeds every possible hash the remaining docs are excluded
+    /// wholesale. Shared verbatim by the sequential and the batched
+    /// pruned scans — per query this phase is hash compares, not block
+    /// streaming, so the batch has nothing to tile here.
+    fn verify_non_candidates(
+        &self,
+        query: &[f32],
+        cands: &[u32],
+        sigma: f32,
+        salt: u64,
+        top: &mut TopK,
+    ) {
         let mut kth = top.bound().expect("k candidates offered").score;
         let mut hash_floor = suspect_hash_floor(kth, self.ceiling, sigma);
         let mut cand_iter = cands.iter().copied().peekable();
@@ -357,7 +394,6 @@ impl HybridIndex {
                 hash_floor = suspect_hash_floor(kth, self.ceiling, sigma);
             }
         }
-        (top.into_sorted(), stats)
     }
 
     /// Top-k via candidate pruning + exact rerank from query text
@@ -386,6 +422,216 @@ impl HybridIndex {
         let q = embedder.encode(query_text);
         self.top_k_noisy_encoded(&q, &cands, k, sigma, salt)
     }
+
+    /// [`top_k_noisy_encoded`](HybridIndex::top_k_noisy_encoded) for a
+    /// batch of queries sharing one block traversal. Slot `i`'s hits
+    /// are bit-identical to the sequential call with that slot's query,
+    /// candidates, and salt.
+    pub fn top_k_noisy_encoded_batch(
+        &self,
+        slots: &[BatchSlot<'_>],
+        k: usize,
+        sigma: f32,
+    ) -> Vec<Vec<Hit>> {
+        self.top_k_noisy_scored_batch(slots, k, sigma, false).0
+    }
+
+    /// [`top_k_noisy_encoded_quant`](HybridIndex::top_k_noisy_encoded_quant)
+    /// for a batch of queries sharing one block traversal; returns each
+    /// slot's hits and screen/rerank counters, both bit-identical to
+    /// the sequential call for that slot.
+    pub fn top_k_noisy_encoded_quant_batch(
+        &self,
+        slots: &[BatchSlot<'_>],
+        k: usize,
+        sigma: f32,
+    ) -> (Vec<Vec<Hit>>, Vec<ScreenStats>) {
+        self.top_k_noisy_scored_batch(slots, k, sigma, true)
+    }
+
+    /// Shared batched pruned scan. Per slot it runs exactly the
+    /// sequential [`top_k_noisy_scored`](HybridIndex::top_k_noisy_scored)
+    /// computation; what the batch changes is *traversal*:
+    ///
+    /// * slots with fewer candidates than `k` take the documented
+    ///   full-scan fallback together, through the [`VecIndex`] batch
+    ///   engine (query-tiled over the whole block);
+    /// * the remaining slots run the candidate phase cache-tiled —
+    ///   every slot advances its candidate cursor through the same
+    ///   document chunk before the traversal moves on, so a chunk's
+    ///   rows are loaded once for the whole batch while each slot still
+    ///   scores its own candidates in ascending-id (i.e. sequential)
+    ///   order;
+    /// * the margin rerank and the ceiling-suspect phase then run per
+    ///   slot via the same helpers the sequential path uses (phase 2 is
+    ///   hash compares, not block streaming — nothing to tile).
+    ///
+    /// Each slot's scores, heap offers, and counters are therefore
+    /// bit-identical to its sequential counterpart.
+    fn top_k_noisy_scored_batch(
+        &self,
+        slots: &[BatchSlot<'_>],
+        k: usize,
+        sigma: f32,
+        quantized: bool,
+    ) -> (Vec<Vec<Hit>>, Vec<ScreenStats>) {
+        let mut hits: Vec<Vec<Hit>> = vec![Vec::new(); slots.len()];
+        let mut stats: Vec<ScreenStats> = vec![ScreenStats::default(); slots.len()];
+        if k == 0 || self.doc_count == 0 {
+            return (hits, stats);
+        }
+        let full: Vec<usize> = (0..slots.len())
+            .filter(|&i| slots[i].cands.len() < k)
+            .collect();
+        if !full.is_empty() {
+            let queries: Vec<NoisyQuery> = full
+                .iter()
+                .map(|&i| NoisyQuery {
+                    vector: slots[i].query,
+                    salt: slots[i].salt,
+                })
+                .collect();
+            if quantized {
+                for (&i, (h, s)) in full
+                    .iter()
+                    .zip(self.vec.top_k_noisy_quant_batch(&queries, k, sigma))
+                {
+                    hits[i] = h;
+                    stats[i] = s;
+                }
+            } else {
+                for (&i, h) in full
+                    .iter()
+                    .zip(self.vec.top_k_noisy_batch(&queries, k, sigma))
+                {
+                    hits[i] = h;
+                }
+            }
+        }
+        let pruned: Vec<usize> = (0..slots.len())
+            .filter(|&i| slots[i].cands.len() >= k)
+            .collect();
+        if pruned.is_empty() {
+            return (hits, stats);
+        }
+        let sigma = sigma.max(0.0);
+        let dim = self.vec.store().dim();
+        // Rows per cache tile: 16 KiB of the block being streamed (int8
+        // rows for the quantized screen, f32 rows for the exact phase).
+        let row_bytes = if quantized {
+            dim
+        } else {
+            dim * std::mem::size_of::<f32>()
+        };
+        let tile_rows = (16 * 1024 / row_bytes.max(1)).max(1);
+        if quantized {
+            let quant = self.vec.store().quant();
+            struct QState {
+                qq: QuantQuery,
+                factor: f32,
+                bound: f64,
+                screened: Vec<f32>,
+                quant_top: TopK,
+                cursor: usize,
+            }
+            let mut states: Vec<QState> = pruned
+                .iter()
+                .map(|&i| {
+                    let qq = QuantQuery::new(slots[i].query);
+                    let factor = qq.dequant_factor(quant);
+                    let bound = qq.error_bound(quant, dim);
+                    QState {
+                        qq,
+                        factor,
+                        bound,
+                        screened: Vec::with_capacity(slots[i].cands.len()),
+                        quant_top: TopK::new(k),
+                        cursor: 0,
+                    }
+                })
+                .collect();
+            let mut lo = 0usize;
+            while lo < self.doc_count {
+                let hi = (lo + tile_rows).min(self.doc_count);
+                for (st, &i) in states.iter_mut().zip(&pruned) {
+                    let slot = &slots[i];
+                    while st.cursor < slot.cands.len() && (slot.cands[st.cursor] as usize) < hi {
+                        let id = slot.cands[st.cursor] as usize;
+                        let mut s = dot_i8(st.qq.row(), quant.row(id)) as f32 * st.factor;
+                        if sigma > 0.0 {
+                            s += VecIndex::jitter(slot.salt, id, sigma);
+                        }
+                        st.screened.push(s);
+                        st.quant_top.offer(Hit { id, score: s });
+                        st.cursor += 1;
+                    }
+                }
+                lo = hi;
+            }
+            for (st, &i) in states.into_iter().zip(&pruned) {
+                let slot = &slots[i];
+                let mut top = TopK::new(k);
+                let mut st_out = ScreenStats {
+                    screened: slot.cands.len() as u64,
+                    reranked: 0,
+                };
+                let kth = st.quant_top.bound().expect("k candidates screened").score;
+                let margin = kth as f64 - 2.0 * st.bound;
+                self.rerank_candidates(
+                    slot.query,
+                    slot.cands,
+                    &st.screened,
+                    margin,
+                    sigma,
+                    slot.salt,
+                    &mut top,
+                    &mut st_out,
+                );
+                self.verify_non_candidates(slot.query, slot.cands, sigma, slot.salt, &mut top);
+                hits[i] = top.into_sorted();
+                stats[i] = st_out;
+            }
+        } else {
+            let mut tops: Vec<TopK> = pruned.iter().map(|_| TopK::new(k)).collect();
+            let mut cursors: Vec<usize> = vec![0; pruned.len()];
+            let mut lo = 0usize;
+            while lo < self.doc_count {
+                let hi = (lo + tile_rows).min(self.doc_count);
+                for ((top, cursor), &i) in tops.iter_mut().zip(&mut cursors).zip(&pruned) {
+                    let slot = &slots[i];
+                    while *cursor < slot.cands.len() && (slot.cands[*cursor] as usize) < hi {
+                        let id = slot.cands[*cursor] as usize;
+                        let mut score = crate::embed::dot(slot.query, self.vec.vector(id));
+                        if sigma > 0.0 {
+                            score += VecIndex::jitter(slot.salt, id, sigma);
+                        }
+                        top.offer(Hit { id, score });
+                        *cursor += 1;
+                    }
+                }
+                lo = hi;
+            }
+            for (mut top, &i) in tops.into_iter().zip(&pruned) {
+                let slot = &slots[i];
+                self.verify_non_candidates(slot.query, slot.cands, sigma, slot.salt, &mut top);
+                hits[i] = top.into_sorted();
+            }
+        }
+        (hits, stats)
+    }
+}
+
+/// One slot of a batched pruned search: the encoded query vector, its
+/// candidate ids (ascending, as produced by
+/// [`HybridIndex::candidates`]), and the per-query jitter salt.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSlot<'a> {
+    /// The encoded query vector (dimension must match the index).
+    pub query: &'a [f32],
+    /// Candidate doc ids for this query, sorted ascending.
+    pub cands: &'a [u32],
+    /// Per-query jitter salt (a hash of the query text).
+    pub salt: u64,
 }
 
 /// Smallest `hash >> 11` value (the 53-bit mantissa source of
@@ -565,6 +811,87 @@ mod tests {
                 0.3,
                 9
             ),
+        );
+    }
+
+    #[test]
+    fn batched_pruned_scan_matches_sequential_per_slot() {
+        for emb in [Embedder::default(), Embedder::paper()] {
+            let texts = corpus();
+            let hybrid = HybridIndex::build(&emb, texts.iter().map(|s| s.as_str()));
+            // A batch mixing well-covered queries, a duplicate slot,
+            // and a no-overlap query that takes the full-scan fallback.
+            let queries = [
+                "entity42 relation0 value3",
+                "entity7 relation3",
+                "entity42 relation0 value3",
+                "zzz qqq totally unseen",
+                "value11 relation5 entity100",
+            ];
+            let encoded: Vec<Vec<f32>> = queries.iter().map(|q| emb.encode(q)).collect();
+            let cands: Vec<Vec<u32>> = queries
+                .iter()
+                .map(|q| hybrid.candidates(&emb, q, QueryStyle::Folded))
+                .collect();
+            let slots: Vec<BatchSlot> = (0..queries.len())
+                .map(|i| BatchSlot {
+                    query: &encoded[i],
+                    cands: &cands[i],
+                    salt: stable_str_hash(queries[i]),
+                })
+                .collect();
+            for sigma in [0.0f32, 0.3, 0.6] {
+                let exact = hybrid.top_k_noisy_encoded_batch(&slots, 10, sigma);
+                let (quant, qstats) = hybrid.top_k_noisy_encoded_quant_batch(&slots, 10, sigma);
+                for (i, slot) in slots.iter().enumerate() {
+                    let seq =
+                        hybrid.top_k_noisy_encoded(slot.query, slot.cands, 10, sigma, slot.salt);
+                    assert_eq!(exact[i], seq, "exact slot {i} sigma {sigma}");
+                    let (seq_q, seq_s) = hybrid
+                        .top_k_noisy_encoded_quant(slot.query, slot.cands, 10, sigma, slot.salt);
+                    assert_eq!(quant[i], seq_q, "quant slot {i} sigma {sigma}");
+                    assert_eq!(qstats[i], seq_s, "stats slot {i} sigma {sigma}");
+                }
+                // Duplicate slots fan out identical hit lists.
+                assert_eq!(exact[0], exact[2]);
+                assert_eq!(quant[0], quant[2]);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pruned_scan_edge_batches() {
+        let emb = Embedder::default();
+        let texts = corpus();
+        let hybrid = HybridIndex::build(&emb, texts.iter().map(|s| s.as_str()));
+        assert!(hybrid.top_k_noisy_encoded_batch(&[], 5, 0.3).is_empty());
+        let q = emb.encode("entity42 relation0 value3");
+        let cands = hybrid.candidates(&emb, "entity42 relation0 value3", QueryStyle::Folded);
+        let one = [BatchSlot {
+            query: &q,
+            cands: &cands,
+            salt: 9,
+        }];
+        assert_eq!(
+            hybrid.top_k_noisy_encoded_batch(&one, 5, 0.3),
+            vec![hybrid.top_k_noisy_encoded(&q, &cands, 5, 0.3, 9)]
+        );
+        // k == 0 returns an empty list per slot.
+        assert_eq!(
+            hybrid.top_k_noisy_encoded_batch(&one, 0, 0.3),
+            vec![Vec::new()]
+        );
+        // Empty index: every slot comes back empty.
+        let empty = HybridIndex::build(&emb, std::iter::empty());
+        let no_cands: Vec<u32> = Vec::new();
+        let slot = [BatchSlot {
+            query: &q,
+            cands: &no_cands,
+            salt: 1,
+        }];
+        assert_eq!(
+            empty.top_k_noisy_encoded_batch(&slot, 3, 0.3),
+            vec![Vec::new()]
         );
     }
 

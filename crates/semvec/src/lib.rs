@@ -25,10 +25,12 @@ pub mod synonym;
 pub mod token;
 pub mod verbalize;
 
-pub use embed::{cosine, dot, l2_normalize, EmbedConfig, Embedder, Vector};
+pub use embed::{cosine, dot, dot_batch, l2_normalize, EmbedConfig, Embedder, Vector};
 pub use idf::IdfModel;
-pub use index::{Hit, TopK, VecIndex};
-pub use inverted::{HybridIndex, QueryStyle, DEFAULT_CEILING};
-pub use quant::{dot_i8, pair_error_bound, QuantQuery, QuantRows, ScreenStats, SoaStore};
+pub use index::{Hit, NoisyQuery, TopK, VecIndex};
+pub use inverted::{BatchSlot, HybridIndex, QueryStyle, DEFAULT_CEILING};
+pub use quant::{
+    dot_i8, dot_i8_batch, pair_error_bound, QuantQuery, QuantRows, ScreenStats, SoaStore,
+};
 pub use synonym::SynonymTable;
 pub use verbalize::{display_triple, humanize_term, verbalize_triple};

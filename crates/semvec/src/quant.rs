@@ -131,6 +131,186 @@ fn dot_i8_block(query: &[i8], rows: &[i8], dim: usize, out: &mut Vec<i32>) {
     dot_i8_block_body(query, rows, dim, out);
 }
 
+/// How many queries one register tile of the batched kernels carries.
+/// Four ymm accumulators (one per query) plus the two widened halves of
+/// the shared row load and a pmaddwd temporary stay comfortably inside
+/// the sixteen AVX2 vector registers, so each document chunk pulled
+/// from memory is multiplied into four queries before it leaves them.
+const QUERY_TILE: usize = 4;
+
+/// Bytes of document rows per cache tile of the batched kernels. A tile
+/// this size stays L1-resident while every query of the batch passes
+/// over it, so the single-query pattern of re-streaming the whole block
+/// per query becomes one stream shared by the batch.
+const TILE_BYTES: usize = 16 * 1024;
+
+/// Rows per cache tile for a given row stride in bytes (at least one).
+#[inline]
+fn rows_per_tile(row_bytes: usize) -> usize {
+    (TILE_BYTES / row_bytes.max(1)).max(1)
+}
+
+/// The batched-screen body (and the non-AVX2 fallback): T query rows ×
+/// one flat i8 block, appending each query's raw integer dots to its
+/// `out` vector in row order. Cache-tiled over document chunks — each
+/// chunk is walked by every query of the batch while it is still
+/// cache-resident — with each (query, row) pair running [`dot_i8_body`]
+/// itself, so each `out[q]` is exactly what [`dot_i8_block_body`] would
+/// have produced for that query alone.
+fn dot_i8_batch_body(queries: &[&[i8]], rows: &[i8], dim: usize, out: &mut [Vec<i32>]) {
+    debug_assert_eq!(queries.len(), out.len());
+    if dim == 0 || queries.is_empty() {
+        return;
+    }
+    debug_assert_eq!(rows.len() % dim, 0);
+    let tile_elems = rows_per_tile(dim) * dim;
+    let mut start = 0;
+    while start < rows.len() {
+        let tile = &rows[start..rows.len().min(start + tile_elems)];
+        for (query, o) in queries.iter().zip(out.iter_mut()) {
+            o.extend(tile.chunks_exact(dim).map(|row| dot_i8_body(query, row)));
+        }
+        start += tile_elems;
+    }
+}
+
+/// Width of the explicit AVX2 inner step: one 256-bit row load, widened
+/// to two ymm of i16 lanes for the pmaddwd multiply-adds.
+#[cfg(target_arch = "x86_64")]
+const AVX2_CHUNK: usize = 32;
+
+/// One document row against [`QUERY_TILE`] pre-widened query rows — the
+/// register tile of the AVX2 batched screen. The row chunk is loaded
+/// and sign-extended to i16 once, then multiply-added (pmaddwd) into
+/// one i32 ymm accumulator per query. Every product and sum is exact
+/// integer arithmetic (any i8·i8 pair sum fits i32 with room to spare:
+/// two products ≤ 2·2¹⁴ per pmaddwd lane, and a lane accumulates
+/// dim/2 of them), so the returned dots equal [`dot_i8_body`]'s bit for
+/// bit — only the association of the additions differs, which integers
+/// cannot observe.
+///
+/// # Safety
+/// Requires AVX2 (caller dispatches), `split % AVX2_CHUNK == 0`,
+/// `split <= row.len()`, and every `wide[t]` at least `split` i16 long.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn dot_i8_row_x4_avx2(
+    wide: [&[i16]; QUERY_TILE],
+    qs: [&[i8]; QUERY_TILE],
+    row: &[i8],
+    split: usize,
+) -> [i32; QUERY_TILE] {
+    use std::arch::x86_64::*;
+    unsafe {
+        let mut acc = [_mm256_setzero_si256(); QUERY_TILE];
+        let mut i = 0;
+        while i < split {
+            let r = _mm256_loadu_si256(row.as_ptr().add(i) as *const __m256i);
+            let rlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(r));
+            let rhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(r));
+            for t in 0..QUERY_TILE {
+                let qlo = _mm256_loadu_si256(wide[t].as_ptr().add(i) as *const __m256i);
+                let qhi = _mm256_loadu_si256(wide[t].as_ptr().add(i + 16) as *const __m256i);
+                acc[t] = _mm256_add_epi32(acc[t], _mm256_madd_epi16(rlo, qlo));
+                acc[t] = _mm256_add_epi32(acc[t], _mm256_madd_epi16(rhi, qhi));
+            }
+            i += AVX2_CHUNK;
+        }
+        let mut dots = [0i32; QUERY_TILE];
+        for t in 0..QUERY_TILE {
+            let lo = _mm256_castsi256_si128(acc[t]);
+            let hi = _mm256_extracti128_si256::<1>(acc[t]);
+            let s = _mm_add_epi32(lo, hi);
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b0100_1110>(s));
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b1011_0001>(s));
+            let mut sum = _mm_cvtsi128_si32(s);
+            for (x, y) in qs[t][split..].iter().zip(&row[split..]) {
+                sum += *x as i32 * *y as i32;
+            }
+            dots[t] = sum;
+        }
+        dots
+    }
+}
+
+/// AVX2 batched screen: the vectorizable prefix of every query is
+/// sign-extended to i16 once up front, then document tiles are walked
+/// in register groups of [`QUERY_TILE`] queries via
+/// [`dot_i8_row_x4_avx2`]; a trailing group of fewer queries falls
+/// through to the shared scalar body per row. Integer arithmetic
+/// throughout, so the output is bit-identical to
+/// [`dot_i8_batch_body`]'s.
+///
+/// # Safety
+/// Caller must have verified AVX2 support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn dot_i8_batch_avx2(queries: &[&[i8]], rows: &[i8], dim: usize, out: &mut [Vec<i32>]) {
+    debug_assert_eq!(queries.len(), out.len());
+    if dim == 0 || queries.is_empty() {
+        return;
+    }
+    debug_assert_eq!(rows.len() % dim, 0);
+    let split = dim - dim % AVX2_CHUNK;
+    let mut wide: Vec<i16> = Vec::with_capacity(queries.len() * split);
+    for q in queries {
+        wide.extend(q[..split].iter().map(|&x| x as i16));
+    }
+    let tile_elems = rows_per_tile(dim) * dim;
+    let mut start = 0;
+    while start < rows.len() {
+        let tile = &rows[start..rows.len().min(start + tile_elems)];
+        let mut g = 0;
+        while g + QUERY_TILE <= queries.len() {
+            let w = [
+                &wide[g * split..(g + 1) * split],
+                &wide[(g + 1) * split..(g + 2) * split],
+                &wide[(g + 2) * split..(g + 3) * split],
+                &wide[(g + 3) * split..(g + 4) * split],
+            ];
+            let qs = [queries[g], queries[g + 1], queries[g + 2], queries[g + 3]];
+            for row in tile.chunks_exact(dim) {
+                // SAFETY: AVX2 verified by the dispatcher; split is a
+                // multiple of AVX2_CHUNK, no longer than the row, and
+                // each w[t] slice is exactly split elements.
+                let d = unsafe { dot_i8_row_x4_avx2(w, qs, row, split) };
+                for t in 0..QUERY_TILE {
+                    out[g + t].push(d[t]);
+                }
+            }
+            g += QUERY_TILE;
+        }
+        for t in g..queries.len() {
+            let query = queries[t];
+            out[t].extend(tile.chunks_exact(dim).map(|row| dot_i8_body(query, row)));
+        }
+        start += tile_elems;
+    }
+}
+
+/// Query-tiled batch screen: every query of the batch against every row
+/// of a flat i8 block, each query's raw dots appended to its `out`
+/// vector in row order. Runtime-dispatched to the explicit AVX2 kernel
+/// like [`dot_i8`]; bit-identical per query to scanning with [`dot_i8`]
+/// row by row (integer arithmetic is exact in any order — the tiling
+/// only reorders which pair is computed when, and pmaddwd only
+/// re-associates the additions).
+pub fn dot_i8_batch(queries: &[&[i8]], rows: &[i8], dim: usize, out: &mut [Vec<i32>]) {
+    assert_eq!(queries.len(), out.len(), "one output vec per query");
+    for q in queries {
+        assert_eq!(q.len(), dim, "dimension mismatch");
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 feature was just verified at runtime.
+            unsafe { dot_i8_batch_avx2(queries, rows, dim, out) };
+            return;
+        }
+    }
+    dot_i8_batch_body(queries, rows, dim, out);
+}
+
 /// Symmetric int8 quantization of one f32 slice against a given scale:
 /// `q = round(x / scale)` clamped to `[-127, 127]`. A zero scale (the
 /// all-zero corpus) quantizes everything to zero.
@@ -214,6 +394,23 @@ impl QuantRows {
         }
         out.reserve(self.data.len() / self.dim);
         dot_i8_block(query, &self.data, self.dim, out);
+    }
+
+    /// [`dot_all`](QuantRows::dot_all) for a batch of quantized queries
+    /// in one query-tiled pass over the block ([`dot_i8_batch`]): each
+    /// query's raw dots are appended to its `out` vector in row order,
+    /// bit-identical to what `dot_all` would have produced for that
+    /// query alone.
+    pub fn dot_all_batch(&self, queries: &[&[i8]], out: &mut [Vec<i32>]) {
+        assert_eq!(queries.len(), out.len(), "one output vec per query");
+        if self.dim == 0 {
+            return;
+        }
+        let rows = self.data.len() / self.dim;
+        for o in out.iter_mut() {
+            o.reserve(rows);
+        }
+        dot_i8_batch(queries, &self.data, self.dim, out);
     }
 }
 
@@ -389,6 +586,21 @@ impl SoaStore {
             .get_or_init(|| QuantRows::build(self.dim, self.rows, &self.data))
     }
 
+    /// Every query of a batch against every f32 row in one query-tiled
+    /// pass over the block ([`crate::embed::dot_batch`]): each query's
+    /// dots are appended to its `out` vector in row order, each pair
+    /// bit-identical to [`crate::embed::dot`] of that pair.
+    pub fn dot_all_batch(&self, queries: &[&[f32]], out: &mut [Vec<f32>]) {
+        assert_eq!(queries.len(), out.len(), "one output vec per query");
+        for q in queries {
+            assert_eq!(q.len(), self.dim, "dimension mismatch");
+        }
+        for o in out.iter_mut() {
+            o.reserve(self.rows);
+        }
+        crate::embed::dot_batch(queries, &self.data, self.dim, out);
+    }
+
     /// Bytes held by the f32 block.
     pub fn bytes_f32(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
@@ -413,6 +625,73 @@ mod tests {
             let b: Vec<i8> = (0..len).map(|i| ((i * 91 + 13) % 255) as i8).collect();
             let naive: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
             assert_eq!(dot_i8(&a, &b), naive, "len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_i8_remainder_lanes_match_naive_loop() {
+        // Dimensions that are not multiples of the 16-lane width pin
+        // the tail handling: 1 (all tail), 7 (sub-lane), 17 (one full
+        // chunk plus one element).
+        for dim in [1usize, 7, 17] {
+            let a: Vec<i8> = (0..dim).map(|i| (i as i32 * 23 - 60) as i8).collect();
+            let b: Vec<i8> = (0..dim).map(|i| (i as i32 * 17 - 40) as i8).collect();
+            let naive: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(dot_i8(&a, &b), naive, "dim {dim}");
+            // The batched kernel must agree at the same dimensions, in
+            // both the register-tiled (4 queries) and the trailing
+            // (single query) arm.
+            for width in [1usize, 4] {
+                let queries: Vec<&[i8]> = std::iter::repeat_n(a.as_slice(), width).collect();
+                let mut out = vec![Vec::new(); width];
+                dot_i8_batch(&queries, &b, dim, &mut out);
+                for (q, o) in out.iter().enumerate() {
+                    assert_eq!(o.as_slice(), &[naive], "dim {dim} width {width} query {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_screen_matches_sequential_kernel() {
+        // Widths straddling the register tile, a block spanning several
+        // cache tiles (dim 96 → 170 rows/tile at 16 KiB), and values
+        // across the i8 range.
+        let dim = 96usize;
+        let rows_n = 400usize;
+        let rows: Vec<i8> = (0..rows_n * dim)
+            .map(|i| ((i * 37 + 11) % 255) as i8)
+            .collect();
+        let queries: Vec<Vec<i8>> = (0..9)
+            .map(|q| (0..dim).map(|i| ((i * 91 + q * 13) % 255) as i8).collect())
+            .collect();
+        for width in [0usize, 1, 2, 4, 5, 8, 9] {
+            let refs: Vec<&[i8]> = queries[..width].iter().map(|q| q.as_slice()).collect();
+            let mut out = vec![Vec::new(); width];
+            dot_i8_batch(&refs, &rows, dim, &mut out);
+            for (q, o) in out.iter().enumerate() {
+                let mut seq = Vec::new();
+                dot_i8_block(&queries[q], &rows, dim, &mut seq);
+                assert_eq!(o, &seq, "width {width} query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_all_batch_matches_dot_all_per_query() {
+        let rows: Vec<Vec<f32>> = (0..50)
+            .map(|r| (0..24).map(|i| ((r * 24 + i) as f32 * 0.3).sin()).collect())
+            .collect();
+        let store = SoaStore::from_rows(24, &rows);
+        let quant = store.quant();
+        let qqs: Vec<QuantQuery> = rows.iter().take(6).map(|r| QuantQuery::new(r)).collect();
+        let refs: Vec<&[i8]> = qqs.iter().map(|q| q.row()).collect();
+        let mut batch = vec![Vec::new(); refs.len()];
+        quant.dot_all_batch(&refs, &mut batch);
+        for (q, o) in batch.iter().enumerate() {
+            let mut seq = Vec::new();
+            quant.dot_all(refs[q], &mut seq);
+            assert_eq!(o, &seq, "query {q}");
         }
     }
 

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use semvec::{
-    cosine, dot, dot_i8, Embedder, HybridIndex, QuantQuery, QueryStyle, SoaStore, VecIndex,
+    cosine, dot, dot_i8, BatchSlot, Embedder, HybridIndex, NoisyQuery, QuantQuery, QueryStyle,
+    SoaStore, VecIndex,
 };
 
 fn text() -> impl Strategy<Value = String> {
@@ -251,6 +252,84 @@ proptest! {
         }
     }
 
+    /// Batched top-k over the flat index is bit-identical per query to
+    /// the sequential scan for arbitrary batch widths (0, 1, and
+    /// through every register-tile remainder), duplicate queries, and
+    /// both scoring engines.
+    #[test]
+    fn batched_topk_equals_sequential_per_query(
+        docs in proptest::collection::vec(text(), 1..40),
+        queries in proptest::collection::vec(text(), 0..9),
+        dup in any::<bool>(),
+        k in 1usize..12,
+        sigma in 0.0f32..0.6,
+        salt in any::<u64>(),
+    ) {
+        let emb = Embedder::paper();
+        let index = VecIndex::from_vectors(emb.dim(), docs.iter().map(|d| emb.encode(d)));
+        let mut texts: Vec<&str> = queries.iter().map(|s| s.as_str()).collect();
+        if dup && !texts.is_empty() {
+            texts.push(texts[0]);
+        }
+        let qvecs: Vec<Vec<f32>> = texts.iter().map(|t| emb.encode(t)).collect();
+        let slots: Vec<NoisyQuery<'_>> = qvecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| NoisyQuery { vector: v, salt: salt.wrapping_add((i % queries.len().max(1)) as u64) })
+            .collect();
+        let exact = index.top_k_noisy_batch(&slots, k, sigma);
+        prop_assert_eq!(exact.len(), slots.len());
+        for (got, s) in exact.iter().zip(&slots) {
+            prop_assert_eq!(got, &index.top_k_noisy(s.vector, k, sigma, s.salt));
+        }
+        let quant = index.top_k_noisy_quant_batch(&slots, k, sigma);
+        for ((hits, stats), s) in quant.iter().zip(&slots) {
+            let (seq_hits, seq_stats) = index.top_k_noisy_quant(s.vector, k, sigma, s.salt);
+            prop_assert_eq!(hits, &seq_hits);
+            prop_assert_eq!(stats.screened, seq_stats.screened);
+            prop_assert_eq!(stats.reranked, seq_stats.reranked);
+        }
+    }
+
+    /// Batched pruned (hybrid) search is bit-identical per slot to the
+    /// sequential pruned scan — including the full-scan fallback for
+    /// under-populated candidate sets and both scoring engines.
+    #[test]
+    fn batched_hybrid_equals_sequential_per_slot(
+        docs in proptest::collection::vec(vocab_sentence(), 1..40),
+        queries in proptest::collection::vec(vocab_sentence(), 0..7),
+        k in 1usize..20,
+        sigma in 0.0f32..0.6,
+    ) {
+        let emb = Embedder::paper();
+        let refs: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+        let hybrid = HybridIndex::build_parallel(&emb, &refs, 1);
+        let qvecs: Vec<Vec<f32>> = queries.iter().map(|t| emb.encode(t)).collect();
+        let cands: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|t| hybrid.candidates(&emb, t, QueryStyle::Folded))
+            .collect();
+        let salts: Vec<u64> = (0..queries.len() as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let slots: Vec<BatchSlot<'_>> = qvecs
+            .iter()
+            .zip(&cands)
+            .zip(&salts)
+            .map(|((v, c), &salt)| BatchSlot { query: v, cands: c, salt })
+            .collect();
+        let exact = hybrid.top_k_noisy_encoded_batch(&slots, k, sigma);
+        prop_assert_eq!(exact.len(), slots.len());
+        for (got, s) in exact.iter().zip(&slots) {
+            prop_assert_eq!(got, &hybrid.top_k_noisy_encoded(s.query, s.cands, k, sigma, s.salt));
+        }
+        let (quant, stats) = hybrid.top_k_noisy_encoded_quant_batch(&slots, k, sigma);
+        for ((got, st), s) in quant.iter().zip(&stats).zip(&slots) {
+            let (seq, seq_st) = hybrid.top_k_noisy_encoded_quant(s.query, s.cands, k, sigma, s.salt);
+            prop_assert_eq!(got, &seq);
+            prop_assert_eq!(st.screened, seq_st.screened);
+            prop_assert_eq!(st.reranked, seq_st.reranked);
+        }
+    }
+
     /// Parallel index builds are byte-identical to the serial build for
     /// any corpus (including duplicates) and any thread count.
     #[test]
@@ -346,6 +425,125 @@ fn quant_invariants_hold_on_seeded_random_corpora() {
                 let (quant, stats) = index.top_k_noisy_quant(&query, k, sigma, salt);
                 assert_eq!(quant, exact, "seed {seed} sigma {sigma} salt {salt}");
                 assert_eq!(stats.screened, n as u64);
+            }
+        }
+    }
+}
+
+/// Seeded counterpart of `batched_topk_equals_sequential_per_query` and
+/// `batched_hybrid_equals_sequential_per_slot`, exercised even where
+/// `proptest` is stubbed out: batches of widths 0, 1, and through every
+/// register-tile remainder (incl. duplicate slots) must be bit-identical
+/// to the sequential scans in every retrieval × scoring mode.
+#[test]
+fn batched_search_matches_sequential_on_seeded_random_corpora() {
+    let emb = Embedder::paper();
+    const VOCAB: [&str; 12] = [
+        "zebra", "quartz", "violin", "hammock", "puzzle", "dwarf", "sphinx", "jigsaw", "oxygen",
+        "kumquat", "fjord", "byway",
+    ];
+    let mut state = 0xBA7C4u64;
+    let word = |state: &mut u64| {
+        let x = seeded_f32(state).abs();
+        VOCAB[(x * 2.9) as usize % VOCAB.len()]
+    };
+    let docs: Vec<String> = (0..60)
+        .map(|_| {
+            let n = 1 + ((seeded_f32(&mut state).abs() * 2.0) as usize).min(4);
+            (0..n)
+                .map(|_| word(&mut state))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    let refs: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+    let hybrid = HybridIndex::build_parallel(&emb, &refs, 1);
+    let flat = VecIndex::from_vectors(emb.dim(), docs.iter().map(|d| emb.encode(d)));
+
+    for width in [0usize, 1, 3, 4, 5, 8, 9] {
+        let mut texts: Vec<String> = (0..width)
+            .map(|_| {
+                let n = 1 + ((seeded_f32(&mut state).abs() * 2.0) as usize).min(3);
+                (0..n)
+                    .map(|_| word(&mut state))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        if width >= 2 {
+            // Force a duplicate slot.
+            texts[width - 1] = texts[0].clone();
+        }
+        let qvecs: Vec<Vec<f32>> = texts.iter().map(|t| emb.encode(t)).collect();
+        let cands: Vec<Vec<u32>> = texts
+            .iter()
+            .map(|t| hybrid.candidates(&emb, t, QueryStyle::Folded))
+            .collect();
+        let salts: Vec<u64> = texts
+            .iter()
+            .map(|t| {
+                if t == &texts[0] {
+                    7
+                } else {
+                    seeded_f32(&mut state).to_bits() as u64
+                }
+            })
+            .collect();
+        for sigma in [0.0f32, 0.30] {
+            for k in [1usize, 5, 70] {
+                // Flat index, both engines.
+                let nq: Vec<NoisyQuery<'_>> = qvecs
+                    .iter()
+                    .zip(&salts)
+                    .map(|(v, &salt)| NoisyQuery { vector: v, salt })
+                    .collect();
+                for (got, s) in flat.top_k_noisy_batch(&nq, k, sigma).iter().zip(&nq) {
+                    assert_eq!(got, &flat.top_k_noisy(s.vector, k, sigma, s.salt));
+                }
+                for ((hits, st), s) in flat.top_k_noisy_quant_batch(&nq, k, sigma).iter().zip(&nq) {
+                    let (seq, seq_st) = flat.top_k_noisy_quant(s.vector, k, sigma, s.salt);
+                    assert_eq!(hits, &seq, "width {width} k {k} sigma {sigma}");
+                    assert_eq!(
+                        (st.screened, st.reranked),
+                        (seq_st.screened, seq_st.reranked)
+                    );
+                }
+                // Hybrid pruned scan, both engines.
+                let slots: Vec<BatchSlot<'_>> = qvecs
+                    .iter()
+                    .zip(&cands)
+                    .zip(&salts)
+                    .map(|((v, c), &salt)| BatchSlot {
+                        query: v,
+                        cands: c,
+                        salt,
+                    })
+                    .collect();
+                for (got, s) in hybrid
+                    .top_k_noisy_encoded_batch(&slots, k, sigma)
+                    .iter()
+                    .zip(&slots)
+                {
+                    assert_eq!(
+                        got,
+                        &hybrid.top_k_noisy_encoded(s.query, s.cands, k, sigma, s.salt)
+                    );
+                }
+                let (quant, stats) = hybrid.top_k_noisy_encoded_quant_batch(&slots, k, sigma);
+                for ((got, st), s) in quant.iter().zip(&stats).zip(&slots) {
+                    let (seq, seq_st) =
+                        hybrid.top_k_noisy_encoded_quant(s.query, s.cands, k, sigma, s.salt);
+                    assert_eq!(got, &seq, "width {width} k {k} sigma {sigma}");
+                    assert_eq!(
+                        (st.screened, st.reranked),
+                        (seq_st.screened, seq_st.reranked)
+                    );
+                }
+                // Duplicate slots fan out identical results.
+                if width >= 2 {
+                    let b = flat.top_k_noisy_batch(&nq, k, sigma);
+                    assert_eq!(b[0], b[width - 1], "duplicate slots must agree");
+                }
             }
         }
     }
