@@ -12,8 +12,32 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> detlint --workspace (determinism & unsafe-invariant gate)"
+cargo run -q --release -p detlint -- --workspace
+
+echo "==> detlint allowlist stays minimal (cap: 4 entries)"
+allow_count=$(grep -c '^\[\[allow\]\]' detlint.toml || true)
+echo "    detlint.toml entries: ${allow_count}"
+if [ "${allow_count}" -gt 4 ]; then
+    echo "ci.sh: detlint.toml has ${allow_count} entries (cap 4) — fix findings instead of allowlisting them" >&2
+    exit 1
+fi
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> miri smoke over the scalar quant kernels (UB gate)"
+if rustup run nightly cargo miri --version >/dev/null 2>&1; then
+    # Miri reports no AVX2, so runtime dispatch takes the scalar bodies
+    # — exactly the reference side of the bit-identity twin tests. Any
+    # UB (out-of-bounds load, invalid transmute) fails the build here.
+    rustup run nightly cargo miri test -p semvec --lib quant:: || {
+        echo "ci.sh: miri found undefined behavior in the quant kernels" >&2
+        exit 1
+    }
+else
+    echo "    miri unavailable (nightly component not installed) — skipping UB smoke"
+fi
 
 echo "==> chaos smoke (fault rate 0.3: no panics, nonzero score)"
 cargo run -q --release -p bench --bin chaos -- --smoke

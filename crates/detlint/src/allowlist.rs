@@ -1,0 +1,308 @@
+//! The checked-in allowlist (`detlint.toml`).
+//!
+//! detlint is dependency-free, so this is a hand-rolled parser for the
+//! small TOML subset the allowlist needs: `[[allow]]` tables with
+//! string keys `code`, `path`, `reason` and an optional integer
+//! `line`. Every entry MUST carry a non-empty `reason` — an entry
+//! without one is a hard error (exit 2), not a finding, so the "every
+//! suppression is justified" rule cannot be ratcheted away.
+//!
+//! Matching: an entry suppresses findings of its `code` whose path
+//! equals `path` exactly, or falls under it when `path` ends with `/`
+//! (directory prefix). When `line` is present the finding's line must
+//! match exactly — precise, but brittle against edits; prefer
+//! file-level entries with tight reasons.
+
+use crate::diag::{Code, Diagnostic, Suppression};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub code: Code,
+    pub path: String,
+    pub line: Option<u32>,
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses the given finding.
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        if d.code != self.code {
+            return false;
+        }
+        let path_ok = if let Some(dir) = self.path.strip_suffix('/') {
+            d.path.starts_with(dir) && d.path[dir.len()..].starts_with('/')
+        } else {
+            d.path == self.path
+        };
+        path_ok && self.line.is_none_or(|l| l == d.line)
+    }
+}
+
+/// Parse `detlint.toml` content. Returns the entries or a list of
+/// human-readable errors (file:line prefixed).
+pub fn parse(src: &str, display_path: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    let mut current: Option<PartialEntry> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut current, &mut entries, &mut errors, display_path);
+            current = Some(PartialEntry::new(lineno));
+            continue;
+        }
+        if line.starts_with('[') {
+            errors.push(format!(
+                "{display_path}:{lineno}: unknown table `{line}` (only [[allow]] is supported)"
+            ));
+            current = None;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            errors.push(format!("{display_path}:{lineno}: expected `key = value`"));
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(entry) = current.as_mut() else {
+            errors.push(format!(
+                "{display_path}:{lineno}: `{key}` outside an [[allow]] table"
+            ));
+            continue;
+        };
+        match key {
+            "code" => match unquote(value) {
+                Some(v) => match Code::parse(v) {
+                    Some(c) => entry.code = Some(c),
+                    None => errors.push(format!(
+                        "{display_path}:{lineno}: unknown or unsuppressible code `{v}`"
+                    )),
+                },
+                None => errors.push(format!(
+                    "{display_path}:{lineno}: `code` must be a quoted string"
+                )),
+            },
+            "path" => match unquote(value) {
+                Some(v) => entry.path = Some(v.to_string()),
+                None => errors.push(format!(
+                    "{display_path}:{lineno}: `path` must be a quoted string"
+                )),
+            },
+            "reason" => match unquote(value) {
+                Some(v) if !v.trim().is_empty() => entry.reason = Some(v.to_string()),
+                Some(_) => errors.push(format!(
+                    "{display_path}:{lineno}: `reason` must not be empty — every suppression \
+                     says why"
+                )),
+                None => errors.push(format!(
+                    "{display_path}:{lineno}: `reason` must be a quoted string"
+                )),
+            },
+            "line" => match value.parse::<u32>() {
+                Ok(v) => entry.line = Some(v),
+                Err(_) => errors.push(format!(
+                    "{display_path}:{lineno}: `line` must be an integer"
+                )),
+            },
+            other => errors.push(format!(
+                "{display_path}:{lineno}: unknown key `{other}` (expected code/path/line/reason)"
+            )),
+        }
+    }
+    finish(&mut current, &mut entries, &mut errors, display_path);
+
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Apply the allowlist: mark matching findings as suppressed. Returns
+/// the indices of entries that matched nothing (stale entries — the
+/// gate reports them so the allowlist can only shrink over time).
+pub fn apply(entries: &[AllowEntry], diags: &mut [Diagnostic]) -> Vec<usize> {
+    let mut used = vec![false; entries.len()];
+    for d in diags.iter_mut() {
+        if d.suppression.is_some() || d.code == Code::BadAllowDirective {
+            continue;
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if e.matches(d) {
+                used[i] = true;
+                d.suppression = Some(Suppression::Allowlist {
+                    reason: e.reason.clone(),
+                });
+                break;
+            }
+        }
+    }
+    used.iter()
+        .enumerate()
+        .filter_map(|(i, &u)| (!u).then_some(i))
+        .collect()
+}
+
+struct PartialEntry {
+    lineno: usize,
+    code: Option<Code>,
+    path: Option<String>,
+    line: Option<u32>,
+    reason: Option<String>,
+}
+
+impl PartialEntry {
+    fn new(lineno: usize) -> Self {
+        Self {
+            lineno,
+            code: None,
+            path: None,
+            line: None,
+            reason: None,
+        }
+    }
+}
+
+fn finish(
+    current: &mut Option<PartialEntry>,
+    entries: &mut Vec<AllowEntry>,
+    errors: &mut Vec<String>,
+    display_path: &str,
+) {
+    let Some(p) = current.take() else { return };
+    match (p.code, p.path, p.reason) {
+        (Some(code), Some(path), Some(reason)) => entries.push(AllowEntry {
+            code,
+            path,
+            line: p.line,
+            reason,
+        }),
+        (code, path, reason) => {
+            let mut missing = Vec::new();
+            if code.is_none() {
+                missing.push("code");
+            }
+            if path.is_none() {
+                missing.push("path");
+            }
+            if reason.is_none() {
+                missing.push("reason");
+            }
+            errors.push(format!(
+                "{display_path}:{}: [[allow]] entry missing required key(s): {}",
+                p.lineno,
+                missing.join(", ")
+            ));
+        }
+    }
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // A `#` outside quotes starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(v: &str) -> Option<&str> {
+    v.strip_prefix('"').and_then(|s| s.strip_suffix('"'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(code: Code, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            code,
+            path: path.into(),
+            line,
+            col: 1,
+            message: String::new(),
+            suppression: None,
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let toml = r#"
+# workspace allowlist
+[[allow]]
+code = "DL003"  # trailing comment
+path = "crates/x/src/a.rs"
+reason = "progress logging only, never feeds results"
+
+[[allow]]
+code = "DL001"
+path = "crates/y/"
+line = 12
+reason = "counted into an integer histogram"
+"#;
+        let entries = parse(toml, "detlint.toml").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].matches(&diag(Code::WallClock, "crates/x/src/a.rs", 99)));
+        assert!(!entries[0].matches(&diag(Code::WallClock, "crates/x/src/b.rs", 99)));
+        assert!(entries[1].matches(&diag(Code::HashOrderIteration, "crates/y/src/m.rs", 12)));
+        assert!(!entries[1].matches(&diag(Code::HashOrderIteration, "crates/y/src/m.rs", 13)));
+        assert!(!entries[1].matches(&diag(Code::HashOrderIteration, "crates/yy/src/m.rs", 12)));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let toml = "[[allow]]\ncode = \"DL001\"\npath = \"x.rs\"\n";
+        let errs = parse(toml, "detlint.toml").unwrap_err();
+        assert!(
+            errs[0].contains("missing required key(s): reason"),
+            "{errs:?}"
+        );
+
+        let toml = "[[allow]]\ncode = \"DL001\"\npath = \"x.rs\"\nreason = \"  \"\n";
+        let errs = parse(toml, "detlint.toml").unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.contains("must not be empty")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_codes() {
+        let toml =
+            "[[allow]]\ncode = \"DL000\"\npath = \"x.rs\"\nreason = \"r\"\nseverity = \"high\"\n";
+        let errs = parse(toml, "detlint.toml").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("unsuppressible code")));
+        assert!(errs.iter().any(|e| e.contains("unknown key `severity`")));
+    }
+
+    #[test]
+    fn apply_reports_stale_entries() {
+        let entries = vec![
+            AllowEntry {
+                code: Code::WallClock,
+                path: "a.rs".into(),
+                line: None,
+                reason: "r".into(),
+            },
+            AllowEntry {
+                code: Code::WallClock,
+                path: "never.rs".into(),
+                line: None,
+                reason: "r".into(),
+            },
+        ];
+        let mut diags = vec![diag(Code::WallClock, "a.rs", 3)];
+        let stale = apply(&entries, &mut diags);
+        assert_eq!(stale, vec![1]);
+        assert!(diags[0].suppression.is_some());
+    }
+}

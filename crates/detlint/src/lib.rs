@@ -1,0 +1,236 @@
+//! detlint — workspace determinism & unsafe-invariant analyzer.
+//!
+//! The reproduction's core contract is that every fast path (pruned,
+//! quantized, batched, parallel) is *byte-identical* to its sequential
+//! exact twin. That contract is enforced dynamically by proptests and
+//! bench identity gates; detlint enforces its preconditions
+//! *statically*, before a nondeterminism hazard ever reaches a bench
+//! run. Six checks, `DL001`–`DL006` (see [`diag::Code`]), each
+//! reported with a stable code and a `file:line:col` span, mirroring
+//! the `cylint` CY-code UX.
+//!
+//! detlint is deliberately dependency-free (its own minimal Rust
+//! lexer instead of `syn`), so the gate builds offline and instantly.
+//!
+//! Suppression is always *written down*: inline
+//! `// detlint: allow(DLxxx) <reason>` directives, or entries in the
+//! checked-in `detlint.toml` allowlist — both reject empty reasons.
+
+pub mod allowlist;
+pub mod analyze;
+pub mod diag;
+pub mod lexer;
+pub mod workspace;
+
+pub use analyze::{analyze, analyze_with, hash_field_names, FileClass};
+pub use diag::{Code, Diagnostic, Suppression};
+
+use std::path::Path;
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed or not, sorted by (path, line, col).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files analyzed.
+    pub files: usize,
+    /// Allowlist entries that matched no finding (stale).
+    pub stale_allowlist: Vec<String>,
+    /// Errors reading files or the allowlist (usage errors, exit 2).
+    pub errors: Vec<String>,
+}
+
+impl Report {
+    /// Findings that fail the run.
+    pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_active())
+    }
+
+    /// Count of suppressed findings.
+    pub fn suppressed_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.suppression.is_some())
+            .count()
+    }
+
+    /// Per-code `(code, active, suppressed)` counts over all findings,
+    /// in code order.
+    pub fn counts(&self) -> Vec<(Code, usize, usize)> {
+        let mut out = Vec::new();
+        for code in Code::ALL {
+            let active = self
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == code && d.is_active())
+                .count();
+            let suppressed = self
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == code && !d.is_active())
+                .count();
+            if active + suppressed > 0 {
+                out.push((code, active, suppressed));
+            }
+        }
+        let bad = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::BadAllowDirective)
+            .count();
+        if bad > 0 {
+            out.push((Code::BadAllowDirective, bad, 0));
+        }
+        out
+    }
+
+    /// Render the report as JSON (hand-rolled; detlint has no deps).
+    pub fn to_json(&self) -> String {
+        use diag::json_escape as esc;
+        let mut out = String::from("{\n  \"findings\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let suppression = match &d.suppression {
+                None => "null".to_string(),
+                Some(s) => {
+                    let kind = match s {
+                        Suppression::Inline { .. } => "inline",
+                        Suppression::Allowlist { .. } => "allowlist",
+                    };
+                    format!(
+                        "{{\"kind\": \"{kind}\", \"reason\": \"{}\"}}",
+                        esc(s.reason())
+                    )
+                }
+            };
+            out.push_str(&format!(
+                "    {{\"code\": \"{}\", \"slug\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+                 \"col\": {}, \"message\": \"{}\", \"suppression\": {}}}{}\n",
+                d.code.id(),
+                d.code.slug(),
+                esc(&d.path),
+                d.line,
+                d.col,
+                esc(&d.message),
+                suppression,
+                if i + 1 < self.diagnostics.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"files\": {},\n", self.files));
+        out.push_str(&format!(
+            "  \"active\": {},\n  \"suppressed\": {},\n",
+            self.active().count(),
+            self.suppressed_count()
+        ));
+        out.push_str("  \"stale_allowlist\": [");
+        for (i, s) in self.stale_allowlist.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", esc(s)));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Lint the workspace rooted at `root`, applying the allowlist at
+/// `<root>/detlint.toml` when present.
+pub fn run_workspace(root: &Path) -> Report {
+    let mut report = Report::default();
+    let files = match workspace::workspace_files(root) {
+        Ok(f) => f,
+        Err(e) => {
+            report.errors.push(format!(
+                "cannot enumerate workspace at {}: {e}",
+                root.display()
+            ));
+            return report;
+        }
+    };
+    // Two passes: first collect every identifier declared anywhere in
+    // the workspace with a hash-ordered type (struct fields cross file
+    // boundaries — `source.rs` declares `meta`, `stats.rs` iterates
+    // it), then analyze each file with that union as extra context.
+    let mut sources: Vec<(usize, String)> = Vec::new();
+    let mut field_names = std::collections::BTreeSet::new();
+    for (i, class) in files.iter().enumerate() {
+        let full = root.join(&class.path);
+        match std::fs::read_to_string(&full) {
+            Ok(src) => {
+                field_names.extend(hash_field_names(&src));
+                sources.push((i, src));
+            }
+            Err(e) => report
+                .errors
+                .push(format!("cannot read {}: {e}", full.display())),
+        }
+    }
+    for (i, src) in &sources {
+        report.files += 1;
+        report
+            .diagnostics
+            .extend(analyze_with(&files[*i], src, &field_names));
+    }
+    let allow_path = root.join("detlint.toml");
+    if allow_path.exists() {
+        match std::fs::read_to_string(&allow_path) {
+            Ok(text) => match allowlist::parse(&text, "detlint.toml") {
+                Ok(entries) => {
+                    let stale = allowlist::apply(&entries, &mut report.diagnostics);
+                    report.stale_allowlist = stale
+                        .into_iter()
+                        .map(|i| {
+                            let e = &entries[i];
+                            format!("{} {} ({})", e.code.id(), e.path, e.reason)
+                        })
+                        .collect();
+                }
+                Err(errs) => report.errors.extend(errs),
+            },
+            Err(e) => report.errors.push(format!("cannot read detlint.toml: {e}")),
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.code).cmp(&(&b.path, b.line, b.col, b.code)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_json() {
+        let mut r = Report::default();
+        r.diagnostics.push(Diagnostic {
+            code: Code::WallClock,
+            path: "a.rs".into(),
+            line: 1,
+            col: 2,
+            message: "m \"quoted\"".into(),
+            suppression: None,
+        });
+        r.diagnostics.push(Diagnostic {
+            code: Code::WallClock,
+            path: "b.rs".into(),
+            line: 3,
+            col: 4,
+            message: "m".into(),
+            suppression: Some(Suppression::Allowlist { reason: "r".into() }),
+        });
+        r.files = 2;
+        assert_eq!(r.active().count(), 1);
+        assert_eq!(r.suppressed_count(), 1);
+        assert_eq!(r.counts(), vec![(Code::WallClock, 1, 1)]);
+        let json = r.to_json();
+        assert!(json.contains("\"code\": \"DL003\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"suppression\": {\"kind\": \"allowlist\", \"reason\": \"r\"}"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The `detlint` binary: lint the workspace (or listed files) and exit
+//! nonzero on any unsuppressed finding.
+//!
+//! ```text
+//! cargo run -p detlint -- --workspace          # lint every member crate
+//! cargo run -p detlint -- --json --workspace   # machine-readable report
+//! cargo run -p detlint -- crates/semvec/src/quant.rs
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO errors
+//! (including a malformed allowlist — a suppression without a reason
+//! is a configuration error, never a pass).
+
+use detlint::{analyze_with, hash_field_names, workspace, FileClass, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut quiet = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => {} // the default; kept for explicitness
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(r) => root_arg = Some(PathBuf::from(r)),
+                None => return usage("--root requires a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                return usage(&format!("unknown flag `{flag}`"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| workspace::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage("no workspace root found (run inside the repo or pass --root)"),
+    };
+
+    let report = if paths.is_empty() {
+        detlint::run_workspace(&root)
+    } else {
+        lint_paths(&root, &paths)
+    };
+
+    for e in &report.errors {
+        eprintln!("detlint: error: {e}");
+    }
+    if json {
+        print!("{}", report.to_json());
+    } else if !quiet {
+        render_text(&report);
+    }
+    if !report.errors.is_empty() {
+        ExitCode::from(2)
+    } else if report.active().next().is_some() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn lint_paths(root: &std::path::Path, paths: &[String]) -> Report {
+    let mut report = Report::default();
+    // Same two-pass shape as the workspace run, scoped to the listed
+    // files: hash-typed declarations in any of them are visible to all.
+    let mut loaded: Vec<(FileClass, String)> = Vec::new();
+    let mut field_names = std::collections::BTreeSet::new();
+    for p in paths {
+        let display = p.replace('\\', "/");
+        let class = FileClass::from_path(&display);
+        let full = if std::path::Path::new(p).is_absolute() {
+            PathBuf::from(p)
+        } else {
+            root.join(p)
+        };
+        match std::fs::read_to_string(&full) {
+            Ok(src) => {
+                field_names.extend(hash_field_names(&src));
+                loaded.push((class, src));
+            }
+            Err(e) => report
+                .errors
+                .push(format!("cannot read {}: {e}", full.display())),
+        }
+    }
+    for (class, src) in &loaded {
+        report.files += 1;
+        report
+            .diagnostics
+            .extend(analyze_with(class, src, &field_names));
+    }
+    report
+}
+
+fn render_text(report: &Report) {
+    for d in &report.diagnostics {
+        if d.is_active() {
+            println!("{d}");
+        }
+    }
+    let active = report.active().count();
+    let suppressed = report.suppressed_count();
+    if active == 0 {
+        println!(
+            "detlint: clean — {} files, 0 active findings ({suppressed} suppressed with reasons)",
+            report.files
+        );
+    } else {
+        println!(
+            "detlint: {active} active finding(s) across {} files ({suppressed} suppressed)",
+            report.files
+        );
+        for (code, a, s) in report.counts() {
+            println!("  {code}: {a} active, {s} suppressed");
+        }
+    }
+    for s in &report.stale_allowlist {
+        println!("detlint: note: stale allowlist entry matches nothing: {s}");
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}\n\n{HELP}");
+    ExitCode::from(2)
+}
+
+const HELP: &str = "\
+detlint — workspace determinism & unsafe-invariant analyzer (DL001-DL006)
+
+USAGE:
+    detlint [--workspace] [--json] [--quiet] [--root DIR] [FILES...]
+
+With no FILES, lints every workspace member crate. Findings are
+suppressed only by an inline `// detlint: allow(DLxxx) <reason>` or a
+reasoned entry in detlint.toml; either without a reason is an error.
+
+CODES:
+    DL001 hash-order-iteration        DL004 unseeded-randomness
+    DL002 unsafe-without-safety       DL005 ungated-target-feature-call
+    DL003 wall-clock-read             DL006 parallel-float-accumulation";

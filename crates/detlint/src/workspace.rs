@@ -1,0 +1,179 @@
+//! Workspace discovery: member crates from the root `Cargo.toml`, the
+//! `.rs` files of each, and per-file scope classification.
+//!
+//! Like everything in detlint this is dependency-free: the manifest
+//! parsing understands exactly the `members = [...]` shape (including
+//! `crates/*` globs) that cargo workspaces use.
+
+use crate::analyze::FileClass;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories that are never analyzed. `fixtures` holds deliberately
+/// violating snippets for detlint's own tests; `target` is build
+/// output.
+const SKIP_DIRS: [&str; 3] = ["target", "fixtures", ".git"];
+
+/// Read the workspace members out of `<root>/Cargo.toml`.
+pub fn members(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut members = Vec::new();
+    let mut in_members = false;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if !in_members {
+            if let Some(rest) = line.strip_prefix("members") {
+                let rest = rest.trim_start();
+                if let Some(list) = rest.strip_prefix('=') {
+                    in_members = true;
+                    collect_member_patterns(list, root, &mut members);
+                    if list.contains(']') {
+                        in_members = false;
+                    }
+                }
+            }
+        } else {
+            collect_member_patterns(line, root, &mut members);
+            if line.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    // The root package itself (a workspace can also be a package).
+    if manifest.contains("[package]") {
+        members.push(root.to_path_buf());
+    }
+    members.sort();
+    members.dedup();
+    Ok(members)
+}
+
+fn collect_member_patterns(segment: &str, root: &Path, out: &mut Vec<PathBuf>) {
+    for piece in segment.split(',') {
+        let piece = piece.trim().trim_matches(|c| "[]\" ".contains(c));
+        if piece.is_empty() {
+            continue;
+        }
+        if let Some(dir) = piece.strip_suffix("/*") {
+            let base = root.join(dir);
+            let Ok(read) = fs::read_dir(&base) else {
+                continue;
+            };
+            let mut found: Vec<PathBuf> = read
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir() && p.join("Cargo.toml").exists())
+                .collect();
+            found.sort();
+            out.extend(found);
+        } else {
+            let p = root.join(piece);
+            if p.join("Cargo.toml").exists() {
+                out.push(p);
+            }
+        }
+    }
+}
+
+/// Every `.rs` file of a member crate, as repo-relative paths.
+pub fn crate_sources(root: &Path, member: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for sub in ["src", "tests", "benches", "examples"] {
+        walk(&member.join(sub), &mut files);
+    }
+    let build = member.join("build.rs");
+    if build.exists() {
+        files.push(build);
+    }
+    files.sort();
+    files
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(Path::to_path_buf))
+        .collect()
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(read) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = read.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// All workspace sources with their scope classification, repo-relative
+/// and sorted for deterministic reports.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<FileClass>> {
+    let mut out = Vec::new();
+    for member in members(root)? {
+        for rel in crate_sources(root, &member) {
+            let display = rel.to_string_lossy().replace('\\', "/");
+            out.push(FileClass::from_path(&display));
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out.dedup_by(|a, b| a.path == b.path);
+    Ok(out)
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_classification() {
+        let f = FileClass::from_path("crates/semvec/src/quant.rs");
+        assert!(!f.test_scope && !f.bench_scope);
+        let f = FileClass::from_path("crates/semvec/tests/proptests.rs");
+        assert!(f.test_scope && !f.bench_scope);
+        let f = FileClass::from_path("crates/bench/src/bin/perf.rs");
+        assert!(f.test_scope && f.bench_scope);
+        let f = FileClass::from_path("tests/integration.rs");
+        assert!(f.test_scope);
+    }
+
+    #[test]
+    fn finds_this_workspace() {
+        let here = std::env::current_dir().unwrap();
+        let root = find_root(&here).expect("detlint runs inside its own workspace");
+        assert!(root.join("Cargo.toml").exists());
+        let members = members(&root).unwrap();
+        assert!(
+            members.iter().any(|m| m.ends_with("crates/detlint")),
+            "workspace members must include detlint itself: {members:?}"
+        );
+        let files = workspace_files(&root).unwrap();
+        assert!(files.iter().any(|f| f.path == "crates/semvec/src/quant.rs"));
+        assert!(
+            !files.iter().any(|f| f.path.contains("/fixtures/")),
+            "fixture snippets must not be analyzed as workspace code"
+        );
+    }
+}

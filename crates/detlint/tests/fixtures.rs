@@ -1,0 +1,168 @@
+//! Fixture tests: each DL code demonstrated by a positive snippet (the
+//! finding fires, with a real span) and refuted by a negative one.
+//!
+//! The snippets live under `tests/fixtures/` — a directory the
+//! workspace walker deliberately skips, so the deliberate violations
+//! never fail the repo's own gate.
+
+use detlint::{analyze, Code, Diagnostic, FileClass, Suppression};
+
+/// Lint a fixture as if it were ordinary (non-test) crate code.
+fn lint(src: &str) -> Vec<Diagnostic> {
+    let class = FileClass::from_path("crates/fixture/src/lib.rs");
+    analyze(&class, src)
+}
+
+fn active(src: &str, code: Code) -> Vec<Diagnostic> {
+    lint(src)
+        .into_iter()
+        .filter(|d| d.code == code && d.is_active())
+        .collect()
+}
+
+fn assert_spanned(d: &Diagnostic, src: &str) {
+    let lines = src.lines().count() as u32;
+    assert!(d.line >= 1 && d.line <= lines, "line {} of {lines}", d.line);
+    assert!(d.col >= 1, "column must be 1-based");
+    assert!(!d.message.is_empty());
+}
+
+#[test]
+fn dl001_fires_on_unsunk_hash_iteration() {
+    let src = include_str!("fixtures/dl001_pos.rs");
+    let hits = active(src, Code::HashOrderIteration);
+    assert_eq!(hits.len(), 1, "exactly the report loop: {hits:?}");
+    assert_spanned(&hits[0], src);
+    assert!(hits[0].message.contains("counts"), "{}", hits[0].message);
+}
+
+#[test]
+fn dl001_quiet_on_order_insensitive_sinks() {
+    let src = include_str!("fixtures/dl001_neg.rs");
+    assert_eq!(active(src, Code::HashOrderIteration), vec![]);
+}
+
+#[test]
+fn dl001_inline_allow_suppresses_with_reason() {
+    let src = include_str!("fixtures/dl001_allow.rs");
+    assert_eq!(active(src, Code::HashOrderIteration), vec![]);
+    let suppressed: Vec<Diagnostic> = lint(src)
+        .into_iter()
+        .filter(|d| d.code == Code::HashOrderIteration)
+        .collect();
+    assert_eq!(suppressed.len(), 1, "the finding still exists");
+    match &suppressed[0].suppression {
+        Some(Suppression::Inline { reason }) => {
+            assert!(reason.contains("golden file"), "{reason}");
+        }
+        other => panic!("expected inline suppression, got {other:?}"),
+    }
+}
+
+#[test]
+fn dl000_fires_on_reasonless_directive() {
+    let src = include_str!("fixtures/dl000_pos.rs");
+    let bad = active(src, Code::BadAllowDirective);
+    assert_eq!(bad.len(), 1, "{bad:?}");
+    assert_spanned(&bad[0], src);
+    assert!(bad[0].message.contains("reason"), "{}", bad[0].message);
+    // The reasonless directive suppresses nothing.
+    assert_eq!(active(src, Code::HashOrderIteration).len(), 1);
+}
+
+#[test]
+fn dl002_fires_on_uncontracted_unsafe() {
+    let src = include_str!("fixtures/dl002_pos.rs");
+    let hits = active(src, Code::UnsafeWithoutContract);
+    assert_eq!(hits.len(), 2, "one block, one fn: {hits:?}");
+    for d in &hits {
+        assert_spanned(d, src);
+    }
+}
+
+#[test]
+fn dl002_quiet_on_safety_comments_and_doc_sections() {
+    let src = include_str!("fixtures/dl002_neg.rs");
+    assert_eq!(active(src, Code::UnsafeWithoutContract), vec![]);
+}
+
+#[test]
+fn dl003_fires_on_wall_clock_reads() {
+    let src = include_str!("fixtures/dl003_pos.rs");
+    let hits = active(src, Code::WallClock);
+    assert_eq!(hits.len(), 2, "Instant and SystemTime: {hits:?}");
+    for d in &hits {
+        assert_spanned(d, src);
+    }
+}
+
+#[test]
+fn dl003_quiet_inside_cfg_test_items() {
+    let src = include_str!("fixtures/dl003_neg.rs");
+    assert_eq!(active(src, Code::WallClock), vec![]);
+}
+
+#[test]
+fn dl004_fires_on_unseeded_generators() {
+    let src = include_str!("fixtures/dl004_pos.rs");
+    let hits = active(src, Code::UnseededRandomness);
+    assert_eq!(hits.len(), 2, "thread_rng and from_entropy: {hits:?}");
+    for d in &hits {
+        assert_spanned(d, src);
+    }
+}
+
+#[test]
+fn dl004_quiet_on_seeded_and_user_defined_rng() {
+    let src = include_str!("fixtures/dl004_neg.rs");
+    assert_eq!(active(src, Code::UnseededRandomness), vec![]);
+}
+
+#[test]
+fn dl005_fires_on_ungated_target_feature_call() {
+    let src = include_str!("fixtures/dl005_pos.rs");
+    let hits = active(src, Code::UngatedTargetFeature);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_spanned(&hits[0], src);
+    assert!(
+        hits[0].message.contains("kernel_avx2"),
+        "{}",
+        hits[0].message
+    );
+    // The SAFETY comments keep DL002 quiet, so this fixture isolates DL005.
+    assert_eq!(active(src, Code::UnsafeWithoutContract), vec![]);
+}
+
+#[test]
+fn dl005_quiet_on_detected_dispatch() {
+    let src = include_str!("fixtures/dl005_neg.rs");
+    assert_eq!(active(src, Code::UngatedTargetFeature), vec![]);
+}
+
+#[test]
+fn dl006_fires_on_float_accumulation_under_scope() {
+    let src = include_str!("fixtures/dl006_pos.rs");
+    let hits = active(src, Code::ParallelFloatAccumulation);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_spanned(&hits[0], src);
+    assert!(hits[0].message.contains("total"), "{}", hits[0].message);
+}
+
+#[test]
+fn dl006_quiet_on_per_worker_partials() {
+    let src = include_str!("fixtures/dl006_neg.rs");
+    assert_eq!(active(src, Code::ParallelFloatAccumulation), vec![]);
+}
+
+#[test]
+fn fixtures_under_test_paths_skip_test_scoped_codes() {
+    // The same DL001 source analyzed as a test file produces nothing:
+    // hash order in tests cannot leak into published results.
+    let src = include_str!("fixtures/dl001_pos.rs");
+    let class = FileClass::from_path("crates/fixture/tests/it.rs");
+    let diags = analyze(&class, src);
+    assert!(
+        !diags.iter().any(|d| d.code == Code::HashOrderIteration),
+        "{diags:?}"
+    );
+}

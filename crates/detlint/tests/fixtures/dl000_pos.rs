@@ -1,0 +1,12 @@
+// Positive DL000 fixture: an allow directive without a reason is a
+// malformed suppression — it is reported and suppresses nothing.
+use std::collections::HashMap;
+
+pub fn bad(counts: &HashMap<String, usize>) -> usize {
+    // detlint: allow(DL001)
+    let mut n = 0;
+    for (_k, v) in counts.iter() {
+        n += v;
+    }
+    n
+}

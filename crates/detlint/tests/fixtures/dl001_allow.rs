@@ -1,0 +1,12 @@
+// Inline-allow fixture: the DL001 finding exists but is suppressed by
+// a reasoned directive, so it must not count as active.
+use std::collections::HashMap;
+
+pub fn pinned(counts: &HashMap<String, usize>) -> Vec<String> {
+    let mut out = Vec::new();
+    // detlint: allow(DL001) output order is pinned by the golden file
+    for (k, v) in counts.iter() {
+        out.push(format!("{k}={v}"));
+    }
+    out
+}

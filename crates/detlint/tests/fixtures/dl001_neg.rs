@@ -1,0 +1,25 @@
+// Negative DL001 fixture: every hash iteration flows into an
+// order-insensitive sink (sort next statement, integer sum, BTree
+// collect, count) and must not be flagged.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sorted_report(counts: &HashMap<String, usize>) -> Vec<String> {
+    let mut entries: Vec<(&String, &usize)> = counts.iter().collect();
+    entries.sort_by_key(|&(k, _)| k.clone());
+    entries.iter().map(|(k, c)| format!("{k}: {c}")).collect()
+}
+
+pub fn total(counts: &HashMap<String, usize>) -> usize {
+    counts.values().sum::<usize>()
+}
+
+pub fn as_btree(counts: &HashMap<String, usize>) -> BTreeMap<String, usize> {
+    counts
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect::<BTreeMap<_, _>>()
+}
+
+pub fn how_many(counts: &HashMap<String, usize>) -> usize {
+    counts.keys().count()
+}

@@ -1,0 +1,15 @@
+// Negative DL002 fixture: every unsafe site carries its contract.
+pub fn read_first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: asserted non-empty above, so the pointer is valid.
+    unsafe { *xs.as_ptr() }
+}
+
+/// Reads through a raw pointer.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn peek(p: *const u32) -> u32 {
+    // SAFETY: validity is the caller's contract (see `# Safety`).
+    unsafe { *p }
+}

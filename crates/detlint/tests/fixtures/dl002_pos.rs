@@ -1,0 +1,8 @@
+// Positive DL002 fixture: unsafe without a written contract.
+pub fn read_first(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}
+
+pub unsafe fn peek(p: *const u32) -> u32 {
+    *p
+}

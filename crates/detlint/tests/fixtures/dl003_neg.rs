@@ -1,0 +1,14 @@
+// Negative DL003 fixture: wall-clock reads are fine inside
+// `#[cfg(test)]` / `#[test]` items.
+pub fn pure(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_is_fine_in_tests() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,15 @@
+// Negative DL004 fixture: explicit seeds everywhere; a user-defined
+// `rng(state)` helper with arguments is not the thread-local one.
+pub fn seeded(seed: u64) -> u64 {
+    use rand::{RngCore, SeedableRng};
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    r.next_u64()
+}
+
+fn rng(state: u64) -> u64 {
+    state.wrapping_mul(6364136223846793005).wrapping_add(1)
+}
+
+pub fn step(s: u64) -> u64 {
+    rng(s)
+}

@@ -1,0 +1,10 @@
+// Positive DL004 fixture: unseeded randomness.
+pub fn noise() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::r#gen(&mut rng)
+}
+
+pub fn seeded_badly() -> u64 {
+    let mut r = rand::rngs::StdRng::from_entropy();
+    rand::RngCore::next_u64(&mut r)
+}

@@ -1,0 +1,18 @@
+// Negative DL005 fixture: the dispatcher verifies the feature before
+// calling the #[target_feature] instantiation.
+/// # Safety
+/// Caller must verify AVX2 support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_avx2(xs: &[f32]) -> f32 {
+    xs.iter().sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+pub fn scan(xs: &[f32]) -> f32 {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 feature was just verified at runtime.
+        return unsafe { kernel_avx2(xs) };
+    }
+    xs.iter().sum()
+}

@@ -1,0 +1,15 @@
+// Positive DL005 fixture: a #[target_feature] fn called without a
+// runtime feature check in the enclosing dispatcher.
+/// # Safety
+/// Caller must verify AVX2 support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_avx2(xs: &[f32]) -> f32 {
+    xs.iter().sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+pub fn scan(xs: &[f32]) -> f32 {
+    // SAFETY: wrong — there is no runtime check; this is the fixture.
+    unsafe { kernel_avx2(xs) }
+}

@@ -1,0 +1,17 @@
+// Negative DL006 fixture: per-worker partials, reduced in a fixed
+// order after the scope — no float accumulation under the scheduler.
+pub fn parallel_sum(chunks: &[&[f32]]) -> f32 {
+    let mut partials: Vec<f32> = vec![0.0; chunks.len()];
+    std::thread::scope(|s| {
+        for (slot, chunk) in partials.iter_mut().zip(chunks) {
+            s.spawn(move || {
+                *slot = chunk.iter().sum::<f32>();
+            });
+        }
+    });
+    let mut total: f32 = 0.0;
+    for p in &partials {
+        total += p;
+    }
+    total
+}

@@ -1,0 +1,13 @@
+// Positive DL006 fixture: a float accumulator mutated inside a
+// thread::scope region — the schedule becomes observable.
+pub fn parallel_sum(xs: &[f32]) -> f32 {
+    let mut total: f32 = 0.0;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for x in xs {
+                total += x;
+            }
+        });
+    });
+    total
+}

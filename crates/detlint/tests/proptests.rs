@@ -1,0 +1,158 @@
+//! Property tests: the analyzer is total. It must never panic — not on
+//! arbitrary text (unterminated strings, stray quotes, non-ASCII), and
+//! not on arbitrary well-formed items — and every diagnostic it emits
+//! must carry an in-range 1-based span.
+
+use detlint::{analyze, Code, Diagnostic, FileClass};
+use proptest::prelude::*;
+
+fn class() -> FileClass {
+    FileClass::from_path("crates/fixture/src/lib.rs")
+}
+
+fn check_spans(src: &str, diags: &[Diagnostic]) {
+    let lines = src.lines().count().max(1) as u32;
+    for d in diags {
+        assert!(d.line >= 1 && d.line <= lines, "line {} of {lines}", d.line);
+        assert!(d.col >= 1, "col must be 1-based, got {}", d.col);
+        assert!(!d.message.is_empty());
+        assert_ne!(d.path, "");
+    }
+}
+
+/// An identifier the item templates below can splice anywhere.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,7}".prop_filter("keywords break templates", |s| {
+        !matches!(
+            s.as_str(),
+            "fn" | "let"
+                | "mut"
+                | "for"
+                | "in"
+                | "unsafe"
+                | "pub"
+                | "use"
+                | "as"
+                | "if"
+                | "else"
+                | "loop"
+                | "while"
+                | "match"
+                | "mod"
+                | "struct"
+                | "enum"
+                | "union"
+                | "impl"
+                | "trait"
+                | "true"
+                | "false"
+                | "const"
+                | "static"
+                | "ref"
+                | "move"
+                | "return"
+                | "where"
+                | "type"
+                | "dyn"
+                | "extern"
+                | "crate"
+                | "self"
+                | "super"
+                | "box"
+                | "async"
+                | "await"
+        )
+    })
+}
+
+/// One syntactically well-formed item, spanning the shapes the checks
+/// care about: hash decls + iteration, unsafe blocks/fns, clocks,
+/// randomness, target features, threaded float accumulation, allow
+/// directives, comments, strings.
+fn item() -> impl Strategy<Value = String> {
+    let i = ident;
+    prop_oneof![
+        (i(), i()).prop_map(|(f, m)| format!(
+            "fn {f}() -> usize {{\n    let mut {m}: HashMap<u64, u64> = HashMap::new();\n    \
+             {m}.insert(1, 2);\n    for (k, v) in {m}.iter() {{\n        \
+             println!(\"{{k}} {{v}}\");\n    }}\n    {m}.len()\n}}\n"
+        )),
+        (i(), i()).prop_map(|(f, m)| format!(
+            "fn {f}(xs: &FxHashMap<String, i32>) -> i32 {{\n    \
+             let mut {m}: Vec<i32> = xs.values().copied().collect();\n    \
+             {m}.sort_unstable();\n    {m}.first().copied().unwrap_or(0)\n}}\n"
+        )),
+        (i(), "[ -~]{0,24}").prop_map(|(f, s)| {
+            let s = s.replace(['"', '\\'], "_");
+            format!("fn {f}() -> &'static str {{\n    \"{s}\"\n}}\n")
+        }),
+        i().prop_map(|f| format!(
+            "/// Docs with a stray detlint: allow(DL001) mention.\nfn {f}(p: *const u8) -> u8 {{\n    \
+             // SAFETY: fixture pointer is valid by construction.\n    unsafe {{ *p }}\n}}\n"
+        )),
+        i().prop_map(|f| format!(
+            "fn {f}() -> u128 {{\n    std::time::Instant::now().elapsed().as_nanos()\n}}\n"
+        )),
+        i().prop_map(|f| format!(
+            "fn {f}() -> f64 {{\n    let mut rng = rand::thread_rng();\n    rng.r#gen()\n}}\n"
+        )),
+        (i(), i()).prop_map(|(f, g)| format!(
+            "#[target_feature(enable = \"avx2\")]\nunsafe fn {g}_avx2() {{}}\n\n\
+             fn {f}() {{\n    unsafe {{ {g}_avx2() }}\n}}\n"
+        )),
+        (i(), i()).prop_map(|(f, t)| format!(
+            "fn {f}(xs: &[f32]) -> f32 {{\n    let mut {t}: f32 = 0.0;\n    \
+             std::thread::scope(|s| {{\n        s.spawn(|| {{\n            \
+             for x in xs {{\n                {t} += x;\n            }}\n        \
+             }});\n    }});\n    {t}\n}}\n"
+        )),
+        (i(), i()).prop_map(|(f, m)| format!(
+            "fn {f}(xs: &HashSet<u32>) -> u32 {{\n    \
+             // detlint: allow(DL001) {m} fixture reason\n    \
+             let mut acc = 0;\n    for x in xs.iter() {{\n        acc ^= x;\n    }}\n    acc\n}}\n"
+        )),
+        i().prop_map(|m| format!(
+            "#[cfg(test)]\nmod {m} {{\n    #[test]\n    fn t() {{\n        \
+             let now = std::time::Instant::now();\n        let _ = now.elapsed();\n    }}\n}}\n"
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Total on arbitrary printable text — including unbalanced
+    /// delimiters, stray quotes, and half-written directives.
+    #[test]
+    fn never_panics_on_arbitrary_text(src in "[ -~\n]{0,400}") {
+        let diags = analyze(&class(), &src);
+        check_spans(&src, &diags);
+    }
+
+    /// Total on arbitrary Unicode.
+    #[test]
+    fn never_panics_on_arbitrary_unicode(src in "\\PC{0,200}") {
+        let diags = analyze(&class(), &src);
+        check_spans(&src, &diags);
+    }
+
+    /// On arbitrary sequences of well-formed items: no panic, valid
+    /// spans, deterministic output, and inline-allowed findings carry
+    /// their reasons.
+    #[test]
+    fn spanned_and_deterministic_on_wellformed_items(items in proptest::collection::vec(item(), 0..6)) {
+        let src = items.concat();
+        let diags = analyze(&class(), &src);
+        check_spans(&src, &diags);
+        let again = analyze(&class(), &src);
+        prop_assert_eq!(&diags, &again, "analysis must be deterministic");
+        for d in &diags {
+            if let Some(s) = &d.suppression {
+                prop_assert!(!s.reason().trim().is_empty());
+            }
+            if d.code == Code::BadAllowDirective {
+                prop_assert!(d.is_active(), "DL000 is never suppressible");
+            }
+        }
+    }
+}

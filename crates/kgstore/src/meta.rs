@@ -86,19 +86,28 @@ impl MetaRegistry {
         self.meta.is_empty()
     }
 
-    /// Iterate `(entity, meta)` pairs (arbitrary order).
+    /// Iterate `(entity, meta)` pairs in ascending entity-id order.
+    /// The backing map is hash-ordered; sorting here keeps every
+    /// consumer off that non-contractual order.
     pub fn iter(&self) -> impl Iterator<Item = (Atom, &EntityMeta)> {
-        self.meta.iter().map(|(a, m)| (*a, m))
+        let mut entries: Vec<(Atom, &EntityMeta)> =
+            self.meta.iter().map(|(a, m)| (*a, m)).collect();
+        entries.sort_unstable_by_key(|&(a, _)| a);
+        entries.into_iter()
     }
 
-    /// Rebuild the surface index after deserialization.
+    /// Rebuild the surface index after deserialization. Entities are
+    /// indexed in ascending id order — the same order `insert` sees
+    /// during construction (atoms are interned sequentially), so a
+    /// serialize/deserialize round trip reproduces the index exactly.
     pub fn rebuild_index(&mut self) {
         self.by_label.clear();
-        let entries: Vec<(Atom, String, Vec<String>)> = self
+        let mut entries: Vec<(Atom, String, Vec<String>)> = self
             .meta
             .iter()
             .map(|(a, m)| (*a, m.label.clone(), m.aliases.clone()))
             .collect();
+        entries.sort_unstable_by_key(|e| e.0);
         for (a, label, aliases) in entries {
             self.index_surface(&label, a);
             for alias in &aliases {

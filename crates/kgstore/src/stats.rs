@@ -62,17 +62,18 @@ pub struct SourceStats {
 
 /// Compute [`SourceStats`] for a source.
 pub fn source_stats(src: &KgSource) -> SourceStats {
-    use crate::hash::FxHashMap;
-    let mut label_counts: FxHashMap<&str, usize> = FxHashMap::default();
-    for (_, m) in src.meta.iter() {
-        *label_counts.entry(m.label.as_str()).or_default() += 1;
-    }
+    let mut labels: Vec<&str> = src.meta.iter().map(|(_, m)| m.label.as_str()).collect();
+    labels.sort_unstable();
+    let ambiguous_labels = labels
+        .chunk_by(|a, b| a == b)
+        .filter(|run| run.len() > 1)
+        .count();
     SourceStats {
         name: src.name.clone(),
         style: src.style.name().to_string(),
         store: store_stats(&src.store),
         entities: src.meta.len(),
-        ambiguous_labels: label_counts.values().filter(|&&c| c > 1).count(),
+        ambiguous_labels,
     }
 }
 

@@ -139,6 +139,9 @@ impl Method for SelfConsistency {
             *votes.entry(normalize_answer(s)).or_default() += 1;
         }
         let winner_key = votes
+            // detlint: allow(DL001) the winner among full (count, len)
+            // ties follows the map's deterministic Fx iteration; a new
+            // tie-break would silently change published answers.
             .iter()
             .max_by_key(|(k, &v)| (v, std::cmp::Reverse(k.len())))
             .map(|(k, _)| k.clone())

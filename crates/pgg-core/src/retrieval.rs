@@ -827,6 +827,9 @@ pub fn ground_graph(
         score_sum: f32,
     }
     let mut by_subject: FxHashMap<Atom, Agg> = FxHashMap::default();
+    // detlint: allow(DL001) f32 score_sum accumulation order is pinned:
+    // re-ordering changes low-order float bits of mean_score and can
+    // flip near-tie pruning. Fx iteration is deterministic run-to-run.
     for (&idx, &score) in &best_score {
         let c = by_subject.entry(base.subjects[idx]).or_insert(Agg {
             count: 0,
@@ -839,6 +842,9 @@ pub fn ground_graph(
 
     // Pruning (paper rule or a configured alternative).
     let candidates: Vec<Candidate> = by_subject
+        // detlint: allow(DL001) candidate order is pinned: downstream
+        // pruning resolves score ties by input order, so re-ordering
+        // here would change which subjects survive.
         .into_iter()
         .map(|(a, c)| Candidate {
             subject: a,

@@ -39,7 +39,12 @@ impl IdfModel {
         let n = n_docs as f32;
         let mut weights = FxHashMap::default();
         let mut max_w: f32 = 1.0;
-        for (h, d) in df {
+        // Walk the document frequencies in a fixed (hash-key) order;
+        // both outputs — the weight table and the running max — are
+        // order-insensitive, so this only removes the hash-order walk.
+        let mut by_token: Vec<(u64, u32)> = df.into_iter().collect();
+        by_token.sort_unstable_by_key(|&(h, _)| h);
+        for (h, d) in by_token {
             let w = ((n + 1.0) / (d as f32 + 1.0)).ln() + 1.0;
             max_w = max_w.max(w);
             weights.insert(h, w);

@@ -75,9 +75,13 @@ fn dot_i8_body(a: &[i8], b: &[i8]) -> i32 {
 /// without this the integer screen barely beats the f32 scan; with it
 /// the body compiles to 256-bit widening multiply-adds (~2.5× the f32
 /// kernel at dim 256, measured in the perf bench).
+///
+/// # Safety
+/// Caller must have verified AVX2 support at runtime
+/// (`is_x86_feature_detected!("avx2")`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
     dot_i8_body(a, b)
 }
 
@@ -111,9 +115,13 @@ fn dot_i8_block_body(query: &[i8], rows: &[i8], dim: usize, out: &mut Vec<i32>) 
 }
 
 /// AVX2 instantiation of the block screen (see [`dot_i8_avx2`]).
+///
+/// # Safety
+/// Caller must have verified AVX2 support at runtime
+/// (`is_x86_feature_detected!("avx2")`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-fn dot_i8_block_avx2(query: &[i8], rows: &[i8], dim: usize, out: &mut Vec<i32>) {
+unsafe fn dot_i8_block_avx2(query: &[i8], rows: &[i8], dim: usize, out: &mut Vec<i32>) {
     dot_i8_block_body(query, rows, dim, out);
 }
 
@@ -201,6 +209,10 @@ unsafe fn dot_i8_row_x4_avx2(
     split: usize,
 ) -> [i32; QUERY_TILE] {
     use std::arch::x86_64::*;
+    // SAFETY: guaranteed by this fn's `# Safety` contract — AVX2 is
+    // enabled, `split` is a multiple of AVX2_CHUNK no longer than the
+    // row, and every `wide[t]` holds at least `split` i16 elements, so
+    // all 256-bit loads stay in bounds.
     unsafe {
         let mut acc = [_mm256_setzero_si256(); QUERY_TILE];
         let mut i = 0;
@@ -242,10 +254,11 @@ unsafe fn dot_i8_row_x4_avx2(
 /// [`dot_i8_batch_body`]'s.
 ///
 /// # Safety
-/// Caller must have verified AVX2 support.
+/// Caller must have verified AVX2 support at runtime
+/// (`is_x86_feature_detected!("avx2")`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-fn dot_i8_batch_avx2(queries: &[&[i8]], rows: &[i8], dim: usize, out: &mut [Vec<i32>]) {
+unsafe fn dot_i8_batch_avx2(queries: &[&[i8]], rows: &[i8], dim: usize, out: &mut [Vec<i32>]) {
     debug_assert_eq!(queries.len(), out.len());
     if dim == 0 || queries.is_empty() {
         return;
