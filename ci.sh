@@ -53,6 +53,23 @@ grep -q "batched kernel bit-identical" /tmp/perf_smoke.out || {
     exit 1
 }
 
+echo "==> soak smoke (concurrent serving: contract holds, 1-vs-8-worker identity)"
+cargo run -q --release -p bench --bin soak -- --smoke | tee /tmp/soak_smoke.out
+grep -q "workers 1/8 identical" /tmp/soak_smoke.out || {
+    echo "ci.sh: soak smoke lost the worker-count identity assertion" >&2
+    exit 1
+}
+
+echo "==> BENCH_soak.json carries the soak sweep and its gates"
+grep -q '"bench": "soak"' BENCH_soak.json || {
+    echo "ci.sh: BENCH_soak.json missing or stale — regenerate with: cargo run --release -p bench --bin soak" >&2
+    exit 1
+}
+grep -q '"worker_count_identity": true' BENCH_soak.json || {
+    echo "ci.sh: BENCH_soak.json gates incomplete — regenerate with: cargo run --release -p bench --bin soak" >&2
+    exit 1
+}
+
 echo "==> BENCH_perf.json carries scoring and batched sections"
 grep -q '"scoring"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json lacks the \"scoring\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
@@ -60,6 +77,10 @@ grep -q '"scoring"' BENCH_perf.json || {
 }
 grep -q '"batched"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json lacks the \"batched\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
+    exit 1
+}
+grep -q '"warnings"' BENCH_perf.json || {
+    echo "ci.sh: BENCH_perf.json lacks the \"warnings\" array — regenerate with: cargo run --release -p bench --bin perf" >&2
     exit 1
 }
 

@@ -344,6 +344,13 @@ fn e2e_arm(
     }
 }
 
+/// Minimal JSON string escaping for the hand-formatted report: the
+/// warning texts are ASCII diagnostics, so quotes and backslashes are
+/// the only characters that could break the encoding.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 #[allow(clippy::too_many_arguments)] // one argument per report section
 fn json_report(
     build: &BuildTiming,
@@ -354,6 +361,7 @@ fn json_report(
     questions: usize,
     k: usize,
     sigma: f32,
+    warnings: &[String],
 ) -> String {
     // Hand-formatted: the report layout is fixed and flat, and keeping
     // the encoder trivial means the bench has no serializer in its hot
@@ -418,7 +426,8 @@ fn json_report(
             "  ]}},\n",
             "  \"e2e\": {{\"questions\": {}, \"answers_identical\": true, \"arms\": [\n",
             "{}\n",
-            "  ]}}\n",
+            "  ]}},\n",
+            "  \"warnings\": [{}]\n",
             "}}\n"
         ),
         build.docs,
@@ -453,6 +462,11 @@ fn json_report(
         width_json.join(",\n"),
         questions,
         arm_json.join(",\n"),
+        warnings
+            .iter()
+            .map(|w| format!("\"{}\"", json_escape(w)))
+            .collect::<Vec<_>>()
+            .join(", "),
     )
 }
 
@@ -511,15 +525,18 @@ fn main() {
         eprintln!("perf violation: batched mode changed end-to-end answers");
         std::process::exit(1);
     }
+    let mut warnings: Vec<String> = Vec::new();
     if pruned_arm.cold_ms > exact_arm.cold_ms {
-        eprintln!(
-            "WARN: pruned e2e underperforms exact (cold {:.2} q/s vs {:.2} q/s, \
+        let w = format!(
+            "pruned e2e underperforms exact (cold {:.2} q/s vs {:.2} q/s, \
              candidate fraction {:.3}) — postings pruning is not paying for \
              its candidate lookups on this corpus",
             e2e_set.questions.len() as f64 / (pruned_arm.cold_ms / 1e3),
             e2e_set.questions.len() as f64 / (exact_arm.cold_ms / 1e3),
             pruned_arm.cand_fraction,
         );
+        eprintln!("WARN: {w}");
+        warnings.push(w);
     }
 
     let retrieval_speedup = retr.exact_ms / retr.pruned_ms;
@@ -562,6 +579,7 @@ fn main() {
         e2e_set.questions.len(),
         exp.cfg.top_k,
         exp.cfg.retrieval_jitter,
+        &warnings,
     );
     std::fs::write("BENCH_perf.json", &report).expect("write BENCH_perf.json");
     println!("{report}");

@@ -16,6 +16,9 @@
 //!   transport-fault telemetry;
 //! * [`resilience`] — retry/circuit-breaker middleware over the fallible
 //!   LLM transport, plus the per-stage degradation helpers;
+//! * [`serve`] — the fault-hardened concurrent QA service: bounded
+//!   admission, per-question deadlines, breaker-driven load shedding,
+//!   all deterministic on the virtual clock;
 //! * [`config`] — pipeline knobs and the paper's experiment constants.
 
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@ pub mod report;
 pub mod resilience;
 pub mod retrieval;
 pub mod runner;
+pub mod serve;
 
 pub use baselines::{Cot, Io, Qsm, SelfConsistency};
 pub use config::{paper, PipelineConfig};
@@ -36,9 +40,16 @@ pub use method::{capability_row, BaseRef, Capabilities, Method, MethodOutput, Qa
 pub use pipeline::{PseudoGraphPipeline, Stages};
 pub use prune::{Candidate, PruneStrategy};
 pub use report::{write_markdown_summary, write_records_jsonl, RunSummary};
-pub use resilience::{best_effort_answer, ResilienceConfig, ResilientLlm, StageCall};
+pub use resilience::{
+    best_effort_answer, Admit, Breaker, BreakerState, BreakerTransition, ResilienceConfig,
+    ResilientLlm, StageCall,
+};
 pub use retrieval::{
-    ground_graph, BaseIndex, BatchMode, CacheStats, QuerySlot, RetrievalMode, RetrievalStats,
-    ScoringMode, ScoringStats,
+    ground_graph, ground_graph_with, BaseIndex, BatchMode, CacheStats, GroundBatchFn, QuerySlot,
+    RetrievalMode, RetrievalStats, ScoringMode, ScoringStats,
 };
 pub use runner::{run, score_answer, FaultSummary, Record, RunError, RunResult};
+pub use serve::{
+    serve, Arrival, BatchTelemetry, Disposition, OfferedTrace, Outcome, ServeConfig, ServeReport,
+    ShedReason,
+};

@@ -6,10 +6,10 @@
 
 use crate::method::{Method, MethodOutput, QaContext, Trace};
 use crate::resilience::{best_effort_answer, ResilientLlm};
-use crate::retrieval::ground_graph;
+use crate::retrieval::{ground_graph_with, BaseIndex, GroundBatchFn};
 use cypher::{extract_cypher, Executor, Mode, Severity};
 use kgstore::StrTriple;
-use simllm::{parse_triple_lines, prompt, LlmTask};
+use simllm::{parse_triple_lines, prompt, GroundGraph, LlmTask};
 use worldgen::Question;
 
 /// Which stages of the pipeline run.
@@ -41,18 +41,8 @@ impl PseudoGraphPipeline {
         }
     }
 
-    /// Step 1: generate + decode the pseudo-graph, with the `cylint`
-    /// analyze → repair pass in between. `trace.cypher_error` always
-    /// reflects the *raw* script (so §4.6.1 error counts match the
-    /// paper); when repair is enabled and rescues a raw failure, the
-    /// salvaged triples are used and `trace.salvaged` is set. With
-    /// repair disabled a failing script yields an empty graph and
-    /// answering degrades to CoT, exactly as in the paper.
-    ///
-    /// Degradation: a truncated completion is salvaged as raw Cypher
-    /// (`extract_cypher` already tolerates an unterminated fence); any
-    /// other exhausted failure yields an empty pseudo-graph, so the
-    /// question degrades to graph-free answering downstream.
+    /// Step 1: generate + decode the pseudo-graph — see
+    /// [`pseudo_graph_stage`].
     fn pseudo_graph(
         &self,
         ctx: &QaContext<'_>,
@@ -60,70 +50,10 @@ impl PseudoGraphPipeline {
         q: &Question,
         trace: &mut Trace,
     ) -> Vec<StrTriple> {
-        let p = prompt::pseudo_graph_prompt(&q.text);
-        let (res, call) = rl.complete(&p, &LlmTask::PseudoGraph { question: q });
-        trace.llm_calls.push(call);
-        let raw = match res {
-            Ok(c) => c.text,
-            Err(e) => match e.partial_text() {
-                Some(t) if !t.is_empty() => {
-                    trace.degradation.push("pseudo:truncated-salvage".into());
-                    t.to_string()
-                }
-                _ => {
-                    trace.degradation.push("pseudo:empty-graph".into());
-                    return Vec::new();
-                }
-            },
-        };
-        trace.pseudo_raw = Some(raw.clone());
-        let src = extract_cypher(&raw);
-        let spanned = match cypher::parse_spanned(&src) {
-            Ok(s) => s,
-            Err(e) => {
-                // Not even parseable: nothing for the analyzer to work
-                // with, no repair possible.
-                trace.cypher_error = Some(e.category().to_string());
-                return Vec::new();
-            }
-        };
-        trace.diagnostics = cypher::analyze_spanned(&spanned.script, &spanned.spans);
-        if let Some(d) = trace
-            .diagnostics
-            .iter()
-            .find(|d| d.severity == Severity::Error)
-        {
-            trace.cypher_error = Some(d.code.slug().to_string());
-        }
-        let raw_failed = trace.cypher_error.is_some();
-        let script = if ctx.cfg.repair {
-            let outcome = cypher::repair(&spanned.script);
-            trace.repairs = outcome.fixes.iter().map(|f| f.to_string()).collect();
-            outcome.script
-        } else {
-            spanned.script
-        };
-        let mut exec = Executor::new();
-        match exec.run(&script, Mode::CreateOnly) {
-            Ok(_) => {
-                trace.salvaged = raw_failed;
-                let triples = exec.into_graph().decode_triples();
-                trace.pseudo_triples = triples.clone();
-                triples
-            }
-            Err(e) => {
-                trace.cypher_error = Some(e.category().to_string());
-                Vec::new()
-            }
-        }
+        pseudo_graph_stage(ctx, rl, q, trace)
     }
 
-    /// Final step: answer from a graph (Figure 5). An empty graph makes
-    /// the model fall back to its own reasoning.
-    ///
-    /// Degradation: a truncated completion is used as-is; any other
-    /// exhausted failure assembles a best-effort answer from the graph's
-    /// object strings — a degraded question is still answered.
+    /// Final step: answer from a graph — see [`answer_stage`].
     fn generate_answer(
         &self,
         rl: &ResilientLlm<'_>,
@@ -131,22 +61,228 @@ impl PseudoGraphPipeline {
         graph: &[StrTriple],
         trace: &mut Trace,
     ) -> String {
-        let p = prompt::answer_prompt(&q.text, graph);
-        let (res, call) = rl.complete(&p, &LlmTask::AnswerFromGraph { question: q, graph });
+        answer_stage(rl, q, graph, trace)
+    }
+}
+
+/// Step 1: generate + decode the pseudo-graph, with the `cylint`
+/// analyze → repair pass in between. `trace.cypher_error` always
+/// reflects the *raw* script (so §4.6.1 error counts match the
+/// paper); when repair is enabled and rescues a raw failure, the
+/// salvaged triples are used and `trace.salvaged` is set. With
+/// repair disabled a failing script yields an empty graph and
+/// answering degrades to CoT, exactly as in the paper.
+///
+/// Degradation: a truncated completion is salvaged as raw Cypher
+/// (`extract_cypher` already tolerates an unterminated fence); any
+/// other exhausted failure yields an empty pseudo-graph, so the
+/// question degrades to graph-free answering downstream.
+///
+/// A free function (not a method) so the serving layer's deadline-aware
+/// executor can compose stages with budget checks between them.
+pub(crate) fn pseudo_graph_stage(
+    ctx: &QaContext<'_>,
+    rl: &ResilientLlm<'_>,
+    q: &Question,
+    trace: &mut Trace,
+) -> Vec<StrTriple> {
+    let p = prompt::pseudo_graph_prompt(&q.text);
+    let (res, call) = rl.complete(&p, &LlmTask::PseudoGraph { question: q });
+    trace.llm_calls.push(call);
+    let raw = match res {
+        Ok(c) => c.text,
+        Err(e) => match e.partial_text() {
+            Some(t) if !t.is_empty() => {
+                trace.degradation.push("pseudo:truncated-salvage".into());
+                t.to_string()
+            }
+            _ => {
+                trace.degradation.push("pseudo:empty-graph".into());
+                return Vec::new();
+            }
+        },
+    };
+    trace.pseudo_raw = Some(raw.clone());
+    let src = extract_cypher(&raw);
+    let spanned = match cypher::parse_spanned(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            // Not even parseable: nothing for the analyzer to work
+            // with, no repair possible.
+            trace.cypher_error = Some(e.category().to_string());
+            return Vec::new();
+        }
+    };
+    trace.diagnostics = cypher::analyze_spanned(&spanned.script, &spanned.spans);
+    if let Some(d) = trace
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == Severity::Error)
+    {
+        trace.cypher_error = Some(d.code.slug().to_string());
+    }
+    let raw_failed = trace.cypher_error.is_some();
+    let script = if ctx.cfg.repair {
+        let outcome = cypher::repair(&spanned.script);
+        trace.repairs = outcome.fixes.iter().map(|f| f.to_string()).collect();
+        outcome.script
+    } else {
+        spanned.script
+    };
+    let mut exec = Executor::new();
+    match exec.run(&script, Mode::CreateOnly) {
+        Ok(_) => {
+            trace.salvaged = raw_failed;
+            let triples = exec.into_graph().decode_triples();
+            trace.pseudo_triples = triples.clone();
+            triples
+        }
+        Err(e) => {
+            trace.cypher_error = Some(e.category().to_string());
+            Vec::new()
+        }
+    }
+}
+
+/// Step 2: semantic querying + two-step pruning against the base index,
+/// recording the retrieval diagnostics in the trace. `batch_fn`
+/// substitutes for the one batched retrieval call grounding makes
+/// ([`crate::retrieval::GroundBatchFn`]) — the serving layer's
+/// admission batcher hooks in here; `None` queries the base directly.
+pub(crate) fn ground_stage(
+    ctx: &QaContext<'_>,
+    base: &BaseIndex,
+    pseudo: &[StrTriple],
+    batch_fn: Option<&GroundBatchFn<'_>>,
+    trace: &mut Trace,
+) -> GroundGraph {
+    let source = ctx.source.expect("full pipeline needs a KG source");
+    let (ground, stats) = ground_graph_with(source, base, ctx.embedder, ctx.cfg, pseudo, batch_fn);
+    trace.base_triples = stats.base_triples;
+    trace.ground_entities = ground
+        .entities
+        .iter()
+        .map(|e| (e.label.clone(), e.score))
+        .collect();
+    trace.ground_triples = ground.triple_count();
+    ground
+}
+
+/// Step 3: pseudo-graph verification (single pass, or the
+/// majority-voted multi-pass extension), yielding the fixed graph.
+///
+/// Degradation: an empty ground graph (or every pass exhausted) keeps
+/// the pseudo-graph unverified rather than losing it; a truncated
+/// verifier output is a valid prefix of the fixed-triple list.
+pub(crate) fn verify_stage(
+    ctx: &QaContext<'_>,
+    rl: &ResilientLlm<'_>,
+    q: &Question,
+    pseudo: &[StrTriple],
+    ground: &GroundGraph,
+    trace: &mut Trace,
+) -> Vec<StrTriple> {
+    if ground.is_empty() {
+        // Nothing retrieved: the pseudo-graph stands as-is
+        // (robustness: upstream emptiness does not abort the run).
+        return pseudo.to_vec();
+    }
+    if ctx.cfg.verify_passes <= 1 {
+        let p = prompt::verify_prompt(&q.text, pseudo, &ground.sections());
+        let (res, call) = rl.complete(
+            &p,
+            &LlmTask::VerifyGraph {
+                question: q,
+                pseudo,
+                ground,
+            },
+        );
         trace.llm_calls.push(call);
         match res {
-            Ok(c) => c.text,
+            Ok(c) => parse_triple_lines(&c.text),
+            // A truncated verifier output is a valid prefix of the
+            // fixed-triple list; anything else exhausted keeps the
+            // pseudo-graph unverified rather than losing it.
             Err(e) => match e.partial_text() {
                 Some(t) if !t.is_empty() => {
-                    trace.degradation.push("answer:truncated".into());
-                    t.to_string()
+                    trace.degradation.push("verify:truncated-prefix".into());
+                    parse_triple_lines(t)
                 }
                 _ => {
-                    trace.degradation.push("answer:graph-objects".into());
-                    best_effort_answer(graph)
+                    trace.degradation.push("verify:unverified".into());
+                    pseudo.to_vec()
                 }
             },
         }
+    } else {
+        let p = prompt::verify_prompt(&q.text, pseudo, &ground.sections());
+        let mut runs: Vec<Vec<StrTriple>> = Vec::new();
+        let mut dropped = 0u32;
+        for i in 0..ctx.cfg.verify_passes {
+            let (res, call) = rl.complete(
+                &p,
+                &LlmTask::VerifyGraphSample {
+                    question: q,
+                    pseudo,
+                    ground,
+                    index: i,
+                },
+            );
+            trace.llm_calls.push(call);
+            match res {
+                Ok(c) => runs.push(parse_triple_lines(&c.text)),
+                Err(e) => match e.partial_text() {
+                    Some(t) if !t.is_empty() => {
+                        trace.degradation.push("verify:truncated-prefix".into());
+                        runs.push(parse_triple_lines(t));
+                    }
+                    // A failed pass is dropped from the tally; the
+                    // vote runs over the survivors.
+                    _ => dropped += 1,
+                },
+            }
+        }
+        if dropped > 0 {
+            trace
+                .degradation
+                .push(format!("verify:dropped-passes:{dropped}"));
+        }
+        if runs.is_empty() {
+            trace.degradation.push("verify:unverified".into());
+            pseudo.to_vec()
+        } else {
+            majority_vote(&runs)
+        }
+    }
+}
+
+/// Final step: answer from a graph (Figure 5). An empty graph makes
+/// the model fall back to its own reasoning.
+///
+/// Degradation: a truncated completion is used as-is; any other
+/// exhausted failure assembles a best-effort answer from the graph's
+/// object strings — a degraded question is still answered.
+pub(crate) fn answer_stage(
+    rl: &ResilientLlm<'_>,
+    q: &Question,
+    graph: &[StrTriple],
+    trace: &mut Trace,
+) -> String {
+    let p = prompt::answer_prompt(&q.text, graph);
+    let (res, call) = rl.complete(&p, &LlmTask::AnswerFromGraph { question: q, graph });
+    trace.llm_calls.push(call);
+    match res {
+        Ok(c) => c.text,
+        Err(e) => match e.partial_text() {
+            Some(t) if !t.is_empty() => {
+                trace.degradation.push("answer:truncated".into());
+                t.to_string()
+            }
+            _ => {
+                trace.degradation.push("answer:graph-objects".into());
+                best_effort_answer(graph)
+            }
+        },
     }
 }
 
@@ -214,90 +350,12 @@ impl Method for PseudoGraphPipeline {
         }
 
         // Step 2 — Semantic Querying + two-step pruning.
-        let source = ctx.source.expect("full pipeline needs a KG source");
         let base = ctx.base_for(&q.text);
-        let (ground, stats) = ground_graph(source, &base, ctx.embedder, ctx.cfg, &pseudo);
-        trace.base_triples = stats.base_triples;
-        trace.ground_entities = ground
-            .entities
-            .iter()
-            .map(|e| (e.label.clone(), e.score))
-            .collect();
-        trace.ground_triples = ground.triple_count();
+        let ground = ground_stage(ctx, &base, &pseudo, None, &mut trace);
 
         // Step 3 — Pseudo-Graph Verification (single pass, or the
         // majority-voted multi-pass extension).
-        let fixed = if ground.is_empty() {
-            // Nothing retrieved: the pseudo-graph stands as-is
-            // (robustness: upstream emptiness does not abort the run).
-            pseudo.clone()
-        } else if ctx.cfg.verify_passes <= 1 {
-            let p = prompt::verify_prompt(&q.text, &pseudo, &ground.sections());
-            let (res, call) = rl.complete(
-                &p,
-                &LlmTask::VerifyGraph {
-                    question: q,
-                    pseudo: &pseudo,
-                    ground: &ground,
-                },
-            );
-            trace.llm_calls.push(call);
-            match res {
-                Ok(c) => parse_triple_lines(&c.text),
-                // A truncated verifier output is a valid prefix of the
-                // fixed-triple list; anything else exhausted keeps the
-                // pseudo-graph unverified rather than losing it.
-                Err(e) => match e.partial_text() {
-                    Some(t) if !t.is_empty() => {
-                        trace.degradation.push("verify:truncated-prefix".into());
-                        parse_triple_lines(t)
-                    }
-                    _ => {
-                        trace.degradation.push("verify:unverified".into());
-                        pseudo.clone()
-                    }
-                },
-            }
-        } else {
-            let p = prompt::verify_prompt(&q.text, &pseudo, &ground.sections());
-            let mut runs: Vec<Vec<StrTriple>> = Vec::new();
-            let mut dropped = 0u32;
-            for i in 0..ctx.cfg.verify_passes {
-                let (res, call) = rl.complete(
-                    &p,
-                    &LlmTask::VerifyGraphSample {
-                        question: q,
-                        pseudo: &pseudo,
-                        ground: &ground,
-                        index: i,
-                    },
-                );
-                trace.llm_calls.push(call);
-                match res {
-                    Ok(c) => runs.push(parse_triple_lines(&c.text)),
-                    Err(e) => match e.partial_text() {
-                        Some(t) if !t.is_empty() => {
-                            trace.degradation.push("verify:truncated-prefix".into());
-                            runs.push(parse_triple_lines(t));
-                        }
-                        // A failed pass is dropped from the tally; the
-                        // vote runs over the survivors.
-                        _ => dropped += 1,
-                    },
-                }
-            }
-            if dropped > 0 {
-                trace
-                    .degradation
-                    .push(format!("verify:dropped-passes:{dropped}"));
-            }
-            if runs.is_empty() {
-                trace.degradation.push("verify:unverified".into());
-                pseudo.clone()
-            } else {
-                majority_vote(&runs)
-            }
-        };
+        let fixed = verify_stage(ctx, &rl, q, &pseudo, &ground, &mut trace);
         trace.fixed_triples = fixed.clone();
 
         // Step 4 — Answer Generation.

@@ -34,6 +34,15 @@ pub struct ResilienceConfig {
     /// Consecutive attempt failures of one task kind that trip the
     /// breaker; once open, calls of that kind fail fast.
     pub breaker_threshold: u32,
+    /// Virtual milliseconds an open breaker stays open before it admits
+    /// a single half-open probe (probe success closes it, probe failure
+    /// re-opens it for another cooldown).
+    #[serde(default = "default_breaker_cooldown_ms")]
+    pub breaker_cooldown_ms: u64,
+}
+
+fn default_breaker_cooldown_ms() -> u64 {
+    1_000
 }
 
 impl Default for ResilienceConfig {
@@ -44,6 +53,7 @@ impl Default for ResilienceConfig {
             backoff_base_ms: 100,
             backoff_cap_ms: 2_000,
             breaker_threshold: 5,
+            breaker_cooldown_ms: default_breaker_cooldown_ms(),
         }
     }
 }
@@ -75,12 +85,158 @@ pub struct StageCall {
     pub fast_failed: bool,
 }
 
+/// Observable circuit-breaker state (the classic three-state diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Tripped: calls fail fast until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe call is admitted; its
+    /// outcome decides Closed (success) vs Open again (failure).
+    HalfOpen,
+}
+
+/// Admission verdict from [`Breaker::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Breaker closed — proceed normally.
+    Yes,
+    /// Breaker half-open — this call is the recovery probe.
+    Probe,
+    /// Breaker open (or a probe is already in flight) — fail fast.
+    No,
+}
+
+/// One logged state change, stamped with the virtual clock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerTransition {
+    /// Virtual time of the transition (ms).
+    pub at_ms: u64,
+    /// State left.
+    pub from: BreakerState,
+    /// State entered.
+    pub to: BreakerState,
+}
+
+/// A three-state circuit breaker driven entirely by an external virtual
+/// clock: closed → (threshold consecutive failures) → open → (cooldown
+/// elapses) → half-open → one probe → closed or open again. Shared by
+/// [`ResilientLlm`] (one per task kind) and the serving layer's
+/// load-shedding breaker ([`crate::serve`]).
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown_ms: u64,
+    consecutive_failures: u32,
+    state: BreakerState,
+    /// When `Open`, the virtual time the cooldown ends.
+    open_until_ms: u64,
+    /// When `HalfOpen`, whether the single probe slot is taken.
+    probe_in_flight: bool,
+    transitions: Vec<BreakerTransition>,
+}
+
+impl Breaker {
+    /// A closed breaker that trips after `threshold` consecutive
+    /// failures and stays open for `cooldown_ms` virtual milliseconds.
+    pub fn new(threshold: u32, cooldown_ms: u64) -> Self {
+        Self {
+            threshold: threshold.max(1),
+            cooldown_ms,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            open_until_ms: 0,
+            probe_in_flight: false,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state (after any cooldown expiry would apply on the next
+    /// `admit`; this is the raw stored state).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Every state change so far, in virtual-time order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    fn set_state(&mut self, now_ms: u64, to: BreakerState) {
+        if self.state != to {
+            self.transitions.push(BreakerTransition {
+                at_ms: now_ms,
+                from: self.state,
+                to,
+            });
+            self.state = to;
+        }
+    }
+
+    /// May a call proceed at virtual time `now_ms`? An open breaker
+    /// whose cooldown has elapsed flips to half-open here and admits
+    /// the caller as the probe.
+    pub fn admit(&mut self, now_ms: u64) -> Admit {
+        match self.state {
+            BreakerState::Closed => Admit::Yes,
+            BreakerState::Open => {
+                if now_ms >= self.open_until_ms {
+                    self.set_state(now_ms, BreakerState::HalfOpen);
+                    self.probe_in_flight = true;
+                    Admit::Probe
+                } else {
+                    Admit::No
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    Admit::No
+                } else {
+                    self.probe_in_flight = true;
+                    Admit::Probe
+                }
+            }
+        }
+    }
+
+    /// Record the outcome of an admitted call (normal or probe).
+    pub fn on_result(&mut self, now_ms: u64, ok: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                if ok {
+                    self.consecutive_failures = 0;
+                } else {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.threshold {
+                        self.open_until_ms = now_ms + self.cooldown_ms;
+                        self.set_state(now_ms, BreakerState::Open);
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probe_in_flight = false;
+                if ok {
+                    self.consecutive_failures = 0;
+                    self.set_state(now_ms, BreakerState::Closed);
+                } else {
+                    self.open_until_ms = now_ms + self.cooldown_ms;
+                    self.set_state(now_ms, BreakerState::Open);
+                }
+            }
+            // A result landing while open (e.g. a call admitted before
+            // the trip) neither extends nor shortens the cooldown.
+            BreakerState::Open => {}
+        }
+    }
+}
+
 /// Per-question retry/breaker middleware over any [`LanguageModel`].
 pub struct ResilientLlm<'a> {
     llm: &'a dyn LanguageModel,
     cfg: &'a ResilienceConfig,
-    /// Consecutive attempt failures per task kind; a success resets.
-    breakers: RefCell<FxHashMap<&'static str, u32>>,
+    /// One breaker per task kind, driven by the virtual clock.
+    breakers: RefCell<FxHashMap<&'static str, Breaker>>,
     clock_ms: Cell<u64>,
 }
 
@@ -98,6 +254,13 @@ impl<'a> ResilientLlm<'a> {
     /// Virtual milliseconds spent backing off so far.
     pub fn virtual_elapsed_ms(&self) -> u64 {
         self.clock_ms.get()
+    }
+
+    /// Advance the virtual clock by `ms` without backing off — the
+    /// serving layer charges simulated stage/transport time here so
+    /// open breakers can cool down and half-open mid-question.
+    pub fn advance_clock(&self, ms: u64) {
+        self.clock_ms.set(self.clock_ms.get() + ms);
     }
 
     fn backoff_for(&self, retry: u32, err: &LlmError) -> u64 {
@@ -133,20 +296,31 @@ impl<'a> ResilientLlm<'a> {
         }
         let mut last: Option<LlmError> = None;
         for retry in 0..self.cfg.max_attempts {
-            if self.breakers.borrow().get(kind).copied().unwrap_or(0) >= self.cfg.breaker_threshold
-            {
+            let admitted = self
+                .breakers
+                .borrow_mut()
+                .entry(kind)
+                .or_insert_with(|| {
+                    Breaker::new(self.cfg.breaker_threshold, self.cfg.breaker_cooldown_ms)
+                })
+                .admit(self.clock_ms.get());
+            if admitted == Admit::No {
                 call.fast_failed = true;
                 break;
             }
             call.attempts += 1;
             match self.llm.complete(prompt, task) {
                 Ok(c) => {
-                    self.breakers.borrow_mut().insert(kind, 0);
+                    if let Some(b) = self.breakers.borrow_mut().get_mut(kind) {
+                        b.on_result(self.clock_ms.get(), true);
+                    }
                     return (Ok(c), call);
                 }
                 Err(e) => {
                     call.faults.push(e.kind().to_string());
-                    *self.breakers.borrow_mut().entry(kind).or_default() += 1;
+                    if let Some(b) = self.breakers.borrow_mut().get_mut(kind) {
+                        b.on_result(self.clock_ms.get(), false);
+                    }
                     let budget_left = retry + 1 < self.cfg.max_attempts;
                     if e.is_retryable() && budget_left {
                         let wait = self.backoff_for(retry, &e);
@@ -381,6 +555,104 @@ mod tests {
         assert!(res.is_err());
         assert_eq!(call.attempts, 1);
         assert_eq!(call.backoff_ms, 0);
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let mut b = Breaker::new(2, 500);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(0), Admit::Yes);
+        b.on_result(0, false);
+        assert_eq!(b.admit(10), Admit::Yes);
+        b.on_result(10, false);
+        // Second consecutive failure trips it.
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(100), Admit::No, "cooling down");
+        assert_eq!(b.admit(509), Admit::No, "still cooling (10 + 500)");
+        // Cooldown elapsed: exactly one probe is admitted.
+        assert_eq!(b.admit(510), Admit::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(511), Admit::No, "probe already in flight");
+        b.on_result(520, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(521), Admit::Yes);
+        let states: Vec<(u64, BreakerState, BreakerState)> = b
+            .transitions()
+            .iter()
+            .map(|t| (t.at_ms, t.from, t.to))
+            .collect();
+        assert_eq!(
+            states,
+            vec![
+                (10, BreakerState::Closed, BreakerState::Open),
+                (510, BreakerState::Open, BreakerState::HalfOpen),
+                (520, BreakerState::HalfOpen, BreakerState::Closed),
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let mut b = Breaker::new(1, 300);
+        b.on_result(0, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(300), Admit::Probe);
+        b.on_result(305, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Fresh cooldown from the probe failure, not the original trip.
+        assert_eq!(b.admit(600), Admit::No);
+        assert_eq!(b.admit(605), Admit::Probe);
+        b.on_result(610, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.transitions().len(), 5, "O, HO, O, HO, C");
+    }
+
+    #[test]
+    fn halfopen_probe_slot_frees_after_resolution_only() {
+        let mut b = Breaker::new(1, 100);
+        b.on_result(0, false);
+        assert_eq!(b.admit(100), Admit::Probe);
+        assert_eq!(b.admit(150), Admit::No);
+        assert_eq!(b.admit(200), Admit::No);
+        b.on_result(250, true);
+        assert_eq!(b.admit(251), Admit::Yes);
+    }
+
+    #[test]
+    fn resilient_llm_recovers_through_halfopen_on_the_virtual_clock() {
+        let q = question();
+        // 4 failures trip the io breaker; the script then yields Ok
+        // forever, so the post-cooldown probe succeeds and closes it.
+        let always: Vec<_> = (0..4).map(|_| Err(LlmError::Transient)).collect();
+        let llm = FlakyLlm::new(always);
+        let cfg = ResilienceConfig {
+            max_attempts: 3,
+            breaker_threshold: 4,
+            breaker_cooldown_ms: 1_000,
+            ..Default::default()
+        };
+        let rl = ResilientLlm::new(&llm, &cfg);
+        let task = LlmTask::Io { question: &q };
+        assert!(rl.complete("p", &task).0.is_err());
+        let (r2, c2) = rl.complete("p", &task);
+        assert!(r2.is_err());
+        assert!(c2.fast_failed, "tripped on this call's first failure");
+        // Open: fails fast with zero transport attempts.
+        let (_, c3) = rl.complete("p", &task);
+        assert_eq!(c3.attempts, 0);
+        assert!(c3.fast_failed);
+        let before = llm.call_count();
+        // The serving layer charges simulated time; the cooldown
+        // elapses and the next call is admitted as the probe.
+        rl.advance_clock(1_000);
+        let (r4, c4) = rl.complete("p", &task);
+        assert_eq!(r4.unwrap().text, "ok");
+        assert_eq!(c4.attempts, 1);
+        assert!(!c4.fast_failed);
+        assert_eq!(llm.call_count(), before + 1);
+        // Closed again: further calls flow normally.
+        let (r5, _) = rl.complete("p", &task);
+        assert!(r5.is_ok());
     }
 
     #[test]

@@ -745,6 +745,14 @@ pub struct RetrievalStats {
     pub surviving_subjects: usize,
 }
 
+/// A substitute executor for the one batched retrieval call a question
+/// makes during grounding: hands back, slot for slot, exactly what
+/// [`BaseIndex::search_batch`] would return for these slots with the
+/// pipeline's (k, sigma, mode, scoring). The serving layer routes this
+/// through its cross-question admission batcher; the bit-identity
+/// contract of `search_batch` makes the substitution outcome-neutral.
+pub type GroundBatchFn<'h> = dyn Fn(&[QuerySlot<'_>]) -> Vec<Vec<Hit>> + 'h;
+
 /// Run semantic querying + two-step pruning for one question against a
 /// base index.
 pub fn ground_graph(
@@ -753,6 +761,19 @@ pub fn ground_graph(
     embedder: &Embedder,
     cfg: &PipelineConfig,
     pseudo: &[StrTriple],
+) -> (GroundGraph, RetrievalStats) {
+    ground_graph_with(source, base, embedder, cfg, pseudo, None)
+}
+
+/// [`ground_graph`] with an optional substitute for the batched
+/// retrieval call (`None` ⇒ call `base.search_batch` directly).
+pub fn ground_graph_with(
+    source: &KgSource,
+    base: &BaseIndex,
+    embedder: &Embedder,
+    cfg: &PipelineConfig,
+    pseudo: &[StrTriple],
+    batch_fn: Option<&GroundBatchFn<'_>>,
 ) -> (GroundGraph, RetrievalStats) {
     let mut stats = RetrievalStats {
         base_triples: base.len(),
@@ -788,14 +809,17 @@ pub fn ground_graph(
                     salt: kgstore::hash::stable_str_hash(s),
                 })
                 .collect();
-            base.search_batch(
-                embedder,
-                &slots,
-                cfg.top_k,
-                cfg.retrieval_jitter,
-                cfg.retrieval_mode,
-                cfg.scoring_mode,
-            )
+            match batch_fn {
+                Some(f) => f(&slots),
+                None => base.search_batch(
+                    embedder,
+                    &slots,
+                    cfg.top_k,
+                    cfg.retrieval_jitter,
+                    cfg.retrieval_mode,
+                    cfg.scoring_mode,
+                ),
+            }
         }
         BatchMode::PerQuery => sentences
             .iter()

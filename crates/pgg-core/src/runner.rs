@@ -117,7 +117,11 @@ pub enum RunError {
     },
     /// A worker thread died outside the per-question isolation (a bug
     /// in the runner itself, not in a method).
-    WorkerPanicked,
+    WorkerPanicked {
+        /// `index:qid` labels of the questions that were in flight when
+        /// the scope tore down — the suspects a soak report can name.
+        in_flight: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -126,7 +130,17 @@ impl std::fmt::Display for RunError {
             RunError::MissingKgSource { method } => {
                 write!(f, "{method} requires a KG source but none was provided")
             }
-            RunError::WorkerPanicked => write!(f, "a runner worker thread panicked"),
+            RunError::WorkerPanicked { in_flight } => {
+                if in_flight.is_empty() {
+                    write!(f, "a runner worker thread panicked (no question in flight)")
+                } else {
+                    write!(
+                        f,
+                        "a runner worker thread panicked (in flight: {})",
+                        in_flight.join(", ")
+                    )
+                }
+            }
         }
     }
 }
@@ -189,6 +203,9 @@ pub fn run(
     // per-question catch_unwind below keeps panics out of the critical
     // section anyway).
     let slots = parking_lot::Mutex::new(&mut records);
+    // Questions currently being answered, as `index:qid` — consulted
+    // only if the scope join fails, to name the suspects.
+    let in_flight = parking_lot::Mutex::new(std::collections::BTreeSet::<String>::new());
 
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
@@ -198,6 +215,8 @@ pub fn run(
                     break;
                 }
                 let q: &Question = &dataset.questions[i];
+                let label = format!("{i}:{}", q.id);
+                in_flight.lock().insert(label.clone());
                 let ctx = QaContext {
                     llm,
                     source,
@@ -225,14 +244,17 @@ pub fn run(
                             .map(|s| s.to_string())
                             .or_else(|| payload.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "unknown panic".to_string());
-                        failed_record(q, format!("panic:{msg}"))
+                        failed_record(q, format!("panic:{i}:{}:{msg}", q.id))
                     }
                 };
                 slots.lock()[i] = Some(rec);
+                in_flight.lock().remove(&label);
             });
         }
     })
-    .map_err(|_| RunError::WorkerPanicked)?;
+    .map_err(|_| RunError::WorkerPanicked {
+        in_flight: in_flight.lock().iter().cloned().collect(),
+    })?;
 
     let mut result = RunResult {
         method: method.name().to_string(),
@@ -477,9 +499,19 @@ mod tests {
                 .filter(|r| r.trace.degradation.iter().any(|d| d.starts_with("panic:")))
                 .count()
         );
-        for r in &res.records {
+        for (i, r) in res.records.iter().enumerate() {
             if r.answer.is_empty() {
                 assert_eq!(r.hit, Some(false), "failed records score as misses");
+                let note = r
+                    .trace
+                    .degradation
+                    .iter()
+                    .find(|d| d.starts_with("panic:"))
+                    .expect("failed record carries a panic note");
+                assert!(
+                    note.starts_with(&format!("panic:{i}:{}:", r.qid)),
+                    "panic note names the question: {note}"
+                );
             } else {
                 assert_eq!(r.answer, "fine");
             }

@@ -1,0 +1,278 @@
+//! The admission batcher: coalesces the grounding retrievals of
+//! concurrently-executing questions into one
+//! [`BaseIndex::search_batch`] call.
+//!
+//! Protocol: a worker **enrolls** when it starts a job and **leaves**
+//! when the job ends. A job that grounds **submits** its query slots
+//! and blocks for its share of a flushed batch; a job that never
+//! grounds (empty pseudo-graph, deadline skipped the stage) simply
+//! leaves. A flush happens exactly when every enrolled job is parked
+//! in `submit` — at that point nobody can contribute another slot, so
+//! waiting longer cannot widen the batch — or when the last
+//! non-waiting job leaves while requests are parked. Both triggers are
+//! evaluated under the one mutex, so the flush decision is race-free
+//! and the protocol cannot deadlock: whenever `waiting == active` with
+//! pending requests, whichever thread got the lock performs the flush
+//! before it blocks.
+//!
+//! Outcome-neutrality: `search_batch` guarantees per-slot bit-identity
+//! with the sequential path, so *which* questions happened to share a
+//! batch never changes any question's hits — only the
+//! [`BatchTelemetry`] counters, which are reported as
+//! scheduling-dependent.
+
+use crate::retrieval::{BaseIndex, QuerySlot};
+use crate::serve::BatchTelemetry;
+use crate::PipelineConfig;
+use kgstore::hash::FxHashMap;
+use semvec::{Embedder, Hit, QueryStyle};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// A slot copied out of the submitting job's stack frame so the batch
+/// can outlive it.
+struct OwnedSlot {
+    text: String,
+    style: QueryStyle,
+    salt: u64,
+}
+
+#[derive(Default)]
+struct BrokerState {
+    /// Jobs enrolled (started, not yet left).
+    active: usize,
+    /// Enrolled jobs parked in `submit`.
+    waiting: usize,
+    next_req: u64,
+    /// Parked requests, in submit order.
+    pending: VecDeque<(u64, Vec<OwnedSlot>)>,
+    /// Flushed results awaiting pickup, by request id.
+    ready: FxHashMap<u64, Vec<Vec<Hit>>>,
+    telemetry: BatchTelemetry,
+}
+
+/// Cross-question grounding batcher shared by the worker pool.
+pub(crate) struct GroundBroker<'a> {
+    base: &'a BaseIndex,
+    embedder: &'a Embedder,
+    cfg: &'a PipelineConfig,
+    state: Mutex<BrokerState>,
+    cv: Condvar,
+}
+
+impl<'a> GroundBroker<'a> {
+    pub(crate) fn new(
+        base: &'a BaseIndex,
+        embedder: &'a Embedder,
+        cfg: &'a PipelineConfig,
+    ) -> Self {
+        Self {
+            base,
+            embedder,
+            cfg,
+            state: Mutex::new(BrokerState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BrokerState> {
+        // A job panic can never happen while this mutex is held (all
+        // pipeline code runs outside it), but stay usable even if a
+        // poisoned lock ever surfaces.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A worker started a job.
+    pub(crate) fn enroll(&self) {
+        self.lock().active += 1;
+    }
+
+    /// A worker finished a job (grounded or not). If everyone still
+    /// enrolled is parked, their batch can no longer grow — flush it.
+    pub(crate) fn leave(&self) {
+        let mut st = self.lock();
+        st.active -= 1;
+        if st.waiting == st.active && !st.pending.is_empty() {
+            self.flush(&mut st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Park this job's grounding queries and block until a flushed
+    /// batch carries their results. Slot `i` of the return value is
+    /// bit-identical to what `base.search_batch` would return for
+    /// `slots[i]` alone.
+    pub(crate) fn submit(&self, slots: &[QuerySlot<'_>]) -> Vec<Vec<Hit>> {
+        let mut st = self.lock();
+        let id = st.next_req;
+        st.next_req += 1;
+        let owned = slots
+            .iter()
+            .map(|s| OwnedSlot {
+                text: s.text.to_string(),
+                style: s.style,
+                salt: s.salt,
+            })
+            .collect();
+        st.pending.push_back((id, owned));
+        st.waiting += 1;
+        if st.waiting == st.active {
+            self.flush(&mut st);
+            self.cv.notify_all();
+        }
+        loop {
+            if let Some(r) = st.ready.remove(&id) {
+                st.waiting -= 1;
+                return r;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Merge every pending request into one `search_batch` call and
+    /// fan the per-slot results back out. Runs under the state mutex:
+    /// enroll/leave/submit of other jobs block for the duration, which
+    /// is exactly the synchronization the flush condition needs.
+    fn flush(&self, st: &mut BrokerState) {
+        let pending: Vec<(u64, Vec<OwnedSlot>)> = std::mem::take(&mut st.pending).into();
+        let merged: Vec<QuerySlot<'_>> = pending
+            .iter()
+            .flat_map(|(_, slots)| slots.iter())
+            .map(|s| QuerySlot {
+                text: &s.text,
+                style: s.style,
+                salt: s.salt,
+            })
+            .collect();
+        st.telemetry.batches += 1;
+        st.telemetry.slots += merged.len() as u64;
+        st.telemetry.widest = st.telemetry.widest.max(pending.len());
+        let mut results = self
+            .base
+            .search_batch(
+                self.embedder,
+                &merged,
+                self.cfg.top_k,
+                self.cfg.retrieval_jitter,
+                self.cfg.retrieval_mode,
+                self.cfg.scoring_mode,
+            )
+            .into_iter();
+        for (id, slots) in &pending {
+            let share: Vec<Vec<Hit>> = results.by_ref().take(slots.len()).collect();
+            st.ready.insert(*id, share);
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub(crate) fn telemetry(&self) -> BatchTelemetry {
+        self.lock().telemetry.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use semvec::Embedder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use worldgen::{derive, generate, SourceConfig, WorldConfig};
+
+    fn base_and_friends() -> (kgstore::KgSource, Embedder, PipelineConfig) {
+        let world = generate(&WorldConfig {
+            scale: 0.3,
+            ..Default::default()
+        });
+        let src = derive(&world, &SourceConfig::wikidata());
+        (src, Embedder::default(), PipelineConfig::default())
+    }
+
+    #[test]
+    fn coalesced_results_match_the_direct_path() {
+        let (src, emb, cfg) = base_and_friends();
+        let base = BaseIndex::for_question(&src, &emb, &cfg, "who founded the academy");
+        let broker = GroundBroker::new(&base, &emb, &cfg);
+        let texts = ["alpha beta", "gamma delta", "alpha beta"];
+        let slots: Vec<QuerySlot<'_>> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| QuerySlot {
+                text: t,
+                style: QueryStyle::Folded,
+                salt: 7 + i as u64,
+            })
+            .collect();
+        let direct = base.search_batch(
+            &emb,
+            &slots,
+            cfg.top_k,
+            cfg.retrieval_jitter,
+            cfg.retrieval_mode,
+            cfg.scoring_mode,
+        );
+
+        let flushed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            // Two enrolled jobs: one submits the first two slots, the
+            // other the third; the flush merges them into one batch.
+            broker.enroll();
+            broker.enroll();
+            let broker_ref = &broker;
+            let slots_a = &slots[..2];
+            let slots_b = &slots[2..];
+            let flushed_ref = &flushed;
+            let ha = s.spawn(move || {
+                let r = broker_ref.submit(slots_a);
+                flushed_ref.fetch_add(1, Ordering::Relaxed);
+                r
+            });
+            let hb = s.spawn(move || {
+                let r = broker_ref.submit(slots_b);
+                flushed_ref.fetch_add(1, Ordering::Relaxed);
+                r
+            });
+            let ra = ha.join().unwrap();
+            let rb = hb.join().unwrap();
+            broker.leave();
+            broker.leave();
+            assert_eq!(ra.len(), 2);
+            assert_eq!(rb.len(), 1);
+            assert_eq!(ra[0], direct[0]);
+            assert_eq!(ra[1], direct[1]);
+            assert_eq!(rb[0], direct[2]);
+        });
+        assert_eq!(flushed.load(Ordering::Relaxed), 2);
+        let t = broker.telemetry();
+        assert_eq!(t.batches, 1, "both submissions shared one flush");
+        assert_eq!(t.slots, 3);
+        assert_eq!(t.widest, 2);
+    }
+
+    #[test]
+    fn a_job_that_never_grounds_releases_the_waiters() {
+        let (src, emb, cfg) = base_and_friends();
+        let base = BaseIndex::for_question(&src, &emb, &cfg, "who founded the academy");
+        let broker = GroundBroker::new(&base, &emb, &cfg);
+        let slot = QuerySlot {
+            text: "solo query",
+            style: QueryStyle::Folded,
+            salt: 3,
+        };
+        std::thread::scope(|s| {
+            broker.enroll(); // the grounding job
+            broker.enroll(); // the job that will just leave
+            let broker_ref = &broker;
+            let h = s.spawn(move || broker_ref.submit(std::slice::from_ref(&slot)));
+            // Let the submitter park, then end the non-grounding job:
+            // its leave must trigger the flush that frees the waiter.
+            while broker.lock().waiting == 0 {
+                std::thread::yield_now();
+            }
+            broker.leave();
+            let r = h.join().unwrap();
+            broker.leave();
+            assert_eq!(r.len(), 1);
+        });
+        assert_eq!(broker.telemetry().widest, 1);
+    }
+}

@@ -1,0 +1,831 @@
+//! The serving engine: a discrete-event simulation over virtual time
+//! driving a pool of real worker threads.
+//!
+//! The main thread owns every piece of service state — admission
+//! queue, virtual servers, deadlines, the service breaker — and
+//! advances a virtual event clock over two event kinds: *arrival*
+//! (admit, shed, or queue) and *completion* (record the outcome, feed
+//! the breaker, start the next queued job). Workers only evaluate
+//! dispatched jobs — the pure `(question, budget) → output` function
+//! of [`super::executor`] — and send results back over a channel.
+//!
+//! The loop never acts on an event until every completion that could
+//! precede it is known: each in-flight job finishes no earlier than
+//! `started + min_service`, so the loop blocks for results exactly
+//! when that bound does not clear the next known event. Completions
+//! are then ordered by `(virtual finish, dispatch seq)`, which makes
+//! the whole schedule — and every outcome — independent of how many
+//! real workers raced to produce the results.
+
+use crate::method::QaContext;
+use crate::resilience::{best_effort_answer, Admit, Breaker, BreakerState};
+use crate::retrieval::BaseIndex;
+use crate::serve::batcher::GroundBroker;
+use crate::serve::executor::{answer_within_budget, CostModel, JobOutput};
+use crate::serve::{Disposition, OfferedTrace, Outcome, ServeConfig, ServeReport, ShedReason};
+use crate::PipelineConfig;
+use kgstore::hash::FxHashMap;
+use kgstore::KgSource;
+use semvec::Embedder;
+use simllm::LanguageModel;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use worldgen::Question;
+
+/// One dispatched unit of work.
+struct Job {
+    seq: u64,
+    offered: usize,
+    budget_ms: u64,
+}
+
+/// What a worker sends back: the job's output, or the panic message
+/// if the pipeline blew up (the service answers the question degraded
+/// either way).
+struct JobResult {
+    seq: u64,
+    outcome: Result<JobOutput, String>,
+}
+
+/// The dispatch board: a closable MPMC queue on a mutex + condvar.
+struct Board {
+    state: Mutex<(VecDeque<Job>, bool)>,
+    cv: Condvar,
+}
+
+impl Board {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, (VecDeque<Job>, bool)> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push(&self, job: Job) {
+        self.lock().0.push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        self.lock().1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Next job, or `None` once the board is closed and drained.
+    fn take(&self) -> Option<Job> {
+        let mut st = self.lock();
+        loop {
+            if let Some(j) = st.0.pop_front() {
+                return Some(j);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn worker_loop(
+    board: &Board,
+    broker: &GroundBroker<'_>,
+    ctx: &QaContext<'_>,
+    questions: &[Question],
+    costs: &CostModel,
+    tx: mpsc::Sender<JobResult>,
+) {
+    while let Some(job) = board.take() {
+        broker.enroll();
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            answer_within_budget(
+                ctx,
+                &questions[job.offered],
+                job.budget_ms,
+                costs,
+                Some(broker),
+            )
+        }));
+        broker.leave();
+        let outcome = res.map_err(|payload| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string())
+        });
+        if tx
+            .send(JobResult {
+                seq: job.seq,
+                outcome,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// A dispatched job the event loop has not yet seen a result for.
+struct InFlight {
+    offered: usize,
+    started_ms: u64,
+}
+
+/// A job whose result is known; waits in the completion heap until
+/// its virtual finish time is reached.
+struct Finished {
+    offered: usize,
+    started_ms: u64,
+    answer: String,
+    degradation: Vec<String>,
+    attempts: u32,
+    faults: usize,
+    panicked: bool,
+}
+
+/// Run the QA service over an offered trace against a shared base
+/// index (callers typically hold it in an `Arc` and serve many traces
+/// from the same build). Returns per-arrival outcomes in offered
+/// order; same `questions` + `offered` + configs ⇒ a byte-identical
+/// report (minus batch telemetry) for any worker count.
+#[allow(clippy::too_many_arguments)] // mirrors QaContext + the serve knobs
+pub fn serve(
+    llm: &dyn LanguageModel,
+    source: &KgSource,
+    base: &BaseIndex,
+    embedder: &Embedder,
+    cfg: &PipelineConfig,
+    scfg: &ServeConfig,
+    questions: &[Question],
+    offered: &OfferedTrace,
+) -> ServeReport {
+    let n = offered.arrivals.len();
+    assert!(
+        n == 0 || !questions.is_empty(),
+        "serving arrivals needs at least one question"
+    );
+    // Each offered arrival serves a clone with a unique id: the fault
+    // plan and the simulated model key on the question id, so two
+    // offerings of the same dataset question must not share per-slot
+    // fault state (a real-time race would leak into outcomes).
+    let offered_questions: Vec<Question> = offered
+        .arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let mut q = questions[a.question].clone();
+            q.id = format!("{}#o{i}", q.id);
+            q
+        })
+        .collect();
+    let ctx = QaContext {
+        llm,
+        source: Some(source),
+        base: Some(base),
+        embedder,
+        cfg,
+    };
+    let costs = CostModel {
+        stage_overhead_ms: scfg.stage_overhead_ms,
+        attempt_cost_ms: scfg.attempt_cost_ms,
+        query_cost_ms: scfg.query_cost_ms,
+    };
+    let broker = GroundBroker::new(base, embedder, cfg);
+    let board = Board::new();
+    let (tx, rx) = mpsc::channel::<JobResult>();
+    let workers = if scfg.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        scfg.workers
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (board, broker, ctx, qs, costs) =
+                (&board, &broker, &ctx, &offered_questions, &costs);
+            s.spawn(move || worker_loop(board, broker, ctx, qs, costs, tx));
+        }
+        let mut report = event_loop(scfg, offered, questions, &costs, &board, &rx);
+        report.batch = broker.telemetry();
+        board.close();
+        report
+    })
+}
+
+/// Fold one worker result into the completion heap.
+fn absorb(
+    r: JobResult,
+    in_flight: &mut FxHashMap<u64, InFlight>,
+    heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+    done: &mut FxHashMap<u64, Finished>,
+    questions: &[Question],
+    offered: &OfferedTrace,
+    min_service_ms: u64,
+) {
+    let fl = in_flight
+        .remove(&r.seq)
+        .expect("result for a job never dispatched");
+    let (f, service_ms) = match r.outcome {
+        Ok(out) => {
+            let attempts = out.trace.total_attempts();
+            let faults = out.trace.total_faults();
+            let service = out.service_ms.max(min_service_ms);
+            (
+                Finished {
+                    offered: fl.offered,
+                    started_ms: fl.started_ms,
+                    answer: out.answer,
+                    degradation: out.trace.degradation,
+                    attempts,
+                    faults,
+                    panicked: false,
+                },
+                service,
+            )
+        }
+        Err(msg) => {
+            // A panicking job is isolated: the question is answered
+            // degraded and the panic is preserved as a note (the soak
+            // gates assert none ever happen).
+            let qid = &questions[offered.arrivals[fl.offered].question].id;
+            (
+                Finished {
+                    offered: fl.offered,
+                    started_ms: fl.started_ms,
+                    answer: best_effort_answer(&[]),
+                    degradation: vec![format!("panic:{}:{}:{msg}", fl.offered, qid)],
+                    attempts: 0,
+                    faults: 0,
+                    panicked: true,
+                },
+                min_service_ms,
+            )
+        }
+    };
+    heap.push(Reverse((fl.started_ms + service_ms, r.seq)));
+    done.insert(r.seq, f);
+}
+
+fn event_loop(
+    scfg: &ServeConfig,
+    offered: &OfferedTrace,
+    questions: &[Question],
+    costs: &CostModel,
+    board: &Board,
+    rx: &mpsc::Receiver<JobResult>,
+) -> ServeReport {
+    let n = offered.arrivals.len();
+    let min_service = costs.min_service_ms();
+    let mut outcomes: Vec<Option<Outcome>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut busy = 0usize;
+    let mut breaker = Breaker::new(scfg.breaker_threshold, scfg.breaker_cooldown_ms);
+    let mut probe_offered: Option<usize> = None;
+    let mut next_seq = 0u64;
+    let mut ai = 0usize;
+    let mut in_flight: FxHashMap<u64, InFlight> = FxHashMap::default();
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut done: FxHashMap<u64, Finished> = FxHashMap::default();
+    let mut now = 0u64;
+
+    // Move queued questions into free virtual servers at time `t`.
+    // A question whose deadline already expired while queued is
+    // answered degraded on the spot — admitted is a promise.
+    macro_rules! start_queued {
+        ($t:expr) => {
+            while busy < scfg.virtual_servers {
+                let Some(idx) = queue.pop_front() else { break };
+                busy += 1;
+                let deadline_abs = offered.arrivals[idx].at_ms + scfg.deadline_ms;
+                let seq = next_seq;
+                next_seq += 1;
+                if $t >= deadline_abs {
+                    done.insert(
+                        seq,
+                        Finished {
+                            offered: idx,
+                            started_ms: $t,
+                            answer: best_effort_answer(&[]),
+                            degradation: vec!["deadline:expired-in-queue".into()],
+                            attempts: 0,
+                            faults: 0,
+                            panicked: false,
+                        },
+                    );
+                    heap.push(Reverse(($t + min_service, seq)));
+                } else {
+                    in_flight.insert(
+                        seq,
+                        InFlight {
+                            offered: idx,
+                            started_ms: $t,
+                        },
+                    );
+                    board.push(Job {
+                        seq,
+                        offered: idx,
+                        budget_ms: deadline_abs - $t,
+                    });
+                }
+            }
+        };
+    }
+
+    enum Event {
+        Arrival,
+        Completion,
+    }
+
+    loop {
+        // Absorb whatever results already arrived, without blocking.
+        while let Ok(r) = rx.try_recv() {
+            absorb(
+                r,
+                &mut in_flight,
+                &mut heap,
+                &mut done,
+                questions,
+                offered,
+                min_service,
+            );
+        }
+        // Pick the next event, blocking for in-flight results whenever
+        // an unknown completion could still precede (or tie) it.
+        let event = loop {
+            let next_completion = heap.peek().map(|Reverse((t, _))| *t);
+            let next_arrival = if ai < n {
+                Some(offered.arrivals[ai].at_ms)
+            } else {
+                None
+            };
+            let known = match (next_completion, next_arrival) {
+                (Some(tc), Some(ta)) if tc <= ta => Some((tc, Event::Completion)),
+                (Some(_), Some(ta)) => Some((ta, Event::Arrival)),
+                (Some(tc), None) => Some((tc, Event::Completion)),
+                (None, Some(ta)) => Some((ta, Event::Arrival)),
+                (None, None) => None,
+            };
+            let unknown_bound = in_flight.values().map(|f| f.started_ms + min_service).min();
+            match (&known, unknown_bound) {
+                (None, None) => break None,
+                (None, Some(_)) => {}
+                (Some((kt, _)), Some(b)) if b <= *kt => {}
+                (Some(_), _) => break known,
+            }
+            // An in-flight job might finish first: wait for a result.
+            let r = rx.recv().expect("a worker thread died");
+            absorb(
+                r,
+                &mut in_flight,
+                &mut heap,
+                &mut done,
+                questions,
+                offered,
+                min_service,
+            );
+        };
+        let Some((t, event)) = event else { break };
+        now = t;
+        match event {
+            Event::Completion => {
+                let Reverse((_, seq)) = heap.pop().expect("peeked completion vanished");
+                let f = done.remove(&seq).expect("completion without a result");
+                busy -= 1;
+                // Service-level health signal: transport-exhausted
+                // degradation (or a panic) is a failure; deadline
+                // degradation is load, not fault, and does not count.
+                let ok = !f.panicked && f.degradation.iter().all(|d| d.starts_with("deadline:"));
+                if probe_offered == Some(f.offered) {
+                    // The recovery probe only closes the breaker if it
+                    // actually exercised the transport: a probe that
+                    // expired in the queue proves nothing.
+                    let probe_ok = ok && (f.attempts > 0 || f.degradation.is_empty());
+                    breaker.on_result(now, probe_ok);
+                    probe_offered = None;
+                } else if breaker.state() == BreakerState::Closed {
+                    breaker.on_result(now, ok);
+                }
+                let arrival = &offered.arrivals[f.offered];
+                outcomes[f.offered] = Some(Outcome {
+                    offered: f.offered,
+                    qid: questions[arrival.question].id.clone(),
+                    arrival_ms: arrival.at_ms,
+                    disposition: Disposition::Answered {
+                        started_ms: f.started_ms,
+                        finished_ms: now,
+                        answer: f.answer,
+                        degradation: f.degradation,
+                        attempts: f.attempts,
+                        faults: f.faults,
+                    },
+                });
+                start_queued!(now);
+            }
+            Event::Arrival => {
+                let idx = ai;
+                ai += 1;
+                let arrival = &offered.arrivals[idx];
+                // Admission: capacity first (a full queue sheds
+                // regardless of breaker state — rejecting the newest
+                // arrival is the shedding policy), then the breaker.
+                let has_capacity = busy < scfg.virtual_servers || queue.len() < scfg.queue_cap;
+                let shed = if !has_capacity {
+                    Some(ShedReason::QueueFull)
+                } else {
+                    match breaker.admit(now) {
+                        Admit::Yes => None,
+                        Admit::Probe => {
+                            probe_offered = Some(idx);
+                            None
+                        }
+                        Admit::No => Some(if breaker.state() == BreakerState::HalfOpen {
+                            ShedReason::ProbeInFlight
+                        } else {
+                            ShedReason::BreakerOpen
+                        }),
+                    }
+                };
+                match shed {
+                    Some(reason) => {
+                        outcomes[idx] = Some(Outcome {
+                            offered: idx,
+                            qid: questions[arrival.question].id.clone(),
+                            arrival_ms: arrival.at_ms,
+                            disposition: Disposition::Shed { reason },
+                        });
+                    }
+                    None => {
+                        queue.push_back(idx);
+                        start_queued!(now);
+                    }
+                }
+            }
+        }
+    }
+    debug_assert!(queue.is_empty() && busy == 0 && in_flight.is_empty());
+
+    ServeReport {
+        outcomes: outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| o.unwrap_or_else(|| panic!("arrival {i} has no outcome")))
+            .collect(),
+        breaker_transitions: breaker.transitions().to_vec(),
+        makespan_ms: now,
+        batch: crate::serve::BatchTelemetry::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::Arrival;
+    use simllm::{Completion, FaultPlan, FaultyLlm, LlmError, LlmTask, ModelProfile, SimLlm};
+    use std::sync::Arc;
+    use worldgen::{datasets::simpleq, derive, generate, SourceConfig, WorldConfig};
+
+    struct Fixture {
+        world: Arc<worldgen::World>,
+        src: kgstore::KgSource,
+        emb: Embedder,
+        cfg: PipelineConfig,
+        questions: Vec<Question>,
+        base: BaseIndex,
+    }
+
+    fn fixture(n_questions: usize, seed: u64) -> Fixture {
+        let world = Arc::new(generate(&WorldConfig::default()));
+        let src = derive(&world, &SourceConfig::wikidata());
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ds = simpleq::generate(&world, n_questions, seed);
+        let base = BaseIndex::for_questions(
+            &src,
+            &emb,
+            &cfg,
+            ds.questions.iter().map(|q| q.text.as_str()),
+        );
+        Fixture {
+            world,
+            src,
+            emb,
+            cfg,
+            questions: ds.questions,
+            base,
+        }
+    }
+
+    fn answered_note(o: &Outcome, needle: &str) -> bool {
+        matches!(&o.disposition, Disposition::Answered { degradation, .. }
+            if degradation.iter().any(|d| d.contains(needle)))
+    }
+
+    #[test]
+    fn low_load_answers_everything_unshed_and_undegraded() {
+        let fx = fixture(12, 31);
+        let llm = SimLlm::new(fx.world.clone(), ModelProfile::gpt35_sim());
+        let offered = OfferedTrace::poisson(9, 2.0, 16, fx.questions.len());
+        let scfg = ServeConfig {
+            workers: 2,
+            ..Default::default()
+        };
+        let r = serve(
+            &llm,
+            &fx.src,
+            &fx.base,
+            &fx.emb,
+            &fx.cfg,
+            &scfg,
+            &fx.questions,
+            &offered,
+        );
+        assert_eq!(r.outcomes.len(), 16);
+        assert_eq!(r.shed(), 0, "2 q/s against 4 servers must not shed");
+        assert!(r.breaker_transitions.is_empty());
+        for o in &r.outcomes {
+            match &o.disposition {
+                Disposition::Answered {
+                    answer,
+                    degradation,
+                    ..
+                } => {
+                    assert!(!answer.is_empty());
+                    assert!(degradation.is_empty(), "{:?}", degradation);
+                }
+                Disposition::Shed { .. } => unreachable!(),
+            }
+        }
+        assert!(r.makespan_ms > 0);
+        assert!(r.latency_percentile_ms(50.0) > 0);
+    }
+
+    #[test]
+    fn outcomes_are_byte_identical_for_any_worker_count() {
+        let fx = fixture(10, 32);
+        let offered = OfferedTrace::poisson(11, 12.0, 24, fx.questions.len());
+        let run = |workers: usize| {
+            // Fresh faulty transport per run: its per-slot attempt
+            // counters are state, and sharing them across runs would
+            // (correctly) change outcomes.
+            let llm = FaultyLlm::new(
+                SimLlm::new(fx.world.clone(), ModelProfile::gpt35_sim()),
+                FaultPlan::uniform(0xFA57, 0.35),
+            );
+            let scfg = ServeConfig {
+                workers,
+                ..Default::default()
+            };
+            serve(
+                &llm,
+                &fx.src,
+                &fx.base,
+                &fx.emb,
+                &fx.cfg,
+                &scfg,
+                &fx.questions,
+                &offered,
+            )
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(8);
+        assert_eq!(a.outcomes, b.outcomes, "1 vs 2 workers");
+        assert_eq!(a.outcomes, c.outcomes, "1 vs 8 workers");
+        assert_eq!(a.breaker_transitions, b.breaker_transitions);
+        assert_eq!(a.identity_key(), b.identity_key());
+        assert_eq!(a.identity_key(), c.identity_key());
+    }
+
+    #[test]
+    fn overload_sheds_queue_full_and_answers_every_admission() {
+        let fx = fixture(8, 33);
+        let llm = SimLlm::new(fx.world.clone(), ModelProfile::gpt35_sim());
+        // A burst far beyond one server + two queue slots.
+        let offered = OfferedTrace {
+            arrivals: (0..20)
+                .map(|i| Arrival {
+                    at_ms: i as u64 * 10,
+                    question: i % fx.questions.len(),
+                })
+                .collect(),
+        };
+        let scfg = ServeConfig {
+            queue_cap: 2,
+            virtual_servers: 1,
+            workers: 2,
+            ..Default::default()
+        };
+        let r = serve(
+            &llm,
+            &fx.src,
+            &fx.base,
+            &fx.emb,
+            &fx.cfg,
+            &scfg,
+            &fx.questions,
+            &offered,
+        );
+        let shed_full = r
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.disposition,
+                    Disposition::Shed {
+                        reason: ShedReason::QueueFull
+                    }
+                )
+            })
+            .count();
+        assert!(shed_full > 0, "a 100 q/s burst into one server must shed");
+        for o in &r.outcomes {
+            if let Disposition::Answered { answer, .. } = &o.disposition {
+                assert!(!answer.is_empty(), "admitted ⇒ answered: {}", o.qid);
+            }
+        }
+        assert!(r.answered() + r.shed() == 20);
+    }
+
+    #[test]
+    fn deadline_pressure_degrades_but_every_admission_is_answered() {
+        let fx = fixture(8, 34);
+        let llm = SimLlm::new(fx.world.clone(), ModelProfile::gpt35_sim());
+        let offered = OfferedTrace {
+            arrivals: (0..12)
+                .map(|i| Arrival {
+                    at_ms: i as u64 * 30,
+                    question: i % fx.questions.len(),
+                })
+                .collect(),
+        };
+        // A deadline below one clean question's service time: every
+        // question burns its budget somewhere.
+        let scfg = ServeConfig {
+            deadline_ms: 150,
+            virtual_servers: 1,
+            queue_cap: 12,
+            workers: 3,
+            ..Default::default()
+        };
+        let r = serve(
+            &llm,
+            &fx.src,
+            &fx.base,
+            &fx.emb,
+            &fx.cfg,
+            &scfg,
+            &fx.questions,
+            &offered,
+        );
+        assert_eq!(r.shed(), 0, "deadlines degrade, they do not shed");
+        let mut deadline_degraded = 0;
+        let mut expired_in_queue = 0;
+        for o in &r.outcomes {
+            let Disposition::Answered {
+                answer,
+                degradation,
+                ..
+            } = &o.disposition
+            else {
+                unreachable!()
+            };
+            assert!(!answer.is_empty(), "degraded, never missing");
+            if degradation.iter().any(|d| d.starts_with("deadline:")) {
+                deadline_degraded += 1;
+            }
+            if degradation.iter().any(|d| d == "deadline:expired-in-queue") {
+                expired_in_queue += 1;
+            }
+        }
+        assert!(
+            deadline_degraded >= 10,
+            "a 150 ms deadline must bite: {deadline_degraded}/12"
+        );
+        assert!(
+            expired_in_queue > 0,
+            "the backlog behind one slow server must expire some queued questions"
+        );
+    }
+
+    /// Fails every transport call for the first `storm_until` offered
+    /// arrivals (the engine tags offered clones with `#o<i>`), then
+    /// behaves like the clean simulated model.
+    struct StormLlm {
+        inner: SimLlm,
+        storm_until: usize,
+    }
+
+    impl StormLlm {
+        fn offered_index(task: &LlmTask<'_>) -> Option<usize> {
+            let id = &task.question().id;
+            id.rsplit_once("#o").and_then(|(_, i)| i.parse().ok())
+        }
+    }
+
+    impl LanguageModel for StormLlm {
+        fn name(&self) -> &str {
+            "storm"
+        }
+        fn complete(&self, prompt: &str, task: &LlmTask<'_>) -> Result<Completion, LlmError> {
+            match Self::offered_index(task) {
+                Some(i) if i < self.storm_until => Err(LlmError::Transient),
+                _ => self.inner.complete(prompt, task),
+            }
+        }
+        fn call_count(&self) -> usize {
+            self.inner.call_count()
+        }
+        fn tokens_processed(&self) -> usize {
+            self.inner.tokens_processed()
+        }
+    }
+
+    #[test]
+    fn fault_storm_trips_the_breaker_sheds_then_recovers_through_a_probe() {
+        let fx = fixture(10, 35);
+        let llm = StormLlm {
+            inner: SimLlm::new(fx.world.clone(), ModelProfile::gpt35_sim()),
+            storm_until: 12,
+        };
+        let offered = OfferedTrace {
+            arrivals: (0..60)
+                .map(|i| Arrival {
+                    at_ms: i as u64 * 100,
+                    question: i % fx.questions.len(),
+                })
+                .collect(),
+        };
+        let scfg = ServeConfig {
+            queue_cap: 4,
+            virtual_servers: 2,
+            deadline_ms: 60_000, // deadlines out of the picture
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 800,
+            workers: 4,
+            ..Default::default()
+        };
+        let r = serve(
+            &llm,
+            &fx.src,
+            &fx.base,
+            &fx.emb,
+            &fx.cfg,
+            &scfg,
+            &fx.questions,
+            &offered,
+        );
+        let shed_reasons: Vec<ShedReason> = r
+            .outcomes
+            .iter()
+            .filter_map(|o| match o.disposition {
+                Disposition::Shed { reason } => Some(reason),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            shed_reasons.contains(&ShedReason::BreakerOpen),
+            "the storm must trip the breaker and shed: {shed_reasons:?}"
+        );
+        assert!(
+            shed_reasons.contains(&ShedReason::ProbeInFlight),
+            "arrivals during the probe must shed: {shed_reasons:?}"
+        );
+        let kinds: Vec<(BreakerState, BreakerState)> = r
+            .breaker_transitions
+            .iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert!(kinds.contains(&(BreakerState::Closed, BreakerState::Open)));
+        assert!(kinds.contains(&(BreakerState::Open, BreakerState::HalfOpen)));
+        assert!(kinds.contains(&(BreakerState::HalfOpen, BreakerState::Closed)));
+        assert_eq!(
+            r.breaker_transitions.last().map(|t| t.to),
+            Some(BreakerState::Closed),
+            "the service must end recovered"
+        );
+        // After recovery, clean questions are answered cleanly.
+        let clean_after_storm = r.outcomes.iter().any(|o| {
+            o.offered >= 12
+                && matches!(&o.disposition, Disposition::Answered { degradation, .. }
+                    if degradation.is_empty())
+        });
+        assert!(clean_after_storm, "post-storm service must be healthy");
+        // And everything admitted — storm or not — was answered.
+        for o in &r.outcomes {
+            if let Disposition::Answered { answer, .. } = &o.disposition {
+                assert!(!answer.is_empty());
+            }
+            assert!(!answered_note(o, "panic:"), "no panics in this run");
+        }
+    }
+}

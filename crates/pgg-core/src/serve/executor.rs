@@ -1,0 +1,281 @@
+//! The deadline-aware job executor: the four pipeline stages composed
+//! with budget checks in between, on one question's virtual clock.
+//!
+//! The executor is a *pure function* of `(question, budget)` — the
+//! virtual clock starts at zero per question, the fault plan keys on
+//! the question id, and the one external call (grounding retrieval)
+//! is bit-identical whether it goes through the admission batcher or
+//! straight to the base index. That purity is what lets the engine
+//! run jobs on any number of real threads without changing outcomes.
+//!
+//! Budget semantics are stage-granular: a stage that starts runs to
+//! completion (charging its virtual cost), and the *next* stage is
+//! skipped if the budget is already burned. Skipping degrades — it
+//! never drops the answer:
+//!
+//! * budget burned before grounding ⇒ `deadline:skip-ground`, the
+//!   pseudo-graph stands unverified;
+//! * budget burned before verification ⇒ `deadline:skip-verify`,
+//!   likewise;
+//! * budget burned before answering ⇒ `deadline:best-effort-answer`,
+//!   the answer is assembled from the graph without another LLM call.
+
+use crate::method::{QaContext, Trace};
+use crate::pipeline::{answer_stage, ground_stage, pseudo_graph_stage, verify_stage};
+use crate::resilience::{best_effort_answer, ResilientLlm};
+use crate::retrieval::QuerySlot;
+use crate::serve::batcher::GroundBroker;
+use semvec::Hit;
+use worldgen::Question;
+
+/// Virtual-time prices of the simulated deployment (from
+/// [`crate::serve::ServeConfig`]).
+pub(crate) struct CostModel {
+    pub stage_overhead_ms: u64,
+    pub attempt_cost_ms: u64,
+    pub query_cost_ms: u64,
+}
+
+impl CostModel {
+    /// No job finishes faster than this — the engine uses it as the
+    /// lower bound when deciding which in-flight results it must wait
+    /// for before advancing the event clock.
+    pub(crate) fn min_service_ms(&self) -> u64 {
+        self.stage_overhead_ms.max(1)
+    }
+}
+
+/// What one job produced.
+pub(crate) struct JobOutput {
+    pub answer: String,
+    pub trace: Trace,
+    /// Virtual service time: stage overheads + attempt and query
+    /// charges + retry backoff, as accumulated on the question's
+    /// resilience clock.
+    pub service_ms: u64,
+}
+
+/// Charge the attempts of any LLM calls recorded since the last
+/// charge, advancing the shared virtual clock (which is also what
+/// lets a tripped per-stage breaker cool down mid-question).
+fn charge_new_calls(rl: &ResilientLlm<'_>, trace: &Trace, charged: &mut usize, costs: &CostModel) {
+    for call in &trace.llm_calls[*charged..] {
+        rl.advance_clock(costs.attempt_cost_ms * u64::from(call.attempts));
+    }
+    *charged = trace.llm_calls.len();
+}
+
+/// Run the full pipeline for one question under a virtual budget.
+pub(crate) fn answer_within_budget(
+    ctx: &QaContext<'_>,
+    q: &Question,
+    budget_ms: u64,
+    costs: &CostModel,
+    broker: Option<&GroundBroker<'_>>,
+) -> JobOutput {
+    let rl = ResilientLlm::new(ctx.llm, &ctx.cfg.resilience);
+    let mut trace = Trace::default();
+    let mut charged = 0usize;
+
+    // Stage 1 — pseudo-graph generation always runs: without it there
+    // is nothing to degrade *to*.
+    rl.advance_clock(costs.stage_overhead_ms);
+    let pseudo = pseudo_graph_stage(ctx, &rl, q, &mut trace);
+    charge_new_calls(&rl, &trace, &mut charged, costs);
+
+    let mut fixed = pseudo.clone();
+    if rl.virtual_elapsed_ms() >= budget_ms {
+        trace.degradation.push("deadline:skip-ground".into());
+    } else {
+        // Stage 2 — grounding, through the admission batcher when the
+        // engine provides one.
+        rl.advance_clock(costs.stage_overhead_ms);
+        let base = ctx.base_for(&q.text);
+        let ground = match broker {
+            Some(br) => {
+                let via_broker = |slots: &[QuerySlot<'_>]| -> Vec<Vec<Hit>> { br.submit(slots) };
+                ground_stage(ctx, &base, &pseudo, Some(&via_broker), &mut trace)
+            }
+            None => ground_stage(ctx, &base, &pseudo, None, &mut trace),
+        };
+        if !pseudo.is_empty() && !base.is_empty() {
+            // One query slot per pseudo triple, exactly what grounding
+            // issued.
+            rl.advance_clock(costs.query_cost_ms * pseudo.len() as u64);
+        }
+
+        if rl.virtual_elapsed_ms() >= budget_ms {
+            trace.degradation.push("deadline:skip-verify".into());
+        } else {
+            // Stage 3 — verification.
+            rl.advance_clock(costs.stage_overhead_ms);
+            fixed = verify_stage(ctx, &rl, q, &pseudo, &ground, &mut trace);
+            charge_new_calls(&rl, &trace, &mut charged, costs);
+        }
+    }
+    trace.fixed_triples = fixed.clone();
+
+    // Stage 4 — an answer is always produced; over budget it comes
+    // from the graph instead of another transport round-trip.
+    let answer = if rl.virtual_elapsed_ms() >= budget_ms {
+        trace.degradation.push("deadline:best-effort-answer".into());
+        best_effort_answer(&fixed)
+    } else {
+        rl.advance_clock(costs.stage_overhead_ms);
+        let a = answer_stage(&rl, q, &fixed, &mut trace);
+        charge_new_calls(&rl, &trace, &mut charged, costs);
+        a
+    };
+
+    JobOutput {
+        answer,
+        trace,
+        service_ms: rl.virtual_elapsed_ms().max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use semvec::Embedder;
+    use simllm::{ModelProfile, SimLlm};
+    use std::sync::Arc;
+    use worldgen::{datasets::simpleq, derive, generate, SourceConfig, WorldConfig};
+
+    fn costs() -> CostModel {
+        CostModel {
+            stage_overhead_ms: 20,
+            attempt_cost_ms: 80,
+            query_cost_ms: 2,
+        }
+    }
+
+    fn setup() -> (Arc<worldgen::World>, SimLlm, kgstore::KgSource) {
+        let world = Arc::new(generate(&WorldConfig::default()));
+        let llm = SimLlm::new(world.clone(), ModelProfile::gpt35_sim());
+        let src = derive(&world, &SourceConfig::wikidata());
+        (world, llm, src)
+    }
+
+    #[test]
+    fn ample_budget_runs_all_stages_without_deadline_notes() {
+        let (world, llm, src) = setup();
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
+        let ds = simpleq::generate(&world, 5, 21);
+        for q in &ds.questions {
+            let out = answer_within_budget(&ctx, q, u64::MAX, &costs(), None);
+            assert!(!out.answer.is_empty());
+            assert!(
+                out.trace
+                    .degradation
+                    .iter()
+                    .all(|d| !d.starts_with("deadline:")),
+                "no deadline degradation with an unbounded budget: {:?}",
+                out.trace.degradation
+            );
+            // 3+ stages entered, ≥2 LLM calls: a realistic price tag.
+            assert!(out.service_ms >= 3 * 20 + 2 * 80, "{}", out.service_ms);
+        }
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_a_best_effort_answer() {
+        let (world, llm, src) = setup();
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
+        let ds = simpleq::generate(&world, 5, 22);
+        for q in &ds.questions {
+            let out = answer_within_budget(&ctx, q, 1, &costs(), None);
+            assert!(!out.answer.is_empty(), "degraded, never missing");
+            assert!(out
+                .trace
+                .degradation
+                .contains(&"deadline:skip-ground".to_string()));
+            assert!(out
+                .trace
+                .degradation
+                .contains(&"deadline:best-effort-answer".to_string()));
+            // Grounding never ran.
+            assert_eq!(out.trace.ground_triples, 0);
+            assert_eq!(out.trace.base_triples, 0);
+        }
+    }
+
+    #[test]
+    fn mid_budget_skips_verification_but_grounds() {
+        let (world, llm, src) = setup();
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
+        let ds = simpleq::generate(&world, 8, 23);
+        let c = costs();
+        let mut skipped_verify = 0;
+        for q in &ds.questions {
+            // Enough for pseudo (overhead + 1 attempt) + the ground
+            // stage, not for verification.
+            let full = answer_within_budget(&ctx, q, u64::MAX, &c, None);
+            let pseudo_cost = 20 + 80; // overhead + one clean attempt
+            let out = answer_within_budget(&ctx, q, pseudo_cost + 1, &c, None);
+            assert!(!out.answer.is_empty());
+            if out
+                .trace
+                .degradation
+                .contains(&"deadline:skip-verify".to_string())
+            {
+                skipped_verify += 1;
+                // Grounding did run before the budget died.
+                assert_eq!(out.trace.base_triples, full.trace.base_triples);
+                // The unverified pseudo-graph stands.
+                assert_eq!(out.trace.fixed_triples, out.trace.pseudo_triples);
+            }
+        }
+        assert!(skipped_verify >= 4, "{skipped_verify}/8 should skip verify");
+    }
+
+    #[test]
+    fn outcome_is_a_pure_function_of_question_and_budget() {
+        let (world, llm, src) = setup();
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ctx = QaContext {
+            llm: &llm,
+            source: Some(&src),
+            base: None,
+            embedder: &emb,
+            cfg: &cfg,
+        };
+        let ds = simpleq::generate(&world, 4, 24);
+        let c = costs();
+        for q in &ds.questions {
+            for budget in [1u64, 150, 400, u64::MAX] {
+                let a = answer_within_budget(&ctx, q, budget, &c, None);
+                let b = answer_within_budget(&ctx, q, budget, &c, None);
+                assert_eq!(a.answer, b.answer);
+                assert_eq!(a.service_ms, b.service_ms);
+                assert_eq!(a.trace.degradation, b.trace.degradation);
+            }
+        }
+    }
+}

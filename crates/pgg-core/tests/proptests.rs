@@ -1,12 +1,18 @@
 //! Property-based tests of the retrieval layer: parallel index builds
 //! must be byte-identical to the serial reference for any question
 //! subset and thread count, and the pruned search must agree with the
-//! exact scan through the public `search` API.
+//! exact scan through the public `search` API — plus the serving
+//! layer's determinism contract: outcomes byte-identical for any
+//! worker count, under any fault weather.
 
-use pgg_core::{paper, BaseIndex, PipelineConfig, QuerySlot, RetrievalMode, ScoringMode};
+use pgg_core::{
+    paper, serve, BaseIndex, Disposition, OfferedTrace, PipelineConfig, QuerySlot, RetrievalMode,
+    ScoringMode, ServeConfig,
+};
 use proptest::prelude::*;
 use semvec::{Embedder, QueryStyle};
-use std::sync::OnceLock;
+use simllm::{FaultPlan, FaultyLlm, ModelProfile, SimLlm};
+use std::sync::{Arc, OnceLock};
 use worldgen::{datasets, derive, generate, SourceConfig, World, WorldConfig};
 
 struct Fixture {
@@ -261,4 +267,130 @@ fn batched_search_matches_sequential_on_seeded_sweep() {
         stats.batch_deduped > 0,
         "duplicate slots collapsed: {stats:?}"
     );
+}
+
+struct ServeFixture {
+    world: Arc<World>,
+    source: kgstore::KgSource,
+    base: BaseIndex,
+    questions: Vec<worldgen::Question>,
+    embedder: Embedder,
+    cfg: PipelineConfig,
+}
+
+fn serve_fixture() -> &'static ServeFixture {
+    static FIX: OnceLock<ServeFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let world = Arc::new(generate(&WorldConfig {
+            scale: 0.3,
+            ..Default::default()
+        }));
+        let source = derive(&world, &SourceConfig::wikidata());
+        let ds = datasets::simpleq::generate(&world, 12, 77);
+        let embedder = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let base = BaseIndex::for_questions(
+            &source,
+            &embedder,
+            &cfg,
+            ds.questions.iter().map(|q| q.text.as_str()),
+        );
+        ServeFixture {
+            world,
+            source,
+            base,
+            questions: ds.questions,
+            embedder,
+            cfg,
+        }
+    })
+}
+
+/// One [`serve`] run over a seeded Poisson trace with a fresh fault
+/// decorator (its attempt counters are state that must not leak
+/// between runs).
+fn serve_once(
+    fix: &ServeFixture,
+    seed: u64,
+    rate: f64,
+    load_qps: f64,
+    workers: usize,
+) -> pgg_core::ServeReport {
+    let offered = OfferedTrace::poisson(seed, load_qps, 16, fix.questions.len());
+    let llm = SimLlm::new(fix.world.clone(), ModelProfile::gpt35_sim());
+    let faulty = FaultyLlm::new(llm, FaultPlan::uniform(seed ^ 0xFA57, rate));
+    let scfg = ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    };
+    serve(
+        &faulty,
+        &fix.source,
+        &fix.base,
+        &fix.embedder,
+        &fix.cfg,
+        &scfg,
+        &fix.questions,
+        &offered,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The serving determinism contract: same seed + same offered
+    /// trace ⇒ byte-identical per-question outcomes and breaker log
+    /// for 1, 2, and 8 worker threads — under any fault weather — and
+    /// every answered outcome carries a non-empty answer.
+    #[test]
+    fn serve_outcomes_are_identical_across_worker_counts(
+        seed in any::<u64>(),
+        rate in 0.0f64..0.5,
+        load_qps in 2.0f64..12.0,
+    ) {
+        let fix = serve_fixture();
+        let r1 = serve_once(fix, seed, rate, load_qps, 1);
+        let r2 = serve_once(fix, seed, rate, load_qps, 2);
+        let r8 = serve_once(fix, seed, rate, load_qps, 8);
+        prop_assert_eq!(&r1.outcomes, &r2.outcomes);
+        prop_assert_eq!(&r1.outcomes, &r8.outcomes);
+        prop_assert_eq!(&r1.breaker_transitions, &r2.breaker_transitions);
+        prop_assert_eq!(&r1.breaker_transitions, &r8.breaker_transitions);
+        prop_assert_eq!(r1.identity_key(), r8.identity_key());
+        for o in &r1.outcomes {
+            if let Disposition::Answered { answer, degradation, .. } = &o.disposition {
+                prop_assert!(!answer.is_empty(), "degraded, never missing");
+                prop_assert!(
+                    degradation.iter().all(|d| !d.starts_with("panic:")),
+                    "no worker panics: {:?}",
+                    degradation
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic counterpart of the worker-count proptest, so the
+/// serving identity is exercised even where the `proptest` dependency
+/// is stubbed out: calm, faulted, and overloaded points, each run with
+/// 1, 2, and 8 workers.
+#[test]
+fn serve_worker_count_identity_on_seeded_sweep() {
+    let fix = serve_fixture();
+    for (seed, rate, load_qps) in [(0xA11CEu64, 0.0, 3.0), (7, 0.35, 8.0), (0xBEEF, 0.5, 12.0)] {
+        let r1 = serve_once(fix, seed, rate, load_qps, 1);
+        let r2 = serve_once(fix, seed, rate, load_qps, 2);
+        let r8 = serve_once(fix, seed, rate, load_qps, 8);
+        assert_eq!(
+            r1.outcomes, r2.outcomes,
+            "1 vs 2 workers diverged: seed={seed} rate={rate} load={load_qps}"
+        );
+        assert_eq!(
+            r1.outcomes, r8.outcomes,
+            "1 vs 8 workers diverged: seed={seed} rate={rate} load={load_qps}"
+        );
+        assert_eq!(r1.breaker_transitions, r8.breaker_transitions);
+        assert_eq!(r1.identity_key(), r8.identity_key());
+        assert_eq!(r1.outcomes.len(), 16, "every offered arrival accounted for");
+    }
 }

@@ -61,8 +61,23 @@ impl FaultRates {
     }
 }
 
-/// A reproducible fault schedule: seed, default rates, and optional
-/// per-task-kind overrides (task kinds as in [`LlmTask::kind`]).
+/// A question-keyed fault storm: a deterministically-chosen fraction
+/// of questions faults at its own rates while the rest follow the
+/// plan's normal rates. Membership is a pure function of `(plan seed,
+/// question id)` — *not* of arrival order, call order, or what other
+/// questions are in flight — so a serving run that reorders arrivals
+/// (or replays a subset) sees the same per-question weather.
+#[derive(Debug, Clone)]
+pub struct Storm {
+    /// Fraction of questions in the storm, in `[0, 1]`.
+    pub frac: f64,
+    /// Rates applied to storm members, for every task kind.
+    pub rates: FaultRates,
+}
+
+/// A reproducible fault schedule: seed, default rates, optional
+/// per-task-kind overrides (task kinds as in [`LlmTask::kind`]), and
+/// an optional question-keyed [`Storm`].
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// Schedule seed; same seed ⇒ same faults for the same requests.
@@ -71,6 +86,8 @@ pub struct FaultPlan {
     pub default: FaultRates,
     /// `(task kind, rates)` overrides, first match wins.
     pub per_task: Vec<(String, FaultRates)>,
+    /// Optional storm; members use its rates ahead of any override.
+    pub storm: Option<Storm>,
 }
 
 impl FaultPlan {
@@ -80,6 +97,7 @@ impl FaultPlan {
             seed,
             default: FaultRates::none(),
             per_task: Vec::new(),
+            storm: None,
         }
     }
 
@@ -90,7 +108,15 @@ impl FaultPlan {
             seed,
             default: FaultRates::uniform(total),
             per_task: Vec::new(),
+            storm: None,
         }
+    }
+
+    /// A storm plan: a seeded `frac` of questions faults at
+    /// `storm_total` (split uniformly across kinds), everyone else is
+    /// clean. The serving soak uses this as its bursty-weather arm.
+    pub fn storm(seed: u64, frac: f64, storm_total: f64) -> Self {
+        Self::none(seed).with_storm(frac, FaultRates::uniform(storm_total))
     }
 
     /// Override the rates for one task kind.
@@ -99,7 +125,26 @@ impl FaultPlan {
         self
     }
 
-    fn rates_for(&self, kind: &str) -> &FaultRates {
+    /// Add a question-keyed storm (see [`Storm`]).
+    pub fn with_storm(mut self, frac: f64, rates: FaultRates) -> Self {
+        self.storm = Some(Storm { frac, rates });
+        self
+    }
+
+    /// Whether `qid` is in this plan's storm. Pure in `(seed, qid)`:
+    /// the membership draw uses its own salted hash stream, so it
+    /// never correlates with the per-attempt fault draws.
+    pub fn in_storm(&self, qid: &str) -> bool {
+        match &self.storm {
+            Some(s) => unit_f64(mix2(self.seed ^ 0x5707_B125, stable_str_hash(qid))) < s.frac,
+            None => false,
+        }
+    }
+
+    fn rates_for(&self, qid: &str, kind: &str) -> &FaultRates {
+        if self.in_storm(qid) {
+            return &self.storm.as_ref().expect("in_storm implies storm").rates;
+        }
         self.per_task
             .iter()
             .find(|(k, _)| k == kind)
@@ -187,7 +232,7 @@ impl<M: LanguageModel> LanguageModel for FaultyLlm<M> {
         };
         let key = mix2(mix2(self.plan.seed, slot), 0xFA17_0000 + attempt as u64);
         let u = unit_f64(key);
-        let r = self.plan.rates_for(kind);
+        let r = self.plan.rates_for(&task.question().id, kind);
         let mut edge = r.timeout;
         if u < edge {
             self.record(0);
@@ -329,6 +374,7 @@ mod tests {
                 empty: 0.0,
             },
             per_task: Vec::new(),
+            storm: None,
         };
         let faulty = FaultyLlm::new(sim(&world), plan);
         let plain = sim(&world);
@@ -370,6 +416,66 @@ mod tests {
         }
         let rate = errs as f64 / 200.0;
         assert!((0.18..0.42).contains(&rate), "observed fault rate {rate}");
+    }
+
+    #[test]
+    fn storm_members_fault_and_bystanders_stay_clean() {
+        let (world, ds) = fixture();
+        let plan = FaultPlan::storm(21, 0.5, 1.0);
+        let faulty = FaultyLlm::new(sim(&world), plan.clone());
+        let mut members = 0;
+        for q in &ds.questions {
+            let res = faulty.complete("p", &LlmTask::Io { question: q });
+            if plan.in_storm(&q.id) {
+                members += 1;
+                assert!(res.is_err(), "storm member {} must fault", q.id);
+            } else {
+                assert!(res.is_ok(), "bystander {} must be clean", q.id);
+            }
+        }
+        assert!(
+            (6..=24).contains(&members),
+            "a 0.5 storm over 30 questions: {members} members"
+        );
+    }
+
+    #[test]
+    fn storm_membership_is_arrival_order_independent() {
+        let (world, ds) = fixture();
+        let outcomes = |order: Vec<&worldgen::Question>| -> Vec<(String, String)> {
+            let faulty = FaultyLlm::new(sim(&world), FaultPlan::storm(22, 0.4, 0.9));
+            let mut v: Vec<(String, String)> = order
+                .into_iter()
+                .map(|q| {
+                    let res = match faulty.complete("p", &LlmTask::Io { question: q }) {
+                        Ok(c) => format!("ok:{}", c.text),
+                        Err(e) => format!("err:{}", e.kind()),
+                    };
+                    (q.id.clone(), res)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let forward: Vec<&worldgen::Question> = ds.questions.iter().collect();
+        let reversed: Vec<&worldgen::Question> = ds.questions.iter().rev().collect();
+        assert_eq!(
+            outcomes(forward),
+            outcomes(reversed),
+            "per-question weather must not depend on arrival order"
+        );
+    }
+
+    #[test]
+    fn storm_takes_precedence_over_task_overrides() {
+        let (world, ds) = fixture();
+        let plan = FaultPlan::none(23)
+            .with_task_rates("io", FaultRates::uniform(1.0))
+            .with_storm(1.0, FaultRates::none());
+        let faulty = FaultyLlm::new(sim(&world), plan);
+        // Everyone is in the storm, and the storm says: clean.
+        let q = &ds.questions[0];
+        assert!(faulty.complete("p", &LlmTask::Io { question: q }).is_ok());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod prompt;
 pub mod transcript;
 
 pub use behavior::verify::{parse_triple_lines, verify_graph_consistent};
-pub use faults::{FaultPlan, FaultRates, FaultyLlm};
+pub use faults::{FaultPlan, FaultRates, FaultyLlm, Storm};
 pub use graphs::{GroundEntity, GroundGraph};
 pub use memory::{ParametricMemory, Recall, RecallMode};
 pub use model::{Completion, LanguageModel, LlmError, LlmTask, SimLlm};

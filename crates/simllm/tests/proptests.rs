@@ -2,12 +2,17 @@
 //! that turns (possibly garbled, possibly truncated) LLM text back into
 //! triples must never panic and must skip anything malformed — it sits
 //! directly downstream of the fallible transport, where truncation
-//! hands it arbitrary prefixes of valid output.
+//! hands it arbitrary prefixes of valid output. Plus the fault plan's
+//! keying contract: a question's fault weather is a pure function of
+//! `(seed, question id)`, independent of arrival order.
 
 use kgstore::StrTriple;
 use proptest::prelude::*;
 use simllm::behavior::verify::render_fixed;
 use simllm::parse_triple_lines;
+use simllm::{FaultPlan, FaultyLlm, LanguageModel, LlmTask, ModelProfile, SimLlm};
+use std::sync::{Arc, OnceLock};
+use worldgen::{datasets, generate, Question, World, WorldConfig};
 
 fn triple() -> impl Strategy<Value = StrTriple> {
     // Component text without the <>-delimiter characters themselves.
@@ -79,5 +84,99 @@ proptest! {
             text.push('\n');
         }
         prop_assert_eq!(parse_triple_lines(&text), ts);
+    }
+}
+
+fn weather_fixture() -> &'static (Arc<World>, Vec<Question>) {
+    static FIX: OnceLock<(Arc<World>, Vec<Question>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let world = Arc::new(generate(&WorldConfig {
+            scale: 0.3,
+            ..Default::default()
+        }));
+        let questions = datasets::simpleq::generate(&world, 24, 31).questions;
+        (world, questions)
+    })
+}
+
+/// First-attempt outcome per question, presented in `order`, under a
+/// fresh decorator built from `plan` — sorted by question id so
+/// different presentation orders are comparable.
+fn first_attempt_outcomes(
+    world: &Arc<World>,
+    order: &[&Question],
+    plan: FaultPlan,
+) -> Vec<(String, String)> {
+    let faulty = FaultyLlm::new(SimLlm::new(world.clone(), ModelProfile::gpt35_sim()), plan);
+    let mut v: Vec<(String, String)> = order
+        .iter()
+        .map(|q| {
+            let res = match faulty.complete("p", &LlmTask::Io { question: q }) {
+                Ok(c) => format!("ok:{}", c.text),
+                Err(e) => format!("err:{}", e.kind()),
+            };
+            (q.id.clone(), res)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    /// A question's fault weather — uniform or storm — is keyed purely
+    /// on `(seed, question id, attempt)`: rotating the order in which
+    /// questions first hit the decorator changes nothing per question.
+    #[test]
+    fn fault_weather_is_arrival_order_independent(
+        seed in any::<u64>(),
+        total in 0.0f64..1.0,
+        frac in 0.0f64..1.0,
+        rotate in 0usize..24,
+        storm in any::<bool>(),
+    ) {
+        let (world, questions) = weather_fixture();
+        let plan = if storm {
+            FaultPlan::storm(seed, frac, total)
+        } else {
+            FaultPlan::uniform(seed, total)
+        };
+        let forward: Vec<&Question> = questions.iter().collect();
+        let mut rotated = forward.clone();
+        rotated.rotate_left(rotate % forward.len());
+        prop_assert_eq!(
+            first_attempt_outcomes(world, &forward, plan.clone()),
+            first_attempt_outcomes(world, &rotated, plan),
+            "per-question weather must not depend on arrival order"
+        );
+    }
+}
+
+/// Deterministic counterpart of the order-independence proptest, so
+/// the keying contract is exercised even where the `proptest`
+/// dependency is stubbed out: uniform and storm plans, forward vs
+/// rotated and reversed presentation orders.
+#[test]
+fn fault_weather_order_independence_on_seeded_sweep() {
+    let (world, questions) = weather_fixture();
+    let forward: Vec<&Question> = questions.iter().collect();
+    let mut rotated = forward.clone();
+    rotated.rotate_left(7);
+    let reversed: Vec<&Question> = questions.iter().rev().collect();
+    for plan in [
+        FaultPlan::uniform(0xFA57, 0.6),
+        FaultPlan::storm(0xFA58, 0.4, 1.0),
+        FaultPlan::none(0xFA59),
+    ] {
+        let base = first_attempt_outcomes(world, &forward, plan.clone());
+        assert_eq!(
+            base,
+            first_attempt_outcomes(world, &rotated, plan.clone()),
+            "rotated order changed per-question weather"
+        );
+        assert_eq!(
+            base,
+            first_attempt_outcomes(world, &reversed, plan),
+            "reversed order changed per-question weather"
+        );
     }
 }
