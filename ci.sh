@@ -39,8 +39,12 @@ else
     echo "    miri unavailable (nightly component not installed) — skipping UB smoke"
 fi
 
-echo "==> chaos smoke (fault rate 0.3: no panics, nonzero score)"
-cargo run -q --release -p bench --bin chaos -- --smoke
+echo "==> chaos smoke (fault rate 0.3: no panics, nonzero score, thread identity under faults)"
+cargo run -q --release -p bench --bin chaos -- --smoke | tee /tmp/chaos_smoke.out
+grep -q "runner threads 1/8 identical" /tmp/chaos_smoke.out || {
+    echo "ci.sh: chaos smoke lost the runner thread-identity assertion" >&2
+    exit 1
+}
 
 echo "==> perf smoke (pruned retrieval + quantized scoring + batched engine bit-identical to the exact scan)"
 cargo run -q --release -p bench --bin perf -- --smoke | tee /tmp/perf_smoke.out
@@ -50,6 +54,14 @@ grep -q "scoring bit-identical" /tmp/perf_smoke.out || {
 }
 grep -q "batched kernel bit-identical" /tmp/perf_smoke.out || {
     echo "ci.sh: perf smoke lost the batched-identity assertion" >&2
+    exit 1
+}
+grep -q "stage breakdown" /tmp/perf_smoke.out || {
+    echo "ci.sh: perf smoke lost the per-stage timing breakdown" >&2
+    exit 1
+}
+grep -q "runner thread-identity ok" /tmp/perf_smoke.out || {
+    echo "ci.sh: perf smoke lost the 1/2/4/8 thread-identity gate" >&2
     exit 1
 }
 
@@ -70,7 +82,7 @@ grep -q '"worker_count_identity": true' BENCH_soak.json || {
     exit 1
 }
 
-echo "==> BENCH_perf.json carries scoring and batched sections"
+echo "==> BENCH_perf.json carries scoring, batched, stages, and threads_sweep sections"
 grep -q '"scoring"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json lacks the \"scoring\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
     exit 1
@@ -79,9 +91,21 @@ grep -q '"batched"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json lacks the \"batched\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
     exit 1
 }
+grep -q '"stages"' BENCH_perf.json || {
+    echo "ci.sh: BENCH_perf.json lacks the \"stages\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
+    exit 1
+}
+grep -q '"threads_sweep"' BENCH_perf.json || {
+    echo "ci.sh: BENCH_perf.json lacks the \"threads_sweep\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
+    exit 1
+}
 grep -q '"warnings"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json lacks the \"warnings\" array — regenerate with: cargo run --release -p bench --bin perf" >&2
     exit 1
 }
+if grep -q "pruned e2e underperforms" BENCH_perf.json; then
+    echo "ci.sh: BENCH_perf.json still carries the pruned-underperforms warning — the adaptive gate must keep the pruned arm within tolerance of exact" >&2
+    exit 1
+fi
 
 echo "ci.sh: all checks passed"

@@ -35,6 +35,7 @@ fn arm(
     llm: SimLlm,
     rate: f64,
     resilient: bool,
+    threads: usize,
 ) -> Arm {
     // Fresh decorator per arm: attempt counters start at zero, so every
     // arm sees the same first-attempt fault schedule.
@@ -55,7 +56,7 @@ fn arm(
         &exp.embedder,
         &cfg,
         &exp.simpleq,
-        0,
+        threads,
     );
     Arm {
         rate,
@@ -91,7 +92,7 @@ fn check_invariants(a: &Arm) -> Vec<String> {
 fn smoke() {
     let exp = setup(20);
     let base = exp.base(&exp.simpleq, &exp.wikidata);
-    let a = arm(&exp, &base, model(&exp.world, "gpt-3.5"), 0.3, true);
+    let a = arm(&exp, &base, model(&exp.world, "gpt-3.5"), 0.3, true, 1);
     let violations = check_invariants(&a);
     for v in &violations {
         eprintln!("chaos smoke violation: {v}");
@@ -103,8 +104,21 @@ fn smoke() {
         eprintln!("chaos smoke violation: zero score at fault rate 0.3");
         std::process::exit(1);
     }
+    // The faulted run replayed on the 8-thread runner must reproduce
+    // the 1-thread run byte for byte (fresh fault decorator, same
+    // seeded schedule): faults under parallelism is exactly where a
+    // racy runner would first diverge.
+    let b = arm(&exp, &base, model(&exp.world, "gpt-3.5"), 0.3, true, 8);
+    if a.result.identity_key() != b.result.identity_key() {
+        eprintln!(
+            "chaos smoke violation: runner outcomes differ between 1 and 8 \
+             threads under fault rate 0.3"
+        );
+        std::process::exit(1);
+    }
     println!(
-        "chaos smoke ok: N=20 rate=0.3 score={:.1} faults={} retries={} degraded={} errors=0",
+        "chaos smoke ok: N=20 rate=0.3 score={:.1} faults={} retries={} degraded={} errors=0, \
+         runner threads 1/8 identical under faults",
         a.result.score(),
         a.result.faults.faults,
         a.result.faults.retries,
@@ -123,8 +137,8 @@ fn main() {
 
     let mut arms: Vec<(Arm, Arm)> = Vec::new();
     for &rate in &rates {
-        let on = arm(&exp, &base, model(&exp.world, "gpt-3.5"), rate, true);
-        let off = arm(&exp, &base, model(&exp.world, "gpt-3.5"), rate, false);
+        let on = arm(&exp, &base, model(&exp.world, "gpt-3.5"), rate, true, 0);
+        let off = arm(&exp, &base, model(&exp.world, "gpt-3.5"), rate, false, 0);
         arms.push((on, off));
     }
 

@@ -20,7 +20,17 @@
 //!   batched) plus a pruned per-query arm, each run cold (fresh
 //!   query-embedding cache) then warm (same base re-queried), reporting
 //!   questions/sec, postings-build time, and the candidate fraction
-//!   pruning achieved (identical answers asserted across all arms).
+//!   pruning achieved (identical answers asserted across all arms);
+//! * **stages** — the per-stage profile of the exact cold run: virtual
+//!   and wall time per pipeline stage (pseudo / ground / verify /
+//!   answer / eval) with each stage's share of the virtual total;
+//! * **threads sweep** — the question-level runner at 1/2/4/8 worker
+//!   threads over a fresh base each, gated on a byte-identical
+//!   [`RunResult::identity_key`](pgg_core::RunResult::identity_key) at
+//!   every count. Scaling is reported in *virtual makespan* (the
+//!   deterministic list-schedule bound over per-question virtual
+//!   costs): wall time cannot show parallel speedup on a single-core
+//!   CI box, the virtual schedule can — and it is reproducible.
 //!
 //! Usage:
 //! * `cargo run --release -p bench --bin perf` — full run; writes
@@ -29,9 +39,10 @@
 //!   smoke: reduced sizes, same identity assertions, no JSON file.
 
 use bench::run_or_exit as run;
+use bench::warn::{json_escape, WarnLog};
 use bench::{model, setup, Experiment};
 use pgg_core::{
-    BaseIndex, BatchMode, PipelineConfig, PseudoGraphPipeline, RetrievalMode, ScoringMode,
+    BaseIndex, BatchMode, PipelineConfig, PseudoGraphPipeline, RetrievalMode, ScoringMode, StageAgg,
 };
 use semvec::{NoisyQuery, QueryStyle, ScreenStats};
 use std::time::Instant;
@@ -259,9 +270,11 @@ struct E2eArm {
     cache_hits: u64,
     cache_misses: u64,
     cand_fraction: f64,
+    gate_fallbacks: u64,
     mean_batch_width: f64,
     dedup_rate: f64,
     answers: Vec<String>,
+    stage_totals: Vec<(String, StageAgg)>,
 }
 
 /// Full pipeline on QALD-10, one (retrieval mode, batch mode) pair:
@@ -338,17 +351,67 @@ fn e2e_arm(
         cache_hits: stats.hits,
         cache_misses: stats.misses,
         cand_fraction: scoring.candidate_fraction(base.len()),
+        gate_fallbacks: scoring.gate_fallbacks,
         mean_batch_width: scoring.mean_batch_width(),
         dedup_rate: scoring.dedup_rate(),
         answers,
+        stage_totals: cold.stage_totals(),
     }
 }
 
-/// Minimal JSON string escaping for the hand-formatted report: the
-/// warning texts are ASCII diagnostics, so quotes and backslashes are
-/// the only characters that could break the encoding.
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+struct ThreadsArm {
+    threads: usize,
+    wall_cold_ms: f64,
+    virtual_makespan_ms: u64,
+    identical: bool,
+}
+
+/// The question-level runner swept over worker-thread counts, each on a
+/// fresh base (cold caches, so arms are comparable). Every count must
+/// reproduce the 1-thread run byte for byte (`identity_key` digests
+/// answers, scores, traces, fault ledgers, and stage timings — wall
+/// nanoseconds excluded, the one schedule-dependent field). Scaling is
+/// the *virtual makespan*: the deterministic list-schedule length of
+/// the per-question virtual costs over `threads` workers.
+fn threads_sweep(
+    exp: &Experiment,
+    dataset: &worldgen::Dataset,
+    counts: &[usize],
+) -> Vec<ThreadsArm> {
+    let llm = model(&exp.world, "gpt-3.5");
+    let pipeline = PseudoGraphPipeline::full();
+    let mut reference: Option<u64> = None;
+    counts
+        .iter()
+        .map(|&threads| {
+            let base = BaseIndex::for_questions(
+                &exp.wikidata,
+                &exp.embedder,
+                &exp.cfg,
+                dataset.questions.iter().map(|q| q.text.as_str()),
+            );
+            let t = Instant::now();
+            let res = run(
+                &pipeline,
+                &llm,
+                Some(&exp.wikidata),
+                Some(&base),
+                &exp.embedder,
+                &exp.cfg,
+                dataset,
+                threads,
+            );
+            let wall_cold_ms = ms(t);
+            let key = res.identity_key();
+            let identical = *reference.get_or_insert(key) == key;
+            ThreadsArm {
+                threads,
+                wall_cold_ms,
+                virtual_makespan_ms: res.virtual_makespan_ms(threads),
+                identical,
+            }
+        })
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)] // one argument per report section
@@ -358,6 +421,7 @@ fn json_report(
     scoring: &ScoringTiming,
     batched: &BatchedTiming,
     arms: &[E2eArm],
+    sweep: &[ThreadsArm],
     questions: usize,
     k: usize,
     sigma: f32,
@@ -387,7 +451,8 @@ fn json_report(
                     "\"cold_ms\": {:.1}, \"warm_ms\": {:.1}, ",
                     "\"cold_qps\": {:.2}, \"warm_qps\": {:.2}, ",
                     "\"cache_hits\": {}, \"cache_misses\": {}, ",
-                    "\"cand_fraction\": {:.4}, \"mean_batch_width\": {:.2}, ",
+                    "\"cand_fraction\": {:.4}, \"gate_fallbacks\": {}, ",
+                    "\"mean_batch_width\": {:.2}, ",
                     "\"dedup_rate\": {:.4}}}"
                 ),
                 a.mode,
@@ -400,8 +465,46 @@ fn json_report(
                 a.cache_hits,
                 a.cache_misses,
                 a.cand_fraction,
+                a.gate_fallbacks,
                 a.mean_batch_width,
                 a.dedup_rate,
+            )
+        })
+        .collect();
+    let stage_rows = &arms[0].stage_totals;
+    let virtual_total: u64 = stage_rows.iter().map(|(_, agg)| agg.virtual_ms).sum();
+    let stage_json: Vec<String> = stage_rows
+        .iter()
+        .map(|(stage, agg)| {
+            format!(
+                concat!(
+                    "    {{\"stage\": \"{}\", \"questions\": {}, \"virtual_ms\": {}, ",
+                    "\"wall_ms\": {:.1}, \"virtual_share\": {:.4}}}"
+                ),
+                json_escape(stage),
+                agg.questions,
+                agg.virtual_ms,
+                agg.wall_ns as f64 / 1e6,
+                agg.virtual_ms as f64 / virtual_total.max(1) as f64,
+            )
+        })
+        .collect();
+    let base_makespan = sweep.first().map_or(1, |a| a.virtual_makespan_ms.max(1));
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|a| {
+            format!(
+                concat!(
+                    "    {{\"threads\": {}, \"wall_cold_ms\": {:.1}, ",
+                    "\"virtual_makespan_ms\": {}, \"virtual_qps\": {:.2}, ",
+                    "\"virtual_speedup\": {:.2}, \"identical\": {}}}"
+                ),
+                a.threads,
+                a.wall_cold_ms,
+                a.virtual_makespan_ms,
+                questions as f64 / (a.virtual_makespan_ms.max(1) as f64 / 1e3),
+                base_makespan as f64 / a.virtual_makespan_ms.max(1) as f64,
+                a.identical,
             )
         })
         .collect();
@@ -425,6 +528,14 @@ fn json_report(
             "{}\n",
             "  ]}},\n",
             "  \"e2e\": {{\"questions\": {}, \"answers_identical\": true, \"arms\": [\n",
+            "{}\n",
+            "  ]}},\n",
+            "  \"stages\": {{\"questions\": {}, \"arm\": \"{} {}\", ",
+            "\"virtual_total_ms\": {}, \"rows\": [\n",
+            "{}\n",
+            "  ]}},\n",
+            "  \"threads_sweep\": {{\"questions\": {}, \"answers_identical\": {}, ",
+            "\"counts\": [\n",
             "{}\n",
             "  ]}},\n",
             "  \"warnings\": [{}]\n",
@@ -462,6 +573,14 @@ fn json_report(
         width_json.join(",\n"),
         questions,
         arm_json.join(",\n"),
+        questions,
+        arms[0].mode,
+        arms[0].batch,
+        virtual_total,
+        stage_json.join(",\n"),
+        questions,
+        sweep.iter().all(|a| a.identical),
+        sweep_json.join(",\n"),
         warnings
             .iter()
             .map(|w| format!("\"{}\"", json_escape(w)))
@@ -472,6 +591,7 @@ fn json_report(
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    bench::install_wall_clock();
     let exp = setup(20);
     let (dataset, retr_queries, e2e_questions) = if smoke {
         (&exp.nature, 600, 15)
@@ -525,19 +645,50 @@ fn main() {
         eprintln!("perf violation: batched mode changed end-to-end answers");
         std::process::exit(1);
     }
-    let mut warnings: Vec<String> = Vec::new();
-    if pruned_arm.cold_ms > exact_arm.cold_ms {
-        let w = format!(
+    let mut warn = WarnLog::new();
+    warn.slower_than(pruned_arm.cold_ms, exact_arm.cold_ms, 0.05, || {
+        format!(
             "pruned e2e underperforms exact (cold {:.2} q/s vs {:.2} q/s, \
-             candidate fraction {:.3}) — postings pruning is not paying for \
-             its candidate lookups on this corpus",
+             candidate fraction {:.3}, {} gate fallbacks) — the adaptive gate \
+             is letting unprofitable pruning through on this corpus",
             e2e_set.questions.len() as f64 / (pruned_arm.cold_ms / 1e3),
             e2e_set.questions.len() as f64 / (exact_arm.cold_ms / 1e3),
             pruned_arm.cand_fraction,
+            pruned_arm.gate_fallbacks,
+        )
+    });
+
+    let sweep = threads_sweep(&exp, &e2e_set, &[1, 2, 4, 8]);
+    if let Some(bad) = sweep.iter().find(|a| !a.identical) {
+        eprintln!(
+            "perf violation: the {}-thread runner diverged from the 1-thread \
+             run (identity key mismatch over {} questions)",
+            bad.threads,
+            e2e_set.questions.len(),
         );
-        eprintln!("WARN: {w}");
-        warnings.push(w);
+        std::process::exit(1);
     }
+    let makespan_1 = sweep[0].virtual_makespan_ms.max(1);
+    let makespan_8 = sweep
+        .last()
+        .expect("sweep has arms")
+        .virtual_makespan_ms
+        .max(1);
+    let virtual_speedup_8 = makespan_1 as f64 / makespan_8 as f64;
+    if !smoke && virtual_speedup_8 < 4.0 {
+        eprintln!(
+            "perf violation: 8-thread virtual speedup {virtual_speedup_8:.2}x \
+             is below the 4x gate (makespan {makespan_1} ms at 1 thread vs \
+             {makespan_8} ms at 8)"
+        );
+        std::process::exit(1);
+    }
+    let stage_desc = exact_arm
+        .stage_totals
+        .iter()
+        .map(|(stage, agg)| format!("{stage}={}", agg.virtual_ms))
+        .collect::<Vec<_>>()
+        .join(" ");
 
     let retrieval_speedup = retr.exact_ms / retr.pruned_ms;
     let scoring_speedup = scoring.exact_ms / scoring.quant_ms;
@@ -566,6 +717,18 @@ fn main() {
             batched.queries,
             batched_w8,
         );
+        println!(
+            "perf smoke stage breakdown over {} questions (virtual ms): {}",
+            e2e_set.questions.len(),
+            stage_desc,
+        );
+        println!(
+            "perf smoke runner thread-identity ok: threads 1/2/4/8 \
+             byte-identical over {} questions, 8-thread virtual speedup \
+             {:.2}x",
+            e2e_set.questions.len(),
+            virtual_speedup_8,
+        );
         return;
     }
 
@@ -576,22 +739,26 @@ fn main() {
         &scoring,
         &batched,
         &arms,
+        &sweep,
         e2e_set.questions.len(),
         exp.cfg.top_k,
         exp.cfg.retrieval_jitter,
-        &warnings,
+        warn.warnings(),
     );
     std::fs::write("BENCH_perf.json", &report).expect("write BENCH_perf.json");
     println!("{report}");
     println!(
         "perf ok: docs={} retrieval_speedup={:.2} scoring_speedup={:.2} \
          build_speedup={:.2} batched_w8_speedup={:.2} warm_qps(pruned)={:.1} \
-         — BENCH_perf.json written",
+         stage breakdown [{}] runner thread-identity ok at 1/2/4/8 \
+         (8-thread virtual speedup {:.2}x) — BENCH_perf.json written",
         build.docs,
         retrieval_speedup,
         scoring_speedup,
         build.serial_ms / build.parallel_ms,
         batched_w8,
         e2e_set.questions.len() as f64 / (arms[1].warm_ms / 1e3),
+        stage_desc,
+        virtual_speedup_8,
     );
 }

@@ -21,6 +21,7 @@
 //! * `cargo run --release -p bench --bin soak -- --smoke` — the CI
 //!   smoke: one mid-load faulted arm, asserts the contract and exits.
 
+use bench::warn::WarnLog;
 use bench::{model, setup};
 use pgg_core::{serve, Disposition, OfferedTrace, ServeConfig, ServeReport};
 use simllm::FaultPlan;
@@ -284,6 +285,33 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Advisory (non-fatal, but carried into the report): under each
+    // weather, pushing load should not *collapse* delivered throughput.
+    // Shedding more is fine — that is the backpressure contract — but
+    // if the saturation q/s at the highest load falls below half the
+    // best load point, admission control is thrashing rather than
+    // protecting the service.
+    let mut warn = WarnLog::new();
+    for w_idx in 0..weathers.len() {
+        let row = &arms[w_idx * loads.len()..(w_idx + 1) * loads.len()];
+        let best = row
+            .iter()
+            .map(|a| saturation_qps(&a.report))
+            .fold(0.0f64, f64::max);
+        let hi = row.last().expect("each weather has load arms");
+        let hi_sat = saturation_qps(&hi.report);
+        if hi_sat < 0.5 * best {
+            warn.warn(format!(
+                "{}: saturation collapsed under load — {:.2} q/s at load \
+                 {:.0} vs {:.2} q/s best across loads",
+                hi.weather.label(),
+                hi_sat,
+                hi.load_qps,
+                best,
+            ));
+        }
+    }
+
     let arm_rows: Vec<String> = arms.iter().map(arm_json).collect();
     let report = format!(
         concat!(
@@ -300,13 +328,15 @@ fn main() {
             "\"every_admission_answered\": true, ",
             "\"calm_low_load_unshed\": true, ",
             "\"monotone_shed\": true, ",
-            "\"worker_count_identity\": true}}\n",
+            "\"worker_count_identity\": true}},\n",
+            "  \"warnings\": [{}]\n",
             "}}\n"
         ),
         ARRIVALS,
         TRACE_SEED,
         FAULT_SEED,
         arm_rows.join(",\n"),
+        warn.json_array(),
     );
     std::fs::write("BENCH_soak.json", &report).expect("write BENCH_soak.json");
     println!("\n{report}");

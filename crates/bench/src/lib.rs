@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod warn;
+
 use pgg_core::{paper, BaseIndex, PipelineConfig};
 use semvec::Embedder;
 use simllm::{ModelProfile, SimLlm};
@@ -210,6 +212,23 @@ pub fn run_or_exit(
         eprintln!("error: {e}");
         std::process::exit(2);
     })
+}
+
+/// Install the process-wide monotonic wall clock into
+/// [`pgg_core::timing`], so bench runs populate the wall half of the
+/// per-stage timing breakdown. Library code never reads wall time
+/// directly (the determinism lint bans it outside `crates/bench`);
+/// binaries that want real nanoseconds opt in here, and everything
+/// else — unit tests, the table binaries whose output is diffed —
+/// keeps the zero clock and stays schedule-independent.
+pub fn install_wall_clock() {
+    fn monotonic_ns() -> u64 {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static T0: OnceLock<Instant> = OnceLock::new();
+        T0.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+    pgg_core::install_wall_clock(monotonic_ns);
 }
 
 /// Construct a model by short name (`"gpt-3.5"` / `"gpt-4"`).

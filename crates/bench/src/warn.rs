@@ -1,0 +1,94 @@
+//! Shared non-fatal warning machinery for the bench binaries.
+//!
+//! `perf` and `soak` both report advisory regressions the same way —
+//! printed as `WARN:` lines on stderr and carried into the JSON
+//! report's `"warnings"` array — so CI can grep one format and gate
+//! on specific texts (e.g. fail the build while a known warning is
+//! still present in a committed report).
+
+/// Collects non-fatal warnings for one bench report.
+#[derive(Default)]
+pub struct WarnLog {
+    warnings: Vec<String>,
+}
+
+impl WarnLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record (and print to stderr) one warning.
+    pub fn warn(&mut self, msg: String) {
+        eprintln!("WARN: {msg}");
+        self.warnings.push(msg);
+    }
+
+    /// Warn when `fast_ms` exceeds `ref_ms` by more than `tolerance`
+    /// (fractional, e.g. `0.05` = 5%). The margin absorbs run-to-run
+    /// noise between two arms doing near-identical work — without it,
+    /// an optimized arm that converges onto the reference arm's cost
+    /// turns the comparison into a coin flip on scheduler jitter.
+    /// Returns whether the warning fired.
+    pub fn slower_than(
+        &mut self,
+        fast_ms: f64,
+        ref_ms: f64,
+        tolerance: f64,
+        msg: impl FnOnce() -> String,
+    ) -> bool {
+        if fast_ms > ref_ms * (1.0 + tolerance) {
+            self.warn(msg());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The warnings collected so far.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Whether nothing has fired.
+    pub fn is_empty(&self) -> bool {
+        self.warnings.is_empty()
+    }
+
+    /// The report's `"warnings": [...]` element contents (escaped,
+    /// comma-joined, no surrounding brackets).
+    pub fn json_array(&self) -> String {
+        self.warnings
+            .iter()
+            .map(|w| format!("\"{}\"", json_escape(w)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Minimal JSON string escaping for the hand-formatted bench reports:
+/// warning texts are ASCII diagnostics, so quotes and backslashes are
+/// the only characters that could break the encoding.
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_absorbs_noise_but_not_regressions() {
+        let mut log = WarnLog::new();
+        assert!(!log.slower_than(102.0, 100.0, 0.05, || "noise".into()));
+        assert!(log.is_empty());
+        assert!(log.slower_than(110.0, 100.0, 0.05, || "real".into()));
+        assert_eq!(log.warnings(), ["real"]);
+        assert_eq!(log.json_array(), "\"real\"");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_backslashes() {
+        assert_eq!(json_escape(r#"a "b" \c"#), r#"a \"b\" \\c"#);
+    }
+}

@@ -68,10 +68,29 @@ pub struct PipelineConfig {
     /// a (query, document) pair is scored, never its value.
     #[serde(default)]
     pub batch_mode: BatchMode,
+    /// Worker threads for the question-level runner pool. `0` (the
+    /// default) resolves to the machine's available parallelism.
+    /// Callers that pass an explicit thread count to
+    /// [`crate::runner::run`] override this. Results are byte-identical
+    /// at every value — the pool only changes wall-clock time.
+    #[serde(default)]
+    pub runner_threads: usize,
+    /// Candidate-fraction ceiling for the adaptive pruning gate (see
+    /// [`crate::retrieval::BaseIndex`]): a pruned retrieval falls back
+    /// to the exact scan, per query, when the postings estimate says
+    /// the candidate set would exceed this fraction of the corpus
+    /// (relaxed for pure-f32 scoring, where pruning pays much longer).
+    /// Hits are bit-identical either way; the gate is pure routing.
+    #[serde(default = "default_prune_gate")]
+    pub prune_gate: f32,
 }
 
 fn default_repair() -> bool {
     true
+}
+
+fn default_prune_gate() -> f32 {
+    crate::retrieval::PRUNE_GATE_DEFAULT
 }
 
 impl Default for PipelineConfig {
@@ -90,6 +109,8 @@ impl Default for PipelineConfig {
             retrieval_mode: RetrievalMode::default(),
             scoring_mode: ScoringMode::default(),
             batch_mode: BatchMode::default(),
+            runner_threads: 0,
+            prune_gate: default_prune_gate(),
         }
     }
 }

@@ -33,10 +33,13 @@ pub mod resilience;
 pub mod retrieval;
 pub mod runner;
 pub mod serve;
+pub mod timing;
 
 pub use baselines::{Cot, Io, Qsm, SelfConsistency};
 pub use config::{paper, PipelineConfig};
-pub use method::{capability_row, BaseRef, Capabilities, Method, MethodOutput, QaContext, Trace};
+pub use method::{
+    capability_row, BaseRef, Capabilities, Method, MethodOutput, QaContext, StageTiming, Trace,
+};
 pub use pipeline::{PseudoGraphPipeline, Stages};
 pub use prune::{Candidate, PruneStrategy};
 pub use report::{write_markdown_summary, write_records_jsonl, RunSummary};
@@ -48,8 +51,9 @@ pub use retrieval::{
     ground_graph, ground_graph_with, BaseIndex, BatchMode, CacheStats, GroundBatchFn, QuerySlot,
     RetrievalMode, RetrievalStats, ScoringMode, ScoringStats,
 };
-pub use runner::{run, score_answer, FaultSummary, Record, RunError, RunResult};
+pub use runner::{run, score_answer, FaultSummary, Record, RunError, RunResult, StageAgg};
 pub use serve::{
     serve, Arrival, BatchTelemetry, Disposition, OfferedTrace, Outcome, ServeConfig, ServeReport,
     ShedReason,
 };
+pub use timing::{install_wall_clock, wall_ns};

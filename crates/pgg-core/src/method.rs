@@ -105,6 +105,28 @@ pub struct Trace {
     /// `"answer:graph-objects"`, …). Empty on a clean run.
     #[serde(default)]
     pub degradation: Vec<String>,
+    /// Per-stage timing breakdown in pipeline order (pseudo / ground /
+    /// verify / answer from the pipeline, eval appended by the
+    /// runner). Virtual halves are deterministic; wall halves are
+    /// telemetry only and zero unless a bench installed the clock.
+    #[serde(default)]
+    pub stages: Vec<StageTiming>,
+}
+
+/// Wall + virtual timing of one pipeline stage of one question.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage slug: `"pseudo"`, `"ground"`, `"verify"`, `"answer"`, or
+    /// `"eval"`.
+    pub stage: String,
+    /// Virtual milliseconds priced on the serve cost model (stage
+    /// overhead + per-attempt and per-query charges + retry backoff).
+    /// Deterministic: identical across thread counts and machines.
+    pub virtual_ms: u64,
+    /// Wall nanoseconds via [`crate::timing::wall_ns`] — `0` whenever
+    /// no clock is installed (all unit tests), and excluded from every
+    /// identity digest because it is schedule-dependent.
+    pub wall_ns: u64,
 }
 
 impl Trace {

@@ -36,6 +36,15 @@ pub struct RunSummary {
     /// Questions that took at least one degradation path.
     #[serde(default)]
     pub degraded: usize,
+    /// Total virtual service milliseconds across all questions (the
+    /// sum of per-stage charges — see [`crate::runner::Record`]).
+    #[serde(default)]
+    pub virtual_ms: u64,
+    /// Per-stage virtual totals in pipeline order, e.g.
+    /// `[("pseudo", 1520), …]`. Empty for stage-less baselines run
+    /// outside the runner.
+    #[serde(default)]
+    pub stage_virtual_ms: Vec<(String, u64)>,
 }
 
 impl RunSummary {
@@ -61,6 +70,12 @@ impl RunSummary {
             faults: run.faults.faults,
             retries: run.faults.retries,
             degraded: run.faults.degraded_questions,
+            virtual_ms: run.records.iter().map(|r| r.virtual_ms()).sum(),
+            stage_virtual_ms: run
+                .stage_totals()
+                .into_iter()
+                .map(|(name, agg)| (name, agg.virtual_ms))
+                .collect(),
         }
     }
 }
@@ -79,12 +94,12 @@ pub fn write_records_jsonl(run: &RunResult, path: &Path) -> std::io::Result<()> 
 /// Write a summary of several runs as a markdown table.
 pub fn write_markdown_summary(runs: &[RunSummary], path: &Path) -> std::io::Result<()> {
     let mut out = String::from(
-        "| method | dataset | n | score | hits | cypher failures | empty ground | errors | faults | retries | degraded |\n\
-         |---|---|---|---|---|---|---|---|---|---|---|\n",
+        "| method | dataset | n | score | hits | cypher failures | empty ground | errors | faults | retries | degraded | virtual ms |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|---|\n",
     );
     for s in runs {
         out.push_str(&format!(
-            "| {} | {} | {} | {:.1} | {} | {} | {} | {} | {} | {} | {} |\n",
+            "| {} | {} | {} | {:.1} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
             s.method,
             s.dataset,
             s.questions,
@@ -95,7 +110,8 @@ pub fn write_markdown_summary(runs: &[RunSummary], path: &Path) -> std::io::Resu
             s.errors,
             s.faults,
             s.retries,
-            s.degraded
+            s.degraded,
+            s.virtual_ms
         ));
     }
     std::fs::write(path, out)
@@ -150,6 +166,9 @@ mod tests {
         assert_eq!(s.cypher_failures, 1);
         assert_eq!(s.empty_ground, 2);
         assert!((s.score - 50.0).abs() < 1e-9);
+        // Stage-less records still carry the 1 ms service floor.
+        assert_eq!(s.virtual_ms, 2);
+        assert!(s.stage_virtual_ms.is_empty());
     }
 
     #[test]

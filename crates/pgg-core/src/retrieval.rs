@@ -307,6 +307,19 @@ impl QueryCache {
             entries: self.state.lock().map.len(),
         }
     }
+
+    /// Credit `n` hits that were served without touching the cache:
+    /// the batch path's in-batch deduplication. A duplicate slot
+    /// reuses its twin's encoding exactly like a repeat query reuses a
+    /// cached entry, so crediting it keeps the hit ledger identical
+    /// between the batched and per-query modes — previously the
+    /// per-query e2e arm reported more hits than the batched arm for
+    /// the same workload, which read as a caching regression.
+    fn note_hits(&self, n: u64) {
+        if n > 0 {
+            self.hits.fetch_add(n, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Monotonic counters of the scoring engine across every search this
@@ -333,6 +346,12 @@ pub struct ScoringStats {
     /// full base is `pruned_queries × base.len()` documents; the gap is
     /// what pruning saved).
     pub pruned_candidates: u64,
+    /// Pruned-mode queries the adaptive gate routed to the exact scan
+    /// because the postings estimate said pruning could not pay for
+    /// its candidate materialization. Not counted in `pruned_queries`,
+    /// so [`Self::candidate_fraction`] keeps describing the scans that
+    /// actually pruned.
+    pub gate_fallbacks: u64,
 }
 
 impl ScoringStats {
@@ -376,6 +395,23 @@ impl ScoringStats {
     }
 }
 
+/// Default candidate-fraction ceiling of the adaptive pruning gate
+/// (see [`PipelineConfig::prune_gate`]): under quantized scoring a
+/// pruned scan must promise a candidate set below this fraction of
+/// the corpus, or the query runs the exact SoA scan instead. The
+/// break-even point comes from the perf bench: the batched int8
+/// screen costs so little per document that candidate
+/// materialization + gathered scoring + the suspect audit only wins
+/// when the candidate set is genuinely small.
+pub const PRUNE_GATE_DEFAULT: f32 = 0.05;
+
+/// Gate relaxation under [`ScoringMode::ExactF32`]: without the int8
+/// screen a full scan pays ~3× more per document, so pruning stays
+/// profitable up to a proportionally larger candidate fraction
+/// (retrieval-kernel bench: pruned wins ~1.9× at fraction 0.08 in
+/// f32, while losing under quantized batched scoring).
+const GATE_F32_RELAX: f32 = 4.0;
+
 /// A pre-encoded semantic KG: verbalised triples, their subject atoms
 /// (into the source's table), and the hybrid (postings + vector) index,
 /// plus a query-embedding cache.
@@ -386,6 +422,7 @@ pub struct BaseIndex {
     pub subjects: Vec<Atom>,
     index: HybridIndex,
     cache: QueryCache,
+    prune_gate: f32,
     screened: AtomicU64,
     reranked: AtomicU64,
     batches: AtomicU64,
@@ -393,6 +430,7 @@ pub struct BaseIndex {
     batch_deduped: AtomicU64,
     pruned_queries: AtomicU64,
     pruned_candidates: AtomicU64,
+    gate_fallbacks: AtomicU64,
 }
 
 impl BaseIndex {
@@ -432,6 +470,7 @@ impl BaseIndex {
             batch_deduped: self.batch_deduped.load(Ordering::Relaxed),
             pruned_queries: self.pruned_queries.load(Ordering::Relaxed),
             pruned_candidates: self.pruned_candidates.load(Ordering::Relaxed),
+            gate_fallbacks: self.gate_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -444,6 +483,41 @@ impl BaseIndex {
         self.pruned_queries.fetch_add(1, Ordering::Relaxed);
         self.pruned_candidates
             .fetch_add(candidates as u64, Ordering::Relaxed);
+    }
+
+    /// The adaptive pruning gate: candidate generation behind a
+    /// postings-sum admission estimate. `Some(cands)` means pruning is
+    /// predicted to pay (the set is recorded in the pruning counters);
+    /// `None` means the caller must take the exact-scan path for this
+    /// query — counted as a gate fallback, *not* a pruned query, so
+    /// `candidate_fraction` keeps describing actual pruned scans. The
+    /// routing never changes hits: the pruned and exact paths are
+    /// bit-identical by the hybrid index's ceiling contract.
+    fn gated_candidates(
+        &self,
+        embedder: &Embedder,
+        text: &str,
+        style: QueryStyle,
+        scoring: ScoringMode,
+    ) -> Option<Vec<u32>> {
+        let relax = match scoring {
+            ScoringMode::QuantizedScreen => 1.0,
+            ScoringMode::ExactF32 => GATE_F32_RELAX,
+        };
+        let max_cands = (self.prune_gate * relax * self.len() as f32) as usize;
+        match self
+            .index
+            .candidates_if_under(embedder, text, style, max_cands)
+        {
+            Ok(cands) => {
+                self.record_pruned(cands.len());
+                Some(cands)
+            }
+            Err(_estimate) => {
+                self.gate_fallbacks.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Build from an explicit set of triples of a source (serial).
@@ -482,6 +556,7 @@ impl BaseIndex {
             subjects,
             index,
             cache: QueryCache::new(),
+            prune_gate: PRUNE_GATE_DEFAULT,
             screened: AtomicU64::new(0),
             reranked: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -489,7 +564,18 @@ impl BaseIndex {
             batch_deduped: AtomicU64::new(0),
             pruned_queries: AtomicU64::new(0),
             pruned_candidates: AtomicU64::new(0),
+            gate_fallbacks: AtomicU64::new(0),
         }
+    }
+
+    /// Override the adaptive pruning gate's candidate-fraction
+    /// ceiling. `0.0` routes effectively every overlapping query to
+    /// the exact scan; `f32::INFINITY` disables the gate (every
+    /// pruned-mode query prunes). Routing only — hits are identical
+    /// at any value.
+    pub fn with_prune_gate(mut self, gate: f32) -> Self {
+        self.prune_gate = gate;
+        self
     }
 
     /// The paper's per-dataset construction: union of question-scoped
@@ -525,6 +611,7 @@ impl BaseIndex {
             }
         }
         Self::from_triples_parallel(source, embedder, union, threads)
+            .with_prune_gate(cfg.prune_gate)
     }
 
     /// Question-scoped construction (used when no dataset-level index
@@ -540,6 +627,7 @@ impl BaseIndex {
             embedder,
             extract(source, question, &cfg.extract).triples,
         )
+        .with_prune_gate(cfg.prune_gate)
     }
 
     /// Encode a query through the embedding cache.
@@ -582,16 +670,20 @@ impl BaseIndex {
                 hits
             }
             (RetrievalMode::Pruned, ScoringMode::ExactF32) => {
-                let cands = self.index.candidates(embedder, text, style);
-                self.record_pruned(cands.len());
-                self.index.top_k_noisy_encoded(&q, &cands, k, sigma, salt)
+                match self.gated_candidates(embedder, text, style, scoring) {
+                    Some(cands) => self.index.top_k_noisy_encoded(&q, &cands, k, sigma, salt),
+                    // Gate fallback: the exact arm's own scan.
+                    None => self.index.vectors().top_k_noisy(&q, k, sigma, salt),
+                }
             }
             (RetrievalMode::Pruned, ScoringMode::QuantizedScreen) => {
-                let cands = self.index.candidates(embedder, text, style);
-                self.record_pruned(cands.len());
-                let (hits, stats) = self
-                    .index
-                    .top_k_noisy_encoded_quant(&q, &cands, k, sigma, salt);
+                let (hits, stats) = match self.gated_candidates(embedder, text, style, scoring) {
+                    Some(cands) => self
+                        .index
+                        .top_k_noisy_encoded_quant(&q, &cands, k, sigma, salt),
+                    // Gate fallback: the exact arm's own scan.
+                    None => self.index.vectors().top_k_noisy_quant(&q, k, sigma, salt),
+                };
                 self.record_screen(stats);
                 hits
             }
@@ -644,6 +736,10 @@ impl BaseIndex {
         }
         self.batch_deduped
             .fetch_add((slots.len() - unique.len()) as u64, Ordering::Relaxed);
+        // A deduplicated slot is a cache hit in all but mechanism: the
+        // per-query path would have looked its text up and hit. Credit
+        // it so both modes report the same hit/miss ledger.
+        self.cache.note_hits((slots.len() - unique.len()) as u64);
 
         // Encode the unique queries (through the cache, like the
         // sequential path — a batch never changes cache behaviour
@@ -683,11 +779,13 @@ impl BaseIndex {
                 let cands: Vec<Vec<u32>> = unique
                     .iter()
                     .map(|&i| {
-                        let c = self
-                            .index
-                            .candidates(embedder, slots[i].text, slots[i].style);
-                        self.record_pruned(c.len());
-                        c
+                        // Gate fallback slots get an *empty* candidate
+                        // list: below-k candidate sets route through
+                        // the batch engine's documented full-scan
+                        // fallback, i.e. exactly the exact arm's scan,
+                        // so bit-identity is preserved per slot.
+                        self.gated_candidates(embedder, slots[i].text, slots[i].style, scoring)
+                            .unwrap_or_default()
                     })
                     .collect();
                 let batch: Vec<semvec::BatchSlot<'_>> = unique
@@ -1364,5 +1462,134 @@ mod tests {
         for pair in g.entities.windows(2) {
             assert!(pair[0].score >= pair[1].score);
         }
+    }
+
+    #[test]
+    fn adaptive_gate_routes_without_changing_hits() {
+        let src = source();
+        let emb = Embedder::default();
+        let query = "Yao Ming born Shanghai";
+        // A closed gate (0.0) refuses every overlapping query; a
+        // disabled gate (∞) admits every one. Hits must be identical
+        // to the exact arm at both extremes and in between.
+        for gate in [0.0_f32, 0.05, f32::INFINITY] {
+            let base = base_for(&src, &emb, "Where was Yao Ming born?").with_prune_gate(gate);
+            for scoring in [ScoringMode::QuantizedScreen, ScoringMode::ExactF32] {
+                let pruned = base.search(
+                    &emb,
+                    query,
+                    QueryStyle::Folded,
+                    4,
+                    0.3,
+                    7,
+                    RetrievalMode::Pruned,
+                    scoring,
+                );
+                let exact = base.search(
+                    &emb,
+                    query,
+                    QueryStyle::Folded,
+                    4,
+                    0.3,
+                    7,
+                    RetrievalMode::Exact,
+                    scoring,
+                );
+                assert_eq!(pruned, exact, "gate {gate} under {scoring:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_decisions_are_counted_and_disjoint() {
+        let src = source();
+        let emb = Embedder::default();
+        let query = "Yao Ming born Shanghai";
+
+        // Closed gate: the overlapping query must fall back, and the
+        // fallback must NOT count as a pruned query (candidate
+        // fraction keeps describing scans that actually pruned).
+        let closed = base_for(&src, &emb, "Where was Yao Ming born?").with_prune_gate(0.0);
+        closed.search(
+            &emb,
+            query,
+            QueryStyle::Folded,
+            4,
+            0.3,
+            7,
+            RetrievalMode::Pruned,
+            ScoringMode::QuantizedScreen,
+        );
+        let s = closed.scoring_stats();
+        assert_eq!(s.gate_fallbacks, 1, "{s:?}");
+        assert_eq!(s.pruned_queries, 0, "{s:?}");
+
+        // Disabled gate: same query prunes, no fallback.
+        let open = base_for(&src, &emb, "Where was Yao Ming born?").with_prune_gate(f32::INFINITY);
+        open.search(
+            &emb,
+            query,
+            QueryStyle::Folded,
+            4,
+            0.3,
+            7,
+            RetrievalMode::Pruned,
+            ScoringMode::QuantizedScreen,
+        );
+        let s = open.scoring_stats();
+        assert_eq!(s.gate_fallbacks, 0, "{s:?}");
+        assert_eq!(s.pruned_queries, 1, "{s:?}");
+
+        // Batched path counts the same way (one unique slot per text).
+        let batched = base_for(&src, &emb, "Where was Yao Ming born?").with_prune_gate(0.0);
+        let slots = [
+            QuerySlot {
+                text: query,
+                style: QueryStyle::Folded,
+                salt: 7,
+            },
+            QuerySlot {
+                text: query,
+                style: QueryStyle::Folded,
+                salt: 7,
+            },
+        ];
+        let hits = batched.search_batch(
+            &emb,
+            &slots,
+            4,
+            0.3,
+            RetrievalMode::Pruned,
+            ScoringMode::QuantizedScreen,
+        );
+        assert_eq!(hits[0], hits[1], "dedup fans out the fallback result");
+        let s = batched.scoring_stats();
+        assert_eq!(s.gate_fallbacks, 1, "one unique slot, one decision: {s:?}");
+        assert_eq!(s.pruned_queries, 0, "{s:?}");
+    }
+
+    #[test]
+    fn batch_dedup_credits_the_cache_like_the_per_query_path() {
+        let src = source();
+        let emb = Embedder::default();
+        let pseudo = vec![
+            StrTriple::new("Yao Ming", "BORN_IN", "Shanghai"),
+            StrTriple::new("Yao Ming", "BORN_IN", "Shanghai"),
+            StrTriple::new("Shanghai", "LOCATED_IN", "China"),
+        ];
+        let run = |batch: BatchMode| {
+            let base = base_for(&src, &emb, "Where was Yao Ming born in Shanghai?");
+            let mut c = cfg();
+            c.batch_mode = batch;
+            ground_graph(&src, &base, &emb, &c, &pseudo);
+            base.cache_stats()
+        };
+        let batched = run(BatchMode::Batched);
+        let per_query = run(BatchMode::PerQuery);
+        assert_eq!(
+            batched.hits, per_query.hits,
+            "in-batch dedup must be ledgered as hits: {batched:?} vs {per_query:?}"
+        );
+        assert_eq!(batched.misses, per_query.misses);
     }
 }

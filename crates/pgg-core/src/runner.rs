@@ -6,9 +6,23 @@
 //! [`RunResult::errors`]) instead of tearing down the whole sweep, and
 //! misconfiguration (a KG method with no KG source) is a typed
 //! [`RunError`] for the caller rather than an abort.
+//!
+//! # Determinism contract
+//!
+//! The worker pool claims questions in chunks off a shared atomic
+//! cursor and commits records into index-ordered slots, so the
+//! assembled [`RunResult`] is **byte-identical for any thread count**
+//! (asserted by [`RunResult::identity_key`], which digests everything
+//! deterministic a record carries and deliberately excludes the
+//! wall-clock telemetry — the only schedule-dependent bytes). The
+//! contract holds because each question's entire mutable state — the
+//! resilience middleware, the fault schedule keyed on (question, task,
+//! attempt), the trace — is question-scoped: workers share only
+//! immutable references plus the atomic cursor (the same pure-worker
+//! argument the serving engine documents).
 
 use crate::config::PipelineConfig;
-use crate::method::{Method, QaContext, Trace};
+use crate::method::{Method, QaContext, StageTiming, Trace};
 use crate::retrieval::BaseIndex;
 use evalkit::{is_hit, rouge_l_multi, HitAccumulator, Prf, RougeAccumulator};
 use kgstore::KgSource;
@@ -18,6 +32,19 @@ use simllm::LanguageModel;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use worldgen::{Dataset, Gold, Question};
+
+/// Virtual price of the eval stage (answer scoring). Scoring is pure
+/// string work with no transport behind it, so it is priced at the
+/// floor; the stage exists so every record — including a stage-less
+/// baseline's — occupies a worker in the virtual makespan model.
+const EVAL_COST_MS: u64 = 1;
+
+/// Questions claimed per work-steal. Chunking cuts shared-state
+/// traffic to one atomic claim and one slot-commit lock per chunk
+/// instead of per question, without touching results: which worker
+/// answers which question is outcome-irrelevant under the pure-worker
+/// contract (see the module docs).
+const STEAL_CHUNK: usize = 4;
 
 /// One scored question.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,6 +61,33 @@ pub struct Record {
     pub rouge: Option<Prf>,
     /// Stage trace.
     pub trace: Trace,
+}
+
+impl Record {
+    /// Virtual service time of this question: the sum of its stage
+    /// charges, floored at 1 ms so even a record with no stage
+    /// breakdown (a panicked question) occupies a worker in the
+    /// makespan model.
+    pub fn virtual_ms(&self) -> u64 {
+        self.trace
+            .stages
+            .iter()
+            .map(|s| s.virtual_ms)
+            .sum::<u64>()
+            .max(1)
+    }
+}
+
+/// Aggregated timing of one pipeline stage across a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageAgg {
+    /// Records that entered the stage.
+    pub questions: usize,
+    /// Total virtual milliseconds charged to the stage.
+    pub virtual_ms: u64,
+    /// Total wall nanoseconds (0 unless a bench installed the clock —
+    /// see [`crate::timing`]).
+    pub wall_ns: u64,
 }
 
 /// Transport-fault telemetry aggregated over a whole run.
@@ -105,6 +159,92 @@ impl RunResult {
             self.rouge.percent()
         }
     }
+
+    /// Per-stage totals over all records, keyed by stage slug in
+    /// first-appearance order (pipeline order for pipeline methods).
+    pub fn stage_totals(&self) -> Vec<(String, StageAgg)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut agg: BTreeMap<String, StageAgg> = BTreeMap::new();
+        for r in &self.records {
+            for s in &r.trace.stages {
+                if !agg.contains_key(&s.stage) {
+                    order.push(s.stage.clone());
+                }
+                let e = agg.entry(s.stage.clone()).or_default();
+                e.questions += 1;
+                e.virtual_ms += s.virtual_ms;
+                e.wall_ns += s.wall_ns;
+            }
+        }
+        order
+            .into_iter()
+            .map(|k| {
+                let v = agg.remove(&k).expect("aggregated above");
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// Deterministic makespan (virtual ms) of running this result's
+    /// per-question service times on `threads` workers under the
+    /// runner's in-order list schedule: question `i` goes to the
+    /// worker that frees up first, lowest index on ties. The model is
+    /// machine-independent — it depends only on the records' virtual
+    /// stage charges — which is what lets a single-core CI measure
+    /// multi-thread scaling honestly (wall-clock on one core cannot).
+    pub fn virtual_makespan_ms(&self, threads: usize) -> u64 {
+        let workers = threads.max(1).min(self.records.len().max(1));
+        let mut free_at = vec![0u64; workers];
+        for r in &self.records {
+            let w = (0..workers)
+                .min_by_key(|&w| free_at[w])
+                .expect("at least one worker");
+            free_at[w] += r.virtual_ms();
+        }
+        free_at.into_iter().max().unwrap_or(0)
+    }
+
+    /// Order-sensitive digest of everything deterministic in the run:
+    /// answers, scores, degradation notes, per-call transport
+    /// telemetry, and the virtual halves of the stage timings. Wall
+    /// readings are excluded by design — they are the only
+    /// schedule-dependent bytes a record carries — so two runs that
+    /// differ only in thread count must produce equal keys.
+    pub fn identity_key(&self) -> u64 {
+        use kgstore::hash::{mix2, stable_str_hash};
+        let mut h = stable_str_hash(&self.method);
+        h = mix2(h, stable_str_hash(&self.dataset));
+        h = mix2(h, self.errors as u64);
+        for r in &self.records {
+            h = mix2(h, stable_str_hash(&r.qid));
+            h = mix2(h, stable_str_hash(&r.answer));
+            h = mix2(
+                h,
+                match r.hit {
+                    None => 2,
+                    Some(false) => 0,
+                    Some(true) => 1,
+                },
+            );
+            if let Some(p) = &r.rouge {
+                h = mix2(h, p.f1.to_bits());
+            }
+            for d in &r.trace.degradation {
+                h = mix2(h, stable_str_hash(d));
+            }
+            for c in &r.trace.llm_calls {
+                h = mix2(h, stable_str_hash(&c.stage));
+                h = mix2(h, u64::from(c.attempts));
+                h = mix2(h, c.backoff_ms);
+                h = mix2(h, c.faults.len() as u64);
+            }
+            for s in &r.trace.stages {
+                h = mix2(h, stable_str_hash(&s.stage));
+                h = mix2(h, s.virtual_ms);
+            }
+        }
+        h
+    }
 }
 
 /// Why a run could not start (or finish).
@@ -172,7 +312,11 @@ fn failed_record(q: &Question, note: String) -> Record {
     }
 }
 
-/// Run `method` over `dataset` with `threads` workers (0 = all cores).
+/// Run `method` over `dataset` with `threads` workers. `0` defers to
+/// [`PipelineConfig::runner_threads`], whose own `0` default resolves
+/// to the machine's available parallelism — an explicit argument
+/// always wins. Outcomes are byte-identical at every thread count
+/// (see the module docs).
 #[allow(clippy::too_many_arguments)] // the experiment axes are exactly these
 pub fn run(
     method: &dyn Method,
@@ -189,10 +333,10 @@ pub fn run(
             method: method.name().to_string(),
         });
     }
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        threads
+    let threads = match (threads, cfg.runner_threads) {
+        (0, 0) => std::thread::available_parallelism().map_or(4, |n| n.get()),
+        (0, configured) => configured,
+        (explicit, _) => explicit,
     };
 
     let n = dataset.questions.len();
@@ -210,45 +354,61 @@ pub fn run(
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
             scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
+                let start = next.fetch_add(STEAL_CHUNK, std::sync::atomic::Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let q: &Question = &dataset.questions[i];
-                let label = format!("{i}:{}", q.id);
-                in_flight.lock().insert(label.clone());
-                let ctx = QaContext {
-                    llm,
-                    source,
-                    base,
-                    embedder,
-                    cfg,
-                };
-                // One question's panic becomes one failed record; the
-                // other N−1 questions (and the sweep) are unaffected.
-                let rec = match catch_unwind(AssertUnwindSafe(|| method.answer(&ctx, q))) {
-                    Ok(out) => {
-                        let (hit, rouge) = score_answer(&out.answer, &q.gold);
-                        Record {
-                            qid: q.id.clone(),
-                            question: q.text.clone(),
-                            answer: out.answer,
-                            hit,
-                            rouge,
-                            trace: out.trace,
+                let end = (start + STEAL_CHUNK).min(n);
+                let mut chunk: Vec<(usize, Record)> = Vec::with_capacity(end - start);
+                for i in start..end {
+                    let q: &Question = &dataset.questions[i];
+                    let label = format!("{i}:{}", q.id);
+                    in_flight.lock().insert(label.clone());
+                    let ctx = QaContext {
+                        llm,
+                        source,
+                        base,
+                        embedder,
+                        cfg,
+                    };
+                    // One question's panic becomes one failed record;
+                    // the other N−1 questions (and the sweep) are
+                    // unaffected.
+                    let rec = match catch_unwind(AssertUnwindSafe(|| method.answer(&ctx, q))) {
+                        Ok(out) => {
+                            let eval0 = crate::timing::wall_ns();
+                            let (hit, rouge) = score_answer(&out.answer, &q.gold);
+                            let mut trace = out.trace;
+                            trace.stages.push(StageTiming {
+                                stage: "eval".to_string(),
+                                virtual_ms: EVAL_COST_MS,
+                                wall_ns: crate::timing::wall_ns().saturating_sub(eval0),
+                            });
+                            Record {
+                                qid: q.id.clone(),
+                                question: q.text.clone(),
+                                answer: out.answer,
+                                hit,
+                                rouge,
+                                trace,
+                            }
                         }
-                    }
-                    Err(payload) => {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "unknown panic".to_string());
-                        failed_record(q, format!("panic:{i}:{}:{msg}", q.id))
-                    }
-                };
-                slots.lock()[i] = Some(rec);
-                in_flight.lock().remove(&label);
+                        Err(payload) => {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "unknown panic".to_string());
+                            failed_record(q, format!("panic:{i}:{}:{msg}", q.id))
+                        }
+                    };
+                    chunk.push((i, rec));
+                    in_flight.lock().remove(&label);
+                }
+                let mut slots = slots.lock();
+                for (i, rec) in chunk {
+                    slots[i] = Some(rec);
+                }
             });
         }
     })
@@ -519,5 +679,128 @@ mod tests {
         // Determinism: the same run again produces the same errors.
         let again = run(&Panicky, &llm, Some(&src), None, &emb, &cfg, &ds, 1).unwrap();
         assert_eq!(res.errors, again.errors);
+    }
+
+    #[test]
+    fn identity_key_is_thread_count_invariant_under_fault_storms() {
+        let (world, _, src) = setup();
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ds = simpleq::generate(&world, 14, 11);
+        for plan in [FaultPlan::uniform(41, 0.35), FaultPlan::storm(41, 0.4, 1.0)] {
+            let mut keys = Vec::new();
+            for threads in [1usize, 2, 8] {
+                let faulty = FaultyLlm::new(
+                    SimLlm::new(world.clone(), ModelProfile::gpt35_sim()),
+                    plan.clone(),
+                );
+                let res = run(
+                    &PseudoGraphPipeline::full(),
+                    &faulty,
+                    Some(&src),
+                    None,
+                    &emb,
+                    &cfg,
+                    &ds,
+                    threads,
+                )
+                .unwrap();
+                keys.push(res.identity_key());
+            }
+            assert_eq!(keys[0], keys[1], "1 vs 2 threads");
+            assert_eq!(keys[0], keys[2], "1 vs 8 threads");
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_through_the_config_knob() {
+        let (world, llm, src) = setup();
+        let emb = Embedder::default();
+        let ds = simpleq::generate(&world, 8, 13);
+        let cfg = PipelineConfig {
+            runner_threads: 2,
+            ..PipelineConfig::default()
+        };
+        // threads=0 defers to the config; an explicit argument wins.
+        let via_cfg = run(&Io, &llm, Some(&src), None, &emb, &cfg, &ds, 0).unwrap();
+        let explicit = run(&Io, &llm, Some(&src), None, &emb, &cfg, &ds, 5).unwrap();
+        assert_eq!(via_cfg.identity_key(), explicit.identity_key());
+    }
+
+    #[test]
+    fn stage_totals_cover_the_whole_pipeline_plus_eval() {
+        let (world, llm, src) = setup();
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ds = simpleq::generate(&world, 6, 17);
+        let res = run(
+            &PseudoGraphPipeline::full(),
+            &llm,
+            Some(&src),
+            None,
+            &emb,
+            &cfg,
+            &ds,
+            3,
+        )
+        .unwrap();
+        let totals = res.stage_totals();
+        let names: Vec<&str> = totals.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["pseudo", "ground", "verify", "answer", "eval"]);
+        for (name, agg) in &totals {
+            assert_eq!(agg.questions, 6, "{name} entered by every question");
+            assert!(agg.virtual_ms > 0, "{name} charged");
+            assert_eq!(agg.wall_ns, 0, "{name}: no clock installed in tests");
+        }
+        // Baselines carry only the runner's eval stage.
+        let io = run(&Io, &llm, Some(&src), None, &emb, &cfg, &ds, 3).unwrap();
+        let names: Vec<String> = io.stage_totals().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["eval"]);
+    }
+
+    #[test]
+    fn virtual_makespan_scales_and_bounds_sanely() {
+        let (world, llm, src) = setup();
+        let emb = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let ds = simpleq::generate(&world, 16, 19);
+        let res = run(
+            &PseudoGraphPipeline::full(),
+            &llm,
+            Some(&src),
+            None,
+            &emb,
+            &cfg,
+            &ds,
+            4,
+        )
+        .unwrap();
+        let total: u64 = res.records.iter().map(|r| r.virtual_ms()).sum();
+        let longest = res
+            .records
+            .iter()
+            .map(|r| r.virtual_ms())
+            .max()
+            .unwrap_or(0);
+        let m1 = res.virtual_makespan_ms(1);
+        assert_eq!(m1, total, "one worker serializes everything");
+        let mut prev = m1;
+        for t in [2usize, 4, 8, 16] {
+            let m = res.virtual_makespan_ms(t);
+            assert!(m <= prev, "makespan is monotone in workers: {t}");
+            assert!(m >= longest, "never beats the critical path: {t}");
+            assert!(
+                m >= total / t as u64,
+                "never beats perfect speedup: {m} < {total}/{t}"
+            );
+            prev = m;
+        }
+        // Homogeneous-ish service times: 8 workers must beat 4× over
+        // one worker on 16 questions.
+        assert!(
+            res.virtual_makespan_ms(8) * 4 <= total,
+            "8 workers under-deliver: {} vs {total}",
+            res.virtual_makespan_ms(8)
+        );
     }
 }

@@ -1,0 +1,46 @@
+//! Injectable wall clock for the per-stage timing breakdown.
+//!
+//! `pgg-core` is determinism-audited: detlint (DL003) forbids
+//! `Instant::now` outside `crates/bench`, and the runner's contract is
+//! byte-identical output for any thread count — which a wall-clock
+//! reading embedded in a trace would break the moment two schedules
+//! interleave differently. Stage wall timing therefore goes through a
+//! process-wide *installable* reader: left uninstalled (the default,
+//! and in every unit test) [`wall_ns`] is the constant `0`, so traces
+//! carry no schedule-dependent bytes; the bench binaries install a
+//! real monotonic reader at startup to populate the wall columns of
+//! `BENCH_perf.json`. The virtual half of every stage timing never
+//! touches this module and is deterministic unconditionally.
+
+use std::sync::OnceLock;
+
+static WALL_CLOCK: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Install the process-wide wall-clock reader (nanoseconds since an
+/// arbitrary fixed origin). The first call wins and later calls are
+/// ignored, so a test harness that never installs keeps the zero
+/// clock for its whole run.
+pub fn install_wall_clock(reader: fn() -> u64) {
+    let _ = WALL_CLOCK.set(reader);
+}
+
+/// Current wall-clock reading in nanoseconds, or `0` when no reader
+/// has been installed — the deterministic default.
+pub fn wall_ns() -> u64 {
+    WALL_CLOCK.get().map_or(0, |read| read())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: `install_wall_clock` is process-global, so no unit test
+    // installs a reader — doing so would leak into every other test in
+    // the binary. The zero default is asserted here; installation is
+    // exercised by the bench binaries.
+    #[test]
+    fn uninstalled_clock_reads_zero() {
+        assert_eq!(wall_ns(), 0);
+        assert_eq!(wall_ns(), 0);
+    }
+}

@@ -1,13 +1,16 @@
 //! Property-based tests of the retrieval layer: parallel index builds
 //! must be byte-identical to the serial reference for any question
 //! subset and thread count, and the pruned search must agree with the
-//! exact scan through the public `search` API — plus the serving
-//! layer's determinism contract: outcomes byte-identical for any
-//! worker count, under any fault weather.
+//! exact scan through the public `search` API — plus the determinism
+//! contracts of both execution layers: serving outcomes byte-identical
+//! for any worker count, and evaluation-runner results byte-identical
+//! for any thread count, under any fault weather. The adaptive pruning
+//! gate rides the same harness: for any gate setting it may only
+//! change *how* a query is scanned, never what it returns.
 
 use pgg_core::{
-    paper, serve, BaseIndex, Disposition, OfferedTrace, PipelineConfig, QuerySlot, RetrievalMode,
-    ScoringMode, ServeConfig,
+    paper, serve, BaseIndex, Disposition, OfferedTrace, PipelineConfig, PseudoGraphPipeline,
+    QuerySlot, RetrievalMode, RunResult, ScoringMode, ServeConfig,
 };
 use proptest::prelude::*;
 use semvec::{Embedder, QueryStyle};
@@ -366,6 +369,222 @@ proptest! {
                     degradation
                 );
             }
+        }
+    }
+}
+
+struct RunnerFixture {
+    world: Arc<World>,
+    source: kgstore::KgSource,
+    base: BaseIndex,
+    dataset: worldgen::Dataset,
+    embedder: Embedder,
+    cfg: PipelineConfig,
+}
+
+fn runner_fixture() -> &'static RunnerFixture {
+    static FIX: OnceLock<RunnerFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let world = Arc::new(generate(&WorldConfig {
+            scale: 0.3,
+            ..Default::default()
+        }));
+        let source = derive(&world, &SourceConfig::wikidata());
+        let dataset = datasets::simpleq::generate(&world, 8, 77);
+        let embedder = Embedder::default();
+        let cfg = PipelineConfig::default();
+        let base = BaseIndex::for_questions(
+            &source,
+            &embedder,
+            &cfg,
+            dataset.questions.iter().map(|q| q.text.as_str()),
+        );
+        RunnerFixture {
+            world,
+            source,
+            base,
+            dataset,
+            embedder,
+            cfg,
+        }
+    })
+}
+
+/// One evaluation-runner pass over the fixture dataset with a fresh
+/// fault decorator (its per-slot attempt counters are state that must
+/// not leak between runs or thread counts).
+fn run_once(fix: &RunnerFixture, plan: FaultPlan, threads: usize) -> RunResult {
+    let llm = SimLlm::new(fix.world.clone(), ModelProfile::gpt35_sim());
+    let faulty = FaultyLlm::new(llm, plan);
+    pgg_core::run(
+        &PseudoGraphPipeline::full(),
+        &faulty,
+        Some(&fix.source),
+        Some(&fix.base),
+        &fix.embedder,
+        &fix.cfg,
+        &fix.dataset,
+        threads,
+    )
+    .expect("runner fixture is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The evaluation runner's determinism contract: the same fault
+    /// plan produces a byte-identical result — answers, scores, fault
+    /// ledgers, stage timings — at 1, 2, and 8 worker threads, under
+    /// uniform fault weather and storms alike.
+    #[test]
+    fn runner_results_are_identical_across_thread_counts(
+        seed in any::<u64>(),
+        rate in 0.0f64..0.5,
+        storm in any::<bool>(),
+    ) {
+        let fix = runner_fixture();
+        let plan = if storm {
+            FaultPlan::storm(seed, rate, 1.0)
+        } else {
+            FaultPlan::uniform(seed, rate)
+        };
+        let r1 = run_once(fix, plan.clone(), 1);
+        let r2 = run_once(fix, plan.clone(), 2);
+        let r8 = run_once(fix, plan, 8);
+        prop_assert_eq!(r1.identity_key(), r2.identity_key());
+        prop_assert_eq!(r1.identity_key(), r8.identity_key());
+        let a1: Vec<&str> = r1.records.iter().map(|r| r.answer.as_str()).collect();
+        let a8: Vec<&str> = r8.records.iter().map(|r| r.answer.as_str()).collect();
+        prop_assert_eq!(a1, a8);
+        prop_assert_eq!(r1.faults.faults, r8.faults.faults);
+        prop_assert_eq!(r1.errors, r8.errors);
+    }
+
+    /// For any gate setting, the adaptive pruning gate may only choose
+    /// *how* a query is scanned (pruned candidates vs exact fallback),
+    /// never what it returns: pruned mode stays bit-identical to the
+    /// exact scan, and every pruned search is decided exactly once.
+    #[test]
+    fn adaptive_gate_never_changes_hits(
+        qi in 0usize..40,
+        k in 1usize..20,
+        salt in any::<u64>(),
+        gate in 0.0f32..1.5,
+        quantized in any::<bool>(),
+    ) {
+        let fix = fixture();
+        let embedder = Embedder::paper();
+        let cfg = PipelineConfig::default();
+        let text = fix.questions[qi].as_str();
+        let base =
+            BaseIndex::for_question(&fix.source, &embedder, &cfg, text).with_prune_gate(gate);
+        let scoring = if quantized { ScoringMode::QuantizedScreen } else { ScoringMode::ExactF32 };
+        let pruned = base.search(
+            &embedder, text, QueryStyle::Folded, k, 0.30, salt, RetrievalMode::Pruned, scoring,
+        );
+        let exact = base.search(
+            &embedder, text, QueryStyle::Folded, k, 0.30, salt, RetrievalMode::Exact, scoring,
+        );
+        prop_assert_eq!(pruned, exact);
+        let stats = base.scoring_stats();
+        prop_assert_eq!(stats.gate_fallbacks + stats.pruned_queries, 1);
+    }
+}
+
+/// Deterministic counterpart of the thread-count proptest, so the
+/// runner identity is exercised even where the `proptest` dependency
+/// is stubbed out: a uniform fault rate and a hard storm, each run
+/// with 1, 2, and 8 threads.
+#[test]
+fn runner_thread_identity_on_seeded_fault_sweep() {
+    let fix = runner_fixture();
+    for (plan, tag) in [
+        (FaultPlan::uniform(41, 0.35), "uniform(0.35)"),
+        (FaultPlan::storm(41, 0.4, 1.0), "storm(0.4@1.0)"),
+    ] {
+        let r1 = run_once(fix, plan.clone(), 1);
+        let r2 = run_once(fix, plan.clone(), 2);
+        let r8 = run_once(fix, plan, 8);
+        assert_eq!(
+            r1.identity_key(),
+            r2.identity_key(),
+            "{tag}: 1 vs 2 threads"
+        );
+        assert_eq!(
+            r1.identity_key(),
+            r8.identity_key(),
+            "{tag}: 1 vs 8 threads"
+        );
+        let a1: Vec<&str> = r1.records.iter().map(|r| r.answer.as_str()).collect();
+        let a8: Vec<&str> = r8.records.iter().map(|r| r.answer.as_str()).collect();
+        assert_eq!(a1, a8, "{tag}: answers must match in question order");
+        assert_eq!(r1.records.len(), 8, "every question accounted for");
+        assert!(
+            r1.records.iter().all(|r| !r.trace.stages.is_empty()),
+            "{tag}: every record carries a stage breakdown"
+        );
+    }
+}
+
+/// Deterministic counterpart of the adaptive-gate proptest: a sweep of
+/// gate settings from always-fallback (0.0) to always-admit (∞),
+/// asserting bit-identical hits against the exact scan in both scoring
+/// modes and the decide-exactly-once counter invariant.
+#[test]
+fn adaptive_gate_identity_on_seeded_gate_sweep() {
+    let fix = fixture();
+    let embedder = Embedder::paper();
+    let cfg = PipelineConfig::default();
+    for gate in [0.0f32, 0.01, 0.05, 0.2, 1.0, f32::INFINITY] {
+        let base = BaseIndex::for_questions(
+            &fix.source,
+            &embedder,
+            &cfg,
+            fix.questions.iter().take(6).map(|s| s.as_str()),
+        )
+        .with_prune_gate(gate);
+        let mut pruned_searches = 0u64;
+        for (qi, k, salt) in [(0usize, 5usize, 7u64), (9, 10, 42), (23, 1, u64::MAX)] {
+            let text = fix.questions[qi].as_str();
+            for scoring in [ScoringMode::ExactF32, ScoringMode::QuantizedScreen] {
+                let pruned = base.search(
+                    &embedder,
+                    text,
+                    QueryStyle::Folded,
+                    k,
+                    0.30,
+                    salt,
+                    RetrievalMode::Pruned,
+                    scoring,
+                );
+                let exact = base.search(
+                    &embedder,
+                    text,
+                    QueryStyle::Folded,
+                    k,
+                    0.30,
+                    salt,
+                    RetrievalMode::Exact,
+                    scoring,
+                );
+                assert_eq!(
+                    pruned, exact,
+                    "gate={gate} qi={qi} k={k} scoring={scoring:?}: hits diverged"
+                );
+                pruned_searches += 1;
+            }
+        }
+        let stats = base.scoring_stats();
+        assert_eq!(
+            stats.gate_fallbacks + stats.pruned_queries,
+            pruned_searches,
+            "gate={gate}: every pruned search decided exactly once ({stats:?})"
+        );
+        if gate == 0.0 {
+            assert_eq!(stats.pruned_queries, 0, "zero gate admits nothing");
+        }
+        if gate.is_infinite() {
+            assert_eq!(stats.gate_fallbacks, 0, "infinite gate refuses nothing");
         }
     }
 }

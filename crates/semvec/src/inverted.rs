@@ -178,19 +178,48 @@ impl HybridIndex {
     /// tokens, unfolded queries their raw tokens (a raw word feature
     /// can only collide with a document token that folds to itself).
     pub fn candidates(&self, embedder: &Embedder, query_text: &str, style: QueryStyle) -> Vec<u32> {
-        let mut out: Vec<u32> = Vec::new();
+        self.candidates_if_under(embedder, query_text, style, usize::MAX)
+            .expect("a usize::MAX budget admits every candidate set")
+    }
+
+    /// [`Self::candidates`] behind an admission estimate: sum the
+    /// postings-list lengths for the query's tokens *before*
+    /// materializing the union, and refuse with `Err(estimate)` when
+    /// the sum exceeds `max_cands`. The sum is a cheap upper bound on
+    /// the union size (duplicates across lists are counted twice), so
+    /// a pass here guarantees the true candidate set is within budget;
+    /// a refusal costs only the token hashing and map probes — no
+    /// allocation, no sort — which is what makes it safe to consult on
+    /// every query.
+    pub fn candidates_if_under(
+        &self,
+        embedder: &Embedder,
+        query_text: &str,
+        style: QueryStyle,
+        max_cands: usize,
+    ) -> Result<Vec<u32>, usize> {
+        let mut lists: Vec<&[u32]> = Vec::new();
+        let mut estimate = 0usize;
         for tok in normalize(query_text) {
             let key = match style {
                 QueryStyle::Folded => embedder.fold_token(&tok),
                 QueryStyle::Unfolded => tok.as_str(),
             };
             if let Some(list) = self.postings.get(&stable_str_hash(key)) {
-                out.extend_from_slice(list);
+                estimate += list.len();
+                lists.push(list);
             }
+        }
+        if estimate > max_cands {
+            return Err(estimate);
+        }
+        let mut out: Vec<u32> = Vec::with_capacity(estimate);
+        for list in lists {
+            out.extend_from_slice(list);
         }
         out.sort_unstable();
         out.dedup();
-        out
+        Ok(out)
     }
 
     /// Top-k via candidate pruning + exact rerank, given the already
@@ -725,6 +754,42 @@ mod tests {
             cands.len() < texts.len() / 2,
             "pruning should discard most docs: {}",
             cands.len()
+        );
+    }
+
+    #[test]
+    fn gated_candidates_match_ungated_when_admitted() {
+        let emb = Embedder::default();
+        let texts = corpus();
+        let hybrid = HybridIndex::build(&emb, texts.iter().map(|s| s.as_str()));
+        for q in ["entity42 relation0 value3", "entity7 relation1", "nothing"] {
+            let plain = hybrid.candidates(&emb, q, QueryStyle::Folded);
+            let gated = hybrid
+                .candidates_if_under(&emb, q, QueryStyle::Folded, texts.len() * 4)
+                .expect("a whole-corpus budget must admit");
+            assert_eq!(plain, gated, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn gate_refusal_reports_an_upper_bound_without_materializing() {
+        let emb = Embedder::default();
+        let texts = corpus();
+        let hybrid = HybridIndex::build(&emb, texts.iter().map(|s| s.as_str()));
+        let q = "entity42 relation0 value3";
+        let union = hybrid.candidates(&emb, q, QueryStyle::Folded).len();
+        assert!(union > 0);
+        // A budget one below the union size must refuse, and the
+        // estimate it reports is an upper bound on the union.
+        let est = hybrid
+            .candidates_if_under(&emb, q, QueryStyle::Folded, union - 1)
+            .expect_err("budget below the union must refuse");
+        assert!(est >= union, "estimate {est} must bound union {union}");
+        // A zero budget admits only queries with no postings at all.
+        assert_eq!(
+            hybrid.candidates_if_under(&emb, "zz qq xx", QueryStyle::Folded, 0),
+            Ok(Vec::new()),
+            "no-overlap queries pass any budget with an empty set"
         );
     }
 
