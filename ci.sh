@@ -64,6 +64,14 @@ grep -q "runner thread-identity ok" /tmp/perf_smoke.out || {
     echo "ci.sh: perf smoke lost the 1/2/4/8 thread-identity gate" >&2
     exit 1
 }
+grep -q "perf smoke sharded base ok" /tmp/perf_smoke.out || {
+    echo "ci.sh: perf smoke lost the sharded-base identity assertion (shards + on-disk reopen vs the in-RAM unsharded scan)" >&2
+    exit 1
+}
+grep -q "perf smoke scaling ok" /tmp/perf_smoke.out || {
+    echo "ci.sh: perf smoke lost the on-disk scaling row (build → write → checksum-verified reopen → top-k identity)" >&2
+    exit 1
+}
 
 echo "==> soak smoke (concurrent serving: contract holds, 1-vs-8-worker identity)"
 cargo run -q --release -p bench --bin soak -- --smoke | tee /tmp/soak_smoke.out
@@ -82,7 +90,7 @@ grep -q '"worker_count_identity": true' BENCH_soak.json || {
     exit 1
 }
 
-echo "==> BENCH_perf.json carries scoring, batched, stages, and threads_sweep sections"
+echo "==> BENCH_perf.json carries scoring, batched, stages, threads_sweep, sharded, and scaling sections"
 grep -q '"scoring"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json lacks the \"scoring\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
     exit 1
@@ -97,6 +105,18 @@ grep -q '"stages"' BENCH_perf.json || {
 }
 grep -q '"threads_sweep"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json lacks the \"threads_sweep\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
+    exit 1
+}
+grep -q '"sharded"' BENCH_perf.json || {
+    echo "ci.sh: BENCH_perf.json lacks the \"sharded\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
+    exit 1
+}
+grep -q '"scaling"' BENCH_perf.json || {
+    echo "ci.sh: BENCH_perf.json lacks the \"scaling\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
+    exit 1
+}
+grep -q '"docs": 1000000' BENCH_perf.json || {
+    echo "ci.sh: BENCH_perf.json scaling curve lost its 1M-doc row — regenerate with: cargo run --release -p bench --bin perf" >&2
     exit 1
 }
 grep -q '"warnings"' BENCH_perf.json || {

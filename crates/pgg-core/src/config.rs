@@ -83,6 +83,16 @@ pub struct PipelineConfig {
     /// Hits are bit-identical either way; the gate is pure routing.
     #[serde(default = "default_prune_gate")]
     pub prune_gate: f32,
+    /// Directory for the on-disk base-index cache. When set, dataset
+    /// builds open-or-build: the encoded base is looked up by content
+    /// hash, reopened zero-copy (checksum-verified) if present, and
+    /// built + written otherwise (see
+    /// [`crate::retrieval::BaseIndex::from_triples_cached`]). `None`
+    /// (the default) keeps every build in RAM. Opened and built
+    /// indexes are bit-identical, so this knob only trades disk for
+    /// encode time.
+    #[serde(default)]
+    pub base_cache_dir: Option<String>,
 }
 
 fn default_repair() -> bool {
@@ -111,6 +121,7 @@ impl Default for PipelineConfig {
             batch_mode: BatchMode::default(),
             runner_threads: 0,
             prune_gate: default_prune_gate(),
+            base_cache_dir: None,
         }
     }
 }

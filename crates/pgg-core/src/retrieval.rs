@@ -18,19 +18,27 @@
 //!    threshold, sort the rest descending → ground graph `G_g`.
 //!
 //! Retrieval runs on the fast path by default: the base index is a
-//! [`HybridIndex`] (token-postings candidate pruning + exact rerank,
-//! bit-identical to the full scan under the zero-overlap-ceiling
-//! contract — see `semvec::inverted`), queries go through a bounded
+//! sharded [`SegmentedIndex`] (fixed-size segments, each with its own
+//! int8 quant shadow and token postings; candidate pruning + exact
+//! rerank, bit-identical to the full scan under the zero-overlap
+//! ceiling contract — see `semvec::seg`), queries go through a bounded
 //! thread-safe embedding cache, and dataset-level builds encode across
 //! threads with deterministic output. [`RetrievalMode::Exact`] keeps
 //! the brute-force scan available for equivalence benches.
+//!
+//! With a configured cache directory ([`PipelineConfig::base_cache_dir`])
+//! the encoded base is built **once** into the versioned, checksummed
+//! on-disk format of `semvec::segfile` (keyed by a content hash of the
+//! verbalised sentences) and reopened zero-copy on later runs —
+//! open-or-build. A checksum mismatch, version skew, or any other open
+//! failure silently falls back to a fresh build that rewrites the file.
 
 use crate::config::PipelineConfig;
 use crate::prune::Candidate;
 use kgstore::hash::{FxHashMap, FxHashSet};
 use kgstore::{extract, Atom, KgSource, StrTriple, Triple};
 use parking_lot::Mutex;
-use semvec::{verbalize_triple, Embedder, Hit, HybridIndex, QueryStyle, ScreenStats, VecIndex};
+use semvec::{verbalize_triple, Embedder, Hit, QueryStyle, ScreenStats, SegmentedIndex};
 use serde::{Deserialize, Serialize};
 use simllm::{GroundEntity, GroundGraph};
 use std::collections::VecDeque;
@@ -412,6 +420,50 @@ pub const PRUNE_GATE_DEFAULT: f32 = 0.05;
 /// f32, while losing under quantized batched scoring).
 const GATE_F32_RELAX: f32 = 4.0;
 
+/// Content hash keying the on-disk base cache: the file-format
+/// version, embedder dimension, segment geometry, and every verbalised
+/// sentence in index order. Any change to what would be encoded — or
+/// to how it would be laid out — changes the key, so a stale file can
+/// never be opened for the wrong corpus.
+fn base_content_hash(dim: usize, seg_rows: usize, sentences: &[&str]) -> u64 {
+    use kgstore::hash::{mix2, stable_str_hash};
+    let mut h = mix2(semvec::segfile::FORMAT_VERSION as u64, dim as u64);
+    h = mix2(h, seg_rows as u64);
+    h = mix2(h, sentences.len() as u64);
+    for s in sentences {
+        h = mix2(h, stable_str_hash(s));
+    }
+    h
+}
+
+/// Open the cached index for these sentences, or build (and best-effort
+/// cache) it. See [`BaseIndex::from_triples_cached`] for the contract.
+fn open_or_build(
+    embedder: &Embedder,
+    sentences: &[&str],
+    threads: usize,
+    cache_dir: Option<&std::path::Path>,
+) -> SegmentedIndex {
+    let seg_rows = semvec::SEG_ROWS_DEFAULT;
+    let Some(dir) = cache_dir else {
+        return SegmentedIndex::build_parallel(embedder, sentences, seg_rows, threads);
+    };
+    let hash = base_content_hash(embedder.dim(), seg_rows, sentences);
+    let path = dir.join(format!("base-{hash:016x}.seg"));
+    if let Ok(idx) = SegmentedIndex::open(&path) {
+        // The checksum already vouches for integrity; shape checks
+        // guard against a (vanishingly unlikely) key collision.
+        if idx.dim() == embedder.dim() && idx.len() == sentences.len() {
+            return idx;
+        }
+    }
+    let idx = SegmentedIndex::build_parallel(embedder, sentences, seg_rows, threads);
+    // Cache write is best-effort: a read-only or full disk must not
+    // fail the build.
+    let _ = idx.write_to(&path);
+    idx
+}
+
 /// A pre-encoded semantic KG: verbalised triples, their subject atoms
 /// (into the source's table), and the hybrid (postings + vector) index,
 /// plus a query-embedding cache.
@@ -420,7 +472,7 @@ pub struct BaseIndex {
     pub verbalised: Vec<StrTriple>,
     /// Subject atom of each triple (resolvable in the source).
     pub subjects: Vec<Atom>,
-    index: HybridIndex,
+    index: SegmentedIndex,
     cache: QueryCache,
     prune_gate: f32,
     screened: AtomicU64,
@@ -444,14 +496,26 @@ impl BaseIndex {
         self.verbalised.is_empty()
     }
 
-    /// The underlying exact vector index (one row per triple).
-    pub fn vectors(&self) -> &VecIndex {
-        self.index.vectors()
+    /// The underlying sharded index (one row per triple).
+    pub fn segmented(&self) -> &SegmentedIndex {
+        &self.index
     }
 
-    /// The hybrid index itself.
-    pub fn hybrid(&self) -> &HybridIndex {
-        &self.index
+    /// The stored embedding of triple `id` (global row order).
+    pub fn vector(&self, id: usize) -> &[f32] {
+        self.index.vector(id)
+    }
+
+    /// Encode-worker threads the index build used (0 when the index
+    /// was reopened from the on-disk cache and never encoded).
+    pub fn build_threads_used(&self) -> usize {
+        self.index.build_threads_used()
+    }
+
+    /// Whether the index was reopened zero-copy from the on-disk cache
+    /// rather than built in RAM.
+    pub fn is_file_backed(&self) -> bool {
+        self.index.is_file_backed()
     }
 
     /// Query-embedding cache counters.
@@ -529,15 +593,38 @@ impl BaseIndex {
         Self::from_triples_parallel(source, embedder, triples, 1)
     }
 
-    /// Build from triples with `threads` encoder workers (0 = all
-    /// cores). Verbalisation and assembly are serial and duplicate
-    /// sentences are encoded once, so the result is byte-identical
-    /// across thread counts.
+    /// Build from triples with `threads` encoder workers (0 =
+    /// self-tuning: serial below `semvec::PARALLEL_BUILD_MIN_DOCS`
+    /// unique sentences, all cores at or above it). Verbalisation and
+    /// assembly are serial and duplicate sentences are encoded once, so
+    /// the result is byte-identical across thread counts.
     pub fn from_triples_parallel(
         source: &KgSource,
         embedder: &Embedder,
         triples: impl IntoIterator<Item = Triple>,
         threads: usize,
+    ) -> Self {
+        Self::from_triples_cached(source, embedder, triples, threads, None)
+    }
+
+    /// [`from_triples_parallel`] with open-or-build: when `cache_dir`
+    /// is set, the encoded index is looked up on disk under a content
+    /// hash of the verbalised sentences (plus format version, embedder
+    /// dimension, and segment geometry) and reopened zero-copy,
+    /// checksum-verified, if present; otherwise it is built and the
+    /// file written for the next run. Any open failure — missing file,
+    /// flipped byte, version skew — falls back to a fresh build, and a
+    /// failed cache write never fails the build. Opened and built
+    /// indexes answer every search with identical bits, so the cache
+    /// can only skip encode time, never change a result.
+    ///
+    /// [`from_triples_parallel`]: BaseIndex::from_triples_parallel
+    pub fn from_triples_cached(
+        source: &KgSource,
+        embedder: &Embedder,
+        triples: impl IntoIterator<Item = Triple>,
+        threads: usize,
+        cache_dir: Option<&std::path::Path>,
     ) -> Self {
         let mut verbalised = Vec::new();
         let mut subjects = Vec::new();
@@ -550,7 +637,7 @@ impl BaseIndex {
             subjects.push(t.s);
         }
         let refs: Vec<&str> = sentences.iter().map(|s| s.as_str()).collect();
-        let index = HybridIndex::build_parallel(embedder, &refs, threads);
+        let index = open_or_build(embedder, &refs, threads, cache_dir);
         Self {
             verbalised,
             subjects,
@@ -610,7 +697,8 @@ impl BaseIndex {
                 }
             }
         }
-        Self::from_triples_parallel(source, embedder, union, threads)
+        let cache_dir = cfg.base_cache_dir.as_deref().map(std::path::Path::new);
+        Self::from_triples_cached(source, embedder, union, threads, cache_dir)
             .with_prune_gate(cfg.prune_gate)
     }
 
@@ -662,10 +750,10 @@ impl BaseIndex {
         let q = self.query_vector(embedder, text, style);
         match (mode, scoring) {
             (RetrievalMode::Exact, ScoringMode::ExactF32) => {
-                self.index.vectors().top_k_noisy(&q, k, sigma, salt)
+                self.index.top_k_noisy(&q, k, sigma, salt)
             }
             (RetrievalMode::Exact, ScoringMode::QuantizedScreen) => {
-                let (hits, stats) = self.index.vectors().top_k_noisy_quant(&q, k, sigma, salt);
+                let (hits, stats) = self.index.top_k_noisy_quant(&q, k, sigma, salt);
                 self.record_screen(stats);
                 hits
             }
@@ -673,7 +761,7 @@ impl BaseIndex {
                 match self.gated_candidates(embedder, text, style, scoring) {
                     Some(cands) => self.index.top_k_noisy_encoded(&q, &cands, k, sigma, salt),
                     // Gate fallback: the exact arm's own scan.
-                    None => self.index.vectors().top_k_noisy(&q, k, sigma, salt),
+                    None => self.index.top_k_noisy(&q, k, sigma, salt),
                 }
             }
             (RetrievalMode::Pruned, ScoringMode::QuantizedScreen) => {
@@ -682,7 +770,7 @@ impl BaseIndex {
                         .index
                         .top_k_noisy_encoded_quant(&q, &cands, k, sigma, salt),
                     // Gate fallback: the exact arm's own scan.
-                    None => self.index.vectors().top_k_noisy_quant(&q, k, sigma, salt),
+                    None => self.index.top_k_noisy_quant(&q, k, sigma, salt),
                 };
                 self.record_screen(stats);
                 hits
@@ -760,12 +848,9 @@ impl BaseIndex {
                     })
                     .collect();
                 match scoring {
-                    ScoringMode::ExactF32 => {
-                        self.index.vectors().top_k_noisy_batch(&queries, k, sigma)
-                    }
+                    ScoringMode::ExactF32 => self.index.top_k_noisy_batch(&queries, k, sigma),
                     ScoringMode::QuantizedScreen => self
                         .index
-                        .vectors()
                         .top_k_noisy_quant_batch(&queries, k, sigma)
                         .into_iter()
                         .map(|(hits, stats)| {
@@ -1093,7 +1178,54 @@ mod tests {
         assert_eq!(serial.verbalised, parallel.verbalised);
         assert_eq!(serial.subjects, parallel.subjects);
         for id in 0..serial.len() {
-            assert_eq!(serial.vectors().vector(id), parallel.vectors().vector(id));
+            assert_eq!(serial.vector(id), parallel.vector(id));
+        }
+    }
+
+    #[test]
+    fn open_or_build_caches_and_reopens_bit_identically() {
+        let src = source();
+        let emb = Embedder::default();
+        let dir = std::env::temp_dir().join(format!("pgg-base-cache-test-{}", std::process::id()));
+        // Stale cache files from a previous run would make the first call
+        // reopen instead of build, so start from an empty directory.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut c = cfg();
+        c.base_cache_dir = Some(dir.to_string_lossy().into_owned());
+        let questions = ["Where was Yao Ming born?", "In which country is Shanghai?"];
+        let built = BaseIndex::for_questions(&src, &emb, &c, questions);
+        assert!(!built.is_file_backed(), "first run must build");
+        let opened = BaseIndex::for_questions(&src, &emb, &c, questions);
+        assert!(opened.is_file_backed(), "second run must reopen the cache");
+        assert_eq!(opened.build_threads_used(), 0);
+        assert_eq!(built.verbalised, opened.verbalised);
+        for id in 0..built.len() {
+            assert_eq!(built.vector(id), opened.vector(id), "row {id}");
+        }
+        // Searches through the reopened index are bit-identical.
+        let query = "Yao Ming born Shanghai";
+        for mode in [RetrievalMode::Pruned, RetrievalMode::Exact] {
+            for scoring in [ScoringMode::QuantizedScreen, ScoringMode::ExactF32] {
+                let a = built.search(&emb, query, QueryStyle::Folded, 4, 0.3, 7, mode, scoring);
+                let b = opened.search(&emb, query, QueryStyle::Folded, 4, 0.3, 7, mode, scoring);
+                assert_eq!(a, b, "{mode:?}/{scoring:?}");
+            }
+        }
+        // A corrupted cache file silently falls back to a fresh build.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+            .expect("cache file written");
+        let mut bytes = std::fs::read(entry.path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(entry.path(), &bytes).unwrap();
+        let rebuilt = BaseIndex::for_questions(&src, &emb, &c, questions);
+        assert!(!rebuilt.is_file_backed(), "corrupt cache must rebuild");
+        for id in 0..built.len() {
+            assert_eq!(built.vector(id), rebuilt.vector(id), "row {id}");
         }
     }
 

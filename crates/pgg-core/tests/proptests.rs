@@ -62,10 +62,7 @@ proptest! {
         prop_assert_eq!(&serial.subjects, &parallel.subjects);
         prop_assert_eq!(serial.len(), parallel.len());
         for id in 0..serial.len() {
-            prop_assert_eq!(
-                serial.hybrid().vectors().vector(id),
-                parallel.hybrid().vectors().vector(id)
-            );
+            prop_assert_eq!(serial.vector(id), parallel.vector(id));
         }
     }
 

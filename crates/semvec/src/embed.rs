@@ -311,6 +311,14 @@ pub fn dot_batch(queries: &[&[f32]], rows: &[f32], dim: usize, out: &mut [Vec<f3
         return;
     }
     debug_assert_eq!(rows.len() % dim, 0);
+    if queries.len() == 1 {
+        // A batch of one has nobody to share a cache tile with; one
+        // flat pass computes the identical per-pair dots without the
+        // tile bookkeeping.
+        let query = queries[0];
+        out[0].extend(rows.chunks_exact(dim).map(|row| dot(query, row)));
+        return;
+    }
     let tile_elems = (DOT_TILE_BYTES / (dim * std::mem::size_of::<f32>())).max(1) * dim;
     let mut start = 0;
     while start < rows.len() {

@@ -671,7 +671,7 @@ pub struct BatchSlot<'a> {
 /// boundary is computed in f64 and padded down by 1e-5 in unit space —
 /// orders of magnitude more than the f32 rounding of the real jitter
 /// expression — so it can only admit *extra* suspects, never miss one.
-fn suspect_hash_floor(kth: f32, ceiling: f32, sigma: f32) -> Option<u64> {
+pub(crate) fn suspect_hash_floor(kth: f32, ceiling: f32, sigma: f32) -> Option<u64> {
     if sigma <= 0.0 {
         return (ceiling >= kth).then_some(0);
     }

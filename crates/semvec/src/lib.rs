@@ -12,6 +12,10 @@
 //! * [`index`] — flat exact top-k / threshold search;
 //! * [`quant`] — struct-of-arrays storage with int8 scalar
 //!   quantization and the bit-identical two-stage scoring engine;
+//! * [`seg`] — the sharded index: fixed-size segments with per-segment
+//!   quant shadows and postings, bit-identical to the flat engines;
+//! * [`segfile`] — versioned, checksummed, zero-copy on-disk format
+//!   for [`seg::SegmentedIndex`];
 //! * [`verbalize`] — schema term humanisation for prompts and encoding.
 
 #![warn(missing_docs)]
@@ -21,6 +25,8 @@ pub mod idf;
 pub mod index;
 pub mod inverted;
 pub mod quant;
+pub mod seg;
+pub mod segfile;
 pub mod synonym;
 pub mod token;
 pub mod verbalize;
@@ -32,5 +38,10 @@ pub use inverted::{BatchSlot, HybridIndex, QueryStyle, DEFAULT_CEILING};
 pub use quant::{
     dot_i8, dot_i8_batch, pair_error_bound, QuantQuery, QuantRows, ScreenStats, SoaStore,
 };
+pub use seg::{
+    build_chunk_ranges, encode_doc, resolve_build_threads, SegmentedIndex, PARALLEL_BUILD_MIN_DOCS,
+    SEG_ROWS_DEFAULT,
+};
+pub use segfile::SegFileError;
 pub use synonym::SynonymTable;
 pub use verbalize::{display_triple, humanize_term, verbalize_triple};

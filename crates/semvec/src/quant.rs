@@ -127,7 +127,7 @@ unsafe fn dot_i8_block_avx2(query: &[i8], rows: &[i8], dim: usize, out: &mut Vec
 
 /// Runtime-dispatched batch screen over a flat i8 block.
 #[inline]
-fn dot_i8_block(query: &[i8], rows: &[i8], dim: usize, out: &mut Vec<i32>) {
+pub(crate) fn dot_i8_block(query: &[i8], rows: &[i8], dim: usize, out: &mut Vec<i32>) {
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
@@ -313,6 +313,14 @@ pub fn dot_i8_batch(queries: &[&[i8]], rows: &[i8], dim: usize, out: &mut [Vec<i
     for q in queries {
         assert_eq!(q.len(), dim, "dimension mismatch");
     }
+    if queries.len() == 1 {
+        // A batch of one gains nothing from cache tiling (there is no
+        // second query to share a tile with) but still pays the tile
+        // bookkeeping; route it to the sequential block kernel, which
+        // computes the exact same integer dots.
+        dot_i8_block(queries[0], rows, dim, &mut out[0]);
+        return;
+    }
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
@@ -356,20 +364,30 @@ pub struct QuantRows {
     dim: usize,
 }
 
+/// Quantize a flat f32 block against its own symmetric scale, exactly
+/// as [`QuantRows::build`] does: returns the int8 block, the scale
+/// (`max |x| / 127`), and the largest row L2 norm. Shared with the
+/// segmented store so a per-segment quant shadow is bit-identical to
+/// what a [`QuantRows`] built over the same rows would hold.
+pub(crate) fn quantize_block(dim: usize, rows: usize, data: &[f32]) -> (Vec<i8>, f32, f32) {
+    let scale = max_abs(data) / 127.0;
+    let mut q = Vec::with_capacity(data.len());
+    quantize_into(data, scale, &mut q);
+    let mut max_norm = 0.0f64;
+    for r in 0..rows {
+        let row = &data[r * dim..(r + 1) * dim];
+        let n: f64 = row.iter().map(|&x| x as f64 * x as f64).sum::<f64>();
+        max_norm = max_norm.max(n);
+    }
+    (q, scale, max_norm.sqrt() as f32)
+}
+
 impl QuantRows {
     fn build(dim: usize, rows: usize, data: &[f32]) -> Self {
-        let scale = max_abs(data) / 127.0;
-        let mut q = Vec::with_capacity(data.len());
-        quantize_into(data, scale, &mut q);
-        let mut max_norm = 0.0f64;
-        for r in 0..rows {
-            let row = &data[r * dim..(r + 1) * dim];
-            let n: f64 = row.iter().map(|&x| x as f64 * x as f64).sum::<f64>();
-            max_norm = max_norm.max(n);
-        }
+        let (q, scale, max_norm) = quantize_block(dim, rows, data);
         Self {
             scale,
-            max_norm: max_norm.sqrt() as f32,
+            max_norm,
             data: q,
             dim,
         }
@@ -454,6 +472,18 @@ impl QuantQuery {
     #[inline]
     pub fn row(&self) -> &[i8] {
         &self.q
+    }
+
+    /// The query's own symmetric scale (`max |x| / 127`).
+    #[inline]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The query's exact L2 norm.
+    #[inline]
+    pub fn norm(&self) -> f32 {
+        self.norm
     }
 
     /// Combined dequantization factor against an index: multiply an
@@ -687,6 +717,26 @@ mod tests {
                 dot_i8_block(&queries[q], &rows, dim, &mut seq);
                 assert_eq!(o, &seq, "width {width} query {q}");
             }
+        }
+    }
+
+    #[test]
+    fn width_one_batch_routes_through_sequential_kernel_bitwise() {
+        // Pinned regression for the width-1 dispatch: a batch of one
+        // must produce exactly the sequential block kernel's output
+        // (it now *is* that kernel — no tiling bookkeeping), across
+        // dims straddling the AVX2 chunk and multi-tile row counts.
+        for dim in [7usize, 32, 96, 256] {
+            let rows_n = 300usize;
+            let rows: Vec<i8> = (0..rows_n * dim)
+                .map(|i| ((i * 37 + 11) % 255) as i8)
+                .collect();
+            let query: Vec<i8> = (0..dim).map(|i| ((i * 91 + 13) % 255) as i8).collect();
+            let mut batch = vec![Vec::new()];
+            dot_i8_batch(&[query.as_slice()], &rows, dim, &mut batch);
+            let mut seq = Vec::new();
+            dot_i8_block(&query, &rows, dim, &mut seq);
+            assert_eq!(batch[0], seq, "dim {dim}");
         }
     }
 

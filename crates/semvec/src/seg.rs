@@ -1,0 +1,1290 @@
+//! Sharded (segmented) hybrid index: the million-document face of the
+//! store.
+//!
+//! [`SegmentedIndex`] splits the corpus into fixed-size segments of
+//! [`seg_rows`](SegmentedIndex::seg_rows) documents. Each segment owns
+//! its f32 rows, its *own* int8 quant shadow (per-segment scale and
+//! max-norm), and its own token postings (flat sorted arrays — binary
+//! search, no hash-map iteration). Segments are contiguous in global
+//! id space: segment `s` holds ids `[s·seg_rows, s·seg_rows + rows)`,
+//! so global id ↔ (segment, local row) is a division — no lookup
+//! tables.
+//!
+//! **Bit-identity contract.** Every search mode — exact/quantized ×
+//! sequential/batched × full/pruned — returns hits bit-identical to
+//! the unsharded engines ([`VecIndex`] / [`crate::HybridIndex`]) over
+//! the same rows, for *any* segment count:
+//!
+//! * Exact scans run the identical per-pair expression
+//!   (`dot(query, row) + jitter(salt, global_id, sigma)`) — jitter is
+//!   keyed on the **global** id, so shard geometry never enters a
+//!   score — and the [`TopK`] total order (score desc, id asc) makes
+//!   the kept set independent of offer order.
+//! * Quantized scans screen each segment against its own scale, then
+//!   rerank with a **single global margin** `θ̂ − 2·B_max`, where `θ̂`
+//!   is the k-th best screened score across all segments and `B_max`
+//!   the largest per-segment error bound for this query. Proof sketch:
+//!   a skipped doc `j` in segment `s` has
+//!   `exact_j ≤ screened_j + bound_s ≤ screened_j + B_max < θ̂ − B_max`,
+//!   while each of the k screened-top docs `i` has
+//!   `exact_i ≥ θ̂ − bound_seg(i) ≥ θ̂ − B_max > exact_j` — so k
+//!   documents strictly beat every skipped one, the exact top-k
+//!   survives the margin, and the reranked heap (exact scores, total
+//!   order) equals the exact scan's. Screen/rerank *counters* may
+//!   differ from the unsharded engine's at >1 segment (the margins
+//!   differ); at 1 segment they are identical too.
+//! * Pruned scans share the postings estimate (per-segment lists
+//!   partition the global lists, so length sums are equal → identical
+//!   gate decisions), the candidate phase runs in ascending global-id
+//!   order, and the ceiling-suspect phase is the verbatim
+//!   [`crate::HybridIndex`] loop over global ids.
+//!
+//! The on-disk face lives in [`crate::segfile`]: `write_to` serializes
+//! a built index, `open` maps it back behind zero-copy column views,
+//! and searches are layout-agnostic — RAM-built and disk-opened
+//! indexes return identical bits.
+
+use crate::embed::{dot, Embedder};
+use crate::index::{Hit, NoisyQuery, TopK, VecIndex};
+use crate::inverted::{suspect_hash_floor, BatchSlot, QueryStyle, DEFAULT_CEILING};
+use crate::quant::{dot_i8, dot_i8_batch, dot_i8_block, pair_error_bound, quantize_block};
+use crate::quant::{QuantQuery, ScreenStats};
+use crate::segfile::{AlignedBuf, Col, SegFileError};
+use crate::token::normalize;
+use kgstore::hash::{stable_str_hash, FxHashMap};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Default documents per segment. At the seed corpus (~6k docs) this
+/// yields one segment — the sharded engine degenerates to the
+/// unsharded layout — while a 1M-doc base splits into ~123 segments
+/// that build in parallel and stream tile-sized blocks.
+pub const SEG_ROWS_DEFAULT: usize = 8192;
+
+/// Below this many unique documents the parallel build runs serial:
+/// thread spawn and chunk assembly overhead exceed the encode win
+/// (the 6k-doc seed corpus measured 1.03× — inside noise).
+pub const PARALLEL_BUILD_MIN_DOCS: usize = 4096;
+
+/// Resolve the worker-thread count for a build over `unique_docs`
+/// deduplicated documents: an explicit `requested` count is honored
+/// verbatim; `0` self-tunes — serial below
+/// [`PARALLEL_BUILD_MIN_DOCS`], all available cores at or above it.
+pub fn resolve_build_threads(unique_docs: usize, requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    if unique_docs < PARALLEL_BUILD_MIN_DOCS {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    }
+}
+
+/// The chunk ranges a `threads`-worker build partitions `unique_docs`
+/// encode slots into — exposed so the perf bench can time each chunk's
+/// encode independently (the virtual-makespan model of a parallel
+/// build on a machine with fewer real cores).
+pub fn build_chunk_ranges(unique_docs: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    if unique_docs == 0 {
+        return Vec::new();
+    }
+    let chunk = unique_docs.div_ceil(threads.min(unique_docs).max(1));
+    (0..unique_docs)
+        .step_by(chunk)
+        .map(|s| s..(s + chunk).min(unique_docs))
+        .collect()
+}
+
+/// Encode one document for indexing: its embedding plus its sorted,
+/// deduplicated canonical-token hashes. The exact per-document work of
+/// [`SegmentedIndex::build_parallel`] (and of
+/// [`crate::HybridIndex::build_parallel`]), exposed for the perf
+/// bench's per-chunk encode timing.
+pub fn encode_doc(embedder: &Embedder, text: &str) -> (Vec<f32>, Vec<u64>) {
+    let v = embedder.encode(text);
+    let mut hashes: Vec<u64> = normalize(text)
+        .iter()
+        .map(|tok| stable_str_hash(embedder.fold_token(tok)))
+        .collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    (v, hashes)
+}
+
+/// One fixed-size shard: contiguous global ids `[base, base + rows)`,
+/// f32 rows, an int8 shadow quantized against this segment's own
+/// scale, and token postings as flat sorted arrays (`keys` sorted
+/// unique hashes, `offs` prefix offsets, `ids` ascending local rows).
+#[derive(Debug)]
+pub struct Segment {
+    pub(crate) base: usize,
+    pub(crate) rows: usize,
+    pub(crate) dim: usize,
+    pub(crate) vectors: Col<f32>,
+    pub(crate) quant: Col<i8>,
+    pub(crate) scale: f32,
+    pub(crate) max_norm: f32,
+    pub(crate) keys: Col<u64>,
+    pub(crate) offs: Col<u32>,
+    pub(crate) ids: Col<u32>,
+}
+
+impl Segment {
+    /// The f32 row at local index `r`.
+    #[inline]
+    fn row(&self, r: usize) -> &[f32] {
+        &self.vectors.as_slice()[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// The int8 row at local index `r`.
+    #[inline]
+    fn qrow(&self, r: usize) -> &[i8] {
+        &self.quant.as_slice()[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Local postings list for a token hash, if any.
+    #[inline]
+    fn postings(&self, hash: u64) -> Option<&[u32]> {
+        let i = self.keys.as_slice().binary_search(&hash).ok()?;
+        let offs = self.offs.as_slice();
+        Some(&self.ids.as_slice()[offs[i] as usize..offs[i + 1] as usize])
+    }
+}
+
+/// Build one segment over its rows' encoded slots.
+fn assemble_segment(
+    dim: usize,
+    base: usize,
+    rows: usize,
+    doc_slots: &[usize],
+    encoded: &[(Vec<f32>, Vec<u64>)],
+) -> Segment {
+    let mut vecs: Vec<f32> = Vec::with_capacity(rows * dim);
+    let mut pairs: Vec<(u64, u32)> = Vec::new();
+    for r in 0..rows {
+        let slot = doc_slots[base + r];
+        vecs.extend_from_slice(&encoded[slot].0);
+        for &h in &encoded[slot].1 {
+            pairs.push((h, r as u32));
+        }
+    }
+    // (hash, local) pairs are unique (hashes dedup per doc), so the
+    // unstable sort yields one deterministic order; grouped runs give
+    // ascending locals per key.
+    pairs.sort_unstable();
+    let mut keys: Vec<u64> = Vec::new();
+    let mut offs: Vec<u32> = Vec::new();
+    let mut ids: Vec<u32> = Vec::with_capacity(pairs.len());
+    for (h, r) in pairs {
+        if keys.last() != Some(&h) {
+            keys.push(h);
+            offs.push(ids.len() as u32);
+        }
+        ids.push(r);
+    }
+    offs.push(ids.len() as u32);
+    let (qdata, scale, max_norm) = quantize_block(dim, rows, &vecs);
+    Segment {
+        base,
+        rows,
+        dim,
+        vectors: Col::Owned(vecs),
+        quant: Col::Owned(qdata),
+        scale,
+        max_norm,
+        keys: Col::Owned(keys),
+        offs: Col::Owned(offs),
+        ids: Col::Owned(ids),
+    }
+}
+
+/// The sharded hybrid index (see module docs for the layout and the
+/// bit-identity contract).
+#[derive(Debug)]
+pub struct SegmentedIndex {
+    dim: usize,
+    seg_rows: usize,
+    n_docs: usize,
+    ceiling: f32,
+    segments: Vec<Segment>,
+    /// File buffer behind zero-copy views (open path), `None` when
+    /// every column is owned (build path).
+    backing: Option<Arc<AlignedBuf>>,
+    build_threads_used: usize,
+}
+
+impl SegmentedIndex {
+    /// Build from texts with [`SEG_ROWS_DEFAULT`]-row segments and
+    /// self-tuned threads.
+    pub fn build<'a, I: IntoIterator<Item = &'a str>>(embedder: &Embedder, texts: I) -> Self {
+        let texts: Vec<&str> = texts.into_iter().collect();
+        Self::build_parallel(embedder, &texts, SEG_ROWS_DEFAULT, 0)
+    }
+
+    /// Build with `seg_rows`-row segments and `threads` encode workers
+    /// (`0` self-tunes via [`resolve_build_threads`]). Repeated
+    /// identical texts are encoded once; output is byte-identical for
+    /// every thread count (work is partitioned by index and segments
+    /// assembled in order) and for every `seg_rows` (segmentation
+    /// changes layout, never a row's bits).
+    pub fn build_parallel(
+        embedder: &Embedder,
+        texts: &[&str],
+        seg_rows: usize,
+        threads: usize,
+    ) -> Self {
+        assert!(seg_rows > 0, "segments need at least one row");
+        assert!(texts.len() < u32::MAX as usize, "doc ids are u32");
+        let dim = embedder.dim();
+
+        // Dedup identical texts — same slotting as the unsharded build.
+        let mut slot_of_text: FxHashMap<&str, usize> = FxHashMap::default();
+        let mut unique: Vec<&str> = Vec::new();
+        let doc_slots: Vec<usize> = texts
+            .iter()
+            .map(|&t| {
+                *slot_of_text.entry(t).or_insert_with(|| {
+                    unique.push(t);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+
+        let threads = resolve_build_threads(unique.len(), threads);
+        let encoded: Vec<(Vec<f32>, Vec<u64>)> = if threads <= 1 || unique.len() < 2 {
+            unique.iter().map(|t| encode_doc(embedder, t)).collect()
+        } else {
+            let mut out: Vec<Option<(Vec<f32>, Vec<u64>)>> = Vec::with_capacity(unique.len());
+            out.resize_with(unique.len(), || None);
+            let chunk = unique.len().div_ceil(threads.min(unique.len()));
+            std::thread::scope(|scope| {
+                for (texts, slots) in unique.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (t, slot) in texts.iter().zip(slots) {
+                            *slot = Some(encode_doc(embedder, t));
+                        }
+                    });
+                }
+            });
+            out.into_iter().map(|o| o.expect("slot filled")).collect()
+        };
+
+        let n_docs = texts.len();
+        let n_segments = n_docs.div_ceil(seg_rows);
+        let mut segments: Vec<Segment> = Vec::with_capacity(n_segments);
+        if threads <= 1 || n_segments < 2 {
+            for s in 0..n_segments {
+                let base = s * seg_rows;
+                let rows = (n_docs - base).min(seg_rows);
+                segments.push(assemble_segment(dim, base, rows, &doc_slots, &encoded));
+            }
+        } else {
+            // Segments are independent; assemble them in parallel and
+            // collect in order — deterministic because each slot is
+            // written by exactly one worker.
+            let mut out: Vec<Option<Segment>> = Vec::with_capacity(n_segments);
+            out.resize_with(n_segments, || None);
+            let chunk = n_segments.div_ceil(threads.min(n_segments));
+            let doc_slots = &doc_slots;
+            let encoded = &encoded;
+            std::thread::scope(|scope| {
+                for (c, slots) in out.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        for (i, slot) in slots.iter_mut().enumerate() {
+                            let s = c * chunk + i;
+                            let base = s * seg_rows;
+                            let rows = (n_docs - base).min(seg_rows);
+                            *slot = Some(assemble_segment(dim, base, rows, doc_slots, encoded));
+                        }
+                    });
+                }
+            });
+            segments.extend(out.into_iter().map(|o| o.expect("segment assembled")));
+        }
+
+        Self {
+            dim,
+            seg_rows,
+            n_docs,
+            ceiling: DEFAULT_CEILING,
+            segments,
+            backing: None,
+            build_threads_used: threads,
+        }
+    }
+
+    /// Assemble an index from parts validated by [`crate::segfile::open`].
+    pub(crate) fn from_open_parts(
+        dim: usize,
+        seg_rows: usize,
+        n_docs: usize,
+        ceiling: f32,
+        segments: Vec<Segment>,
+        backing: Arc<AlignedBuf>,
+    ) -> Self {
+        Self {
+            dim,
+            seg_rows,
+            n_docs,
+            ceiling,
+            segments,
+            backing: Some(backing),
+            build_threads_used: 0,
+        }
+    }
+
+    /// Serialize into the on-disk format (see [`crate::segfile`]).
+    pub fn write_to(&self, path: &Path) -> Result<(), SegFileError> {
+        crate::segfile::write_to(self, path)
+    }
+
+    /// Reopen a file written by [`write_to`](SegmentedIndex::write_to):
+    /// checksum-verified, zero-copy on little-endian targets.
+    pub fn open(path: &Path) -> Result<Self, SegFileError> {
+        crate::segfile::open(path)
+    }
+
+    /// Override the zero-overlap ceiling (see [`crate::HybridIndex`]).
+    pub fn with_ceiling(mut self, ceiling: f32) -> Self {
+        self.ceiling = ceiling;
+        self
+    }
+
+    /// The zero-overlap ceiling in force.
+    pub fn ceiling(&self) -> f32 {
+        self.ceiling
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_docs == 0
+    }
+
+    /// Row dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Documents per segment (the last segment may hold fewer).
+    pub fn seg_rows(&self) -> usize {
+        self.seg_rows
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Rows in segment `s`.
+    pub fn segment_rows(&self, s: usize) -> usize {
+        self.segments[s].rows
+    }
+
+    /// Quantization scale of segment `s`'s int8 shadow.
+    pub fn segment_scale(&self, s: usize) -> f32 {
+        self.segments[s].scale
+    }
+
+    /// Largest row L2 norm in segment `s`.
+    pub fn segment_max_norm(&self, s: usize) -> f32 {
+        self.segments[s].max_norm
+    }
+
+    /// Encode-worker threads the build used (0 for a file-opened
+    /// index, which never encoded anything).
+    pub fn build_threads_used(&self) -> usize {
+        self.build_threads_used
+    }
+
+    /// Whether this index reads zero-copy out of a file buffer.
+    pub fn is_file_backed(&self) -> bool {
+        self.backing.is_some()
+    }
+
+    pub(crate) fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The stored f32 vector with a given global id.
+    #[inline]
+    pub fn vector(&self, id: usize) -> &[f32] {
+        let seg = &self.segments[id / self.seg_rows];
+        seg.row(id - seg.base)
+    }
+
+    /// Global ascending postings list for a token hash (used by the
+    /// roundtrip tests; per-segment lists partition this list).
+    pub fn postings(&self, token_hash: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            if let Some(list) = seg.postings(token_hash) {
+                out.extend(list.iter().map(|&l| seg.base as u32 + l));
+            }
+        }
+        out
+    }
+
+    /// Bytes of the f32 rows.
+    pub fn bytes_f32(&self) -> usize {
+        self.n_docs * self.dim * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes of the f32 rows plus the int8 shadows.
+    pub fn bytes_with_quant(&self) -> usize {
+        self.bytes_f32() + self.n_docs * self.dim
+    }
+
+    /// Resident heap bytes: the shared file buffer when file-backed
+    /// (columns are views into it), otherwise the sum of owned column
+    /// bytes.
+    pub fn resident_bytes(&self) -> usize {
+        if let Some(b) = &self.backing {
+            return b.len();
+        }
+        self.segments
+            .iter()
+            .map(|s| {
+                s.vectors.owned_bytes()
+                    + s.quant.owned_bytes()
+                    + s.keys.owned_bytes()
+                    + s.offs.owned_bytes()
+                    + s.ids.owned_bytes()
+            })
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Full scans.
+    // ------------------------------------------------------------------
+
+    /// Exact noisy top-k over all segments — bit-identical to
+    /// [`VecIndex::top_k_noisy`] over the same rows (identical per-pair
+    /// expression, global-id jitter, total-order heap).
+    pub fn top_k_noisy(&self, query: &[f32], k: usize, sigma: f32, salt: u64) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.n_docs == 0 {
+            return Vec::new();
+        }
+        let mut top = TopK::new(k);
+        for seg in &self.segments {
+            for r in 0..seg.rows {
+                let id = seg.base + r;
+                let mut score = dot(query, seg.row(r));
+                if sigma > 0.0 {
+                    score += VecIndex::jitter(salt, id, sigma);
+                }
+                top.offer(Hit { id, score });
+            }
+        }
+        top.into_sorted()
+    }
+
+    /// Quantized two-stage noisy top-k over all segments: per-segment
+    /// int8 screen, single global margin `θ̂ − 2·B_max`, exact f32
+    /// rerank. Hits bit-identical to [`VecIndex::top_k_noisy_quant`]
+    /// (see the module-level proof sketch); counters may differ at >1
+    /// segment.
+    pub fn top_k_noisy_quant(
+        &self,
+        query: &[f32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+    ) -> (Vec<Hit>, ScreenStats) {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let n = self.n_docs;
+        if k == 0 || n == 0 {
+            return (Vec::new(), ScreenStats::default());
+        }
+        let sigma = sigma.max(0.0);
+        let qq = QuantQuery::new(query);
+        let mut screened = Vec::with_capacity(n);
+        let mut quant_top = TopK::new(k);
+        let mut b_max = 0.0f64;
+        let mut raw: Vec<i32> = Vec::new();
+        for seg in &self.segments {
+            let factor = qq.scale() * seg.scale;
+            b_max = b_max.max(self.seg_bound(&qq, seg));
+            raw.clear();
+            raw.reserve(seg.rows);
+            dot_i8_block(qq.row(), seg.quant.as_slice(), self.dim, &mut raw);
+            for (r, &d) in raw.iter().enumerate() {
+                let id = seg.base + r;
+                let mut s = d as f32 * factor;
+                if sigma > 0.0 {
+                    s += VecIndex::jitter(salt, id, sigma);
+                }
+                screened.push(s);
+                quant_top.offer(Hit { id, score: s });
+            }
+        }
+        let margin = match quant_top.bound() {
+            Some(kth) => kth.score as f64 - 2.0 * b_max,
+            None => f64::NEG_INFINITY,
+        };
+        let mut top = TopK::new(k);
+        let mut reranked = 0u64;
+        for seg in &self.segments {
+            for r in 0..seg.rows {
+                let id = seg.base + r;
+                if (screened[id] as f64) < margin {
+                    continue;
+                }
+                reranked += 1;
+                let mut score = dot(query, seg.row(r));
+                if sigma > 0.0 {
+                    score += VecIndex::jitter(salt, id, sigma);
+                }
+                top.offer(Hit { id, score });
+            }
+        }
+        (
+            top.into_sorted(),
+            ScreenStats {
+                screened: n as u64,
+                reranked,
+            },
+        )
+    }
+
+    /// Per-(query, segment) quantization error bound.
+    #[inline]
+    fn seg_bound(&self, qq: &QuantQuery, seg: &Segment) -> f64 {
+        pair_error_bound(
+            qq.scale() as f64,
+            qq.norm() as f64,
+            seg.scale as f64,
+            seg.max_norm as f64,
+            self.dim,
+        )
+    }
+
+    /// Batched exact noisy top-k: each segment's block is streamed once
+    /// for the whole batch. Slot `i` is bit-identical to the sequential
+    /// [`top_k_noisy`](SegmentedIndex::top_k_noisy) with that slot's
+    /// query and salt (the batch kernel replays `dot` per pair).
+    pub fn top_k_noisy_batch(
+        &self,
+        queries: &[NoisyQuery<'_>],
+        k: usize,
+        sigma: f32,
+    ) -> Vec<Vec<Hit>> {
+        for q in queries {
+            assert_eq!(q.vector.len(), self.dim, "dimension mismatch");
+        }
+        if k == 0 || self.n_docs == 0 {
+            return vec![Vec::new(); queries.len()];
+        }
+        let refs: Vec<&[f32]> = queries.iter().map(|q| q.vector).collect();
+        let mut tops: Vec<TopK> = queries.iter().map(|_| TopK::new(k)).collect();
+        let mut dots: Vec<Vec<f32>> = vec![Vec::new(); queries.len()];
+        for seg in &self.segments {
+            for d in dots.iter_mut() {
+                d.clear();
+                d.reserve(seg.rows);
+            }
+            crate::embed::dot_batch(&refs, seg.vectors.as_slice(), self.dim, &mut dots);
+            for ((q, d), top) in queries.iter().zip(&dots).zip(tops.iter_mut()) {
+                for (r, &s) in d.iter().enumerate() {
+                    let id = seg.base + r;
+                    let score = if sigma > 0.0 {
+                        s + VecIndex::jitter(q.salt, id, sigma)
+                    } else {
+                        s
+                    };
+                    top.offer(Hit { id, score });
+                }
+            }
+        }
+        tops.into_iter().map(|t| t.into_sorted()).collect()
+    }
+
+    /// Batched quantized noisy top-k: per-segment batched int8 screen,
+    /// then each query's global margin and exact rerank exactly as in
+    /// the sequential path. Slot `i`'s hits and counters are
+    /// bit-identical to
+    /// [`top_k_noisy_quant`](SegmentedIndex::top_k_noisy_quant) for
+    /// that slot.
+    pub fn top_k_noisy_quant_batch(
+        &self,
+        queries: &[NoisyQuery<'_>],
+        k: usize,
+        sigma: f32,
+    ) -> Vec<(Vec<Hit>, ScreenStats)> {
+        for q in queries {
+            assert_eq!(q.vector.len(), self.dim, "dimension mismatch");
+        }
+        let n = self.n_docs;
+        if k == 0 || n == 0 {
+            return vec![(Vec::new(), ScreenStats::default()); queries.len()];
+        }
+        let sigma = sigma.max(0.0);
+        let qqs: Vec<QuantQuery> = queries.iter().map(|q| QuantQuery::new(q.vector)).collect();
+        let qrows: Vec<&[i8]> = qqs.iter().map(|qq| qq.row()).collect();
+        let mut screened: Vec<Vec<f32>> = queries.iter().map(|_| Vec::with_capacity(n)).collect();
+        let mut quant_tops: Vec<TopK> = queries.iter().map(|_| TopK::new(k)).collect();
+        let mut b_max = vec![0.0f64; queries.len()];
+        let mut raw: Vec<Vec<i32>> = vec![Vec::new(); queries.len()];
+        for seg in &self.segments {
+            for r in raw.iter_mut() {
+                r.clear();
+                r.reserve(seg.rows);
+            }
+            dot_i8_batch(&qrows, seg.quant.as_slice(), self.dim, &mut raw);
+            for (slot, ((q, qq), seg_raw)) in queries.iter().zip(&qqs).zip(raw.iter()).enumerate() {
+                let factor = qq.scale() * seg.scale;
+                b_max[slot] = b_max[slot].max(self.seg_bound(qq, seg));
+                for (r, &d) in seg_raw.iter().enumerate() {
+                    let id = seg.base + r;
+                    let mut s = d as f32 * factor;
+                    if sigma > 0.0 {
+                        s += VecIndex::jitter(q.salt, id, sigma);
+                    }
+                    screened[slot].push(s);
+                    quant_tops[slot].offer(Hit { id, score: s });
+                }
+            }
+        }
+        queries
+            .iter()
+            .enumerate()
+            .zip(quant_tops)
+            .map(|((slot, q), quant_top)| {
+                let margin = match quant_top.bound() {
+                    Some(kth) => kth.score as f64 - 2.0 * b_max[slot],
+                    None => f64::NEG_INFINITY,
+                };
+                let mut top = TopK::new(k);
+                let mut reranked = 0u64;
+                for seg in &self.segments {
+                    for r in 0..seg.rows {
+                        let id = seg.base + r;
+                        if (screened[slot][id] as f64) < margin {
+                            continue;
+                        }
+                        reranked += 1;
+                        let mut score = dot(q.vector, seg.row(r));
+                        if sigma > 0.0 {
+                            score += VecIndex::jitter(q.salt, id, sigma);
+                        }
+                        top.offer(Hit { id, score });
+                    }
+                }
+                (
+                    top.into_sorted(),
+                    ScreenStats {
+                        screened: n as u64,
+                        reranked,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Pruned scans.
+    // ------------------------------------------------------------------
+
+    /// Candidate ids (global, ascending, deduplicated) sharing a
+    /// canonical token with the query — the sharded
+    /// [`crate::HybridIndex::candidates`].
+    pub fn candidates(&self, embedder: &Embedder, query_text: &str, style: QueryStyle) -> Vec<u32> {
+        self.candidates_if_under(embedder, query_text, style, usize::MAX)
+            .expect("a usize::MAX budget admits every candidate set")
+    }
+
+    /// [`Self::candidates`] behind the same admission estimate as
+    /// [`crate::HybridIndex::candidates_if_under`]. Per-segment lists
+    /// partition the global postings lists, so the length sums — and
+    /// therefore every gate admit/refuse decision — are identical to
+    /// the unsharded index's.
+    pub fn candidates_if_under(
+        &self,
+        embedder: &Embedder,
+        query_text: &str,
+        style: QueryStyle,
+        max_cands: usize,
+    ) -> Result<Vec<u32>, usize> {
+        let mut hashes: Vec<u64> = Vec::new();
+        let mut estimate = 0usize;
+        for tok in normalize(query_text) {
+            let key = match style {
+                QueryStyle::Folded => embedder.fold_token(&tok),
+                QueryStyle::Unfolded => tok.as_str(),
+            };
+            let h = stable_str_hash(key);
+            let mut any = false;
+            for seg in &self.segments {
+                if let Some(list) = seg.postings(h) {
+                    estimate += list.len();
+                    any = true;
+                }
+            }
+            if any {
+                hashes.push(h);
+            }
+        }
+        if estimate > max_cands {
+            return Err(estimate);
+        }
+        let mut out: Vec<u32> = Vec::with_capacity(estimate);
+        for &h in &hashes {
+            for seg in &self.segments {
+                if let Some(list) = seg.postings(h) {
+                    out.extend(list.iter().map(|&l| seg.base as u32 + l));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Pruned noisy top-k over global candidate ids — the sharded
+    /// [`crate::HybridIndex::top_k_noisy_encoded`], bit-identical to it
+    /// (and to the exact scan) under the same ceiling contract.
+    pub fn top_k_noisy_encoded(
+        &self,
+        query: &[f32],
+        cands: &[u32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+    ) -> Vec<Hit> {
+        self.pruned_scored(query, cands, k, sigma, salt, false).0
+    }
+
+    /// Pruned noisy top-k with the quantized candidate phase — the
+    /// sharded [`crate::HybridIndex::top_k_noisy_encoded_quant`]:
+    /// candidates screen against their own segment's shadow, the margin
+    /// uses the per-query `B_max` over candidate segments, the suspect
+    /// phase is exact. Hits carry the full bit-identity contract.
+    pub fn top_k_noisy_encoded_quant(
+        &self,
+        query: &[f32],
+        cands: &[u32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+    ) -> (Vec<Hit>, ScreenStats) {
+        self.pruned_scored(query, cands, k, sigma, salt, true)
+    }
+
+    fn pruned_scored(
+        &self,
+        query: &[f32],
+        cands: &[u32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+        quantized: bool,
+    ) -> (Vec<Hit>, ScreenStats) {
+        if k == 0 || self.n_docs == 0 {
+            return (Vec::new(), ScreenStats::default());
+        }
+        if cands.len() < k {
+            // Documented fallback, as in the unsharded engine: fewer
+            // candidates than k → scan everything.
+            return if quantized {
+                self.top_k_noisy_quant(query, k, sigma, salt)
+            } else {
+                (
+                    self.top_k_noisy(query, k, sigma, salt),
+                    ScreenStats::default(),
+                )
+            };
+        }
+        let sigma = sigma.max(0.0);
+        let mut top = TopK::new(k);
+        let mut stats = ScreenStats::default();
+        if quantized {
+            let qq = QuantQuery::new(query);
+            let mut screened = Vec::with_capacity(cands.len());
+            let mut quant_top = TopK::new(k);
+            let mut b_max = 0.0f64;
+            let mut cur_seg = usize::MAX;
+            let mut factor = 0.0f32;
+            for &id in cands {
+                let id = id as usize;
+                let s_idx = id / self.seg_rows;
+                if s_idx != cur_seg {
+                    cur_seg = s_idx;
+                    let seg = &self.segments[s_idx];
+                    factor = qq.scale() * seg.scale;
+                    b_max = b_max.max(self.seg_bound(&qq, seg));
+                }
+                let seg = &self.segments[s_idx];
+                let mut s = dot_i8(qq.row(), seg.qrow(id - seg.base)) as f32 * factor;
+                if sigma > 0.0 {
+                    s += VecIndex::jitter(salt, id, sigma);
+                }
+                screened.push(s);
+                quant_top.offer(Hit { id, score: s });
+            }
+            stats.screened = cands.len() as u64;
+            let kth = quant_top.bound().expect("k candidates screened").score;
+            let margin = kth as f64 - 2.0 * b_max;
+            for (&id, &s) in cands.iter().zip(&screened) {
+                if (s as f64) < margin {
+                    continue;
+                }
+                stats.reranked += 1;
+                let id = id as usize;
+                let mut score = dot(query, self.vector(id));
+                if sigma > 0.0 {
+                    score += VecIndex::jitter(salt, id, sigma);
+                }
+                top.offer(Hit { id, score });
+            }
+        } else {
+            for &id in cands {
+                let id = id as usize;
+                let mut score = dot(query, self.vector(id));
+                if sigma > 0.0 {
+                    score += VecIndex::jitter(salt, id, sigma);
+                }
+                top.offer(Hit { id, score });
+            }
+        }
+        self.verify_non_candidates(query, cands, sigma, salt, &mut top);
+        (top.into_sorted(), stats)
+    }
+
+    /// The verbatim ceiling-suspect phase of
+    /// [`crate::HybridIndex`], over global ids: every non-candidate
+    /// whose `ceiling + jitter` could reach the current k-th score is
+    /// scored exactly. Identical hash floors, identical scores,
+    /// identical offers — shard geometry never appears.
+    fn verify_non_candidates(
+        &self,
+        query: &[f32],
+        cands: &[u32],
+        sigma: f32,
+        salt: u64,
+        top: &mut TopK,
+    ) {
+        let mut kth = top.bound().expect("k candidates offered").score;
+        let mut hash_floor = suspect_hash_floor(kth, self.ceiling, sigma);
+        let mut cand_iter = cands.iter().copied().peekable();
+        for id in 0..self.n_docs {
+            if cand_iter.peek() == Some(&(id as u32)) {
+                cand_iter.next();
+                continue;
+            }
+            let floor = match hash_floor {
+                Some(f) => f,
+                None => break,
+            };
+            let hash = kgstore::hash::mix2(salt, id as u64);
+            if (hash >> 11) < floor {
+                continue;
+            }
+            let mut score = dot(query, self.vector(id));
+            if sigma > 0.0 {
+                score += VecIndex::jitter_of(hash, sigma);
+            }
+            top.offer(Hit { id, score });
+            let new_kth = top.bound().expect("still k hits").score;
+            if new_kth != kth {
+                kth = new_kth;
+                hash_floor = suspect_hash_floor(kth, self.ceiling, sigma);
+            }
+        }
+    }
+
+    /// Batched pruned scan — the sharded
+    /// [`crate::HybridIndex::top_k_noisy_encoded_batch`]. Slots with
+    /// fewer candidates than `k` take the full-scan fallback together
+    /// through the batched engines; the rest run the sequential pruned
+    /// path per slot (candidate sets are gate-bounded small — there is
+    /// no block to tile). Every slot is bit-identical to its sequential
+    /// twin.
+    pub fn top_k_noisy_encoded_batch(
+        &self,
+        slots: &[BatchSlot<'_>],
+        k: usize,
+        sigma: f32,
+    ) -> Vec<Vec<Hit>> {
+        self.pruned_scored_batch(slots, k, sigma, false).0
+    }
+
+    /// Batched pruned scan with the quantized candidate phase — the
+    /// sharded [`crate::HybridIndex::top_k_noisy_encoded_quant_batch`];
+    /// per-slot hits and counters bit-identical to the sequential call.
+    pub fn top_k_noisy_encoded_quant_batch(
+        &self,
+        slots: &[BatchSlot<'_>],
+        k: usize,
+        sigma: f32,
+    ) -> (Vec<Vec<Hit>>, Vec<ScreenStats>) {
+        self.pruned_scored_batch(slots, k, sigma, true)
+    }
+
+    fn pruned_scored_batch(
+        &self,
+        slots: &[BatchSlot<'_>],
+        k: usize,
+        sigma: f32,
+        quantized: bool,
+    ) -> (Vec<Vec<Hit>>, Vec<ScreenStats>) {
+        let mut hits: Vec<Vec<Hit>> = vec![Vec::new(); slots.len()];
+        let mut stats: Vec<ScreenStats> = vec![ScreenStats::default(); slots.len()];
+        if k == 0 || self.n_docs == 0 {
+            return (hits, stats);
+        }
+        let full: Vec<usize> = (0..slots.len())
+            .filter(|&i| slots[i].cands.len() < k)
+            .collect();
+        if !full.is_empty() {
+            let queries: Vec<NoisyQuery> = full
+                .iter()
+                .map(|&i| NoisyQuery {
+                    vector: slots[i].query,
+                    salt: slots[i].salt,
+                })
+                .collect();
+            if quantized {
+                for (&i, (h, s)) in full
+                    .iter()
+                    .zip(self.top_k_noisy_quant_batch(&queries, k, sigma))
+                {
+                    hits[i] = h;
+                    stats[i] = s;
+                }
+            } else {
+                for (&i, h) in full.iter().zip(self.top_k_noisy_batch(&queries, k, sigma)) {
+                    hits[i] = h;
+                }
+            }
+        }
+        for i in 0..slots.len() {
+            if slots[i].cands.len() < k {
+                continue;
+            }
+            let (h, s) = self.pruned_scored(
+                slots[i].query,
+                slots[i].cands,
+                k,
+                sigma,
+                slots[i].salt,
+                quantized,
+            );
+            hits[i] = h;
+            stats[i] = s;
+        }
+        (hits, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverted::HybridIndex;
+
+    fn corpus(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("entity{} relation{} value{}", i, i % 7, i % 13))
+            .collect()
+    }
+
+    fn queries() -> Vec<&'static str> {
+        vec![
+            "entity42 relation0 value3",
+            "entity7 relation3",
+            "value11 relation5 entity100",
+            "zzz qqq totally unseen",
+        ]
+    }
+
+    /// Shard counts under test: 1 segment (degenerate), 2, 7 (uneven
+    /// tail), and tiny segments (many shards).
+    fn seg_rows_for(n: usize) -> Vec<usize> {
+        vec![n, n.div_ceil(2), n.div_ceil(7), 64]
+    }
+
+    #[test]
+    fn full_scans_match_unsharded_engines_bitwise() {
+        let emb = Embedder::paper();
+        let texts = corpus(500);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let unsharded = HybridIndex::build_parallel(&emb, &refs, 1);
+        let vecs = unsharded.vectors();
+        for seg_rows in seg_rows_for(texts.len()) {
+            let idx = SegmentedIndex::build_parallel(&emb, &refs, seg_rows, 1);
+            for q in queries() {
+                let qv = emb.encode(q);
+                let salt = stable_str_hash(q);
+                for sigma in [0.0f32, 0.3, 0.6] {
+                    let exact = vecs.top_k_noisy(&qv, 10, sigma, salt);
+                    assert_eq!(
+                        idx.top_k_noisy(&qv, 10, sigma, salt),
+                        exact,
+                        "exact seg_rows {seg_rows} q {q:?} sigma {sigma}"
+                    );
+                    let (qhits, qstats) = idx.top_k_noisy_quant(&qv, 10, sigma, salt);
+                    assert_eq!(
+                        qhits, exact,
+                        "quant seg_rows {seg_rows} q {q:?} sigma {sigma}"
+                    );
+                    assert_eq!(qstats.screened, texts.len() as u64);
+                    if idx.num_segments() == 1 {
+                        let (_, ustats) = vecs.top_k_noisy_quant(&qv, 10, sigma, salt);
+                        assert_eq!(qstats, ustats, "1-segment counters must match");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scans_match_sequential_per_slot() {
+        let emb = Embedder::paper();
+        let texts = corpus(400);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let idx = SegmentedIndex::build_parallel(&emb, &refs, 150, 1);
+        let encoded: Vec<Vec<f32>> = queries().iter().map(|q| emb.encode(q)).collect();
+        let noisy: Vec<NoisyQuery> = queries()
+            .iter()
+            .zip(&encoded)
+            .map(|(q, v)| NoisyQuery {
+                vector: v,
+                salt: stable_str_hash(q),
+            })
+            .collect();
+        for sigma in [0.0f32, 0.3] {
+            let batch = idx.top_k_noisy_batch(&noisy, 10, sigma);
+            let qbatch = idx.top_k_noisy_quant_batch(&noisy, 10, sigma);
+            for (i, q) in noisy.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    idx.top_k_noisy(q.vector, 10, sigma, q.salt),
+                    "exact slot {i} sigma {sigma}"
+                );
+                let seq = idx.top_k_noisy_quant(q.vector, 10, sigma, q.salt);
+                assert_eq!(qbatch[i].0, seq.0, "quant slot {i} sigma {sigma}");
+                assert_eq!(qbatch[i].1, seq.1, "stats slot {i} sigma {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_scans_match_unsharded_pruned_and_exact() {
+        let emb = Embedder::paper();
+        let texts = corpus(500);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let unsharded = HybridIndex::build_parallel(&emb, &refs, 1);
+        for seg_rows in seg_rows_for(texts.len()) {
+            let idx = SegmentedIndex::build_parallel(&emb, &refs, seg_rows, 1);
+            for q in queries() {
+                let qv = emb.encode(q);
+                let salt = stable_str_hash(q);
+                let ucands = unsharded.candidates(&emb, q, QueryStyle::Folded);
+                let scands = idx.candidates(&emb, q, QueryStyle::Folded);
+                assert_eq!(scands, ucands, "candidates seg_rows {seg_rows} q {q:?}");
+                for sigma in [0.0f32, 0.3, 0.6] {
+                    let reference = unsharded.top_k_noisy_encoded(&qv, &ucands, 10, sigma, salt);
+                    assert_eq!(
+                        idx.top_k_noisy_encoded(&qv, &scands, 10, sigma, salt),
+                        reference,
+                        "pruned seg_rows {seg_rows} q {q:?} sigma {sigma}"
+                    );
+                    let (qhits, _) = idx.top_k_noisy_encoded_quant(&qv, &scands, 10, sigma, salt);
+                    assert_eq!(
+                        qhits, reference,
+                        "pruned-quant seg_rows {seg_rows} q {q:?} sigma {sigma}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_batches_match_sequential_per_slot() {
+        let emb = Embedder::paper();
+        let texts = corpus(400);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let idx = SegmentedIndex::build_parallel(&emb, &refs, 90, 1);
+        let encoded: Vec<Vec<f32>> = queries().iter().map(|q| emb.encode(q)).collect();
+        let cands: Vec<Vec<u32>> = queries()
+            .iter()
+            .map(|q| idx.candidates(&emb, q, QueryStyle::Folded))
+            .collect();
+        let slots: Vec<BatchSlot> = queries()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| BatchSlot {
+                query: &encoded[i],
+                cands: &cands[i],
+                salt: stable_str_hash(q),
+            })
+            .collect();
+        for sigma in [0.0f32, 0.3] {
+            let exact = idx.top_k_noisy_encoded_batch(&slots, 10, sigma);
+            let (quant, qstats) = idx.top_k_noisy_encoded_quant_batch(&slots, 10, sigma);
+            for (i, slot) in slots.iter().enumerate() {
+                assert_eq!(
+                    exact[i],
+                    idx.top_k_noisy_encoded(slot.query, slot.cands, 10, sigma, slot.salt),
+                    "slot {i} sigma {sigma}"
+                );
+                let (sh, ss) =
+                    idx.top_k_noisy_encoded_quant(slot.query, slot.cands, 10, sigma, slot.salt);
+                assert_eq!(quant[i], sh, "quant slot {i} sigma {sigma}");
+                assert_eq!(qstats[i], ss, "stats slot {i} sigma {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_gate_estimates_match_unsharded() {
+        let emb = Embedder::paper();
+        let texts = corpus(300);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let unsharded = HybridIndex::build_parallel(&emb, &refs, 1);
+        let idx = SegmentedIndex::build_parallel(&emb, &refs, 70, 1);
+        for q in queries() {
+            for budget in [0usize, 5, 50, 10_000] {
+                let u = unsharded.candidates_if_under(&emb, q, QueryStyle::Folded, budget);
+                let s = idx.candidates_if_under(&emb, q, QueryStyle::Folded, budget);
+                assert_eq!(u, s, "q {q:?} budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        let emb = Embedder::paper();
+        let texts: Vec<String> = corpus(300).into_iter().chain(corpus(300)).collect();
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let serial = SegmentedIndex::build_parallel(&emb, &refs, 128, 1);
+        let parallel = SegmentedIndex::build_parallel(&emb, &refs, 128, 8);
+        assert_eq!(serial.len(), parallel.len());
+        assert_eq!(serial.num_segments(), parallel.num_segments());
+        for id in 0..serial.len() {
+            assert_eq!(serial.vector(id), parallel.vector(id), "row {id}");
+        }
+        for s in 0..serial.num_segments() {
+            assert_eq!(
+                serial.segment_scale(s).to_bits(),
+                parallel.segment_scale(s).to_bits()
+            );
+            assert_eq!(
+                serial.segment_max_norm(s).to_bits(),
+                parallel.segment_max_norm(s).to_bits()
+            );
+        }
+        assert_eq!(serial.build_threads_used(), 1);
+        assert_eq!(parallel.build_threads_used(), 8);
+    }
+
+    #[test]
+    fn self_tuning_build_goes_serial_below_threshold() {
+        assert_eq!(resolve_build_threads(PARALLEL_BUILD_MIN_DOCS - 1, 0), 1);
+        assert!(resolve_build_threads(PARALLEL_BUILD_MIN_DOCS, 0) >= 1);
+        assert_eq!(resolve_build_threads(10, 3), 3);
+        assert_eq!(resolve_build_threads(1_000_000, 2), 2);
+    }
+
+    #[test]
+    fn build_chunk_ranges_cover_exactly() {
+        for (n, t) in [(0usize, 4usize), (1, 4), (10, 3), (100, 8), (7, 100)] {
+            let ranges = build_chunk_ranges(n, t);
+            let mut covered = 0;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "contiguous");
+                covered = r.end;
+            }
+            assert_eq!(covered, n, "n {n} t {t}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_disk_is_bit_identical() {
+        let emb = Embedder::paper();
+        let texts = corpus(300);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let built = SegmentedIndex::build_parallel(&emb, &refs, 70, 1);
+        let dir = std::env::temp_dir().join("seg-roundtrip-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.seg");
+        built.write_to(&path).unwrap();
+        let opened = SegmentedIndex::open(&path).unwrap();
+        assert!(opened.is_file_backed());
+        assert_eq!(opened.len(), built.len());
+        assert_eq!(opened.num_segments(), built.num_segments());
+        for id in 0..built.len() {
+            let a: Vec<u32> = built.vector(id).iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = opened.vector(id).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "row {id}");
+        }
+        for s in 0..built.num_segments() {
+            assert_eq!(
+                built.segment_scale(s).to_bits(),
+                opened.segment_scale(s).to_bits()
+            );
+        }
+        for q in queries() {
+            let qv = emb.encode(q);
+            let salt = stable_str_hash(q);
+            assert_eq!(
+                built.top_k_noisy(&qv, 10, 0.3, salt),
+                opened.top_k_noisy(&qv, 10, 0.3, salt),
+                "q {q:?}"
+            );
+            let cands = built.candidates(&emb, q, QueryStyle::Folded);
+            assert_eq!(cands, opened.candidates(&emb, q, QueryStyle::Folded));
+            assert_eq!(
+                built.top_k_noisy_encoded_quant(&qv, &cands, 10, 0.3, salt),
+                opened.top_k_noisy_encoded_quant(&qv, &cands, 10, 0.3, salt),
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_file_is_rejected_never_garbage() {
+        let emb = Embedder::paper();
+        let texts = corpus(60);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let built = SegmentedIndex::build_parallel(&emb, &refs, 25, 1);
+        let dir = std::env::temp_dir().join("seg-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.seg");
+        built.write_to(&path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one byte at positions across header, table, payload.
+        for pos in [0usize, 9, 30, 70, 200, clean.len() / 2, clean.len() - 1] {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x40;
+            let p = dir.join("bad.seg");
+            std::fs::write(&p, &bad).unwrap();
+            assert!(
+                SegmentedIndex::open(&p).is_err(),
+                "flipped byte at {pos} must be rejected"
+            );
+        }
+        // Truncation is rejected too.
+        std::fs::write(dir.join("trunc.seg"), &clean[..clean.len() - 8]).unwrap();
+        assert!(SegmentedIndex::open(&dir.join("trunc.seg")).is_err());
+    }
+
+    #[test]
+    fn empty_index_works_and_roundtrips() {
+        let emb = Embedder::paper();
+        let idx = SegmentedIndex::build(&emb, std::iter::empty());
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_segments(), 0);
+        assert!(idx.top_k_noisy(&vec![0.0; emb.dim()], 5, 0.3, 1).is_empty());
+        let dir = std::env::temp_dir().join("seg-empty-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.seg");
+        idx.write_to(&path).unwrap();
+        let opened = SegmentedIndex::open(&path).unwrap();
+        assert!(opened.is_empty());
+    }
+}

@@ -1,0 +1,626 @@
+//! Versioned, checksummed, zero-copy on-disk format for the segmented
+//! index ([`crate::seg::SegmentedIndex`]).
+//!
+//! Layout (all integers little-endian, all section offsets 8-byte
+//! aligned absolute file offsets):
+//!
+//! ```text
+//! [ 64-byte header ][ n_segments × 80-byte table entries ][ payload ]
+//!
+//! header:
+//!   0  magic            [u8; 8]  = "PGGSEG01"
+//!   8  version          u32      = 1
+//!   12 dim              u32
+//!   16 seg_rows         u32
+//!   20 n_segments       u32
+//!   24 n_docs           u64
+//!   32 file_len         u64      (must equal the real file length)
+//!   40 ceiling          f32 bits (u32)
+//!   44 reserved         u32      = 0
+//!   48 checksum         u64      (FNV-1a-64, see below)
+//!   56 reserved         u64      = 0
+//!
+//! table entry (per segment, 10 × u64):
+//!   rows, vec_off, quant_off, keys_off, keys_count,
+//!   offs_off, ids_off, ids_count, scale (f32 bits), max_norm (f32 bits)
+//!
+//! payload, per segment in order, each section zero-padded to 8 bytes:
+//!   vectors  rows·dim × f32      quant  rows·dim × i8
+//!   keys     keys_count × u64    offs   (keys_count+1) × u32
+//!   ids      ids_count × u32
+//! ```
+//!
+//! The checksum is FNV-1a-64 over the *entire file* with the 8
+//! checksum bytes treated as zero, so any single flipped byte —
+//! header, table, payload, or padding — is caught on open and surfaces
+//! as a typed [`SegFileError`], never as garbage search results.
+//!
+//! **Zero-copy open.** The whole file is read into one 8-byte-aligned
+//! buffer ([`AlignedBuf`], backed by a `Vec<u64>`); on little-endian
+//! targets every section is then *viewed* in place ([`Col::View`]) —
+//! no per-element decode, no second copy. Big-endian targets fall back
+//! to decoding owned vectors from the little-endian bytes, so the
+//! format is portable while the hot path stays copy-free.
+
+use crate::seg::{Segment, SegmentedIndex};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Format magic, bumped with [`FORMAT_VERSION`].
+pub const MAGIC: [u8; 8] = *b"PGGSEG01";
+/// Format version accepted by [`open`].
+pub const FORMAT_VERSION: u32 = 1;
+const HEADER_LEN: usize = 64;
+const SEG_ENTRY_LEN: usize = 80;
+const CHECKSUM_OFF: usize = 48;
+
+/// Why a segment file could not be opened. Every corruption mode maps
+/// to a typed error — the open path never constructs an index from
+/// bytes that failed validation.
+#[derive(Debug)]
+pub enum SegFileError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's version is not [`FORMAT_VERSION`].
+    BadVersion(u32),
+    /// The file is shorter than its header or recorded length.
+    Truncated,
+    /// The FNV-1a-64 checksum did not match the stored one.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum recomputed over the file bytes.
+        actual: u64,
+    },
+    /// A structural invariant failed (offsets, alignment, row counts).
+    BadLayout(&'static str),
+}
+
+impl std::fmt::Display for SegFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegFileError::Io(e) => write!(f, "segment file io error: {e}"),
+            SegFileError::BadMagic => write!(f, "not a segment file (bad magic)"),
+            SegFileError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported segment file version {v} (want {FORMAT_VERSION})"
+                )
+            }
+            SegFileError::Truncated => write!(f, "segment file truncated"),
+            SegFileError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "segment file checksum mismatch: header {expected:#018x}, computed {actual:#018x}"
+            ),
+            SegFileError::BadLayout(what) => write!(f, "segment file layout invalid: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SegFileError {}
+
+impl From<std::io::Error> for SegFileError {
+    fn from(e: std::io::Error) -> Self {
+        SegFileError::Io(e)
+    }
+}
+
+/// An 8-byte-aligned byte buffer (backed by a `Vec<u64>`), the
+/// in-memory image of a segment file. The alignment guarantee is what
+/// lets [`Col::View`] reinterpret sections in place: every section
+/// offset is a multiple of 8, so `base + off` is aligned for any
+/// scalar the format stores.
+pub struct AlignedBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Zeroed buffer of `len` bytes.
+    fn with_len(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// Read exactly `len` bytes from `r` into a fresh aligned buffer.
+    fn read_exact_from<R: Read>(r: &mut R, len: usize) -> std::io::Result<Self> {
+        let mut buf = Self::with_len(len);
+        r.read_exact(buf.bytes_mut())?;
+        Ok(buf)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer as bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `words` owns at least `len` bytes (words.len()*8 >=
+        // len by construction) and u8 has no alignment or validity
+        // requirements, so reinterpreting the u64 storage as bytes is
+        // always in bounds and valid.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as in `bytes`, plus exclusive access via &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut u8, self.len) }
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedBuf({} bytes)", self.len)
+    }
+}
+
+/// A plain scalar the format stores little-endian. All implementors
+/// are valid for every bit pattern, which is what makes the in-place
+/// view sound.
+pub(crate) trait LeScalar: Copy {
+    /// Serialized size in bytes.
+    const SIZE: usize;
+    /// Decode one value from its little-endian bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+    /// Append this value's little-endian bytes.
+    fn write_le(self, out: &mut Vec<u8>);
+}
+
+impl LeScalar for f32 {
+    const SIZE: usize = 4;
+    fn read_le(b: &[u8]) -> Self {
+        f32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl LeScalar for i8 {
+    const SIZE: usize = 1;
+    fn read_le(b: &[u8]) -> Self {
+        b[0] as i8
+    }
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.push(self as u8);
+    }
+}
+
+impl LeScalar for u32 {
+    const SIZE: usize = 4;
+    fn read_le(b: &[u8]) -> Self {
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl LeScalar for u64 {
+    const SIZE: usize = 8;
+    fn read_le(b: &[u8]) -> Self {
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+/// One typed column of a segment: either owned (built in RAM) or a
+/// zero-copy view into the shared file buffer (opened from disk on a
+/// little-endian target). Both faces expose the same `&[T]`, so every
+/// scan is layout-agnostic.
+#[derive(Debug)]
+pub(crate) enum Col<T: LeScalar> {
+    /// Heap-owned column (the build path, and the big-endian open
+    /// fallback).
+    Owned(Vec<T>),
+    /// In-place view into the file buffer: `count` scalars at byte
+    /// offset `off`. Only constructed on little-endian targets, by
+    /// [`view_col`], which validates bounds and alignment.
+    #[cfg(target_endian = "little")]
+    View {
+        buf: Arc<AlignedBuf>,
+        off: usize,
+        count: usize,
+    },
+}
+
+impl<T: LeScalar> Col<T> {
+    /// The column as a slice.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[T] {
+        match self {
+            Col::Owned(v) => v,
+            #[cfg(target_endian = "little")]
+            Col::View { buf, off, count } => {
+                // SAFETY: `view_col` verified off % 8 == 0 (stricter
+                // than align_of::<T>() for every LeScalar) and
+                // off + count·SIZE <= buf.len(), so the pointer is
+                // aligned and the range in bounds; the Arc keeps the
+                // buffer alive for the lifetime of &self; and every
+                // LeScalar type is valid for any bit pattern on this
+                // little-endian target, so no invalid value can be
+                // produced.
+                unsafe {
+                    std::slice::from_raw_parts(buf.bytes().as_ptr().add(*off) as *const T, *count)
+                }
+            }
+        }
+    }
+
+    /// Heap bytes this column owns (0 for a view — the shared buffer
+    /// is accounted once by the index).
+    pub(crate) fn owned_bytes(&self) -> usize {
+        match self {
+            Col::Owned(v) => v.len() * T::SIZE,
+            #[cfg(target_endian = "little")]
+            Col::View { .. } => 0,
+        }
+    }
+}
+
+/// Construct a typed column over `count` scalars at byte offset `off`
+/// of the shared buffer, after validating alignment and bounds. On
+/// little-endian targets this is a zero-copy view; on big-endian ones
+/// the scalars are decoded into an owned vector.
+fn view_col<T: LeScalar>(
+    buf: &Arc<AlignedBuf>,
+    off: u64,
+    count: u64,
+) -> Result<Col<T>, SegFileError> {
+    let off = usize::try_from(off).map_err(|_| SegFileError::BadLayout("offset overflow"))?;
+    let count = usize::try_from(count).map_err(|_| SegFileError::BadLayout("count overflow"))?;
+    if off % 8 != 0 {
+        return Err(SegFileError::BadLayout("unaligned section offset"));
+    }
+    let bytes = count
+        .checked_mul(T::SIZE)
+        .ok_or(SegFileError::BadLayout("section size overflow"))?;
+    let end = off
+        .checked_add(bytes)
+        .ok_or(SegFileError::BadLayout("section end overflow"))?;
+    if end > buf.len() {
+        return Err(SegFileError::BadLayout("section out of bounds"));
+    }
+    #[cfg(target_endian = "little")]
+    {
+        Ok(Col::View {
+            buf: Arc::clone(buf),
+            off,
+            count,
+        })
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let b = &buf.bytes()[off..end];
+        Ok(Col::Owned(
+            (0..count).map(|i| T::read_le(&b[i * T::SIZE..])).collect(),
+        ))
+    }
+}
+
+/// FNV-1a-64 over byte chunks.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// The file checksum: FNV-1a-64 over all bytes with the checksum field
+/// itself zeroed.
+fn checksum_of(bytes: &[u8]) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.update(&bytes[..CHECKSUM_OFF]);
+    fnv.update(&[0u8; 8]);
+    fnv.update(&bytes[CHECKSUM_OFF + 8..]);
+    fnv.0
+}
+
+fn pad8(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
+fn pad_to(out: &mut Vec<u8>, len: usize) {
+    out.resize(out.len() + (pad8(len) - len), 0);
+}
+
+/// Serialize the index into the on-disk format and write it atomically
+/// (temp file + rename, so readers never observe a half-written file).
+pub fn write_to(index: &SegmentedIndex, path: &Path) -> Result<(), SegFileError> {
+    let segs = index.segments();
+    let dim = index.dim();
+    let table_end = HEADER_LEN + segs.len() * SEG_ENTRY_LEN;
+    debug_assert_eq!(table_end % 8, 0);
+
+    // Layout pass: absolute, 8-aligned section offsets.
+    struct Entry {
+        rows: u64,
+        vec_off: u64,
+        quant_off: u64,
+        keys_off: u64,
+        keys_count: u64,
+        offs_off: u64,
+        ids_off: u64,
+        ids_count: u64,
+        scale: u64,
+        max_norm: u64,
+    }
+    let mut cursor = table_end as u64;
+    let mut take = |len: usize| {
+        let off = cursor;
+        cursor += pad8(len) as u64;
+        off
+    };
+    let entries: Vec<Entry> = segs
+        .iter()
+        .map(|s| {
+            let nk = s.keys.as_slice().len();
+            let ni = s.ids.as_slice().len();
+            Entry {
+                rows: s.rows as u64,
+                vec_off: take(s.rows * dim * 4),
+                quant_off: take(s.rows * dim),
+                keys_off: take(nk * 8),
+                keys_count: nk as u64,
+                offs_off: take((nk + 1) * 4),
+                ids_off: take(ni * 4),
+                ids_count: ni as u64,
+                scale: s.scale.to_bits() as u64,
+                max_norm: s.max_norm.to_bits() as u64,
+            }
+        })
+        .collect();
+    let file_len = cursor as usize;
+
+    let mut out: Vec<u8> = Vec::with_capacity(file_len);
+    out.extend_from_slice(&MAGIC);
+    FORMAT_VERSION.write_le(&mut out);
+    (dim as u32).write_le(&mut out);
+    (index.seg_rows() as u32).write_le(&mut out);
+    (segs.len() as u32).write_le(&mut out);
+    (index.len() as u64).write_le(&mut out);
+    (file_len as u64).write_le(&mut out);
+    index.ceiling().to_bits().write_le(&mut out);
+    0u32.write_le(&mut out);
+    0u64.write_le(&mut out); // checksum, patched below
+    0u64.write_le(&mut out);
+    debug_assert_eq!(out.len(), HEADER_LEN);
+
+    for e in &entries {
+        for v in [
+            e.rows,
+            e.vec_off,
+            e.quant_off,
+            e.keys_off,
+            e.keys_count,
+            e.offs_off,
+            e.ids_off,
+            e.ids_count,
+            e.scale,
+            e.max_norm,
+        ] {
+            v.write_le(&mut out);
+        }
+    }
+    debug_assert_eq!(out.len(), table_end);
+
+    for s in segs {
+        let vecs = s.vectors.as_slice();
+        for &x in vecs {
+            x.write_le(&mut out);
+        }
+        pad_to(&mut out, vecs.len() * 4);
+        let quant = s.quant.as_slice();
+        for &x in quant {
+            x.write_le(&mut out);
+        }
+        pad_to(&mut out, quant.len());
+        let keys = s.keys.as_slice();
+        for &x in keys {
+            x.write_le(&mut out);
+        }
+        pad_to(&mut out, keys.len() * 8);
+        let offs = s.offs.as_slice();
+        for &x in offs {
+            x.write_le(&mut out);
+        }
+        pad_to(&mut out, offs.len() * 4);
+        let ids = s.ids.as_slice();
+        for &x in ids {
+            x.write_le(&mut out);
+        }
+        pad_to(&mut out, ids.len() * 4);
+    }
+    debug_assert_eq!(out.len(), file_len);
+
+    let sum = checksum_of(&out);
+    out[CHECKSUM_OFF..CHECKSUM_OFF + 8].copy_from_slice(&sum.to_le_bytes());
+
+    let tmp = path.with_extension("seg.tmp");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&out)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Open a segment file: read it into one aligned buffer, verify magic,
+/// version, length, and checksum, validate the layout, and construct
+/// the index over zero-copy section views (owned decodes on big-endian
+/// targets). Any validation failure is a typed error — a corrupted
+/// file can never produce an index that returns garbage.
+pub fn open(path: &Path) -> Result<SegmentedIndex, SegFileError> {
+    let mut f = std::fs::File::open(path)?;
+    let len = f.metadata()?.len();
+    let len = usize::try_from(len).map_err(|_| SegFileError::Truncated)?;
+    if len < HEADER_LEN {
+        return Err(SegFileError::Truncated);
+    }
+    let buf = AlignedBuf::read_exact_from(&mut f, len)?;
+    let b = buf.bytes();
+
+    if b[..8] != MAGIC {
+        return Err(SegFileError::BadMagic);
+    }
+    let version = u32::read_le(&b[8..]);
+    if version != FORMAT_VERSION {
+        return Err(SegFileError::BadVersion(version));
+    }
+    let dim = u32::read_le(&b[12..]) as usize;
+    let seg_rows = u32::read_le(&b[16..]) as usize;
+    let n_segments = u32::read_le(&b[20..]) as usize;
+    let n_docs = u64::read_le(&b[24..]) as usize;
+    let file_len = u64::read_le(&b[32..]) as usize;
+    let ceiling = f32::from_bits(u32::read_le(&b[40..]));
+    let expected = u64::read_le(&b[CHECKSUM_OFF..]);
+
+    if file_len != len {
+        return Err(SegFileError::Truncated);
+    }
+    let actual = checksum_of(b);
+    if actual != expected {
+        return Err(SegFileError::ChecksumMismatch { expected, actual });
+    }
+
+    if dim == 0 || seg_rows == 0 {
+        return Err(SegFileError::BadLayout("zero dim or seg_rows"));
+    }
+    if n_segments != n_docs.div_ceil(seg_rows) {
+        return Err(SegFileError::BadLayout("segment count mismatch"));
+    }
+    let table_end = HEADER_LEN + n_segments * SEG_ENTRY_LEN;
+    if table_end > len {
+        return Err(SegFileError::Truncated);
+    }
+
+    let buf = Arc::new(buf);
+    let bytes = buf.bytes();
+    let mut segments = Vec::with_capacity(n_segments);
+    for s in 0..n_segments {
+        let e = HEADER_LEN + s * SEG_ENTRY_LEN;
+        let field = |i: usize| u64::read_le(&bytes[e + i * 8..]);
+        let rows = field(0) as usize;
+        let base = s * seg_rows;
+        let want = (n_docs - base).min(seg_rows);
+        if rows != want {
+            return Err(SegFileError::BadLayout("segment row count mismatch"));
+        }
+        let keys_count = field(4);
+        let ids_count = field(7);
+        let segment = Segment {
+            base,
+            rows,
+            dim,
+            vectors: view_col::<f32>(&buf, field(1), (rows * dim) as u64)?,
+            quant: view_col::<i8>(&buf, field(2), (rows * dim) as u64)?,
+            keys: view_col::<u64>(&buf, field(3), keys_count)?,
+            offs: view_col::<u32>(&buf, field(5), keys_count + 1)?,
+            ids: view_col::<u32>(&buf, field(6), ids_count)?,
+            scale: f32::from_bits(field(8) as u32),
+            max_norm: f32::from_bits(field(9) as u32),
+        };
+        // Postings offsets must be monotone and end at ids_count so
+        // key lookups can slice without panicking.
+        let offs = segment.offs.as_slice();
+        if offs.windows(2).any(|w| w[0] > w[1])
+            || offs.last().copied().unwrap_or(0) as u64 != ids_count
+        {
+            return Err(SegFileError::BadLayout("postings offsets not monotone"));
+        }
+        if segment.ids.as_slice().iter().any(|&l| l as usize >= rows) {
+            return Err(SegFileError::BadLayout("postings id out of range"));
+        }
+        segments.push(segment);
+    }
+
+    Ok(SegmentedIndex::from_open_parts(
+        dim, seg_rows, n_docs, ceiling, segments, buf,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a-64 test vectors.
+        let mut f = Fnv::new();
+        f.update(b"");
+        assert_eq!(f.0, 0xcbf2_9ce4_8422_2325);
+        let mut f = Fnv::new();
+        f.update(b"a");
+        assert_eq!(f.0, 0xaf63_dc4c_8601_ec8c);
+        let mut f = Fnv::new();
+        f.update(b"foobar");
+        assert_eq!(f.0, 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn checksum_ignores_its_own_field() {
+        let mut a = vec![7u8; 128];
+        let mut b = a.clone();
+        a[CHECKSUM_OFF..CHECKSUM_OFF + 8].copy_from_slice(&[1; 8]);
+        b[CHECKSUM_OFF..CHECKSUM_OFF + 8].copy_from_slice(&[2; 8]);
+        assert_eq!(checksum_of(&a), checksum_of(&b));
+        // ... but any byte outside it changes the sum.
+        b[0] ^= 1;
+        assert_ne!(checksum_of(&a), checksum_of(&b));
+        *b.last_mut().unwrap() ^= 1;
+        b[0] ^= 1;
+        assert_ne!(checksum_of(&a), checksum_of(&b));
+    }
+
+    #[test]
+    fn aligned_buf_is_eight_byte_aligned() {
+        for len in [0usize, 1, 7, 8, 9, 64, 1000] {
+            let buf = AlignedBuf::with_len(len);
+            assert_eq!(buf.len(), len);
+            assert_eq!(buf.bytes().len(), len);
+            assert_eq!(buf.bytes().as_ptr() as usize % 8, 0, "len {len}");
+        }
+    }
+
+    #[test]
+    fn open_rejects_non_files_and_short_files() {
+        let dir = std::env::temp_dir().join("segfile-test-short");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("short.seg");
+        std::fs::write(&p, b"tiny").unwrap();
+        assert!(matches!(open(&p), Err(SegFileError::Truncated)));
+        let p2 = dir.join("badmagic.seg");
+        std::fs::write(&p2, vec![0u8; 128]).unwrap();
+        assert!(matches!(open(&p2), Err(SegFileError::BadMagic)));
+        assert!(matches!(
+            open(&dir.join("missing.seg")),
+            Err(SegFileError::Io(_))
+        ));
+    }
+}

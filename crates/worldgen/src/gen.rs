@@ -1,7 +1,7 @@
 //! World generation: entities with Zipf popularity and deliberate label
 //! ambiguity, then facts drawn per relation spec.
 
-use crate::names::{fresh_name, pool_capacity};
+use crate::names::{fresh_name_ranked, pool_capacity};
 use crate::schema::{all_rel_ids, EntityKind};
 use crate::world::{EntityId, World, WorldEntity};
 use kgstore::hash::FxHashSet;
@@ -75,7 +75,7 @@ pub fn generate(cfg: &WorldConfig) -> World {
             .max(2)
             .min(pool_capacity(kind));
         for rank in 0..n {
-            let label = fresh_name(kind, &mut rng, &mut used_names);
+            let label = fresh_name_ranked(kind, rank, &mut rng, &mut used_names);
             // Zipf by rank within kind, normalised so rank 0 has pop 1.
             let popularity = 1.0 / ((rank + 1) as f64).powf(cfg.zipf_exponent);
             let description = format!("{} (#{} by prominence)", kind.noun(), rank + 1);
@@ -347,6 +347,38 @@ mod tests {
             assert_ne!(f.s, f.o, "self loop");
             assert!(seen.insert((f.s, f.rel, f.o)), "duplicate fact");
         }
+    }
+
+    #[test]
+    fn scaled_world_grows_past_name_pools() {
+        // Scale 20 pushes several kinds (rivers, lakes, universities…)
+        // far beyond their composed name spaces; generation must stay
+        // fast, unique, and roughly linear in scale.
+        let w = generate(&WorldConfig {
+            scale: 20.0,
+            ..Default::default()
+        });
+        let base = world();
+        assert!(
+            w.entity_count() > base.entity_count() * 15,
+            "entities: {} vs base {}",
+            w.entity_count(),
+            base.entity_count()
+        );
+        assert!(
+            w.fact_count() > base.fact_count() * 10,
+            "facts: {} vs base {}",
+            w.fact_count(),
+            base.fact_count()
+        );
+        let labels: FxHashSet<(EntityKind, &str)> = w
+            .entities
+            .iter()
+            .map(|e| (e.kind, e.label.as_str()))
+            .collect();
+        // Ambiguity injection deliberately duplicates a few labels, but
+        // the overwhelming majority must be unique.
+        assert!(labels.len() as f64 > w.entity_count() as f64 * 0.9);
     }
 
     #[test]

@@ -340,10 +340,27 @@ const MOUNTAIN_B: &[&str] = &[
 
 /// Draw a fresh unique name of the given kind.
 pub fn fresh_name(kind: EntityKind, rng: &mut StdRng, used: &mut FxHashSet<String>) -> String {
-    for attempt in 0..1000 {
-        let name = compose(kind, rng, attempt);
-        if used.insert(name.clone()) {
-            return name;
+    fresh_name_ranked(kind, 0, rng, used)
+}
+
+/// [`fresh_name`] with the caller's per-kind rank: ranks at or beyond
+/// [`composed_space`] skip the (provably futile at that point) rejection
+/// loop and go straight to the numbered fallback. Below the space the
+/// draw sequence is identical to [`fresh_name`], so small worlds keep
+/// their exact historical names while million-entity worlds stay
+/// O(1) per name instead of burning 1000 rejected draws each.
+pub fn fresh_name_ranked(
+    kind: EntityKind,
+    rank: usize,
+    rng: &mut StdRng,
+    used: &mut FxHashSet<String>,
+) -> String {
+    if rank < composed_space(kind) {
+        for attempt in 0..1000 {
+            let name = compose(kind, rng, attempt);
+            if used.insert(name.clone()) {
+                return name;
+            }
         }
     }
     // Fall back to an explicitly numbered name; guaranteed unique.
@@ -355,6 +372,37 @@ pub fn fresh_name(kind: EntityKind, rng: &mut StdRng, used: &mut FxHashSet<Strin
         }
         i += 1;
     }
+}
+
+/// Number of distinct names [`fresh_name`]'s rejection loop can ever
+/// produce for a kind: the raw pool combinations times the six suffix
+/// variants (bare plus "II"–"VI") the collision path appends. Beyond
+/// this many same-kind entities, composition cannot yield a fresh name.
+pub fn composed_space(kind: EntityKind) -> usize {
+    let raw = match kind {
+        EntityKind::Person => FIRST.len() * LAST.len(),
+        EntityKind::City => CITY_A.len() * CITY_B.len(),
+        EntityKind::Country => COUNTRY_A.len() * COUNTRY_B.len(),
+        EntityKind::Continent => CONTINENTS.len(),
+        EntityKind::River => RIVER_A.len(),
+        EntityKind::MountainRange => RANGE_A.len(),
+        EntityKind::Lake => LAKE_B.len(),
+        EntityKind::Mountain => MOUNTAIN_B.len(),
+        EntityKind::Company => COMPANY_A.len() * COMPANY_B.len(),
+        EntityKind::Device => COMPANY_A.len() * DEVICE_A.len() * DEVICE_B.len(),
+        EntityKind::Chip => CHIP_A.len() * 9,
+        EntityKind::University => UNI_A.len(),
+        EntityKind::Film => FILM_A.len() * FILM_B.len(),
+        EntityKind::Book => FILM_B.len() * BOOK_B.len(),
+        EntityKind::Band => BAND_A.len() * BAND_B.len(),
+        EntityKind::Genre => GENRES.len(),
+        EntityKind::Award => AWARDS.len(),
+        EntityKind::Field => FIELDS.len(),
+        EntityKind::Occupation => OCCUPATIONS.len(),
+        EntityKind::Sport => SPORTS.len(),
+        EntityKind::Team => CITY_A.len() * TEAM_B.len(),
+    };
+    raw * 6
 }
 
 fn pick<'a>(pool: &[&'a str], rng: &mut StdRng) -> &'a str {
@@ -458,6 +506,48 @@ mod tests {
             .collect();
         let set: FxHashSet<&String> = names.iter().collect();
         assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn ranked_draws_match_unranked_below_the_space() {
+        // Ranks under composed_space take the identical rejection loop,
+        // so a rank-aware caller reproduces the historical names.
+        let run = |ranked: bool| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut used = FxHashSet::default();
+            (0..300)
+                .map(|rank| {
+                    if ranked {
+                        fresh_name_ranked(EntityKind::Person, rank, &mut rng, &mut used)
+                    } else {
+                        fresh_name(EntityKind::Person, &mut rng, &mut used)
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn ranks_beyond_the_space_stay_unique_and_fast() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut used = FxHashSet::default();
+        let space = composed_space(EntityKind::River);
+        let names: Vec<String> = (0..space + 500)
+            .map(|rank| fresh_name_ranked(EntityKind::River, rank, &mut rng, &mut used))
+            .collect();
+        let set: FxHashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn composed_space_covers_default_counts() {
+        // Every kind's scale-1.0 entity count sits strictly inside the
+        // composed space — the fast path is untriggered, so the default
+        // world's names are unchanged by rank-aware drawing.
+        assert_eq!(composed_space(EntityKind::Person), 40 * 40 * 6);
+        assert_eq!(composed_space(EntityKind::River), 20 * 6);
+        assert_eq!(composed_space(EntityKind::Continent), 36);
     }
 
     #[test]
