@@ -72,6 +72,10 @@ grep -q "perf smoke scaling ok" /tmp/perf_smoke.out || {
     echo "ci.sh: perf smoke lost the on-disk scaling row (build → write → checksum-verified reopen → top-k identity)" >&2
     exit 1
 }
+grep -q "perf smoke entity index ok" /tmp/perf_smoke.out || {
+    echo "ci.sh: perf smoke lost the entity-index line (ceiling probe + fold stats + entity-routed identity)" >&2
+    exit 1
+}
 
 echo "==> soak smoke (concurrent serving: contract holds, 1-vs-8-worker identity)"
 cargo run -q --release -p bench --bin soak -- --smoke | tee /tmp/soak_smoke.out
@@ -90,7 +94,7 @@ grep -q '"worker_count_identity": true' BENCH_soak.json || {
     exit 1
 }
 
-echo "==> BENCH_perf.json carries scoring, batched, stages, threads_sweep, sharded, and scaling sections"
+echo "==> BENCH_perf.json carries scoring, batched, stages, threads_sweep, sharded, scaling, and entity sections"
 grep -q '"scoring"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json lacks the \"scoring\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
     exit 1
@@ -113,6 +117,14 @@ grep -q '"sharded"' BENCH_perf.json || {
 }
 grep -q '"scaling"' BENCH_perf.json || {
     echo "ci.sh: BENCH_perf.json lacks the \"scaling\" section — regenerate with: cargo run --release -p bench --bin perf" >&2
+    exit 1
+}
+grep -q '"entity"' BENCH_perf.json || {
+    echo "ci.sh: BENCH_perf.json lacks the \"entity\" section (fold stats, ceiling probe, route counters) — regenerate with: cargo run --release -p bench --bin perf" >&2
+    exit 1
+}
+grep -q '"sound": true' BENCH_perf.json || {
+    echo "ci.sh: BENCH_perf.json entity ceiling probe is not sound — the measured entity-disjoint maximum crossed ENTITY_DISJOINT_CEILING" >&2
     exit 1
 }
 grep -q '"docs": 1000000' BENCH_perf.json || {

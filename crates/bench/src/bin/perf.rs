@@ -29,11 +29,20 @@
 //!   reopened scans asserted bit-identical to a fresh unsharded
 //!   in-RAM reference at every point (≥2x virtual build speedup gated
 //!   at 100k and above);
+//! * **entity** — the alias-folding entity index probed over the live
+//!   base: fold statistics, tier-0 candidate sizes, and the
+//!   entity-disjoint ceiling re-calibrated empirically (the maximum
+//!   exact dot of any document sharing a token but no folded entity
+//!   with a query — the phase-B soundness bound, hard-gated under
+//!   [`semvec::ENTITY_DISJOINT_CEILING`] on every run);
 //! * **end-to-end** — the full pipeline in exact vs pruned mode (both
-//!   batched) plus a pruned per-query arm, each run cold (fresh
-//!   query-embedding cache) then warm (same base re-queried), reporting
-//!   questions/sec, postings-build time, and the candidate fraction
-//!   pruning achieved (identical answers asserted across all arms);
+//!   batched) plus a pruned per-query arm and a token-only arm
+//!   (`entity_gate = 0`, isolating what entity routing buys), each run
+//!   cold (fresh query-embedding cache) then warm (same base
+//!   re-queried), reporting questions/sec, postings-build time, and the
+//!   candidate fraction pruning achieved (identical answers asserted
+//!   across all arms, gate counters asserted equal between the batched
+//!   and per-query pruned arms);
 //! * **stages** — the per-stage profile of the exact cold run: virtual
 //!   and wall time per pipeline stage (pseudo / ground / verify /
 //!   answer / eval) with each stage's share of the virtual total;
@@ -584,6 +593,68 @@ fn bench_scaling(exp: &Experiment, sizes: &[usize], k: usize, sigma: f32) -> Vec
         .collect()
 }
 
+struct EntityProbe {
+    n_entities: usize,
+    n_surfaces: usize,
+    queries: usize,
+    folded_queries: usize,
+    tier1_docs_checked: usize,
+    max_disjoint_dot: f32,
+    ceiling: f32,
+    mean_tier0: f64,
+    sound: bool,
+}
+
+/// Re-calibrate the entity-disjoint ceiling on the live base: for a
+/// spread of self-queries, fold the query, take every document that
+/// shares a canonical token but mentions none of the folded entities
+/// (tier 1 of the entity kernel), and record the maximum exact dot.
+/// Phase-B soundness requires that maximum to stay under the compiled
+/// [`semvec::ENTITY_DISJOINT_CEILING`]; the bench hard-fails otherwise.
+fn probe_entity_ceiling(exp: &Experiment, base: &BaseIndex, sample_n: usize) -> EntityProbe {
+    let vecs = base.segmented();
+    let ent = vecs
+        .entity_index()
+        .expect("every pipeline base carries an entity index");
+    let texts: Vec<String> = base.verbalised.iter().map(|t| t.sentence()).collect();
+    let n = sample_n.min(texts.len()).max(1);
+    let step = (texts.len() / n).max(1);
+
+    let mut max_disjoint_dot = 0.0f32;
+    let mut folded_queries = 0usize;
+    let mut tier1_docs_checked = 0usize;
+    let mut tier0_total = 0usize;
+    let mut queries = 0usize;
+    for text in texts.iter().step_by(step).take(n) {
+        queries += 1;
+        let fold = ent.fold(&exp.embedder, text);
+        if fold.entities.is_empty() {
+            continue;
+        }
+        folded_queries += 1;
+        let ents = ent.doc_candidates(&fold.entities);
+        tier0_total += ents.len();
+        let toks = vecs.candidates(&exp.embedder, text, QueryStyle::Folded);
+        let tier1 = semvec::minus_sorted(&toks, &ents);
+        tier1_docs_checked += tier1.len();
+        let q = exp.embedder.encode(text);
+        for &id in &tier1 {
+            max_disjoint_dot = max_disjoint_dot.max(semvec::dot(&q, vecs.vector(id as usize)));
+        }
+    }
+    EntityProbe {
+        n_entities: ent.n_entities(),
+        n_surfaces: ent.n_surfaces(),
+        queries,
+        folded_queries,
+        tier1_docs_checked,
+        max_disjoint_dot,
+        ceiling: ent.ceiling(),
+        mean_tier0: tier0_total as f64 / folded_queries.max(1) as f64,
+        sound: max_disjoint_dot < ent.ceiling(),
+    }
+}
+
 struct E2eArm {
     mode: &'static str,
     batch: &'static str,
@@ -596,22 +667,36 @@ struct E2eArm {
     gate_fallbacks: u64,
     mean_batch_width: f64,
     dedup_rate: f64,
+    entity_queries: u64,
+    entity_route_rate: f64,
+    entity_cand_fraction: f64,
+    fold_hit_rate: f64,
+    entity_folded: u64,
+    entity_tier1: u64,
+    route_memo_hits: u64,
+    pruned_queries: u64,
+    pruned_candidates: u64,
     answers: Vec<String>,
     stage_totals: Vec<(String, StageAgg)>,
 }
 
-/// Full pipeline on QALD-10, one (retrieval mode, batch mode) pair:
-/// cold run on a fresh base (empty query-embedding cache), then a warm
-/// re-run on the same.
+/// Full pipeline on QALD-10, one (retrieval mode, batch mode, entity
+/// gate) arm: cold run on a fresh base (empty query-embedding cache),
+/// then a warm re-run on the same. `label` names the arm in the report
+/// (the token-only arm is still `RetrievalMode::Pruned`, with the
+/// entity route disabled by `entity_gate = 0`).
 fn e2e_arm(
     exp: &Experiment,
     dataset: &worldgen::Dataset,
     mode: RetrievalMode,
     batch: BatchMode,
+    entity_gate: f32,
+    label: &'static str,
 ) -> E2eArm {
     let cfg = PipelineConfig {
         retrieval_mode: mode,
         batch_mode: batch,
+        entity_gate,
         ..exp.cfg.clone()
     };
     let t = Instant::now();
@@ -660,10 +745,7 @@ fn e2e_arm(
     let stats = base.cache_stats();
     let scoring = base.scoring_stats();
     E2eArm {
-        mode: match mode {
-            RetrievalMode::Exact => "exact",
-            RetrievalMode::Pruned => "pruned",
-        },
+        mode: label,
         batch: match batch {
             BatchMode::Batched => "batched",
             BatchMode::PerQuery => "per-query",
@@ -677,6 +759,15 @@ fn e2e_arm(
         gate_fallbacks: scoring.gate_fallbacks,
         mean_batch_width: scoring.mean_batch_width(),
         dedup_rate: scoring.dedup_rate(),
+        entity_queries: scoring.entity_queries,
+        entity_route_rate: scoring.entity_route_rate(),
+        entity_cand_fraction: scoring.entity_candidate_fraction(base.len()),
+        fold_hit_rate: scoring.fold_hit_rate(),
+        entity_folded: scoring.entity_folded,
+        entity_tier1: scoring.entity_tier1,
+        route_memo_hits: scoring.route_memo_hits,
+        pruned_queries: scoring.pruned_queries,
+        pruned_candidates: scoring.pruned_candidates,
         answers,
         stage_totals: cold.stage_totals(),
     }
@@ -745,6 +836,7 @@ fn json_report(
     batched: &BatchedTiming,
     sharded: &ShardedIdentity,
     scaling: &[ScalingRow],
+    entity: &EntityProbe,
     arms: &[E2eArm],
     sweep: &[ThreadsArm],
     questions: usize,
@@ -803,7 +895,10 @@ fn json_report(
                     "\"cache_hits\": {}, \"cache_misses\": {}, ",
                     "\"cand_fraction\": {:.4}, \"gate_fallbacks\": {}, ",
                     "\"mean_batch_width\": {:.2}, ",
-                    "\"dedup_rate\": {:.4}}}"
+                    "\"dedup_rate\": {:.4}, ",
+                    "\"entity_queries\": {}, \"entity_route_rate\": {:.4}, ",
+                    "\"entity_cand_fraction\": {:.4}, \"fold_hit_rate\": {:.4}, ",
+                    "\"route_memo_hits\": {}}}"
                 ),
                 a.mode,
                 a.batch,
@@ -818,9 +913,22 @@ fn json_report(
                 a.gate_fallbacks,
                 a.mean_batch_width,
                 a.dedup_rate,
+                a.entity_queries,
+                a.entity_route_rate,
+                a.entity_cand_fraction,
+                a.fold_hit_rate,
+                a.route_memo_hits,
             )
         })
         .collect();
+    let entity_arm = arms
+        .iter()
+        .find(|a| a.mode == "pruned" && a.batch == "batched")
+        .expect("pruned batched arm present");
+    let token_arm = arms
+        .iter()
+        .find(|a| a.mode == "pruned-token")
+        .expect("token-only arm present");
     let stage_rows = &arms[0].stage_totals;
     let virtual_total: u64 = stage_rows.iter().map(|(_, agg)| agg.virtual_ms).sum();
     let stage_json: Vec<String> = stage_rows
@@ -883,6 +991,15 @@ fn json_report(
             "  \"scaling\": {{\"k\": {}, \"sigma\": {:.2}, \"rows\": [\n",
             "{}\n",
             "  ]}},\n",
+            "  \"entity\": {{\"n_entities\": {}, \"n_surfaces\": {}, ",
+            "\"probe_queries\": {}, \"folded_queries\": {}, ",
+            "\"tier1_docs_checked\": {}, \"max_disjoint_dot\": {:.3}, ",
+            "\"ceiling\": {:.2}, \"mean_tier0_candidates\": {:.1}, ",
+            "\"entity_queries\": {}, \"entity_route_rate\": {:.4}, ",
+            "\"entity_cand_fraction\": {:.4}, \"fold_hit_rate\": {:.4}, ",
+            "\"folded_entities\": {}, \"tier1_candidates\": {}, ",
+            "\"route_memo_hits\": {}, \"token_only_cand_fraction\": {:.4}, ",
+            "\"sound\": {}}},\n",
             "  \"e2e\": {{\"questions\": {}, \"answers_identical\": true, \"arms\": [\n",
             "{}\n",
             "  ]}},\n",
@@ -939,6 +1056,23 @@ fn json_report(
         k,
         sigma,
         scaling_json.join(",\n"),
+        entity.n_entities,
+        entity.n_surfaces,
+        entity.queries,
+        entity.folded_queries,
+        entity.tier1_docs_checked,
+        entity.max_disjoint_dot,
+        entity.ceiling,
+        entity.mean_tier0,
+        entity_arm.entity_queries,
+        entity_arm.entity_route_rate,
+        entity_arm.entity_cand_fraction,
+        entity_arm.fold_hit_rate,
+        entity_arm.entity_folded,
+        entity_arm.entity_tier1,
+        entity_arm.route_memo_hits,
+        token_arm.cand_fraction,
+        entity.sound,
         questions,
         arm_json.join(",\n"),
         questions,
@@ -1035,19 +1169,96 @@ fn main() {
         }
     }
 
+    let entity_probe = probe_entity_ceiling(&exp, &base, if smoke { 200 } else { 834 });
+    if !entity_probe.sound {
+        eprintln!(
+            "perf violation: entity-disjoint ceiling breached — max exact dot \
+             {:.3} over {} tier-1 documents ({} folded queries) reaches the \
+             compiled ceiling {:.2}; raise semvec::ENTITY_DISJOINT_CEILING",
+            entity_probe.max_disjoint_dot,
+            entity_probe.tier1_docs_checked,
+            entity_probe.folded_queries,
+            entity_probe.ceiling,
+        );
+        std::process::exit(1);
+    }
+
     let e2e_set = worldgen::Dataset {
         kind: dataset.kind,
         questions: dataset.questions[..e2e_questions.min(dataset.questions.len())].to_vec(),
     };
-    let exact_arm = e2e_arm(&exp, &e2e_set, RetrievalMode::Exact, BatchMode::Batched);
-    let pruned_arm = e2e_arm(&exp, &e2e_set, RetrievalMode::Pruned, BatchMode::Batched);
-    let perquery_arm = e2e_arm(&exp, &e2e_set, RetrievalMode::Pruned, BatchMode::PerQuery);
+    let default_gate = exp.cfg.entity_gate;
+    let exact_arm = e2e_arm(
+        &exp,
+        &e2e_set,
+        RetrievalMode::Exact,
+        BatchMode::Batched,
+        default_gate,
+        "exact",
+    );
+    let pruned_arm = e2e_arm(
+        &exp,
+        &e2e_set,
+        RetrievalMode::Pruned,
+        BatchMode::Batched,
+        default_gate,
+        "pruned",
+    );
+    let perquery_arm = e2e_arm(
+        &exp,
+        &e2e_set,
+        RetrievalMode::Pruned,
+        BatchMode::PerQuery,
+        default_gate,
+        "pruned",
+    );
+    let token_arm = e2e_arm(
+        &exp,
+        &e2e_set,
+        RetrievalMode::Pruned,
+        BatchMode::Batched,
+        0.0,
+        "pruned-token",
+    );
     if exact_arm.answers != pruned_arm.answers {
         eprintln!("perf violation: pruned mode changed end-to-end answers");
         std::process::exit(1);
     }
     if pruned_arm.answers != perquery_arm.answers {
         eprintln!("perf violation: batched mode changed end-to-end answers");
+        std::process::exit(1);
+    }
+    if token_arm.answers != pruned_arm.answers {
+        eprintln!("perf violation: the entity route changed end-to-end answers");
+        std::process::exit(1);
+    }
+    // The route memo decides each unique (style, relax, text) key once,
+    // so the batched and per-query arms must ledger identical gate
+    // counters over the same workload — fan-out duplicates included.
+    if (
+        pruned_arm.gate_fallbacks,
+        pruned_arm.pruned_queries,
+        pruned_arm.pruned_candidates,
+        pruned_arm.entity_queries,
+    ) != (
+        perquery_arm.gate_fallbacks,
+        perquery_arm.pruned_queries,
+        perquery_arm.pruned_candidates,
+        perquery_arm.entity_queries,
+    ) {
+        eprintln!(
+            "perf violation: batched vs per-query gate counters diverged \
+             (fallbacks {} vs {}, pruned {} vs {}, candidates {} vs {}, \
+             entity {} vs {})",
+            pruned_arm.gate_fallbacks,
+            perquery_arm.gate_fallbacks,
+            pruned_arm.pruned_queries,
+            perquery_arm.pruned_queries,
+            pruned_arm.pruned_candidates,
+            perquery_arm.pruned_candidates,
+            pruned_arm.entity_queries,
+            perquery_arm.entity_queries,
+        );
         std::process::exit(1);
     }
     let mut warn = WarnLog::new();
@@ -1153,6 +1364,25 @@ fn main() {
             );
         }
         println!(
+            "perf smoke entity index ok: {} entities / {} surfaces, {} of {} \
+             probe queries folded (mean tier-0 {:.1} docs), max entity-disjoint \
+             dot {:.3} under ceiling {:.2} over {} tier-1 docs; e2e entity arm \
+             routed {} queries (route rate {:.3}, cand fraction {:.4}, token-only \
+             {:.4}), gate counters batched == per-query",
+            entity_probe.n_entities,
+            entity_probe.n_surfaces,
+            entity_probe.folded_queries,
+            entity_probe.queries,
+            entity_probe.mean_tier0,
+            entity_probe.max_disjoint_dot,
+            entity_probe.ceiling,
+            entity_probe.tier1_docs_checked,
+            pruned_arm.entity_queries,
+            pruned_arm.entity_route_rate,
+            pruned_arm.entity_cand_fraction,
+            token_arm.cand_fraction,
+        );
+        println!(
             "perf smoke stage breakdown over {} questions (virtual ms): {}",
             e2e_set.questions.len(),
             stage_desc,
@@ -1167,7 +1397,7 @@ fn main() {
         return;
     }
 
-    let arms = [exact_arm, pruned_arm, perquery_arm];
+    let arms = [exact_arm, pruned_arm, perquery_arm, token_arm];
     let report = json_report(
         &build,
         &retr,
@@ -1175,6 +1405,7 @@ fn main() {
         &batched,
         &sharded,
         &scaling,
+        &entity_probe,
         &arms,
         &sweep,
         e2e_set.questions.len(),
@@ -1197,15 +1428,22 @@ fn main() {
     println!(
         "perf ok: docs={} retrieval_speedup={:.2} scoring_speedup={:.2} \
          build_speedup={:.2} batched_w8_speedup={:.2} warm_qps(pruned)={:.1} \
-         sharded identity ok at shard counts {:?} + on-disk reopen, scaling \
-         [{}] stage breakdown [{}] runner thread-identity ok at 1/2/4/8 \
-         (8-thread virtual speedup {:.2}x) — BENCH_perf.json written",
+         entity route rate {:.3} cand_fraction {:.4} (token-only {:.4}, \
+         ceiling probe max {:.3} < {:.2}), sharded identity ok at shard \
+         counts {:?} + on-disk reopen, scaling [{}] stage breakdown [{}] \
+         runner thread-identity ok at 1/2/4/8 (8-thread virtual speedup \
+         {:.2}x) — BENCH_perf.json written",
         build.docs,
         retrieval_speedup,
         scoring_speedup,
         build.serial_ms / build.parallel_ms,
         batched_w8,
         e2e_set.questions.len() as f64 / (arms[1].warm_ms / 1e3),
+        arms[1].entity_route_rate,
+        arms[1].entity_cand_fraction,
+        arms[3].cand_fraction,
+        entity_probe.max_disjoint_dot,
+        entity_probe.ceiling,
         sharded.shard_counts,
         scaling_desc,
         stage_desc,

@@ -30,6 +30,11 @@ pub struct EntityMeta {
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct MetaRegistry {
     meta: FxHashMap<Atom, EntityMeta>,
+    /// Redirect surfaces ("Shanghai Municipality" → Shanghai's atom).
+    /// Deliberately separate from `by_label`: a redirect is an exact
+    /// alternate name of one entity, not an ambiguous surface.
+    #[serde(default, rename = "redirects")]
+    redirect_map: FxHashMap<String, Atom>,
     #[serde(skip)]
     by_label: FxHashMap<String, Vec<Atom>>,
 }
@@ -74,6 +79,36 @@ impl MetaRegistry {
         self.by_label
             .get(&surface.to_lowercase())
             .map_or(&[], |v| v)
+    }
+
+    /// Register a redirect: an exact alternate surface (stored
+    /// lowercased) resolving to one entity. Redirects stay out of the
+    /// ambiguous label index — the last registration for a surface
+    /// wins.
+    pub fn add_redirect(&mut self, surface: &str, target: Atom) {
+        self.redirect_map.insert(surface.to_lowercase(), target);
+    }
+
+    /// Resolve a redirect surface (case-insensitive).
+    pub fn redirect(&self, surface: &str) -> Option<Atom> {
+        self.redirect_map.get(&surface.to_lowercase()).copied()
+    }
+
+    /// Number of registered redirects.
+    pub fn redirect_count(&self) -> usize {
+        self.redirect_map.len()
+    }
+
+    /// All redirects in ascending surface order — the deterministic
+    /// iteration order (the backing map is hash-ordered).
+    pub fn redirects_sorted(&self) -> Vec<(&str, Atom)> {
+        let mut v: Vec<(&str, Atom)> = self
+            .redirect_map
+            .iter()
+            .map(|(s, a)| (s.as_str(), *a))
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// Number of registered entities.
@@ -187,5 +222,38 @@ mod tests {
         r.insert(Atom(1), meta("Nile", 0.9));
         assert_eq!(r.entities_with_surface("nile"), &[Atom(1)]);
         assert_eq!(r.popularity(Atom(1)), 0.9);
+    }
+
+    #[test]
+    fn redirects_resolve_without_joining_the_label_index() {
+        let mut r = MetaRegistry::new();
+        r.insert(Atom(0), meta("Shanghai", 0.8));
+        r.add_redirect("Shanghai Municipality", Atom(0));
+        assert_eq!(r.redirect("shanghai municipality"), Some(Atom(0)));
+        assert_eq!(r.redirect("SHANGHAI MUNICIPALITY"), Some(Atom(0)));
+        assert!(r.redirect("shanghai").is_none());
+        assert!(r.entities_with_surface("Shanghai Municipality").is_empty());
+        assert_eq!(r.redirect_count(), 1);
+        assert_eq!(
+            r.redirects_sorted(),
+            vec![("shanghai municipality", Atom(0))]
+        );
+    }
+
+    #[test]
+    fn redirects_survive_serialization() {
+        let mut r = MetaRegistry::new();
+        r.insert(Atom(3), meta("Nile", 0.8));
+        r.add_redirect("River Nile", Atom(3));
+        // The offline sandbox stubs serde_json (always Err); the round
+        // trip runs for real in CI.
+        let Ok(json) = serde_json::to_string(&r) else {
+            return;
+        };
+        let back: MetaRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.redirect("river nile"), Some(Atom(3)));
+        // Pre-redirect payloads (no field) still deserialize.
+        let legacy: MetaRegistry = serde_json::from_str(r#"{"meta":{}}"#).unwrap();
+        assert_eq!(legacy.redirect_count(), 0);
     }
 }

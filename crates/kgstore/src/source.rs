@@ -71,6 +71,16 @@ impl KgSource {
         a
     }
 
+    /// Register a redirect surface ("Shanghai Municipality") for an
+    /// entity id string; the surface resolves through
+    /// [`MetaRegistry::redirect`] and never joins the ambiguous label
+    /// index.
+    pub fn add_redirect(&mut self, surface: &str, target_id: &str) -> Atom {
+        let a = self.store.intern(target_id);
+        self.meta.add_redirect(surface, a);
+        a
+    }
+
     /// Entities matching a surface form, most popular first.
     ///
     /// This is deliberately *not* entity linking — it is the raw surface

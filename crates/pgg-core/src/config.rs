@@ -83,6 +83,16 @@ pub struct PipelineConfig {
     /// Hits are bit-identical either way; the gate is pure routing.
     #[serde(default = "default_prune_gate")]
     pub prune_gate: f32,
+    /// Tier-0 candidate-fraction ceiling for the entity route (see
+    /// [`crate::retrieval::BaseIndex`]): a folded retrieval query
+    /// whose alias-folded entity mentions stay under this fraction of
+    /// the corpus scans only those mentions wholesale, walking the
+    /// residual token union under the entity-disjoint ceiling's
+    /// suspect floor. `0.0` disables the route (every query takes the
+    /// token gate's own decision). Hits are bit-identical at any
+    /// value; the knob is pure routing.
+    #[serde(default = "default_entity_gate")]
+    pub entity_gate: f32,
     /// Directory for the on-disk base-index cache. When set, dataset
     /// builds open-or-build: the encoded base is looked up by content
     /// hash, reopened zero-copy (checksum-verified) if present, and
@@ -103,6 +113,10 @@ fn default_prune_gate() -> f32 {
     crate::retrieval::PRUNE_GATE_DEFAULT
 }
 
+fn default_entity_gate() -> f32 {
+    crate::retrieval::ENTITY_GATE_DEFAULT
+}
+
 impl Default for PipelineConfig {
     fn default() -> Self {
         Self {
@@ -121,6 +135,7 @@ impl Default for PipelineConfig {
             batch_mode: BatchMode::default(),
             runner_threads: 0,
             prune_gate: default_prune_gate(),
+            entity_gate: default_entity_gate(),
             base_cache_dir: None,
         }
     }

@@ -49,7 +49,8 @@ pub use resilience::{
 };
 pub use retrieval::{
     ground_graph, ground_graph_with, BaseIndex, BatchMode, CacheStats, GroundBatchFn, QuerySlot,
-    RetrievalMode, RetrievalStats, ScoringMode, ScoringStats,
+    RetrievalMode, RetrievalStats, ScoringMode, ScoringStats, ENTITY_GATE_DEFAULT,
+    PRUNE_GATE_DEFAULT,
 };
 pub use runner::{run, score_answer, FaultSummary, Record, RunError, RunResult, StageAgg};
 pub use serve::{

@@ -26,6 +26,18 @@
 //! threads with deterministic output. [`RetrievalMode::Exact`] keeps
 //! the brute-force scan available for equivalence benches.
 //!
+//! Pruned queries are *routed* before they scan: an alias-folding
+//! entity index over the base (`semvec::entity`) folds the query's
+//! surface n-grams to entity ids and, when the mentioned entities'
+//! posting union is tight enough, runs the three-phase entity kernel —
+//! entity-mention docs scored as tier-0, the residual token union
+//! walked under the entity-disjoint ceiling's suspect floor, everything
+//! else audited — instead of materializing the (much larger) token
+//! union. Every routing decision is memoized per unique query, so
+//! fan-out duplicates within a batch and repeat queries across calls
+//! are decided once; the gate counters agree between the batched and
+//! per-query arms by construction. Routing never changes hits.
+//!
 //! With a configured cache directory ([`PipelineConfig::base_cache_dir`])
 //! the encoded base is built **once** into the versioned, checksummed
 //! on-disk format of `semvec::segfile` (keyed by a content hash of the
@@ -38,7 +50,10 @@ use crate::prune::Candidate;
 use kgstore::hash::{FxHashMap, FxHashSet};
 use kgstore::{extract, Atom, KgSource, StrTriple, Triple};
 use parking_lot::Mutex;
-use semvec::{verbalize_triple, Embedder, Hit, QueryStyle, ScreenStats, SegmentedIndex};
+use semvec::{
+    minus_sorted, verbalize_triple, Embedder, EntityIndex, Hit, QueryStyle, ScreenStats,
+    SegmentedIndex,
+};
 use serde::{Deserialize, Serialize};
 use simllm::{GroundEntity, GroundGraph};
 use std::collections::VecDeque;
@@ -358,8 +373,34 @@ pub struct ScoringStats {
     /// because the postings estimate said pruning could not pay for
     /// its candidate materialization. Not counted in `pruned_queries`,
     /// so [`Self::candidate_fraction`] keeps describing the scans that
-    /// actually pruned.
+    /// actually pruned. Like `pruned_queries`, counted once per
+    /// *unique* routing decision — duplicates are served by the route
+    /// memo.
     pub gate_fallbacks: u64,
+    /// Pruned-mode queries the router answered through the entity
+    /// route: alias-folded entity mentions as tier-0 candidates, the
+    /// residual token union as the suspect tier. A subset of
+    /// `pruned_queries`.
+    pub entity_queries: u64,
+    /// Tier-0 documents across entity-routed queries (also counted in
+    /// `pruned_candidates`, so [`Self::candidate_fraction`] describes
+    /// every scan that pruned, whichever route it took).
+    pub entity_candidates: u64,
+    /// Entities the surface fold matched, summed over every routed
+    /// query whose fold found at least one entity.
+    pub entity_folded: u64,
+    /// Query n-grams that hit a surface key during folding.
+    pub entity_surfaces: u64,
+    /// Query n-grams probed against the surface table during folding.
+    pub entity_ngrams: u64,
+    /// Residual tier-1 documents (token overlap, entity-disjoint) of
+    /// entity-routed queries — walked under the entity-disjoint
+    /// ceiling's suspect floor, never scored wholesale.
+    pub entity_tier1: u64,
+    /// Routing decisions served from the bounded route memo instead of
+    /// being recomputed (repeat queries; batch fan-out duplicates are
+    /// collapsed even earlier, by slot dedup).
+    pub route_memo_hits: u64,
 }
 
 impl ScoringStats {
@@ -392,13 +433,46 @@ impl ScoringStats {
     }
 
     /// Mean fraction of the base each pruned query actually scanned
-    /// (1.0 would mean pruning never dropped a document).
+    /// (1.0 would mean pruning never dropped a document). Per unique
+    /// routed query: the route memo decides — and counts — each
+    /// distinct (style, gate-relax, text) key once.
     pub fn candidate_fraction(&self, base_len: usize) -> f64 {
         let denom = self.pruned_queries as f64 * base_len as f64;
         if denom == 0.0 {
             0.0
         } else {
             self.pruned_candidates as f64 / denom
+        }
+    }
+
+    /// Mean tier-0 fraction of the base per entity-routed query.
+    pub fn entity_candidate_fraction(&self, base_len: usize) -> f64 {
+        let denom = self.entity_queries as f64 * base_len as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.entity_candidates as f64 / denom
+        }
+    }
+
+    /// Fraction of surface probes that matched an entity surface (the
+    /// fold hit rate).
+    pub fn fold_hit_rate(&self) -> f64 {
+        if self.entity_ngrams == 0 {
+            0.0
+        } else {
+            self.entity_surfaces as f64 / self.entity_ngrams as f64
+        }
+    }
+
+    /// Fraction of pruned-route decisions answered by the entity
+    /// route.
+    pub fn entity_route_rate(&self) -> f64 {
+        let decisions = self.pruned_queries + self.gate_fallbacks;
+        if decisions == 0 {
+            0.0
+        } else {
+            self.entity_queries as f64 / decisions as f64
         }
     }
 }
@@ -419,6 +493,62 @@ pub const PRUNE_GATE_DEFAULT: f32 = 0.05;
 /// (retrieval-kernel bench: pruned wins ~1.9× at fraction 0.08 in
 /// f32, while losing under quantized batched scoring).
 const GATE_F32_RELAX: f32 = 4.0;
+
+/// Default tier-0 candidate-fraction ceiling of the entity route (see
+/// [`PipelineConfig::entity_gate`]): a folded query whose
+/// alias-folded entity mentions stay under this fraction of the corpus
+/// runs the three-phase entity kernel, with only the mention union
+/// scored wholesale. Deliberately much tighter than
+/// [`PRUNE_GATE_DEFAULT`] — shrinking the wholesale-scored set is the
+/// entire point of the route, and the cap binds the materialized
+/// mention *union*, so every admitted query scores at most this
+/// fraction of the corpus wholesale. Foldable queries over the cap
+/// hard-fallback to the exact engine (see `entity_route`), which
+/// costs exactly the exact arm's price and keeps `cand_fraction`
+/// describing tight scans only.
+pub const ENTITY_GATE_DEFAULT: f32 = 0.005;
+
+/// Tier-1 slack of the entity route: the residual token union may be
+/// up to this multiple of the token gate's candidate budget, because
+/// tier-1 documents are only hash-floor-tested under the
+/// entity-disjoint ceiling, never scored wholesale. Beyond it even
+/// floor walks stop paying and the query defers to the token gate's
+/// own decision.
+const ENTITY_TOKEN_RELAX: f32 = 8.0;
+
+/// Smallest tier-0 set the entity route admits without also bounding
+/// the merged (tier-0 ∪ tier-1) set by the token budget: below the
+/// scan's k the entity kernel falls back to a pruned scan of the
+/// merged set, so a tiny tier-0 is only worth routing when that
+/// fallback would still fit the token gate's budget.
+const ENTITY_MIN_TIER0: usize = 16;
+
+/// Bounded capacity of the route memo (entries, FIFO eviction).
+const ROUTE_MEMO_CAP: usize = 4096;
+
+/// One memoized routing decision of the pruned path. Cheap to clone —
+/// candidate lists are shared, so batch fan-out never copies them.
+#[derive(Clone)]
+enum Route {
+    /// Entity route: tier-0 entity-mention docs plus the residual
+    /// token union for the suspect tier.
+    Entity {
+        ents: Arc<Vec<u32>>,
+        toks: Arc<Vec<u32>>,
+    },
+    /// Token route: the classic pruned candidate set.
+    Token(Arc<Vec<u32>>),
+    /// The gate refused; the query runs the exact scan.
+    Fallback,
+}
+
+/// Bounded FIFO memo of routing decisions, keyed by (folded style,
+/// f32-relaxed gate, query text) — the inputs the decision depends on.
+#[derive(Default)]
+struct RouteMemo {
+    map: FxHashMap<(bool, bool, String), Route>,
+    fifo: VecDeque<(bool, bool, String)>,
+}
 
 /// Content hash keying the on-disk base cache: the file-format
 /// version, embedder dimension, segment geometry, and every verbalised
@@ -441,27 +571,91 @@ fn base_content_hash(dim: usize, seg_rows: usize, sentences: &[&str]) -> u64 {
 fn open_or_build(
     embedder: &Embedder,
     sentences: &[&str],
+    entity: EntityIndex,
     threads: usize,
     cache_dir: Option<&std::path::Path>,
 ) -> SegmentedIndex {
     let seg_rows = semvec::SEG_ROWS_DEFAULT;
     let Some(dir) = cache_dir else {
-        return SegmentedIndex::build_parallel(embedder, sentences, seg_rows, threads);
+        return SegmentedIndex::build_parallel(embedder, sentences, seg_rows, threads)
+            .with_entity(entity);
     };
-    let hash = base_content_hash(embedder.dim(), seg_rows, sentences);
+    // The entity section is part of the cached artifact, so its
+    // logical content extends the key: changed surfaces or mentions (a
+    // new redirect table, say) invalidate the file even when the
+    // sentences are unchanged.
+    let hash = entity.content_hash(base_content_hash(embedder.dim(), seg_rows, sentences));
     let path = dir.join(format!("base-{hash:016x}.seg"));
     if let Ok(idx) = SegmentedIndex::open(&path) {
         // The checksum already vouches for integrity; shape checks
-        // guard against a (vanishingly unlikely) key collision.
-        if idx.dim() == embedder.dim() && idx.len() == sentences.len() {
+        // guard against a (vanishingly unlikely) key collision — and a
+        // reopened file must carry the entity section the build would
+        // attach.
+        if idx.dim() == embedder.dim()
+            && idx.len() == sentences.len()
+            && idx.entity_index().is_some_and(|e| {
+                e.n_entities() == entity.n_entities() && e.n_surfaces() == entity.n_surfaces()
+            })
+        {
             return idx;
         }
     }
-    let idx = SegmentedIndex::build_parallel(embedder, sentences, seg_rows, threads);
+    let idx =
+        SegmentedIndex::build_parallel(embedder, sentences, seg_rows, threads).with_entity(entity);
     // Cache write is best-effort: a read-only or full disk must not
     // fail the build.
     let _ = idx.write_to(&path);
     idx
+}
+
+/// Build the alias-folding entity index for a verbalised triple set:
+/// entities are the distinct subject/object atoms (ascending atom
+/// order → dense ids), each triple row mentions its two endpoints, and
+/// every entity's label, aliases, and redirect surfaces fold into the
+/// surface table. Pure bookkeeping — no embedding work — so it runs on
+/// every build, cached or not, and its content hash extends the
+/// on-disk cache key.
+fn build_entity_index(
+    source: &KgSource,
+    embedder: &Embedder,
+    endpoints: &[(Atom, Atom)],
+) -> EntityIndex {
+    let mut atoms: Vec<Atom> = endpoints.iter().flat_map(|&(s, o)| [s, o]).collect();
+    atoms.sort_unstable();
+    atoms.dedup();
+    let id_of: FxHashMap<Atom, u32> = atoms
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, i as u32))
+        .collect();
+    let mut mentions: Vec<(u32, u32)> = Vec::with_capacity(endpoints.len() * 2);
+    for (row, &(s, o)) in endpoints.iter().enumerate() {
+        mentions.push((row as u32, id_of[&s]));
+        mentions.push((row as u32, id_of[&o]));
+    }
+    let mut surfaces: Vec<(String, u32)> = Vec::new();
+    for (i, &a) in atoms.iter().enumerate() {
+        surfaces.push((source.label_of(a).to_string(), i as u32));
+        if let Some(m) = source.meta.get(a) {
+            for alias in &m.aliases {
+                surfaces.push((alias.clone(), i as u32));
+            }
+        }
+    }
+    // Redirect surfaces ("Shanghai Municipality" → Shanghai) fold to
+    // their target when the target is mentioned in the base.
+    for (surface, target) in source.meta.redirects_sorted() {
+        if let Some(&i) = id_of.get(&target) {
+            surfaces.push((surface.to_string(), i));
+        }
+    }
+    EntityIndex::build(
+        embedder,
+        endpoints.len(),
+        atoms.len(),
+        surfaces.iter().map(|(s, i)| (s.as_str(), *i)),
+        &mentions,
+    )
 }
 
 /// A pre-encoded semantic KG: verbalised triples, their subject atoms
@@ -474,7 +668,9 @@ pub struct BaseIndex {
     pub subjects: Vec<Atom>,
     index: SegmentedIndex,
     cache: QueryCache,
+    routes: Mutex<RouteMemo>,
     prune_gate: f32,
+    entity_gate: f32,
     screened: AtomicU64,
     reranked: AtomicU64,
     batches: AtomicU64,
@@ -483,6 +679,13 @@ pub struct BaseIndex {
     pruned_queries: AtomicU64,
     pruned_candidates: AtomicU64,
     gate_fallbacks: AtomicU64,
+    entity_queries: AtomicU64,
+    entity_candidates: AtomicU64,
+    entity_folded: AtomicU64,
+    entity_surfaces: AtomicU64,
+    entity_ngrams: AtomicU64,
+    entity_tier1: AtomicU64,
+    route_memo_hits: AtomicU64,
 }
 
 impl BaseIndex {
@@ -535,6 +738,13 @@ impl BaseIndex {
             pruned_queries: self.pruned_queries.load(Ordering::Relaxed),
             pruned_candidates: self.pruned_candidates.load(Ordering::Relaxed),
             gate_fallbacks: self.gate_fallbacks.load(Ordering::Relaxed),
+            entity_queries: self.entity_queries.load(Ordering::Relaxed),
+            entity_candidates: self.entity_candidates.load(Ordering::Relaxed),
+            entity_folded: self.entity_folded.load(Ordering::Relaxed),
+            entity_surfaces: self.entity_surfaces.load(Ordering::Relaxed),
+            entity_ngrams: self.entity_ngrams.load(Ordering::Relaxed),
+            entity_tier1: self.entity_tier1.load(Ordering::Relaxed),
+            route_memo_hits: self.route_memo_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -549,39 +759,154 @@ impl BaseIndex {
             .fetch_add(candidates as u64, Ordering::Relaxed);
     }
 
-    /// The adaptive pruning gate: candidate generation behind a
-    /// postings-sum admission estimate. `Some(cands)` means pruning is
-    /// predicted to pay (the set is recorded in the pruning counters);
-    /// `None` means the caller must take the exact-scan path for this
-    /// query — counted as a gate fallback, *not* a pruned query, so
-    /// `candidate_fraction` keeps describing actual pruned scans. The
-    /// routing never changes hits: the pruned and exact paths are
-    /// bit-identical by the hybrid index's ceiling contract.
-    fn gated_candidates(
+    /// Resolve (and memoize) the pruned path's routing decision for
+    /// one query. Each unique (folded, gate-relax, text) key is
+    /// computed — and counted — exactly once; repeat queries are
+    /// served from the bounded memo, and batch fan-out duplicates are
+    /// collapsed even earlier by slot dedup, so the gate counters
+    /// agree between the batched and per-query arms by construction.
+    /// Routing never changes hits: every route is bit-identical to the
+    /// exact scan by the hybrid index's ceiling contracts.
+    fn route_query(
         &self,
         embedder: &Embedder,
         text: &str,
         style: QueryStyle,
         scoring: ScoringMode,
-    ) -> Option<Vec<u32>> {
+    ) -> Route {
+        let key = (
+            style == QueryStyle::Folded,
+            scoring == ScoringMode::ExactF32,
+            text.to_string(),
+        );
+        // The lock is held across the computation on purpose: the
+        // counters must tick exactly once per unique key whatever the
+        // thread interleaving, or the batched/per-query parity the
+        // counters promise would flake under concurrency.
+        let mut memo = self.routes.lock();
+        if let Some(r) = memo.map.get(&key) {
+            self.route_memo_hits.fetch_add(1, Ordering::Relaxed);
+            return r.clone();
+        }
+        let route = self.compute_route(embedder, text, style, scoring);
+        memo.map.insert(key.clone(), route.clone());
+        memo.fifo.push_back(key);
+        if memo.fifo.len() > ROUTE_MEMO_CAP {
+            let old = memo.fifo.pop_front().expect("over-capacity memo");
+            memo.map.remove(&old);
+        }
+        route
+    }
+
+    /// The uncached routing decision: the entity route when the folded
+    /// mentions are tight enough, otherwise the adaptive token gate —
+    /// candidate generation behind a postings-sum admission estimate.
+    /// A refused gate is counted as a fallback, *not* a pruned query,
+    /// so `candidate_fraction` keeps describing actual pruned scans.
+    fn compute_route(
+        &self,
+        embedder: &Embedder,
+        text: &str,
+        style: QueryStyle,
+        scoring: ScoringMode,
+    ) -> Route {
         let relax = match scoring {
             ScoringMode::QuantizedScreen => 1.0,
             ScoringMode::ExactF32 => GATE_F32_RELAX,
         };
         let max_cands = (self.prune_gate * relax * self.len() as f32) as usize;
+        // Entity route: folded queries only — the surface table lives
+        // in folded token space.
+        if style == QueryStyle::Folded {
+            if let Some(ent) = self.index.entity_index() {
+                if let Some(route) = self.entity_route(embedder, ent, text, relax, max_cands) {
+                    return route;
+                }
+            }
+        }
         match self
             .index
             .candidates_if_under(embedder, text, style, max_cands)
         {
             Ok(cands) => {
                 self.record_pruned(cands.len());
-                Some(cands)
+                Route::Token(Arc::new(cands))
             }
             Err(_estimate) => {
                 self.gate_fallbacks.fetch_add(1, Ordering::Relaxed);
-                None
+                Route::Fallback
             }
         }
+    }
+
+    /// Try the entity route: fold the query against the surface table,
+    /// estimate then materialize the tier-0 mention union, and admit
+    /// when tier-0 is under the entity gate and the residual token
+    /// union materializes under the relaxed tier-1 budget. `None`
+    /// defers to the token gate (unfoldable queries, or a disabled
+    /// gate). A query that *folds* but whose mention union exceeds the
+    /// entity cap hard-falls-back instead: token postings subsume the
+    /// matched entity surfaces, so any token cover for that query is
+    /// at least as loose as the over-cap mention union — deferring
+    /// would re-admit exactly the loose scans this route exists to
+    /// retire.
+    fn entity_route(
+        &self,
+        embedder: &Embedder,
+        ent: &EntityIndex,
+        text: &str,
+        relax: f32,
+        max_cands: usize,
+    ) -> Option<Route> {
+        // A closed gate (0, the disable knob) admits nothing — skip
+        // even the fold, so the disabled route costs zero per query.
+        let tier0_cap = (self.entity_gate * relax * self.len() as f32) as usize;
+        if tier0_cap == 0 {
+            return None;
+        }
+        let fold = ent.fold(embedder, text);
+        self.entity_ngrams
+            .fetch_add(fold.ngrams_probed as u64, Ordering::Relaxed);
+        self.entity_surfaces
+            .fetch_add(fold.surfaces_matched as u64, Ordering::Relaxed);
+        if fold.entities.is_empty() {
+            return None;
+        }
+        self.entity_folded
+            .fetch_add(fold.entities.len() as u64, Ordering::Relaxed);
+        // Two-stage admission: a cheap postings-sum pre-filter (with
+        // 2× slack — duplicate mentions inflate the sum well past the
+        // union it estimates), then the materialized union's true size
+        // against the cap, so the gate bounds exactly what gets scored
+        // wholesale.
+        if ent.postings_estimate(&fold.entities) > tier0_cap.saturating_mul(2) {
+            self.gate_fallbacks.fetch_add(1, Ordering::Relaxed);
+            return Some(Route::Fallback);
+        }
+        let ents = ent.doc_candidates(&fold.entities);
+        if ents.len() > tier0_cap {
+            self.gate_fallbacks.fetch_add(1, Ordering::Relaxed);
+            return Some(Route::Fallback);
+        }
+        let tier1_cap = (ENTITY_TOKEN_RELAX * self.prune_gate * relax * self.len() as f32) as usize;
+        let toks_all = self
+            .index
+            .candidates_if_under(embedder, text, QueryStyle::Folded, tier1_cap)
+            .ok()?;
+        let toks = minus_sorted(&toks_all, &ents);
+        if ents.len() < ENTITY_MIN_TIER0 && ents.len() + toks.len() > max_cands {
+            return None;
+        }
+        self.entity_queries.fetch_add(1, Ordering::Relaxed);
+        self.entity_candidates
+            .fetch_add(ents.len() as u64, Ordering::Relaxed);
+        self.entity_tier1
+            .fetch_add(toks.len() as u64, Ordering::Relaxed);
+        self.record_pruned(ents.len());
+        Some(Route::Entity {
+            ents: Arc::new(ents),
+            toks: Arc::new(toks),
+        })
     }
 
     /// Build from an explicit set of triples of a source (serial).
@@ -629,21 +954,26 @@ impl BaseIndex {
         let mut verbalised = Vec::new();
         let mut subjects = Vec::new();
         let mut sentences: Vec<String> = Vec::new();
+        let mut endpoints: Vec<(Atom, Atom)> = Vec::new();
         for t in triples {
             let v = source.verbalize(t);
             let v = StrTriple::new(v.s, semvec::humanize_term(&v.p), v.o);
             sentences.push(v.sentence());
             verbalised.push(v);
             subjects.push(t.s);
+            endpoints.push((t.s, t.o));
         }
+        let entity = build_entity_index(source, embedder, &endpoints);
         let refs: Vec<&str> = sentences.iter().map(|s| s.as_str()).collect();
-        let index = open_or_build(embedder, &refs, threads, cache_dir);
+        let index = open_or_build(embedder, &refs, entity, threads, cache_dir);
         Self {
             verbalised,
             subjects,
             index,
             cache: QueryCache::new(),
+            routes: Mutex::new(RouteMemo::default()),
             prune_gate: PRUNE_GATE_DEFAULT,
+            entity_gate: ENTITY_GATE_DEFAULT,
             screened: AtomicU64::new(0),
             reranked: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -652,6 +982,13 @@ impl BaseIndex {
             pruned_queries: AtomicU64::new(0),
             pruned_candidates: AtomicU64::new(0),
             gate_fallbacks: AtomicU64::new(0),
+            entity_queries: AtomicU64::new(0),
+            entity_candidates: AtomicU64::new(0),
+            entity_folded: AtomicU64::new(0),
+            entity_surfaces: AtomicU64::new(0),
+            entity_ngrams: AtomicU64::new(0),
+            entity_tier1: AtomicU64::new(0),
+            route_memo_hits: AtomicU64::new(0),
         }
     }
 
@@ -662,6 +999,16 @@ impl BaseIndex {
     /// at any value.
     pub fn with_prune_gate(mut self, gate: f32) -> Self {
         self.prune_gate = gate;
+        self
+    }
+
+    /// Override the entity route's tier-0 candidate-fraction ceiling.
+    /// `0.0` disables the entity route (every folded query takes the
+    /// token gate's own decision); `f32::INFINITY` admits any folded
+    /// query whose surfaces match and whose residual token union
+    /// materializes. Routing only — hits are identical at any value.
+    pub fn with_entity_gate(mut self, gate: f32) -> Self {
+        self.entity_gate = gate;
         self
     }
 
@@ -700,6 +1047,7 @@ impl BaseIndex {
         let cache_dir = cfg.base_cache_dir.as_deref().map(std::path::Path::new);
         Self::from_triples_cached(source, embedder, union, threads, cache_dir)
             .with_prune_gate(cfg.prune_gate)
+            .with_entity_gate(cfg.entity_gate)
     }
 
     /// Question-scoped construction (used when no dataset-level index
@@ -716,6 +1064,7 @@ impl BaseIndex {
             extract(source, question, &cfg.extract).triples,
         )
         .with_prune_gate(cfg.prune_gate)
+        .with_entity_gate(cfg.entity_gate)
     }
 
     /// Encode a query through the embedding cache.
@@ -758,19 +1107,27 @@ impl BaseIndex {
                 hits
             }
             (RetrievalMode::Pruned, ScoringMode::ExactF32) => {
-                match self.gated_candidates(embedder, text, style, scoring) {
-                    Some(cands) => self.index.top_k_noisy_encoded(&q, &cands, k, sigma, salt),
+                match self.route_query(embedder, text, style, scoring) {
+                    Route::Entity { ents, toks } => self
+                        .index
+                        .top_k_noisy_entity(&q, &ents, &toks, k, sigma, salt),
+                    Route::Token(cands) => {
+                        self.index.top_k_noisy_encoded(&q, &cands, k, sigma, salt)
+                    }
                     // Gate fallback: the exact arm's own scan.
-                    None => self.index.top_k_noisy(&q, k, sigma, salt),
+                    Route::Fallback => self.index.top_k_noisy(&q, k, sigma, salt),
                 }
             }
             (RetrievalMode::Pruned, ScoringMode::QuantizedScreen) => {
-                let (hits, stats) = match self.gated_candidates(embedder, text, style, scoring) {
-                    Some(cands) => self
+                let (hits, stats) = match self.route_query(embedder, text, style, scoring) {
+                    Route::Entity { ents, toks } => self
+                        .index
+                        .top_k_noisy_entity_quant(&q, &ents, &toks, k, sigma, salt),
+                    Route::Token(cands) => self
                         .index
                         .top_k_noisy_encoded_quant(&q, &cands, k, sigma, salt),
                     // Gate fallback: the exact arm's own scan.
-                    None => self.index.top_k_noisy_quant(&q, k, sigma, salt),
+                    Route::Fallback => self.index.top_k_noisy_quant(&q, k, sigma, salt),
                 };
                 self.record_screen(stats);
                 hits
@@ -861,39 +1218,96 @@ impl BaseIndex {
                 }
             }
             RetrievalMode::Pruned => {
-                let cands: Vec<Vec<u32>> = unique
+                let routes: Vec<Route> = unique
                     .iter()
-                    .map(|&i| {
-                        // Gate fallback slots get an *empty* candidate
-                        // list: below-k candidate sets route through
-                        // the batch engine's documented full-scan
-                        // fallback, i.e. exactly the exact arm's scan,
-                        // so bit-identity is preserved per slot.
-                        self.gated_candidates(embedder, slots[i].text, slots[i].style, scoring)
-                            .unwrap_or_default()
-                    })
+                    .map(|&i| self.route_query(embedder, slots[i].text, slots[i].style, scoring))
                     .collect();
-                let batch: Vec<semvec::BatchSlot<'_>> = unique
-                    .iter()
-                    .zip(&vectors)
-                    .zip(&cands)
-                    .map(|((&i, v), c)| semvec::BatchSlot {
-                        query: v.as_slice(),
-                        cands: c,
-                        salt: slots[i].salt,
-                    })
-                    .collect();
-                match scoring {
-                    ScoringMode::ExactF32 => self.index.top_k_noisy_encoded_batch(&batch, k, sigma),
-                    ScoringMode::QuantizedScreen => {
-                        let (hits, stats) =
-                            self.index.top_k_noisy_encoded_quant_batch(&batch, k, sigma);
-                        for s in stats {
-                            self.record_screen(s);
+                // Partition by route: entity-routed slots run the
+                // three-phase entity batch kernel, token and fallback
+                // slots run the token-pruned batch engine — a gate
+                // fallback's *empty* candidate list routes through
+                // that engine's documented full-scan fallback, i.e.
+                // exactly the exact arm's scan. Each slot is computed
+                // by the same kernel the sequential path would pick,
+                // so per-slot bit-identity is preserved.
+                static NO_CANDS: &[u32] = &[];
+                let mut ent_pos: Vec<usize> = Vec::new();
+                let mut ent_slots: Vec<semvec::EntityBatchSlot<'_>> = Vec::new();
+                let mut tok_pos: Vec<usize> = Vec::new();
+                let mut tok_slots: Vec<semvec::BatchSlot<'_>> = Vec::new();
+                for (u, (&i, route)) in unique.iter().zip(&routes).enumerate() {
+                    let query = vectors[u].as_slice();
+                    let salt = slots[i].salt;
+                    match route {
+                        Route::Entity { ents, toks } => {
+                            ent_pos.push(u);
+                            ent_slots.push(semvec::EntityBatchSlot {
+                                query,
+                                ents: ents.as_slice(),
+                                toks: toks.as_slice(),
+                                salt,
+                            });
                         }
-                        hits
+                        Route::Token(cands) => {
+                            tok_pos.push(u);
+                            tok_slots.push(semvec::BatchSlot {
+                                query,
+                                cands: cands.as_slice(),
+                                salt,
+                            });
+                        }
+                        Route::Fallback => {
+                            tok_pos.push(u);
+                            tok_slots.push(semvec::BatchSlot {
+                                query,
+                                cands: NO_CANDS,
+                                salt,
+                            });
+                        }
                     }
                 }
+                let mut results: Vec<Vec<Hit>> = vec![Vec::new(); unique.len()];
+                match scoring {
+                    ScoringMode::ExactF32 => {
+                        if !ent_slots.is_empty() {
+                            let hits = self.index.top_k_noisy_entity_batch(&ent_slots, k, sigma);
+                            for (&p, h) in ent_pos.iter().zip(hits) {
+                                results[p] = h;
+                            }
+                        }
+                        if !tok_slots.is_empty() {
+                            let hits = self.index.top_k_noisy_encoded_batch(&tok_slots, k, sigma);
+                            for (&p, h) in tok_pos.iter().zip(hits) {
+                                results[p] = h;
+                            }
+                        }
+                    }
+                    ScoringMode::QuantizedScreen => {
+                        if !ent_slots.is_empty() {
+                            let (hits, stats) = self
+                                .index
+                                .top_k_noisy_entity_quant_batch(&ent_slots, k, sigma);
+                            for s in stats {
+                                self.record_screen(s);
+                            }
+                            for (&p, h) in ent_pos.iter().zip(hits) {
+                                results[p] = h;
+                            }
+                        }
+                        if !tok_slots.is_empty() {
+                            let (hits, stats) = self
+                                .index
+                                .top_k_noisy_encoded_quant_batch(&tok_slots, k, sigma);
+                            for s in stats {
+                                self.record_screen(s);
+                            }
+                            for (&p, h) in tok_pos.iter().zip(hits) {
+                                results[p] = h;
+                            }
+                        }
+                    }
+                }
+                results
             }
         };
 
@@ -1723,5 +2137,182 @@ mod tests {
             "in-batch dedup must be ledgered as hits: {batched:?} vs {per_query:?}"
         );
         assert_eq!(batched.misses, per_query.misses);
+    }
+
+    /// Seven namesakes ("7 Yao Mings"): one popular with rich facts,
+    /// six sparse, plus a redirect surface. The entity route must fold
+    /// the shared surface to all namesakes, rank tier-0 by the
+    /// popularity prior, and stay bit-identical to the exact scan.
+    fn seven_yao_source() -> KgSource {
+        let mut src = KgSource::new("t7", SchemaStyle::WikidataLike);
+        for i in 0..7 {
+            let pop = if i == 0 { 0.95 } else { 0.05 + i as f64 * 0.01 };
+            src.add_entity(
+                &format!("Q{}", i + 10),
+                EntityMeta {
+                    label: "Yao Ming".into(),
+                    aliases: vec![],
+                    description: format!("namesake {i}"),
+                    popularity: pop,
+                },
+            );
+        }
+        src.add_entity(
+            "Q3",
+            EntityMeta {
+                label: "Shanghai".into(),
+                aliases: vec![],
+                description: "city".into(),
+                popularity: 0.8,
+            },
+        );
+        src.add_redirect("Shanghai Municipality", "Q3");
+        // Popular namesake: rich facts; the rest sparse.
+        src.add_fact("Q10", "place of birth", "Q3");
+        src.add_fact("Q10", "occupation", "basketball player");
+        src.add_fact("Q10", "country of citizenship", "China");
+        for i in 1..7 {
+            src.add_fact(&format!("Q{}", i + 10), "era", &format!("dynasty {i}"));
+        }
+        src.add_fact("Q3", "country", "China");
+        src
+    }
+
+    #[test]
+    fn entity_route_disambiguates_namesakes_bit_identically() {
+        let src = seven_yao_source();
+        let emb = Embedder::default();
+        // Saturated gates force the entity route on this tiny base.
+        let base = BaseIndex::for_question(&src, &emb, &cfg(), "Where was Yao Ming born?")
+            .with_prune_gate(f32::INFINITY)
+            .with_entity_gate(f32::INFINITY);
+        let ent = base
+            .segmented()
+            .entity_index()
+            .expect("every base carries an entity index");
+        assert!(ent.n_entities() >= 8, "namesakes + endpoints indexed");
+        // The redirect surface folds to the same entity as the label.
+        let via_label = ent.fold(&emb, "Shanghai").entities;
+        let via_redirect = ent.fold(&emb, "Shanghai Municipality").entities;
+        assert!(!via_label.is_empty());
+        assert_eq!(via_label, via_redirect, "redirect folds to its target");
+        // The shared surface folds to every namesake, popular first.
+        let fold = ent.fold(&emb, "Yao Ming");
+        assert_eq!(fold.entities.len(), 7, "all namesakes fold");
+        let top_prior = ent.prior(fold.entities[0]);
+        assert!(
+            fold.entities.iter().all(|&e| ent.prior(e) <= top_prior),
+            "fold ranks by popularity prior"
+        );
+        // Entity-routed retrieval is bit-identical to the exact scan.
+        let query = "Yao Ming place of birth Shanghai Municipality";
+        for scoring in [ScoringMode::QuantizedScreen, ScoringMode::ExactF32] {
+            let pruned = base.search(
+                &emb,
+                query,
+                QueryStyle::Folded,
+                5,
+                0.3,
+                7,
+                RetrievalMode::Pruned,
+                scoring,
+            );
+            let exact = base.search(
+                &emb,
+                query,
+                QueryStyle::Folded,
+                5,
+                0.3,
+                7,
+                RetrievalMode::Exact,
+                scoring,
+            );
+            assert_eq!(pruned, exact, "{scoring:?}");
+        }
+        let s = base.scoring_stats();
+        assert!(s.entity_queries >= 1, "entity route engaged: {s:?}");
+        assert_eq!(s.gate_fallbacks, 0, "{s:?}");
+        assert_eq!(
+            s.pruned_candidates, s.entity_candidates,
+            "tier-0 is the pruned candidate set: {s:?}"
+        );
+        assert!(s.entity_surfaces >= 1, "{s:?}");
+        assert!(s.fold_hit_rate() > 0.0, "{s:?}");
+    }
+
+    #[test]
+    fn route_memo_decides_each_unique_query_once() {
+        let src = source();
+        let emb = Embedder::default();
+        let query = "Yao Ming born Shanghai";
+        let base = base_for(&src, &emb, "Where was Yao Ming born?").with_prune_gate(0.0);
+        for _ in 0..3 {
+            base.search(
+                &emb,
+                query,
+                QueryStyle::Folded,
+                4,
+                0.3,
+                7,
+                RetrievalMode::Pruned,
+                ScoringMode::QuantizedScreen,
+            );
+        }
+        let s = base.scoring_stats();
+        assert_eq!(s.gate_fallbacks, 1, "decision computed once: {s:?}");
+        assert_eq!(s.route_memo_hits, 2, "repeats served from the memo: {s:?}");
+        // The f32-relaxed gate is a distinct memo key: same text, new
+        // decision.
+        base.search(
+            &emb,
+            query,
+            QueryStyle::Folded,
+            4,
+            0.3,
+            7,
+            RetrievalMode::Pruned,
+            ScoringMode::ExactF32,
+        );
+        let s = base.scoring_stats();
+        assert_eq!(
+            s.gate_fallbacks + s.pruned_queries,
+            2,
+            "distinct relax keys decide separately: {s:?}"
+        );
+    }
+
+    /// The memoized-routing satellite contract: the batched and
+    /// per-query arms report identical gate counters for the same
+    /// workload, duplicates and repeats included.
+    #[test]
+    fn batched_and_per_query_gate_counters_agree() {
+        let src = source();
+        let emb = Embedder::default();
+        let pseudo = vec![
+            StrTriple::new("Yao Ming", "BORN_IN", "Shanghai"),
+            StrTriple::new("Yao Ming", "BORN_IN", "Shanghai"),
+            StrTriple::new("Shanghai", "LOCATED_IN", "China"),
+            StrTriple::new("Yao Ming", "BORN_IN", "Shanghai"),
+        ];
+        let run = |batch: BatchMode| {
+            let base = base_for(&src, &emb, "Where was Yao Ming born in Shanghai?");
+            let mut c = cfg();
+            c.batch_mode = batch;
+            // Run the workload twice: in-batch duplicates exercise slot
+            // dedup, the repeat exercises the cross-call memo.
+            ground_graph(&src, &base, &emb, &c, &pseudo);
+            ground_graph(&src, &base, &emb, &c, &pseudo);
+            base.scoring_stats()
+        };
+        let b = run(BatchMode::Batched);
+        let p = run(BatchMode::PerQuery);
+        assert_eq!(b.gate_fallbacks, p.gate_fallbacks, "{b:?} vs {p:?}");
+        assert_eq!(b.pruned_queries, p.pruned_queries, "{b:?} vs {p:?}");
+        assert_eq!(b.pruned_candidates, p.pruned_candidates, "{b:?} vs {p:?}");
+        assert_eq!(b.entity_queries, p.entity_queries, "{b:?} vs {p:?}");
+        assert_eq!(b.entity_candidates, p.entity_candidates, "{b:?} vs {p:?}");
+        // Slot dedup collapses duplicates before they reach the memo,
+        // so the batched arm sees no more memo traffic than per-query.
+        assert!(b.route_memo_hits <= p.route_memo_hits, "{b:?} vs {p:?}");
     }
 }

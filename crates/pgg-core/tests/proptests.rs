@@ -526,7 +526,10 @@ fn runner_thread_identity_on_seeded_fault_sweep() {
 /// Deterministic counterpart of the adaptive-gate proptest: a sweep of
 /// gate settings from always-fallback (0.0) to always-admit (∞),
 /// asserting bit-identical hits against the exact scan in both scoring
-/// modes and the decide-exactly-once counter invariant.
+/// modes and the decide-exactly-once counter invariant. Both gates
+/// (token and entity) sweep together: a foldable query whose mention
+/// union overflows the entity cap hard-falls-back by design, so only
+/// the joint always-admit point can promise zero fallbacks.
 #[test]
 fn adaptive_gate_identity_on_seeded_gate_sweep() {
     let fix = fixture();
@@ -539,7 +542,8 @@ fn adaptive_gate_identity_on_seeded_gate_sweep() {
             &cfg,
             fix.questions.iter().take(6).map(|s| s.as_str()),
         )
-        .with_prune_gate(gate);
+        .with_prune_gate(gate)
+        .with_entity_gate(gate);
         let mut pruned_searches = 0u64;
         for (qi, k, salt) in [(0usize, 5usize, 7u64), (9, 10, 42), (23, 1, u64::MAX)] {
             let text = fix.questions[qi].as_str();

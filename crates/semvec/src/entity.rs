@@ -1,0 +1,591 @@
+//! Entity-centric candidate index: alias folding + popularity priors.
+//!
+//! The paper's two-step pruning resolves entity ambiguity ("the 7 Yao
+//! Mings") *before* grounding: surface forms in the query fold to
+//! candidate entities, entities rank by a popularity prior, and only
+//! the facts of surviving entities are scored. [`EntityIndex`] is that
+//! pre-retrieval stage for the segmented base: a normalized-surface →
+//! entity map (labels, aliases, redirects all fold to the same id), a
+//! per-entity mention-count prior, and entity → document posting
+//! lists over the *global* id space of a [`crate::SegmentedIndex`].
+//! Global ids are compatible with the per-segment layout by
+//! construction: segment `s` owns the contiguous id range
+//! `[s·seg_rows, s·seg_rows + rows)`, so any ascending global list
+//! splits into per-segment slices with two binary searches — the
+//! entity kernels exploit exactly that (their candidate phase is the
+//! segment-aware token-pruned phase, fed tighter lists).
+//!
+//! **Identity argument.** The entity kernels on
+//! [`crate::SegmentedIndex`] split the corpus into three tiers per
+//! query and still return bit-identical top-k:
+//!
+//! * **tier 0** — documents mentioning any entity folded from the
+//!   query's surface forms. Scored exactly like the token-pruned
+//!   candidate phase (quant screen + single global margin, or plain
+//!   exact scoring).
+//! * **tier 1** — documents sharing a canonical token with the query
+//!   but mentioning none of its folded entities. Their dot products
+//!   are bounded by the *entity-disjoint ceiling*
+//!   ([`ENTITY_DISJOINT_CEILING`]): overlap is confined to predicate
+//!   and stray tokens, never a full entity surface (a full surface
+//!   match would have folded, putting the document in tier 0). The
+//!   same suspect-floor mechanism as the zero-overlap phase runs under
+//!   this higher ceiling: every tier-1 document whose
+//!   `ceiling + jitter` could reach the current k-th score is scored
+//!   exactly, so nothing that could enter the top-k is skipped.
+//! * **tier 2** — documents sharing no token at all, handled by the
+//!   verbatim zero-overlap suspect phase under the base ceiling.
+//!
+//! Both ceilings are empirical corpus properties with margin, enforced
+//! the same way [`crate::DEFAULT_CEILING`] always has been: the perf
+//! bench asserts pruned-vs-exact identity over every self-query on
+//! every run and exits non-zero on the first divergence.
+
+use crate::embed::Embedder;
+use crate::segfile::Col;
+use crate::token::normalize;
+use kgstore::hash::stable_str_hash;
+
+/// Ceiling on `dot(query, doc)` for a document that shares a canonical
+/// token with the query but mentions *none* of the entities folded
+/// from it (tier 1 above). Calibrated on the worldgen corpora: the
+/// maximum observed entity-disjoint overlap dot is 0.677 (predicate
+/// plus stray-token overlap at the shortest verbalisations; 770k
+/// (query, tier-1 doc) pairs swept on the QALD base). 0.76 carries the
+/// same ~13% margin [`crate::DEFAULT_CEILING`] holds over its own
+/// observed maximum, and the perf bench's ceiling probe re-measures
+/// the corpus maximum and exits non-zero the moment it crosses this
+/// constant, on every run.
+pub const ENTITY_DISJOINT_CEILING: f32 = 0.76;
+
+/// One per-query batch slot for the entity-routed kernels: tier-0
+/// candidates (`ents`, ascending global ids of documents mentioning a
+/// folded entity) and tier-1 candidates (`toks`, ascending global ids
+/// of token-overlap documents *outside* `ents`).
+pub struct EntityBatchSlot<'a> {
+    /// Encoded query vector.
+    pub query: &'a [f32],
+    /// Tier-0: ascending global doc ids mentioning a folded entity.
+    pub ents: &'a [u32],
+    /// Tier-1: ascending token-overlap doc ids, disjoint from `ents`.
+    pub toks: &'a [u32],
+    /// Per-query jitter salt.
+    pub salt: u64,
+}
+
+/// `a \ b` over ascending, deduplicated id lists.
+pub fn minus_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut bi = b.iter().copied().peekable();
+    for &x in a {
+        while bi.peek().is_some_and(|&y| y < x) {
+            bi.next();
+        }
+        if bi.peek() == Some(&x) {
+            continue;
+        }
+        out.push(x);
+    }
+    out
+}
+
+/// Merge two ascending, disjoint id lists into one ascending list.
+pub(crate) fn merge_disjoint_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// The canonical key of one surface form: tokens normalized and
+/// synonym-folded exactly as the document index folds them, joined by
+/// a single space, hashed. Returns the hash and the token count, or
+/// `None` when normalization leaves nothing (pure stopwords).
+fn surface_key(embedder: &Embedder, surface: &str) -> Option<(u64, usize)> {
+    let toks = normalize(surface);
+    if toks.is_empty() {
+        return None;
+    }
+    let mut key = String::with_capacity(surface.len());
+    for (i, t) in toks.iter().enumerate() {
+        if i > 0 {
+            key.push(' ');
+        }
+        key.push_str(embedder.fold_token(t));
+    }
+    Some((stable_str_hash(&key), toks.len()))
+}
+
+/// What folding one query against the surface table found.
+#[derive(Debug, Default, Clone)]
+pub struct FoldOutcome {
+    /// Folded entity ids, ranked by (popularity prior desc, id asc).
+    pub entities: Vec<u32>,
+    /// Surface n-grams that matched an entry in the table.
+    pub surfaces_matched: u32,
+    /// Surface n-grams probed against the table.
+    pub ngrams_probed: u32,
+}
+
+/// The alias-folding entity index over a document base (see module
+/// docs for the role it plays and the identity argument).
+///
+/// All columns are [`Col`]s: owned when built in RAM, zero-copy views
+/// when reopened from the segment file's entity section.
+#[derive(Debug)]
+pub struct EntityIndex {
+    pub(crate) n_docs: usize,
+    pub(crate) n_entities: usize,
+    pub(crate) max_surface_tokens: usize,
+    pub(crate) ceiling: f32,
+    /// Sorted unique canonical surface-key hashes.
+    pub(crate) surf_keys: Col<u64>,
+    /// Prefix offsets into `surf_ents`, one run per surface key.
+    pub(crate) surf_offs: Col<u32>,
+    /// Entity ids per surface key (ascending within a run).
+    pub(crate) surf_ents: Col<u32>,
+    /// Per-entity popularity prior: documents mentioning the entity.
+    pub(crate) prior: Col<u32>,
+    /// Prefix offsets into `ent_docs`, one run per entity.
+    pub(crate) ent_offs: Col<u32>,
+    /// Global doc ids per entity (ascending within a run).
+    pub(crate) ent_docs: Col<u32>,
+}
+
+impl EntityIndex {
+    /// Build the index: `surfaces` maps every surface form (label,
+    /// alias, or redirect) to its entity id; `mentions` lists
+    /// `(doc, entity)` pairs — which documents mention which entity.
+    /// Surfaces normalize and fold through `embedder` exactly as
+    /// document tokens do, so a query n-gram and a surface meet in the
+    /// same canonical space; surfaces that normalize to nothing are
+    /// dropped. The popularity prior of an entity is its mention
+    /// count. Duplicate surfaces and mentions collapse; two surfaces
+    /// that normalize identically fold to the union of their entities.
+    pub fn build<'a, S>(
+        embedder: &Embedder,
+        n_docs: usize,
+        n_entities: usize,
+        surfaces: S,
+        mentions: &[(u32, u32)],
+    ) -> Self
+    where
+        S: IntoIterator<Item = (&'a str, u32)>,
+    {
+        assert!(n_docs < u32::MAX as usize, "doc ids are u32");
+        assert!(n_entities < u32::MAX as usize, "entity ids are u32");
+        let mut max_surface_tokens = 0usize;
+        let mut pairs: Vec<(u64, u32)> = Vec::new();
+        for (surface, ent) in surfaces {
+            assert!((ent as usize) < n_entities, "surface entity id in range");
+            if let Some((key, ntok)) = surface_key(embedder, surface) {
+                max_surface_tokens = max_surface_tokens.max(ntok);
+                pairs.push((key, ent));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut surf_keys: Vec<u64> = Vec::new();
+        let mut surf_offs: Vec<u32> = Vec::new();
+        let mut surf_ents: Vec<u32> = Vec::with_capacity(pairs.len());
+        for (key, ent) in pairs {
+            if surf_keys.last() != Some(&key) {
+                surf_keys.push(key);
+                surf_offs.push(surf_ents.len() as u32);
+            }
+            surf_ents.push(ent);
+        }
+        surf_offs.push(surf_ents.len() as u32);
+
+        let mut pairs: Vec<(u32, u32)> = mentions.iter().map(|&(doc, ent)| (ent, doc)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut ent_offs = vec![0u32; n_entities + 1];
+        for &(ent, doc) in &pairs {
+            assert!((ent as usize) < n_entities, "mention entity id in range");
+            assert!((doc as usize) < n_docs, "mention doc id in range");
+            ent_offs[ent as usize + 1] += 1;
+        }
+        for e in 1..=n_entities {
+            ent_offs[e] += ent_offs[e - 1];
+        }
+        let ent_docs: Vec<u32> = pairs.iter().map(|&(_, doc)| doc).collect();
+        let prior: Vec<u32> = (0..n_entities)
+            .map(|e| ent_offs[e + 1] - ent_offs[e])
+            .collect();
+
+        Self {
+            n_docs,
+            n_entities,
+            max_surface_tokens,
+            ceiling: ENTITY_DISJOINT_CEILING,
+            surf_keys: Col::Owned(surf_keys),
+            surf_offs: Col::Owned(surf_offs),
+            surf_ents: Col::Owned(surf_ents),
+            prior: Col::Owned(prior),
+            ent_offs: Col::Owned(ent_offs),
+            ent_docs: Col::Owned(ent_docs),
+        }
+    }
+
+    /// Assemble from columns validated against the structural
+    /// invariants — the open path of the segment file's entity
+    /// section. Errors name the violated invariant.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_open_parts(
+        n_docs: usize,
+        n_entities: usize,
+        max_surface_tokens: usize,
+        ceiling: f32,
+        surf_keys: Col<u64>,
+        surf_offs: Col<u32>,
+        surf_ents: Col<u32>,
+        prior: Col<u32>,
+        ent_offs: Col<u32>,
+        ent_docs: Col<u32>,
+    ) -> Result<Self, &'static str> {
+        let idx = Self {
+            n_docs,
+            n_entities,
+            max_surface_tokens,
+            ceiling,
+            surf_keys,
+            surf_offs,
+            surf_ents,
+            prior,
+            ent_offs,
+            ent_docs,
+        };
+        if idx.surf_keys.as_slice().windows(2).any(|w| w[0] >= w[1]) {
+            return Err("entity surface keys not strictly sorted");
+        }
+        let surf_offs = idx.surf_offs.as_slice();
+        if surf_offs.len() != idx.surf_keys.as_slice().len() + 1
+            || surf_offs.first() != Some(&0)
+            || surf_offs.windows(2).any(|w| w[0] > w[1])
+            || surf_offs.last().copied().unwrap_or(0) as usize != idx.surf_ents.as_slice().len()
+        {
+            return Err("entity surface offsets not monotone");
+        }
+        if idx
+            .surf_ents
+            .as_slice()
+            .iter()
+            .any(|&e| e as usize >= n_entities)
+        {
+            return Err("entity surface id out of range");
+        }
+        if idx.prior.as_slice().len() != n_entities {
+            return Err("entity prior column length mismatch");
+        }
+        let ent_offs = idx.ent_offs.as_slice();
+        if ent_offs.len() != n_entities + 1
+            || ent_offs.first() != Some(&0)
+            || ent_offs.windows(2).any(|w| w[0] > w[1])
+            || ent_offs.last().copied().unwrap_or(0) as usize != idx.ent_docs.as_slice().len()
+        {
+            return Err("entity posting offsets not monotone");
+        }
+        let ent_docs = idx.ent_docs.as_slice();
+        if ent_docs.iter().any(|&d| d as usize >= n_docs) {
+            return Err("entity posting doc id out of range");
+        }
+        for e in 0..n_entities {
+            let run = &ent_docs[ent_offs[e] as usize..ent_offs[e + 1] as usize];
+            if run.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("entity posting run not strictly ascending");
+            }
+        }
+        Ok(idx)
+    }
+
+    /// Documents the index was built over.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Entities in the index.
+    pub fn n_entities(&self) -> usize {
+        self.n_entities
+    }
+
+    /// Distinct canonical surface keys in the table.
+    pub fn n_surfaces(&self) -> usize {
+        self.surf_keys.as_slice().len()
+    }
+
+    /// Longest surface in canonical tokens — the n-gram probe bound.
+    pub fn max_surface_tokens(&self) -> usize {
+        self.max_surface_tokens
+    }
+
+    /// The entity-disjoint ceiling in force (tier-1 suspect floor).
+    pub fn ceiling(&self) -> f32 {
+        self.ceiling
+    }
+
+    /// Override the entity-disjoint ceiling (tests use a saturated
+    /// ceiling for unconditional identity on adversarial corpora).
+    pub fn with_ceiling(mut self, ceiling: f32) -> Self {
+        self.ceiling = ceiling;
+        self
+    }
+
+    /// Popularity prior of an entity: its mention count.
+    pub fn prior(&self, ent: u32) -> u32 {
+        self.prior.as_slice()[ent as usize]
+    }
+
+    /// Fold a query against the surface table: every contiguous
+    /// canonical-token n-gram up to [`Self::max_surface_tokens`] long
+    /// is probed, matched entities union, and the result ranks by
+    /// (popularity prior desc, id asc) — the paper's two-step pruning
+    /// order. Folding is idempotent: re-folding the concatenated
+    /// surfaces of the outcome's entities can only re-find them.
+    pub fn fold(&self, embedder: &Embedder, text: &str) -> FoldOutcome {
+        let mut out = FoldOutcome::default();
+        if self.n_entities == 0 || self.max_surface_tokens == 0 {
+            return out;
+        }
+        let toks = normalize(text);
+        let folded: Vec<&str> = toks.iter().map(|t| embedder.fold_token(t)).collect();
+        let keys = self.surf_keys.as_slice();
+        let offs = self.surf_offs.as_slice();
+        let ents = self.surf_ents.as_slice();
+        let mut gram = String::new();
+        for i in 0..folded.len() {
+            gram.clear();
+            for n in 0..self.max_surface_tokens.min(folded.len() - i) {
+                if n > 0 {
+                    gram.push(' ');
+                }
+                gram.push_str(folded[i + n]);
+                out.ngrams_probed += 1;
+                if let Ok(s) = keys.binary_search(&stable_str_hash(&gram)) {
+                    out.surfaces_matched += 1;
+                    out.entities
+                        .extend_from_slice(&ents[offs[s] as usize..offs[s + 1] as usize]);
+                }
+            }
+        }
+        out.entities.sort_unstable();
+        out.entities.dedup();
+        self.rank_by_prior(&mut out.entities);
+        out
+    }
+
+    /// Rank entity ids by (popularity prior desc, id asc) in place.
+    pub fn rank_by_prior(&self, entities: &mut [u32]) {
+        let prior = self.prior.as_slice();
+        entities
+            .sort_unstable_by(|&a, &b| prior[b as usize].cmp(&prior[a as usize]).then(a.cmp(&b)));
+    }
+
+    /// Posting-length sum over `entities` — the admission estimate
+    /// (an overcount when postings share documents), mirroring the
+    /// token gate's estimate-before-materialize contract.
+    pub fn postings_estimate(&self, entities: &[u32]) -> usize {
+        let offs = self.ent_offs.as_slice();
+        entities
+            .iter()
+            .map(|&e| (offs[e as usize + 1] - offs[e as usize]) as usize)
+            .sum()
+    }
+
+    /// Ascending, deduplicated union of the entities' doc postings —
+    /// the tier-0 candidate set. Invariant under the order of
+    /// `entities`, so prior-ranked and id-ranked folds retrieve
+    /// identical candidates.
+    pub fn doc_candidates(&self, entities: &[u32]) -> Vec<u32> {
+        let offs = self.ent_offs.as_slice();
+        let docs = self.ent_docs.as_slice();
+        let mut out = Vec::with_capacity(self.postings_estimate(entities));
+        for &e in entities {
+            let e = e as usize;
+            out.extend_from_slice(&docs[offs[e] as usize..offs[e + 1] as usize]);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The doc postings of one entity (ascending global ids).
+    pub fn postings_of(&self, ent: u32) -> &[u32] {
+        let offs = self.ent_offs.as_slice();
+        &self.ent_docs.as_slice()[offs[ent as usize] as usize..offs[ent as usize + 1] as usize]
+    }
+
+    /// Heap bytes owned by the columns (0 when file-backed views).
+    pub(crate) fn owned_bytes(&self) -> usize {
+        self.surf_keys.owned_bytes()
+            + self.surf_offs.owned_bytes()
+            + self.surf_ents.owned_bytes()
+            + self.prior.owned_bytes()
+            + self.ent_offs.owned_bytes()
+            + self.ent_docs.owned_bytes()
+    }
+
+    /// Mix the index's logical content into a running hash chain with
+    /// `mix2` — the segment-file cache key contribution, so a base
+    /// cache entry invalidates when surfaces, mentions, or the ceiling
+    /// change.
+    pub fn content_hash(&self, seed: u64) -> u64 {
+        use kgstore::hash::mix2;
+        let mut h = mix2(seed, self.n_entities as u64);
+        h = mix2(h, self.max_surface_tokens as u64);
+        h = mix2(h, self.ceiling.to_bits() as u64);
+        for &k in self.surf_keys.as_slice() {
+            h = mix2(h, k);
+        }
+        for &e in self.surf_ents.as_slice() {
+            h = mix2(h, e as u64);
+        }
+        for &d in self.ent_docs.as_slice() {
+            h = mix2(h, d as u64);
+        }
+        for &o in self.ent_offs.as_slice() {
+            h = mix2(h, o as u64);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedder() -> Embedder {
+        Embedder::paper()
+    }
+
+    /// Seven same-label entities plus two distinct ones, with synthetic
+    /// mention lists of very different sizes.
+    fn yao_index(emb: &Embedder) -> EntityIndex {
+        let surfaces: Vec<(&str, u32)> = vec![
+            ("Yao Ming", 0),
+            ("Yao Ming", 1),
+            ("Yao Ming", 2),
+            ("Yao Ming", 3),
+            ("Yao Ming", 4),
+            ("Yao Ming", 5),
+            ("Yao Ming", 6),
+            ("Shanghai", 7),
+            ("Shanghai Municipality", 7), // redirect folds to the same id
+            ("China", 8),
+            ("PRC", 8), // alias
+        ];
+        // Entity e mentions docs [10*e, 10*e + count(e)): entity 0 is
+        // by far the most popular Yao Ming.
+        let counts = [9u32, 1, 2, 1, 3, 1, 1, 5, 7];
+        let mut mentions = Vec::new();
+        for (e, &c) in counts.iter().enumerate() {
+            for d in 0..c {
+                mentions.push((10 * e as u32 + d, e as u32));
+            }
+        }
+        EntityIndex::build(emb, 100, 9, surfaces, &mentions)
+    }
+
+    #[test]
+    fn folds_all_seven_yao_mings_ranked_by_prior() {
+        let emb = embedder();
+        let idx = yao_index(&emb);
+        let out = idx.fold(&emb, "where was Yao Ming born");
+        assert_eq!(out.entities, vec![0, 4, 2, 1, 3, 5, 6]);
+        assert!(out.surfaces_matched >= 1);
+        assert!(out.ngrams_probed > 0);
+        assert_eq!(idx.prior(0), 9);
+        assert_eq!(idx.prior(6), 1);
+    }
+
+    #[test]
+    fn aliases_and_redirects_fold_to_the_same_entity() {
+        let emb = embedder();
+        let idx = yao_index(&emb);
+        let by_label = idx.fold(&emb, "Shanghai");
+        let by_redirect = idx.fold(&emb, "Shanghai Municipality");
+        assert_eq!(by_label.entities, vec![7]);
+        // The redirect query folds the composed surface *and* its
+        // label prefix — same entity either way.
+        assert_eq!(by_redirect.entities, vec![7]);
+        let by_alias = idx.fold(&emb, "PRC");
+        assert_eq!(by_alias.entities, vec![8]);
+    }
+
+    #[test]
+    fn folding_is_idempotent() {
+        let emb = embedder();
+        let idx = yao_index(&emb);
+        for q in ["Yao Ming", "Shanghai PRC", "Yao Ming of Shanghai China"] {
+            let once = idx.fold(&emb, q);
+            // Folding a query built back from matched surfaces finds a
+            // superset containing every previously folded entity.
+            let again = idx.fold(&emb, q);
+            assert_eq!(once.entities, again.entities, "q {q:?}");
+            assert_eq!(
+                idx.doc_candidates(&once.entities),
+                idx.doc_candidates(&again.entities)
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_are_prior_order_invariant() {
+        let emb = embedder();
+        let idx = yao_index(&emb);
+        let out = idx.fold(&emb, "Yao Ming in Shanghai China");
+        let mut by_id = out.entities.clone();
+        by_id.sort_unstable();
+        // Prior on (ranked) and prior off (plain id order) retrieve
+        // the identical candidate set.
+        assert_eq!(
+            idx.doc_candidates(&out.entities),
+            idx.doc_candidates(&by_id)
+        );
+        let est = idx.postings_estimate(&out.entities);
+        assert!(est >= idx.doc_candidates(&out.entities).len());
+    }
+
+    #[test]
+    fn minus_and_merge_are_exact() {
+        let a = vec![1u32, 3, 5, 7, 9];
+        let b = vec![3u32, 4, 9];
+        assert_eq!(minus_sorted(&a, &b), vec![1, 5, 7]);
+        assert_eq!(minus_sorted(&b, &a), vec![4]);
+        assert_eq!(minus_sorted(&a, &[]), a);
+        assert_eq!(minus_sorted(&[], &a), Vec::<u32>::new());
+        let m = merge_disjoint_sorted(&[1, 5, 7], &[2, 3, 9]);
+        assert_eq!(m, vec![1, 2, 3, 5, 7, 9]);
+        assert_eq!(merge_disjoint_sorted(&[], &[4]), vec![4]);
+    }
+
+    #[test]
+    fn empty_index_folds_nothing() {
+        let emb = embedder();
+        let idx = EntityIndex::build(&emb, 0, 0, std::iter::empty(), &[]);
+        let out = idx.fold(&emb, "anything at all");
+        assert!(out.entities.is_empty());
+        assert_eq!(out.ngrams_probed, 0);
+        assert_eq!(idx.n_surfaces(), 0);
+    }
+
+    #[test]
+    fn content_hash_tracks_surfaces_and_mentions() {
+        let emb = embedder();
+        let a = yao_index(&emb);
+        let b = yao_index(&emb);
+        assert_eq!(a.content_hash(7), b.content_hash(7));
+        let c = EntityIndex::build(&emb, 100, 9, vec![("Yao Ming", 0u32)], &[(0, 0)]);
+        assert_ne!(a.content_hash(7), c.content_hash(7));
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`token`] — tokenizer, stopwords, conservative stemmer, n-grams;
 //! * [`synonym`] — folding of verbalisation variants (schema-agnostic);
 //! * [`embed`] — the encoder (ℝ^256, signed feature hashing, L2-norm);
+//! * [`entity`] — the alias-folding entity index: surface → entity
+//!   folding, popularity priors, entity-scoped doc postings — the
+//!   paper's two-step pruning as a candidate generator;
 //! * [`index`] — flat exact top-k / threshold search;
 //! * [`quant`] — struct-of-arrays storage with int8 scalar
 //!   quantization and the bit-identical two-stage scoring engine;
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod embed;
+pub mod entity;
 pub mod idf;
 pub mod index;
 pub mod inverted;
@@ -32,6 +36,9 @@ pub mod token;
 pub mod verbalize;
 
 pub use embed::{cosine, dot, dot_batch, l2_normalize, EmbedConfig, Embedder, Vector};
+pub use entity::{
+    minus_sorted, EntityBatchSlot, EntityIndex, FoldOutcome, ENTITY_DISJOINT_CEILING,
+};
 pub use idf::IdfModel;
 pub use index::{Hit, NoisyQuery, TopK, VecIndex};
 pub use inverted::{BatchSlot, HybridIndex, QueryStyle, DEFAULT_CEILING};

@@ -45,6 +45,7 @@
 //! indexes return identical bits.
 
 use crate::embed::{dot, Embedder};
+use crate::entity::{merge_disjoint_sorted, EntityBatchSlot, EntityIndex};
 use crate::index::{Hit, NoisyQuery, TopK, VecIndex};
 use crate::inverted::{suspect_hash_floor, BatchSlot, QueryStyle, DEFAULT_CEILING};
 use crate::quant::{dot_i8, dot_i8_batch, dot_i8_block, pair_error_bound, quantize_block};
@@ -208,6 +209,9 @@ pub struct SegmentedIndex {
     n_docs: usize,
     ceiling: f32,
     segments: Vec<Segment>,
+    /// Entity-centric candidate index over the same global ids, when
+    /// attached (see [`crate::entity`]).
+    entity: Option<EntityIndex>,
     /// File buffer behind zero-copy views (open path), `None` when
     /// every column is owned (build path).
     backing: Option<Arc<AlignedBuf>>,
@@ -309,6 +313,7 @@ impl SegmentedIndex {
             n_docs,
             ceiling: DEFAULT_CEILING,
             segments,
+            entity: None,
             backing: None,
             build_threads_used: threads,
         }
@@ -321,6 +326,7 @@ impl SegmentedIndex {
         n_docs: usize,
         ceiling: f32,
         segments: Vec<Segment>,
+        entity: Option<EntityIndex>,
         backing: Arc<AlignedBuf>,
     ) -> Self {
         Self {
@@ -329,6 +335,7 @@ impl SegmentedIndex {
             n_docs,
             ceiling,
             segments,
+            entity,
             backing: Some(backing),
             build_threads_used: 0,
         }
@@ -354,6 +361,24 @@ impl SegmentedIndex {
     /// The zero-overlap ceiling in force.
     pub fn ceiling(&self) -> f32 {
         self.ceiling
+    }
+
+    /// Attach an entity-centric candidate index (see
+    /// [`crate::entity`]). The entity index must cover exactly this
+    /// base's documents.
+    pub fn with_entity(mut self, entity: EntityIndex) -> Self {
+        assert_eq!(
+            entity.n_docs(),
+            self.n_docs,
+            "entity index must cover the base"
+        );
+        self.entity = Some(entity);
+        self
+    }
+
+    /// The attached entity index, if any.
+    pub fn entity_index(&self) -> Option<&EntityIndex> {
+        self.entity.as_ref()
     }
 
     /// Number of indexed documents.
@@ -456,7 +481,8 @@ impl SegmentedIndex {
                     + s.offs.owned_bytes()
                     + s.ids.owned_bytes()
             })
-            .sum()
+            .sum::<usize>()
+            + self.entity.as_ref().map_or(0, |e| e.owned_bytes())
     }
 
     // ------------------------------------------------------------------
@@ -803,8 +829,12 @@ impl SegmentedIndex {
         let sigma = sigma.max(0.0);
         let mut top = TopK::new(k);
         let mut stats = ScreenStats::default();
-        if quantized {
-            let qq = QuantQuery::new(query);
+        let qq = if quantized {
+            Some(QuantQuery::new(query))
+        } else {
+            None
+        };
+        if let Some(qq) = &qq {
             let mut screened = Vec::with_capacity(cands.len());
             let mut quant_top = TopK::new(k);
             let mut b_max = 0.0f64;
@@ -817,7 +847,7 @@ impl SegmentedIndex {
                     cur_seg = s_idx;
                     let seg = &self.segments[s_idx];
                     factor = qq.scale() * seg.scale;
-                    b_max = b_max.max(self.seg_bound(&qq, seg));
+                    b_max = b_max.max(self.seg_bound(qq, seg));
                 }
                 let seg = &self.segments[s_idx];
                 let mut s = dot_i8(qq.row(), seg.qrow(id - seg.base)) as f32 * factor;
@@ -852,7 +882,7 @@ impl SegmentedIndex {
                 top.offer(Hit { id, score });
             }
         }
-        self.verify_non_candidates(query, cands, sigma, salt, &mut top);
+        self.verify_non_candidates(query, qq.as_ref(), cands, sigma, salt, &mut top);
         (top.into_sorted(), stats)
     }
 
@@ -864,19 +894,54 @@ impl SegmentedIndex {
     fn verify_non_candidates(
         &self,
         query: &[f32],
+        qq: Option<&QuantQuery>,
         cands: &[u32],
         sigma: f32,
         salt: u64,
         top: &mut TopK,
     ) {
-        let mut kth = top.bound().expect("k candidates offered").score;
-        let mut hash_floor = suspect_hash_floor(kth, self.ceiling, sigma);
         let mut cand_iter = cands.iter().copied().peekable();
-        for id in 0..self.n_docs {
+        let ids = (0..self.n_docs).filter(move |&id| {
             if cand_iter.peek() == Some(&(id as u32)) {
                 cand_iter.next();
-                continue;
+                return false;
             }
+            true
+        });
+        self.suspect_walk(query, qq, ids, self.ceiling, sigma, salt, top);
+    }
+
+    /// The suspect-floor loop shared by the zero-overlap phase and the
+    /// entity kernel's tier-1 phase: walk ascending suspect ids, skip
+    /// any whose hash-derived jitter cannot bridge `kth − ceiling`,
+    /// score the rest exactly. With a quantized query the survivor is
+    /// additionally int8-pre-screened against the *exact* current k-th
+    /// score before its f32 row is touched: the true noisy score sits
+    /// within the segment's quantization bound of the screened value
+    /// (identical jitter on both sides), so anything screening below
+    /// `kth − 2·B_seg` provably cannot displace a held hit. Offers are
+    /// exact f32 either way — hits stay bit-identical with or without
+    /// the pre-screen; only the memory traffic changes (one int8 row
+    /// instead of one f32 row for the overwhelming skip majority).
+    #[allow(clippy::too_many_arguments)]
+    fn suspect_walk<I>(
+        &self,
+        query: &[f32],
+        qq: Option<&QuantQuery>,
+        ids: I,
+        ceiling: f32,
+        sigma: f32,
+        salt: u64,
+        top: &mut TopK,
+    ) where
+        I: Iterator<Item = usize>,
+    {
+        let mut kth = top.bound().expect("k candidates offered").score;
+        let mut hash_floor = suspect_hash_floor(kth, ceiling, sigma);
+        let mut cur_seg = usize::MAX;
+        let mut factor = 0.0f32;
+        let mut bseg = 0.0f64;
+        for id in ids {
             let floor = match hash_floor {
                 Some(f) => f,
                 None => break,
@@ -884,6 +949,23 @@ impl SegmentedIndex {
             let hash = kgstore::hash::mix2(salt, id as u64);
             if (hash >> 11) < floor {
                 continue;
+            }
+            if let Some(qq) = qq {
+                let s_idx = id / self.seg_rows;
+                if s_idx != cur_seg {
+                    cur_seg = s_idx;
+                    let seg = &self.segments[s_idx];
+                    factor = qq.scale() * seg.scale;
+                    bseg = self.seg_bound(qq, seg);
+                }
+                let seg = &self.segments[s_idx];
+                let mut s = dot_i8(qq.row(), seg.qrow(id - seg.base)) as f32 * factor;
+                if sigma > 0.0 {
+                    s += VecIndex::jitter_of(hash, sigma);
+                }
+                if (s as f64) < kth as f64 - 2.0 * bseg {
+                    continue;
+                }
             }
             let mut score = dot(query, self.vector(id));
             if sigma > 0.0 {
@@ -893,7 +975,7 @@ impl SegmentedIndex {
             let new_kth = top.bound().expect("still k hits").score;
             if new_kth != kth {
                 kth = new_kth;
-                hash_floor = suspect_hash_floor(kth, self.ceiling, sigma);
+                hash_floor = suspect_hash_floor(kth, ceiling, sigma);
             }
         }
     }
@@ -970,6 +1052,229 @@ impl SegmentedIndex {
             let (h, s) = self.pruned_scored(
                 slots[i].query,
                 slots[i].cands,
+                k,
+                sigma,
+                slots[i].salt,
+                quantized,
+            );
+            hits[i] = h;
+            stats[i] = s;
+        }
+        (hits, stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Entity-routed scans (see crate::entity for the tier layout and
+    // the identity argument).
+    // ------------------------------------------------------------------
+
+    /// Entity-routed noisy top-k with exact tier-0 scoring: `ents` is
+    /// the tier-0 candidate set (ascending global ids of documents
+    /// mentioning a folded query entity), `toks` the tier-1 set
+    /// (ascending token-overlap ids disjoint from `ents`). Requires an
+    /// attached entity index (its ceiling drives the tier-1 floor);
+    /// bit-identical to the exact scan under the two-ceiling contract.
+    pub fn top_k_noisy_entity(
+        &self,
+        query: &[f32],
+        ents: &[u32],
+        toks: &[u32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+    ) -> Vec<Hit> {
+        self.entity_scored(query, ents, toks, k, sigma, salt, false)
+            .0
+    }
+
+    /// [`Self::top_k_noisy_entity`] with the quantized tier-0 phase
+    /// (per-segment int8 screen + single global margin, exactly as in
+    /// the token-pruned kernel). Same bit-identity contract.
+    pub fn top_k_noisy_entity_quant(
+        &self,
+        query: &[f32],
+        ents: &[u32],
+        toks: &[u32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+    ) -> (Vec<Hit>, ScreenStats) {
+        self.entity_scored(query, ents, toks, k, sigma, salt, true)
+    }
+
+    /// The three-phase entity kernel. Phase A scores `ents` exactly
+    /// like the token-pruned candidate phase; phase B runs the
+    /// suspect-floor loop over `toks` under the entity-disjoint
+    /// ceiling; phase C is the verbatim zero-overlap phase over
+    /// everything else. With fewer than `k` tier-0 docs the floors
+    /// cannot seed, so the merged union takes the token-pruned path
+    /// (which below `k` candidates full-scans) — still bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn entity_scored(
+        &self,
+        query: &[f32],
+        ents: &[u32],
+        toks: &[u32],
+        k: usize,
+        sigma: f32,
+        salt: u64,
+        quantized: bool,
+    ) -> (Vec<Hit>, ScreenStats) {
+        if k == 0 || self.n_docs == 0 {
+            return (Vec::new(), ScreenStats::default());
+        }
+        let eceiling = self
+            .entity
+            .as_ref()
+            .expect("entity kernels need an attached entity index")
+            .ceiling();
+        let merged = merge_disjoint_sorted(ents, toks);
+        if ents.len() < k {
+            return self.pruned_scored(query, &merged, k, sigma, salt, quantized);
+        }
+        let sigma = sigma.max(0.0);
+        let mut top = TopK::new(k);
+        let mut stats = ScreenStats::default();
+        let qq = if quantized {
+            Some(QuantQuery::new(query))
+        } else {
+            None
+        };
+        if let Some(qq) = &qq {
+            let mut screened = Vec::with_capacity(ents.len());
+            let mut quant_top = TopK::new(k);
+            let mut b_max = 0.0f64;
+            let mut cur_seg = usize::MAX;
+            let mut factor = 0.0f32;
+            for &id in ents {
+                let id = id as usize;
+                let s_idx = id / self.seg_rows;
+                if s_idx != cur_seg {
+                    cur_seg = s_idx;
+                    let seg = &self.segments[s_idx];
+                    factor = qq.scale() * seg.scale;
+                    b_max = b_max.max(self.seg_bound(qq, seg));
+                }
+                let seg = &self.segments[s_idx];
+                let mut s = dot_i8(qq.row(), seg.qrow(id - seg.base)) as f32 * factor;
+                if sigma > 0.0 {
+                    s += VecIndex::jitter(salt, id, sigma);
+                }
+                screened.push(s);
+                quant_top.offer(Hit { id, score: s });
+            }
+            stats.screened = ents.len() as u64;
+            let kth = quant_top.bound().expect("k tier-0 docs screened").score;
+            let margin = kth as f64 - 2.0 * b_max;
+            for (&id, &s) in ents.iter().zip(&screened) {
+                if (s as f64) < margin {
+                    continue;
+                }
+                stats.reranked += 1;
+                let id = id as usize;
+                let mut score = dot(query, self.vector(id));
+                if sigma > 0.0 {
+                    score += VecIndex::jitter(salt, id, sigma);
+                }
+                top.offer(Hit { id, score });
+            }
+        } else {
+            for &id in ents {
+                let id = id as usize;
+                let mut score = dot(query, self.vector(id));
+                if sigma > 0.0 {
+                    score += VecIndex::jitter(salt, id, sigma);
+                }
+                top.offer(Hit { id, score });
+            }
+        }
+        // Phase B: token-overlap docs outside every folded entity's
+        // postings. Their dots are bounded by the entity-disjoint
+        // ceiling, so the zero-overlap suspect mechanism applies
+        // verbatim under the higher ceiling: anything that could reach
+        // the current k-th score is scored exactly.
+        self.suspect_walk(
+            query,
+            qq.as_ref(),
+            toks.iter().map(|&id| id as usize),
+            eceiling,
+            sigma,
+            salt,
+            &mut top,
+        );
+        self.verify_non_candidates(query, qq.as_ref(), &merged, sigma, salt, &mut top);
+        (top.into_sorted(), stats)
+    }
+
+    /// Batched entity-routed scan: slots with fewer than `k` tier-0
+    /// docs merge their tiers and ride the token-pruned batch path
+    /// (whose below-`k` slots full-scan through the batched engines);
+    /// the rest run the sequential three-phase kernel per slot. Every
+    /// slot is bit-identical to its sequential twin.
+    pub fn top_k_noisy_entity_batch(
+        &self,
+        slots: &[EntityBatchSlot<'_>],
+        k: usize,
+        sigma: f32,
+    ) -> Vec<Vec<Hit>> {
+        self.entity_scored_batch(slots, k, sigma, false).0
+    }
+
+    /// [`Self::top_k_noisy_entity_batch`] with the quantized tier-0
+    /// phase; per-slot hits and counters bit-identical to
+    /// [`Self::top_k_noisy_entity_quant`].
+    pub fn top_k_noisy_entity_quant_batch(
+        &self,
+        slots: &[EntityBatchSlot<'_>],
+        k: usize,
+        sigma: f32,
+    ) -> (Vec<Vec<Hit>>, Vec<ScreenStats>) {
+        self.entity_scored_batch(slots, k, sigma, true)
+    }
+
+    fn entity_scored_batch(
+        &self,
+        slots: &[EntityBatchSlot<'_>],
+        k: usize,
+        sigma: f32,
+        quantized: bool,
+    ) -> (Vec<Vec<Hit>>, Vec<ScreenStats>) {
+        let mut hits: Vec<Vec<Hit>> = vec![Vec::new(); slots.len()];
+        let mut stats: Vec<ScreenStats> = vec![ScreenStats::default(); slots.len()];
+        if k == 0 || self.n_docs == 0 {
+            return (hits, stats);
+        }
+        let small: Vec<usize> = (0..slots.len())
+            .filter(|&i| slots[i].ents.len() < k)
+            .collect();
+        if !small.is_empty() {
+            let merged: Vec<Vec<u32>> = small
+                .iter()
+                .map(|&i| merge_disjoint_sorted(slots[i].ents, slots[i].toks))
+                .collect();
+            let bslots: Vec<BatchSlot> = small
+                .iter()
+                .zip(&merged)
+                .map(|(&i, m)| BatchSlot {
+                    query: slots[i].query,
+                    cands: m,
+                    salt: slots[i].salt,
+                })
+                .collect();
+            let (h, s) = self.pruned_scored_batch(&bslots, k, sigma, quantized);
+            for ((&i, hh), ss) in small.iter().zip(h).zip(s) {
+                hits[i] = hh;
+                stats[i] = ss;
+            }
+        }
+        for i in 0..slots.len() {
+            if slots[i].ents.len() < k {
+                continue;
+            }
+            let (h, s) = self.entity_scored(
+                slots[i].query,
+                slots[i].ents,
+                slots[i].toks,
                 k,
                 sigma,
                 slots[i].salt,
@@ -1286,5 +1591,242 @@ mod tests {
         idx.write_to(&path).unwrap();
         let opened = SegmentedIndex::open(&path).unwrap();
         assert!(opened.is_empty());
+    }
+
+    /// One entity per distinct corpus token passing `keep`, with the
+    /// token itself as the sole surface and the docs carrying it as
+    /// postings. `keep = |_| true` gives full surface coverage (empty
+    /// tier-1); a partial filter leaves a real tier-1 for phase B.
+    fn entity_over(emb: &Embedder, texts: &[String], keep: fn(&str) -> bool) -> EntityIndex {
+        let mut vocab: Vec<&str> = texts
+            .iter()
+            .flat_map(|t| t.split(' '))
+            .filter(|w| keep(w))
+            .collect();
+        vocab.sort_unstable();
+        vocab.dedup();
+        let surfaces: Vec<(&str, u32)> = vocab
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (*w, i as u32))
+            .collect();
+        let mut mentions: Vec<(u32, u32)> = Vec::new();
+        for (d, t) in texts.iter().enumerate() {
+            for w in t.split(' ') {
+                if let Ok(e) = vocab.binary_search(&w) {
+                    mentions.push((d as u32, e as u32));
+                }
+            }
+        }
+        EntityIndex::build(emb, texts.len(), vocab.len(), surfaces, &mentions)
+    }
+
+    #[test]
+    fn entity_scans_match_exact_across_shards_and_modes() {
+        let emb = Embedder::paper();
+        let texts = corpus(500);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let unsharded = HybridIndex::build_parallel(&emb, &refs, 1);
+        let vecs = unsharded.vectors();
+        // Full coverage (tier-1 empty by construction) and value*-only
+        // coverage (~38-doc postings per entity, real tier-1). The
+        // saturated ceiling makes identity unconditional in both.
+        let filters: [fn(&str) -> bool; 2] = [|_| true, |w| w.starts_with("value")];
+        for keep in filters {
+            for seg_rows in seg_rows_for(texts.len()) {
+                let ent = entity_over(&emb, &texts, keep).with_ceiling(2.0);
+                let idx = SegmentedIndex::build_parallel(&emb, &refs, seg_rows, 1).with_entity(ent);
+                let e = idx.entity_index().unwrap();
+                for q in queries() {
+                    let qv = emb.encode(q);
+                    let salt = stable_str_hash(q);
+                    let fold = e.fold(&emb, q);
+                    let ents = e.doc_candidates(&fold.entities);
+                    let cands = idx.candidates(&emb, q, QueryStyle::Folded);
+                    let toks = crate::entity::minus_sorted(&cands, &ents);
+                    for sigma in [0.0f32, 0.3, 0.6] {
+                        let exact = vecs.top_k_noisy(&qv, 10, sigma, salt);
+                        assert_eq!(
+                            idx.top_k_noisy_entity(&qv, &ents, &toks, 10, sigma, salt),
+                            exact,
+                            "entity seg_rows {seg_rows} q {q:?} sigma {sigma}"
+                        );
+                        let (qhits, qstats) =
+                            idx.top_k_noisy_entity_quant(&qv, &ents, &toks, 10, sigma, salt);
+                        assert_eq!(
+                            qhits, exact,
+                            "entity-quant seg_rows {seg_rows} q {q:?} sigma {sigma}"
+                        );
+                        if ents.len() >= 10 {
+                            assert_eq!(qstats.screened, ents.len() as u64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entity_batches_match_sequential_per_slot() {
+        let emb = Embedder::paper();
+        let texts = corpus(400);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let ent = entity_over(&emb, &texts, |w| w.starts_with("value")).with_ceiling(2.0);
+        let idx = SegmentedIndex::build_parallel(&emb, &refs, 90, 1).with_entity(ent);
+        let e = idx.entity_index().unwrap();
+        let encoded: Vec<Vec<f32>> = queries().iter().map(|q| emb.encode(q)).collect();
+        let ents: Vec<Vec<u32>> = queries()
+            .iter()
+            .map(|q| e.doc_candidates(&e.fold(&emb, q).entities))
+            .collect();
+        let toks: Vec<Vec<u32>> = queries()
+            .iter()
+            .zip(&ents)
+            .map(|(q, en)| {
+                crate::entity::minus_sorted(&idx.candidates(&emb, q, QueryStyle::Folded), en)
+            })
+            .collect();
+        // The query mix covers both batch branches: slots whose tier-0
+        // is below k ride the token-pruned batch path, the rest run
+        // the three-phase kernel.
+        let slots: Vec<EntityBatchSlot> = queries()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| EntityBatchSlot {
+                query: &encoded[i],
+                ents: &ents[i],
+                toks: &toks[i],
+                salt: stable_str_hash(q),
+            })
+            .collect();
+        for sigma in [0.0f32, 0.3] {
+            let batch = idx.top_k_noisy_entity_batch(&slots, 10, sigma);
+            let (qbatch, qstats) = idx.top_k_noisy_entity_quant_batch(&slots, 10, sigma);
+            for (i, s) in slots.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    idx.top_k_noisy_entity(s.query, s.ents, s.toks, 10, sigma, s.salt),
+                    "slot {i} sigma {sigma}"
+                );
+                let (sh, ss) =
+                    idx.top_k_noisy_entity_quant(s.query, s.ents, s.toks, 10, sigma, s.salt);
+                assert_eq!(qbatch[i], sh, "quant slot {i} sigma {sigma}");
+                assert_eq!(qstats[i], ss, "stats slot {i} sigma {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn entity_kernel_with_few_tier0_docs_falls_back_bitwise() {
+        // entity{i} tokens are unique per doc, so every query's tier-0
+        // set is below k and the kernel must ride the token-pruned
+        // path over the merged union — bit-identical to calling it
+        // directly.
+        let emb = Embedder::paper();
+        let texts = corpus(300);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let ent = entity_over(&emb, &texts, |w| w.starts_with("entity"));
+        let idx = SegmentedIndex::build_parallel(&emb, &refs, 70, 1).with_entity(ent);
+        let e = idx.entity_index().unwrap();
+        for q in queries() {
+            let qv = emb.encode(q);
+            let salt = stable_str_hash(q);
+            let ents = e.doc_candidates(&e.fold(&emb, q).entities);
+            assert!(ents.len() < 10, "q {q:?} must exercise the fallback");
+            let cands = idx.candidates(&emb, q, QueryStyle::Folded);
+            let toks = crate::entity::minus_sorted(&cands, &ents);
+            let merged = merge_disjoint_sorted(&ents, &toks);
+            for sigma in [0.0f32, 0.3] {
+                assert_eq!(
+                    idx.top_k_noisy_entity(&qv, &ents, &toks, 10, sigma, salt),
+                    idx.top_k_noisy_encoded(&qv, &merged, 10, sigma, salt),
+                    "q {q:?} sigma {sigma}"
+                );
+                let (eh, es) = idx.top_k_noisy_entity_quant(&qv, &ents, &toks, 10, sigma, salt);
+                let (ph, ps) = idx.top_k_noisy_encoded_quant(&qv, &merged, 10, sigma, salt);
+                assert_eq!(eh, ph, "quant q {q:?} sigma {sigma}");
+                assert_eq!(es, ps, "stats q {q:?} sigma {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn entity_section_roundtrips_and_rejects_corruption() {
+        let emb = Embedder::paper();
+        let texts = corpus(120);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let ent = entity_over(&emb, &texts, |_| true).with_ceiling(0.75);
+        let built = SegmentedIndex::build_parallel(&emb, &refs, 50, 1).with_entity(ent);
+        let dir = std::env::temp_dir().join("seg-entity-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.seg");
+        built.write_to(&path).unwrap();
+        let opened = SegmentedIndex::open(&path).unwrap();
+        let be = built.entity_index().unwrap();
+        let oe = opened.entity_index().unwrap();
+        assert_eq!(oe.n_docs(), be.n_docs());
+        assert_eq!(oe.n_entities(), be.n_entities());
+        assert_eq!(oe.n_surfaces(), be.n_surfaces());
+        assert_eq!(oe.max_surface_tokens(), be.max_surface_tokens());
+        assert_eq!(oe.ceiling().to_bits(), be.ceiling().to_bits());
+        assert_eq!(oe.content_hash(7), be.content_hash(7));
+        for id in 0..be.n_entities() as u32 {
+            assert_eq!(oe.prior(id), be.prior(id), "prior of entity {id}");
+            assert_eq!(oe.postings_of(id), be.postings_of(id), "postings of {id}");
+        }
+        for q in queries() {
+            let bf = be.fold(&emb, q);
+            let of = oe.fold(&emb, q);
+            assert_eq!(bf.entities, of.entities, "fold {q:?}");
+            assert_eq!(bf.surfaces_matched, of.surfaces_matched);
+            assert_eq!(bf.ngrams_probed, of.ngrams_probed);
+            let qv = emb.encode(q);
+            let salt = stable_str_hash(q);
+            let ents = be.doc_candidates(&bf.entities);
+            let cands = built.candidates(&emb, q, QueryStyle::Folded);
+            let toks = crate::entity::minus_sorted(&cands, &ents);
+            assert_eq!(
+                built.top_k_noisy_entity(&qv, &ents, &toks, 10, 0.3, salt),
+                opened.top_k_noisy_entity(&qv, &ents, &toks, 10, 0.3, salt),
+                "kernel diverged after reopen, q {q:?}"
+            );
+        }
+        // Single-byte corruption inside the entity section is rejected.
+        let clean = std::fs::read(&path).unwrap();
+        let eoff = u64::from_le_bytes(clean[56..64].try_into().unwrap()) as usize;
+        assert!(eoff > 0 && eoff < clean.len(), "entity section present");
+        for pos in [
+            eoff,
+            eoff + 8,
+            eoff + 40,
+            eoff + 48,
+            (eoff + clean.len()) / 2,
+            clean.len() - 1,
+        ] {
+            let mut bad = clean.clone();
+            bad[pos] ^= 0x40;
+            let p = dir.join("bad.seg");
+            std::fs::write(&p, &bad).unwrap();
+            assert!(
+                SegmentedIndex::open(&p).is_err(),
+                "flipped byte at {pos} must be rejected"
+            );
+        }
+        // No entity section: header slot stays 0, reopen attaches none.
+        let bare = SegmentedIndex::build_parallel(&emb, &refs, 50, 1);
+        let p2 = dir.join("bare.seg");
+        bare.write_to(&p2).unwrap();
+        let raw = std::fs::read(&p2).unwrap();
+        assert_eq!(u64::from_le_bytes(raw[56..64].try_into().unwrap()), 0);
+        assert!(SegmentedIndex::open(&p2).unwrap().entity_index().is_none());
+        // A zero-entity index still roundtrips as a valid section.
+        let empty = EntityIndex::build(&emb, texts.len(), 0, std::iter::empty(), &[]);
+        let withe = SegmentedIndex::build_parallel(&emb, &refs, 50, 1).with_entity(empty);
+        let p3 = dir.join("zero.seg");
+        withe.write_to(&p3).unwrap();
+        let ze = SegmentedIndex::open(&p3).unwrap();
+        let zi = ze.entity_index().unwrap();
+        assert_eq!(zi.n_entities(), 0);
+        assert!(zi.fold(&emb, "entity3 relation0").entities.is_empty());
     }
 }

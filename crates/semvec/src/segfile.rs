@@ -18,7 +18,7 @@
 //!   40 ceiling          f32 bits (u32)
 //!   44 reserved         u32      = 0
 //!   48 checksum         u64      (FNV-1a-64, see below)
-//!   56 reserved         u64      = 0
+//!   56 entity_off       u64      (0 = no entity section; was reserved in v1)
 //!
 //! table entry (per segment, 10 × u64):
 //!   rows, vec_off, quant_off, keys_off, keys_count,
@@ -28,6 +28,19 @@
 //!   vectors  rows·dim × f32      quant  rows·dim × i8
 //!   keys     keys_count × u64    offs   (keys_count+1) × u32
 //!   ids      ids_count × u32
+//!
+//! entity section (v2, present when entity_off != 0, 8-aligned):
+//!   48-byte mini-header:
+//!     0  n_entities          u64
+//!     8  n_surfaces          u64
+//!     16 surf_ents_count     u64
+//!     24 ent_docs_count      u64
+//!     32 max_surface_tokens  u64
+//!     40 entity ceiling      f32 bits (u32), then reserved u32 = 0
+//!   columns in order, each zero-padded to 8 bytes:
+//!     surf_keys  n_surfaces × u64       surf_offs (n_surfaces+1) × u32
+//!     surf_ents  surf_ents_count × u32  prior     n_entities × u32
+//!     ent_offs   (n_entities+1) × u32   ent_docs  ent_docs_count × u32
 //! ```
 //!
 //! The checksum is FNV-1a-64 over the *entire file* with the 8
@@ -42,6 +55,7 @@
 //! to decoding owned vectors from the little-endian bytes, so the
 //! format is portable while the hot path stays copy-free.
 
+use crate::entity::EntityIndex;
 use crate::seg::{Segment, SegmentedIndex};
 use std::io::{Read, Write};
 use std::path::Path;
@@ -49,11 +63,16 @@ use std::sync::Arc;
 
 /// Format magic, bumped with [`FORMAT_VERSION`].
 pub const MAGIC: [u8; 8] = *b"PGGSEG01";
-/// Format version accepted by [`open`].
-pub const FORMAT_VERSION: u32 = 1;
+/// Format version accepted by [`open`]. v2 added the optional entity
+/// section behind the previously-reserved `entity_off` header field;
+/// v1 files are rejected with [`SegFileError::BadVersion`] (callers
+/// rebuild — the cache key already folds the format version in).
+pub const FORMAT_VERSION: u32 = 2;
 const HEADER_LEN: usize = 64;
 const SEG_ENTRY_LEN: usize = 80;
 const CHECKSUM_OFF: usize = 48;
+const ENTITY_OFF_POS: usize = 56;
+const ENTITY_HEADER_LEN: usize = 48;
 
 /// Why a segment file could not be opened. Every corruption mode maps
 /// to a typed error — the open path never constructs an index from
@@ -391,6 +410,19 @@ pub fn write_to(index: &SegmentedIndex, path: &Path) -> Result<(), SegFileError>
             }
         })
         .collect();
+    let entity_off = match index.entity_index() {
+        Some(e) => {
+            let off = take(ENTITY_HEADER_LEN);
+            take(e.surf_keys.as_slice().len() * 8);
+            take(e.surf_offs.as_slice().len() * 4);
+            take(e.surf_ents.as_slice().len() * 4);
+            take(e.prior.as_slice().len() * 4);
+            take(e.ent_offs.as_slice().len() * 4);
+            take(e.ent_docs.as_slice().len() * 4);
+            off
+        }
+        None => 0,
+    };
     let file_len = cursor as usize;
 
     let mut out: Vec<u8> = Vec::with_capacity(file_len);
@@ -404,7 +436,7 @@ pub fn write_to(index: &SegmentedIndex, path: &Path) -> Result<(), SegFileError>
     index.ceiling().to_bits().write_le(&mut out);
     0u32.write_le(&mut out);
     0u64.write_le(&mut out); // checksum, patched below
-    0u64.write_le(&mut out);
+    entity_off.write_le(&mut out);
     debug_assert_eq!(out.len(), HEADER_LEN);
 
     for e in &entries {
@@ -451,6 +483,34 @@ pub fn write_to(index: &SegmentedIndex, path: &Path) -> Result<(), SegFileError>
             x.write_le(&mut out);
         }
         pad_to(&mut out, ids.len() * 4);
+    }
+    if let Some(e) = index.entity_index() {
+        debug_assert_eq!(out.len() as u64, entity_off);
+        (e.n_entities as u64).write_le(&mut out);
+        (e.surf_keys.as_slice().len() as u64).write_le(&mut out);
+        (e.surf_ents.as_slice().len() as u64).write_le(&mut out);
+        (e.ent_docs.as_slice().len() as u64).write_le(&mut out);
+        (e.max_surface_tokens as u64).write_le(&mut out);
+        e.ceiling.to_bits().write_le(&mut out);
+        0u32.write_le(&mut out);
+        let keys = e.surf_keys.as_slice();
+        for &x in keys {
+            x.write_le(&mut out);
+        }
+        pad_to(&mut out, keys.len() * 8);
+        for col in [
+            &e.surf_offs,
+            &e.surf_ents,
+            &e.prior,
+            &e.ent_offs,
+            &e.ent_docs,
+        ] {
+            let vals = col.as_slice();
+            for &x in vals {
+                x.write_le(&mut out);
+            }
+            pad_to(&mut out, vals.len() * 4);
+        }
     }
     debug_assert_eq!(out.len(), file_len);
 
@@ -560,8 +620,72 @@ pub fn open(path: &Path) -> Result<SegmentedIndex, SegFileError> {
         segments.push(segment);
     }
 
+    let entity_off = u64::read_le(&bytes[ENTITY_OFF_POS..]);
+    let entity = if entity_off == 0 {
+        None
+    } else {
+        let off =
+            usize::try_from(entity_off).map_err(|_| SegFileError::BadLayout("offset overflow"))?;
+        if off % 8 != 0 {
+            return Err(SegFileError::BadLayout("unaligned entity section"));
+        }
+        if off < table_end || off.saturating_add(ENTITY_HEADER_LEN) > len {
+            return Err(SegFileError::BadLayout("entity section out of bounds"));
+        }
+        let field = |i: usize| u64::read_le(&bytes[off + i * 8..]);
+        let n_entities = field(0);
+        let n_surfaces = field(1);
+        let surf_ents_count = field(2);
+        let ent_docs_count = field(3);
+        let max_surface_tokens = field(4);
+        let eceiling = f32::from_bits(u32::read_le(&bytes[off + 40..]));
+        // Coarse sanity before any count arithmetic: every column
+        // element takes at least one byte, so counts beyond the file
+        // length are structurally impossible.
+        for c in [
+            n_entities,
+            n_surfaces,
+            surf_ents_count,
+            ent_docs_count,
+            max_surface_tokens,
+        ] {
+            if c > len as u64 {
+                return Err(SegFileError::BadLayout("entity count out of bounds"));
+            }
+        }
+        let n_entities = n_entities as usize;
+        let n_surfaces = n_surfaces as usize;
+        let mut cursor = off + ENTITY_HEADER_LEN;
+        let mut take = |elems: usize, size: usize| {
+            let o = cursor as u64;
+            cursor += pad8(elems * size);
+            o
+        };
+        let surf_keys = view_col::<u64>(&buf, take(n_surfaces, 8), n_surfaces as u64)?;
+        let surf_offs = view_col::<u32>(&buf, take(n_surfaces + 1, 4), n_surfaces as u64 + 1)?;
+        let surf_ents = view_col::<u32>(&buf, take(surf_ents_count as usize, 4), surf_ents_count)?;
+        let prior = view_col::<u32>(&buf, take(n_entities, 4), n_entities as u64)?;
+        let ent_offs = view_col::<u32>(&buf, take(n_entities + 1, 4), n_entities as u64 + 1)?;
+        let ent_docs = view_col::<u32>(&buf, take(ent_docs_count as usize, 4), ent_docs_count)?;
+        Some(
+            EntityIndex::from_open_parts(
+                n_docs,
+                n_entities,
+                max_surface_tokens as usize,
+                eceiling,
+                surf_keys,
+                surf_offs,
+                surf_ents,
+                prior,
+                ent_offs,
+                ent_docs,
+            )
+            .map_err(SegFileError::BadLayout)?,
+        )
+    };
+
     Ok(SegmentedIndex::from_open_parts(
-        dim, seg_rows, n_docs, ceiling, segments, buf,
+        dim, seg_rows, n_docs, ceiling, segments, entity, buf,
     ))
 }
 

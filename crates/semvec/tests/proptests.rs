@@ -3,9 +3,34 @@
 
 use proptest::prelude::*;
 use semvec::{
-    cosine, dot, dot_i8, BatchSlot, Embedder, HybridIndex, NoisyQuery, QuantQuery, QueryStyle,
-    SegmentedIndex, SoaStore, VecIndex,
+    cosine, dot, dot_i8, minus_sorted, BatchSlot, Embedder, EntityBatchSlot, EntityIndex,
+    HybridIndex, NoisyQuery, QuantQuery, QueryStyle, SegmentedIndex, SoaStore, VecIndex,
 };
+
+/// One entity per distinct document token (keeping every `stride`-th
+/// vocabulary word), the token itself as the sole surface, postings =
+/// the docs carrying it. `stride` 1 gives full surface coverage (empty
+/// tier-1); larger strides leave a real tier-1 for the suspect phase.
+fn entity_for_docs(emb: &Embedder, docs: &[String], stride: usize) -> EntityIndex {
+    let mut vocab: Vec<&str> = docs.iter().flat_map(|t| t.split_whitespace()).collect();
+    vocab.sort_unstable();
+    vocab.dedup();
+    let vocab: Vec<&str> = vocab.into_iter().step_by(stride.max(1)).collect();
+    let surfaces: Vec<(&str, u32)> = vocab
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (*w, i as u32))
+        .collect();
+    let mut mentions: Vec<(u32, u32)> = Vec::new();
+    for (d, t) in docs.iter().enumerate() {
+        for w in t.split_whitespace() {
+            if let Ok(e) = vocab.binary_search(&w) {
+                mentions.push((d as u32, e as u32));
+            }
+        }
+    }
+    EntityIndex::build(emb, docs.len(), vocab.len(), surfaces, &mentions)
+}
 
 fn text() -> impl Strategy<Value = String> {
     "[a-zA-Z ]{1,60}"
@@ -441,6 +466,44 @@ proptest! {
         );
     }
 
+    /// Entity-routed top-k with the ceiling saturated to the maximum
+    /// possible dot is bit-identical to the exact scan on *any* corpus
+    /// — adversarial trigram overlap included — for every surface
+    /// coverage (full and partial tier-0), pinning the three-phase
+    /// machinery itself. Also pins prior-order invariance: ranking the
+    /// folded entities by popularity prior orders, but never changes,
+    /// the tier-0 candidate set.
+    #[test]
+    fn entity_routed_topk_equals_exact_on_any_corpus(
+        docs in proptest::collection::vec(text(), 1..30),
+        query in text(),
+        k in 1usize..12,
+        sigma in 0.0f32..0.6,
+        salt in any::<u64>(),
+        stride in 1usize..4,
+    ) {
+        let emb = Embedder::paper();
+        let refs: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+        let ent = entity_for_docs(&emb, &docs, stride).with_ceiling(1.0);
+        let seg = SegmentedIndex::build_parallel(&emb, &refs, refs.len().div_ceil(3).max(1), 1)
+            .with_entity(ent);
+        let exact = VecIndex::from_vectors(emb.dim(), docs.iter().map(|d| emb.encode(d)));
+        let q = emb.encode(&query);
+        let e = seg.entity_index().unwrap();
+        let fold = e.fold(&emb, &query);
+        let mut unranked = fold.entities.clone();
+        unranked.sort_unstable();
+        let ents = e.doc_candidates(&fold.entities);
+        prop_assert_eq!(&e.doc_candidates(&unranked), &ents);
+        let toks = minus_sorted(&seg.candidates(&emb, &query, QueryStyle::Folded), &ents);
+        prop_assert_eq!(
+            seg.top_k_noisy_entity(&q, &ents, &toks, k, sigma, salt),
+            exact.top_k_noisy(&q, k, sigma, salt)
+        );
+        let (qhits, _) = seg.top_k_noisy_entity_quant(&q, &ents, &toks, k, sigma, salt);
+        prop_assert_eq!(qhits, exact.top_k_noisy(&q, k, sigma, salt));
+    }
+
     /// Parallel index builds are byte-identical to the serial build for
     /// any corpus (including duplicates) and any thread count.
     #[test]
@@ -742,6 +805,97 @@ fn batched_search_matches_sequential_on_seeded_random_corpora() {
                 if width >= 2 {
                     let b = flat.top_k_noisy_batch(&nq, k, sigma);
                     assert_eq!(b[0], b[width - 1], "duplicate slots must agree");
+                }
+            }
+        }
+    }
+}
+
+/// Seeded counterpart of `entity_routed_topk_equals_exact_on_any_corpus`
+/// across the full retrieval × scoring × batch × shard cross product,
+/// exercised even where `proptest` is stubbed out: entity-routed
+/// sequential, quant, and batched scans at four shard geometries and
+/// two surface coverages must all be bit-identical to the flat exact
+/// scan under the saturated ceiling, with the popularity prior's
+/// ranking never changing the candidate set.
+#[test]
+fn entity_routed_search_matches_exact_on_seeded_corpora() {
+    let emb = Embedder::paper();
+    const VOCAB: [&str; 12] = [
+        "zebra", "quartz", "violin", "hammock", "puzzle", "dwarf", "sphinx", "jigsaw", "oxygen",
+        "kumquat", "fjord", "byway",
+    ];
+    let mut state = 0xE17_11Du64;
+    let docs: Vec<String> = (0..60)
+        .map(|_| {
+            let n = 1 + ((seeded_f32(&mut state).abs() * 2.0) as usize).min(4);
+            (0..n)
+                .map(|_| {
+                    let x = seeded_f32(&mut state).abs();
+                    VOCAB[(x * 2.9) as usize % VOCAB.len()]
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    let refs: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+    let flat = VecIndex::from_vectors(emb.dim(), docs.iter().map(|d| emb.encode(d)));
+    let n = refs.len();
+    let queries: Vec<&str> = (0..n).step_by(13).map(|i| refs[i]).collect();
+
+    for stride in [1usize, 2] {
+        for seg_rows in [n, n.div_ceil(2), n.div_ceil(7), 4] {
+            let ent = entity_for_docs(&emb, &docs, stride).with_ceiling(1.0);
+            let seg = SegmentedIndex::build_parallel(&emb, &refs, seg_rows, 1).with_entity(ent);
+            let e = seg.entity_index().unwrap();
+            let encoded: Vec<Vec<f32>> = queries.iter().map(|q| emb.encode(q)).collect();
+            let folds: Vec<Vec<u32>> = queries
+                .iter()
+                .map(|q| {
+                    let fold = e.fold(&emb, q);
+                    let mut unranked = fold.entities.clone();
+                    unranked.sort_unstable();
+                    assert_eq!(
+                        e.doc_candidates(&unranked),
+                        e.doc_candidates(&fold.entities),
+                        "prior ranking changed the candidate set"
+                    );
+                    fold.entities
+                })
+                .collect();
+            let ents: Vec<Vec<u32>> = folds.iter().map(|f| e.doc_candidates(f)).collect();
+            let toks: Vec<Vec<u32>> = queries
+                .iter()
+                .zip(&ents)
+                .map(|(q, en)| minus_sorted(&seg.candidates(&emb, q, QueryStyle::Folded), en))
+                .collect();
+            for (k, sigma, salt) in [(1usize, 0.0f32, 0u64), (5, 0.30, 7), (12, 0.55, 0xC0FFEE)] {
+                let slots: Vec<EntityBatchSlot<'_>> = (0..queries.len())
+                    .map(|i| EntityBatchSlot {
+                        query: &encoded[i],
+                        ents: &ents[i],
+                        toks: &toks[i],
+                        salt: salt.wrapping_add(i as u64),
+                    })
+                    .collect();
+                let batch = seg.top_k_noisy_entity_batch(&slots, k, sigma);
+                let (qbatch, qstats) = seg.top_k_noisy_entity_quant_batch(&slots, k, sigma);
+                for (i, s) in slots.iter().enumerate() {
+                    let exact = flat.top_k_noisy(s.query, k, sigma, s.salt);
+                    assert_eq!(
+                        seg.top_k_noisy_entity(s.query, s.ents, s.toks, k, sigma, s.salt),
+                        exact,
+                        "sequential slot {i} stride {stride} seg_rows {seg_rows} k {k}"
+                    );
+                    let (qh, qs) =
+                        seg.top_k_noisy_entity_quant(s.query, s.ents, s.toks, k, sigma, s.salt);
+                    assert_eq!(qh, exact, "quant slot {i} seg_rows {seg_rows} k {k}");
+                    assert_eq!(batch[i], exact, "batch slot {i} seg_rows {seg_rows} k {k}");
+                    assert_eq!(
+                        qbatch[i], exact,
+                        "qbatch slot {i} seg_rows {seg_rows} k {k}"
+                    );
+                    assert_eq!(qstats[i], qs, "stats slot {i} seg_rows {seg_rows} k {k}");
                 }
             }
         }

@@ -1,0 +1,168 @@
+//! Explicit alias and redirect tables derived from the ground-truth
+//! world — deterministically and *without* consuming randomness, so
+//! emitting them leaves every generated world byte-identical to a
+//! generation that never asked for them.
+//!
+//! Real KGs ship redirects ("Shanghai Municipality" → Shanghai) and
+//! alias tables next to labels. The generator already gives entities
+//! aliases and deliberately ambiguous labels; this module derives the
+//! explicit surface tables the entity index consumes:
+//! * every alias already on an entity, flattened to `(entity, alias)`;
+//! * a disambiguating redirect `"<label> (<description>)"` → entity for
+//!   every entity whose label is shared (the "7 Yao Mings");
+//! * a composed-initialism redirect for multiword labels whose
+//!   initialism is globally unique and not already an alias.
+
+use crate::world::{EntityId, World};
+use kgstore::hash::FxHashMap;
+
+/// Alias and redirect tables for a world.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SurfaceTable {
+    /// `(entity, alias)` pairs, in entity order then alias order.
+    pub aliases: Vec<(EntityId, String)>,
+    /// `surface → entity` redirects, in entity order; surfaces are
+    /// unique across the table.
+    pub redirects: Vec<(String, EntityId)>,
+}
+
+/// Initialism of a multiword label ("Tekna Systems" → "TS"), `None`
+/// for single words or degenerate results.
+fn initialism(label: &str) -> Option<String> {
+    label.split_whitespace().nth(1)?;
+    let init: String = label
+        .split_whitespace()
+        .filter_map(|w| w.chars().next())
+        .collect::<String>()
+        .to_uppercase();
+    (init.len() > 1).then_some(init)
+}
+
+/// Derive the surface table. Pure: reads the world, draws no
+/// randomness, and is deterministic in the world alone.
+pub fn surface_table(world: &World) -> SurfaceTable {
+    let mut label_count: FxHashMap<&str, u32> = FxHashMap::default();
+    for e in &world.entities {
+        *label_count.entry(e.label.as_str()).or_default() += 1;
+    }
+    let mut initialism_count: FxHashMap<String, u32> = FxHashMap::default();
+    for e in &world.entities {
+        if let Some(i) = initialism(&e.label) {
+            *initialism_count.entry(i).or_default() += 1;
+        }
+    }
+
+    let mut table = SurfaceTable::default();
+    for e in &world.entities {
+        for a in &e.aliases {
+            table.aliases.push((e.id, a.clone()));
+        }
+        // Shared label → each namesake gets a disambiguated redirect.
+        // Descriptions are unique per (kind, label) by construction
+        // ("#N by prominence" / "lesser-known namesake N"), so the
+        // composed surface is unique too.
+        if label_count[e.label.as_str()] > 1 {
+            table
+                .redirects
+                .push((format!("{} ({})", e.label, e.description), e.id));
+        }
+        // Composed initialism, only when globally unambiguous: unique
+        // among initialisms, not itself a label, not already an alias.
+        if let Some(i) = initialism(&e.label) {
+            if initialism_count[&i] == 1
+                && !label_count.contains_key(i.as_str())
+                && !e.aliases.contains(&i)
+            {
+                table.redirects.push((i, e.id));
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, WorldConfig};
+    use kgstore::hash::FxHashSet;
+
+    #[test]
+    fn surface_table_is_deterministic_and_pure() {
+        let w = generate(&WorldConfig::default());
+        let a = surface_table(&w);
+        let b = surface_table(&w);
+        assert_eq!(a, b);
+        // Purity: deriving the table does not disturb the world — the
+        // same generation with and without table emission is identical.
+        let again = generate(&WorldConfig::default());
+        assert_eq!(w.entity_count(), again.entity_count());
+        assert_eq!(w.fact_count(), again.fact_count());
+        for (x, y) in w.entities.iter().zip(&again.entities) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.aliases, y.aliases);
+        }
+    }
+
+    #[test]
+    fn tables_are_nonempty_at_default_scale() {
+        let w = generate(&WorldConfig::default());
+        let t = surface_table(&w);
+        assert!(t.aliases.len() > 50, "aliases: {}", t.aliases.len());
+        assert!(t.redirects.len() > 10, "redirects: {}", t.redirects.len());
+    }
+
+    #[test]
+    fn every_namesake_gets_a_distinct_redirect() {
+        let w = generate(&WorldConfig::default());
+        let t = surface_table(&w);
+        // Find a duplicated label and check each of its entities has a
+        // redirect carrying the label and resolving to it.
+        let mut by_label: FxHashMap<&str, Vec<EntityId>> = FxHashMap::default();
+        for e in &w.entities {
+            by_label.entry(e.label.as_str()).or_default().push(e.id);
+        }
+        let (label, ids) = by_label
+            .iter()
+            .filter(|(_, v)| v.len() > 1)
+            .max_by_key(|(l, v)| (v.len(), *l))
+            .expect("default world has ambiguity");
+        for id in ids {
+            let hit = t
+                .redirects
+                .iter()
+                .find(|(s, e)| e == id && s.starts_with(label))
+                .unwrap_or_else(|| panic!("no redirect for namesake {id:?} of {label:?}"));
+            assert!(hit.0.contains('('), "disambiguator missing: {:?}", hit.0);
+        }
+    }
+
+    #[test]
+    fn redirect_surfaces_are_unique() {
+        let w = generate(&WorldConfig::default());
+        let t = surface_table(&w);
+        let mut seen = FxHashSet::default();
+        for (s, _) in &t.redirects {
+            assert!(seen.insert(s.as_str()), "duplicate redirect surface {s:?}");
+        }
+    }
+
+    #[test]
+    fn initialism_redirects_are_globally_unique_composed_forms() {
+        let w = generate(&WorldConfig::default());
+        let t = surface_table(&w);
+        let labels: FxHashSet<&str> = w.entities.iter().map(|e| e.label.as_str()).collect();
+        for (s, id) in &t.redirects {
+            if s.contains('(') {
+                continue; // namesake redirect
+            }
+            // Composed initialism: multi-char, no lowercase, not a
+            // label, and actually the initialism of its target.
+            assert!(s.len() > 1 && !s.chars().any(|c| c.is_lowercase()), "{s:?}");
+            assert!(!labels.contains(s.as_str()));
+            assert_eq!(
+                initialism(&w.entity(*id).label).as_deref(),
+                Some(s.as_str())
+            );
+        }
+    }
+}

